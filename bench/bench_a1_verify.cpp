@@ -1,0 +1,96 @@
+// Ablation A1: verification engine cost versus network size.
+//
+// Supports §3's claim that dataplane verification provides "exhaustive
+// search" cheaply once the dataplane exists: measures packet-class counts
+// and query latencies as the WAN grows, and the trade-off the paper
+// discusses in §6 — per-scenario emulation is the expensive stage,
+// verification of a snapshot is fast.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "gnmi/gnmi.hpp"
+#include "verify/queries.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace mfv;
+
+gnmi::Snapshot converge(int routers) {
+  emu::Emulation emulation;
+  if (!emulation.add_topology(workload::wan_topology({.routers = routers, .seed = 11})).ok())
+    return {};
+  emulation.start_all();
+  emulation.run_to_convergence();
+  return gnmi::Snapshot::capture(emulation, "wan");
+}
+
+void report() {
+  std::printf("=== A1: Verification cost vs network size (IS-IS WANs) ===\n");
+  std::printf("%-9s %-12s %-10s %-14s %-12s\n", "routers", "fib-entries", "classes",
+              "flows", "full-mesh");
+  for (int routers : {10, 20, 40, 80}) {
+    gnmi::Snapshot snapshot = converge(routers);
+    verify::ForwardingGraph graph(snapshot);
+    verify::QueryOptions options;
+    options.sources = {"wan0"};  // one source, all destination classes
+    auto result = verify::reachability(graph, options);
+    auto pairwise = verify::pairwise_reachability(graph);
+    std::printf("%-9d %-12zu %-10zu %-14zu %s\n", routers, snapshot.total_entries(),
+                result.classes, result.flows * static_cast<size_t>(routers),
+                pairwise.full_mesh() ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+void BM_ReachabilityQuery(benchmark::State& state) {
+  gnmi::Snapshot snapshot = converge(static_cast<int>(state.range(0)));
+  verify::ForwardingGraph graph(snapshot);
+  for (auto _ : state) {
+    auto result = verify::reachability(graph);
+    benchmark::DoNotOptimize(result.flows);
+  }
+  state.counters["routers"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ReachabilityQuery)->Arg(10)->Arg(20)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_DifferentialQuery(benchmark::State& state) {
+  gnmi::Snapshot snapshot = converge(static_cast<int>(state.range(0)));
+  verify::ForwardingGraph base(snapshot);
+  verify::ForwardingGraph candidate(snapshot);
+  for (auto _ : state) {
+    auto result = verify::differential_reachability(base, candidate);
+    benchmark::DoNotOptimize(result.flows);
+  }
+}
+BENCHMARK(BM_DifferentialQuery)->Arg(10)->Arg(20)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_GraphConstruction(benchmark::State& state) {
+  gnmi::Snapshot snapshot = converge(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    verify::ForwardingGraph graph(snapshot);
+    benchmark::DoNotOptimize(graph.nodes().size());
+  }
+}
+BENCHMARK(BM_GraphConstruction)->Arg(20)->Arg(80)->Unit(benchmark::kMillisecond);
+
+void BM_SingleTraceroute(benchmark::State& state) {
+  gnmi::Snapshot snapshot = converge(40);
+  verify::ForwardingGraph graph(snapshot);
+  auto destination = verify::device_loopback(snapshot, "wan39");
+  for (auto _ : state) {
+    auto trace = verify::trace_flow(graph, "wan0", *destination);
+    benchmark::DoNotOptimize(trace.paths.size());
+  }
+}
+BENCHMARK(BM_SingleTraceroute)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

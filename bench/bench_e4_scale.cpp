@@ -1,0 +1,115 @@
+// Experiment E4a: "Emulation performance can scale in size and
+// complexity" — the resource/packing side.
+//
+// Paper numbers: each cEOS router needs 0.5 vCPU + 1 GB, so one
+// e2-standard-32 (32 vCPU / 128 GB) holds up to 60 routers; 1,000 devices
+// converge on a 17-node cluster. The report sweeps cluster size -> maximum
+// schedulable routers and shows the container-vs-VM capacity gap that made
+// digital-twin scale affordable (§1/§3). Timed sections measure emulation
+// wall-clock cost as topologies grow.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "emu/emulation.hpp"
+#include "orch/cluster.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace mfv;
+
+int max_schedulable(int machines, orch::ImageKind image) {
+  orch::ClusterSpec cluster = orch::ClusterSpec::standard(machines);
+  // Binary search the largest pod count that schedules.
+  int lo = 0;
+  int hi = machines * 200;
+  while (lo < hi) {
+    int mid = (lo + hi + 1) / 2;
+    std::vector<orch::PodSpec> pods;
+    pods.reserve(static_cast<size_t>(mid));
+    for (int i = 0; i < mid; ++i)
+      pods.push_back({"r" + std::to_string(i), config::Vendor::kCeos, image});
+    if (orch::schedule_pods(cluster, pods).ok()) lo = mid;
+    else hi = mid - 1;
+  }
+  return lo;
+}
+
+void report() {
+  std::printf("=== E4a: Cluster capacity (0.5 vCPU + 1 GB per cEOS router) ===\n");
+  std::printf("%-34s %-18s %s\n", "configuration", "paper", "measured");
+  std::printf("%-34s %-18s %d routers\n", "1 machine (e2-standard-32)", "up to 60",
+              max_schedulable(1, orch::ImageKind::kContainer));
+  std::printf("%-34s %-18s %d routers\n", "17-machine cluster", ">= 1000",
+              max_schedulable(17, orch::ImageKind::kContainer));
+  std::printf("%-34s %-18s %d routers\n", "1 machine, VM images", "(motivates containers)",
+              max_schedulable(1, orch::ImageKind::kVm));
+
+  std::printf("\ncluster-size sweep (containers):\n  machines :");
+  for (int machines : {1, 2, 4, 8, 17}) std::printf(" %6d", machines);
+  std::printf("\n  capacity :");
+  for (int machines : {1, 2, 4, 8, 17})
+    std::printf(" %6d", max_schedulable(machines, orch::ImageKind::kContainer));
+  std::printf("\n\n");
+
+  std::printf("startup model (one-time infra init + image pull + boot):\n");
+  std::printf("%-34s %-18s %s\n", "topology", "paper", "measured");
+  for (int routers : {30, 60}) {
+    emu::Topology topology = workload::wan_topology({.routers = routers, .seed = 7});
+    auto plan = orch::plan_deployment(
+        orch::ClusterSpec::standard(routers <= 60 ? 1 : 2), topology);
+    if (!plan.ok()) continue;
+    std::printf("%-34s %-18s %.1f min\n",
+                (std::to_string(routers) + "-node WAN").c_str(),
+                routers == 30 ? "12-17 min" : "(same order)",
+                plan->boot.total_startup.seconds_double() / 60.0);
+  }
+  std::printf("\n");
+}
+
+void BM_EmulationWallClock(benchmark::State& state) {
+  int routers = static_cast<int>(state.range(0));
+  emu::Topology topology = workload::wan_topology({.routers = routers, .seed = 11});
+  uint64_t entries = 0;
+  for (auto _ : state) {
+    emu::Emulation emulation;
+    if (!emulation.add_topology(topology).ok()) return;
+    emulation.start_all();
+    emulation.run_to_convergence();
+    entries = 0;
+    for (const auto& device : emulation.dump_afts()) entries += device.aft.entry_count();
+    benchmark::DoNotOptimize(entries);
+  }
+  state.counters["routers"] = routers;
+  state.counters["fib_entries"] = static_cast<double>(entries);
+}
+BENCHMARK(BM_EmulationWallClock)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(40)
+    ->Arg(60)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  orch::ClusterSpec cluster = orch::ClusterSpec::standard(17);
+  std::vector<orch::PodSpec> pods;
+  for (int i = 0; i < 1000; ++i)
+    pods.push_back({"r" + std::to_string(i), config::Vendor::kCeos,
+                    orch::ImageKind::kContainer});
+  for (auto _ : state) {
+    auto placement = orch::schedule_pods(cluster, pods);
+    benchmark::DoNotOptimize(placement.ok());
+  }
+}
+BENCHMARK(BM_SchedulerThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

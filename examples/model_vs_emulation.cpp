@@ -1,0 +1,55 @@
+// Model-based vs model-free on identical configurations — the E3
+// experiment (paper Fig. 3).
+//
+// The same three configs go through both backends. The reference model's
+// ordering assumption silently drops R1's interface address (issue #1) and
+// flags "isis enable default" as invalid syntax (issue #2); the emulated
+// routers accept the config and converge to full reachability. Differential
+// Reachability between the two backends surfaces exactly where the model
+// is wrong.
+#include <cstdio>
+
+#include "api/session.hpp"
+#include "workload/scenarios.hpp"
+
+int main() {
+  using namespace mfv;
+
+  emu::Topology topology = workload::fig3_line_topology();
+  api::Session session;
+  if (!session.init_snapshot(topology, "emulated", api::Backend::kModelFree).ok()) return 1;
+  if (!session.init_snapshot(topology, "modeled", api::Backend::kModelBased).ok()) return 1;
+
+  // What the model complained about while parsing:
+  std::printf("Reference-model parser diagnostics:\n");
+  for (const auto& [node, diagnostics] : session.info("modeled")->diagnostics)
+    for (const auto& item : diagnostics.items)
+      std::printf("  %s: %s\n", node.c_str(), item.to_string().c_str());
+
+  auto emulated = session.pairwise_reachability("emulated");
+  auto modeled = session.pairwise_reachability("modeled");
+  std::printf("\nPairwise loopback reachability:\n");
+  std::printf("  model-free (emulation): %zu/%zu%s\n", emulated->reachable_pairs,
+              emulated->total_pairs, emulated->full_mesh() ? " (full mesh)" : "");
+  std::printf("  model-based           : %zu/%zu\n", modeled->reachable_pairs,
+              modeled->total_pairs);
+
+  auto diff = session.differential_reachability("emulated", "modeled");
+  std::printf("\nFlows where the backends disagree: %zu\n", diff->rows.size());
+  for (const auto& row : diff->regressions())
+    std::printf("  %s\n", row.to_string().c_str());
+
+  // The paper's headline flow: R2 -> R1's loopback.
+  auto model_trace = session.traceroute("modeled", "R2", *net::Ipv4Address::parse("2.2.2.1"));
+  auto emu_trace = session.traceroute("emulated", "R2", *net::Ipv4Address::parse("2.2.2.1"));
+  std::printf("\nR2 -> 2.2.2.1 in the model:    %s\n",
+              model_trace->paths[0].to_string().c_str());
+  std::printf("R2 -> 2.2.2.1 in the emulation: %s\n",
+              emu_trace->paths[0].to_string().c_str());
+
+  bool reproduced = emulated->full_mesh() && !modeled->full_mesh() && !diff->empty();
+  std::printf("\n%s\n", reproduced
+                            ? "Reproduced: the model diverges from real device behaviour."
+                            : "Unexpected: backends agree.");
+  return reproduced ? 0 : 1;
+}

@@ -1,0 +1,146 @@
+// Snapshot tool: capture, save, load, and query dataplane snapshots as
+// JSON files — the persistence workflow around the verification pipeline
+// (snapshots are the interchange format between the emulation and
+// verification stages, so they can be archived and re-verified later).
+//
+// Usage:
+//   snapshot_tool capture <out.json>          # emulate Fig. 2, save AFTs
+//   snapshot_tool topology <out.json>         # write the Fig. 2 topology
+//   snapshot_tool emulate <topology.json> <out.json>
+//   snapshot_tool query <snapshot.json>       # pairwise report
+//   snapshot_tool diff <a.json> <b.json>      # differential reachability
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "api/session.hpp"
+#include "workload/scenarios.hpp"
+
+namespace {
+
+using namespace mfv;
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+util::Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::not_found("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+util::Result<gnmi::Snapshot> load_snapshot(const std::string& path) {
+  auto text = read_file(path);
+  if (!text.ok()) return text.status();
+  return gnmi::Snapshot::from_json_text(*text);
+}
+
+int capture(const std::string& out_path) {
+  api::Session session;
+  util::Status status = session.init_snapshot(workload::fig2_topology(false), "snap");
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.to_string().c_str());
+    return 1;
+  }
+  if (!write_file(out_path, session.snapshot("snap")->to_json().dump(2))) return 1;
+  std::printf("captured %zu devices, %zu FIB entries -> %s\n",
+              session.snapshot("snap")->devices.size(),
+              session.snapshot("snap")->total_entries(), out_path.c_str());
+  return 0;
+}
+
+int emulate(const std::string& topology_path, const std::string& out_path) {
+  auto text = read_file(topology_path);
+  if (!text.ok()) return 1;
+  auto topology = emu::Topology::from_json_text(*text);
+  if (!topology.ok()) {
+    std::fprintf(stderr, "%s\n", topology.status().to_string().c_str());
+    return 1;
+  }
+  api::Session session;
+  util::Status status = session.init_snapshot(*topology, "snap");
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.to_string().c_str());
+    return 1;
+  }
+  if (!write_file(out_path, session.snapshot("snap")->to_json().dump(2))) return 1;
+  std::printf("emulated %zu devices -> %s (converged in %s)\n",
+              session.snapshot("snap")->devices.size(), out_path.c_str(),
+              session.info("snap")->convergence_time.to_string().c_str());
+  return 0;
+}
+
+int query(const std::string& path) {
+  auto snapshot = load_snapshot(path);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "%s\n", snapshot.status().to_string().c_str());
+    return 1;
+  }
+  api::Session session;
+  session.add_snapshot(std::move(snapshot).value(), "snap");
+  auto pairwise = session.pairwise_reachability("snap");
+  std::printf("pairwise reachability: %zu/%zu%s\n", pairwise->reachable_pairs,
+              pairwise->total_pairs, pairwise->full_mesh() ? " (full mesh)" : "");
+  for (const auto& cell : pairwise->cells)
+    if (!cell.reachable)
+      std::printf("  BROKEN: %s -> %s\n", cell.source.c_str(), cell.destination.c_str());
+  auto loops = session.detect_loops("snap");
+  std::printf("forwarding loops: %zu\n", loops->rows.size());
+  return pairwise->full_mesh() ? 0 : 2;
+}
+
+int diff(const std::string& base_path, const std::string& candidate_path) {
+  auto base = load_snapshot(base_path);
+  auto candidate = load_snapshot(candidate_path);
+  if (!base.ok() || !candidate.ok()) {
+    std::fprintf(stderr, "failed to load snapshots\n");
+    return 1;
+  }
+  api::Session session;
+  session.add_snapshot(std::move(base).value(), "base");
+  session.add_snapshot(std::move(candidate).value(), "candidate");
+  auto result = session.differential_reachability("base", "candidate");
+  std::printf("differing flows: %zu (of %zu compared)\n", result->rows.size(),
+              result->flows);
+  for (const auto& row : result->regressions())
+    std::printf("  REGRESSION: %s\n", row.to_string().c_str());
+  return result->empty() ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string command = argc > 1 ? argv[1] : "";
+  if (command == "capture" && argc == 3) return capture(argv[2]);
+  if (command == "topology" && argc == 3) {
+    emu::Topology topology = workload::fig2_topology(false);
+    if (!write_file(argv[2], topology.to_json().dump(2))) return 1;
+    std::printf("wrote Fig. 2 topology -> %s\n", argv[2]);
+    return 0;
+  }
+  if (command == "emulate" && argc == 4) return emulate(argv[2], argv[3]);
+  if (command == "query" && argc == 3) return query(argv[2]);
+  if (command == "diff" && argc == 4) return diff(argv[2], argv[3]);
+  std::fprintf(stderr,
+               "usage: snapshot_tool capture <out.json>\n"
+               "       snapshot_tool topology <out.json>\n"
+               "       snapshot_tool emulate <topology.json> <out.json>\n"
+               "       snapshot_tool query <snapshot.json>\n"
+               "       snapshot_tool diff <a.json> <b.json>\n");
+  // With no arguments, run a self-contained demo in /tmp.
+  if (argc == 1) {
+    std::printf("\nrunning self-demo...\n");
+    if (capture("/tmp/mfv_base.json") != 0) return 1;
+    return query("/tmp/mfv_base.json");
+  }
+  return 1;
+}

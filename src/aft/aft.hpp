@@ -1,0 +1,199 @@
+// Abstract Forwarding Table (AFT) data model, shaped after the OpenConfig
+// `network-instances/network-instance/afts` subtree.
+//
+// This is the vendor-agnostic dataplane snapshot format of the paper's
+// pipeline: the emulation stage dumps per-device AFTs over the gNMI-style
+// API (§4.1), and the verification stage consumes them in place of a
+// model-derived dataplane (§4.2). Mirrors OpenConfig's indirection:
+// ipv4-unicast entries reference next-hop-groups, which reference
+// next-hops.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix_trie.hpp"
+#include "net/types.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace mfv::aft {
+
+/// MPLS label operations carried by a next-hop.
+enum class LabelOp { kNone, kPush, kSwap, kPop };
+
+struct NextHop {
+  uint64_t index = 0;
+  /// Resolved adjacent next-hop address; absent for directly attached or
+  /// drop next-hops.
+  std::optional<net::Ipv4Address> ip_address;
+  /// Egress interface; absent only for drop.
+  std::optional<net::InterfaceName> interface;
+  bool drop = false;
+  LabelOp label_op = LabelOp::kNone;
+  uint32_t label = 0;
+
+  bool operator==(const NextHop&) const = default;
+};
+
+struct NextHopGroup {
+  uint64_t id = 0;
+  /// next-hop index -> weight (ECMP/WCMP).
+  std::vector<std::pair<uint64_t, uint64_t>> next_hops;
+
+  bool operator==(const NextHopGroup&) const = default;
+};
+
+struct Ipv4Entry {
+  net::Ipv4Prefix prefix;
+  uint64_t next_hop_group = 0;
+  /// Origin protocol as reported by the device ("BGP", "ISIS", "STATIC",
+  /// "CONNECTED", "LOCAL", "TE").
+  std::string origin_protocol;
+  uint32_t metric = 0;
+
+  bool operator==(const Ipv4Entry&) const = default;
+};
+
+struct LabelEntry {
+  uint32_t label = 0;
+  uint64_t next_hop_group = 0;
+
+  bool operator==(const LabelEntry&) const = default;
+};
+
+/// AFT of one network instance (we model the default VRF).
+class Aft {
+ public:
+  Aft() = default;
+  // Copying resets the lazily built lookup trie: it holds pointers into
+  // this instance's entry map. Moves keep it (map nodes are stable).
+  Aft(const Aft& other) { copy_from(other); }
+  Aft& operator=(const Aft& other) {
+    if (this != &other) copy_from(other);
+    return *this;
+  }
+  Aft(Aft&&) = default;
+  Aft& operator=(Aft&&) = default;
+
+  /// Adds a next-hop, assigning the next free index. Returns the index.
+  uint64_t add_next_hop(NextHop next_hop);
+  /// Adds a group over existing next-hop indices. Returns the group id.
+  uint64_t add_group(std::vector<std::pair<uint64_t, uint64_t>> weighted_next_hops);
+  /// Convenience: one-next-hop group.
+  uint64_t add_group(uint64_t next_hop_index) {
+    return add_group({{next_hop_index, 1}});
+  }
+
+  void set_ipv4_entry(Ipv4Entry entry);
+  void set_label_entry(LabelEntry entry);
+
+  const std::map<uint64_t, NextHop>& next_hops() const { return next_hops_; }
+  const std::map<uint64_t, NextHopGroup>& groups() const { return groups_; }
+  const std::map<net::Ipv4Prefix, Ipv4Entry>& ipv4_entries() const { return ipv4_entries_; }
+  const std::map<uint32_t, LabelEntry>& label_entries() const { return label_entries_; }
+
+  const NextHop* next_hop(uint64_t index) const;
+  const NextHopGroup* group(uint64_t id) const;
+  const Ipv4Entry* ipv4_entry(const net::Ipv4Prefix& prefix) const;
+
+  /// Longest-prefix match over the ipv4 entries. Builds the lookup trie
+  /// lazily; mutation invalidates it.
+  const Ipv4Entry* longest_match(net::Ipv4Address destination) const;
+
+  /// Resolved forwarding action for a destination: the (possibly multiple,
+  /// for ECMP) next hops of the LPM entry. Empty if no route.
+  std::vector<NextHop> forward(net::Ipv4Address destination) const;
+
+  size_t entry_count() const { return ipv4_entries_.size(); }
+  bool operator==(const Aft& other) const {
+    return next_hops_ == other.next_hops_ && groups_ == other.groups_ &&
+           ipv4_entries_ == other.ipv4_entries_ && label_entries_ == other.label_entries_;
+  }
+
+  /// Structural equality of *forwarding behaviour*: same prefixes mapping
+  /// to the same resolved next-hop sets (indices may differ). This is the
+  /// predicate the convergence detector polls (§5: "we detect convergence
+  /// once we observe the dataplane to stabilize at all routers").
+  bool forwarding_equal(const Aft& other) const;
+
+  util::Json to_json() const;
+  static util::Result<Aft> from_json(const util::Json& json);
+
+ private:
+  void copy_from(const Aft& other) {
+    next_hops_ = other.next_hops_;
+    groups_ = other.groups_;
+    ipv4_entries_ = other.ipv4_entries_;
+    label_entries_ = other.label_entries_;
+    next_hop_counter_ = other.next_hop_counter_;
+    group_counter_ = other.group_counter_;
+    trie_.clear();
+    trie_valid_ = false;
+  }
+
+  void invalidate_trie() const { trie_valid_ = false; }
+  void rebuild_trie() const;
+
+  std::map<uint64_t, NextHop> next_hops_;
+  std::map<uint64_t, NextHopGroup> groups_;
+  std::map<net::Ipv4Prefix, Ipv4Entry> ipv4_entries_;
+  std::map<uint32_t, LabelEntry> label_entries_;
+  uint64_t next_hop_counter_ = 1;
+  uint64_t group_counter_ = 1;
+
+  mutable net::PrefixTrie<const Ipv4Entry*> trie_;
+  mutable bool trie_valid_ = false;
+};
+
+/// One resolved packet-filter rule (destination match only, like the
+/// config-level ACLs this model supports).
+struct AclRule {
+  bool permit = true;
+  net::Ipv4Prefix destination;  // 0.0.0.0/0 = any
+
+  bool operator==(const AclRule&) const = default;
+};
+
+/// First match decides; no match = implicit deny. An empty rule list means
+/// "no filter attached" (permit everything) — distinguished by the caller.
+bool acl_permits(const std::vector<AclRule>& rules, net::Ipv4Address destination);
+
+/// Interface operational state reported alongside the AFT (needed by the
+/// verification engine to resolve egress edges and apply packet filters).
+struct InterfaceState {
+  net::InterfaceName name;
+  std::optional<net::InterfaceAddress> address;
+  bool oper_up = true;
+  /// VRF binding; empty = default instance. The verification engine only
+  /// treats default-instance interfaces as part of the default forwarding
+  /// graph.
+  std::string vrf;
+  /// Resolved ingress/egress filters; nullopt = no filter attached.
+  std::optional<std::vector<AclRule>> acl_in;
+  std::optional<std::vector<AclRule>> acl_out;
+
+  bool operator==(const InterfaceState&) const = default;
+};
+
+/// The full dataplane dump of one device.
+struct DeviceAft {
+  net::NodeName node;
+  /// Default network instance.
+  Aft aft;
+  /// Non-default network instances (VRFs), keyed by name.
+  std::map<std::string, Aft> instances;
+  std::map<net::InterfaceName, InterfaceState> interfaces;
+
+  util::Json to_json() const;
+  static util::Result<DeviceAft> from_json(const util::Json& json);
+};
+
+std::string label_op_name(LabelOp op);
+std::optional<LabelOp> parse_label_op(std::string_view name);
+
+}  // namespace mfv::aft

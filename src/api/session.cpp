@@ -1,0 +1,150 @@
+#include "api/session.hpp"
+
+namespace mfv::api {
+
+std::string backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kModelFree: return "model-free";
+    case Backend::kModelBased: return "model-based";
+  }
+  return "?";
+}
+
+Session::Session(SessionOptions options) : options_(std::move(options)) {}
+Session::~Session() = default;
+
+util::Status Session::init_snapshot(const emu::Topology& topology, const std::string& name,
+                                    Backend backend) {
+  if (snapshots_.count(name))
+    return util::already_exists("snapshot '" + name + "' already exists");
+
+  Entry entry;
+  entry.info.backend = backend;
+
+  if (backend == Backend::kModelFree) {
+    auto emulation = std::make_unique<emu::Emulation>(options_.emulation);
+    util::Status status = emulation->add_topology(topology);
+    if (!status.ok()) return status;
+    emulation->start_all();
+    if (!emulation->run_to_convergence(options_.max_events))
+      return util::internal_error("snapshot '" + name +
+                                  "' did not converge within the event budget");
+    entry.info.convergence_time =
+        emulation->converged_at() - util::TimePoint(0);
+    entry.info.messages = emulation->messages_delivered();
+    entry.info.diagnostics = emulation->parse_diagnostics();
+    entry.snapshot = gnmi::Snapshot::capture(*emulation, name);
+    entry.emulation = std::move(emulation);
+  } else {
+    model::ModelResult result = model::run_model(topology, options_.model);
+    entry.snapshot = std::move(result.snapshot);
+    entry.snapshot.name = name;
+    entry.info.unrecognized_lines = result.total_unrecognized();
+    for (const auto& [node, parse] : result.parse_results)
+      entry.info.diagnostics[node] = parse.diagnostics;
+  }
+
+  snapshots_.emplace(name, std::move(entry));
+  return util::Status::ok_status();
+}
+
+util::Status Session::add_snapshot(gnmi::Snapshot snapshot, const std::string& name,
+                                   SnapshotInfo info) {
+  if (snapshots_.count(name))
+    return util::already_exists("snapshot '" + name + "' already exists");
+  Entry entry;
+  entry.snapshot = std::move(snapshot);
+  entry.snapshot.name = name;
+  entry.info = std::move(info);
+  snapshots_.emplace(name, std::move(entry));
+  return util::Status::ok_status();
+}
+
+bool Session::has_snapshot(const std::string& name) const {
+  return snapshots_.count(name) > 0;
+}
+
+const Session::Entry* Session::find(const std::string& name) const {
+  auto it = snapshots_.find(name);
+  return it == snapshots_.end() ? nullptr : &it->second;
+}
+
+const gnmi::Snapshot* Session::snapshot(const std::string& name) const {
+  const Entry* entry = find(name);
+  return entry == nullptr ? nullptr : &entry->snapshot;
+}
+
+const SnapshotInfo* Session::info(const std::string& name) const {
+  const Entry* entry = find(name);
+  return entry == nullptr ? nullptr : &entry->info;
+}
+
+std::vector<std::string> Session::snapshot_names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : snapshots_) names.push_back(name);
+  return names;
+}
+
+emu::Emulation* Session::emulation(const std::string& name) {
+  auto it = snapshots_.find(name);
+  return it == snapshots_.end() ? nullptr : it->second.emulation.get();
+}
+
+const verify::ForwardingGraph* Session::graph_for(const std::string& name) const {
+  auto it = snapshots_.find(name);
+  if (it == snapshots_.end()) return nullptr;
+  // Lazy build; Entry is logically const from the caller's view.
+  Entry& entry = const_cast<Entry&>(it->second);
+  if (!entry.graph)
+    entry.graph = std::make_unique<verify::ForwardingGraph>(entry.snapshot);
+  return entry.graph.get();
+}
+
+util::Result<verify::ReachabilityResult> Session::reachability(
+    const std::string& snapshot, const verify::QueryOptions& options) const {
+  const verify::ForwardingGraph* graph = graph_for(snapshot);
+  if (graph == nullptr) return util::not_found("no snapshot '" + snapshot + "'");
+  return verify::reachability(*graph, options);
+}
+
+util::Result<verify::DifferentialResult> Session::differential_reachability(
+    const std::string& base, const std::string& candidate,
+    const verify::QueryOptions& options) const {
+  const verify::ForwardingGraph* base_graph = graph_for(base);
+  if (base_graph == nullptr) return util::not_found("no snapshot '" + base + "'");
+  const verify::ForwardingGraph* candidate_graph = graph_for(candidate);
+  if (candidate_graph == nullptr)
+    return util::not_found("no snapshot '" + candidate + "'");
+  return verify::differential_reachability(*base_graph, *candidate_graph, options);
+}
+
+util::Result<verify::TraceResult> Session::traceroute(const std::string& snapshot,
+                                                      const net::NodeName& source,
+                                                      net::Ipv4Address destination) const {
+  const verify::ForwardingGraph* graph = graph_for(snapshot);
+  if (graph == nullptr) return util::not_found("no snapshot '" + snapshot + "'");
+  return verify::trace_flow(*graph, source, destination);
+}
+
+util::Result<verify::PairwiseResult> Session::pairwise_reachability(
+    const std::string& snapshot) const {
+  const verify::ForwardingGraph* graph = graph_for(snapshot);
+  if (graph == nullptr) return util::not_found("no snapshot '" + snapshot + "'");
+  return verify::pairwise_reachability(*graph);
+}
+
+util::Result<verify::ReachabilityResult> Session::detect_loops(
+    const std::string& snapshot, const verify::QueryOptions& options) const {
+  const verify::ForwardingGraph* graph = graph_for(snapshot);
+  if (graph == nullptr) return util::not_found("no snapshot '" + snapshot + "'");
+  return verify::detect_loops(*graph, options);
+}
+
+util::Result<std::vector<verify::RouteRow>> Session::routes(
+    const std::string& snapshot, const net::NodeName& node) const {
+  const verify::ForwardingGraph* graph = graph_for(snapshot);
+  if (graph == nullptr) return util::not_found("no snapshot '" + snapshot + "'");
+  return verify::routes(*graph, node);
+}
+
+}  // namespace mfv::api

@@ -1,0 +1,111 @@
+// Top-level verification session: the Pybatfish-style front end.
+//
+// A Session manages named dataplane snapshots and answers verification
+// questions against them. Snapshots can be produced by either backend:
+//
+//   * kModelFree  — the paper's contribution: emulate the control plane
+//     (mfv::emu) until convergence, extract AFTs via gNMI, verify those.
+//   * kModelBased — the baseline: parse configs with the reference model
+//     parser and simulate a dataplane (mfv::model), Batfish-style.
+//
+// Both produce the same gnmi::Snapshot type, so every query runs
+// identically on either — the "drop-in backend" design of §4. Differential
+// queries can compare any two snapshots: pre/post change (E1) or
+// model-free vs model-based on identical configs (E3).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "emu/emulation.hpp"
+#include "gnmi/gnmi.hpp"
+#include "model/ibdp.hpp"
+#include "util/status.hpp"
+#include "verify/queries.hpp"
+
+namespace mfv::api {
+
+enum class Backend { kModelFree, kModelBased };
+
+std::string backend_name(Backend backend);
+
+struct SessionOptions {
+  emu::EmulationOptions emulation;
+  model::ModelOptions model;
+  /// Cap on emulation events per snapshot (guards divergence).
+  uint64_t max_events = 100000000ull;
+};
+
+/// Metadata recorded when a snapshot is initialized.
+struct SnapshotInfo {
+  Backend backend = Backend::kModelFree;
+  /// Virtual time at which the dataplane stabilized (model-free only).
+  util::Duration convergence_time;
+  /// Control-plane messages exchanged (model-free only).
+  uint64_t messages = 0;
+  /// Parser diagnostics per node (error lines for the vendor parsers,
+  /// unrecognized lines for the reference model parser).
+  std::map<net::NodeName, config::DiagnosticList> diagnostics;
+  /// Reference-parser unrecognized-line count (model-based only).
+  size_t unrecognized_lines = 0;
+};
+
+class Session {
+ public:
+  explicit Session(SessionOptions options = {});
+  ~Session();
+
+  /// Builds a named snapshot from a topology using the given backend.
+  /// Fails if a snapshot with that name exists or the backend fails.
+  util::Status init_snapshot(const emu::Topology& topology, const std::string& name,
+                             Backend backend = Backend::kModelFree);
+
+  /// Registers an externally produced snapshot (e.g. loaded from JSON).
+  util::Status add_snapshot(gnmi::Snapshot snapshot, const std::string& name,
+                            SnapshotInfo info = {});
+
+  bool has_snapshot(const std::string& name) const;
+  const gnmi::Snapshot* snapshot(const std::string& name) const;
+  const SnapshotInfo* info(const std::string& name) const;
+  std::vector<std::string> snapshot_names() const;
+
+  /// The live emulation behind a model-free snapshot (for CLI poking);
+  /// nullptr for model-based or imported snapshots.
+  emu::Emulation* emulation(const std::string& name);
+
+  // -- questions (Pybatfish-style) --
+  util::Result<verify::ReachabilityResult> reachability(
+      const std::string& snapshot, const verify::QueryOptions& options = {}) const;
+  util::Result<verify::DifferentialResult> differential_reachability(
+      const std::string& base, const std::string& candidate,
+      const verify::QueryOptions& options = {}) const;
+  util::Result<verify::TraceResult> traceroute(const std::string& snapshot,
+                                               const net::NodeName& source,
+                                               net::Ipv4Address destination) const;
+  util::Result<verify::PairwiseResult> pairwise_reachability(
+      const std::string& snapshot) const;
+  util::Result<verify::ReachabilityResult> detect_loops(
+      const std::string& snapshot, const verify::QueryOptions& options = {}) const;
+  /// Tabular FIB view (Pybatfish `routes()`): all of `node`'s entries, or
+  /// the whole snapshot when `node` is empty.
+  util::Result<std::vector<verify::RouteRow>> routes(const std::string& snapshot,
+                                                     const net::NodeName& node = "") const;
+
+ private:
+  struct Entry {
+    gnmi::Snapshot snapshot;
+    SnapshotInfo info;
+    std::unique_ptr<emu::Emulation> emulation;           // model-free only
+    std::unique_ptr<verify::ForwardingGraph> graph;      // built lazily
+  };
+
+  const Entry* find(const std::string& name) const;
+  const verify::ForwardingGraph* graph_for(const std::string& name) const;
+
+  SessionOptions options_;
+  std::map<std::string, Entry> snapshots_;
+};
+
+}  // namespace mfv::api

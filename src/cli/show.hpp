@@ -1,0 +1,38 @@
+// Operator CLI: vendor-style "show" command rendering over live emulated
+// routers.
+//
+// §5's under-appreciated benefit: when verification reports something odd,
+// the operator can poke at the emulated control plane with the same
+// commands they use in production. These renderers produce EOS-flavored
+// output from a VirtualRouter's live state; `run_command` dispatches a
+// command line the way an SSH session would.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+#include "vrouter/virtual_router.hpp"
+
+namespace mfv::cli {
+
+std::string show_ip_route(const vrouter::VirtualRouter& router);
+std::string show_ip_route_vrf(const vrouter::VirtualRouter& router,
+                              const std::string& vrf);
+std::string show_isis_neighbors(const vrouter::VirtualRouter& router);
+std::string show_isis_database(const vrouter::VirtualRouter& router);
+std::string show_ospf_neighbors(const vrouter::VirtualRouter& router);
+std::string show_ospf_database(const vrouter::VirtualRouter& router);
+std::string show_ip_bgp_summary(const vrouter::VirtualRouter& router);
+std::string show_interfaces(const vrouter::VirtualRouter& router);
+std::string show_mpls_tunnels(const vrouter::VirtualRouter& router);
+std::string show_ip_access_lists(const vrouter::VirtualRouter& router);
+std::string show_running_config(const vrouter::VirtualRouter& router);
+
+/// Dispatches a command line ("show ip route", "show isis database", ...).
+/// Unknown commands return INVALID_ARGUMENT with a "% Invalid input"
+/// message, like a router CLI.
+util::Result<std::string> run_command(const vrouter::VirtualRouter& router,
+                                      std::string_view command);
+
+}  // namespace mfv::cli

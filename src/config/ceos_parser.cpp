@@ -1,0 +1,781 @@
+#include "config/ceos_parser.hpp"
+
+#include <functional>
+
+#include "util/strings.hpp"
+
+namespace mfv::config {
+namespace {
+
+using util::split_whitespace;
+using util::trim;
+
+/// One physical config line plus parse position.
+struct Line {
+  int number = 0;        // 1-based
+  int indent = 0;        // leading spaces
+  std::string text;      // trimmed
+  std::vector<std::string> tokens;
+};
+
+/// Cursor over the token list of one line.
+class Tokens {
+ public:
+  explicit Tokens(const Line& line) : line_(&line) {}
+
+  bool done() const { return index_ >= line_->tokens.size(); }
+  size_t remaining() const { return line_->tokens.size() - index_; }
+
+  /// Consumes and returns the next token, or "" when exhausted.
+  std::string next() { return done() ? std::string() : line_->tokens[index_++]; }
+  const std::string& peek(size_t ahead = 0) const {
+    static const std::string kEmpty;
+    size_t i = index_ + ahead;
+    return i < line_->tokens.size() ? line_->tokens[i] : kEmpty;
+  }
+  /// Consumes the next token iff it equals `word`.
+  bool eat(std::string_view word) {
+    if (done() || line_->tokens[index_] != word) return false;
+    ++index_;
+    return true;
+  }
+  /// Remaining tokens re-joined (for free-text like descriptions).
+  std::string rest() {
+    std::vector<std::string> out(line_->tokens.begin() + static_cast<long>(index_),
+                                 line_->tokens.end());
+    index_ = line_->tokens.size();
+    return util::join(out, " ");
+  }
+
+ private:
+  const Line* line_;
+  size_t index_ = 0;
+};
+
+class CeosParser {
+ public:
+  explicit CeosParser(std::string_view text) {
+    int number = 0;
+    for (std::string_view raw : util::split(text, '\n')) {
+      ++number;
+      std::string_view trimmed = trim(raw);
+      if (trimmed.empty() || trimmed[0] == '!') continue;  // comment/separator
+      // Strip a trailing "! comment".
+      size_t bang = trimmed.find(" !");
+      if (bang != std::string_view::npos) trimmed = trim(trimmed.substr(0, bang));
+      Line line;
+      line.number = number;
+      line.indent = util::indent_of(raw);
+      line.text = std::string(trimmed);
+      line.tokens = split_whitespace(trimmed);
+      lines_.push_back(std::move(line));
+    }
+  }
+
+  CeosParseResult run() {
+    result_.total_lines = static_cast<int>(lines_.size());
+    while (pos_ < lines_.size()) parse_top_level();
+    return std::move(result_);
+  }
+
+ private:
+  DeviceConfig& cfg() { return result_.config; }
+
+  void error(const Line& line, std::string message) {
+    result_.diagnostics.add(DiagnosticSeverity::kError, line.number, line.text,
+                            std::move(message));
+  }
+  void warn(const Line& line, std::string message) {
+    result_.diagnostics.add(DiagnosticSeverity::kWarning, line.number, line.text,
+                            std::move(message));
+  }
+
+  /// Collects the indented block following lines_[pos_-1] (the section
+  /// header already consumed). Returns indices into lines_.
+  std::vector<size_t> take_block() {
+    std::vector<size_t> block;
+    while (pos_ < lines_.size() && lines_[pos_].indent > 0) block.push_back(pos_++);
+    return block;
+  }
+
+  /// Consumes an indented block, recording every line under a management
+  /// feature (accepted, dataplane-irrelevant).
+  void take_management_block(const std::string& feature_name, const Line& header) {
+    ManagementFeature feature;
+    feature.name = feature_name;
+    feature.lines.push_back(header.text);
+    for (size_t i : take_block()) feature.lines.push_back(lines_[i].text);
+    cfg().management_features.push_back(std::move(feature));
+  }
+
+  void parse_top_level() {
+    const Line& line = lines_[pos_++];
+    Tokens t(line);
+    std::string head = t.next();
+
+    if (head == "hostname") {
+      cfg().hostname = t.rest();
+    } else if (head == "interface") {
+      parse_interface(line, t);
+    } else if (head == "router") {
+      std::string kind = t.next();
+      if (kind == "isis") parse_router_isis(line, t);
+      else if (kind == "ospf") parse_router_ospf(line, t);
+      else if (kind == "bgp") parse_router_bgp(line, t);
+      else if (kind == "traffic-engineering") parse_router_te(line);
+      else {
+        error(line, "unsupported routing process '" + kind + "'");
+        take_block();
+      }
+    } else if (head == "ip") {
+      parse_ip_command(line, t);
+    } else if (head == "route-map") {
+      parse_route_map(line, t);
+    } else if (head == "mpls") {
+      std::string sub = t.next();
+      if (sub == "ip") {
+        cfg().mpls.enabled = true;
+      } else if (sub == "traffic-engineering") {
+        cfg().mpls.enabled = true;
+        cfg().mpls.te_enabled = true;
+      } else {
+        error(line, "invalid mpls command");
+      }
+    } else if (head == "daemon") {
+      take_management_block("daemon " + t.rest(), line);
+    } else if (head == "management") {
+      take_management_block("management " + t.rest(), line);
+    } else if (head == "vrf") {
+      if (t.eat("instance")) {
+        std::string name = t.next();
+        if (name.empty()) error(line, "vrf instance requires a name");
+        else if (!cfg().has_vrf(name)) cfg().vrfs.push_back(name);
+        take_block();  // rd / description knobs accepted, unmodelled
+      } else {
+        error(line, "% Invalid input: expected 'vrf instance NAME'");
+        take_block();
+      }
+    } else if (head == "service" || head == "spanning-tree" ||
+               head == "aaa" || head == "ntp" || head == "snmp-server" ||
+               head == "logging" || head == "clock" || head == "dns" ||
+               head == "banner" || head == "username" || head == "transceiver" ||
+               head == "queue-monitor" || head == "platform" || head == "hardware" ||
+               head == "errdisable" || head == "load-interval") {
+      // Accepted platform/management features with no dataplane relevance.
+      take_management_block(head + " " + t.rest(), line);
+    } else if (head == "end" || head == "exit") {
+      // No-op terminators.
+    } else if (head == "no") {
+      // Top-level "no ..." defaults (e.g. "no aaa root") — accepted.
+      take_management_block(line.text, line);
+    } else {
+      error(line, "% Invalid input: unknown command '" + head + "'");
+      take_block();  // skip any block belonging to the bad command
+    }
+  }
+
+  // -- interface ------------------------------------------------------------
+
+  void parse_interface(const Line& header, Tokens& t) {
+    std::string name = t.next();
+    if (name.empty()) {
+      error(header, "interface requires a name");
+      take_block();
+      return;
+    }
+    InterfaceConfig& iface = cfg().interface(name);
+    // ceos default: Ethernet ports boot as L2 switchports; routed ports and
+    // loopbacks do not have the concept.
+    if (util::starts_with(name, "Ethernet") && !iface.address) iface.switchport = true;
+
+    for (size_t i : take_block()) {
+      const Line& line = lines_[i];
+      Tokens lt(line);
+      std::string head = lt.next();
+      if (head == "ip" && lt.peek() == "access-group") {
+        lt.next();
+        std::string name = lt.next();
+        std::string direction = lt.next();
+        if (name.empty() || (direction != "in" && direction != "out")) {
+          error(line, "ip access-group requires NAME in|out");
+        } else if (direction == "in") {
+          iface.acl_in = name;
+        } else {
+          iface.acl_out = name;
+        }
+      } else if (head == "ip" && lt.eat("address")) {
+        auto address = net::InterfaceAddress::parse(lt.next());
+        if (!address) {
+          error(line, "invalid interface address");
+          continue;
+        }
+        // The real device accepts "ip address" regardless of current
+        // switchport mode and applies it once the port is routed. (The
+        // order-sensitivity here is the model bug of Fig. 3, issue #1 —
+        // deliberately NOT reproduced in this parser.)
+        iface.address = *address;
+      } else if (head == "no" && lt.peek() == "switchport") {
+        iface.switchport = false;
+      } else if (head == "switchport") {
+        iface.switchport = true;
+      } else if (head == "vrf") {
+        std::string name = lt.next();
+        if (name.empty()) error(line, "vrf requires a name");
+        else iface.vrf = name;
+      } else if (head == "description") {
+        iface.description = lt.rest();
+      } else if (head == "shutdown") {
+        iface.shutdown = true;
+      } else if (head == "no" && lt.peek() == "shutdown") {
+        iface.shutdown = false;
+      } else if (head == "isis") {
+        std::string sub = lt.next();
+        if (sub == "enable") {
+          // "isis enable default" — valid EOS syntax the Batfish model
+          // rejects (Fig. 3, issue #2).
+          iface.isis_enabled = true;
+          iface.isis_instance = lt.next();
+          if (iface.isis_instance.empty()) iface.isis_instance = "default";
+        } else if (sub == "passive-interface" || sub == "passive") {
+          iface.isis_passive = true;
+        } else if (sub == "metric") {
+          uint32_t metric = 0;
+          if (!util::parse_uint32(lt.next(), metric) || metric == 0)
+            error(line, "invalid isis metric");
+          else
+            iface.isis_metric = metric;
+        } else {
+          error(line, "% Invalid input: unknown isis interface command");
+        }
+      } else if (head == "ip" && lt.peek() == "ospf") {
+        lt.next();
+        if (lt.eat("cost")) {
+          uint32_t cost = 0;
+          if (!util::parse_uint32(lt.next(), cost) || cost == 0)
+            error(line, "invalid ospf cost");
+          else
+            iface.ospf_cost = cost;
+        } else {
+          error(line, "% Invalid input: unknown ip ospf command");
+        }
+      } else if (head == "mpls" && lt.peek() == "ip") {
+        iface.mpls_enabled = true;
+      } else if (head == "mtu" || head == "speed" || head == "bandwidth" ||
+                 head == "load-interval" || head == "logging" || head == "lldp" ||
+                 head == "flowcontrol" || head == "storm-control" ||
+                 head == "spanning-tree" || head == "channel-group" ||
+                 head == "traffic-loopback" || head == "error-correction") {
+        // Accepted L1/L2 knobs without dataplane-model relevance.
+      } else {
+        error(line, "% Invalid input: unknown interface command '" + head + "'");
+      }
+    }
+  }
+
+  // -- router isis ----------------------------------------------------------
+
+  void parse_router_isis(const Line& header, Tokens& t) {
+    IsisConfig& isis = cfg().isis;
+    isis.enabled = true;
+    isis.instance = t.next();
+    if (isis.instance.empty()) {
+      error(header, "router isis requires an instance name");
+      isis.instance = "default";
+    }
+    for (size_t i : take_block()) {
+      const Line& line = lines_[i];
+      Tokens lt(line);
+      std::string head = lt.next();
+      if (head == "net") {
+        isis.net = lt.next();
+        if (isis.net.empty()) error(line, "net requires an ISO address");
+      } else if (head == "is-type") {
+        std::string level = lt.next();
+        if (level == "level-1") isis.level = IsisLevel::kLevel1;
+        else if (level == "level-2") isis.level = IsisLevel::kLevel2;
+        else if (level == "level-1-2") isis.level = IsisLevel::kLevel12;
+        else error(line, "invalid is-type");
+      } else if (head == "address-family") {
+        if (lt.peek() == "ipv4") isis.af_ipv4_unicast = true;
+        // other AFs accepted, unmodelled
+      } else if (head == "log-adjacency-changes" || head == "set-overload-bit" ||
+                 head == "spf-interval" || head == "timers") {
+        // Accepted tuning knobs.
+      } else {
+        error(line, "% Invalid input: unknown isis command '" + head + "'");
+      }
+    }
+  }
+
+  // -- router ospf -----------------------------------------------------------
+
+  void parse_router_ospf(const Line& header, Tokens& t) {
+    OspfConfig& ospf = cfg().ospf;
+    uint32_t process_id = 0;
+    if (!util::parse_uint32(t.next(), process_id) || process_id == 0) {
+      error(header, "router ospf requires a process id");
+      take_block();
+      return;
+    }
+    ospf.enabled = true;
+    ospf.process_id = process_id;
+    for (size_t i : take_block()) {
+      const Line& line = lines_[i];
+      Tokens lt(line);
+      std::string head = lt.next();
+      if (head == "router-id") {
+        auto id = net::Ipv4Address::parse(lt.next());
+        if (!id) error(line, "invalid router-id");
+        else ospf.router_id = *id;
+      } else if (head == "network") {
+        auto prefix = net::Ipv4Prefix::parse(lt.next());
+        if (!prefix) {
+          error(line, "invalid network prefix");
+          continue;
+        }
+        std::string area_kw = lt.next();
+        std::string area = lt.next();
+        if (area_kw != "area" || (area != "0" && area != "0.0.0.0")) {
+          error(line, "only area 0 is supported");
+          continue;
+        }
+        ospf.networks.push_back(*prefix);
+      } else if (head == "passive-interface") {
+        std::string name = lt.next();
+        if (name.empty()) error(line, "passive-interface requires a name");
+        else ospf.passive_interfaces.push_back(name);
+      } else if (head == "max-lsa" || head == "timers" || head == "log-adjacency-changes") {
+        // Accepted tuning knobs.
+      } else {
+        error(line, "% Invalid input: unknown ospf command '" + head + "'");
+      }
+    }
+  }
+
+  // -- router bgp -----------------------------------------------------------
+
+  void parse_router_bgp(const Line& header, Tokens& t) {
+    BgpConfig& bgp = cfg().bgp;
+    uint32_t asn = 0;
+    if (!util::parse_uint32(t.next(), asn) || asn == 0) {
+      error(header, "router bgp requires an AS number");
+      take_block();
+      return;
+    }
+    bgp.enabled = true;
+    bgp.local_as = asn;
+
+    for (size_t i : take_block()) {
+      const Line& line = lines_[i];
+      Tokens lt(line);
+      std::string head = lt.next();
+      if (head == "router-id") {
+        auto id = net::Ipv4Address::parse(lt.next());
+        if (!id) error(line, "invalid router-id");
+        else bgp.router_id = *id;
+      } else if (head == "neighbor") {
+        parse_bgp_neighbor_line(line, lt);
+      } else if (head == "network") {
+        auto prefix = net::Ipv4Prefix::parse(lt.next());
+        if (!prefix) {
+          error(line, "invalid network prefix");
+          continue;
+        }
+        BgpNetwork network{*prefix, std::nullopt};
+        if (lt.eat("route-map")) network.route_map = lt.next();
+        bgp.networks.push_back(network);
+      } else if (head == "redistribute") {
+        std::string what = lt.next();
+        if (what == "connected") bgp.redistribute_connected = true;
+        else if (what == "static") bgp.redistribute_static = true;
+        else error(line, "unsupported redistribute source '" + what + "'");
+      } else if (head == "bgp") {
+        std::string sub = lt.next();
+        if (sub == "default" && lt.peek() == "local-preference") {
+          lt.next();
+          uint32_t pref = 0;
+          if (util::parse_uint32(lt.next(), pref)) bgp.default_local_pref = pref;
+          else error(line, "invalid local-preference");
+        }
+        // other "bgp ..." knobs accepted.
+      } else if (head == "maximum-paths") {
+        uint32_t paths = 0;
+        if (!util::parse_uint32(lt.next(), paths) || paths == 0 || paths > 128)
+          error(line, "invalid maximum-paths");
+        else
+          bgp.maximum_paths = paths;
+      } else if (head == "timers" || head == "address-family" ||
+                 head == "graceful-restart" || head == "update" || head == "distance") {
+        // Accepted tuning knobs.
+      } else {
+        error(line, "% Invalid input: unknown bgp command '" + head + "'");
+      }
+    }
+  }
+
+  BgpNeighborConfig& neighbor_for(net::Ipv4Address peer) {
+    for (auto& n : cfg().bgp.neighbors)
+      if (n.peer == peer) return n;
+    cfg().bgp.neighbors.push_back(BgpNeighborConfig{});
+    cfg().bgp.neighbors.back().peer = peer;
+    return cfg().bgp.neighbors.back();
+  }
+
+  void parse_bgp_neighbor_line(const Line& line, Tokens& lt) {
+    auto peer = net::Ipv4Address::parse(lt.next());
+    if (!peer) {
+      error(line, "invalid neighbor address");
+      return;
+    }
+    BgpNeighborConfig& neighbor = neighbor_for(*peer);
+    std::string attr = lt.next();
+    if (attr == "remote-as") {
+      uint32_t asn = 0;
+      if (!util::parse_uint32(lt.next(), asn) || asn == 0)
+        error(line, "invalid remote-as");
+      else
+        neighbor.remote_as = asn;
+    } else if (attr == "route-map") {
+      std::string name = lt.next();
+      std::string direction = lt.next();
+      if (direction == "in") neighbor.route_map_in = name;
+      else if (direction == "out") neighbor.route_map_out = name;
+      else error(line, "route-map direction must be in|out");
+    } else if (attr == "next-hop-self") {
+      neighbor.next_hop_self = true;
+    } else if (attr == "update-source") {
+      neighbor.update_source = lt.next();
+    } else if (attr == "send-community") {
+      neighbor.send_community = true;
+    } else if (attr == "shutdown") {
+      neighbor.shutdown = true;
+    } else if (attr == "description") {
+      neighbor.description = lt.rest();
+    } else if (attr == "route-reflector-client") {
+      neighbor.route_reflector_client = true;
+    } else if (attr == "ebgp-multihop") {
+      uint32_t hops = 0;
+      if (!util::parse_uint32(lt.next(), hops) || hops == 0 || hops > 255)
+        error(line, "invalid ebgp-multihop");
+      else
+        neighbor.ebgp_multihop = static_cast<uint8_t>(hops);
+    } else if (attr == "timers" || attr == "password" || attr == "maximum-routes" ||
+               attr == "soft-reconfiguration") {
+      // Accepted session knobs.
+    } else {
+      error(line, "% Invalid input: unknown neighbor attribute '" + attr + "'");
+    }
+  }
+
+  // -- router traffic-engineering (RSVP-TE tunnels) --------------------------
+
+  void parse_router_te(const Line& header) {
+    (void)header;
+    cfg().mpls.enabled = true;
+    cfg().mpls.te_enabled = true;
+    TeTunnel* tunnel = nullptr;
+    for (size_t i : take_block()) {
+      const Line& line = lines_[i];
+      Tokens lt(line);
+      std::string head = lt.next();
+      if (head == "tunnel") {
+        cfg().mpls.tunnels.push_back(TeTunnel{});
+        tunnel = &cfg().mpls.tunnels.back();
+        tunnel->name = lt.next();
+        if (tunnel->name.empty()) error(line, "tunnel requires a name");
+      } else if (tunnel == nullptr) {
+        error(line, "traffic-engineering command outside tunnel");
+      } else if (head == "destination") {
+        auto dest = net::Ipv4Address::parse(lt.next());
+        if (!dest) error(line, "invalid tunnel destination");
+        else tunnel->destination = *dest;
+      } else if (head == "hop") {
+        auto hop = net::Ipv4Address::parse(lt.next());
+        if (!hop) error(line, "invalid explicit hop");
+        else tunnel->explicit_hops.push_back(*hop);
+      } else if (head == "priority") {
+        uint32_t setup = 0;
+        uint32_t hold = 0;
+        if (util::parse_uint32(lt.next(), setup) && util::parse_uint32(lt.next(), hold) &&
+            setup <= 7 && hold <= 7) {
+          tunnel->setup_priority = setup;
+          tunnel->hold_priority = hold;
+        } else {
+          error(line, "invalid priority (0-7 0-7)");
+        }
+      } else if (head == "bandwidth") {
+        uint64_t bps = 0;
+        if (util::parse_uint64(lt.next(), bps)) tunnel->bandwidth_bps = bps;
+        else error(line, "invalid bandwidth");
+      } else {
+        error(line, "% Invalid input: unknown tunnel command '" + head + "'");
+      }
+    }
+  }
+
+  // -- ip ... ----------------------------------------------------------------
+
+  void parse_ip_command(const Line& line, Tokens& t) {
+    std::string sub = t.next();
+    if (sub == "routing") {
+      // Always on in this model.
+    } else if (sub == "access-list") {
+      parse_access_list(line, t);
+    } else if (sub == "route") {
+      parse_static_route(line, t);
+    } else if (sub == "prefix-list") {
+      parse_prefix_list_line(line, t);
+    } else if (sub == "community-list") {
+      parse_community_list_line(line, t);
+    } else if (sub == "name-server" || sub == "domain-name" || sub == "host" ||
+               sub == "http" || sub == "ssh" || sub == "tacacs") {
+      ManagementFeature feature;
+      feature.name = "ip " + sub;
+      feature.lines.push_back(line.text);
+      cfg().management_features.push_back(std::move(feature));
+    } else {
+      error(line, "% Invalid input: unknown ip command '" + sub + "'");
+    }
+  }
+
+  void parse_access_list(const Line& header, Tokens& t) {
+    if (!t.eat("standard")) {
+      error(header, "only standard access-lists are supported");
+      take_block();
+      return;
+    }
+    std::string name = t.next();
+    if (name.empty()) {
+      error(header, "access-list requires a name");
+      take_block();
+      return;
+    }
+    Acl& acl = cfg().acls[name];
+    acl.name = name;
+    for (size_t i : take_block()) {
+      const Line& line = lines_[i];
+      Tokens lt(line);
+      AclEntry entry;
+      if (lt.eat("seq")) {
+        if (!util::parse_uint32(lt.next(), entry.seq)) {
+          error(line, "invalid access-list sequence");
+          continue;
+        }
+      }
+      std::string action = lt.next();
+      if (action == "permit") entry.permit = true;
+      else if (action == "deny") entry.permit = false;
+      else {
+        error(line, "access-list entry must be permit|deny");
+        continue;
+      }
+      std::string target = lt.next();
+      if (target == "any") {
+        entry.destination = net::Ipv4Prefix();
+      } else if (target == "host") {
+        auto address = net::Ipv4Address::parse(lt.next());
+        if (!address) {
+          error(line, "invalid host address");
+          continue;
+        }
+        entry.destination = net::Ipv4Prefix::host(*address);
+      } else if (auto prefix = net::Ipv4Prefix::parse(target)) {
+        entry.destination = *prefix;
+      } else {
+        error(line, "access-list entry requires any|host A.B.C.D|PREFIX");
+        continue;
+      }
+      if (entry.seq == 0) entry.seq = static_cast<uint32_t>(acl.entries.size() + 1) * 10;
+      acl.entries.push_back(entry);
+    }
+  }
+
+  void parse_static_route(const Line& line, Tokens& t) {
+    StaticRoute route;
+    if (t.eat("vrf")) {
+      route.vrf = t.next();
+      if (route.vrf.empty()) {
+        error(line, "ip route vrf requires a name");
+        return;
+      }
+    }
+    auto prefix = net::Ipv4Prefix::parse(t.next());
+    if (!prefix) {
+      error(line, "invalid static route prefix");
+      return;
+    }
+    route.prefix = *prefix;
+    std::string target = t.next();
+    if (target == "Null0" || target == "null0") {
+      route.null_route = true;
+    } else if (auto nh = net::Ipv4Address::parse(target)) {
+      route.next_hop = *nh;
+    } else if (!target.empty() && !(target[0] >= '0' && target[0] <= '9')) {
+      route.exit_interface = target;
+    } else {
+      error(line, "static route requires next-hop, interface, or Null0");
+      return;
+    }
+    if (!t.done()) {
+      uint32_t distance = 0;
+      if (!util::parse_uint32(t.next(), distance) || distance == 0 || distance > 255) {
+        error(line, "invalid administrative distance");
+        return;
+      }
+      route.distance = static_cast<uint8_t>(distance);
+    }
+    cfg().static_routes.push_back(route);
+  }
+
+  void parse_prefix_list_line(const Line& line, Tokens& t) {
+    std::string name = t.next();
+    if (name.empty()) {
+      error(line, "prefix-list requires a name");
+      return;
+    }
+    PrefixListEntry entry;
+    if (t.eat("seq")) {
+      if (!util::parse_uint32(t.next(), entry.seq)) {
+        error(line, "invalid prefix-list sequence");
+        return;
+      }
+    }
+    std::string action = t.next();
+    if (action == "permit") entry.permit = true;
+    else if (action == "deny") entry.permit = false;
+    else {
+      error(line, "prefix-list action must be permit|deny");
+      return;
+    }
+    auto prefix = net::Ipv4Prefix::parse(t.next());
+    if (!prefix) {
+      error(line, "invalid prefix-list prefix");
+      return;
+    }
+    entry.prefix = *prefix;
+    while (!t.done()) {
+      std::string kw = t.next();
+      uint32_t len = 0;
+      if ((kw != "ge" && kw != "le") || !util::parse_uint32(t.next(), len) || len > 32) {
+        error(line, "invalid prefix-list ge/le");
+        return;
+      }
+      if (kw == "ge") entry.ge = static_cast<uint8_t>(len);
+      else entry.le = static_cast<uint8_t>(len);
+    }
+    auto& list = cfg().prefix_lists[name];
+    list.name = name;
+    if (entry.seq == 0) entry.seq = static_cast<uint32_t>(list.entries.size() + 1) * 10;
+    list.entries.push_back(entry);
+  }
+
+  void parse_community_list_line(const Line& line, Tokens& t) {
+    if (!t.eat("standard")) {
+      error(line, "only standard community-lists are supported");
+      return;
+    }
+    std::string name = t.next();
+    if (name.empty() || !t.eat("permit")) {
+      error(line, "community-list requires: standard NAME permit COMM...");
+      return;
+    }
+    auto& list = cfg().community_lists[name];
+    list.name = name;
+    while (!t.done()) {
+      auto community = parse_community(t.next());
+      if (!community) {
+        error(line, "invalid community value");
+        return;
+      }
+      list.communities.push_back(*community);
+    }
+  }
+
+  // -- route-map --------------------------------------------------------------
+
+  void parse_route_map(const Line& header, Tokens& t) {
+    std::string name = t.next();
+    std::string action = t.next();
+    uint32_t seq = 0;
+    if (name.empty() || (action != "permit" && action != "deny") ||
+        !util::parse_uint32(t.next(), seq)) {
+      error(header, "route-map requires: NAME permit|deny SEQ");
+      take_block();
+      return;
+    }
+    auto& map = cfg().route_maps[name];
+    map.name = name;
+    map.clauses.push_back(RouteMapClause{});
+    RouteMapClause& clause = map.clauses.back();
+    clause.seq = seq;
+    clause.permit = action == "permit";
+
+    for (size_t i : take_block()) {
+      const Line& line = lines_[i];
+      Tokens lt(line);
+      std::string head = lt.next();
+      if (head == "match") {
+        std::string what = lt.next();
+        if (what == "ip" && lt.eat("address") && lt.eat("prefix-list")) {
+          clause.match_prefix_list = lt.next();
+        } else if (what == "community") {
+          clause.match_community_list = lt.next();
+        } else if (what == "metric") {
+          uint32_t med = 0;
+          if (util::parse_uint32(lt.next(), med)) clause.match_med = med;
+          else error(line, "invalid match metric");
+        } else {
+          error(line, "% Invalid input: unknown match condition");
+        }
+      } else if (head == "set") {
+        std::string what = lt.next();
+        if (what == "local-preference") {
+          uint32_t pref = 0;
+          if (util::parse_uint32(lt.next(), pref)) clause.set_local_pref = pref;
+          else error(line, "invalid local-preference");
+        } else if (what == "metric") {
+          uint32_t med = 0;
+          if (util::parse_uint32(lt.next(), med)) clause.set_med = med;
+          else error(line, "invalid metric");
+        } else if (what == "community") {
+          while (!lt.done()) {
+            std::string word = lt.next();
+            if (word == "additive") {
+              clause.additive_communities = true;
+            } else if (auto community = parse_community(word)) {
+              clause.set_communities.push_back(*community);
+            } else {
+              error(line, "invalid community value '" + word + "'");
+              break;
+            }
+          }
+        } else if (what == "as-path" && lt.eat("prepend")) {
+          uint32_t count = 0;
+          while (!lt.done() && util::parse_uint32(lt.peek(), count)) {
+            lt.next();
+            ++clause.prepend_count;
+          }
+          if (clause.prepend_count == 0) error(line, "as-path prepend requires AS numbers");
+        } else if (what == "ip" && lt.eat("next-hop")) {
+          auto nh = net::Ipv4Address::parse(lt.next());
+          if (nh) clause.set_next_hop = *nh;
+          else error(line, "invalid next-hop");
+        } else {
+          error(line, "% Invalid input: unknown set action");
+        }
+      } else {
+        error(line, "% Invalid input: unknown route-map command");
+      }
+    }
+  }
+
+  std::vector<Line> lines_;
+  size_t pos_ = 0;
+  CeosParseResult result_;
+};
+
+}  // namespace
+
+CeosParseResult parse_ceos(std::string_view text) { return CeosParser(text).run(); }
+
+}  // namespace mfv::config

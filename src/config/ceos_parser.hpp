@@ -1,0 +1,29 @@
+// Parser for the "ceos" dialect: a section/indent CLI configuration
+// language in the style of Arista EOS, the vendor used in the paper's
+// evaluation (§5, cEOS 4.34.0F).
+//
+// This parser plays the role of the *vendor implementation*: it accepts the
+// full feature set a real device accepts — including management daemons,
+// gRPC/gNMI services, SSL profiles, MPLS and MPLS-TE — and, like a router
+// CLI, rejects genuinely invalid commands with an error ("% Invalid input")
+// while still loading the rest of the configuration. Contrast with
+// mfv::model::ReferenceParser, the deliberately partial model-based parser.
+#pragma once
+
+#include <string_view>
+
+#include "config/device_config.hpp"
+#include "config/diagnostics.hpp"
+
+namespace mfv::config {
+
+struct CeosParseResult {
+  DeviceConfig config;
+  DiagnosticList diagnostics;
+  int total_lines = 0;  // non-blank, non-comment lines seen
+};
+
+/// Parses a full ceos configuration file.
+CeosParseResult parse_ceos(std::string_view text);
+
+}  // namespace mfv::config

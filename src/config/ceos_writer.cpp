@@ -1,0 +1,231 @@
+#include "config/ceos_writer.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace mfv::config {
+namespace {
+
+void emit_interface(std::string& out, const InterfaceConfig& iface,
+                    const CeosWriterOptions& options) {
+  out += "interface " + iface.name + "\n";
+  if (iface.description) out += "   description " + *iface.description + "\n";
+  if (!iface.vrf.empty()) out += "   vrf " + iface.vrf + "\n";
+  auto emit_address = [&] {
+    if (iface.address) out += "   ip address " + iface.address->to_string() + "\n";
+  };
+  auto emit_switchport = [&] {
+    if (!iface.is_loopback()) {
+      if (!iface.switchport) out += "   no switchport\n";
+      else out += "   switchport\n";
+    }
+  };
+  // Both orders are valid on the device; see CeosWriterOptions.
+  if (options.address_before_switchport) {
+    emit_address();
+    emit_switchport();
+  } else {
+    emit_switchport();
+    emit_address();
+  }
+  if (iface.shutdown) out += "   shutdown\n";
+  if (iface.isis_enabled) {
+    out += "   isis enable " +
+           (iface.isis_instance.empty() ? std::string("default") : iface.isis_instance) + "\n";
+    if (iface.isis_passive) out += "   isis passive-interface default\n";
+    if (iface.isis_metric != 10)
+      out += "   isis metric " + std::to_string(iface.isis_metric) + "\n";
+  }
+  if (iface.ospf_cost != 10) out += "   ip ospf cost " + std::to_string(iface.ospf_cost) + "\n";
+  if (iface.mpls_enabled) out += "   mpls ip\n";
+  if (iface.acl_in) out += "   ip access-group " + *iface.acl_in + " in\n";
+  if (iface.acl_out) out += "   ip access-group " + *iface.acl_out + " out\n";
+  out += "!\n";
+}
+
+void emit_acls(std::string& out, const DeviceConfig& config) {
+  for (const auto& [name, acl] : config.acls) {
+    out += "ip access-list standard " + name + "\n";
+    for (const AclEntry& entry : acl.entries) {
+      out += "   seq " + std::to_string(entry.seq) + " " +
+             (entry.permit ? "permit " : "deny ");
+      if (entry.destination == net::Ipv4Prefix()) out += "any";
+      else if (entry.destination.length() == 32)
+        out += "host " + entry.destination.address().to_string();
+      else out += entry.destination.to_string();
+      out += "\n";
+    }
+    out += "!\n";
+  }
+}
+
+void emit_isis(std::string& out, const IsisConfig& isis) {
+  if (!isis.enabled) return;
+  out += "router isis " + isis.instance + "\n";
+  if (!isis.net.empty()) out += "   net " + isis.net + "\n";
+  switch (isis.level) {
+    case IsisLevel::kLevel1: out += "   is-type level-1\n"; break;
+    case IsisLevel::kLevel2: out += "   is-type level-2\n"; break;
+    case IsisLevel::kLevel12: out += "   is-type level-1-2\n"; break;
+  }
+  if (isis.af_ipv4_unicast) out += "   address-family ipv4 unicast\n";
+  out += "!\n";
+}
+
+void emit_ospf(std::string& out, const OspfConfig& ospf) {
+  if (!ospf.enabled) return;
+  out += "router ospf " + std::to_string(ospf.process_id) + "\n";
+  if (ospf.router_id) out += "   router-id " + ospf.router_id->to_string() + "\n";
+  for (const auto& network : ospf.networks)
+    out += "   network " + network.to_string() + " area 0\n";
+  for (const auto& passive : ospf.passive_interfaces)
+    out += "   passive-interface " + passive + "\n";
+  out += "!\n";
+}
+
+void emit_bgp(std::string& out, const BgpConfig& bgp) {
+  if (!bgp.enabled) return;
+  out += "router bgp " + std::to_string(bgp.local_as) + "\n";
+  if (bgp.router_id) out += "   router-id " + bgp.router_id->to_string() + "\n";
+  if (bgp.default_local_pref != 100)
+    out += "   bgp default local-preference " + std::to_string(bgp.default_local_pref) + "\n";
+  if (bgp.maximum_paths > 1)
+    out += "   maximum-paths " + std::to_string(bgp.maximum_paths) + "\n";
+  for (const auto& n : bgp.neighbors) {
+    std::string peer = n.peer.to_string();
+    out += "   neighbor " + peer + " remote-as " + std::to_string(n.remote_as) + "\n";
+    if (n.description) out += "   neighbor " + peer + " description " + *n.description + "\n";
+    if (n.update_source) out += "   neighbor " + peer + " update-source " + *n.update_source + "\n";
+    if (n.next_hop_self) out += "   neighbor " + peer + " next-hop-self\n";
+    if (n.route_reflector_client)
+      out += "   neighbor " + peer + " route-reflector-client\n";
+    if (n.send_community) out += "   neighbor " + peer + " send-community\n";
+    if (n.ebgp_multihop > 1)
+      out += "   neighbor " + peer + " ebgp-multihop " + std::to_string(n.ebgp_multihop) + "\n";
+    if (n.route_map_in) out += "   neighbor " + peer + " route-map " + *n.route_map_in + " in\n";
+    if (n.route_map_out) out += "   neighbor " + peer + " route-map " + *n.route_map_out + " out\n";
+    if (n.shutdown) out += "   neighbor " + peer + " shutdown\n";
+  }
+  for (const auto& network : bgp.networks) {
+    out += "   network " + network.prefix.to_string();
+    if (network.route_map) out += " route-map " + *network.route_map;
+    out += "\n";
+  }
+  if (bgp.redistribute_connected) out += "   redistribute connected\n";
+  if (bgp.redistribute_static) out += "   redistribute static\n";
+  out += "!\n";
+}
+
+void emit_policy(std::string& out, const DeviceConfig& config) {
+  for (const auto& [name, list] : config.prefix_lists) {
+    for (const auto& entry : list.entries) {
+      out += "ip prefix-list " + name + " seq " + std::to_string(entry.seq) + " " +
+             (entry.permit ? "permit " : "deny ") + entry.prefix.to_string();
+      if (entry.ge != 0) out += " ge " + std::to_string(entry.ge);
+      if (entry.le != 0) out += " le " + std::to_string(entry.le);
+      out += "\n";
+    }
+  }
+  for (const auto& [name, list] : config.community_lists) {
+    out += "ip community-list standard " + name + " permit";
+    for (Community c : list.communities) out += " " + community_to_string(c);
+    out += "\n";
+  }
+  if (!config.prefix_lists.empty() || !config.community_lists.empty()) out += "!\n";
+
+  for (const auto& [name, map] : config.route_maps) {
+    for (const auto& clause : map.clauses) {
+      out += "route-map " + name + (clause.permit ? " permit " : " deny ") +
+             std::to_string(clause.seq) + "\n";
+      if (clause.match_prefix_list)
+        out += "   match ip address prefix-list " + *clause.match_prefix_list + "\n";
+      if (clause.match_community_list)
+        out += "   match community " + *clause.match_community_list + "\n";
+      if (clause.match_med) out += "   match metric " + std::to_string(*clause.match_med) + "\n";
+      if (clause.set_local_pref)
+        out += "   set local-preference " + std::to_string(*clause.set_local_pref) + "\n";
+      if (clause.set_med) out += "   set metric " + std::to_string(*clause.set_med) + "\n";
+      if (!clause.set_communities.empty()) {
+        out += "   set community";
+        for (Community c : clause.set_communities) out += " " + community_to_string(c);
+        if (clause.additive_communities) out += " additive";
+        out += "\n";
+      }
+      if (clause.prepend_count > 0) {
+        out += "   set as-path prepend";
+        for (uint32_t i = 0; i < clause.prepend_count; ++i) out += " 0";
+        out += "\n";
+      }
+      if (clause.set_next_hop) out += "   set ip next-hop " + clause.set_next_hop->to_string() + "\n";
+      out += "!\n";
+    }
+  }
+}
+
+void emit_statics(std::string& out, const DeviceConfig& config) {
+  for (const auto& route : config.static_routes) {
+    out += "ip route ";
+    if (!route.vrf.empty()) out += "vrf " + route.vrf + " ";
+    out += route.prefix.to_string() + " ";
+    if (route.null_route) out += "Null0";
+    else if (route.next_hop) out += route.next_hop->to_string();
+    else if (route.exit_interface) out += *route.exit_interface;
+    if (route.distance != 1) out += " " + std::to_string(route.distance);
+    out += "\n";
+  }
+  if (!config.static_routes.empty()) out += "!\n";
+}
+
+void emit_mpls(std::string& out, const MplsConfig& mpls) {
+  if (!mpls.enabled) return;
+  out += "mpls ip\n";
+  if (mpls.te_enabled) out += "mpls traffic-engineering\n";
+  out += "!\n";
+  if (!mpls.tunnels.empty()) {
+    out += "router traffic-engineering\n";
+    for (const auto& tunnel : mpls.tunnels) {
+      out += "   tunnel " + tunnel.name + "\n";
+      out += "   destination " + tunnel.destination.to_string() + "\n";
+      for (const auto& hop : tunnel.explicit_hops) out += "   hop " + hop.to_string() + "\n";
+      if (tunnel.setup_priority != 7 || tunnel.hold_priority != 7)
+        out += "   priority " + std::to_string(tunnel.setup_priority) + " " +
+               std::to_string(tunnel.hold_priority) + "\n";
+      if (tunnel.bandwidth_bps != 0)
+        out += "   bandwidth " + std::to_string(tunnel.bandwidth_bps) + "\n";
+    }
+    out += "!\n";
+  }
+}
+
+}  // namespace
+
+std::string write_ceos(const DeviceConfig& config, const CeosWriterOptions& options) {
+  std::string out;
+  out += "hostname " + config.hostname + "\n!\n";
+  if (options.include_management) {
+    for (const auto& feature : config.management_features) {
+      bool first = true;
+      for (const auto& line : feature.lines) {
+        out += (first ? "" : "   ") + line + "\n";
+        first = false;
+      }
+      out += "!\n";
+    }
+  }
+  out += "ip routing\n!\n";
+  for (const std::string& vrf : config.vrfs) out += "vrf instance " + vrf + "\n!\n";
+  emit_acls(out, config);
+  for (const auto& [name, iface] : config.interfaces)
+    emit_interface(out, iface, options);
+  emit_isis(out, config.isis);
+  emit_ospf(out, config.ospf);
+  emit_mpls(out, config.mpls);
+  emit_bgp(out, config.bgp);
+  emit_policy(out, config);
+  emit_statics(out, config);
+  out += "end\n";
+  return out;
+}
+
+}  // namespace mfv::config

@@ -1,0 +1,29 @@
+// Emits ceos-dialect configuration text from the semantic model.
+//
+// Used by the workload generator (mfv::workload) to produce
+// production-complexity configs, and by round-trip property tests
+// (parse(write(cfg)) == cfg).
+#pragma once
+
+#include <string>
+
+#include "config/device_config.hpp"
+
+namespace mfv::config {
+
+struct CeosWriterOptions {
+  /// Emit the management-feature blocks stored in the config (daemons,
+  /// gNMI, SSL profiles...). These are the lines a model-based parser
+  /// cannot recognize (experiment E2).
+  bool include_management = true;
+  /// Emit "ip address" BEFORE "no switchport" inside interface blocks.
+  /// Both orders are valid on the real device; canonical running-config
+  /// output uses switchport-first (the default here). The reversed order
+  /// reproduces the hand-written config of the paper's Fig. 3 that trips
+  /// the reference model's ordering assumption (issue #1).
+  bool address_before_switchport = false;
+};
+
+std::string write_ceos(const DeviceConfig& config, const CeosWriterOptions& options = {});
+
+}  // namespace mfv::config

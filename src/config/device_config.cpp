@@ -1,0 +1,47 @@
+#include "config/device_config.hpp"
+
+#include "util/strings.hpp"
+
+namespace mfv::config {
+
+std::string vendor_name(Vendor vendor) {
+  switch (vendor) {
+    case Vendor::kCeos: return "ceos";
+    case Vendor::kVjun: return "vjun";
+  }
+  return "unknown";
+}
+
+std::string community_to_string(Community community) {
+  return std::to_string(community >> 16) + ":" + std::to_string(community & 0xFFFF);
+}
+
+std::optional<Community> parse_community(std::string_view text) {
+  size_t colon = text.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  uint32_t asn = 0;
+  uint32_t value = 0;
+  if (!util::parse_uint32(text.substr(0, colon), asn) ||
+      !util::parse_uint32(text.substr(colon + 1), value))
+    return std::nullopt;
+  if (asn > 0xFFFF || value > 0xFFFF) return std::nullopt;
+  return make_community(static_cast<uint16_t>(asn), static_cast<uint16_t>(value));
+}
+
+std::optional<net::RouterId> DeviceConfig::effective_router_id() const {
+  if (bgp.router_id) return bgp.router_id;
+  std::optional<net::RouterId> best;
+  // Highest loopback wins; fall back to highest interface address.
+  for (const auto& [name, iface] : interfaces) {
+    if (!iface.address || !iface.is_loopback()) continue;
+    if (!best || iface.address->address > *best) best = iface.address->address;
+  }
+  if (best) return best;
+  for (const auto& [name, iface] : interfaces) {
+    if (!iface.address) continue;
+    if (!best || iface.address->address > *best) best = iface.address->address;
+  }
+  return best;
+}
+
+}  // namespace mfv::config

@@ -1,0 +1,331 @@
+// Semantic device configuration model (the IR shared by all dialects).
+//
+// Vendor dialect parsers (ceos_parser, vjun_parser) translate native
+// config text into this structure; the virtual-router control plane
+// (mfv::vrouter) consumes it. The *model-based* baseline in mfv::model
+// deliberately does NOT use these parsers — it has its own partial parser,
+// mirroring how Batfish maintains an independent parsing layer (§2 of the
+// paper).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/types.hpp"
+
+namespace mfv::config {
+
+enum class Vendor {
+  kCeos,  // section/indent CLI dialect (Arista-EOS-flavored)
+  kVjun,  // hierarchical brace dialect (Junos-flavored)
+};
+
+std::string vendor_name(Vendor vendor);
+
+// ---------------------------------------------------------------------------
+// Interfaces
+
+struct InterfaceConfig {
+  net::InterfaceName name;
+  std::optional<net::InterfaceAddress> address;
+  /// ceos semantics: Ethernet interfaces default to L2 switchport; "no
+  /// switchport" makes them routed. Loopbacks are always routed. The real
+  /// router accepts "ip address" in any order relative to "no switchport"
+  /// (the ordering assumption is a *model* bug — Fig. 3 issue #1).
+  bool switchport = false;
+  bool shutdown = false;
+  std::optional<std::string> description;
+
+  bool isis_enabled = false;
+  std::string isis_instance;  // e.g. "default"
+  bool isis_passive = false;
+  uint32_t isis_metric = 10;
+
+  /// OSPF link cost (participation comes from OspfConfig::networks).
+  uint32_t ospf_cost = 10;
+
+  bool mpls_enabled = false;
+
+  /// Packet filters applied to traffic entering / leaving this interface.
+  std::optional<std::string> acl_in;
+  std::optional<std::string> acl_out;
+
+  /// VRF binding; empty = the default instance. Interfaces in a non-default
+  /// VRF have their connected routes isolated in that instance and do not
+  /// participate in the default-instance routing protocols (the classic
+  /// management-VRF pattern).
+  std::string vrf;
+
+  bool is_loopback() const { return name.rfind("Loopback", 0) == 0 || name.rfind("lo", 0) == 0; }
+
+  /// True if this interface can hold an L3 address and participate in
+  /// routing: loopbacks always; others unless operating as L2 switchport.
+  bool routed() const { return is_loopback() || !switchport; }
+};
+
+// ---------------------------------------------------------------------------
+// IS-IS
+
+enum class IsisLevel { kLevel1, kLevel2, kLevel12 };
+
+struct IsisConfig {
+  bool enabled = false;
+  std::string instance = "default";
+  /// ISO NET, e.g. "49.0001.1010.1040.1030.00". The system-id portion
+  /// (middle 6 bytes) must be unique per router.
+  std::string net;
+  IsisLevel level = IsisLevel::kLevel2;
+  bool af_ipv4_unicast = false;
+  /// Redistribute everything passive interfaces cover; always true on the
+  /// emulated router (matches EOS defaults for passive loopbacks).
+  bool advertise_passive = true;
+};
+
+// ---------------------------------------------------------------------------
+// OSPF (v2, single area 0, point-to-point links)
+
+struct OspfConfig {
+  bool enabled = false;
+  uint32_t process_id = 1;
+  std::optional<net::RouterId> router_id;
+  /// Classic network-statement attachment: an interface participates when
+  /// its address falls inside one of these prefixes (all area 0).
+  std::vector<net::Ipv4Prefix> networks;
+  /// Interfaces that advertise their subnet but form no adjacency.
+  /// Loopbacks are implicitly passive.
+  std::vector<net::InterfaceName> passive_interfaces;
+
+  bool covers(net::Ipv4Address address) const {
+    for (const net::Ipv4Prefix& network : networks)
+      if (network.contains(address)) return true;
+    return false;
+  }
+  bool is_passive(const net::InterfaceName& name) const {
+    for (const net::InterfaceName& passive : passive_interfaces)
+      if (passive == name) return true;
+    return false;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// BGP
+
+struct BgpNeighborConfig {
+  net::Ipv4Address peer;
+  net::AsNumber remote_as = 0;
+  std::optional<std::string> route_map_in;
+  std::optional<std::string> route_map_out;
+  bool next_hop_self = false;
+  /// Interface whose address sources the session (typically Loopback0 for
+  /// iBGP). Empty means the egress interface address is used.
+  std::optional<net::InterfaceName> update_source;
+  bool send_community = false;
+  bool shutdown = false;
+  std::optional<std::string> description;
+  /// eBGP sessions between non-adjacent addresses require multihop.
+  uint8_t ebgp_multihop = 1;
+  /// iBGP route reflection: routes from this client are reflected to all
+  /// iBGP peers, and routes from non-clients are reflected to clients —
+  /// lifting the full-mesh requirement (RFC 4456 semantics, without
+  /// cluster-list loop detection at this model's scale).
+  bool route_reflector_client = false;
+};
+
+struct BgpNetwork {
+  net::Ipv4Prefix prefix;
+  std::optional<std::string> route_map;
+};
+
+struct BgpConfig {
+  bool enabled = false;
+  net::AsNumber local_as = 0;
+  std::optional<net::RouterId> router_id;
+  std::vector<BgpNeighborConfig> neighbors;
+  std::vector<BgpNetwork> networks;
+  bool redistribute_connected = false;
+  bool redistribute_static = false;
+  uint32_t default_local_pref = 100;
+  /// BGP multipath: install up to this many equal candidates (equal through
+  /// the IGP-metric step of the decision process) as an ECMP set.
+  uint32_t maximum_paths = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Policy (route-maps + prefix-lists + community-lists)
+
+struct PrefixListEntry {
+  uint32_t seq = 0;
+  bool permit = true;
+  net::Ipv4Prefix prefix;
+  /// Optional ge/le length bounds (0 = unset; standard semantics).
+  uint8_t ge = 0;
+  uint8_t le = 0;
+
+  bool matches(const net::Ipv4Prefix& candidate) const {
+    if (!prefix.contains(candidate)) return false;
+    uint8_t lo = ge != 0 ? ge : prefix.length();
+    uint8_t hi = le != 0 ? le : (ge != 0 ? 32 : prefix.length());
+    return candidate.length() >= lo && candidate.length() <= hi;
+  }
+};
+
+struct PrefixList {
+  std::string name;
+  std::vector<PrefixListEntry> entries;
+
+  /// First matching entry decides; no match => deny (standard semantics).
+  bool permits(const net::Ipv4Prefix& candidate) const {
+    for (const auto& entry : entries)
+      if (entry.matches(candidate)) return entry.permit;
+    return false;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Access lists (destination-prefix packet filters)
+
+struct AclEntry {
+  uint32_t seq = 0;
+  bool permit = true;
+  /// Destination match; 0.0.0.0/0 = "any".
+  net::Ipv4Prefix destination;
+};
+
+struct Acl {
+  std::string name;
+  std::vector<AclEntry> entries;
+
+  /// First matching entry decides; no match = implicit deny.
+  bool permits(net::Ipv4Address destination) const {
+    for (const AclEntry& entry : entries)
+      if (entry.destination.contains(destination)) return entry.permit;
+    return false;
+  }
+};
+
+/// Standard community encoded as 32-bit (asn << 16 | value).
+using Community = uint32_t;
+
+inline Community make_community(uint16_t asn, uint16_t value) {
+  return (uint32_t(asn) << 16) | value;
+}
+std::string community_to_string(Community community);
+std::optional<Community> parse_community(std::string_view text);
+
+struct CommunityList {
+  std::string name;
+  std::vector<Community> communities;  // matches if route has any of these
+};
+
+struct RouteMapClause {
+  uint32_t seq = 10;
+  bool permit = true;
+
+  // Match conditions (all present conditions must hold).
+  std::optional<std::string> match_prefix_list;
+  std::optional<std::string> match_community_list;
+  std::optional<uint32_t> match_med;
+
+  // Set actions (applied if the clause matches and permits).
+  std::optional<uint32_t> set_local_pref;
+  std::optional<uint32_t> set_med;
+  std::vector<Community> set_communities;
+  bool additive_communities = false;
+  uint32_t prepend_count = 0;  // prepend own AS N extra times
+  std::optional<net::Ipv4Address> set_next_hop;
+};
+
+struct RouteMap {
+  std::string name;
+  std::vector<RouteMapClause> clauses;  // evaluated in seq order
+};
+
+// ---------------------------------------------------------------------------
+// Static routes & MPLS
+
+struct StaticRoute {
+  net::Ipv4Prefix prefix;
+  /// Exactly one of next_hop / exit_interface / null_route.
+  std::optional<net::Ipv4Address> next_hop;
+  std::optional<net::InterfaceName> exit_interface;
+  bool null_route = false;
+  uint8_t distance = 1;
+  /// VRF the route lives in; empty = default instance.
+  std::string vrf;
+};
+
+struct TeTunnel {
+  std::string name;
+  net::Ipv4Address destination;       // tail-end router-id
+  std::vector<net::Ipv4Address> explicit_hops;  // optional ERO
+  uint32_t setup_priority = 7;
+  uint32_t hold_priority = 7;
+  uint64_t bandwidth_bps = 0;
+};
+
+struct MplsConfig {
+  bool enabled = false;
+  bool te_enabled = false;
+  std::vector<TeTunnel> tunnels;
+};
+
+// ---------------------------------------------------------------------------
+// Management-plane features.
+//
+// These are the configuration lines the paper found Batfish flags as
+// unrecognized but that a real router accepts: management daemons
+// (PowerManager, LedPolicy, Thermostat...), management APIs (gRPC, gNMI),
+// SSL profiles, etc. They have no dataplane effect but the emulated router
+// must *accept* them — feature coverage is exactly what E2 measures.
+
+struct ManagementFeature {
+  std::string name;          // e.g. "gnmi", "daemon PowerManager"
+  std::vector<std::string> lines;  // raw accepted config lines
+};
+
+// ---------------------------------------------------------------------------
+
+struct DeviceConfig {
+  net::NodeName hostname;
+  Vendor vendor = Vendor::kCeos;
+
+  std::map<net::InterfaceName, InterfaceConfig> interfaces;
+  IsisConfig isis;
+  OspfConfig ospf;
+  BgpConfig bgp;
+  std::vector<StaticRoute> static_routes;
+  std::map<std::string, RouteMap> route_maps;
+  std::map<std::string, PrefixList> prefix_lists;
+  std::map<std::string, CommunityList> community_lists;
+  std::map<std::string, Acl> acls;
+  /// Declared non-default VRF instances.
+  std::vector<std::string> vrfs;
+  MplsConfig mpls;
+
+  bool has_vrf(const std::string& name) const {
+    for (const std::string& vrf : vrfs)
+      if (vrf == name) return true;
+    return false;
+  }
+  std::vector<ManagementFeature> management_features;
+
+  const InterfaceConfig* find_interface(const net::InterfaceName& name) const {
+    auto it = interfaces.find(name);
+    return it == interfaces.end() ? nullptr : &it->second;
+  }
+  InterfaceConfig& interface(const net::InterfaceName& name) {
+    auto [it, inserted] = interfaces.try_emplace(name);
+    if (inserted) it->second.name = name;
+    return it->second;
+  }
+
+  /// The address a router uses as its identity: explicit BGP router-id,
+  /// else highest loopback address, else highest interface address.
+  std::optional<net::RouterId> effective_router_id() const;
+};
+
+}  // namespace mfv::config

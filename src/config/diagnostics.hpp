@@ -1,0 +1,51 @@
+// Parser diagnostics shared by the vendor dialects and the model-based
+// baseline parser. The baseline's "unrecognized line" diagnostics are the
+// measurement underlying experiment E2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mfv::config {
+
+enum class DiagnosticSeverity {
+  kError,         // line rejected; config invalid on a real device
+  kUnrecognized,  // line silently ignored (model-based parser coverage gap)
+  kWarning,       // accepted but suspicious
+};
+
+struct ParseDiagnostic {
+  DiagnosticSeverity severity = DiagnosticSeverity::kWarning;
+  int line_number = 0;  // 1-based
+  std::string line;     // offending text (trimmed)
+  std::string message;
+
+  std::string to_string() const {
+    const char* tag = severity == DiagnosticSeverity::kError          ? "error"
+                      : severity == DiagnosticSeverity::kUnrecognized ? "unrecognized"
+                                                                      : "warning";
+    return std::string(tag) + " at line " + std::to_string(line_number) + ": " + message +
+           " [" + line + "]";
+  }
+};
+
+struct DiagnosticList {
+  std::vector<ParseDiagnostic> items;
+
+  void add(DiagnosticSeverity severity, int line_number, std::string line,
+           std::string message) {
+    items.push_back({severity, line_number, std::move(line), std::move(message)});
+  }
+
+  size_t count(DiagnosticSeverity severity) const {
+    size_t n = 0;
+    for (const auto& d : items)
+      if (d.severity == severity) ++n;
+    return n;
+  }
+  size_t error_count() const { return count(DiagnosticSeverity::kError); }
+  size_t unrecognized_count() const { return count(DiagnosticSeverity::kUnrecognized); }
+  bool has_errors() const { return error_count() > 0; }
+};
+
+}  // namespace mfv::config

@@ -1,0 +1,67 @@
+#include "config/dialect.hpp"
+
+#include "config/ceos_parser.hpp"
+#include "config/ceos_writer.hpp"
+#include "config/vjun_parser.hpp"
+#include "config/vjun_writer.hpp"
+#include "util/strings.hpp"
+
+namespace mfv::config {
+
+Vendor detect_vendor(std::string_view text) {
+  // vjun configs open a brace on the first content line; ceos never uses
+  // braces.
+  for (std::string_view raw : util::split(text, '\n')) {
+    std::string_view line = util::trim(raw);
+    if (line.empty() || line[0] == '!' || line[0] == '#') continue;
+    if (line.find('{') != std::string_view::npos || util::ends_with(line, ";"))
+      return Vendor::kVjun;
+    return Vendor::kCeos;
+  }
+  return Vendor::kCeos;
+}
+
+ParseResult parse_config(std::string_view text, Vendor vendor) {
+  ParseResult result;
+  switch (vendor) {
+    case Vendor::kCeos: {
+      CeosParseResult ceos = parse_ceos(text);
+      result.config = std::move(ceos.config);
+      result.diagnostics = std::move(ceos.diagnostics);
+      result.total_lines = ceos.total_lines;
+      result.config.vendor = Vendor::kCeos;
+      break;
+    }
+    case Vendor::kVjun: {
+      VjunParseResult vjun = parse_vjun(text);
+      result.config = std::move(vjun.config);
+      result.diagnostics = std::move(vjun.diagnostics);
+      result.total_lines = vjun.total_lines;
+      result.config.vendor = Vendor::kVjun;
+      break;
+    }
+  }
+  return result;
+}
+
+ParseResult parse_config(std::string_view text) {
+  return parse_config(text, detect_vendor(text));
+}
+
+std::string write_config(const DeviceConfig& config, bool include_management) {
+  switch (config.vendor) {
+    case Vendor::kCeos: {
+      CeosWriterOptions options;
+      options.include_management = include_management;
+      return write_ceos(config, options);
+    }
+    case Vendor::kVjun: {
+      VjunWriterOptions options;
+      options.include_management = include_management;
+      return write_vjun(config, options);
+    }
+  }
+  return {};
+}
+
+}  // namespace mfv::config

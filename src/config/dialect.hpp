@@ -1,0 +1,31 @@
+// Vendor-dialect dispatch: parse or emit a configuration in any supported
+// dialect, with auto-detection from the text shape.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "config/device_config.hpp"
+#include "config/diagnostics.hpp"
+
+namespace mfv::config {
+
+struct ParseResult {
+  DeviceConfig config;
+  DiagnosticList diagnostics;
+  int total_lines = 0;
+};
+
+/// Guesses the dialect: brace-structured text is vjun, otherwise ceos.
+Vendor detect_vendor(std::string_view text);
+
+/// Parses `text` in the given dialect.
+ParseResult parse_config(std::string_view text, Vendor vendor);
+
+/// Parses with auto-detection.
+ParseResult parse_config(std::string_view text);
+
+/// Emits `config` in its own dialect (config.vendor).
+std::string write_config(const DeviceConfig& config, bool include_management = true);
+
+}  // namespace mfv::config

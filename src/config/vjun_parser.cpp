@@ -1,0 +1,709 @@
+#include "config/vjun_parser.hpp"
+
+#include "util/strings.hpp"
+
+namespace mfv::config {
+
+std::string VjunStatement::text() const { return util::join(words, " "); }
+
+const VjunStatement* VjunStatement::child(std::string_view first_word) const {
+  for (const auto& c : children)
+    if (!c.words.empty() && c.words[0] == first_word) return &c;
+  return nullptr;
+}
+
+namespace {
+
+struct Token {
+  enum class Kind { kWord, kOpenBrace, kCloseBrace, kSemicolon } kind;
+  std::string word;
+  int line = 0;
+};
+
+std::vector<Token> tokenize(std::string_view text, int& total_lines) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  bool line_has_content = false;
+  total_lines = 0;
+  auto flush_line = [&] {
+    if (line_has_content) ++total_lines;
+    line_has_content = false;
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '\n') {
+      flush_line();
+      ++line;
+      ++i;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+    } else if (c == '#') {  // comment to end of line
+      while (i < text.size() && text[i] != '\n') ++i;
+    } else if (c == '{') {
+      tokens.push_back({Token::Kind::kOpenBrace, "{", line});
+      line_has_content = true;
+      ++i;
+    } else if (c == '}') {
+      tokens.push_back({Token::Kind::kCloseBrace, "}", line});
+      line_has_content = true;
+      ++i;
+    } else if (c == ';') {
+      tokens.push_back({Token::Kind::kSemicolon, ";", line});
+      line_has_content = true;
+      ++i;
+    } else if (c == '"') {
+      size_t end = text.find('"', i + 1);
+      if (end == std::string_view::npos) end = text.size();
+      tokens.push_back({Token::Kind::kWord, std::string(text.substr(i + 1, end - i - 1)), line});
+      line_has_content = true;
+      i = end + 1;
+    } else {
+      size_t start = i;
+      while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i])) &&
+             text[i] != '{' && text[i] != '}' && text[i] != ';' && text[i] != '#')
+        ++i;
+      tokens.push_back({Token::Kind::kWord, std::string(text.substr(start, i - start)), line});
+      line_has_content = true;
+    }
+  }
+  flush_line();
+  return tokens;
+}
+
+class TreeParser {
+ public:
+  TreeParser(std::vector<Token> tokens, DiagnosticList& diagnostics)
+      : tokens_(std::move(tokens)), diagnostics_(diagnostics) {}
+
+  std::vector<VjunStatement> run() {
+    std::vector<VjunStatement> roots = parse_block(/*depth=*/0);
+    if (pos_ < tokens_.size())
+      diagnostics_.add(DiagnosticSeverity::kError, tokens_[pos_].line, tokens_[pos_].word,
+                       "unexpected '}' at top level");
+    return roots;
+  }
+
+ private:
+  std::vector<VjunStatement> parse_block(int depth) {
+    std::vector<VjunStatement> statements;
+    std::vector<std::string> words;
+    int first_line = 0;
+    auto reset = [&] {
+      words.clear();
+      first_line = 0;
+    };
+    while (pos_ < tokens_.size()) {
+      const Token& token = tokens_[pos_];
+      switch (token.kind) {
+        case Token::Kind::kWord:
+          if (words.empty()) first_line = token.line;
+          words.push_back(token.word);
+          ++pos_;
+          break;
+        case Token::Kind::kSemicolon: {
+          ++pos_;
+          if (words.empty()) break;  // stray ';' tolerated
+          VjunStatement leaf;
+          leaf.words = words;
+          leaf.line_number = first_line;
+          statements.push_back(std::move(leaf));
+          reset();
+          break;
+        }
+        case Token::Kind::kOpenBrace: {
+          ++pos_;
+          if (words.empty()) {
+            diagnosticError(token, "'{' without a statement keyword");
+            parse_block(depth + 1);  // skip the orphan block
+            break;
+          }
+          VjunStatement node;
+          node.words = words;
+          node.line_number = first_line;
+          node.children = parse_block(depth + 1);
+          statements.push_back(std::move(node));
+          reset();
+          break;
+        }
+        case Token::Kind::kCloseBrace:
+          if (depth == 0) return statements;  // caller reports the error
+          ++pos_;
+          if (!words.empty())
+            diagnosticError(token, "statement '" + util::join(words, " ") +
+                                       "' missing ';' before '}'");
+          return statements;
+      }
+    }
+    if (depth > 0 && !tokens_.empty())
+      diagnosticError(tokens_.back(), "missing '}' at end of input");
+    if (!words.empty() && !tokens_.empty())
+      diagnosticError(tokens_.back(),
+                      "statement '" + util::join(words, " ") + "' missing ';'");
+    return statements;
+  }
+
+  void diagnosticError(const Token& token, std::string message) {
+    diagnostics_.add(DiagnosticSeverity::kError, token.line, token.word, std::move(message));
+  }
+
+  std::vector<Token> tokens_;
+  DiagnosticList& diagnostics_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Semantic binding: statement tree -> DeviceConfig
+
+class Binder {
+ public:
+  Binder(VjunParseResult& result) : result_(result) {}
+
+  void bind(const std::vector<VjunStatement>& roots) {
+    cfg().vendor = Vendor::kVjun;
+    for (const auto& statement : roots) {
+      const std::string& head = statement.words.empty() ? kEmpty : statement.words[0];
+      if (head == "system") bind_system(statement);
+      else if (head == "interfaces") bind_interfaces(statement);
+      else if (head == "routing-options") bind_routing_options(statement);
+      else if (head == "protocols") bind_protocols(statement);
+      else if (head == "policy-options") bind_policy_options(statement);
+      else if (head == "firewall") bind_firewall(statement);
+      else if (head == "routing-instances") bind_routing_instances(statement);
+      else if (head == "snmp" || head == "chassis" || head == "services" ||
+               head == "security" || head == "event-options" || head == "groups" ||
+               head == "apply-groups" || head == "version")
+        record_management(statement);
+      else
+        error(statement, "unknown top-level stanza '" + head + "'");
+    }
+  }
+
+ private:
+  static inline const std::string kEmpty;
+
+  DeviceConfig& cfg() { return result_.config; }
+
+  void error(const VjunStatement& s, std::string message) {
+    result_.diagnostics.add(DiagnosticSeverity::kError, s.line_number, s.text(),
+                            std::move(message));
+  }
+
+  void record_management(const VjunStatement& s) {
+    ManagementFeature feature;
+    feature.name = s.words.empty() ? "unknown" : s.words[0];
+    collect_lines(s, feature.lines);
+    cfg().management_features.push_back(std::move(feature));
+  }
+
+  static void collect_lines(const VjunStatement& s, std::vector<std::string>& lines) {
+    lines.push_back(s.text());
+    for (const auto& child : s.children) collect_lines(child, lines);
+  }
+
+  void bind_system(const VjunStatement& system) {
+    for (const auto& child : system.children) {
+      if (child.words.size() >= 2 && child.words[0] == "host-name") {
+        cfg().hostname = child.words[1];
+      } else {
+        record_management(child);  // login, services ssh/netconf, syslog...
+      }
+    }
+  }
+
+  // -- interfaces -----------------------------------------------------------
+
+  void bind_interfaces(const VjunStatement& interfaces) {
+    for (const auto& ifd : interfaces.children) {
+      if (ifd.words.empty()) continue;
+      const std::string& device = ifd.words[0];
+      for (const auto& sub : ifd.children) {
+        if (sub.words.size() >= 2 && sub.words[0] == "unit") {
+          bind_unit(device, sub);
+        } else if (sub.words.size() >= 2 && sub.words[0] == "description") {
+          // Applied to unit 0 by convention once it exists.
+          cfg().interface(device + ".0").description = sub.words[1];
+        } else if (sub.words[0] == "disable") {
+          cfg().interface(device + ".0").shutdown = true;
+        }
+        // gigether-options, mtu etc. accepted silently.
+      }
+    }
+  }
+
+  void bind_unit(const std::string& device, const VjunStatement& unit) {
+    // Logical interface name "<device>.<unit>", e.g. "et-0/0/1.0".
+    const std::string name = device + "." + unit.words[1];
+    InterfaceConfig& iface = cfg().interface(name);
+    iface.switchport = false;  // vjun logical units are always routed
+    for (const auto& family : unit.children) {
+      if (family.words.empty()) continue;
+      if (family.words[0] == "family" && family.words.size() >= 2) {
+        const std::string& af = family.words[1];
+        if (af == "inet") {
+          for (const auto& stmt : family.children) {
+            if (stmt.words.size() >= 2 && stmt.words[0] == "address") {
+              auto address = net::InterfaceAddress::parse(stmt.words[1]);
+              if (!address) error(stmt, "invalid inet address");
+              else iface.address = *address;
+            } else if (stmt.words[0] == "filter") {
+              // filter { input NAME; output NAME; } or inline "filter input NAME;"
+              auto apply = [&](const std::vector<std::string>& words) {
+                for (size_t i = 0; i + 1 < words.size(); ++i) {
+                  if (words[i] == "input") iface.acl_in = words[i + 1];
+                  else if (words[i] == "output") iface.acl_out = words[i + 1];
+                }
+              };
+              apply(stmt.words);
+              for (const auto& sub : stmt.children) apply(sub.words);
+            }
+          }
+        } else if (af == "iso") {
+          for (const auto& stmt : family.children) {
+            if (stmt.words.size() >= 2 && stmt.words[0] == "address")
+              cfg().isis.net = stmt.words[1];  // NET configured on lo0
+          }
+        } else if (af == "mpls") {
+          iface.mpls_enabled = true;
+        } else {
+          error(family, "unknown address family '" + af + "'");
+        }
+      } else if (family.words[0] == "description" && family.words.size() >= 2) {
+        iface.description = family.words[1];
+      } else if (family.words[0] == "disable") {
+        iface.shutdown = true;
+      }
+    }
+  }
+
+  // -- routing-options --------------------------------------------------------
+
+  void bind_routing_options(const VjunStatement& options) {
+    for (const auto& child : options.children) {
+      if (child.words.empty()) continue;
+      if (child.words[0] == "router-id" && child.words.size() >= 2) {
+        auto id = net::Ipv4Address::parse(child.words[1]);
+        if (!id) error(child, "invalid router-id");
+        else cfg().bgp.router_id = *id;
+      } else if (child.words[0] == "autonomous-system" && child.words.size() >= 2) {
+        uint32_t asn = 0;
+        if (!util::parse_uint32(child.words[1], asn) || asn == 0)
+          error(child, "invalid autonomous-system");
+        else cfg().bgp.local_as = asn;
+      } else if (child.words[0] == "static") {
+        for (const auto& route : child.children) {
+          if (route.words.size() >= 2 && route.words[0] == "route") bind_static_route(route);
+        }
+      } else {
+        record_management(child);
+      }
+    }
+  }
+
+  void bind_static_route(const VjunStatement& route) {
+    auto prefix = net::Ipv4Prefix::parse(route.words[1]);
+    if (!prefix) {
+      error(route, "invalid static route prefix");
+      return;
+    }
+    StaticRoute entry;
+    entry.prefix = *prefix;
+    entry.distance = 5;  // vjun static preference default
+    // Either inline ("route X next-hop Y;") or nested children.
+    auto apply = [&](const std::vector<std::string>& words, const VjunStatement& at) {
+      for (size_t i = 0; i < words.size(); ++i) {
+        if (words[i] == "next-hop" && i + 1 < words.size()) {
+          auto nh = net::Ipv4Address::parse(words[i + 1]);
+          if (!nh) error(at, "invalid next-hop");
+          else entry.next_hop = *nh;
+          ++i;
+        } else if (words[i] == "discard" || words[i] == "reject") {
+          entry.null_route = true;
+        } else if (words[i] == "preference" && i + 1 < words.size()) {
+          uint32_t pref = 0;
+          if (!util::parse_uint32(words[i + 1], pref) || pref == 0 || pref > 255)
+            error(at, "invalid preference");
+          else entry.distance = static_cast<uint8_t>(pref);
+          ++i;
+        }
+      }
+    };
+    apply(std::vector<std::string>(route.words.begin() + 2, route.words.end()), route);
+    for (const auto& child : route.children) apply(child.words, child);
+    if (!entry.next_hop && !entry.null_route) {
+      error(route, "static route requires next-hop or discard");
+      return;
+    }
+    cfg().static_routes.push_back(entry);
+  }
+
+  // -- protocols ---------------------------------------------------------------
+
+  void bind_protocols(const VjunStatement& protocols) {
+    for (const auto& child : protocols.children) {
+      if (child.words.empty()) continue;
+      if (child.words[0] == "isis") bind_isis(child);
+      else if (child.words[0] == "ospf") bind_ospf(child);
+      else if (child.words[0] == "bgp") bind_bgp(child);
+      else if (child.words[0] == "mpls") bind_mpls(child);
+      else if (child.words[0] == "rsvp") cfg().mpls.te_enabled = true;
+      else if (child.words[0] == "lldp" || child.words[0] == "layer2-control")
+        record_management(child);
+      else error(child, "unknown protocol '" + child.words[0] + "'");
+    }
+  }
+
+  void bind_isis(const VjunStatement& isis) {
+    cfg().isis.enabled = true;
+    cfg().isis.af_ipv4_unicast = true;  // vjun IS-IS always carries inet
+    for (const auto& child : isis.children) {
+      if (child.words.empty()) continue;
+      if (child.words[0] == "net" && child.words.size() >= 2) {
+        cfg().isis.net = child.words[1];
+      } else if (child.words[0] == "level" && child.words.size() >= 2) {
+        if (child.words[1] == "1") cfg().isis.level = IsisLevel::kLevel1;
+        else if (child.words[1] == "2") cfg().isis.level = IsisLevel::kLevel2;
+      } else if (child.words[0] == "interface" && child.words.size() >= 2) {
+        InterfaceConfig& iface = cfg().interface(child.words[1]);
+        iface.isis_enabled = true;
+        iface.isis_instance = "default";
+        for (const auto& knob : child.children) {
+          if (knob.words.empty()) continue;
+          if (knob.words[0] == "passive") iface.isis_passive = true;
+          else if (knob.words[0] == "metric" && knob.words.size() >= 2) {
+            uint32_t metric = 0;
+            if (!util::parse_uint32(knob.words[1], metric) || metric == 0)
+              error(knob, "invalid isis metric");
+            else iface.isis_metric = metric;
+          }
+        }
+      }
+      // lsp-lifetime, spf-options etc. accepted.
+    }
+  }
+
+  void bind_ospf(const VjunStatement& ospf) {
+    cfg().ospf.enabled = true;
+    for (const auto& area : ospf.children) {
+      if (area.words.size() < 2 || area.words[0] != "area") continue;
+      if (area.words[1] != "0.0.0.0" && area.words[1] != "0") {
+        error(area, "only area 0 is supported");
+        continue;
+      }
+      for (const auto& stmt : area.children) {
+        if (stmt.words.size() < 2 || stmt.words[0] != "interface") continue;
+        const net::InterfaceName& name = stmt.words[1];
+        // vjun attaches interfaces explicitly; the shared IR uses
+        // network-statement coverage, so cover this interface's address
+        // exactly. Requires the interfaces stanza to precede protocols
+        // (standard ordering in practice).
+        const InterfaceConfig* iface = cfg().find_interface(name);
+        if (iface == nullptr || !iface->address) {
+          error(stmt, "ospf interface '" + name + "' has no inet address yet");
+          continue;
+        }
+        cfg().ospf.networks.push_back(net::Ipv4Prefix::host(iface->address->address));
+        for (const auto& knob : stmt.children) {
+          if (knob.words.empty()) continue;
+          if (knob.words[0] == "passive") {
+            cfg().ospf.passive_interfaces.push_back(name);
+          } else if (knob.words[0] == "metric" && knob.words.size() >= 2) {
+            uint32_t cost = 0;
+            if (!util::parse_uint32(knob.words[1], cost) || cost == 0)
+              error(knob, "invalid ospf metric");
+            else cfg().interface(name).ospf_cost = cost;
+          }
+        }
+      }
+    }
+  }
+
+  void bind_bgp(const VjunStatement& bgp) {
+    cfg().bgp.enabled = true;
+    for (const auto& group : bgp.children) {
+      if (group.words.size() < 2 || group.words[0] != "group") {
+        // top-level bgp knobs (log-updown etc.) accepted.
+        continue;
+      }
+      bool external = false;
+      bool cluster = false;  // "cluster <id>;" marks the group's peers as RR clients
+      std::optional<net::AsNumber> peer_as;
+      std::optional<std::string> import_policy;
+      std::optional<std::string> export_policy;
+      std::optional<net::Ipv4Address> local_address;
+      for (const auto& stmt : group.children) {
+        if (stmt.words.empty()) continue;
+        if (stmt.words[0] == "type" && stmt.words.size() >= 2) {
+          external = stmt.words[1] == "external";
+        } else if (stmt.words[0] == "peer-as" && stmt.words.size() >= 2) {
+          uint32_t asn = 0;
+          if (!util::parse_uint32(stmt.words[1], asn) || asn == 0)
+            error(stmt, "invalid peer-as");
+          else peer_as = asn;
+        } else if (stmt.words[0] == "import" && stmt.words.size() >= 2) {
+          import_policy = stmt.words[1];
+        } else if (stmt.words[0] == "export" && stmt.words.size() >= 2) {
+          export_policy = stmt.words[1];
+        } else if (stmt.words[0] == "local-address" && stmt.words.size() >= 2) {
+          auto addr = net::Ipv4Address::parse(stmt.words[1]);
+          if (!addr) error(stmt, "invalid local-address");
+          else local_address = *addr;
+        } else if (stmt.words[0] == "cluster") {
+          cluster = true;
+        }
+      }
+      for (const auto& stmt : group.children) {
+        if (stmt.words.size() < 2 || stmt.words[0] != "neighbor") continue;
+        auto peer = net::Ipv4Address::parse(stmt.words[1]);
+        if (!peer) {
+          error(stmt, "invalid neighbor address");
+          continue;
+        }
+        BgpNeighborConfig neighbor;
+        neighbor.peer = *peer;
+        neighbor.remote_as = external ? peer_as.value_or(0) : cfg().bgp.local_as;
+        neighbor.route_map_in = import_policy;
+        neighbor.route_map_out = export_policy;
+        neighbor.send_community = true;  // vjun sends communities by default
+        neighbor.route_reflector_client = cluster && !external;
+        if (local_address) {
+          // Find the interface owning that address to use as update-source.
+          for (const auto& [name, iface] : cfg().interfaces)
+            if (iface.address && iface.address->address == *local_address)
+              neighbor.update_source = name;
+        }
+        // Per-neighbor overrides.
+        for (const auto& knob : stmt.children) {
+          if (knob.words.empty()) continue;
+          if (knob.words[0] == "peer-as" && knob.words.size() >= 2) {
+            uint32_t asn = 0;
+            if (util::parse_uint32(knob.words[1], asn) && asn != 0) neighbor.remote_as = asn;
+          } else if (knob.words[0] == "import" && knob.words.size() >= 2) {
+            neighbor.route_map_in = knob.words[1];
+          } else if (knob.words[0] == "export" && knob.words.size() >= 2) {
+            neighbor.route_map_out = knob.words[1];
+          } else if (knob.words[0] == "shutdown") {
+            neighbor.shutdown = true;
+          } else if (knob.words[0] == "next-hop-self") {
+            neighbor.next_hop_self = true;
+          }
+        }
+        if (neighbor.remote_as == 0) {
+          error(stmt, "neighbor has no peer-as and group is external");
+          continue;
+        }
+        cfg().bgp.neighbors.push_back(std::move(neighbor));
+      }
+    }
+  }
+
+  void bind_mpls(const VjunStatement& mpls) {
+    cfg().mpls.enabled = true;
+    for (const auto& child : mpls.children) {
+      if (child.words.empty()) continue;
+      if (child.words[0] == "interface" && child.words.size() >= 2) {
+        cfg().interface(child.words[1]).mpls_enabled = true;
+      } else if (child.words[0] == "label-switched-path" && child.words.size() >= 2) {
+        TeTunnel tunnel;
+        tunnel.name = child.words[1];
+        for (const auto& stmt : child.children) {
+          if (stmt.words.size() >= 2 && stmt.words[0] == "to") {
+            auto dest = net::Ipv4Address::parse(stmt.words[1]);
+            if (!dest) error(stmt, "invalid LSP destination");
+            else tunnel.destination = *dest;
+          } else if (stmt.words.size() >= 2 && stmt.words[0] == "bandwidth") {
+            uint64_t bps = 0;
+            if (util::parse_uint64(stmt.words[1], bps)) tunnel.bandwidth_bps = bps;
+          }
+        }
+        cfg().mpls.te_enabled = true;
+        cfg().mpls.tunnels.push_back(std::move(tunnel));
+      }
+    }
+  }
+
+  // -- policy-options ------------------------------------------------------------
+
+  void bind_policy_options(const VjunStatement& policy) {
+    for (const auto& child : policy.children) {
+      if (child.words.empty()) continue;
+      if (child.words[0] == "prefix-list" && child.words.size() >= 2) {
+        PrefixList& list = cfg().prefix_lists[child.words[1]];
+        list.name = child.words[1];
+        for (const auto& stmt : child.children) {
+          if (stmt.words.empty()) continue;
+          auto prefix = net::Ipv4Prefix::parse(stmt.words[0]);
+          if (!prefix) {
+            error(stmt, "invalid prefix-list entry");
+            continue;
+          }
+          PrefixListEntry entry;
+          entry.seq = static_cast<uint32_t>(list.entries.size() + 1) * 10;
+          entry.permit = true;
+          entry.prefix = *prefix;
+          list.entries.push_back(entry);
+        }
+      } else if (child.words[0] == "community" && child.words.size() >= 4 &&
+                 child.words[2] == "members") {
+        CommunityList& list = cfg().community_lists[child.words[1]];
+        list.name = child.words[1];
+        for (size_t i = 3; i < child.words.size(); ++i) {
+          auto community = parse_community(child.words[i]);
+          if (!community) error(child, "invalid community member");
+          else list.communities.push_back(*community);
+        }
+      } else if (child.words[0] == "policy-statement" && child.words.size() >= 2) {
+        bind_policy_statement(child);
+      } else {
+        error(child, "unknown policy-options stanza");
+      }
+    }
+  }
+
+  void bind_routing_instances(const VjunStatement& instances) {
+    for (const auto& instance : instances.children) {
+      if (instance.words.empty()) continue;
+      const std::string& name = instance.words[0];
+      if (!cfg().has_vrf(name)) cfg().vrfs.push_back(name);
+      for (const auto& stmt : instance.children) {
+        if (stmt.words.empty()) continue;
+        if (stmt.words[0] == "interface" && stmt.words.size() >= 2) {
+          cfg().interface(stmt.words[1]).vrf = name;
+        } else if (stmt.words[0] == "routing-options") {
+          for (const auto& options : stmt.children) {
+            if (options.words.empty() || options.words[0] != "static") continue;
+            size_t before = cfg().static_routes.size();
+            for (const auto& route : options.children)
+              if (route.words.size() >= 2 && route.words[0] == "route")
+                bind_static_route(route);
+            for (size_t i = before; i < cfg().static_routes.size(); ++i)
+              cfg().static_routes[i].vrf = name;
+          }
+        }
+        // instance-type / route-distinguisher accepted, unmodelled.
+      }
+    }
+  }
+
+  void bind_firewall(const VjunStatement& firewall) {
+    for (const auto& filter : firewall.children) {
+      if (filter.words.size() < 2 || filter.words[0] != "filter") {
+        error(filter, "firewall stanza supports only filters");
+        continue;
+      }
+      config::Acl& acl = cfg().acls[filter.words[1]];
+      acl.name = filter.words[1];
+      for (const auto& term : filter.children) {
+        if (term.words.size() < 2 || term.words[0] != "term") continue;
+        AclEntry entry;
+        uint32_t seq = 0;
+        if (util::parse_uint32(term.words[1], seq)) entry.seq = seq;
+        else entry.seq = static_cast<uint32_t>(acl.entries.size() + 1) * 10;
+        entry.destination = net::Ipv4Prefix();  // default: any
+        bool discard = false;
+        for (const auto& part : term.children) {
+          if (part.words.empty()) continue;
+          if (part.words[0] == "from") {
+            for (const auto& cond : part.children) {
+              if (cond.words.size() >= 2 && cond.words[0] == "destination-address") {
+                auto prefix = net::Ipv4Prefix::parse(cond.words[1]);
+                if (!prefix) error(cond, "invalid destination-address");
+                else entry.destination = *prefix;
+              }
+            }
+          } else if (part.words[0] == "then") {
+            for (size_t i = 1; i < part.words.size(); ++i)
+              if (part.words[i] == "discard" || part.words[i] == "reject") discard = true;
+            for (const auto& action : part.children)
+              if (!action.words.empty() &&
+                  (action.words[0] == "discard" || action.words[0] == "reject"))
+                discard = true;
+          }
+        }
+        entry.permit = !discard;
+        acl.entries.push_back(entry);
+      }
+    }
+  }
+
+  void bind_policy_statement(const VjunStatement& statement) {
+    RouteMap& map = cfg().route_maps[statement.words[1]];
+    map.name = statement.words[1];
+    for (const auto& term : statement.children) {
+      if (term.words.size() < 2 || term.words[0] != "term") continue;
+      RouteMapClause clause;
+      clause.seq = static_cast<uint32_t>(map.clauses.size() + 1) * 10;
+      uint32_t seq = 0;
+      if (util::parse_uint32(term.words[1], seq)) clause.seq = seq;
+      clause.permit = true;  // resolved by then accept/reject below
+      bool has_reject = false;
+      for (const auto& part : term.children) {
+        if (part.words.empty()) continue;
+        if (part.words[0] == "from") {
+          for (const auto& cond : part.children) {
+            if (cond.words.empty()) continue;
+            if (cond.words[0] == "prefix-list" && cond.words.size() >= 2)
+              clause.match_prefix_list = cond.words[1];
+            else if (cond.words[0] == "community" && cond.words.size() >= 2)
+              clause.match_community_list = cond.words[1];
+          }
+        } else if (part.words[0] == "then") {
+          // Inline form: "then reject;" / "then accept;"
+          for (size_t i = 1; i < part.words.size(); ++i) {
+            if (part.words[i] == "reject") has_reject = true;
+          }
+          for (const auto& action : part.children) {
+            if (action.words.empty()) continue;
+            if (action.words[0] == "local-preference" && action.words.size() >= 2) {
+              uint32_t pref = 0;
+              if (util::parse_uint32(action.words[1], pref)) clause.set_local_pref = pref;
+            } else if (action.words[0] == "metric" && action.words.size() >= 2) {
+              uint32_t med = 0;
+              if (util::parse_uint32(action.words[1], med)) clause.set_med = med;
+            } else if (action.words[0] == "community" && action.words.size() >= 3 &&
+                       (action.words[1] == "add" || action.words[1] == "set")) {
+              clause.additive_communities = action.words[1] == "add";
+              // Resolve community-list name to its members at apply time;
+              // store as a match on the named list for simplicity: look up now.
+              auto it = cfg().community_lists.find(action.words[2]);
+              if (it != cfg().community_lists.end())
+                clause.set_communities = it->second.communities;
+            } else if (action.words[0] == "as-path-prepend" && action.words.size() >= 2) {
+              clause.prepend_count =
+                  static_cast<uint32_t>(util::split_whitespace(action.words[1]).size());
+            } else if (action.words[0] == "next-hop" && action.words.size() >= 2) {
+              auto nh = net::Ipv4Address::parse(action.words[1]);
+              if (nh) clause.set_next_hop = *nh;
+            } else if (action.words[0] == "reject") {
+              has_reject = true;
+            }
+          }
+        }
+      }
+      clause.permit = !has_reject;
+      map.clauses.push_back(std::move(clause));
+    }
+  }
+
+  VjunParseResult& result_;
+};
+
+}  // namespace
+
+std::vector<VjunStatement> parse_vjun_tree(std::string_view text, DiagnosticList& diagnostics) {
+  int total_lines = 0;
+  auto tokens = tokenize(text, total_lines);
+  return TreeParser(std::move(tokens), diagnostics).run();
+}
+
+VjunParseResult parse_vjun(std::string_view text) {
+  VjunParseResult result;
+  int total_lines = 0;
+  auto tokens = tokenize(text, total_lines);
+  result.total_lines = total_lines;
+  auto roots = TreeParser(std::move(tokens), result.diagnostics).run();
+  Binder(result).bind(roots);
+  return result;
+}
+
+}  // namespace mfv::config

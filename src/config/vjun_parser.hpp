@@ -1,0 +1,46 @@
+// Parser for the "vjun" dialect: a hierarchical brace-structured
+// configuration language in the style of Junos. Provides the second vendor
+// implementation needed for multi-vendor topologies (93% of surveyed
+// operators run multi-vendor networks — §2 of the paper).
+//
+// Parsing happens in two stages: a generic statement-tree parse of the
+// brace syntax, then a semantic walk binding known subtrees into the shared
+// DeviceConfig IR. Unknown management subtrees (system services, snmp, ...)
+// are accepted and recorded as management features, like on a real device.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/device_config.hpp"
+#include "config/diagnostics.hpp"
+
+namespace mfv::config {
+
+/// Generic node of the brace-syntax tree: `words { children }` or
+/// `words ;` (leaf).
+struct VjunStatement {
+  std::vector<std::string> words;
+  std::vector<VjunStatement> children;
+  int line_number = 0;
+
+  std::string text() const;
+  const VjunStatement* child(std::string_view first_word) const;
+};
+
+struct VjunParseResult {
+  DeviceConfig config;
+  DiagnosticList diagnostics;
+  int total_lines = 0;
+};
+
+/// Stage 1 only: parse brace syntax into a statement tree. Exposed for
+/// tests; `diagnostics` receives syntax errors (unbalanced braces etc.).
+std::vector<VjunStatement> parse_vjun_tree(std::string_view text, DiagnosticList& diagnostics);
+
+/// Full parse: text -> DeviceConfig.
+VjunParseResult parse_vjun(std::string_view text);
+
+}  // namespace mfv::config

@@ -1,0 +1,291 @@
+#include "config/vjun_writer.hpp"
+
+#include "util/strings.hpp"
+
+namespace mfv::config {
+namespace {
+
+class Emitter {
+ public:
+  std::string take() { return std::move(out_); }
+
+  void open(const std::string& words) {
+    line(words + " {");
+    ++depth_;
+  }
+  void close() {
+    --depth_;
+    line("}");
+  }
+  void leaf(const std::string& words) { line(words + ";"); }
+
+ private:
+  void line(const std::string& text) {
+    out_.append(static_cast<size_t>(depth_) * 4, ' ');
+    out_ += text;
+    out_ += '\n';
+  }
+  std::string out_;
+  int depth_ = 0;
+};
+
+/// Splits "et-0/0/1.0" into device and unit. Interfaces without a dot get
+/// unit 0.
+std::pair<std::string, std::string> split_unit(const std::string& name) {
+  size_t dot = name.rfind('.');
+  if (dot == std::string::npos) return {name, "0"};
+  return {name.substr(0, dot), name.substr(dot + 1)};
+}
+
+}  // namespace
+
+std::string write_vjun(const DeviceConfig& config, const VjunWriterOptions& options) {
+  Emitter e;
+
+  e.open("system");
+  e.leaf("host-name " + config.hostname);
+  if (options.include_management) {
+    e.open("services");
+    e.leaf("ssh");
+    e.leaf("netconf");
+    e.close();
+  }
+  e.close();
+
+  // interfaces — group logical units under their device.
+  e.open("interfaces");
+  std::map<std::string, std::vector<const InterfaceConfig*>> by_device;
+  for (const auto& [name, iface] : config.interfaces)
+    by_device[split_unit(name).first].push_back(&iface);
+  for (const auto& [device, units] : by_device) {
+    e.open(device);
+    for (const InterfaceConfig* iface : units) {
+      e.open("unit " + split_unit(iface->name).second);
+      if (iface->description) e.leaf("description \"" + *iface->description + "\"");
+      if (iface->shutdown) e.leaf("disable");
+      if (iface->address || iface->acl_in || iface->acl_out) {
+        e.open("family inet");
+        if (iface->address) e.leaf("address " + iface->address->to_string());
+        if (iface->acl_in || iface->acl_out) {
+          e.open("filter");
+          if (iface->acl_in) e.leaf("input " + *iface->acl_in);
+          if (iface->acl_out) e.leaf("output " + *iface->acl_out);
+          e.close();
+        }
+        e.close();
+      }
+      if (iface->isis_enabled) e.leaf("family iso");
+      if (iface->mpls_enabled) e.leaf("family mpls");
+      e.close();
+    }
+    e.close();
+  }
+  e.close();
+
+  // routing-instances (VRFs)
+  if (!config.vrfs.empty()) {
+    e.open("routing-instances");
+    for (const std::string& vrf : config.vrfs) {
+      e.open(vrf);
+      e.leaf("instance-type vrf");
+      for (const auto& [name, iface] : config.interfaces)
+        if (iface.vrf == vrf) e.leaf("interface " + name);
+      bool has_static = false;
+      for (const auto& route : config.static_routes)
+        if (route.vrf == vrf) has_static = true;
+      if (has_static) {
+        e.open("routing-options");
+        e.open("static");
+        for (const auto& route : config.static_routes) {
+          if (route.vrf != vrf) continue;
+          std::string stmt = "route " + route.prefix.to_string();
+          if (route.null_route) stmt += " discard";
+          else if (route.next_hop) stmt += " next-hop " + route.next_hop->to_string();
+          if (route.distance != 5) stmt += " preference " + std::to_string(route.distance);
+          e.leaf(stmt);
+        }
+        e.close();
+        e.close();
+      }
+      e.close();
+    }
+    e.close();
+  }
+
+  // routing-options
+  e.open("routing-options");
+  if (config.bgp.router_id) e.leaf("router-id " + config.bgp.router_id->to_string());
+  if (config.bgp.local_as != 0)
+    e.leaf("autonomous-system " + std::to_string(config.bgp.local_as));
+  bool has_default_static = false;
+  for (const auto& route : config.static_routes)
+    if (route.vrf.empty()) has_default_static = true;
+  if (has_default_static) {
+    e.open("static");
+    for (const auto& route : config.static_routes) {
+      if (!route.vrf.empty()) continue;  // VRF statics live in their instance
+      std::string stmt = "route " + route.prefix.to_string();
+      if (route.null_route) stmt += " discard";
+      else if (route.next_hop) stmt += " next-hop " + route.next_hop->to_string();
+      if (route.distance != 5) stmt += " preference " + std::to_string(route.distance);
+      e.leaf(stmt);
+    }
+    e.close();
+  }
+  e.close();
+
+  // protocols
+  e.open("protocols");
+  if (config.isis.enabled) {
+    e.open("isis");
+    if (!config.isis.net.empty()) e.leaf("net " + config.isis.net);
+    if (config.isis.level == IsisLevel::kLevel1) e.leaf("level 1");
+    else if (config.isis.level == IsisLevel::kLevel2) e.leaf("level 2");
+    for (const auto& [name, iface] : config.interfaces) {
+      if (!iface.isis_enabled) continue;
+      bool has_knobs = iface.isis_passive || iface.isis_metric != 10;
+      if (!has_knobs) {
+        e.leaf("interface " + name);
+        continue;
+      }
+      e.open("interface " + name);
+      if (iface.isis_passive) e.leaf("passive");
+      if (iface.isis_metric != 10) e.leaf("metric " + std::to_string(iface.isis_metric));
+      e.close();
+    }
+    e.close();
+  }
+  if (config.ospf.enabled) {
+    e.open("ospf");
+    e.open("area 0.0.0.0");
+    for (const auto& [name, iface] : config.interfaces) {
+      if (!iface.address || !config.ospf.covers(iface.address->address)) continue;
+      bool passive = config.ospf.is_passive(name) || iface.is_loopback();
+      bool has_cost = iface.ospf_cost != 10;
+      if (!passive && !has_cost) {
+        e.leaf("interface " + name);
+        continue;
+      }
+      e.open("interface " + name);
+      if (passive) e.leaf("passive");
+      if (has_cost) e.leaf("metric " + std::to_string(iface.ospf_cost));
+      e.close();
+    }
+    e.close();
+    e.close();
+  }
+  if (config.bgp.enabled && !config.bgp.neighbors.empty()) {
+    e.open("bgp");
+    int group_index = 0;
+    for (const auto& neighbor : config.bgp.neighbors) {
+      bool external = neighbor.remote_as != config.bgp.local_as;
+      e.open("group " + std::string(external ? "ebgp" : "ibgp") + "-" +
+             std::to_string(group_index++));
+      e.leaf(std::string("type ") + (external ? "external" : "internal"));
+      if (external) e.leaf("peer-as " + std::to_string(neighbor.remote_as));
+      if (!external && neighbor.route_reflector_client && config.bgp.router_id)
+        e.leaf("cluster " + config.bgp.router_id->to_string());
+      if (neighbor.update_source) {
+        auto it = config.interfaces.find(*neighbor.update_source);
+        if (it != config.interfaces.end() && it->second.address)
+          e.leaf("local-address " + it->second.address->address.to_string());
+      }
+      if (neighbor.route_map_in) e.leaf("import " + *neighbor.route_map_in);
+      if (neighbor.route_map_out) e.leaf("export " + *neighbor.route_map_out);
+      if (neighbor.shutdown || neighbor.next_hop_self) {
+        e.open("neighbor " + neighbor.peer.to_string());
+        if (neighbor.next_hop_self) e.leaf("next-hop-self");
+        if (neighbor.shutdown) e.leaf("shutdown");
+        e.close();
+      } else {
+        e.leaf("neighbor " + neighbor.peer.to_string());
+      }
+      e.close();
+    }
+    e.close();
+  }
+  if (config.mpls.enabled) {
+    e.open("mpls");
+    for (const auto& [name, iface] : config.interfaces)
+      if (iface.mpls_enabled) e.leaf("interface " + name);
+    for (const auto& tunnel : config.mpls.tunnels) {
+      e.open("label-switched-path " + tunnel.name);
+      e.leaf("to " + tunnel.destination.to_string());
+      if (tunnel.bandwidth_bps != 0)
+        e.leaf("bandwidth " + std::to_string(tunnel.bandwidth_bps));
+      e.close();
+    }
+    e.close();
+    if (config.mpls.te_enabled) {
+      e.open("rsvp");
+      for (const auto& [name, iface] : config.interfaces)
+        if (iface.mpls_enabled) e.leaf("interface " + name);
+      e.close();
+    }
+  }
+  e.close();
+
+  // firewall filters
+  if (!config.acls.empty()) {
+    e.open("firewall");
+    for (const auto& [name, acl] : config.acls) {
+      e.open("filter " + name);
+      for (const AclEntry& entry : acl.entries) {
+        e.open("term " + std::to_string(entry.seq));
+        if (!(entry.destination == net::Ipv4Prefix())) {
+          e.open("from");
+          e.leaf("destination-address " + entry.destination.to_string());
+          e.close();
+        }
+        e.open("then");
+        e.leaf(entry.permit ? "accept" : "discard");
+        e.close();
+        e.close();
+      }
+      e.close();
+    }
+    e.close();
+  }
+
+  // policy-options
+  if (!config.prefix_lists.empty() || !config.route_maps.empty() ||
+      !config.community_lists.empty()) {
+    e.open("policy-options");
+    for (const auto& [name, list] : config.prefix_lists) {
+      e.open("prefix-list " + name);
+      for (const auto& entry : list.entries) e.leaf(entry.prefix.to_string());
+      e.close();
+    }
+    for (const auto& [name, list] : config.community_lists) {
+      std::string members;
+      for (Community c : list.communities) members += " " + community_to_string(c);
+      e.leaf("community " + name + " members" + members);
+    }
+    for (const auto& [name, map] : config.route_maps) {
+      e.open("policy-statement " + name);
+      for (const auto& clause : map.clauses) {
+        e.open("term " + std::to_string(clause.seq));
+        if (clause.match_prefix_list || clause.match_community_list) {
+          e.open("from");
+          if (clause.match_prefix_list) e.leaf("prefix-list " + *clause.match_prefix_list);
+          if (clause.match_community_list) e.leaf("community " + *clause.match_community_list);
+          e.close();
+        }
+        e.open("then");
+        if (clause.set_local_pref)
+          e.leaf("local-preference " + std::to_string(*clause.set_local_pref));
+        if (clause.set_med) e.leaf("metric " + std::to_string(*clause.set_med));
+        if (clause.set_next_hop) e.leaf("next-hop " + clause.set_next_hop->to_string());
+        e.leaf(clause.permit ? "accept" : "reject");
+        e.close();
+        e.close();
+      }
+      e.close();
+    }
+    e.close();
+  }
+
+  return e.take();
+}
+
+}  // namespace mfv::config

@@ -1,0 +1,16 @@
+// Emits vjun-dialect configuration text from the semantic model.
+#pragma once
+
+#include <string>
+
+#include "config/device_config.hpp"
+
+namespace mfv::config {
+
+struct VjunWriterOptions {
+  bool include_management = true;
+};
+
+std::string write_vjun(const DeviceConfig& config, const VjunWriterOptions& options = {});
+
+}  // namespace mfv::config

@@ -1,0 +1,45 @@
+#include "emu/convergence.hpp"
+
+namespace mfv::emu {
+
+ConvergenceReport monitor_convergence(Emulation& emulation,
+                                      const ConvergenceMonitorOptions& options) {
+  ConvergenceReport report;
+  util::TimePoint start = emulation.kernel().now();
+  util::TimePoint deadline = start + options.timeout;
+
+  std::map<net::NodeName, uint64_t> last_versions;
+  util::TimePoint stable_since = start;
+  bool have_baseline = false;
+
+  while (emulation.kernel().now() < deadline) {
+    emulation.kernel().run_for(options.poll_interval);
+    ++report.polls;
+
+    // Poll: the observable is each device's current FIB content; we use
+    // the version counter as a digest of the dump.
+    std::map<net::NodeName, uint64_t> versions;
+    for (const net::NodeName& node : emulation.node_names()) {
+      const vrouter::VirtualRouter* router = emulation.router(node);
+      versions[node] = router->fib_version();
+    }
+
+    util::TimePoint now = emulation.kernel().now();
+    if (!have_baseline || versions != last_versions) {
+      last_versions = std::move(versions);
+      stable_since = now;
+      report.last_change_seen = now;
+      have_baseline = true;
+      continue;
+    }
+    if (now - stable_since >= options.hold_window) {
+      report.converged = true;
+      report.declared_at = now;
+      return report;
+    }
+  }
+  report.declared_at = emulation.kernel().now();
+  return report;
+}
+
+}  // namespace mfv::emu

@@ -1,0 +1,46 @@
+// Black-box convergence detection, as the paper does it (§5): "We detect
+// convergence to be complete once we observe the dataplane to stabilize at
+// all routers."
+//
+// Unlike EventKernel::run_until_idle (which exploits the simulator's global
+// view that no events remain), the ConvergenceMonitor only watches the
+// dataplane through the same interface an external observer has — periodic
+// gNMI-style polls of every device's FIB — and declares convergence after
+// the dataplane has been stable everywhere for a hold window. This is the
+// method a real deployment must use, and the two agree in tests.
+#pragma once
+
+#include <map>
+
+#include "emu/emulation.hpp"
+#include "util/time.hpp"
+
+namespace mfv::emu {
+
+struct ConvergenceMonitorOptions {
+  /// Poll period for the dataplane dumps.
+  util::Duration poll_interval = util::Duration::seconds(5);
+  /// The dataplane must be unchanged across this window to be "stable".
+  util::Duration hold_window = util::Duration::seconds(15);
+  /// Give up after this much virtual time.
+  util::Duration timeout = util::Duration::minutes(120);
+};
+
+struct ConvergenceReport {
+  bool converged = false;
+  /// Virtual time at which the monitor declared convergence (end of the
+  /// hold window).
+  util::TimePoint declared_at;
+  /// Virtual time of the last dataplane change the monitor observed.
+  util::TimePoint last_change_seen;
+  int polls = 0;
+};
+
+/// Drives the emulation forward in poll-interval steps, snapshotting FIB
+/// versions, until every router's dataplane has been stable for the hold
+/// window (or timeout). Returns the report; the emulation is left at the
+/// declaration time.
+ConvergenceReport monitor_convergence(Emulation& emulation,
+                                      const ConvergenceMonitorOptions& options = {});
+
+}  // namespace mfv::emu

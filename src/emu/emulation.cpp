@@ -1,0 +1,280 @@
+#include "emu/emulation.hpp"
+
+#include <algorithm>
+
+#include "config/dialect.hpp"
+#include "util/logging.hpp"
+
+namespace mfv::emu {
+
+// ---------------------------------------------------------------------------
+// ExternalPeer
+
+ExternalPeer::ExternalPeer(ExternalPeerSpec spec, vrouter::Fabric& fabric)
+    : spec_(std::move(spec)), fabric_(fabric) {}
+
+void ExternalPeer::handle(const proto::Message& message, size_t batch_size) {
+  if (const auto* open = std::get_if<proto::BgpOpen>(&message)) {
+    // Respond with our own Open, then stream the advertisement set.
+    proto::BgpOpen reply;
+    reply.as_number = spec_.as_number;
+    reply.router_id = spec_.address;
+    reply.source = spec_.address;
+    fabric_.send_addressed("peer:" + spec_.name, open->source, proto::Message(reply));
+    if (established_) return;
+    established_ = true;
+
+    size_t offset = 0;
+    while (offset < spec_.routes.size()) {
+      proto::BgpUpdate update;
+      update.source = spec_.address;
+      size_t end = std::min(offset + batch_size, spec_.routes.size());
+      update.announced.assign(spec_.routes.begin() + static_cast<long>(offset),
+                              spec_.routes.begin() + static_cast<long>(end));
+      fabric_.send_addressed("peer:" + spec_.name, open->source, proto::Message(update));
+      offset = end;
+    }
+  } else if (std::holds_alternative<proto::BgpUpdate>(message)) {
+    ++updates_received_;
+  } else if (std::holds_alternative<proto::BgpNotification>(message)) {
+    established_ = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Emulation
+
+Emulation::Emulation(EmulationOptions options)
+    : options_(options), rng_(options.seed) {}
+
+Emulation::~Emulation() = default;
+
+util::Duration Emulation::jitter() {
+  if (options_.message_jitter_micros <= 0) return util::Duration::micros(0);
+  return util::Duration::micros(static_cast<int64_t>(
+      rng_.next_below(static_cast<uint32_t>(options_.message_jitter_micros) + 1)));
+}
+
+void Emulation::index_addresses(const config::DeviceConfig& config) {
+  for (const auto& [name, interface] : config.interfaces)
+    if (interface.address) address_owner_[interface.address->address] = config.hostname;
+}
+
+util::Status Emulation::add_topology(const Topology& topology) {
+  for (const NodeSpec& node : topology.nodes) {
+    config::ParseResult parsed = config::parse_config(node.config_text, node.vendor);
+    if (parsed.config.hostname.empty()) parsed.config.hostname = node.name;
+    if (parsed.config.hostname != node.name)
+      return util::invalid_argument("node '" + node.name + "' config has hostname '" +
+                                    parsed.config.hostname + "'");
+    parse_diagnostics_[node.name] = parsed.diagnostics;
+    add_router(std::move(parsed.config));
+  }
+  for (const LinkSpec& link : topology.links) {
+    if (routers_.find(link.a.node) == routers_.end())
+      return util::not_found("link endpoint node '" + link.a.node + "' not in topology");
+    if (routers_.find(link.b.node) == routers_.end())
+      return util::not_found("link endpoint node '" + link.b.node + "' not in topology");
+    add_link(link.a, link.b, link.latency_micros);
+  }
+  for (const ExternalPeerSpec& peer : topology.external_peers) {
+    if (routers_.find(peer.attach_node) == routers_.end())
+      return util::not_found("external peer attach node '" + peer.attach_node +
+                             "' not in topology");
+    add_external_peer(peer);
+  }
+  return util::Status::ok_status();
+}
+
+vrouter::VirtualRouter& Emulation::add_router(config::DeviceConfig config) {
+  index_addresses(config);
+  net::NodeName name = config.hostname;
+  vrouter::VirtualRouterOptions options;
+  options.bgp.prefer_oldest_tiebreak = options_.bgp_prefer_oldest;
+  // Vendor signaling-timer quirk (§2 interplay anecdote): vjun resignals
+  // RSVP-TE slowly, ceos quickly.
+  if (config.vendor == config::Vendor::kVjun) {
+    options.te.resignal_delay = util::Duration::seconds(30);
+    options.te.refresh_processing_delay = util::Duration::seconds(30);
+  } else {
+    options.te.resignal_delay = util::Duration::seconds(1);
+  }
+  auto router = std::make_unique<vrouter::VirtualRouter>(std::move(config), *this, options);
+  auto [it, inserted] = routers_.insert_or_assign(name, std::move(router));
+  return *it->second;
+}
+
+void Emulation::add_link(const net::PortRef& a, const net::PortRef& b,
+                         int64_t latency_micros) {
+  links_[a] = LinkEnd{b, latency_micros, true};
+  links_[b] = LinkEnd{a, latency_micros, true};
+  refresh_link_states();
+}
+
+void Emulation::add_external_peer(ExternalPeerSpec spec) {
+  auto peer = std::make_unique<ExternalPeer>(std::move(spec), *this);
+  peer_addresses_[peer->spec().address] = peer.get();
+  external_peers_.push_back(std::move(peer));
+}
+
+void Emulation::refresh_link_states() {
+  for (const auto& [port, end] : links_) {
+    auto it = routers_.find(port.node);
+    if (it == routers_.end()) continue;
+    bool connected = end.up && routers_.count(end.peer.node) > 0;
+    it->second->set_link_state(port.interface, connected);
+  }
+  // External peers hang off otherwise-unwired interfaces: the interface
+  // whose subnet contains the peer address carries link to the peer.
+  for (const auto& peer : external_peers_) {
+    auto it = routers_.find(peer->spec().attach_node);
+    if (it == routers_.end()) continue;
+    for (const auto& [name, iface] : it->second->configuration().interfaces) {
+      if (!iface.address || iface.is_loopback()) continue;
+      if (iface.address->subnet.contains(peer->spec().address))
+        it->second->set_link_state(name, true);
+    }
+  }
+}
+
+void Emulation::start_all() {
+  refresh_link_states();
+  for (auto& [name, router] : routers_) {
+    vrouter::VirtualRouter* r = router.get();
+    kernel_.schedule(util::Duration::micros(0), [r] { r->start(); });
+  }
+}
+
+void Emulation::start_node_after(const net::NodeName& node, util::Duration delay) {
+  auto it = routers_.find(node);
+  if (it == routers_.end()) return;
+  vrouter::VirtualRouter* r = it->second.get();
+  kernel_.schedule(delay, [r] { r->start(); });
+}
+
+util::Status Emulation::apply_config_text(const net::NodeName& node,
+                                          const std::string& text, config::Vendor vendor) {
+  auto it = routers_.find(node);
+  if (it == routers_.end()) return util::not_found("no such node '" + node + "'");
+  config::ParseResult parsed = config::parse_config(text, vendor);
+  if (parsed.config.hostname.empty()) parsed.config.hostname = node;
+  parse_diagnostics_[node] = parsed.diagnostics;
+  index_addresses(parsed.config);
+  it->second->apply_config(std::move(parsed.config));
+  return util::Status::ok_status();
+}
+
+bool Emulation::set_link_up(const net::PortRef& a, const net::PortRef& b, bool up) {
+  auto it_a = links_.find(a);
+  auto it_b = links_.find(b);
+  if (it_a == links_.end() || it_b == links_.end()) return false;
+  if (it_a->second.peer != b || it_b->second.peer != a) return false;
+  it_a->second.up = up;
+  it_b->second.up = up;
+  refresh_link_states();
+  return true;
+}
+
+bool Emulation::run_to_convergence(uint64_t max_events) {
+  return kernel_.run_until_idle(max_events);
+}
+
+util::TimePoint Emulation::converged_at() const {
+  util::TimePoint latest;
+  for (const auto& [name, router] : routers_)
+    latest = std::max(latest, router->last_fib_change());
+  return latest;
+}
+
+vrouter::VirtualRouter* Emulation::router(const net::NodeName& node) {
+  auto it = routers_.find(node);
+  return it == routers_.end() ? nullptr : it->second.get();
+}
+const vrouter::VirtualRouter* Emulation::router(const net::NodeName& node) const {
+  auto it = routers_.find(node);
+  return it == routers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<net::NodeName> Emulation::node_names() const {
+  std::vector<net::NodeName> names;
+  names.reserve(routers_.size());
+  for (const auto& [name, router] : routers_) names.push_back(name);
+  return names;
+}
+
+std::vector<aft::DeviceAft> Emulation::dump_afts() const {
+  std::vector<aft::DeviceAft> afts;
+  afts.reserve(routers_.size());
+  for (const auto& [name, router] : routers_) afts.push_back(router->device_aft());
+  return afts;
+}
+
+// ---------------------------------------------------------------------------
+// Fabric
+
+void Emulation::send_on_interface(const net::NodeName& node,
+                                  const net::InterfaceName& interface,
+                                  const proto::Message& message) {
+  auto it = links_.find(net::PortRef{node, interface});
+  if (it == links_.end() || !it->second.up) {
+    ++messages_dropped_;
+    return;
+  }
+  const LinkEnd& end = it->second;
+  auto router_it = routers_.find(end.peer.node);
+  if (router_it == routers_.end()) {
+    ++messages_dropped_;
+    return;
+  }
+  vrouter::VirtualRouter* target = router_it->second.get();
+  net::InterfaceName in_interface = end.peer.interface;
+  util::Duration delay = util::Duration::micros(end.latency_micros) + jitter();
+  kernel_.schedule(delay, [this, target, in_interface, message] {
+    ++messages_delivered_;
+    target->deliver_on_interface(in_interface, message);
+  });
+}
+
+void Emulation::send_addressed(const net::NodeName& node, net::Ipv4Address destination,
+                               const proto::Message& message) {
+  util::Duration delay = util::Duration::micros(options_.addressed_latency_micros) + jitter();
+  if (const auto* update = std::get_if<proto::BgpUpdate>(&message))
+    delay = delay + util::Duration::micros(
+                        static_cast<int64_t>(update->announced.size() +
+                                             update->withdrawn.size()) *
+                        options_.per_route_processing_micros);
+  // Serialize messages per session channel.
+  util::TimePoint& busy_until = channel_busy_until_[{node, destination.bits()}];
+  util::TimePoint deliver_at = std::max(kernel_.now(), busy_until) + delay;
+  busy_until = deliver_at;
+  delay = deliver_at - kernel_.now();
+  if (auto peer_it = peer_addresses_.find(destination); peer_it != peer_addresses_.end()) {
+    ExternalPeer* peer = peer_it->second;
+    kernel_.schedule(delay, [this, peer, message] {
+      ++messages_delivered_;
+      peer->handle(message, options_.injection_batch_size);
+    });
+    return;
+  }
+  auto owner_it = address_owner_.find(destination);
+  if (owner_it == address_owner_.end()) {
+    ++messages_dropped_;
+    return;
+  }
+  auto router_it = routers_.find(owner_it->second);
+  if (router_it == routers_.end()) {
+    ++messages_dropped_;
+    return;
+  }
+  vrouter::VirtualRouter* target = router_it->second.get();
+  kernel_.schedule(delay, [this, target, message] {
+    ++messages_delivered_;
+    target->deliver_addressed(message);
+  });
+}
+
+void Emulation::schedule(util::Duration delay, std::function<void()> fn) {
+  kernel_.schedule(delay, std::move(fn));
+}
+
+}  // namespace mfv::emu

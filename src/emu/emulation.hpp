@@ -1,0 +1,166 @@
+// The network emulator: wires virtual routers together over virtual links,
+// delivers control-plane messages through the event kernel, injects
+// external BGP advertisements, and detects dataplane convergence.
+//
+// This is the in-process analogue of the paper's KNE deployment (§4.1):
+// `add_topology` corresponds to `kne create` (parse configs, create pods,
+// wire links), `start_*` to container boot, `run_to_convergence` to waiting
+// for the control plane to reach steady state, and `dump_afts` to the gNMI
+// AFT extraction.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/diagnostics.hpp"
+#include "emu/kernel.hpp"
+#include "emu/topology.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "vrouter/virtual_router.hpp"
+
+namespace mfv::emu {
+
+struct EmulationOptions {
+  /// Seed for all stochastic behaviour (message jitter).
+  uint64_t seed = 1;
+  /// Uniform per-message extra delay in [0, jitter] microseconds. Zero
+  /// means fully deterministic timing; nonzero perturbs message arrival
+  /// order (experiment A2, §6 "Non-deterministic behavior").
+  int64_t message_jitter_micros = 0;
+  /// Latency of addressed (multi-hop session) messages.
+  int64_t addressed_latency_micros = 1000;
+  /// Per-route processing/serialization cost applied to BGP updates: a
+  /// large advertisement batch takes proportionally longer to arrive and
+  /// be digested, which is what makes full-table injection dominate
+  /// convergence time (E4b: "millions from each BGP peer" -> ~3 min).
+  int64_t per_route_processing_micros = 100;
+  /// BGP final tiebreak mode for all routers (see BgpEngineOptions).
+  bool bgp_prefer_oldest = true;
+  /// Routes per injected BGP update message.
+  size_t injection_batch_size = 1000;
+};
+
+/// External BGP speaker that injects context advertisements.
+class ExternalPeer {
+ public:
+  ExternalPeer(ExternalPeerSpec spec, vrouter::Fabric& fabric);
+
+  const ExternalPeerSpec& spec() const { return spec_; }
+  bool established() const { return established_; }
+  size_t updates_received() const { return updates_received_; }
+
+  void handle(const proto::Message& message, size_t batch_size);
+
+ private:
+  ExternalPeerSpec spec_;
+  vrouter::Fabric& fabric_;
+  bool established_ = false;
+  size_t updates_received_ = 0;
+};
+
+class Emulation final : public vrouter::Fabric {
+ public:
+  explicit Emulation(EmulationOptions options = {});
+  ~Emulation() override;
+
+  // -- construction ---------------------------------------------------------
+
+  /// Parses every node's config in its dialect, creates routers, wires
+  /// links, registers external peers. Per-node parse diagnostics (invalid
+  /// lines the device CLI rejected) are kept in `parse_diagnostics`.
+  util::Status add_topology(const Topology& topology);
+
+  /// Adds a single pre-parsed router (test convenience).
+  vrouter::VirtualRouter& add_router(config::DeviceConfig config);
+  void add_link(const net::PortRef& a, const net::PortRef& b,
+                int64_t latency_micros = 1000);
+  void add_external_peer(ExternalPeerSpec spec);
+
+  // -- lifecycle --------------------------------------------------------------
+
+  /// Boots every router at t = now (+ optional per-node delay, e.g. the
+  /// orchestrator's container boot model).
+  void start_all();
+  void start_node_after(const net::NodeName& node, util::Duration delay);
+
+  /// Replaces one node's configuration (reconfiguration of an already-up
+  /// router; converges much faster than initial bring-up, §4.1).
+  util::Status apply_config_text(const net::NodeName& node, const std::string& text,
+                                 config::Vendor vendor);
+
+  /// Takes a link down / up. Returns false if no such link.
+  bool set_link_up(const net::PortRef& a, const net::PortRef& b, bool up);
+
+  // -- execution ----------------------------------------------------------------
+
+  EventKernel& kernel() { return kernel_; }
+
+  /// Runs until the control plane quiesces. Returns false if `max_events`
+  /// fired without quiescing (possible persistent oscillation).
+  bool run_to_convergence(uint64_t max_events = 100000000ull);
+
+  /// Virtual time of the last forwarding change on any router — the
+  /// "dataplane stabilized at all routers" timestamp of §5.
+  util::TimePoint converged_at() const;
+
+  // -- inspection -----------------------------------------------------------------
+
+  vrouter::VirtualRouter* router(const net::NodeName& node);
+  const vrouter::VirtualRouter* router(const net::NodeName& node) const;
+  std::vector<net::NodeName> node_names() const;
+  const std::map<net::NodeName, config::DiagnosticList>& parse_diagnostics() const {
+    return parse_diagnostics_;
+  }
+  const std::vector<std::unique_ptr<ExternalPeer>>& external_peers() const {
+    return external_peers_;
+  }
+
+  /// gNMI-style dataplane dump of every router.
+  std::vector<aft::DeviceAft> dump_afts() const;
+
+  uint64_t messages_delivered() const { return messages_delivered_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+
+  // -- vrouter::Fabric ----------------------------------------------------------
+  void send_on_interface(const net::NodeName& node, const net::InterfaceName& interface,
+                         const proto::Message& message) override;
+  void send_addressed(const net::NodeName& node, net::Ipv4Address destination,
+                      const proto::Message& message) override;
+  void schedule(util::Duration delay, std::function<void()> fn) override;
+  util::TimePoint now() const override { return kernel_.now(); }
+
+ private:
+  struct LinkEnd {
+    net::PortRef peer;
+    int64_t latency_micros = 1000;
+    bool up = true;
+  };
+
+  util::Duration jitter();
+  void index_addresses(const config::DeviceConfig& config);
+  void refresh_link_states();
+
+  EmulationOptions options_;
+  EventKernel kernel_;
+  util::Pcg32 rng_;
+
+  std::map<net::NodeName, std::unique_ptr<vrouter::VirtualRouter>> routers_;
+  std::map<net::PortRef, LinkEnd> links_;
+  std::vector<std::unique_ptr<ExternalPeer>> external_peers_;
+  std::map<net::Ipv4Address, net::NodeName> address_owner_;
+  std::map<net::Ipv4Address, ExternalPeer*> peer_addresses_;
+  std::map<net::NodeName, config::DiagnosticList> parse_diagnostics_;
+  /// Per (sender, destination) channel serialization: a later message on
+  /// the same session cannot arrive before an earlier large one finished
+  /// transferring (models TCP ordering + receiver processing).
+  std::map<std::pair<net::NodeName, uint32_t>, util::TimePoint> channel_busy_until_;
+
+  uint64_t messages_delivered_ = 0;
+  uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace mfv::emu

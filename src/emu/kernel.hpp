@@ -1,0 +1,81 @@
+// Discrete-event simulation kernel.
+//
+// A single priority queue of (virtual time, sequence number, callback).
+// The sequence number makes same-timestamp ordering deterministic: two runs
+// with the same seed and inputs execute events in exactly the same order
+// (DESIGN.md §5). Non-determinism experiments perturb *timing* (per-message
+// jitter) rather than the kernel itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace mfv::emu {
+
+class EventKernel {
+ public:
+  util::TimePoint now() const { return now_; }
+
+  void schedule_at(util::TimePoint when, std::function<void()> fn) {
+    if (when < now_) when = now_;
+    queue_.push(Event{when, next_sequence_++, std::move(fn)});
+  }
+  void schedule(util::Duration delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  bool idle() const { return queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+  uint64_t executed() const { return executed_; }
+
+  /// Runs events until the queue drains or `max_events` fire. Returns true
+  /// if the queue drained (the network is quiescent).
+  bool run_until_idle(uint64_t max_events = UINT64_MAX) {
+    uint64_t fired = 0;
+    while (!queue_.empty() && fired < max_events) {
+      step();
+      ++fired;
+    }
+    return queue_.empty();
+  }
+
+  /// Runs events with timestamps <= `until`. Virtual time advances to
+  /// `until` even if the queue drains early.
+  void run_until(util::TimePoint until) {
+    while (!queue_.empty() && queue_.top().when <= until) step();
+    if (now_ < until) now_ = until;
+  }
+
+  void run_for(util::Duration duration) { run_until(now_ + duration); }
+
+ private:
+  struct Event {
+    util::TimePoint when;
+    uint64_t sequence;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return sequence > other.sequence;
+    }
+  };
+
+  void step() {
+    // Moving out of the const top is safe: we pop immediately after.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.when;
+    ++executed_;
+    event.fn();
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  util::TimePoint now_;
+  uint64_t next_sequence_ = 0;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace mfv::emu

@@ -1,0 +1,155 @@
+#include "emu/topology.hpp"
+
+namespace mfv::emu {
+
+const NodeSpec* Topology::find_node(const net::NodeName& name) const {
+  for (const NodeSpec& node : nodes)
+    if (node.name == name) return &node;
+  return nullptr;
+}
+
+util::Json Topology::to_json() const {
+  using util::Json;
+  Json j = Json::object();
+  Json nodes_json = Json::array();
+  for (const NodeSpec& node : nodes) {
+    Json n = Json::object();
+    n["name"] = node.name;
+    n["vendor"] = config::vendor_name(node.vendor);
+    n["config"] = node.config_text;
+    nodes_json.push_back(std::move(n));
+  }
+  j["nodes"] = std::move(nodes_json);
+
+  Json links_json = Json::array();
+  for (const LinkSpec& link : links) {
+    Json l = Json::object();
+    l["a"] = link.a.to_string();
+    l["b"] = link.b.to_string();
+    l["latency-us"] = link.latency_micros;
+    links_json.push_back(std::move(l));
+  }
+  j["links"] = std::move(links_json);
+
+  Json peers_json = Json::array();
+  for (const ExternalPeerSpec& peer : external_peers) {
+    Json p = Json::object();
+    p["name"] = peer.name;
+    p["attach-node"] = peer.attach_node;
+    p["address"] = peer.address.to_string();
+    p["as-number"] = peer.as_number;
+    Json routes = Json::array();
+    for (const proto::BgpRoute& route : peer.routes) {
+      Json r = Json::object();
+      r["prefix"] = route.prefix.to_string();
+      Json as_path = Json::array();
+      for (net::AsNumber asn : route.attributes.as_path) as_path.push_back(asn);
+      r["as-path"] = std::move(as_path);
+      r["med"] = route.attributes.med;
+      routes.push_back(std::move(r));
+    }
+    p["routes"] = std::move(routes);
+    peers_json.push_back(std::move(p));
+  }
+  j["external-peers"] = std::move(peers_json);
+  return j;
+}
+
+namespace {
+
+util::Result<net::PortRef> parse_port(const std::string& text) {
+  size_t colon = text.find(':');
+  if (colon == std::string::npos)
+    return util::invalid_argument("port must be node:interface, got '" + text + "'");
+  return net::PortRef{text.substr(0, colon), text.substr(colon + 1)};
+}
+
+}  // namespace
+
+util::Result<Topology> Topology::from_json(const util::Json& json) {
+  if (!json.is_object()) return util::invalid_argument("topology must be an object");
+  Topology topology;
+
+  if (const util::Json* nodes = json.find("nodes"); nodes && nodes->is_array()) {
+    for (const util::Json& n : nodes->as_array()) {
+      NodeSpec node;
+      const util::Json* name = n.find("name");
+      if (name == nullptr) return util::invalid_argument("node missing name");
+      node.name = name->as_string();
+      if (const util::Json* vendor = n.find("vendor")) {
+        if (vendor->as_string() == "vjun") node.vendor = config::Vendor::kVjun;
+        else if (vendor->as_string() == "ceos") node.vendor = config::Vendor::kCeos;
+        else return util::invalid_argument("unknown vendor '" + vendor->as_string() + "'");
+      }
+      if (const util::Json* config_text = n.find("config"))
+        node.config_text = config_text->as_string();
+      topology.nodes.push_back(std::move(node));
+    }
+  }
+
+  if (const util::Json* links = json.find("links"); links && links->is_array()) {
+    for (const util::Json& l : links->as_array()) {
+      LinkSpec link;
+      const util::Json* a = l.find("a");
+      const util::Json* b = l.find("b");
+      if (a == nullptr || b == nullptr)
+        return util::invalid_argument("link missing endpoint");
+      auto port_a = parse_port(a->as_string());
+      if (!port_a.ok()) return port_a.status();
+      auto port_b = parse_port(b->as_string());
+      if (!port_b.ok()) return port_b.status();
+      link.a = *port_a;
+      link.b = *port_b;
+      if (const util::Json* latency = l.find("latency-us"))
+        link.latency_micros = latency->as_int();
+      topology.links.push_back(std::move(link));
+    }
+  }
+
+  if (const util::Json* peers = json.find("external-peers"); peers && peers->is_array()) {
+    for (const util::Json& p : peers->as_array()) {
+      ExternalPeerSpec peer;
+      if (const util::Json* name = p.find("name")) peer.name = name->as_string();
+      const util::Json* attach = p.find("attach-node");
+      const util::Json* address = p.find("address");
+      const util::Json* as_number = p.find("as-number");
+      if (attach == nullptr || address == nullptr || as_number == nullptr)
+        return util::invalid_argument("external peer missing attach-node/address/as-number");
+      peer.attach_node = attach->as_string();
+      auto parsed = net::Ipv4Address::parse(address->as_string());
+      if (!parsed) return util::invalid_argument("bad external peer address");
+      peer.address = *parsed;
+      peer.as_number = static_cast<net::AsNumber>(as_number->as_int());
+      if (const util::Json* routes = p.find("routes"); routes && routes->is_array()) {
+        for (const util::Json& r : routes->as_array()) {
+          proto::BgpRoute route;
+          const util::Json* prefix = r.find("prefix");
+          if (prefix == nullptr) return util::invalid_argument("peer route missing prefix");
+          auto parsed_prefix = net::Ipv4Prefix::parse(prefix->as_string());
+          if (!parsed_prefix) return util::invalid_argument("bad peer route prefix");
+          route.prefix = *parsed_prefix;
+          route.attributes.next_hop = peer.address;
+          route.attributes.as_path = {peer.as_number};
+          if (const util::Json* as_path = r.find("as-path"); as_path && as_path->is_array()) {
+            route.attributes.as_path.clear();
+            for (const util::Json& asn : as_path->as_array())
+              route.attributes.as_path.push_back(static_cast<net::AsNumber>(asn.as_int()));
+          }
+          if (const util::Json* med = r.find("med"))
+            route.attributes.med = static_cast<uint32_t>(med->as_int());
+          peer.routes.push_back(std::move(route));
+        }
+      }
+      topology.external_peers.push_back(std::move(peer));
+    }
+  }
+  return topology;
+}
+
+util::Result<Topology> Topology::from_json_text(std::string_view text) {
+  auto json = util::Json::parse(text);
+  if (!json) return util::invalid_argument("topology JSON syntax error");
+  return from_json(*json);
+}
+
+}  // namespace mfv::emu

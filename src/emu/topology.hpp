@@ -1,0 +1,57 @@
+// Topology specification: the emulation analogue of a KNE topology file.
+//
+// Describes nodes (each carrying its native-dialect configuration text),
+// links between interface endpoints, and external BGP peers whose
+// advertisements are injected as context — the same three inputs Batfish
+// takes (configs, layer-1 topology, announcement set; §4.1 of the paper).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/device_config.hpp"
+#include "net/types.hpp"
+#include "proto/messages.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace mfv::emu {
+
+struct NodeSpec {
+  net::NodeName name;
+  config::Vendor vendor = config::Vendor::kCeos;
+  std::string config_text;  // native-dialect configuration
+};
+
+struct LinkSpec {
+  net::PortRef a;
+  net::PortRef b;
+  /// One-way propagation + processing delay.
+  int64_t latency_micros = 1000;
+};
+
+/// External BGP peer: attaches at an address on a subnet of `attach_node`,
+/// speaks eBGP, and injects `routes` (the "BGP advertisements" context
+/// input).
+struct ExternalPeerSpec {
+  std::string name;
+  net::NodeName attach_node;
+  net::Ipv4Address address;
+  net::AsNumber as_number = 0;
+  std::vector<proto::BgpRoute> routes;
+};
+
+struct Topology {
+  std::vector<NodeSpec> nodes;
+  std::vector<LinkSpec> links;
+  std::vector<ExternalPeerSpec> external_peers;
+
+  const NodeSpec* find_node(const net::NodeName& name) const;
+
+  util::Json to_json() const;
+  static util::Result<Topology> from_json(const util::Json& json);
+  static util::Result<Topology> from_json_text(std::string_view text);
+};
+
+}  // namespace mfv::emu

@@ -1,0 +1,40 @@
+#include "gribi/gribi.hpp"
+
+namespace mfv::gribi {
+
+util::Status GribiClient::add(const net::NodeName& node, const RouteEntry& entry) {
+  vrouter::VirtualRouter* router = emulation_.router(node);
+  if (router == nullptr) return util::not_found("no such target '" + node + "'");
+  if (entry.next_hops.empty())
+    return util::invalid_argument("entry for " + entry.prefix.to_string() +
+                                  " has no next hops");
+  router->program_route(entry.prefix, entry.next_hops);
+  return util::Status::ok_status();
+}
+
+util::Status GribiClient::remove(const net::NodeName& node, const net::Ipv4Prefix& prefix) {
+  vrouter::VirtualRouter* router = emulation_.router(node);
+  if (router == nullptr) return util::not_found("no such target '" + node + "'");
+  if (!router->unprogram_route(prefix))
+    return util::not_found("no programmed entry for " + prefix.to_string() + " on " + node);
+  return util::Status::ok_status();
+}
+
+util::Status GribiClient::flush(const net::NodeName& node) {
+  vrouter::VirtualRouter* router = emulation_.router(node);
+  if (router == nullptr) return util::not_found("no such target '" + node + "'");
+  router->unprogram_all();
+  return util::Status::ok_status();
+}
+
+std::vector<RouteEntry> GribiClient::get(const net::NodeName& node) const {
+  std::vector<RouteEntry> entries;
+  const vrouter::VirtualRouter* router =
+      const_cast<const emu::Emulation&>(emulation_).router(node);
+  if (router == nullptr) return entries;
+  for (const auto& [prefix, next_hops] : router->programmed_routes())
+    entries.push_back({prefix, next_hops});
+  return entries;
+}
+
+}  // namespace mfv::gribi

@@ -1,0 +1,53 @@
+// gRIBI-style programmatic route injection.
+//
+// The paper's API suite (§1, §4.1) includes gRIBI [36] — a gRPC interface
+// for injecting routing entries into a device's RIB from an external
+// controller. This module models that surface: a client that programs
+// IPv4 entries (with one or more next hops) onto emulated routers, with
+// gRIBI's add/replace/delete verbs and an election-id-free single-client
+// simplification. It is what makes the §3 claim concrete: "emulated
+// environments also support applying verification to SDN-based networks,
+// as they support running an SDN controller" — see examples/sdn_controller.
+//
+// Injected entries land in the RIB at administrative distance 5
+// (preferred over every routing protocol, below connected/static), so a
+// controller can override protocol-learned paths, and everything
+// downstream — FIB compilation, gNMI extraction, verification — treats
+// them like any other route.
+#pragma once
+
+#include <vector>
+
+#include "emu/emulation.hpp"
+#include "util/status.hpp"
+
+namespace mfv::gribi {
+
+struct RouteEntry {
+  net::Ipv4Prefix prefix;
+  /// One or more next-hop addresses (ECMP when several). Must resolve
+  /// against the device's RIB (connected subnets, typically).
+  std::vector<net::Ipv4Address> next_hops;
+};
+
+class GribiClient {
+ public:
+  explicit GribiClient(emu::Emulation& emulation) : emulation_(emulation) {}
+
+  /// Adds or replaces the entry for `entry.prefix` on `node`.
+  util::Status add(const net::NodeName& node, const RouteEntry& entry);
+
+  /// Deletes the injected entry for `prefix` on `node`.
+  util::Status remove(const net::NodeName& node, const net::Ipv4Prefix& prefix);
+
+  /// Removes every injected entry on `node` (gRIBI Flush).
+  util::Status flush(const net::NodeName& node);
+
+  /// Injected entries currently programmed on `node`.
+  std::vector<RouteEntry> get(const net::NodeName& node) const;
+
+ private:
+  emu::Emulation& emulation_;
+};
+
+}  // namespace mfv::gribi

@@ -1,0 +1,710 @@
+#include "model/ibdp.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "proto/policy.hpp"
+#include "rib/rib.hpp"
+#include "util/strings.hpp"
+#include "vrouter/virtual_router.hpp"
+
+namespace mfv::model {
+namespace {
+
+using net::Ipv4Address;
+using net::Ipv4Prefix;
+using net::NodeName;
+
+struct ModelNode {
+  config::DeviceConfig config;
+  rib::Rib rib;
+  proto::PolicyContext policy;
+
+  bool interface_up(const config::InterfaceConfig& iface,
+                    const std::set<net::InterfaceName>& wired) const {
+    if (!iface.vrf.empty()) return false;  // VRFs stay out of the default model
+    if (iface.shutdown) return false;
+    if (iface.is_loopback()) return true;
+    return iface.routed() && wired.count(iface.name) > 0;
+  }
+};
+
+struct SessionEnd {
+  NodeName node;
+  const config::BgpNeighborConfig* neighbor;
+  Ipv4Address local_address;
+  bool is_ibgp = false;
+};
+
+struct ModelSession {
+  SessionEnd a, b;  // b.node empty for external-peer sessions
+  const emu::ExternalPeerSpec* external = nullptr;
+};
+
+class Ibdp {
+ public:
+  Ibdp(const emu::Topology& topology, const ModelOptions& options)
+      : topology_(topology), options_(options) {}
+
+  ModelResult run() {
+    parse_all();
+    install_connected_and_static();
+    run_isis();
+    run_ospf();
+    run_bgp();
+    emit_snapshot();
+    return std::move(result_);
+  }
+
+ private:
+  // -- parsing ----------------------------------------------------------------
+
+  void parse_all() {
+    for (const emu::NodeSpec& spec : topology_.nodes) {
+      ReferenceParseResult parsed;
+      if (spec.vendor == config::Vendor::kCeos) {
+        parsed = reference_parse(spec.config_text);
+      } else {
+        // The reference model has no parser for this dialect at all —
+        // every line is unsupported (cf. the paper's 1500 production
+        // configs all failing in the parsing phase).
+        int line_number = 0;
+        for (std::string_view raw : util::split(spec.config_text, '\n')) {
+          ++line_number;
+          std::string_view line = util::trim(raw);
+          if (line.empty() || line[0] == '#') continue;
+          ++parsed.total_lines;
+          ++parsed.material_unrecognized;
+          parsed.diagnostics.add(config::DiagnosticSeverity::kUnrecognized, line_number,
+                                 std::string(line), "vendor dialect unsupported");
+        }
+      }
+      if (parsed.config.hostname.empty()) parsed.config.hostname = spec.name;
+      ModelNode node;
+      node.config = parsed.config;
+      node.policy.route_maps = nullptr;  // bound after nodes_ stabilizes
+      nodes_[spec.name] = std::move(node);
+      result_.parse_results[spec.name] = std::move(parsed);
+      // Track which interfaces are wired in the layer-1 topology.
+      wired_[spec.name] = {};
+    }
+    for (const emu::LinkSpec& link : topology_.links) {
+      wired_[link.a.node].insert(link.a.interface);
+      wired_[link.b.node].insert(link.b.interface);
+    }
+    // External peers wire up the attach interface whose subnet holds the
+    // peer address (the model takes advertisements as input, like Batfish).
+    for (const emu::ExternalPeerSpec& peer : topology_.external_peers) {
+      auto it = nodes_.find(peer.attach_node);
+      if (it == nodes_.end()) continue;
+      for (const auto& [ifname, iface] : it->second.config.interfaces)
+        if (iface.address && !iface.is_loopback() &&
+            iface.address->subnet.contains(peer.address))
+          wired_[peer.attach_node].insert(ifname);
+    }
+    for (auto& [name, node] : nodes_) {
+      node.policy.route_maps = &node.config.route_maps;
+      node.policy.prefix_lists = &node.config.prefix_lists;
+      node.policy.community_lists = &node.config.community_lists;
+      node.policy.local_as = node.config.bgp.local_as;
+      for (const auto& [ifname, iface] : node.config.interfaces)
+        if (iface.address && node.interface_up(iface, wired_[name]))
+          address_owner_[iface.address->address.bits()] = name;
+    }
+  }
+
+  // -- connected + static -------------------------------------------------------
+
+  void install_connected_and_static() {
+    for (auto& [name, node] : nodes_) {
+      for (const auto& [ifname, iface] : node.config.interfaces) {
+        if (!iface.address || !node.interface_up(iface, wired_[name])) continue;
+        rib::RibRoute connected;
+        connected.prefix = iface.address->subnet;
+        connected.protocol = rib::Protocol::kConnected;
+        connected.interface = ifname;
+        connected.source = ifname;
+        node.rib.add(connected);
+        if (iface.address->subnet.length() < 32) {
+          rib::RibRoute local;
+          local.prefix = Ipv4Prefix::host(iface.address->address);
+          local.protocol = rib::Protocol::kLocal;
+          local.interface = ifname;
+          local.source = ifname;
+          node.rib.add(local);
+        }
+      }
+      for (const config::StaticRoute& route : node.config.static_routes) {
+        rib::RibRoute entry;
+        entry.prefix = route.prefix;
+        entry.protocol = rib::Protocol::kStatic;
+        entry.admin_distance = route.distance;
+        entry.next_hop = route.next_hop;
+        entry.interface = route.exit_interface;
+        entry.drop = route.null_route;
+        entry.source = "static";
+        node.rib.add(entry);
+      }
+    }
+  }
+
+  // -- IS-IS (global graph + per-node Dijkstra) ---------------------------------
+
+  struct IsisAdj {
+    NodeName neighbor;
+    net::InterfaceName local_interface;
+    Ipv4Address neighbor_address;
+    uint32_t metric;
+  };
+
+  void run_isis() {
+    // Build adjacency from the L1 topology: a link is an IS-IS adjacency
+    // if both ends are up, addressed (per the *model's* view), enabled,
+    // non-passive, and in the same instance.
+    std::map<NodeName, std::vector<IsisAdj>> adjacency;
+    for (const emu::LinkSpec& link : topology_.links) {
+      auto* na = find_node(link.a.node);
+      auto* nb = find_node(link.b.node);
+      if (na == nullptr || nb == nullptr) continue;
+      const config::InterfaceConfig* ia = na->config.find_interface(link.a.interface);
+      const config::InterfaceConfig* ib = nb->config.find_interface(link.b.interface);
+      if (ia == nullptr || ib == nullptr) continue;
+      auto eligible = [&](const ModelNode& node, const config::InterfaceConfig& iface) {
+        return node.config.isis.enabled && iface.isis_enabled && !iface.isis_passive &&
+               iface.address && node.interface_up(iface, wired_.at(node.config.hostname));
+      };
+      if (!eligible(*na, *ia) || !eligible(*nb, *ib)) continue;
+      adjacency[link.a.node].push_back(
+          {link.b.node, link.a.interface, ib->address->address, ia->isis_metric});
+      adjacency[link.b.node].push_back(
+          {link.a.node, link.b.interface, ia->address->address, ib->isis_metric});
+    }
+
+    // Advertised prefixes per node.
+    std::map<NodeName, std::vector<std::pair<Ipv4Prefix, uint32_t>>> advertised;
+    for (auto& [name, node] : nodes_) {
+      if (!node.config.isis.enabled || !node.config.isis.af_ipv4_unicast) continue;
+      for (const auto& [ifname, iface] : node.config.interfaces)
+        if (iface.isis_enabled && iface.address &&
+            node.interface_up(iface, wired_[name]))
+          advertised[name].push_back({iface.address->subnet, iface.isis_metric});
+    }
+
+    // Per-node Dijkstra over the adjacency graph.
+    for (auto& [source, node] : nodes_) {
+      if (!node.config.isis.enabled || !node.config.isis.af_ipv4_unicast) continue;
+      std::map<NodeName, uint32_t> distance;
+      std::map<NodeName, std::set<const IsisAdj*>> first_hop;
+      distance[source] = 0;
+      using Item = std::pair<uint32_t, NodeName>;
+      std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+      queue.push({0, source});
+      std::set<NodeName> settled;
+      while (!queue.empty()) {
+        auto [dist, at] = queue.top();
+        queue.pop();
+        if (settled.count(at)) continue;
+        settled.insert(at);
+        auto adj_it = adjacency.find(at);
+        if (adj_it == adjacency.end()) continue;
+        for (const IsisAdj& edge : adj_it->second) {
+          uint32_t candidate = dist + edge.metric;
+          std::set<const IsisAdj*> hops;
+          if (at == source) hops.insert(&edge);
+          else hops = first_hop[at];
+          auto d_it = distance.find(edge.neighbor);
+          if (d_it == distance.end() || candidate < d_it->second) {
+            distance[edge.neighbor] = candidate;
+            first_hop[edge.neighbor] = hops;
+            queue.push({candidate, edge.neighbor});
+          } else if (candidate == d_it->second) {
+            first_hop[edge.neighbor].insert(hops.begin(), hops.end());
+          }
+        }
+      }
+      for (const auto& [target, items] : advertised) {
+        if (target == source) continue;
+        auto d_it = distance.find(target);
+        if (d_it == distance.end()) continue;
+        for (const auto& [prefix, metric] : items) {
+          for (const IsisAdj* hop : first_hop[target]) {
+            rib::RibRoute route;
+            route.prefix = prefix;
+            route.protocol = rib::Protocol::kIsis;
+            route.admin_distance = rib::default_admin_distance(rib::Protocol::kIsis);
+            route.metric = d_it->second + metric;
+            route.next_hop = hop->neighbor_address;
+            route.interface = hop->local_interface;
+            route.source = node.config.isis.instance;
+            node.rib.add(route);
+          }
+        }
+      }
+    }
+  }
+
+  // -- OSPF (same global-graph approach as IS-IS) -------------------------------
+
+  void run_ospf() {
+    struct OspfAdj {
+      NodeName neighbor;
+      net::InterfaceName local_interface;
+      Ipv4Address neighbor_address;
+      uint32_t cost;
+    };
+    auto participates = [&](const ModelNode& node, const config::InterfaceConfig& iface) {
+      return node.config.ospf.enabled && iface.address &&
+             node.config.ospf.covers(iface.address->address) &&
+             node.interface_up(iface, wired_.at(node.config.hostname));
+    };
+    auto active_adjacency = [&](const ModelNode& node,
+                                const config::InterfaceConfig& iface) {
+      return participates(node, iface) && !iface.is_loopback() &&
+             !node.config.ospf.is_passive(iface.name);
+    };
+
+    std::map<NodeName, std::vector<OspfAdj>> adjacency;
+    for (const emu::LinkSpec& link : topology_.links) {
+      auto* na = find_node(link.a.node);
+      auto* nb = find_node(link.b.node);
+      if (na == nullptr || nb == nullptr) continue;
+      const config::InterfaceConfig* ia = na->config.find_interface(link.a.interface);
+      const config::InterfaceConfig* ib = nb->config.find_interface(link.b.interface);
+      if (ia == nullptr || ib == nullptr) continue;
+      if (!active_adjacency(*na, *ia) || !active_adjacency(*nb, *ib)) continue;
+      adjacency[link.a.node].push_back(
+          {link.b.node, link.a.interface, ib->address->address, ia->ospf_cost});
+      adjacency[link.b.node].push_back(
+          {link.a.node, link.b.interface, ia->address->address, ib->ospf_cost});
+    }
+
+    std::map<NodeName, std::vector<std::pair<Ipv4Prefix, uint32_t>>> advertised;
+    for (auto& [name, node] : nodes_)
+      for (const auto& [ifname, iface] : node.config.interfaces)
+        if (participates(node, iface))
+          advertised[name].push_back({iface.address->subnet, iface.ospf_cost});
+
+    for (auto& [source, node] : nodes_) {
+      if (!node.config.ospf.enabled) continue;
+      std::map<NodeName, uint32_t> distance;
+      std::map<NodeName, std::set<const OspfAdj*>> first_hop;
+      distance[source] = 0;
+      using Item = std::pair<uint32_t, NodeName>;
+      std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+      queue.push({0, source});
+      std::set<NodeName> settled;
+      while (!queue.empty()) {
+        auto [dist, at] = queue.top();
+        queue.pop();
+        if (settled.count(at)) continue;
+        settled.insert(at);
+        auto adj_it = adjacency.find(at);
+        if (adj_it == adjacency.end()) continue;
+        for (const OspfAdj& edge : adj_it->second) {
+          uint32_t candidate = dist + edge.cost;
+          std::set<const OspfAdj*> hops;
+          if (at == source) hops.insert(&edge);
+          else hops = first_hop[at];
+          auto d_it = distance.find(edge.neighbor);
+          if (d_it == distance.end() || candidate < d_it->second) {
+            distance[edge.neighbor] = candidate;
+            first_hop[edge.neighbor] = hops;
+            queue.push({candidate, edge.neighbor});
+          } else if (candidate == d_it->second) {
+            first_hop[edge.neighbor].insert(hops.begin(), hops.end());
+          }
+        }
+      }
+      for (const auto& [target, items] : advertised) {
+        if (target == source) continue;
+        auto d_it = distance.find(target);
+        if (d_it == distance.end()) continue;
+        for (const auto& [prefix, metric] : items) {
+          for (const OspfAdj* hop : first_hop[target]) {
+            rib::RibRoute route;
+            route.prefix = prefix;
+            route.protocol = rib::Protocol::kOspf;
+            route.admin_distance = rib::default_admin_distance(rib::Protocol::kOspf);
+            route.metric = d_it->second + metric;
+            route.next_hop = hop->neighbor_address;
+            route.interface = hop->local_interface;
+            route.source = std::to_string(node.config.ospf.process_id);
+            node.rib.add(route);
+          }
+        }
+      }
+    }
+  }
+
+  // -- BGP fixed point -------------------------------------------------------------
+
+  struct RibIn {
+    proto::BgpRoute route;
+    Ipv4Address from_peer;
+    bool from_ebgp = false;
+    bool from_client = false;  // learned from a route-reflector client
+  };
+
+  void run_bgp() {
+    // Enumerate sessions: internal (both ends configured and mutually
+    // reachable) and external (advertisement injection points).
+    std::vector<ModelSession> sessions;
+    for (auto& [name, node] : nodes_) {
+      for (const config::BgpNeighborConfig& neighbor : node.config.bgp.neighbors) {
+        if (!node.config.bgp.enabled || neighbor.shutdown) continue;
+        // External peer?
+        for (const emu::ExternalPeerSpec& peer : topology_.external_peers) {
+          if (peer.attach_node == name && peer.address == neighbor.peer &&
+              peer.as_number == neighbor.remote_as) {
+            ModelSession session;
+            session.a = {name, &neighbor, session_address(name, neighbor), false};
+            session.external = &peer;
+            sessions.push_back(session);
+          }
+        }
+        // Internal: find the owner of the peer address with a mirror config.
+        auto owner_it = address_owner_.find(neighbor.peer.bits());
+        if (owner_it == address_owner_.end()) continue;
+        const NodeName& peer_node = owner_it->second;
+        if (peer_node <= name) continue;  // visit each pair once (a < b)
+        ModelNode* other = find_node(peer_node);
+        if (other == nullptr || !other->config.bgp.enabled) continue;
+        Ipv4Address my_address = session_address(name, neighbor);
+        for (const config::BgpNeighborConfig& reverse : other->config.bgp.neighbors) {
+          if (reverse.shutdown || reverse.peer != my_address) continue;
+          if (neighbor.remote_as != other->config.bgp.local_as) continue;
+          if (reverse.remote_as != node.config.bgp.local_as) continue;
+          ModelSession session;
+          bool ibgp = node.config.bgp.local_as == other->config.bgp.local_as;
+          session.a = {name, &neighbor, my_address, ibgp};
+          session.b = {peer_node, &reverse, reverse_address(peer_node, reverse), ibgp};
+          sessions.push_back(session);
+        }
+      }
+    }
+
+    // Reachability gate: both ends must reach each other in the current
+    // RIBs (connected/IGP/static).
+    auto reaches = [&](const NodeName& node, Ipv4Address address) {
+      ModelNode* n = find_node(node);
+      if (n == nullptr) return false;
+      if (address_owner_.count(address.bits()) &&
+          address_owner_.at(address.bits()) == node)
+        return true;
+      for (const rib::RibRoute& route : n->rib.longest_match(address))
+        if (!route.drop) return true;
+      // External peer addresses on a connected subnet.
+      for (const rib::RibRoute& route : n->rib.longest_match(address))
+        if (route.protocol == rib::Protocol::kConnected) return true;
+      return false;
+    };
+    std::vector<const ModelSession*> live;
+    for (const ModelSession& session : sessions) {
+      if (session.external != nullptr) {
+        if (reaches(session.a.node, session.a.neighbor->peer)) live.push_back(&session);
+        continue;
+      }
+      if (reaches(session.a.node, session.a.neighbor->peer) &&
+          reaches(session.b.node, session.b.neighbor->peer))
+        live.push_back(&session);
+    }
+
+    // Adj-RIB-In per (node, peer-address).
+    std::map<NodeName, std::map<Ipv4Prefix, std::vector<RibIn>>> rib_in;
+
+    // Inject external advertisements once.
+    for (const ModelSession* session : live) {
+      if (session->external == nullptr) continue;
+      ModelNode* node = find_node(session->a.node);
+      for (const proto::BgpRoute& advert : session->external->routes) {
+        proto::BgpRoute route = advert;
+        route.attributes.local_pref = node->config.bgp.default_local_pref;
+        auto result =
+            apply_route_map(node->policy, session->a.neighbor->route_map_in, route);
+        if (!result.permitted) continue;
+        rib_in[session->a.node][route.prefix].push_back(
+            {result.route, session->external->address, true});
+      }
+    }
+
+    // Locally originated routes.
+    std::map<NodeName, std::map<Ipv4Prefix, proto::BgpRoute>> local;
+    for (auto& [name, node] : nodes_) {
+      if (!node.config.bgp.enabled) continue;
+      for (const config::BgpNetwork& network : node.config.bgp.networks) {
+        if (node.rib.best(network.prefix).empty()) continue;
+        proto::BgpRoute route;
+        route.prefix = network.prefix;
+        route.attributes.local_pref = node.config.bgp.default_local_pref;
+        auto result = apply_route_map(node.policy, network.route_map, route);
+        if (result.permitted) local[name][network.prefix] = result.route;
+      }
+      if (node.config.bgp.redistribute_connected || node.config.bgp.redistribute_static) {
+        node.rib.for_each_best([&](const Ipv4Prefix& prefix,
+                                   const std::vector<rib::RibRoute>& best) {
+          for (const rib::RibRoute& r : best) {
+            bool want = (node.config.bgp.redistribute_connected &&
+                         r.protocol == rib::Protocol::kConnected) ||
+                        (node.config.bgp.redistribute_static &&
+                         r.protocol == rib::Protocol::kStatic);
+            if (!want) continue;
+            proto::BgpRoute route;
+            route.prefix = prefix;
+            route.attributes.origin = proto::BgpOrigin::kIncomplete;
+            route.attributes.local_pref = node.config.bgp.default_local_pref;
+            local[node.config.hostname][prefix] = route;
+            break;
+          }
+        });
+      }
+    }
+
+    // Decision function (deterministic tiebreaks only — the model
+    // simplification the paper notes in §6).
+    struct Best {
+      proto::BgpRoute route;
+      bool from_ebgp = false;
+      bool local = false;
+      bool from_client = false;
+      Ipv4Address peer;
+    };
+    auto decide = [&](const NodeName& name,
+                      const std::map<Ipv4Prefix, std::vector<RibIn>>& in)
+        -> std::map<Ipv4Prefix, Best> {
+      std::map<Ipv4Prefix, Best> best;
+      std::set<Ipv4Prefix> prefixes;
+      for (const auto& [prefix, routes] : in) prefixes.insert(prefix);
+      for (const auto& [prefix, route] : local[name]) prefixes.insert(prefix);
+      for (const Ipv4Prefix& prefix : prefixes) {
+        std::vector<Best> candidates;
+        if (auto it = local[name].find(prefix); it != local[name].end())
+          candidates.push_back({it->second, false, true, false, Ipv4Address()});
+        if (auto it = in.find(prefix); it != in.end())
+          for (const RibIn& r : it->second)
+            candidates.push_back({r.route, r.from_ebgp, false, r.from_client, r.from_peer});
+        const Best* winner = nullptr;
+        for (const Best& c : candidates) {
+          if (!c.local && !reaches(name, c.route.attributes.next_hop)) continue;
+          if (winner == nullptr) {
+            winner = &c;
+            continue;
+          }
+          const auto& a = c.route.attributes;
+          const auto& b = winner->route.attributes;
+          if (a.local_pref != b.local_pref) {
+            if (a.local_pref > b.local_pref) winner = &c;
+            continue;
+          }
+          if (c.local != winner->local) {
+            if (c.local) winner = &c;
+            continue;
+          }
+          if (a.as_path.size() != b.as_path.size()) {
+            if (a.as_path.size() < b.as_path.size()) winner = &c;
+            continue;
+          }
+          if (a.origin != b.origin) {
+            if (a.origin < b.origin) winner = &c;
+            continue;
+          }
+          bool same_first = (a.as_path.empty() && b.as_path.empty()) ||
+                            (!a.as_path.empty() && !b.as_path.empty() &&
+                             a.as_path.front() == b.as_path.front());
+          if (same_first && a.med != b.med) {
+            if (a.med < b.med) winner = &c;
+            continue;
+          }
+          if (c.from_ebgp != winner->from_ebgp) {
+            if (c.from_ebgp) winner = &c;
+            continue;
+          }
+          if (c.peer < winner->peer) winner = &c;  // deterministic only
+        }
+        if (winner != nullptr) best[prefix] = *winner;
+      }
+      return best;
+    };
+
+    // Fixed-point iteration of export/import rounds.
+    std::map<NodeName, std::map<Ipv4Prefix, Best>> bests;
+    for (int round = 0; round < options_.max_bgp_rounds; ++round) {
+      result_.bgp_rounds = round + 1;
+      // Decide everywhere.
+      std::map<NodeName, std::map<Ipv4Prefix, Best>> fresh;
+      for (auto& [name, node] : nodes_)
+        if (node.config.bgp.enabled) fresh[name] = decide(name, rib_in[name]);
+
+      // Export across internal sessions into next round's rib_in.
+      std::map<NodeName, std::map<Ipv4Prefix, std::vector<RibIn>>> next = rib_in;
+      auto do_export = [&](const SessionEnd& from, const SessionEnd& to) {
+        ModelNode* sender = find_node(from.node);
+        ModelNode* receiver = find_node(to.node);
+        if (sender == nullptr || receiver == nullptr) return;
+        auto& inbox = next[to.node];
+        // Remove previous contributions from this peer, then repopulate.
+        for (auto& [prefix, routes] : inbox)
+          routes.erase(std::remove_if(routes.begin(), routes.end(),
+                                      [&](const RibIn& r) {
+                                        return r.from_peer == from.local_address;
+                                      }),
+                       routes.end());
+        for (const auto& [prefix, best] : fresh[from.node]) {
+          if (!best.local && best.peer == to.neighbor->peer) continue;  // split horizon
+          bool ibgp = from.is_ibgp;
+          if (ibgp && !best.local && !best.from_ebgp) {
+            // Route-reflection rules (same as the emulated engine).
+            bool reflect = best.from_client || from.neighbor->route_reflector_client;
+            if (!reflect) continue;
+          }
+          proto::BgpRoute route = best.route;
+          auto& attrs = route.attributes;
+          if (ibgp) {
+            if (from.neighbor->next_hop_self || best.local)
+              attrs.next_hop = from.local_address;
+          } else {
+            attrs.as_path.insert(attrs.as_path.begin(), sender->config.bgp.local_as);
+            attrs.next_hop = from.local_address;
+            attrs.local_pref = 100;
+            attrs.med = 0;
+          }
+          if (!from.neighbor->send_community) attrs.communities.clear();
+          auto out = apply_route_map(sender->policy, from.neighbor->route_map_out, route);
+          if (!out.permitted) continue;
+          // Receiver-side processing.
+          proto::BgpRoute received = out.route;
+          if (!ibgp) {
+            if (std::find(received.attributes.as_path.begin(),
+                          received.attributes.as_path.end(),
+                          receiver->config.bgp.local_as) !=
+                received.attributes.as_path.end())
+              continue;  // loop
+            received.attributes.local_pref = receiver->config.bgp.default_local_pref;
+          }
+          auto in = apply_route_map(receiver->policy, to.neighbor->route_map_in, received);
+          if (!in.permitted) continue;
+          inbox[received.prefix].push_back(
+              {in.route, from.local_address, !ibgp,
+               ibgp && to.neighbor->route_reflector_client});
+        }
+      };
+      for (const ModelSession* session : live) {
+        if (session->external != nullptr) continue;
+        do_export(session->a, session->b);
+        do_export(session->b, session->a);
+      }
+
+      // Converged once the inboxes stop changing: decisions are a pure
+      // function of (inboxes, local routes), so they are stable too.
+      bool converged = equal_rib_in(next, rib_in);
+      rib_in = std::move(next);
+      bests = std::move(fresh);
+      if (converged) break;
+    }
+
+    // Install winners into RIBs.
+    for (auto& [name, best_map] : bests) {
+      ModelNode* node = find_node(name);
+      for (const auto& [prefix, best] : best_map) {
+        if (best.local) continue;
+        rib::RibRoute route;
+        route.prefix = prefix;
+        route.protocol = best.from_ebgp ? rib::Protocol::kBgp : rib::Protocol::kIbgp;
+        route.admin_distance = rib::default_admin_distance(route.protocol);
+        route.metric = best.route.attributes.med;
+        route.next_hop = best.route.attributes.next_hop;
+        route.source = "bgp";
+        node->rib.add(route);
+      }
+    }
+  }
+
+  // Comparable views for convergence detection.
+  using RibInMap = std::map<NodeName, std::map<Ipv4Prefix, std::vector<RibIn>>>;
+  static bool equal_rib_in(const RibInMap& x, const RibInMap& y) {
+    auto key = [](const RibInMap& m) {
+      std::vector<std::tuple<NodeName, std::string, std::string, std::string>> flat;
+      for (const auto& [node, prefixes] : m)
+        for (const auto& [prefix, routes] : prefixes)
+          for (const RibIn& r : routes)
+            flat.emplace_back(node, prefix.to_string(), r.from_peer.to_string(),
+                              r.route.attributes.next_hop.to_string() + "/" +
+                                  std::to_string(r.route.attributes.local_pref) + "/" +
+                                  std::to_string(r.route.attributes.as_path.size()));
+      std::sort(flat.begin(), flat.end());
+      return flat;
+    };
+    return key(x) == key(y);
+  }
+  Ipv4Address session_address(const NodeName& name,
+                              const config::BgpNeighborConfig& neighbor) {
+    ModelNode* node = find_node(name);
+    if (node == nullptr) return {};
+    if (neighbor.update_source) {
+      const config::InterfaceConfig* iface =
+          node->config.find_interface(*neighbor.update_source);
+      if (iface != nullptr && iface->address) return iface->address->address;
+      return {};
+    }
+    for (const rib::RibRoute& route : node->rib.longest_match(neighbor.peer)) {
+      if (!route.interface) continue;
+      const config::InterfaceConfig* iface = node->config.find_interface(*route.interface);
+      if (iface != nullptr && iface->address) return iface->address->address;
+    }
+    return {};
+  }
+  Ipv4Address reverse_address(const NodeName& name,
+                              const config::BgpNeighborConfig& neighbor) {
+    return session_address(name, neighbor);
+  }
+
+  // -- snapshot ----------------------------------------------------------------
+
+  void emit_snapshot() {
+    result_.snapshot.name = "model-based";
+    for (auto& [name, node] : nodes_) {
+      aft::DeviceAft device;
+      device.node = name;
+      device.aft = rib::compile_fib(node.rib);
+      for (const auto& [ifname, iface] : node.config.interfaces) {
+        aft::InterfaceState state;
+        state.name = ifname;
+        state.address = iface.address;
+        state.oper_up = node.interface_up(iface, wired_[name]);
+        if (iface.acl_in) {
+          auto it = node.config.acls.find(*iface.acl_in);
+          if (it != node.config.acls.end())
+            state.acl_in = vrouter::resolve_acl(it->second);
+        }
+        if (iface.acl_out) {
+          auto it = node.config.acls.find(*iface.acl_out);
+          if (it != node.config.acls.end())
+            state.acl_out = vrouter::resolve_acl(it->second);
+        }
+        device.interfaces[ifname] = std::move(state);
+      }
+      result_.snapshot.devices[name] = std::move(device);
+    }
+  }
+
+  ModelNode* find_node(const NodeName& name) {
+    auto it = nodes_.find(name);
+    return it == nodes_.end() ? nullptr : &it->second;
+  }
+
+  const emu::Topology& topology_;
+  ModelOptions options_;
+  std::map<NodeName, ModelNode> nodes_;
+  std::map<NodeName, std::set<net::InterfaceName>> wired_;
+  std::map<uint32_t, NodeName> address_owner_;
+  ModelResult result_;
+};
+
+}  // namespace
+
+ModelResult run_model(const emu::Topology& topology, const ModelOptions& options) {
+  return Ibdp(topology, options).run();
+}
+
+}  // namespace mfv::model

@@ -1,0 +1,49 @@
+// "Incremental Model Dataplane": the model-based baseline's control-plane
+// simulation, analogous to Batfish's IBDP (§2).
+//
+// Computes a converged dataplane directly from parsed configurations by
+// fixed-point iteration — no message exchange, no timing, no vendor code.
+// Uses the ReferenceParser (partial coverage) and bakes in the model
+// simplifications the paper discusses:
+//   * deterministic tie-breaking only (no arrival-order effects, §6),
+//   * no MPLS / RSVP-TE (E2),
+//   * the switchport ordering assumption via the parser (E3),
+//   * only the ceos dialect has a parser at all (multi-vendor coverage gap).
+//
+// Output is a gnmi::Snapshot — the same type the model-free pipeline
+// produces — so the identical verification engine runs on both (the
+// augment-don't-replace design of §4.2).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "config/diagnostics.hpp"
+#include "emu/topology.hpp"
+#include "gnmi/gnmi.hpp"
+#include "model/reference_parser.hpp"
+
+namespace mfv::model {
+
+struct ModelOptions {
+  int max_bgp_rounds = 64;
+};
+
+struct ModelResult {
+  gnmi::Snapshot snapshot;
+  std::map<net::NodeName, ReferenceParseResult> parse_results;
+  int bgp_rounds = 0;
+
+  size_t total_unrecognized() const {
+    size_t n = 0;
+    for (const auto& [node, r] : parse_results)
+      n += r.diagnostics.unrecognized_count() + r.diagnostics.error_count();
+    return n;
+  }
+};
+
+/// Runs the full model-based pipeline on a topology: parse (partial),
+/// simulate control plane to fixpoint, emit dataplane snapshot.
+ModelResult run_model(const emu::Topology& topology, const ModelOptions& options = {});
+
+}  // namespace mfv::model

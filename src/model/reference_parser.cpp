@@ -1,0 +1,418 @@
+#include "model/reference_parser.hpp"
+
+#include "util/strings.hpp"
+
+namespace mfv::model {
+namespace {
+
+using config::DiagnosticSeverity;
+
+struct Line {
+  int number = 0;
+  int indent = 0;
+  std::string text;
+  std::vector<std::string> tokens;
+};
+
+class ReferenceParser {
+ public:
+  explicit ReferenceParser(std::string_view text) {
+    int number = 0;
+    for (std::string_view raw : util::split(text, '\n')) {
+      ++number;
+      std::string_view trimmed = util::trim(raw);
+      if (trimmed.empty() || trimmed[0] == '!') continue;
+      size_t bang = trimmed.find(" !");
+      if (bang != std::string_view::npos) trimmed = util::trim(trimmed.substr(0, bang));
+      lines_.push_back({number, util::indent_of(raw), std::string(trimmed),
+                        util::split_whitespace(trimmed)});
+    }
+  }
+
+  ReferenceParseResult run() {
+    result_.total_lines = static_cast<int>(lines_.size());
+    while (pos_ < lines_.size()) parse_top_level();
+    return std::move(result_);
+  }
+
+ private:
+  config::DeviceConfig& cfg() { return result_.config; }
+
+  void unrecognized(const Line& line, const std::string& message, bool material) {
+    result_.diagnostics.add(DiagnosticSeverity::kUnrecognized, line.number, line.text,
+                            message);
+    if (material) ++result_.material_unrecognized;
+    else ++result_.cosmetic_unrecognized;
+  }
+
+  std::vector<size_t> take_block() {
+    std::vector<size_t> block;
+    while (pos_ < lines_.size() && lines_[pos_].indent > 0) block.push_back(pos_++);
+    return block;
+  }
+
+  /// Flags the header and its whole block as unrecognized.
+  void skip_block(const Line& header, const std::string& message, bool material) {
+    unrecognized(header, message, material);
+    for (size_t i : take_block()) unrecognized(lines_[i], message, material);
+  }
+
+  void parse_top_level() {
+    const Line& line = lines_[pos_++];
+    const std::string& head = line.tokens.empty() ? kEmpty : line.tokens[0];
+
+    if (head == "hostname" && line.tokens.size() >= 2) {
+      cfg().hostname = line.tokens[1];
+    } else if (head == "interface" && line.tokens.size() >= 2) {
+      parse_interface(line);
+    } else if (head == "router" && line.tokens.size() >= 2 && line.tokens[1] == "isis") {
+      parse_router_isis(line);
+    } else if (head == "router" && line.tokens.size() >= 2 && line.tokens[1] == "ospf") {
+      parse_router_ospf(line);
+    } else if (head == "router" && line.tokens.size() >= 2 && line.tokens[1] == "bgp") {
+      parse_router_bgp(line);
+    } else if (head == "router" && line.tokens.size() >= 2 &&
+               line.tokens[1] == "traffic-engineering") {
+      // MPLS-TE: simply not in the supported feature subset (§5).
+      skip_block(line, "RSVP-TE is not supported by the network model", /*material=*/true);
+    } else if (head == "mpls") {
+      unrecognized(line, "MPLS is not supported by the network model", /*material=*/true);
+    } else if (head == "ip" && line.tokens.size() >= 2) {
+      parse_ip(line);
+    } else if (head == "route-map") {
+      parse_route_map(line);
+    } else if (head == "end" || head == "exit") {
+      // terminators
+    } else if (head == "vrf" && line.tokens.size() >= 3 && line.tokens[1] == "instance") {
+      if (!cfg().has_vrf(line.tokens[2])) cfg().vrfs.push_back(line.tokens[2]);
+      take_block();
+    } else if (head == "daemon" || head == "management" || head == "service" ||
+               head == "spanning-tree" || head == "vrf" || head == "aaa" ||
+               head == "ntp" || head == "snmp-server" || head == "logging" ||
+               head == "clock" || head == "dns" || head == "banner" ||
+               head == "username" || head == "transceiver" || head == "queue-monitor" ||
+               head == "platform" || head == "hardware" || head == "errdisable" ||
+               head == "load-interval" || head == "no") {
+      // Management-plane blocks the model has no representation for.
+      skip_block(line, "no model support for '" + head + "'", /*material=*/false);
+    } else {
+      skip_block(line, "unknown top-level command", /*material=*/true);
+    }
+  }
+
+  void parse_interface(const Line& header) {
+    config::InterfaceConfig& iface = cfg().interface(header.tokens[1]);
+    bool is_ethernet = util::starts_with(iface.name, "Ethernet");
+    if (is_ethernet) iface.switchport = true;
+
+    // THE ORDERING ASSUMPTION (Fig. 3 issue #1): the model applies lines
+    // top-to-bottom and only accepts "ip address" if the interface is
+    // routed *at that point*. An address appearing before "no switchport"
+    // is silently dropped — no diagnostic, which is what makes this class
+    // of model bug so pernicious.
+    for (size_t i : take_block()) {
+      const Line& line = lines_[i];
+      const auto& t = line.tokens;
+      const std::string& head = t.empty() ? kEmpty : t[0];
+      if (head == "ip" && t.size() >= 3 && t[1] == "address") {
+        if (!iface.routed()) continue;  // silently ignored
+        if (auto address = net::InterfaceAddress::parse(t[2])) iface.address = *address;
+      } else if (head == "no" && t.size() >= 2 && t[1] == "switchport") {
+        iface.switchport = false;
+      } else if (head == "switchport") {
+        iface.switchport = true;
+      } else if (head == "shutdown") {
+        iface.shutdown = true;
+      } else if (head == "no" && t.size() >= 2 && t[1] == "shutdown") {
+        iface.shutdown = false;
+      } else if (head == "description") {
+        iface.description = util::join({t.begin() + 1, t.end()}, " ");
+      } else if (head == "isis" && t.size() >= 2) {
+        if (t[1] == "enable") {
+          // Issue #2: the model expects a different syntax and reports
+          // this one as invalid — then proceeds anyway (matching the
+          // Batfish behaviour in the paper: the line is reported, the
+          // dataplane divergence comes from issue #1).
+          result_.diagnostics.add(DiagnosticSeverity::kError, line.number, line.text,
+                                  "invalid isis syntax (model expects 'isis instance')");
+          iface.isis_enabled = true;
+          iface.isis_instance = t.size() >= 3 ? t[2] : "default";
+        } else if (t[1] == "instance" && t.size() >= 3) {
+          iface.isis_enabled = true;
+          iface.isis_instance = t[2];
+        } else if (t[1] == "passive-interface" || t[1] == "passive") {
+          iface.isis_passive = true;
+        } else if (t[1] == "metric" && t.size() >= 3) {
+          uint32_t metric = 0;
+          if (util::parse_uint32(t[2], metric)) iface.isis_metric = metric;
+        } else {
+          unrecognized(line, "unknown isis interface command", /*material=*/true);
+        }
+      } else if (head == "mpls") {
+        unrecognized(line, "MPLS is not supported by the network model",
+                     /*material=*/true);
+      } else if (head == "ip" && t.size() >= 4 && t[1] == "access-group") {
+        if (t[3] == "in") iface.acl_in = t[2];
+        else if (t[3] == "out") iface.acl_out = t[2];
+      } else if (head == "ip" && t.size() >= 4 && t[1] == "ospf" && t[2] == "cost") {
+        uint32_t cost = 0;
+        if (util::parse_uint32(t[3], cost)) iface.ospf_cost = cost;
+      } else if (head == "vrf" && t.size() >= 2) {
+        iface.vrf = t[1];
+      } else {
+        unrecognized(line, "unknown interface command", /*material=*/false);
+      }
+    }
+  }
+
+  void parse_router_isis(const Line& header) {
+    config::IsisConfig& isis = cfg().isis;
+    isis.enabled = true;
+    isis.instance = header.tokens.size() >= 3 ? header.tokens[2] : "default";
+    for (size_t i : take_block()) {
+      const Line& line = lines_[i];
+      const auto& t = line.tokens;
+      const std::string& head = t.empty() ? kEmpty : t[0];
+      if (head == "net" && t.size() >= 2) {
+        isis.net = t[1];
+      } else if (head == "is-type" && t.size() >= 2) {
+        if (t[1] == "level-1") isis.level = config::IsisLevel::kLevel1;
+        else if (t[1] == "level-2") isis.level = config::IsisLevel::kLevel2;
+        else if (t[1] == "level-1-2") isis.level = config::IsisLevel::kLevel12;
+      } else if (head == "address-family" && t.size() >= 2 && t[1] == "ipv4") {
+        isis.af_ipv4_unicast = true;
+      } else {
+        unrecognized(line, "unknown isis command", /*material=*/false);
+      }
+    }
+  }
+
+  void parse_router_ospf(const Line& header) {
+    config::OspfConfig& ospf = cfg().ospf;
+    uint32_t process_id = 1;
+    if (header.tokens.size() >= 3) util::parse_uint32(header.tokens[2], process_id);
+    ospf.enabled = true;
+    ospf.process_id = process_id;
+    for (size_t i : take_block()) {
+      const Line& line = lines_[i];
+      const auto& t = line.tokens;
+      const std::string& head = t.empty() ? kEmpty : t[0];
+      if (head == "router-id" && t.size() >= 2) {
+        if (auto id = net::Ipv4Address::parse(t[1])) ospf.router_id = *id;
+      } else if (head == "network" && t.size() >= 4 && t[2] == "area") {
+        if (auto prefix = net::Ipv4Prefix::parse(t[1])) ospf.networks.push_back(*prefix);
+      } else if (head == "passive-interface" && t.size() >= 2) {
+        ospf.passive_interfaces.push_back(t[1]);
+      } else {
+        unrecognized(line, "unknown ospf command", /*material=*/false);
+      }
+    }
+  }
+
+  void parse_router_bgp(const Line& header) {
+    config::BgpConfig& bgp = cfg().bgp;
+    uint32_t asn = 0;
+    if (header.tokens.size() < 3 || !util::parse_uint32(header.tokens[2], asn)) {
+      skip_block(header, "malformed router bgp", /*material=*/true);
+      return;
+    }
+    bgp.enabled = true;
+    bgp.local_as = asn;
+    for (size_t i : take_block()) {
+      const Line& line = lines_[i];
+      const auto& t = line.tokens;
+      const std::string& head = t.empty() ? kEmpty : t[0];
+      if (head == "router-id" && t.size() >= 2) {
+        if (auto id = net::Ipv4Address::parse(t[1])) bgp.router_id = *id;
+      } else if (head == "neighbor" && t.size() >= 3) {
+        auto peer = net::Ipv4Address::parse(t[1]);
+        if (!peer) {
+          unrecognized(line, "bad neighbor address", /*material=*/true);
+          continue;
+        }
+        config::BgpNeighborConfig* neighbor = nullptr;
+        for (auto& n : bgp.neighbors)
+          if (n.peer == *peer) neighbor = &n;
+        if (neighbor == nullptr) {
+          bgp.neighbors.push_back({});
+          neighbor = &bgp.neighbors.back();
+          neighbor->peer = *peer;
+        }
+        const std::string& attr = t[2];
+        if (attr == "remote-as" && t.size() >= 4) {
+          uint32_t remote = 0;
+          if (util::parse_uint32(t[3], remote)) neighbor->remote_as = remote;
+        } else if (attr == "update-source" && t.size() >= 4) {
+          neighbor->update_source = t[3];
+        } else if (attr == "next-hop-self") {
+          neighbor->next_hop_self = true;
+        } else if (attr == "route-reflector-client") {
+          neighbor->route_reflector_client = true;
+        } else if (attr == "send-community") {
+          neighbor->send_community = true;
+        } else if (attr == "shutdown") {
+          neighbor->shutdown = true;
+        } else if (attr == "route-map" && t.size() >= 5) {
+          if (t[4] == "in") neighbor->route_map_in = t[3];
+          else if (t[4] == "out") neighbor->route_map_out = t[3];
+        } else if (attr == "description") {
+          neighbor->description = util::join({t.begin() + 3, t.end()}, " ");
+        } else {
+          unrecognized(line, "unknown neighbor attribute", /*material=*/false);
+        }
+      } else if (head == "network" && t.size() >= 2) {
+        if (auto prefix = net::Ipv4Prefix::parse(t[1]))
+          bgp.networks.push_back({*prefix, std::nullopt});
+      } else if (head == "redistribute" && t.size() >= 2) {
+        if (t[1] == "connected") bgp.redistribute_connected = true;
+        else if (t[1] == "static") bgp.redistribute_static = true;
+      } else {
+        unrecognized(line, "unknown bgp command", /*material=*/false);
+      }
+    }
+  }
+
+  void parse_ip(const Line& line) {
+    const auto& t = line.tokens;
+    if (t[1] == "routing") return;
+    if (t[1] == "access-list" && t.size() >= 4 && t[2] == "standard") {
+      config::Acl& acl = cfg().acls[t[3]];
+      acl.name = t[3];
+      for (size_t i : take_block()) {
+        const Line& entry_line = lines_[i];
+        const auto& e = entry_line.tokens;
+        config::AclEntry entry;
+        size_t index = 0;
+        if (index < e.size() && e[index] == "seq" && index + 1 < e.size()) {
+          util::parse_uint32(e[index + 1], entry.seq);
+          index += 2;
+        }
+        if (index >= e.size()) continue;
+        entry.permit = e[index++] == "permit";
+        if (index >= e.size()) continue;
+        if (e[index] == "any") {
+          entry.destination = net::Ipv4Prefix();
+        } else if (e[index] == "host" && index + 1 < e.size()) {
+          auto address = net::Ipv4Address::parse(e[index + 1]);
+          if (!address) continue;
+          entry.destination = net::Ipv4Prefix::host(*address);
+        } else if (auto prefix = net::Ipv4Prefix::parse(e[index])) {
+          entry.destination = *prefix;
+        } else {
+          continue;
+        }
+        if (entry.seq == 0)
+          entry.seq = static_cast<uint32_t>(acl.entries.size() + 1) * 10;
+        acl.entries.push_back(entry);
+      }
+      return;
+    }
+    if (t[1] == "route" && t.size() >= 4) {
+      auto prefix = net::Ipv4Prefix::parse(t[2]);
+      if (!prefix) return;
+      config::StaticRoute route;
+      route.prefix = *prefix;
+      if (t[3] == "Null0" || t[3] == "null0") route.null_route = true;
+      else if (auto nh = net::Ipv4Address::parse(t[3])) route.next_hop = *nh;
+      else route.exit_interface = t[3];
+      if (t.size() >= 5) {
+        uint32_t distance = 0;
+        if (util::parse_uint32(t[4], distance) && distance >= 1 && distance <= 255)
+          route.distance = static_cast<uint8_t>(distance);
+      }
+      cfg().static_routes.push_back(route);
+      return;
+    }
+    if (t[1] == "prefix-list" && t.size() >= 6) {
+      // ip prefix-list NAME seq N permit PFX [ge X] [le Y]
+      config::PrefixListEntry entry;
+      size_t index = 2;
+      std::string name = t[index++];
+      if (t[index] == "seq" && index + 1 < t.size()) {
+        util::parse_uint32(t[index + 1], entry.seq);
+        index += 2;
+      }
+      if (index >= t.size()) return;
+      entry.permit = t[index++] == "permit";
+      if (index >= t.size()) return;
+      auto prefix = net::Ipv4Prefix::parse(t[index++]);
+      if (!prefix) return;
+      entry.prefix = *prefix;
+      while (index + 1 < t.size()) {
+        uint32_t bound = 0;
+        if (t[index] == "ge" && util::parse_uint32(t[index + 1], bound))
+          entry.ge = static_cast<uint8_t>(bound);
+        else if (t[index] == "le" && util::parse_uint32(t[index + 1], bound))
+          entry.le = static_cast<uint8_t>(bound);
+        index += 2;
+      }
+      auto& list = cfg().prefix_lists[name];
+      list.name = name;
+      list.entries.push_back(entry);
+      return;
+    }
+    if (t[1] == "community-list") {
+      // Supported at reduced fidelity: standard lists only.
+      if (t.size() >= 5 && t[2] == "standard") {
+        auto& list = cfg().community_lists[t[3]];
+        list.name = t[3];
+        for (size_t i = 5; i < t.size(); ++i)
+          if (auto community = config::parse_community(t[i]))
+            list.communities.push_back(*community);
+        return;
+      }
+    }
+    unrecognized(line, "unknown ip command", /*material=*/false);
+  }
+
+  void parse_route_map(const Line& header) {
+    const auto& t = header.tokens;
+    uint32_t seq = 10;
+    if (t.size() < 4 || !util::parse_uint32(t[3], seq)) {
+      skip_block(header, "malformed route-map", /*material=*/true);
+      return;
+    }
+    auto& map = cfg().route_maps[t[1]];
+    map.name = t[1];
+    map.clauses.push_back({});
+    config::RouteMapClause& clause = map.clauses.back();
+    clause.seq = seq;
+    clause.permit = t[2] == "permit";
+    for (size_t i : take_block()) {
+      const Line& line = lines_[i];
+      const auto& lt = line.tokens;
+      if (lt.size() >= 5 && lt[0] == "match" && lt[1] == "ip" && lt[3] == "prefix-list") {
+        clause.match_prefix_list = lt[4];
+      } else if (lt.size() >= 3 && lt[0] == "match" && lt[1] == "community") {
+        clause.match_community_list = lt[2];
+      } else if (lt.size() >= 3 && lt[0] == "set" && lt[1] == "local-preference") {
+        uint32_t pref = 0;
+        if (util::parse_uint32(lt[2], pref)) clause.set_local_pref = pref;
+      } else if (lt.size() >= 3 && lt[0] == "set" && lt[1] == "metric") {
+        uint32_t med = 0;
+        if (util::parse_uint32(lt[2], med)) clause.set_med = med;
+      } else if (lt.size() >= 3 && lt[0] == "set" && lt[1] == "community") {
+        for (size_t k = 2; k < lt.size(); ++k) {
+          if (lt[k] == "additive") clause.additive_communities = true;
+          else if (auto community = config::parse_community(lt[k]))
+            clause.set_communities.push_back(*community);
+        }
+      } else {
+        unrecognized(line, "unknown route-map command", /*material=*/false);
+      }
+    }
+  }
+
+  static inline const std::string kEmpty;
+  std::vector<Line> lines_;
+  size_t pos_ = 0;
+  ReferenceParseResult result_;
+};
+
+}  // namespace
+
+ReferenceParseResult reference_parse(std::string_view text) {
+  return ReferenceParser(text).run();
+}
+
+}  // namespace mfv::model

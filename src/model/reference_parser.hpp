@@ -1,0 +1,41 @@
+// The model-based baseline's configuration parser.
+//
+// This is a deliberately *partial* and *independent* reimplementation of
+// ceos config parsing — the architecture the paper critiques (§2): a
+// verification tool maintaining its own parsing layer that inevitably lags
+// the vendor's. Its coverage gaps and baked-in assumptions are not bugs in
+// this repo; they are the reproduction targets:
+//
+//  * Coverage (E2): management daemons, management APIs (gRPC/gNMI/SSL),
+//    platform services, and — materially — MPLS and MPLS-TE are flagged
+//    kUnrecognized and ignored. Real configs lose 38-42 lines each.
+//  * Ordering assumption (E3, Fig. 3 issue #1): "ip address" on an
+//    Ethernet interface is silently dropped unless the interface was
+//    already made routed by an *earlier* "no switchport" line. The real
+//    device accepts either order.
+//  * Syntax gap (E3, Fig. 3 issue #2): "isis enable <instance>" is
+//    reported as invalid syntax (the model expects a different form) while
+//    processing continues.
+#pragma once
+
+#include <string_view>
+
+#include "config/device_config.hpp"
+#include "config/diagnostics.hpp"
+
+namespace mfv::model {
+
+struct ReferenceParseResult {
+  config::DeviceConfig config;
+  config::DiagnosticList diagnostics;
+  int total_lines = 0;
+  /// Unrecognized lines that plausibly matter to the dataplane (MPLS, TE,
+  /// unknown routing commands) versus cosmetic ones (daemons, management).
+  int material_unrecognized = 0;
+  int cosmetic_unrecognized = 0;
+};
+
+/// Parses ceos-dialect text with the reference model's partial coverage.
+ReferenceParseResult reference_parse(std::string_view text);
+
+}  // namespace mfv::model

@@ -1,0 +1,71 @@
+#include "net/ipv4.hpp"
+
+#include "util/strings.hpp"
+
+namespace mfv::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  uint32_t bits = 0;
+  int octets = 0;
+  size_t i = 0;
+  while (octets < 4) {
+    if (i >= text.size()) return std::nullopt;
+    uint32_t value = 0;
+    size_t digits = 0;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+      value = value * 10 + static_cast<uint32_t>(text[i] - '0');
+      if (value > 255) return std::nullopt;
+      ++i;
+      ++digits;
+    }
+    if (digits == 0 || digits > 3) return std::nullopt;
+    bits = (bits << 8) | value;
+    ++octets;
+    if (octets < 4) {
+      if (i >= text.size() || text[i] != '.') return std::nullopt;
+      ++i;
+    }
+  }
+  if (i != text.size()) return std::nullopt;
+  return Ipv4Address(bits);
+}
+
+std::string Ipv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out += std::to_string((bits_ >> shift) & 0xFF);
+    if (shift != 0) out += '.';
+  }
+  return out;
+}
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto address = Ipv4Address::parse(text.substr(0, slash));
+  if (!address) return std::nullopt;
+  uint32_t length = 0;
+  if (!util::parse_uint32(text.substr(slash + 1), length) || length > 32) return std::nullopt;
+  return Ipv4Prefix(*address, static_cast<uint8_t>(length));
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+std::optional<InterfaceAddress> InterfaceAddress::parse(std::string_view text) {
+  size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto address = Ipv4Address::parse(text.substr(0, slash));
+  if (!address) return std::nullopt;
+  uint32_t length = 0;
+  if (!util::parse_uint32(text.substr(slash + 1), length) || length > 32) return std::nullopt;
+  return InterfaceAddress{*address, Ipv4Prefix(*address, static_cast<uint8_t>(length))};
+}
+
+std::string InterfaceAddress::to_string() const {
+  return address.to_string() + "/" + std::to_string(subnet.length());
+}
+
+}  // namespace mfv::net

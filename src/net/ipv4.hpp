@@ -1,0 +1,100 @@
+// IPv4 address and prefix value types.
+//
+// Addresses are host-order uint32 wrappers; prefixes are (address, length)
+// pairs normalized so that host bits are zero. Both are cheap to copy and
+// totally ordered, so they can key std::map/std::set directly.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mfv::net {
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() : bits_(0) {}
+  constexpr explicit Ipv4Address(uint32_t bits) : bits_(bits) {}
+  constexpr Ipv4Address(uint8_t a, uint8_t b, uint8_t c, uint8_t d)
+      : bits_((uint32_t(a) << 24) | (uint32_t(b) << 16) | (uint32_t(c) << 8) | d) {}
+
+  /// Parses dotted-quad "a.b.c.d". Rejects out-of-range octets and garbage.
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  constexpr uint32_t bits() const { return bits_; }
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  uint32_t bits_;
+};
+
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() : address_(), length_(0) {}
+
+  /// Normalizes: host bits below `length` are masked off.
+  constexpr Ipv4Prefix(Ipv4Address address, uint8_t length)
+      : address_(Ipv4Address(mask_bits(address.bits(), length))), length_(length) {}
+
+  /// Parses "a.b.c.d/len". Rejects length > 32.
+  static std::optional<Ipv4Prefix> parse(std::string_view text);
+
+  /// A /32 host route for `address`.
+  static Ipv4Prefix host(Ipv4Address address) { return Ipv4Prefix(address, 32); }
+
+  constexpr Ipv4Address address() const { return address_; }
+  constexpr uint8_t length() const { return length_; }
+
+  constexpr uint32_t netmask() const {
+    return length_ == 0 ? 0u : (~uint32_t(0)) << (32 - length_);
+  }
+
+  constexpr bool contains(Ipv4Address addr) const {
+    return (addr.bits() & netmask()) == address_.bits();
+  }
+  constexpr bool contains(const Ipv4Prefix& other) const {
+    return other.length_ >= length_ && contains(other.address_);
+  }
+  constexpr bool overlaps(const Ipv4Prefix& other) const {
+    return contains(other) || other.contains(*this);
+  }
+
+  /// First and last address covered by this prefix.
+  constexpr Ipv4Address first_address() const { return address_; }
+  constexpr Ipv4Address last_address() const {
+    return Ipv4Address(address_.bits() | ~netmask());
+  }
+
+  /// Number of addresses covered (2^(32-len)), as uint64 to hold /0.
+  constexpr uint64_t size() const { return uint64_t(1) << (32 - length_); }
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Prefix&) const = default;
+
+ private:
+  static constexpr uint32_t mask_bits(uint32_t bits, uint8_t length) {
+    return length == 0 ? 0u : bits & ((~uint32_t(0)) << (32 - length));
+  }
+
+  Ipv4Address address_;
+  uint8_t length_;
+};
+
+/// Parses "a.b.c.d/len" treating the address part as an interface address:
+/// returns both the exact address and the enclosing subnet prefix.
+struct InterfaceAddress {
+  Ipv4Address address;
+  Ipv4Prefix subnet;
+
+  static std::optional<InterfaceAddress> parse(std::string_view text);
+  std::string to_string() const;
+
+  auto operator<=>(const InterfaceAddress&) const = default;
+};
+
+}  // namespace mfv::net

@@ -1,0 +1,158 @@
+// Binary prefix trie keyed on Ipv4Prefix with longest-prefix-match lookup.
+//
+// This one structure backs three different users:
+//   * per-router FIBs (LPM for forwarding),
+//   * the RIB (exact-prefix route tables with covering-route queries),
+//   * the verification engine's packet-class partitioning (walk of all
+//     match boundaries across every FIB in a snapshot).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace mfv::net {
+
+template <typename V>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Inserts or replaces the value at `prefix`. Returns true if the prefix
+  /// was newly inserted (false if replaced).
+  bool insert(const Ipv4Prefix& prefix, V value) {
+    Node* node = descend_or_create(prefix);
+    bool fresh = !node->value.has_value();
+    node->value = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  /// Removes the value at exactly `prefix`. Returns true if it existed.
+  bool erase(const Ipv4Prefix& prefix) {
+    Node* node = descend(prefix);
+    if (node == nullptr || !node->value.has_value()) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  /// Exact-prefix lookup.
+  const V* find(const Ipv4Prefix& prefix) const {
+    const Node* node = descend(prefix);
+    return (node != nullptr && node->value.has_value()) ? &*node->value : nullptr;
+  }
+  V* find(const Ipv4Prefix& prefix) {
+    Node* node = descend(prefix);
+    return (node != nullptr && node->value.has_value()) ? &*node->value : nullptr;
+  }
+
+  /// Longest-prefix match for a destination address. Returns the matched
+  /// prefix and value, or nullopt if nothing covers the address.
+  std::optional<std::pair<Ipv4Prefix, const V*>> longest_match(Ipv4Address address) const {
+    const Node* node = root_.get();
+    const Node* best = node->value.has_value() ? node : nullptr;
+    uint8_t best_len = 0;
+    uint8_t depth = 0;
+    uint32_t bits = address.bits();
+    while (depth < 32) {
+      int bit = (bits >> (31 - depth)) & 1;
+      const Node* child = node->children[bit].get();
+      if (child == nullptr) break;
+      node = child;
+      ++depth;
+      if (node->value.has_value()) {
+        best = node;
+        best_len = depth;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return std::make_pair(Ipv4Prefix(address, best_len), &*best->value);
+  }
+
+  /// All values whose prefix covers `address`, shortest first.
+  std::vector<std::pair<Ipv4Prefix, const V*>> all_matches(Ipv4Address address) const {
+    std::vector<std::pair<Ipv4Prefix, const V*>> matches;
+    const Node* node = root_.get();
+    if (node->value.has_value()) matches.emplace_back(Ipv4Prefix(address, 0), &*node->value);
+    uint8_t depth = 0;
+    uint32_t bits = address.bits();
+    while (depth < 32) {
+      int bit = (bits >> (31 - depth)) & 1;
+      const Node* child = node->children[bit].get();
+      if (child == nullptr) break;
+      node = child;
+      ++depth;
+      if (node->value.has_value())
+        matches.emplace_back(Ipv4Prefix(address, depth), &*node->value);
+    }
+    return matches;
+  }
+
+  /// Visits every (prefix, value) pair in trie (preorder, i.e. shortest
+  /// prefixes first along each branch).
+  void for_each(const std::function<void(const Ipv4Prefix&, const V&)>& visit) const {
+    walk(root_.get(), 0, 0, visit);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    root_ = std::make_unique<Node>();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::optional<V> value;
+    std::unique_ptr<Node> children[2];
+  };
+
+  Node* descend_or_create(const Ipv4Prefix& prefix) {
+    Node* node = root_.get();
+    uint32_t bits = prefix.address().bits();
+    for (uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      int bit = (bits >> (31 - depth)) & 1;
+      if (!node->children[bit]) node->children[bit] = std::make_unique<Node>();
+      node = node->children[bit].get();
+    }
+    return node;
+  }
+
+  const Node* descend(const Ipv4Prefix& prefix) const {
+    const Node* node = root_.get();
+    uint32_t bits = prefix.address().bits();
+    for (uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      int bit = (bits >> (31 - depth)) & 1;
+      node = node->children[bit].get();
+      if (node == nullptr) return nullptr;
+    }
+    return node;
+  }
+  Node* descend(const Ipv4Prefix& prefix) {
+    return const_cast<Node*>(static_cast<const PrefixTrie*>(this)->descend(prefix));
+  }
+
+  void walk(const Node* node, uint32_t bits, uint8_t depth,
+            const std::function<void(const Ipv4Prefix&, const V&)>& visit) const {
+    if (node->value.has_value())
+      visit(Ipv4Prefix(Ipv4Address(bits), depth), *node->value);
+    for (int bit = 0; bit < 2; ++bit) {
+      const Node* child = node->children[bit].get();
+      if (child == nullptr) continue;
+      uint32_t child_bits = bits;
+      if (bit == 1) child_bits |= (uint32_t(1) << (31 - depth));
+      walk(child, child_bits, depth + 1, visit);
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace mfv::net

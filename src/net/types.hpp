@@ -1,0 +1,33 @@
+// Shared identifier types for the routing and emulation layers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/ipv4.hpp"
+
+namespace mfv::net {
+
+/// 4-byte autonomous system number.
+using AsNumber = uint32_t;
+
+/// BGP/OSPF-style router id; by convention the loopback address.
+using RouterId = Ipv4Address;
+
+/// Device hostname; unique within a topology.
+using NodeName = std::string;
+
+/// Interface name as written in configs (e.g. "Ethernet2", "Loopback0").
+using InterfaceName = std::string;
+
+/// Fully qualified interface: node + interface name.
+struct PortRef {
+  NodeName node;
+  InterfaceName interface;
+
+  auto operator<=>(const PortRef&) const = default;
+
+  std::string to_string() const { return node + ":" + interface; }
+};
+
+}  // namespace mfv::net

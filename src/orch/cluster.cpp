@@ -1,0 +1,160 @@
+#include "orch/cluster.hpp"
+
+#include <algorithm>
+
+namespace mfv::orch {
+
+ClusterSpec ClusterSpec::standard(int machine_count) {
+  ClusterSpec cluster;
+  for (int i = 0; i < machine_count; ++i) {
+    MachineSpec machine;
+    machine.name = "node-" + std::to_string(i);
+    cluster.machines.push_back(std::move(machine));
+  }
+  return cluster;
+}
+
+ResourceProfile resource_profile(config::Vendor vendor, ImageKind kind) {
+  ResourceProfile profile;
+  switch (vendor) {
+    case config::Vendor::kCeos:
+      profile = {0.5, 1024};  // the paper's cEOS numbers
+      break;
+    case config::Vendor::kVjun:
+      profile = {1.0, 2048};
+      break;
+  }
+  if (kind == ImageKind::kVm) {
+    // VM images carry a full guest kernel + hypervisor overhead.
+    profile.vcpus *= 4;
+    profile.memory_mb *= 4;
+  }
+  return profile;
+}
+
+int machine_capacity(const MachineSpec& machine, const ResourceProfile& profile) {
+  double usable_vcpus = machine.vcpus - machine.reserved_vcpus;
+  int by_cpu = profile.vcpus > 0 ? static_cast<int>(usable_vcpus / profile.vcpus) : INT32_MAX;
+  int by_mem = profile.memory_mb > 0
+                   ? static_cast<int>(machine.memory_mb / profile.memory_mb)
+                   : INT32_MAX;
+  return std::max(0, std::min(by_cpu, by_mem));
+}
+
+util::Result<Placement> schedule_pods(const ClusterSpec& cluster,
+                                      const std::vector<PodSpec>& pods) {
+  struct MachineState {
+    const MachineSpec* machine;
+    double vcpus_left;
+    uint64_t memory_left;
+  };
+  std::vector<MachineState> machines;
+  machines.reserve(cluster.machines.size());
+  for (const MachineSpec& machine : cluster.machines)
+    machines.push_back({&machine, machine.vcpus - machine.reserved_vcpus,
+                        machine.memory_mb});
+
+  // First-fit-decreasing by vCPU request.
+  std::vector<const PodSpec*> order;
+  order.reserve(pods.size());
+  for (const PodSpec& pod : pods) order.push_back(&pod);
+  std::stable_sort(order.begin(), order.end(), [](const PodSpec* a, const PodSpec* b) {
+    return resource_profile(a->vendor, a->image).vcpus >
+           resource_profile(b->vendor, b->image).vcpus;
+  });
+
+  Placement placement;
+  for (const PodSpec* pod : order) {
+    ResourceProfile need = resource_profile(pod->vendor, pod->image);
+    bool placed = false;
+    for (MachineState& machine : machines) {
+      if (machine.vcpus_left + 1e-9 < need.vcpus || machine.memory_left < need.memory_mb)
+        continue;
+      machine.vcpus_left -= need.vcpus;
+      machine.memory_left -= need.memory_mb;
+      placement.assignment[pod->name] = machine.machine->name;
+      placed = true;
+      break;
+    }
+    if (!placed)
+      return util::failed_precondition(
+          "pod '" + pod->name + "' unschedulable: cluster capacity exhausted (" +
+          std::to_string(pods.size()) + " pods on " +
+          std::to_string(cluster.machines.size()) + " machines)");
+  }
+  for (const MachineState& machine : machines)
+    placement.remaining[machine.machine->name] =
+        ResourceProfile{machine.vcpus_left, machine.memory_left};
+  return placement;
+}
+
+BootPlan plan_boot(const ClusterSpec& cluster, const std::vector<PodSpec>& pods,
+                   const Placement& placement, const BootModelOptions& options) {
+  util::Pcg32 rng(options.seed);
+  auto uniform = [&rng](util::Duration lo, util::Duration hi) {
+    int64_t range = hi.count_micros() - lo.count_micros();
+    if (range <= 0) return lo;
+    // Micro resolution is overkill for boot times; millisecond granularity
+    // keeps the RNG draw within 32 bits.
+    int64_t ms = range / 1000;
+    int64_t draw = ms > 0 ? static_cast<int64_t>(rng.next_below(
+                                static_cast<uint32_t>(std::min<int64_t>(ms, UINT32_MAX)))) *
+                                1000
+                          : 0;
+    return lo + util::Duration::micros(draw);
+  };
+
+  // Image pull per machine, drawn once.
+  std::map<std::string, util::Duration> pull_done;
+  for (const MachineSpec& machine : cluster.machines)
+    pull_done[machine.name] =
+        options.base_init + uniform(options.image_pull_min, options.image_pull_max);
+
+  // Pods boot in waves of `boots_per_machine` on each machine.
+  std::map<std::string, std::vector<const PodSpec*>> pods_by_machine;
+  for (const PodSpec& pod : pods) {
+    auto it = placement.assignment.find(pod.name);
+    if (it != placement.assignment.end()) pods_by_machine[it->second].push_back(&pod);
+  }
+
+  BootPlan plan;
+  plan.total_startup = options.base_init;
+  for (const auto& [machine, machine_pods] : pods_by_machine) {
+    util::Duration base = pull_done[machine];
+    int slot = 0;
+    util::Duration wave_offset = util::Duration::seconds(0);
+    util::Duration wave_max = util::Duration::seconds(0);
+    for (const PodSpec* pod : machine_pods) {
+      util::Duration boot = uniform(options.boot_min, options.boot_max);
+      if (pod->image == ImageKind::kVm)
+        boot = util::Duration::micros(static_cast<int64_t>(
+            static_cast<double>(boot.count_micros()) * options.vm_boot_factor));
+      util::Duration ready = base + wave_offset + boot;
+      plan.ready_at[pod->name] = ready;
+      plan.total_startup = std::max(plan.total_startup, ready);
+      wave_max = std::max(wave_max, boot);
+      if (++slot >= options.boots_per_machine) {
+        slot = 0;
+        wave_offset = wave_offset + wave_max;
+        wave_max = util::Duration::seconds(0);
+      }
+    }
+  }
+  return plan;
+}
+
+util::Result<DeploymentPlan> plan_deployment(const ClusterSpec& cluster,
+                                             const emu::Topology& topology,
+                                             ImageKind image,
+                                             const BootModelOptions& options) {
+  DeploymentPlan plan;
+  for (const emu::NodeSpec& node : topology.nodes)
+    plan.pods.push_back(PodSpec{node.name, node.vendor, image});
+  auto placement = schedule_pods(cluster, plan.pods);
+  if (!placement.ok()) return placement.status();
+  plan.placement = std::move(placement).value();
+  plan.boot = plan_boot(cluster, plan.pods, plan.placement, options);
+  return plan;
+}
+
+}  // namespace mfv::orch

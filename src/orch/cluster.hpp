@@ -1,0 +1,122 @@
+// Cluster and pod-scheduling model: the KNE-on-Kubernetes substrate.
+//
+// Reproduces the resource arithmetic of the paper's scaling experiment
+// (§5): each emulated Arista router requests 0.5 vCPU and 1 GB of RAM, so
+// a 32-vCPU / 128-GB machine holds up to 60 routers (2 vCPUs reserved for
+// system pods), and a 17-node cluster holds 1,000. Also models the one-time
+// startup cost (cluster init + image pull + container boot) versus the much
+// faster reconfiguration path.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/device_config.hpp"
+#include "emu/topology.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "util/time.hpp"
+
+namespace mfv::orch {
+
+/// One Kubernetes worker machine.
+struct MachineSpec {
+  std::string name;
+  double vcpus = 32;           // e2-standard-32
+  uint64_t memory_mb = 131072; // 128 GB
+  /// vCPUs reserved for kubelet/system pods.
+  double reserved_vcpus = 2.0;
+};
+
+struct ClusterSpec {
+  std::vector<MachineSpec> machines;
+
+  /// n identical e2-standard-32 machines (the paper's machine type).
+  static ClusterSpec standard(int machine_count);
+};
+
+/// Packaging of the router image: the container shift is what made
+/// digital-twin scale affordable (§1, §3).
+enum class ImageKind { kContainer, kVm };
+
+/// Per-pod resource request for a vendor + packaging.
+struct ResourceProfile {
+  double vcpus = 0.5;
+  uint64_t memory_mb = 1024;
+};
+ResourceProfile resource_profile(config::Vendor vendor, ImageKind kind);
+
+struct PodSpec {
+  std::string name;
+  config::Vendor vendor = config::Vendor::kCeos;
+  ImageKind image = ImageKind::kContainer;
+};
+
+struct Placement {
+  /// pod name -> machine name.
+  std::map<std::string, std::string> assignment;
+  /// Remaining capacity per machine after placement.
+  std::map<std::string, ResourceProfile> remaining;
+};
+
+/// First-fit-decreasing bin packing by vCPU request. Fails with
+/// FAILED_PRECONDITION naming the first unschedulable pod if capacity runs
+/// out — this failure boundary *is* the "up to 60 routers per machine"
+/// result.
+util::Result<Placement> schedule_pods(const ClusterSpec& cluster,
+                                      const std::vector<PodSpec>& pods);
+
+/// Maximum number of identical pods one machine can hold.
+int machine_capacity(const MachineSpec& machine, const ResourceProfile& profile);
+
+// ---------------------------------------------------------------------------
+// Startup-time model
+
+struct BootModelOptions {
+  uint64_t seed = 1;
+  /// Cluster infrastructure init (control plane, CNI, KNE controllers).
+  util::Duration base_init = util::Duration::seconds(420);
+  /// One-time image pull per machine (parallel across machines).
+  util::Duration image_pull_min = util::Duration::seconds(120);
+  util::Duration image_pull_max = util::Duration::seconds(240);
+  /// Per-pod router OS boot range (container images).
+  util::Duration boot_min = util::Duration::seconds(60);
+  util::Duration boot_max = util::Duration::seconds(180);
+  /// VM images boot ~3x slower.
+  double vm_boot_factor = 3.0;
+  /// Concurrent pod boots per machine (boot is CPU/IO bound).
+  int boots_per_machine = 16;
+};
+
+struct BootPlan {
+  /// Per pod: virtual time at which the router OS is up.
+  std::map<std::string, util::Duration> ready_at;
+  /// Time until the whole deployment is up (max of ready_at + init).
+  util::Duration total_startup;
+};
+
+/// Computes boot completion times for a placed deployment.
+BootPlan plan_boot(const ClusterSpec& cluster, const std::vector<PodSpec>& pods,
+                   const Placement& placement, const BootModelOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Orchestrator: topology -> scheduled, booted emulation inputs
+
+struct DeploymentPlan {
+  std::vector<PodSpec> pods;
+  Placement placement;
+  BootPlan boot;
+};
+
+/// Plans the deployment of an emulation topology on a cluster: derives pod
+/// specs from node vendors, schedules, and computes the boot plan. The
+/// caller then feeds `boot.ready_at` into Emulation::start_node_after so
+/// control-plane convergence starts when each container is actually up.
+util::Result<DeploymentPlan> plan_deployment(const ClusterSpec& cluster,
+                                             const emu::Topology& topology,
+                                             ImageKind image = ImageKind::kContainer,
+                                             const BootModelOptions& options = {});
+
+}  // namespace mfv::orch

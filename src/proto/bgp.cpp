@@ -1,0 +1,556 @@
+#include "proto/bgp.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace mfv::proto {
+
+namespace {
+constexpr util::Duration kDecisionDelay = util::Duration::millis(10);
+constexpr util::Duration kConnectRetryDelay = util::Duration::seconds(1);
+constexpr uint32_t kMaxNotificationRetries = 4;
+}  // namespace
+
+std::string session_state_name(BgpSessionState state) {
+  switch (state) {
+    case BgpSessionState::kIdle: return "Idle";
+    case BgpSessionState::kConnect: return "Connect";
+    case BgpSessionState::kEstablished: return "Established";
+  }
+  return "?";
+}
+
+BgpEngine::BgpEngine(RouterEnv& env, const config::DeviceConfig& device,
+                     BgpEngineOptions options)
+    : env_(env), options_(options) {
+  const config::BgpConfig& bgp = device.bgp;
+  if (!bgp.enabled || bgp.local_as == 0) return;
+  auto router_id = device.effective_router_id();
+  if (!router_id) {
+    MFV_LOG(kWarn, "bgp") << env_.node_name() << ": no usable router-id, BGP disabled";
+    return;
+  }
+  active_ = true;
+  local_as_ = bgp.local_as;
+  router_id_ = *router_id;
+  default_local_pref_ = bgp.default_local_pref;
+  maximum_paths_ = std::max(1u, bgp.maximum_paths);
+  redistribute_connected_ = bgp.redistribute_connected;
+  redistribute_static_ = bgp.redistribute_static;
+  networks_ = bgp.networks;
+  policy_.route_maps = &device.route_maps;
+  policy_.prefix_lists = &device.prefix_lists;
+  policy_.community_lists = &device.community_lists;
+  policy_.local_as = local_as_;
+
+  for (const config::BgpNeighborConfig& neighbor : bgp.neighbors) {
+    if (neighbor.remote_as == 0) continue;  // unusable without remote-as
+    BgpSession session;
+    session.config = neighbor;
+    session.is_ibgp = neighbor.remote_as == local_as_;
+    sessions_.push_back(std::move(session));
+  }
+}
+
+void BgpEngine::start() {
+  if (!active_) return;
+  refresh_local_routes();
+  for (BgpSession& session : sessions_) attempt_connect(session);
+  schedule_decision();
+}
+
+BgpSession* BgpEngine::find_session(net::Ipv4Address peer) {
+  for (BgpSession& session : sessions_)
+    if (session.config.peer == peer) return &session;
+  return nullptr;
+}
+
+void BgpEngine::attempt_connect(BgpSession& session) {
+  if (session.config.shutdown || session.state == BgpSessionState::kEstablished) return;
+
+  // Resolve the session source address.
+  std::optional<net::Ipv4Address> local;
+  if (session.config.update_source) {
+    for (const InterfaceView& interface : env_.interfaces())
+      if (interface.vrf.empty() && interface.name == *session.config.update_source &&
+          interface.address)
+        local = interface.address->address;
+  } else {
+    // Use the egress interface toward the peer.
+    for (const rib::RibRoute& route : env_.rib().longest_match(session.config.peer)) {
+      if (!route.interface) continue;
+      for (const InterfaceView& interface : env_.interfaces())
+        if (interface.name == *route.interface && interface.address)
+          local = interface.address->address;
+      if (local) break;
+    }
+  }
+  if (!local || !env_.reachable(session.config.peer)) return;  // retry on rib change
+
+  session.local_address = *local;
+  BgpOpen open;
+  open.as_number = local_as_;
+  open.router_id = router_id_;
+  open.source = session.local_address;
+  env_.send_addressed(session.config.peer, Message(open));
+  session.open_sent = true;
+  if (session.state == BgpSessionState::kIdle) session.state = BgpSessionState::kConnect;
+}
+
+void BgpEngine::handle(const Message& message) {
+  if (!active_) return;
+  if (const auto* open = std::get_if<BgpOpen>(&message)) handle_open(*open);
+  else if (const auto* update = std::get_if<BgpUpdate>(&message)) handle_update(*update);
+  else if (const auto* notification = std::get_if<BgpNotification>(&message))
+    handle_notification(*notification);
+  // Keepalives carry no state in this model.
+}
+
+void BgpEngine::handle_open(const BgpOpen& open) {
+  BgpSession* session = find_session(open.source);
+  if (session == nullptr || session->config.shutdown) return;  // unconfigured peer
+  if (open.as_number != session->config.remote_as) {
+    BgpNotification notification;
+    notification.source = session->local_address;
+    notification.reason = "AS number mismatch: expected " +
+                          std::to_string(session->config.remote_as) + " got " +
+                          std::to_string(open.as_number);
+    env_.send_addressed(session->config.peer, Message(notification));
+    return;
+  }
+  establish(*session, open);
+}
+
+void BgpEngine::establish(BgpSession& session, const BgpOpen& open) {
+  session.peer_router_id = open.router_id;
+  if (!session.open_sent) {
+    // Passive side: answer with our own Open (collision handling collapses
+    // to a single session in this in-process model).
+    attempt_connect(session);
+    if (!session.open_sent) return;  // peer unreachable from our side; stay down
+  }
+  if (session.state == BgpSessionState::kEstablished) return;
+  session.state = BgpSessionState::kEstablished;
+  session.notification_retries = 0;
+  MFV_LOG(kInfo, "bgp") << env_.node_name() << ": session with "
+                        << session.config.peer.to_string() << " Established";
+  BgpKeepalive keepalive;
+  keepalive.source = session.local_address;
+  env_.send_addressed(session.config.peer, Message(keepalive));
+  export_to(session);
+}
+
+void BgpEngine::teardown(BgpSession& session, const std::string& reason, bool notify_peer) {
+  if (session.state == BgpSessionState::kIdle && session.adj_rib_in.empty()) return;
+  MFV_LOG(kInfo, "bgp") << env_.node_name() << ": session with "
+                        << session.config.peer.to_string() << " down: " << reason;
+  if (notify_peer && session.state == BgpSessionState::kEstablished) {
+    BgpNotification notification;
+    notification.source = session.local_address;
+    notification.reason = reason;
+    env_.send_addressed(session.config.peer, Message(notification));
+  }
+  session.state = BgpSessionState::kIdle;
+  session.open_sent = false;
+  session.adj_rib_in.clear();
+  session.adj_rib_out.clear();
+  session.arrival.clear();
+  schedule_decision();
+}
+
+void BgpEngine::handle_update(const BgpUpdate& update) {
+  BgpSession* session = find_session(update.source);
+  if (session == nullptr || session->state != BgpSessionState::kEstablished) return;
+  ++session->updates_received;
+
+  bool changed = false;
+  for (const BgpRoute& announced : update.announced) {
+    BgpRoute route = announced;
+    // AS-path loop rejection (eBGP).
+    if (!session->is_ibgp &&
+        std::find(route.attributes.as_path.begin(), route.attributes.as_path.end(),
+                  local_as_) != route.attributes.as_path.end())
+      continue;
+    // local-pref is not transitive across AS boundaries.
+    if (!session->is_ibgp) route.attributes.local_pref = default_local_pref_;
+
+    PolicyResult result = apply_route_map(policy_, session->config.route_map_in, route);
+    if (!result.permitted) {
+      // Denied routes are absent from Adj-RIB-In (no soft-reconfig store).
+      if (session->adj_rib_in.erase(route.prefix) > 0) {
+        session->arrival.erase(route.prefix);
+        changed = true;
+      }
+      continue;
+    }
+    auto it = session->adj_rib_in.find(route.prefix);
+    if (it == session->adj_rib_in.end()) {
+      session->arrival[route.prefix] = ++arrival_counter_;
+      session->adj_rib_in.emplace(route.prefix, result.route);
+      changed = true;
+    } else if (!(it->second == result.route)) {
+      it->second = result.route;  // implicit withdraw + replace keeps arrival
+      changed = true;
+    }
+  }
+  for (const net::Ipv4Prefix& prefix : update.withdrawn) {
+    if (session->adj_rib_in.erase(prefix) > 0) {
+      session->arrival.erase(prefix);
+      changed = true;
+    }
+  }
+  if (changed) schedule_decision();
+}
+
+void BgpEngine::handle_notification(const BgpNotification& notification) {
+  BgpSession* session = find_session(notification.source);
+  if (session == nullptr) return;
+  teardown(*session, "notification from peer: " + notification.reason,
+           /*notify_peer=*/false);
+  // Retry a few times (the condition may be transient), then dampen: a
+  // persistently rejecting peer (e.g. AS mismatch) must not generate an
+  // infinite Open/Notification ping-pong.
+  if (++session->notification_retries > kMaxNotificationRetries) return;
+  env_.schedule(kConnectRetryDelay, [this, peer = session->config.peer] {
+    if (BgpSession* s = find_session(peer)) attempt_connect(*s);
+  });
+}
+
+void BgpEngine::refresh_local_routes() {
+  std::map<net::Ipv4Prefix, BgpRoute> fresh;
+  const rib::Rib& rib = env_.rib();
+
+  for (const config::BgpNetwork& network : networks_) {
+    // A network statement activates only when a matching non-BGP route
+    // exists in the RIB.
+    std::vector<rib::RibRoute> best = rib.best(network.prefix);
+    bool eligible = false;
+    for (const rib::RibRoute& route : best)
+      if (route.protocol != rib::Protocol::kBgp && route.protocol != rib::Protocol::kIbgp)
+        eligible = true;
+    if (!eligible) continue;
+    BgpRoute route;
+    route.prefix = network.prefix;
+    route.attributes.origin = BgpOrigin::kIgp;
+    route.attributes.local_pref = default_local_pref_;
+    PolicyResult result = apply_route_map(policy_, network.route_map, route);
+    if (result.permitted) fresh.emplace(network.prefix, result.route);
+  }
+
+  if (redistribute_connected_ || redistribute_static_) {
+    rib.for_each_best([&](const net::Ipv4Prefix& prefix,
+                          const std::vector<rib::RibRoute>& best) {
+      for (const rib::RibRoute& route : best) {
+        bool want = (redistribute_connected_ && route.protocol == rib::Protocol::kConnected) ||
+                    (redistribute_static_ && route.protocol == rib::Protocol::kStatic);
+        if (!want) continue;
+        BgpRoute bgp_route;
+        bgp_route.prefix = prefix;
+        bgp_route.attributes.origin = BgpOrigin::kIncomplete;
+        bgp_route.attributes.local_pref = default_local_pref_;
+        fresh.emplace(prefix, bgp_route);
+        break;
+      }
+    });
+  }
+
+  if (fresh != local_routes_) {
+    local_routes_ = std::move(fresh);
+    schedule_decision();
+  }
+}
+
+void BgpEngine::rib_changed() {
+  if (!active_ || in_rib_changed_) return;
+  in_rib_changed_ = true;
+
+  for (BgpSession& session : sessions_) {
+    if (session.state == BgpSessionState::kEstablished) {
+      if (!env_.reachable(session.config.peer))
+        teardown(session, "peer unreachable", /*notify_peer=*/false);
+    } else {
+      attempt_connect(session);
+    }
+  }
+  refresh_local_routes();
+  // Next-hop reachability / IGP metrics may have shifted under existing
+  // routes; re-decide. run_decision() only touches the RIB when outcomes
+  // actually change, so this converges.
+  schedule_decision();
+  in_rib_changed_ = false;
+}
+
+void BgpEngine::schedule_decision() {
+  if (decision_pending_ || !active_) return;
+  decision_pending_ = true;
+  env_.schedule(kDecisionDelay, [this] {
+    decision_pending_ = false;
+    run_decision();
+  });
+}
+
+std::vector<BgpEngine::Candidate> BgpEngine::candidates_for(
+    const net::Ipv4Prefix& prefix) const {
+  std::vector<Candidate> candidates;
+  if (auto it = local_routes_.find(prefix); it != local_routes_.end()) {
+    Candidate candidate;
+    candidate.route = it->second;
+    candidate.locally_originated = true;
+    candidate.arrival = 0;
+    candidates.push_back(std::move(candidate));
+  }
+  for (const BgpSession& session : sessions_) {
+    auto it = session.adj_rib_in.find(prefix);
+    if (it == session.adj_rib_in.end()) continue;
+    Candidate candidate;
+    candidate.route = it->second;
+    candidate.from_ebgp = !session.is_ibgp;
+    candidate.from_client = session.is_ibgp && session.config.route_reflector_client;
+    candidate.peer = session.config.peer;
+    candidate.peer_router_id = session.peer_router_id;
+    auto arrival_it = session.arrival.find(prefix);
+    candidate.arrival = arrival_it == session.arrival.end() ? UINT64_MAX : arrival_it->second;
+    candidates.push_back(std::move(candidate));
+  }
+  return candidates;
+}
+
+uint32_t BgpEngine::igp_metric_to(net::Ipv4Address next_hop) const {
+  std::vector<rib::RibRoute> best = env_.rib().longest_match(next_hop);
+  if (best.empty()) return UINT32_MAX;
+  uint32_t metric = UINT32_MAX;
+  for (const rib::RibRoute& route : best) {
+    uint32_t m = route.protocol == rib::Protocol::kConnected ? 0 : route.metric;
+    metric = std::min(metric, m);
+  }
+  return metric;
+}
+
+const BgpEngine::Candidate* BgpEngine::decide(
+    const std::vector<Candidate>& candidates) const {
+  const Candidate* best = nullptr;
+  for (const Candidate& candidate : candidates) {
+    // Step 0: the next hop must be reachable (locals are always valid).
+    if (!candidate.locally_originated &&
+        !env_.reachable(candidate.route.attributes.next_hop))
+      continue;
+    if (best == nullptr) {
+      best = &candidate;
+      continue;
+    }
+    const BgpAttributes& a = candidate.route.attributes;
+    const BgpAttributes& b = best->route.attributes;
+
+    // 1. Highest local preference.
+    if (a.local_pref != b.local_pref) {
+      if (a.local_pref > b.local_pref) best = &candidate;
+      continue;
+    }
+    // 2. Locally originated preferred.
+    if (candidate.locally_originated != best->locally_originated) {
+      if (candidate.locally_originated) best = &candidate;
+      continue;
+    }
+    // 3. Shortest AS path.
+    if (a.as_path.size() != b.as_path.size()) {
+      if (a.as_path.size() < b.as_path.size()) best = &candidate;
+      continue;
+    }
+    // 4. Lowest origin code.
+    if (a.origin != b.origin) {
+      if (a.origin < b.origin) best = &candidate;
+      continue;
+    }
+    // 5. Lowest MED, only comparable when the first AS matches.
+    bool same_neighbor_as =
+        (a.as_path.empty() && b.as_path.empty()) ||
+        (!a.as_path.empty() && !b.as_path.empty() && a.as_path.front() == b.as_path.front());
+    if (same_neighbor_as && a.med != b.med) {
+      if (a.med < b.med) best = &candidate;
+      continue;
+    }
+    // 6. eBGP over iBGP.
+    if (candidate.from_ebgp != best->from_ebgp) {
+      if (candidate.from_ebgp) best = &candidate;
+      continue;
+    }
+    // 7. Lowest IGP metric to next hop.
+    uint32_t metric_a = igp_metric_to(a.next_hop);
+    uint32_t metric_b = igp_metric_to(b.next_hop);
+    if (metric_a != metric_b) {
+      if (metric_a < metric_b) best = &candidate;
+      continue;
+    }
+    // 8. Oldest route (arrival order) — the nondeterministic tiebreak.
+    if (options_.prefer_oldest_tiebreak && candidate.arrival != best->arrival) {
+      if (candidate.arrival < best->arrival) best = &candidate;
+      continue;
+    }
+    // 9. Lowest peer router-id, then lowest peer address (deterministic).
+    if (candidate.peer_router_id != best->peer_router_id) {
+      if (candidate.peer_router_id < best->peer_router_id) best = &candidate;
+      continue;
+    }
+    if (candidate.peer < best->peer) best = &candidate;
+  }
+  return best;
+}
+
+std::vector<const BgpEngine::Candidate*> BgpEngine::multipath_set(
+    const std::vector<Candidate>& candidates, const Candidate& winner) const {
+  std::vector<const Candidate*> set = {&winner};
+  if (maximum_paths_ <= 1 || winner.locally_originated) return set;
+  const BgpAttributes& w = winner.route.attributes;
+  uint32_t winner_igp = igp_metric_to(w.next_hop);
+  std::set<net::Ipv4Address> next_hops = {w.next_hop};
+  for (const Candidate& candidate : candidates) {
+    if (set.size() >= maximum_paths_) break;
+    if (&candidate == &winner || candidate.locally_originated) continue;
+    const BgpAttributes& a = candidate.route.attributes;
+    if (!env_.reachable(a.next_hop)) continue;
+    if (next_hops.count(a.next_hop)) continue;  // distinct forwarding paths only
+    bool comparable_med =
+        (a.as_path.empty() && w.as_path.empty()) ||
+        (!a.as_path.empty() && !w.as_path.empty() && a.as_path.front() == w.as_path.front());
+    if (a.local_pref != w.local_pref || a.as_path.size() != w.as_path.size() ||
+        a.origin != w.origin || (comparable_med && a.med != w.med) ||
+        candidate.from_ebgp != winner.from_ebgp ||
+        igp_metric_to(a.next_hop) != winner_igp)
+      continue;
+    set.push_back(&candidate);
+    next_hops.insert(a.next_hop);
+  }
+  return set;
+}
+
+void BgpEngine::run_decision() {
+  if (!active_) return;
+
+  // Union of all known prefixes.
+  std::set<net::Ipv4Prefix> prefixes;
+  for (const auto& [prefix, route] : local_routes_) prefixes.insert(prefix);
+  for (const BgpSession& session : sessions_)
+    for (const auto& [prefix, route] : session.adj_rib_in) prefixes.insert(prefix);
+
+  std::map<net::Ipv4Prefix, BgpRoute> fresh_best;
+  std::map<net::Ipv4Prefix, Candidate> winners;
+  std::map<net::Ipv4Prefix, std::vector<Candidate>> path_sets;
+  std::map<net::Ipv4Prefix, std::set<net::Ipv4Address>> fresh_paths;
+  for (const net::Ipv4Prefix& prefix : prefixes) {
+    std::vector<Candidate> candidates = candidates_for(prefix);
+    const Candidate* winner = decide(candidates);
+    if (winner == nullptr) continue;
+    fresh_best.emplace(prefix, winner->route);
+    winners.emplace(prefix, *winner);
+    for (const Candidate* path : multipath_set(candidates, *winner)) {
+      path_sets[prefix].push_back(*path);
+      fresh_paths[prefix].insert(path->route.attributes.next_hop);
+    }
+  }
+
+  // Converged when both the routes and their winning sources are unchanged
+  // (the source matters for split-horizon on export).
+  auto same_winners = [&] {
+    if (winners.size() != winners_.size()) return false;
+    for (const auto& [prefix, winner] : winners) {
+      auto it = winners_.find(prefix);
+      if (it == winners_.end() || it->second.peer != winner.peer ||
+          it->second.locally_originated != winner.locally_originated)
+        return false;
+    }
+    return true;
+  };
+  if (fresh_best == best_routes_ && same_winners() && fresh_paths == installed_paths_)
+    return;
+
+  // Update the RIB: remove entries whose best changed or vanished, install
+  // the multipath set (locally originated ones are already in the RIB via
+  // their origin protocol). All paths share the winner's MED so they form
+  // one ECMP group downstream.
+  rib::Rib& rib = env_.rib();
+  rib.clear_protocol(rib::Protocol::kBgp, "bgp");
+  rib.clear_protocol(rib::Protocol::kIbgp, "bgp");
+  for (const auto& [prefix, winner] : winners) {
+    if (winner.locally_originated) continue;
+    for (const Candidate& path : path_sets[prefix]) {
+      rib::RibRoute route;
+      route.prefix = prefix;
+      route.protocol = winner.from_ebgp ? rib::Protocol::kBgp : rib::Protocol::kIbgp;
+      route.admin_distance = rib::default_admin_distance(route.protocol);
+      route.metric = winner.route.attributes.med;
+      route.next_hop = path.route.attributes.next_hop;
+      route.source = "bgp";
+      rib.add(route);
+    }
+  }
+  best_routes_ = std::move(fresh_best);
+  winners_ = std::move(winners);
+  installed_paths_ = std::move(fresh_paths);
+
+  for (BgpSession& session : sessions_)
+    if (session.state == BgpSessionState::kEstablished) export_to(session);
+
+  env_.notify_rib_changed();
+}
+
+std::optional<BgpRoute> BgpEngine::export_route(const BgpSession& session,
+                                                const Candidate& best) const {
+  // Never echo a route back to the peer that supplied it.
+  if (!best.locally_originated && best.peer == session.config.peer) return std::nullopt;
+  // iBGP propagation: local and eBGP-learned routes go to every iBGP peer.
+  // iBGP-learned routes follow the route-reflection rules (RFC 4456):
+  // routes from a client reflect to all iBGP peers; routes from a
+  // non-client reflect only to clients. With no clients configured this
+  // reduces to the classic full-mesh rule.
+  if (session.is_ibgp && !best.locally_originated && !best.from_ebgp) {
+    bool reflect = best.from_client || session.config.route_reflector_client;
+    if (!reflect) return std::nullopt;
+  }
+  // eBGP split horizon on AS: receiver would reject via loop check anyway;
+  // send and let them reject (matches real behaviour).
+
+  BgpRoute route = best.route;
+  BgpAttributes& attributes = route.attributes;
+  if (session.is_ibgp) {
+    if (session.config.next_hop_self || best.locally_originated)
+      attributes.next_hop = session.local_address;
+  } else {
+    attributes.as_path.insert(attributes.as_path.begin(), local_as_);
+    attributes.next_hop = session.local_address;
+    attributes.local_pref = 100;  // not transitive
+    attributes.med = 0;           // MED is not propagated to further ASes
+  }
+  if (!session.config.send_community) attributes.communities.clear();
+
+  PolicyResult result = apply_route_map(policy_, session.config.route_map_out, route);
+  if (!result.permitted) return std::nullopt;
+  return result.route;
+}
+
+void BgpEngine::export_to(BgpSession& session) {
+  std::map<net::Ipv4Prefix, BgpRoute> desired;
+  for (const auto& [prefix, winner] : winners_) {
+    std::optional<BgpRoute> exported = export_route(session, winner);
+    if (exported) desired.emplace(prefix, std::move(*exported));
+  }
+
+  BgpUpdate update;
+  update.source = session.local_address;
+  for (const auto& [prefix, route] : desired) {
+    auto it = session.adj_rib_out.find(prefix);
+    if (it == session.adj_rib_out.end() || !(it->second == route))
+      update.announced.push_back(route);
+  }
+  for (const auto& [prefix, route] : session.adj_rib_out)
+    if (!desired.count(prefix)) update.withdrawn.push_back(prefix);
+
+  session.adj_rib_out = std::move(desired);
+  if (update.announced.empty() && update.withdrawn.empty()) return;
+  ++session.updates_sent;
+  env_.send_addressed(session.config.peer, Message(update));
+}
+
+std::map<net::Ipv4Prefix, BgpRoute> BgpEngine::loc_rib() const { return best_routes_; }
+
+}  // namespace mfv::proto

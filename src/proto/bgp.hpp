@@ -1,0 +1,153 @@
+// BGP-4 protocol engine (RFC 4271 semantics for the feature set the
+// paper's networks exercise).
+//
+// Implements: iBGP/eBGP sessions with an Open handshake gated on mutual
+// RIB reachability (the emulation analogue of TCP connectivity), Adj-RIB-In
+// / Loc-RIB / Adj-RIB-Out separation, the full decision process
+// (local-pref, AS-path length, origin, MED, eBGP-over-iBGP, IGP metric to
+// next hop, router-id/peer-address tiebreak), next-hop-self, update-source,
+// route-maps on import/export, community propagation, network statements,
+// redistribution, AS-path loop rejection, and the iBGP full-mesh
+// no-reflection rule.
+//
+// The engine optionally uses *arrival order* as the final tiebreak
+// (prefer-oldest), which is how real implementations behave and is the
+// source of the non-determinism the paper discusses in §6; experiment A2
+// flips this flag.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "config/device_config.hpp"
+#include "proto/env.hpp"
+#include "proto/messages.hpp"
+#include "proto/policy.hpp"
+
+namespace mfv::proto {
+
+enum class BgpSessionState { kIdle, kConnect, kEstablished };
+
+std::string session_state_name(BgpSessionState state);
+
+struct BgpSession {
+  config::BgpNeighborConfig config;
+  bool is_ibgp = false;
+  BgpSessionState state = BgpSessionState::kIdle;
+  net::Ipv4Address local_address;       // resolved session source
+  net::RouterId peer_router_id;         // learned from Open
+  bool open_sent = false;
+
+  /// Routes received from this peer, post-import-policy.
+  std::map<net::Ipv4Prefix, BgpRoute> adj_rib_in;
+  /// Routes announced to this peer (for diffing into incremental updates).
+  std::map<net::Ipv4Prefix, BgpRoute> adj_rib_out;
+  /// Arrival sequence per prefix (prefer-oldest tiebreak).
+  std::map<net::Ipv4Prefix, uint64_t> arrival;
+
+  uint64_t updates_received = 0;
+  uint64_t updates_sent = 0;
+  /// Consecutive Notification-triggered teardowns; reconnects stop after a
+  /// cap (dampening), resetting on successful establishment.
+  uint32_t notification_retries = 0;
+};
+
+struct BgpEngineOptions {
+  /// Final decision tiebreak: true = prefer the oldest received route
+  /// (arrival order — nondeterministic across runs with different message
+  /// timing); false = lowest peer router-id (deterministic).
+  bool prefer_oldest_tiebreak = true;
+};
+
+class BgpEngine {
+ public:
+  BgpEngine(RouterEnv& env, const config::DeviceConfig& device,
+            BgpEngineOptions options = {});
+
+  bool active() const { return active_; }
+  net::AsNumber local_as() const { return local_as_; }
+  net::RouterId router_id() const { return router_id_; }
+
+  void start();
+  /// Handles an addressed message (ignores non-BGP messages).
+  void handle(const Message& message);
+  /// Reacts to RIB changes: session reachability, next-hop validity,
+  /// redistribution, network-statement eligibility.
+  void rib_changed();
+
+  // -- observability --
+  const std::vector<BgpSession>& sessions() const { return sessions_; }
+  /// Best route per prefix currently selected (Loc-RIB view).
+  std::map<net::Ipv4Prefix, BgpRoute> loc_rib() const;
+
+ private:
+  struct Candidate {
+    BgpRoute route;
+    bool from_ebgp = false;
+    bool locally_originated = false;
+    /// Learned from a route-reflector client session (reflection rules).
+    bool from_client = false;
+    net::Ipv4Address peer;        // 0 for local
+    net::RouterId peer_router_id; // 0 for local
+    uint64_t arrival = 0;
+  };
+
+  BgpSession* find_session(net::Ipv4Address peer);
+  void attempt_connect(BgpSession& session);
+  void establish(BgpSession& session, const BgpOpen& open);
+  void teardown(BgpSession& session, const std::string& reason, bool notify_peer);
+
+  void handle_open(const BgpOpen& open);
+  void handle_update(const BgpUpdate& update);
+  void handle_notification(const BgpNotification& notification);
+
+  /// Recomputes local candidates (network statements, redistribution).
+  void refresh_local_routes();
+
+  /// Runs the decision process for every known prefix, updates the RIB,
+  /// and triggers export. Coalesced via schedule().
+  void schedule_decision();
+  void run_decision();
+
+  std::vector<Candidate> candidates_for(const net::Ipv4Prefix& prefix) const;
+  const Candidate* decide(const std::vector<Candidate>& candidates) const;
+  /// ECMP set: candidates equal to the winner through the IGP-metric step
+  /// (multipath-eligible), winner first, capped at maximum-paths.
+  std::vector<const Candidate*> multipath_set(const std::vector<Candidate>& candidates,
+                                              const Candidate& winner) const;
+  uint32_t igp_metric_to(net::Ipv4Address next_hop) const;
+
+  /// Computes this session's Adj-RIB-Out from the current best routes and
+  /// sends an incremental update with the diff.
+  void export_to(BgpSession& session);
+  std::optional<BgpRoute> export_route(const BgpSession& session, const Candidate& best) const;
+
+  RouterEnv& env_;
+  bool active_ = false;
+  net::AsNumber local_as_ = 0;
+  net::RouterId router_id_;
+  uint32_t default_local_pref_ = 100;
+  uint32_t maximum_paths_ = 1;
+  bool redistribute_connected_ = false;
+  bool redistribute_static_ = false;
+  std::vector<config::BgpNetwork> networks_;
+  PolicyContext policy_;
+  BgpEngineOptions options_;
+
+  std::vector<BgpSession> sessions_;
+  std::map<net::Ipv4Prefix, BgpRoute> local_routes_;
+  /// Last decision outcome per prefix (to detect changes cheaply).
+  std::map<net::Ipv4Prefix, BgpRoute> best_routes_;
+  /// Winner metadata per prefix (reused by export without re-deciding).
+  std::map<net::Ipv4Prefix, Candidate> winners_;
+  /// Installed ECMP next hops per prefix (multipath change detection).
+  std::map<net::Ipv4Prefix, std::set<net::Ipv4Address>> installed_paths_;
+  uint64_t arrival_counter_ = 0;
+  bool decision_pending_ = false;
+  bool in_rib_changed_ = false;
+};
+
+}  // namespace mfv::proto

@@ -1,0 +1,328 @@
+#include "proto/isis.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/logging.hpp"
+
+namespace mfv::proto {
+
+namespace {
+constexpr util::Duration kSpfDelay = util::Duration::millis(50);
+constexpr uint8_t kLevelBit1 = 1;
+constexpr uint8_t kLevelBit2 = 2;
+
+uint8_t level_bits(config::IsisLevel level) {
+  switch (level) {
+    case config::IsisLevel::kLevel1: return kLevelBit1;
+    case config::IsisLevel::kLevel2: return kLevelBit2;
+    case config::IsisLevel::kLevel12: return kLevelBit1 | kLevelBit2;
+  }
+  return kLevelBit2;
+}
+}  // namespace
+
+IsisEngine::IsisEngine(RouterEnv& env, const config::IsisConfig& config) : env_(env) {
+  if (!config.enabled) return;
+  auto system_id = SystemId::from_net(config.net);
+  if (!system_id) {
+    MFV_LOG(kWarn, "isis") << env_.node_name() << ": invalid or missing NET '" << config.net
+                           << "', instance disabled";
+    return;
+  }
+  // The real device requires the ipv4 address-family to route IPv4.
+  if (!config.af_ipv4_unicast) {
+    MFV_LOG(kWarn, "isis") << env_.node_name() << ": ipv4 unicast AF not enabled";
+    return;
+  }
+  active_ = true;
+  system_id_ = *system_id;
+  instance_ = config.instance;
+  level_ = config.level;
+}
+
+void IsisEngine::start() {
+  if (!active_) return;
+  for (const InterfaceView& interface : env_.interfaces()) {
+    if (interface.vrf.empty() && interface.isis_enabled && !interface.isis_passive &&
+        interface.up)
+      send_hello(interface);
+  }
+  regenerate_lsp();
+}
+
+void IsisEngine::shutdown() {
+  if (!active_) return;
+  IsisLsp purge;
+  purge.origin = system_id_;
+  purge.sequence = ++own_sequence_;
+  lsdb_[system_id_] = purge;
+  flood(purge, /*except=*/"");
+  active_ = false;
+}
+
+std::optional<InterfaceView> IsisEngine::find_interface(const net::InterfaceName& name) const {
+  for (const InterfaceView& interface : env_.interfaces())
+    if (interface.name == name) return interface;
+  return std::nullopt;
+}
+
+std::vector<SystemId> IsisEngine::seen_on(const net::InterfaceName& interface) const {
+  std::vector<SystemId> seen;
+  auto it = adjacencies_.find(interface);
+  if (it != adjacencies_.end()) seen.push_back(it->second.neighbor);
+  return seen;
+}
+
+void IsisEngine::send_hello(const InterfaceView& interface) {
+  if (!interface.address) return;
+  IsisHello hello;
+  hello.system_id = system_id_;
+  hello.interface_address = interface.address->address;
+  hello.level = level_bits(level_);
+  hello.seen_neighbors = seen_on(interface.name);
+  env_.send_on_interface(interface.name, Message(hello));
+}
+
+void IsisEngine::handle(const net::InterfaceName& in_interface, const Message& message) {
+  if (!active_) return;
+  if (const auto* hello = std::get_if<IsisHello>(&message)) {
+    handle_hello(in_interface, *hello);
+  } else if (const auto* lsp = std::get_if<IsisLsp>(&message)) {
+    handle_lsp(in_interface, *lsp);
+  }
+}
+
+void IsisEngine::handle_hello(const net::InterfaceName& in_interface, const IsisHello& hello) {
+  auto interface = find_interface(in_interface);
+  if (!interface || !interface->vrf.empty() || !interface->isis_enabled ||
+      interface->isis_passive || !interface->up)
+    return;
+  if ((hello.level & level_bits(level_)) == 0) return;  // level mismatch
+  if (hello.system_id == system_id_) return;            // own hello looped back
+
+  auto [it, inserted] = adjacencies_.try_emplace(in_interface);
+  IsisAdjacency& adjacency = it->second;
+  bool was_up = !inserted && adjacency.state == IsisAdjacency::State::kUp;
+  bool neighbor_changed = inserted || adjacency.neighbor != hello.system_id;
+
+  adjacency.neighbor = hello.system_id;
+  adjacency.neighbor_address = hello.interface_address;
+  adjacency.interface = in_interface;
+  adjacency.metric = interface->isis_metric;
+
+  // 3-way: Up only once the neighbor reports seeing us on this link.
+  bool sees_us = std::find(hello.seen_neighbors.begin(), hello.seen_neighbors.end(),
+                           system_id_) != hello.seen_neighbors.end();
+  adjacency.state = sees_us ? IsisAdjacency::State::kUp : IsisAdjacency::State::kInit;
+
+  bool now_up = adjacency.state == IsisAdjacency::State::kUp;
+  if (neighbor_changed || now_up != was_up) {
+    // Reply so the neighbor learns we see them (completes their handshake).
+    send_hello(*interface);
+  }
+  if (now_up != was_up) {
+    regenerate_lsp();
+    if (now_up) {
+      // New adjacency: synchronize the database (push our full LSDB, the
+      // event-driven analogue of CSNP/PSNP exchange).
+      for (const auto& [origin, lsp] : lsdb_)
+        env_.send_on_interface(in_interface, Message(lsp));
+    }
+  }
+}
+
+void IsisEngine::handle_lsp(const net::InterfaceName& in_interface, const IsisLsp& lsp) {
+  auto interface = find_interface(in_interface);
+  if (!interface || !interface->isis_enabled || interface->isis_passive) return;
+
+  if (lsp.origin == system_id_) {
+    // A stale copy of our own LSP circulating with a sequence number at or
+    // above ours (e.g. a pre-restart purge): adopt it into the database so
+    // regenerate_lsp sees the content difference, then reissue above its
+    // sequence number (standard purge-and-reissue).
+    if (lsp.sequence >= own_sequence_ && !lsp.same_content(lsdb_[system_id_])) {
+      own_sequence_ = lsp.sequence;
+      lsdb_[system_id_] = lsp;
+      regenerate_lsp();
+    }
+    return;
+  }
+
+  auto it = lsdb_.find(lsp.origin);
+  if (it != lsdb_.end() && it->second.sequence >= lsp.sequence) return;  // old news
+  lsdb_[lsp.origin] = lsp;
+  flood(lsp, in_interface);
+  schedule_spf();
+}
+
+void IsisEngine::regenerate_lsp() {
+  if (!active_) return;
+  IsisLsp lsp;
+  lsp.origin = system_id_;
+  for (const auto& [name, adjacency] : adjacencies_) {
+    if (adjacency.state != IsisAdjacency::State::kUp) continue;
+    lsp.neighbors.push_back({adjacency.neighbor, adjacency.metric});
+  }
+  for (const InterfaceView& interface : env_.interfaces()) {
+    if (!interface.vrf.empty()) continue;  // VRF prefixes stay out of the IGP
+    if (!interface.isis_enabled || !interface.up || !interface.address) continue;
+    lsp.prefixes.push_back({interface.address->subnet, interface.isis_metric});
+  }
+  std::sort(lsp.neighbors.begin(), lsp.neighbors.end());
+  std::sort(lsp.prefixes.begin(), lsp.prefixes.end());
+
+  auto it = lsdb_.find(system_id_);
+  if (it != lsdb_.end() && it->second.same_content(lsp)) return;  // no change
+
+  lsp.sequence = ++own_sequence_;
+  lsdb_[system_id_] = lsp;
+  flood(lsp, /*except=*/"");
+  schedule_spf();
+}
+
+void IsisEngine::flood(const IsisLsp& lsp, const net::InterfaceName& except) {
+  for (const auto& [name, adjacency] : adjacencies_) {
+    if (adjacency.state != IsisAdjacency::State::kUp) continue;
+    if (name == except) continue;
+    env_.send_on_interface(name, Message(lsp));
+  }
+}
+
+void IsisEngine::interfaces_changed() {
+  if (!active_) return;
+  bool dropped = false;
+  for (auto it = adjacencies_.begin(); it != adjacencies_.end();) {
+    auto interface = find_interface(it->first);
+    bool alive = interface && interface->vrf.empty() && interface->up &&
+                 interface->isis_enabled && !interface->isis_passive;
+    if (!alive) {
+      it = adjacencies_.erase(it);
+      dropped = true;
+    } else {
+      ++it;
+    }
+  }
+  for (const InterfaceView& interface : env_.interfaces()) {
+    if (interface.vrf.empty() && interface.isis_enabled && !interface.isis_passive &&
+        interface.up)
+      send_hello(interface);
+  }
+  if (dropped) regenerate_lsp();
+  // Prefix set may have changed even without adjacency changes.
+  regenerate_lsp();
+}
+
+void IsisEngine::schedule_spf() {
+  if (spf_pending_) return;
+  spf_pending_ = true;
+  env_.schedule(kSpfDelay, [this] {
+    spf_pending_ = false;
+    run_spf();
+  });
+}
+
+void IsisEngine::run_spf() {
+  if (!active_) return;
+  ++spf_runs_;
+
+  // Dijkstra over the LSDB. An edge A->B with metric m is usable only if
+  // B's LSP also reports A (bidirectional check).
+  struct NodeState {
+    uint32_t distance = std::numeric_limits<uint32_t>::max();
+    // First-hop adjacencies reaching this node at `distance` (ECMP set).
+    std::set<net::InterfaceName> first_hops;
+  };
+  std::map<SystemId, NodeState> states;
+  states[system_id_].distance = 0;
+
+  auto reports = [&](SystemId from, SystemId to) {
+    auto it = lsdb_.find(from);
+    if (it == lsdb_.end()) return false;
+    for (const auto& neighbor : it->second.neighbors)
+      if (neighbor.system_id == to) return true;
+    return false;
+  };
+
+  using QueueItem = std::pair<uint32_t, SystemId>;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
+  queue.push({0, system_id_});
+  std::set<SystemId> settled;
+
+  while (!queue.empty()) {
+    auto [distance, node] = queue.top();
+    queue.pop();
+    if (settled.count(node)) continue;
+    settled.insert(node);
+
+    auto lsp_it = lsdb_.find(node);
+    if (lsp_it == lsdb_.end()) continue;
+    for (const auto& edge : lsp_it->second.neighbors) {
+      if (!reports(edge.system_id, node)) continue;  // unidirectional
+      uint32_t candidate = distance + edge.metric;
+      NodeState& neighbor_state = states[edge.system_id];
+
+      // First hops: for direct neighbors of us, the adjacency interfaces
+      // to them; otherwise inherit from the predecessor.
+      std::set<net::InterfaceName> hops;
+      if (node == system_id_) {
+        for (const auto& [name, adjacency] : adjacencies_)
+          if (adjacency.state == IsisAdjacency::State::kUp &&
+              adjacency.neighbor == edge.system_id)
+            hops.insert(name);
+      } else {
+        hops = states[node].first_hops;
+      }
+      if (hops.empty()) continue;
+
+      if (candidate < neighbor_state.distance) {
+        neighbor_state.distance = candidate;
+        neighbor_state.first_hops = hops;
+        queue.push({candidate, edge.system_id});
+      } else if (candidate == neighbor_state.distance) {
+        neighbor_state.first_hops.insert(hops.begin(), hops.end());  // ECMP
+      }
+    }
+  }
+
+  // Install routes: every prefix in every reachable LSP, cost = dist(origin)
+  // + prefix metric, next hops = origin's first-hop adjacencies.
+  rib::Rib& rib = env_.rib();
+  rib.clear_protocol(rib::Protocol::kIsis, instance_);
+  bool changed = false;
+  std::map<net::Ipv4Prefix, uint32_t> best_metric;
+
+  for (const auto& [origin, lsp] : lsdb_) {
+    if (origin == system_id_) continue;  // own prefixes are connected routes
+    auto state_it = states.find(origin);
+    if (state_it == states.end() ||
+        state_it->second.distance == std::numeric_limits<uint32_t>::max())
+      continue;
+    for (const auto& item : lsp.prefixes) {
+      uint32_t total = state_it->second.distance + item.metric;
+      auto best_it = best_metric.find(item.prefix);
+      if (best_it != best_metric.end() && best_it->second < total) continue;
+      best_metric[item.prefix] = total;
+      for (const net::InterfaceName& hop : state_it->second.first_hops) {
+        auto adjacency_it = adjacencies_.find(hop);
+        if (adjacency_it == adjacencies_.end()) continue;
+        rib::RibRoute route;
+        route.prefix = item.prefix;
+        route.protocol = rib::Protocol::kIsis;
+        route.admin_distance = rib::default_admin_distance(rib::Protocol::kIsis);
+        route.metric = total;
+        route.next_hop = adjacency_it->second.neighbor_address;
+        route.interface = hop;
+        route.source = instance_;
+        changed |= rib.add(route);
+      }
+    }
+  }
+  // The RIB changed if we removed or added anything; clear_protocol gives
+  // no precise signal, so always notify — dependents tolerate no-ops.
+  (void)changed;
+  env_.notify_rib_changed();
+}
+
+}  // namespace mfv::proto

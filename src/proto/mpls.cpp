@@ -1,0 +1,264 @@
+#include "proto/mpls.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace mfv::proto {
+
+std::string tunnel_state_name(TunnelState state) {
+  switch (state) {
+    case TunnelState::kDown: return "Down";
+    case TunnelState::kSignaling: return "Signaling";
+    case TunnelState::kUp: return "Up";
+  }
+  return "?";
+}
+
+TeEngine::TeEngine(RouterEnv& env, const config::DeviceConfig& device, TeOptions options)
+    : env_(env), options_(options) {
+  if (!device.mpls.enabled || !device.mpls.te_enabled) {
+    // Transit label switching still requires MPLS enabled.
+    active_ = device.mpls.enabled;
+  } else {
+    active_ = true;
+  }
+  if (!active_) return;
+  auto router_id = device.effective_router_id();
+  router_id_ = router_id.value_or(net::RouterId());
+  for (const config::TeTunnel& tunnel : device.mpls.tunnels) {
+    TeTunnelStatus status;
+    status.config = tunnel;
+    tunnels_[tunnel.name] = std::move(status);
+  }
+}
+
+void TeEngine::start() {
+  if (!active_) return;
+  for (auto& [name, tunnel] : tunnels_) signal(tunnel);
+}
+
+bool TeEngine::is_local_address(net::Ipv4Address address) const {
+  if (address == router_id_) return true;
+  for (const InterfaceView& interface : env_.interfaces())
+    if (interface.address && interface.address->address == address) return true;
+  return false;
+}
+
+std::optional<net::Ipv4Address> TeEngine::next_signaling_target(
+    net::Ipv4Address target) const {
+  for (const rib::RibRoute& route : env_.rib().longest_match(target)) {
+    if (route.protocol == rib::Protocol::kConnected) return target;  // adjacent
+    if (route.next_hop) return route.next_hop;
+  }
+  return std::nullopt;
+}
+
+void TeEngine::signal(TeTunnelStatus& tunnel) {
+  if (tunnel.state == TunnelState::kUp) return;
+  RsvpPath path;
+  path.session_name = tunnel.config.name;
+  path.head_end = router_id_;
+  path.destination = tunnel.config.destination;
+  path.remaining_hops = tunnel.config.explicit_hops;
+  path.bandwidth_bps = tunnel.config.bandwidth_bps;
+
+  net::Ipv4Address toward =
+      path.remaining_hops.empty() ? path.destination : path.remaining_hops.front();
+  auto next = next_signaling_target(toward);
+  if (!next) {
+    tunnel.state = TunnelState::kDown;  // no route yet; retry on rib change
+    return;
+  }
+  tunnel.state = TunnelState::kSignaling;
+  // Record our own address on the link toward the next hop so the Resv can
+  // walk back. Use the egress interface address.
+  for (const rib::RibRoute& route : env_.rib().longest_match(*next)) {
+    if (!route.interface) continue;
+    for (const InterfaceView& interface : env_.interfaces())
+      if (interface.name == *route.interface && interface.address)
+        path.traversed_hops.push_back(interface.address->address);
+    break;
+  }
+  if (path.traversed_hops.empty()) path.traversed_hops.push_back(router_id_);
+  env_.send_addressed(*next, Message(path));
+}
+
+void TeEngine::handle(const Message& message) {
+  if (!active_) return;
+  if (const auto* path = std::get_if<RsvpPath>(&message)) handle_path(*path);
+  else if (const auto* resv = std::get_if<RsvpResv>(&message)) handle_resv(*resv);
+  else if (const auto* error = std::get_if<RsvpPathErr>(&message)) handle_patherr(*error);
+}
+
+void TeEngine::handle_path(const RsvpPath& path) {
+  std::string session_key = path.head_end.to_string() + "/" + path.session_name;
+  bool refresh = upstream_of_.count(session_key) > 0;
+  if (refresh && options_.refresh_processing_delay > util::Duration::seconds(0) &&
+      !is_local_address(path.destination)) {
+    // Slow-refresh vendor: a re-signaled Path for a known session waits
+    // for the local refresh timer before being acted on.
+    env_.schedule(options_.refresh_processing_delay,
+                  [this, path] { process_path(path); });
+    return;
+  }
+  process_path(path);
+}
+
+void TeEngine::process_path(const RsvpPath& path) {
+  std::string session_key = path.head_end.to_string() + "/" + path.session_name;
+  if (!path.traversed_hops.empty())
+    upstream_of_[session_key] = path.traversed_hops.back();
+
+  if (is_local_address(path.destination)) {
+    // Tail end: allocate a label, program a pop entry, answer with Resv.
+    uint32_t label = allocate_label();
+    TeLabelBinding binding;
+    binding.in_label = label;
+    binding.out_label = std::nullopt;  // pop: traffic terminates here
+    binding.session_name = path.session_name;
+    bindings_[label] = binding;
+    env_.notify_rib_changed();  // dataplane gained a label entry
+
+    RsvpResv resv;
+    resv.session_name = path.session_name;
+    resv.head_end = path.head_end;
+    resv.return_hops = path.traversed_hops;  // walk back upstream
+    resv.label = label;
+    if (resv.return_hops.empty()) return;
+    net::Ipv4Address upstream = resv.return_hops.back();
+    resv.return_hops.pop_back();
+    env_.send_addressed(upstream, Message(resv));
+    return;
+  }
+
+  // Transit: forward downstream.
+  RsvpPath forward = path;
+  net::Ipv4Address toward = forward.destination;
+  if (!forward.remaining_hops.empty()) {
+    // Consume an explicit hop if we own it.
+    if (is_local_address(forward.remaining_hops.front()))
+      forward.remaining_hops.erase(forward.remaining_hops.begin());
+    if (!forward.remaining_hops.empty()) toward = forward.remaining_hops.front();
+  }
+  auto next = next_signaling_target(toward);
+  if (!next) {
+    RsvpPathErr error;
+    error.session_name = path.session_name;
+    error.head_end = path.head_end;
+    error.return_hops = path.traversed_hops;
+    error.reason = "no route toward " + toward.to_string() + " at " + env_.node_name();
+    if (error.return_hops.empty()) return;
+    net::Ipv4Address upstream = error.return_hops.back();
+    error.return_hops.pop_back();
+    env_.send_addressed(upstream, Message(error));
+    return;
+  }
+  // Remember where this session's traffic goes so the Resv can program the
+  // swap entry's next hop.
+  downstream_of_[session_key] = *next;
+  // Append our egress address for the downstream Resv walk.
+  for (const rib::RibRoute& route : env_.rib().longest_match(*next)) {
+    if (!route.interface) continue;
+    for (const InterfaceView& interface : env_.interfaces())
+      if (interface.name == *route.interface && interface.address)
+        forward.traversed_hops.push_back(interface.address->address);
+    break;
+  }
+  env_.send_addressed(*next, Message(forward));
+}
+
+void TeEngine::handle_resv(const RsvpResv& resv) {
+  if (resv.return_hops.empty() || is_local_address(resv.return_hops.back())) {
+    // This Resv terminates here.
+    if (resv.head_end == router_id_) {
+      // Head-end: bring the tunnel up and install the TE route.
+      auto it = tunnels_.find(resv.session_name);
+      if (it == tunnels_.end()) return;
+      TeTunnelStatus& tunnel = it->second;
+      tunnel.state = TunnelState::kUp;
+      tunnel.push_label = resv.label;
+      // Downstream next hop: IGP next hop toward the destination.
+      auto next = next_signaling_target(tunnel.config.destination);
+      if (!next) {
+        tunnel.state = TunnelState::kDown;
+        return;
+      }
+      tunnel.downstream = *next;
+
+      rib::RibRoute route;
+      route.prefix = net::Ipv4Prefix::host(tunnel.config.destination);
+      route.protocol = rib::Protocol::kTe;
+      route.admin_distance = rib::default_admin_distance(rib::Protocol::kTe);
+      route.next_hop = tunnel.downstream;
+      route.push_label = tunnel.push_label;
+      route.source = tunnel.config.name;
+      env_.rib().add(route);
+      env_.notify_rib_changed();
+      MFV_LOG(kInfo, "te") << env_.node_name() << ": tunnel " << tunnel.config.name
+                           << " Up, label " << tunnel.push_label;
+      return;
+    }
+  }
+  // Transit: allocate our incoming label, program swap, continue upstream.
+  RsvpResv upstream_resv = resv;
+  net::Ipv4Address upstream;
+  if (!upstream_resv.return_hops.empty() &&
+      is_local_address(upstream_resv.return_hops.back()))
+    upstream_resv.return_hops.pop_back();  // our own recorded hop
+  if (upstream_resv.return_hops.empty()) return;
+  upstream = upstream_resv.return_hops.back();
+  upstream_resv.return_hops.pop_back();
+
+  uint32_t in_label = allocate_label();
+  TeLabelBinding binding;
+  binding.in_label = in_label;
+  binding.out_label = resv.label;
+  binding.session_name = resv.session_name;
+  // Downstream next hop recorded while forwarding the Path.
+  std::string session_key = resv.head_end.to_string() + "/" + resv.session_name;
+  if (auto it = downstream_of_.find(session_key); it != downstream_of_.end())
+    binding.downstream = it->second;
+  bindings_[in_label] = binding;
+  env_.notify_rib_changed();  // dataplane gained a label entry
+
+  upstream_resv.label = in_label;
+  env_.send_addressed(upstream, Message(upstream_resv));
+}
+
+void TeEngine::handle_patherr(const RsvpPathErr& error) {
+  RsvpPathErr upstream_error = error;
+  if (!upstream_error.return_hops.empty() &&
+      is_local_address(upstream_error.return_hops.back()))
+    upstream_error.return_hops.pop_back();
+  if (upstream_error.return_hops.empty() || error.head_end == router_id_) {
+    auto it = tunnels_.find(error.session_name);
+    if (it != tunnels_.end()) {
+      it->second.state = TunnelState::kDown;
+      MFV_LOG(kInfo, "te") << env_.node_name() << ": tunnel " << error.session_name
+                           << " failed: " << error.reason;
+    }
+    return;
+  }
+  net::Ipv4Address upstream = upstream_error.return_hops.back();
+  upstream_error.return_hops.pop_back();
+  env_.send_addressed(upstream, Message(upstream_error));
+}
+
+void TeEngine::rib_changed() {
+  if (!active_ || tunnels_.empty() || resignal_pending_) return;
+  bool any_down = false;
+  for (const auto& [name, tunnel] : tunnels_)
+    if (tunnel.state != TunnelState::kUp) any_down = true;
+  if (!any_down) return;
+  resignal_pending_ = true;
+  // Vendor-specific signaling timer: ceos retries quickly, vjun slowly —
+  // the interplay the paper's §2 outage anecdote describes.
+  env_.schedule(options_.resignal_delay, [this] {
+    resignal_pending_ = false;
+    for (auto& [name, tunnel] : tunnels_)
+      if (tunnel.state != TunnelState::kUp) signal(tunnel);
+  });
+}
+
+}  // namespace mfv::proto

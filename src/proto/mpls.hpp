@@ -1,0 +1,108 @@
+// RSVP-TE label-switched-path engine (simplified Path/Resv signaling).
+//
+// Head-ends signal configured tunnels hop-by-hop along the IGP path (loose
+// routing) or an explicit hop list (ERO). Each hop forwards the Path
+// downstream; the tail allocates a label and a Resv walks back upstream,
+// with every transit node allocating its own incoming label and
+// programming a swap entry. The head-end installs a TE route to the tail
+// (admin distance 2) that pushes the first label.
+//
+// MPLS and MPLS-TE are exactly the features the paper calls out as "simply
+// not in the subset of features supported in the Batfish network model"
+// (§5, E2) — the model-based baseline in mfv::model ignores them, while
+// this engine gives the emulated routers real LSP state.
+//
+// The `resignal_delay` option models vendor-specific signaling timers; the
+// paper (§2) describes an outage where mismatched RSVP-TE timers between
+// two vendors caused tens of minutes of congestion after a link cut.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/device_config.hpp"
+#include "proto/env.hpp"
+#include "proto/messages.hpp"
+
+namespace mfv::proto {
+
+struct TeOptions {
+  /// Delay before re-signaling tunnels after a topology change. Vendor
+  /// firmware differs here (ceos ~1s, vjun ~30s in our model).
+  util::Duration resignal_delay = util::Duration::seconds(1);
+  /// Transit refresh behaviour: when a Path arrives for a session this
+  /// node has recently seen (a re-signal after a failure), the slow-timer
+  /// vendor defers processing until its refresh interval fires. This is
+  /// the cross-vendor interplay behind the §2 outage anecdote: an LSP
+  /// re-routing through such a hop reconverges at *that* vendor's pace.
+  util::Duration refresh_processing_delay = util::Duration::seconds(0);
+  /// Base of the label allocation range (distinct per router for clarity).
+  uint32_t label_base = 100000;
+};
+
+enum class TunnelState { kDown, kSignaling, kUp };
+
+std::string tunnel_state_name(TunnelState state);
+
+struct TeTunnelStatus {
+  config::TeTunnel config;
+  TunnelState state = TunnelState::kDown;
+  uint32_t push_label = 0;                    // label received from downstream
+  net::Ipv4Address downstream;                // next-hop address of the LSP
+  std::vector<net::Ipv4Address> record_route; // RRO from signaling
+};
+
+/// A programmed transit/tail label entry.
+struct TeLabelBinding {
+  uint32_t in_label = 0;
+  /// Swap target; nullopt = pop (tail).
+  std::optional<uint32_t> out_label;
+  std::optional<net::Ipv4Address> downstream;
+  std::string session_name;
+};
+
+class TeEngine {
+ public:
+  TeEngine(RouterEnv& env, const config::DeviceConfig& device, TeOptions options = {});
+
+  bool active() const { return active_; }
+
+  void start();
+  void handle(const Message& message);
+  void rib_changed();
+
+  const std::map<std::string, TeTunnelStatus>& tunnels() const { return tunnels_; }
+  const std::map<uint32_t, TeLabelBinding>& label_bindings() const { return bindings_; }
+
+ private:
+  void signal(TeTunnelStatus& tunnel);
+  void handle_path(const RsvpPath& path);
+  void process_path(const RsvpPath& path);
+  void handle_resv(const RsvpResv& resv);
+  void handle_patherr(const RsvpPathErr& error);
+
+  bool is_local_address(net::Ipv4Address address) const;
+  /// The adjacent router address to forward signaling toward `target`, or
+  /// nullopt if unroutable.
+  std::optional<net::Ipv4Address> next_signaling_target(net::Ipv4Address target) const;
+  uint32_t allocate_label() { return options_.label_base + label_counter_++; }
+
+  RouterEnv& env_;
+  bool active_ = false;
+  TeOptions options_;
+  net::RouterId router_id_;
+
+  std::map<std::string, TeTunnelStatus> tunnels_;      // head-end state
+  std::map<uint32_t, TeLabelBinding> bindings_;        // transit/tail state
+  /// Transit Path state: session key -> upstream address (for PathErr).
+  std::map<std::string, net::Ipv4Address> upstream_of_;
+  /// Transit Path state: session key -> downstream address (for the swap
+  /// entry programmed when the Resv returns).
+  std::map<std::string, net::Ipv4Address> downstream_of_;
+  uint32_t label_counter_ = 0;
+  bool resignal_pending_ = false;
+};
+
+}  // namespace mfv::proto

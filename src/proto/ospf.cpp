@@ -1,0 +1,298 @@
+#include "proto/ospf.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/logging.hpp"
+
+namespace mfv::proto {
+
+namespace {
+constexpr util::Duration kSpfDelay = util::Duration::millis(50);
+}
+
+OspfEngine::OspfEngine(RouterEnv& env, const config::DeviceConfig& device) : env_(env) {
+  if (!device.ospf.enabled) return;
+  std::optional<net::RouterId> router_id = device.ospf.router_id;
+  if (!router_id) router_id = device.effective_router_id();
+  if (!router_id) {
+    MFV_LOG(kWarn, "ospf") << env_.node_name() << ": no usable router-id, OSPF disabled";
+    return;
+  }
+  active_ = true;
+  router_id_ = *router_id;
+  ospf_ = device.ospf;
+  for (const auto& [name, iface] : device.interfaces) costs_[name] = iface.ospf_cost;
+}
+
+bool OspfEngine::participates(const InterfaceView& interface) const {
+  return interface.vrf.empty() && interface.address &&
+         ospf_.covers(interface.address->address);
+}
+
+bool OspfEngine::passive(const InterfaceView& interface) const {
+  // Loopbacks never form adjacencies.
+  if (interface.name.rfind("Loopback", 0) == 0 || interface.name.rfind("lo", 0) == 0)
+    return true;
+  return ospf_.is_passive(interface.name);
+}
+
+uint32_t OspfEngine::cost_of(const net::InterfaceName& name) const {
+  auto it = costs_.find(name);
+  return it == costs_.end() ? 10 : it->second;
+}
+
+void OspfEngine::start() {
+  if (!active_) return;
+  for (const InterfaceView& interface : env_.interfaces())
+    if (participates(interface) && !passive(interface) && interface.up)
+      send_hello(interface);
+  regenerate_lsa();
+}
+
+void OspfEngine::shutdown() {
+  if (!active_) return;
+  OspfLsa purge;
+  purge.origin = router_id_;
+  purge.sequence = ++own_sequence_;
+  lsdb_[router_id_] = purge;
+  flood(purge, /*except=*/"");
+  active_ = false;
+}
+
+std::optional<InterfaceView> OspfEngine::find_interface(
+    const net::InterfaceName& name) const {
+  for (const InterfaceView& interface : env_.interfaces())
+    if (interface.name == name) return interface;
+  return std::nullopt;
+}
+
+std::vector<net::RouterId> OspfEngine::seen_on(const net::InterfaceName& interface) const {
+  std::vector<net::RouterId> seen;
+  auto it = adjacencies_.find(interface);
+  if (it != adjacencies_.end()) seen.push_back(it->second.neighbor);
+  return seen;
+}
+
+void OspfEngine::send_hello(const InterfaceView& interface) {
+  if (!interface.address) return;
+  OspfHello hello;
+  hello.router_id = router_id_;
+  hello.interface_address = interface.address->address;
+  hello.seen_neighbors = seen_on(interface.name);
+  env_.send_on_interface(interface.name, Message(hello));
+}
+
+void OspfEngine::handle(const net::InterfaceName& in_interface, const Message& message) {
+  if (!active_) return;
+  if (const auto* hello = std::get_if<OspfHello>(&message))
+    handle_hello(in_interface, *hello);
+  else if (const auto* lsa = std::get_if<OspfLsa>(&message))
+    handle_lsa(in_interface, *lsa);
+}
+
+void OspfEngine::handle_hello(const net::InterfaceName& in_interface,
+                              const OspfHello& hello) {
+  auto interface = find_interface(in_interface);
+  if (!interface || !participates(*interface) || passive(*interface) || !interface->up)
+    return;
+  if (hello.router_id == router_id_) return;
+  // OSPF (unlike IS-IS) requires hello source and receiving interface to
+  // share a subnet; mismatched link addressing keeps the adjacency down.
+  if (interface->address &&
+      !interface->address->subnet.contains(hello.interface_address))
+    return;
+
+  auto [it, inserted] = adjacencies_.try_emplace(in_interface);
+  OspfAdjacency& adjacency = it->second;
+  bool was_full = !inserted && adjacency.state == OspfAdjacency::State::kFull;
+  bool neighbor_changed = inserted || adjacency.neighbor != hello.router_id;
+
+  adjacency.neighbor = hello.router_id;
+  adjacency.neighbor_address = hello.interface_address;
+  adjacency.interface = in_interface;
+  adjacency.cost = cost_of(in_interface);
+
+  bool sees_us = std::find(hello.seen_neighbors.begin(), hello.seen_neighbors.end(),
+                           router_id_) != hello.seen_neighbors.end();
+  adjacency.state = sees_us ? OspfAdjacency::State::kFull : OspfAdjacency::State::kInit;
+
+  bool now_full = adjacency.state == OspfAdjacency::State::kFull;
+  if (neighbor_changed || now_full != was_full) send_hello(*interface);
+  if (now_full != was_full) {
+    regenerate_lsa();
+    if (now_full) {
+      // Database exchange on adjacency-full (DD/LSR/LSU collapsed).
+      for (const auto& [origin, lsa] : lsdb_)
+        env_.send_on_interface(in_interface, Message(lsa));
+    }
+  }
+}
+
+void OspfEngine::handle_lsa(const net::InterfaceName& in_interface, const OspfLsa& lsa) {
+  auto interface = find_interface(in_interface);
+  if (!interface || !participates(*interface) || passive(*interface)) return;
+
+  if (lsa.origin == router_id_) {
+    if (lsa.sequence >= own_sequence_ && !lsa.same_content(lsdb_[router_id_])) {
+      own_sequence_ = lsa.sequence;
+      lsdb_[router_id_] = lsa;
+      regenerate_lsa();
+    }
+    return;
+  }
+  auto it = lsdb_.find(lsa.origin);
+  if (it != lsdb_.end() && it->second.sequence >= lsa.sequence) return;
+  lsdb_[lsa.origin] = lsa;
+  flood(lsa, in_interface);
+  schedule_spf();
+}
+
+void OspfEngine::regenerate_lsa() {
+  if (!active_) return;
+  OspfLsa lsa;
+  lsa.origin = router_id_;
+  for (const auto& [name, adjacency] : adjacencies_)
+    if (adjacency.state == OspfAdjacency::State::kFull)
+      lsa.neighbors.push_back({adjacency.neighbor, adjacency.cost});
+  for (const InterfaceView& interface : env_.interfaces())
+    if (participates(interface) && interface.up && interface.address)
+      lsa.prefixes.push_back({interface.address->subnet, cost_of(interface.name)});
+  std::sort(lsa.neighbors.begin(), lsa.neighbors.end());
+  std::sort(lsa.prefixes.begin(), lsa.prefixes.end());
+
+  auto it = lsdb_.find(router_id_);
+  if (it != lsdb_.end() && it->second.same_content(lsa)) return;
+  lsa.sequence = ++own_sequence_;
+  lsdb_[router_id_] = lsa;
+  flood(lsa, /*except=*/"");
+  schedule_spf();
+}
+
+void OspfEngine::flood(const OspfLsa& lsa, const net::InterfaceName& except) {
+  for (const auto& [name, adjacency] : adjacencies_) {
+    if (adjacency.state != OspfAdjacency::State::kFull) continue;
+    if (name == except) continue;
+    env_.send_on_interface(name, Message(lsa));
+  }
+}
+
+void OspfEngine::interfaces_changed() {
+  if (!active_) return;
+  bool dropped = false;
+  for (auto it = adjacencies_.begin(); it != adjacencies_.end();) {
+    auto interface = find_interface(it->first);
+    bool alive = interface && interface->up && participates(*interface) &&
+                 !passive(*interface);
+    if (!alive) {
+      it = adjacencies_.erase(it);
+      dropped = true;
+    } else {
+      ++it;
+    }
+  }
+  for (const InterfaceView& interface : env_.interfaces())
+    if (participates(interface) && !passive(interface) && interface.up)
+      send_hello(interface);
+  (void)dropped;
+  regenerate_lsa();
+}
+
+void OspfEngine::schedule_spf() {
+  if (spf_pending_) return;
+  spf_pending_ = true;
+  env_.schedule(kSpfDelay, [this] {
+    spf_pending_ = false;
+    run_spf();
+  });
+}
+
+void OspfEngine::run_spf() {
+  if (!active_) return;
+  ++spf_runs_;
+
+  struct NodeState {
+    uint32_t distance = std::numeric_limits<uint32_t>::max();
+    std::set<net::InterfaceName> first_hops;
+  };
+  std::map<net::RouterId, NodeState> states;
+  states[router_id_].distance = 0;
+
+  auto reports = [&](net::RouterId from, net::RouterId to) {
+    auto it = lsdb_.find(from);
+    if (it == lsdb_.end()) return false;
+    for (const auto& neighbor : it->second.neighbors)
+      if (neighbor.router_id == to) return true;
+    return false;
+  };
+
+  using QueueItem = std::pair<uint32_t, net::RouterId>;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
+  queue.push({0, router_id_});
+  std::set<net::RouterId> settled;
+
+  while (!queue.empty()) {
+    auto [distance, node] = queue.top();
+    queue.pop();
+    if (settled.count(node)) continue;
+    settled.insert(node);
+    auto lsa_it = lsdb_.find(node);
+    if (lsa_it == lsdb_.end()) continue;
+    for (const auto& edge : lsa_it->second.neighbors) {
+      if (!reports(edge.router_id, node)) continue;
+      uint32_t candidate = distance + edge.metric;
+      NodeState& neighbor_state = states[edge.router_id];
+      std::set<net::InterfaceName> hops;
+      if (node == router_id_) {
+        for (const auto& [name, adjacency] : adjacencies_)
+          if (adjacency.state == OspfAdjacency::State::kFull &&
+              adjacency.neighbor == edge.router_id)
+            hops.insert(name);
+      } else {
+        hops = states[node].first_hops;
+      }
+      if (hops.empty()) continue;
+      if (candidate < neighbor_state.distance) {
+        neighbor_state.distance = candidate;
+        neighbor_state.first_hops = hops;
+        queue.push({candidate, edge.router_id});
+      } else if (candidate == neighbor_state.distance) {
+        neighbor_state.first_hops.insert(hops.begin(), hops.end());
+      }
+    }
+  }
+
+  rib::Rib& rib = env_.rib();
+  rib.clear_protocol(rib::Protocol::kOspf, std::to_string(ospf_.process_id));
+  std::map<net::Ipv4Prefix, uint32_t> best_metric;
+  for (const auto& [origin, lsa] : lsdb_) {
+    if (origin == router_id_) continue;
+    auto state_it = states.find(origin);
+    if (state_it == states.end() ||
+        state_it->second.distance == std::numeric_limits<uint32_t>::max())
+      continue;
+    for (const auto& item : lsa.prefixes) {
+      uint32_t total = state_it->second.distance + item.metric;
+      auto best_it = best_metric.find(item.prefix);
+      if (best_it != best_metric.end() && best_it->second < total) continue;
+      best_metric[item.prefix] = total;
+      for (const net::InterfaceName& hop : state_it->second.first_hops) {
+        auto adjacency_it = adjacencies_.find(hop);
+        if (adjacency_it == adjacencies_.end()) continue;
+        rib::RibRoute route;
+        route.prefix = item.prefix;
+        route.protocol = rib::Protocol::kOspf;
+        route.admin_distance = rib::default_admin_distance(rib::Protocol::kOspf);
+        route.metric = total;
+        route.next_hop = adjacency_it->second.neighbor_address;
+        route.interface = hop;
+        route.source = std::to_string(ospf_.process_id);
+        rib.add(route);
+      }
+    }
+  }
+  env_.notify_rib_changed();
+}
+
+}  // namespace mfv::proto

@@ -1,0 +1,89 @@
+#include "proto/policy.hpp"
+
+#include <algorithm>
+
+namespace mfv::proto {
+
+const config::RouteMap* PolicyContext::find_route_map(const std::string& name) const {
+  if (route_maps == nullptr) return nullptr;
+  auto it = route_maps->find(name);
+  return it == route_maps->end() ? nullptr : &it->second;
+}
+
+const config::PrefixList* PolicyContext::find_prefix_list(const std::string& name) const {
+  if (prefix_lists == nullptr) return nullptr;
+  auto it = prefix_lists->find(name);
+  return it == prefix_lists->end() ? nullptr : &it->second;
+}
+
+const config::CommunityList* PolicyContext::find_community_list(const std::string& name) const {
+  if (community_lists == nullptr) return nullptr;
+  auto it = community_lists->find(name);
+  return it == community_lists->end() ? nullptr : &it->second;
+}
+
+bool clause_matches(const PolicyContext& context, const config::RouteMapClause& clause,
+                    const BgpRoute& route) {
+  if (clause.match_prefix_list) {
+    const config::PrefixList* list = context.find_prefix_list(*clause.match_prefix_list);
+    // Unresolved prefix-list matches nothing (conservative).
+    if (list == nullptr || !list->permits(route.prefix)) return false;
+  }
+  if (clause.match_community_list) {
+    const config::CommunityList* list =
+        context.find_community_list(*clause.match_community_list);
+    if (list == nullptr) return false;
+    bool any = false;
+    for (config::Community community : list->communities) {
+      if (std::find(route.attributes.communities.begin(), route.attributes.communities.end(),
+                    community) != route.attributes.communities.end()) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  if (clause.match_med && route.attributes.med != *clause.match_med) return false;
+  return true;
+}
+
+PolicyResult apply_route_map(const PolicyContext& context,
+                             const std::optional<std::string>& route_map_name,
+                             const BgpRoute& route) {
+  if (!route_map_name) return {true, route};
+  const config::RouteMap* map = context.find_route_map(*route_map_name);
+  if (map == nullptr) return {true, route};  // unresolved reference: permit
+
+  // Clauses in sequence order; config parsers may append out of order.
+  std::vector<const config::RouteMapClause*> clauses;
+  clauses.reserve(map->clauses.size());
+  for (const auto& clause : map->clauses) clauses.push_back(&clause);
+  std::sort(clauses.begin(), clauses.end(),
+            [](const auto* a, const auto* b) { return a->seq < b->seq; });
+
+  for (const config::RouteMapClause* clause : clauses) {
+    if (!clause_matches(context, *clause, route)) continue;
+    if (!clause->permit) return {false, route};
+
+    PolicyResult result{true, route};
+    BgpAttributes& attributes = result.route.attributes;
+    if (clause->set_local_pref) attributes.local_pref = *clause->set_local_pref;
+    if (clause->set_med) attributes.med = *clause->set_med;
+    if (!clause->set_communities.empty()) {
+      if (!clause->additive_communities) attributes.communities.clear();
+      for (config::Community community : clause->set_communities) {
+        if (std::find(attributes.communities.begin(), attributes.communities.end(),
+                      community) == attributes.communities.end())
+          attributes.communities.push_back(community);
+      }
+      std::sort(attributes.communities.begin(), attributes.communities.end());
+    }
+    for (uint32_t i = 0; i < clause->prepend_count; ++i)
+      attributes.as_path.insert(attributes.as_path.begin(), context.local_as);
+    if (clause->set_next_hop) attributes.next_hop = *clause->set_next_hop;
+    return result;
+  }
+  return {false, route};  // implicit deny at end of map
+}
+
+}  // namespace mfv::proto

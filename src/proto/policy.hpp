@@ -1,0 +1,46 @@
+// Route-map evaluation over BGP routes.
+//
+// A PolicyContext bundles the named route-maps, prefix-lists, and
+// community-lists of one device configuration; `apply_route_map` evaluates
+// clauses in sequence order with first-match-wins semantics, mutating a
+// copy of the route's attributes on permit.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "config/device_config.hpp"
+#include "net/types.hpp"
+#include "proto/messages.hpp"
+
+namespace mfv::proto {
+
+struct PolicyContext {
+  const std::map<std::string, config::RouteMap>* route_maps = nullptr;
+  const std::map<std::string, config::PrefixList>* prefix_lists = nullptr;
+  const std::map<std::string, config::CommunityList>* community_lists = nullptr;
+  net::AsNumber local_as = 0;
+
+  const config::RouteMap* find_route_map(const std::string& name) const;
+  const config::PrefixList* find_prefix_list(const std::string& name) const;
+  const config::CommunityList* find_community_list(const std::string& name) const;
+};
+
+struct PolicyResult {
+  bool permitted = false;
+  BgpRoute route;  // transformed copy (valid only when permitted)
+};
+
+/// Evaluates one clause's match conditions against a route.
+bool clause_matches(const PolicyContext& context, const config::RouteMapClause& clause,
+                    const BgpRoute& route);
+
+/// Applies a named route-map. A missing route-map name permits everything
+/// unchanged (matching EOS behaviour for unresolved references, which is
+/// itself a frequent source of production surprises). An existing map with
+/// no matching clause denies (implicit deny).
+PolicyResult apply_route_map(const PolicyContext& context,
+                             const std::optional<std::string>& route_map_name,
+                             const BgpRoute& route);
+
+}  // namespace mfv::proto

@@ -1,0 +1,254 @@
+#include "rib/rib.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace mfv::rib {
+
+std::string protocol_name(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kConnected: return "CONNECTED";
+    case Protocol::kLocal: return "LOCAL";
+    case Protocol::kStatic: return "STATIC";
+    case Protocol::kGribi: return "GRIBI";
+    case Protocol::kOspf: return "OSPF";
+    case Protocol::kIsis: return "ISIS";
+    case Protocol::kBgp: return "BGP";
+    case Protocol::kIbgp: return "IBGP";
+    case Protocol::kTe: return "TE";
+  }
+  return "UNKNOWN";
+}
+
+uint8_t default_admin_distance(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kConnected: return 0;
+    case Protocol::kLocal: return 0;
+    case Protocol::kStatic: return 1;
+    case Protocol::kGribi: return 5;
+    case Protocol::kTe: return 2;
+    case Protocol::kBgp: return 20;
+    case Protocol::kOspf: return 110;
+    case Protocol::kIsis: return 115;
+    case Protocol::kIbgp: return 200;
+  }
+  return 255;
+}
+
+bool Rib::add(RibRoute route) {
+  auto& slot = routes_[route.prefix];
+  std::vector<RibRoute> before = select_best(slot);
+  bool replaced = false;
+  for (auto& existing : slot) {
+    if (existing.same_slot(route)) {
+      existing = route;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) {
+    slot.push_back(std::move(route));
+    trie_valid_ = false;
+  }
+  return select_best(slot) != before;
+}
+
+bool Rib::remove(const RibRoute& route) {
+  auto it = routes_.find(route.prefix);
+  if (it == routes_.end()) return false;
+  auto& slot = it->second;
+  std::vector<RibRoute> before = select_best(slot);
+  auto removed = std::remove_if(slot.begin(), slot.end(),
+                                [&](const RibRoute& r) { return r.same_slot(route); });
+  if (removed == slot.end()) return false;
+  slot.erase(removed, slot.end());
+  bool changed;
+  if (slot.empty()) {
+    routes_.erase(it);
+    trie_valid_ = false;
+    changed = !before.empty();
+  } else {
+    changed = select_best(slot) != before;
+  }
+  return changed;
+}
+
+size_t Rib::clear_protocol(Protocol protocol, const std::string& source) {
+  size_t removed = 0;
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    auto& slot = it->second;
+    size_t before = slot.size();
+    slot.erase(std::remove_if(slot.begin(), slot.end(),
+                              [&](const RibRoute& r) {
+                                return r.protocol == protocol &&
+                                       (source.empty() || r.source == source);
+                              }),
+               slot.end());
+    removed += before - slot.size();
+    if (slot.empty()) {
+      it = routes_.erase(it);
+      trie_valid_ = false;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<RibRoute> Rib::select_best(const std::vector<RibRoute>& routes) const {
+  if (routes.empty()) return {};
+  uint8_t best_distance = 255;
+  uint32_t best_metric = UINT32_MAX;
+  for (const auto& route : routes) {
+    if (route.admin_distance < best_distance ||
+        (route.admin_distance == best_distance && route.metric < best_metric)) {
+      best_distance = route.admin_distance;
+      best_metric = route.metric;
+    }
+  }
+  std::vector<RibRoute> best;
+  for (const auto& route : routes)
+    if (route.admin_distance == best_distance && route.metric == best_metric)
+      best.push_back(route);
+  return best;
+}
+
+std::vector<RibRoute> Rib::best(const net::Ipv4Prefix& prefix) const {
+  auto it = routes_.find(prefix);
+  if (it == routes_.end()) return {};
+  return select_best(it->second);
+}
+
+std::vector<RibRoute> Rib::candidates(const net::Ipv4Prefix& prefix) const {
+  auto it = routes_.find(prefix);
+  if (it == routes_.end()) return {};
+  return it->second;
+}
+
+void Rib::rebuild_trie() const {
+  trie_.clear();
+  for (const auto& [prefix, slot] : routes_) trie_.insert(prefix, true);
+  trie_valid_ = true;
+}
+
+std::vector<RibRoute> Rib::longest_match(net::Ipv4Address destination) const {
+  if (!trie_valid_) rebuild_trie();
+  auto match = trie_.longest_match(destination);
+  if (!match) return {};
+  return best(match->first);
+}
+
+void Rib::for_each_best(
+    const std::function<void(const net::Ipv4Prefix&, const std::vector<RibRoute>&)>& visit)
+    const {
+  for (const auto& [prefix, slot] : routes_) {
+    auto best_set = select_best(slot);
+    if (!best_set.empty()) visit(prefix, best_set);
+  }
+}
+
+size_t Rib::route_count() const {
+  size_t count = 0;
+  for (const auto& [prefix, slot] : routes_) count += slot.size();
+  return count;
+}
+
+namespace {
+
+void resolve_into(const Rib& rib, const RibRoute& route, int depth,
+                  std::vector<ResolvedNextHop>& out) {
+  if (depth <= 0) return;  // resolution loop or chain too deep
+  if (route.drop) {
+    out.push_back(ResolvedNextHop{std::nullopt, "", true, route.push_label});
+    return;
+  }
+  if (route.interface) {
+    // Directly resolvable: either attached (connected subnet, no next-hop
+    // address) or adjacent (IGP route carrying both).
+    out.push_back(ResolvedNextHop{route.next_hop, *route.interface, false, route.push_label});
+    return;
+  }
+  if (!route.next_hop) return;  // malformed: nothing to resolve through
+  // Recursive: look up the next hop itself.
+  for (const RibRoute& via : rib.longest_match(*route.next_hop)) {
+    // Self-referential match (e.g. a BGP route resolving through itself)
+    // must not recurse forever; the covering route must be different.
+    if (via.prefix == route.prefix && via.protocol == route.protocol &&
+        via.next_hop == route.next_hop)
+      continue;
+    if (via.interface && via.protocol == Protocol::kConnected) {
+      // Attached subnet: the original next hop is directly adjacent.
+      out.push_back(
+          ResolvedNextHop{route.next_hop, *via.interface, false, route.push_label});
+    } else {
+      size_t before = out.size();
+      resolve_into(rib, via, depth - 1, out);
+      // Labels from the outer route win (TE-over-IGP); copy onto new hops.
+      if (route.push_label) {
+        for (size_t i = before; i < out.size(); ++i)
+          if (!out[i].push_label) out[i].push_label = route.push_label;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ResolvedNextHop> resolve(const Rib& rib, const RibRoute& route, int max_depth) {
+  std::vector<ResolvedNextHop> out;
+  resolve_into(rib, route, max_depth, out);
+  // Deduplicate (multiple candidate paths can resolve identically).
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+aft::Aft compile_fib(const Rib& rib) {
+  aft::Aft fib;
+  // Deduplicate next hops across entries.
+  std::map<ResolvedNextHop, uint64_t> next_hop_index;
+  std::map<std::vector<uint64_t>, uint64_t> group_index;
+
+  rib.for_each_best([&](const net::Ipv4Prefix& prefix, const std::vector<RibRoute>& best) {
+    std::set<ResolvedNextHop> resolved;
+    for (const RibRoute& route : best)
+      for (const ResolvedNextHop& hop : resolve(rib, route))
+        resolved.insert(hop);
+    if (resolved.empty()) return;  // unresolvable: not programmed
+
+    std::vector<uint64_t> indices;
+    for (const ResolvedNextHop& hop : resolved) {
+      auto it = next_hop_index.find(hop);
+      if (it == next_hop_index.end()) {
+        aft::NextHop nh;
+        nh.ip_address = hop.next_hop;
+        if (!hop.interface.empty()) nh.interface = hop.interface;
+        nh.drop = hop.drop;
+        if (hop.push_label) {
+          nh.label_op = aft::LabelOp::kPush;
+          nh.label = *hop.push_label;
+        }
+        it = next_hop_index.emplace(hop, fib.add_next_hop(nh)).first;
+      }
+      indices.push_back(it->second);
+    }
+    std::sort(indices.begin(), indices.end());
+
+    auto group_it = group_index.find(indices);
+    if (group_it == group_index.end()) {
+      std::vector<std::pair<uint64_t, uint64_t>> weighted;
+      for (uint64_t index : indices) weighted.emplace_back(index, 1);
+      group_it = group_index.emplace(indices, fib.add_group(std::move(weighted))).first;
+    }
+
+    aft::Ipv4Entry entry;
+    entry.prefix = prefix;
+    entry.next_hop_group = group_it->second;
+    entry.origin_protocol = protocol_name(best.front().protocol);
+    entry.metric = best.front().metric;
+    fib.set_ipv4_entry(std::move(entry));
+  });
+  return fib;
+}
+
+}  // namespace mfv::rib

@@ -1,0 +1,129 @@
+// Routing Information Base shared by all protocol engines on a virtual
+// router.
+//
+// Each protocol installs candidate routes; the RIB selects the best
+// route(s) per prefix by (administrative distance, metric), keeping ties
+// as an ECMP set. `compile_fib` then performs recursive next-hop
+// resolution and emits the OpenConfig-shaped AFT that the gNMI layer
+// exports — i.e. this file is where "converged control plane state"
+// becomes "dataplane forwarding state".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aft/aft.hpp"
+#include "net/ipv4.hpp"
+#include "net/prefix_trie.hpp"
+#include "net/types.hpp"
+
+namespace mfv::rib {
+
+enum class Protocol : uint8_t {
+  kConnected,
+  kLocal,    // the interface's own /32
+  kStatic,
+  kGribi,   // programmatically injected (gRIBI-style API)
+  kOspf,
+  kIsis,
+  kBgp,      // eBGP-learned
+  kIbgp,     // iBGP-learned
+  kTe,       // RSVP-TE tunnel route
+};
+
+std::string protocol_name(Protocol protocol);
+
+/// Default administrative distances (EOS-like).
+uint8_t default_admin_distance(Protocol protocol);
+
+struct RibRoute {
+  net::Ipv4Prefix prefix;
+  Protocol protocol = Protocol::kConnected;
+  uint8_t admin_distance = 0;
+  uint32_t metric = 0;
+  /// Next-hop address; may require recursive resolution (e.g. BGP routes
+  /// whose next hop is a remote loopback reached via IS-IS).
+  std::optional<net::Ipv4Address> next_hop;
+  /// Egress interface; set for connected/IGP routes, absent for recursive.
+  std::optional<net::InterfaceName> interface;
+  bool drop = false;
+  /// MPLS label pushed when forwarding via this route (TE tunnels).
+  std::optional<uint32_t> push_label;
+  /// Provenance for CLI output and targeted withdrawal (peer address,
+  /// IGP instance, tunnel name...).
+  std::string source;
+
+  bool operator==(const RibRoute&) const = default;
+
+  /// Identity for add/replace: two routes with equal key describe the same
+  /// RIB slot and the newer one replaces the older.
+  bool same_slot(const RibRoute& other) const {
+    return prefix == other.prefix && protocol == other.protocol && source == other.source &&
+           next_hop == other.next_hop && interface == other.interface;
+  }
+};
+
+class Rib {
+ public:
+  /// Inserts or replaces (by slot identity). Returns true if the best-route
+  /// set for the prefix changed.
+  bool add(RibRoute route);
+
+  /// Removes the route occupying the same slot. Returns true if the
+  /// best-route set changed.
+  bool remove(const RibRoute& route);
+
+  /// Drops every route of `protocol` (optionally only those from `source`).
+  /// Returns the number removed.
+  size_t clear_protocol(Protocol protocol, const std::string& source = "");
+
+  /// Best route set (ECMP) for an exact prefix; empty if none.
+  std::vector<RibRoute> best(const net::Ipv4Prefix& prefix) const;
+
+  /// All candidate routes for an exact prefix (for CLI display).
+  std::vector<RibRoute> candidates(const net::Ipv4Prefix& prefix) const;
+
+  /// Longest-prefix match returning the best set of the covering prefix.
+  std::vector<RibRoute> longest_match(net::Ipv4Address destination) const;
+
+  /// Visits the best set of every prefix.
+  void for_each_best(
+      const std::function<void(const net::Ipv4Prefix&, const std::vector<RibRoute>&)>& visit)
+      const;
+
+  size_t prefix_count() const { return routes_.size(); }
+  size_t route_count() const;
+
+ private:
+  std::vector<RibRoute> select_best(const std::vector<RibRoute>& routes) const;
+  void rebuild_trie() const;
+
+  std::map<net::Ipv4Prefix, std::vector<RibRoute>> routes_;
+  mutable net::PrefixTrie<bool> trie_;  // presence trie for LPM
+  mutable bool trie_valid_ = false;
+};
+
+/// One fully resolved forwarding action.
+struct ResolvedNextHop {
+  std::optional<net::Ipv4Address> next_hop;  // adjacent address; absent if attached
+  net::InterfaceName interface;
+  bool drop = false;
+  std::optional<uint32_t> push_label;
+
+  auto operator<=>(const ResolvedNextHop&) const = default;
+};
+
+/// Recursively resolves a route's next hop(s) against the RIB until routes
+/// with explicit egress interfaces are reached. Returns empty if the next
+/// hop is unresolvable (route stays out of the FIB).
+std::vector<ResolvedNextHop> resolve(const Rib& rib, const RibRoute& route, int max_depth = 16);
+
+/// Compiles the RIB into an AFT: best routes, recursive resolution,
+/// ECMP groups, deduplicated next hops.
+aft::Aft compile_fib(const Rib& rib);
+
+}  // namespace mfv::rib

@@ -1,0 +1,52 @@
+// Minimal leveled logger used across the library.
+//
+// The emulator runs thousands of routers in-process, so logging must be
+// cheap when disabled: the macro checks the level before evaluating the
+// message expression.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mfv::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emits one line to stderr: "[LEVEL] component: message".
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace mfv::util
+
+#define MFV_LOG(level, component)                                      \
+  if (::mfv::util::LogLevel::level < ::mfv::util::log_level()) {       \
+  } else                                                               \
+    ::mfv::util::detail::LogMessage(::mfv::util::LogLevel::level, component)

@@ -1,0 +1,52 @@
+// Deterministic PCG32 random number generator.
+//
+// All stochastic behaviour in the emulator (boot-time jitter, message
+// scheduling jitter, workload generation) draws from seeded instances of
+// this generator, so every experiment is reproducible from its seed
+// (DESIGN.md §5, "Determinism by default").
+#pragma once
+
+#include <cstdint>
+
+namespace mfv::util {
+
+class Pcg32 {
+ public:
+  explicit Pcg32(uint64_t seed, uint64_t stream = 0x14057B7EF767814Full) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    next();
+    state_ += seed;
+    next();
+  }
+
+  /// Uniform 32-bit value.
+  uint32_t next() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ull + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform value in [0, bound) without modulo bias. bound must be > 0.
+  uint32_t next_below(uint32_t bound) {
+    uint32_t threshold = (0u - bound) % bound;
+    while (true) {
+      uint32_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  uint32_t next_in(uint32_t lo, uint32_t hi) { return lo + next_below(hi - lo + 1); }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return next() * (1.0 / 4294967296.0); }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace mfv::util

@@ -1,0 +1,121 @@
+// Lightweight Status / Result<T> types (std::expected is C++23; we target
+// C++20). Used for recoverable errors such as malformed configuration or
+// unknown gNMI paths; programming errors use assertions/exceptions.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mfv::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Error-or-success value without a payload.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "use Status() / ok_status() for success");
+  }
+
+  static Status ok_status() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (ok()) return "OK";
+    return code_name(code_) + ": " + message_;
+  }
+
+  static std::string code_name(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::kNotFound: return "NOT_FOUND";
+      case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+      case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+      case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+      case StatusCode::kInternal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status not_found(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status already_exists(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+inline Status failed_precondition(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status unimplemented(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+inline Status internal_error(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+/// Value-or-Status. `value()` throws std::runtime_error on error so misuse
+/// fails loudly in tests.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {    // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(data_).ok() && "Result from OK status has no value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + status().to_string());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + status().to_string());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + status().to_string());
+    return std::get<T>(std::move(data_));
+  }
+
+  Status status() const {
+    if (ok()) return Status::ok_status();
+    return std::get<Status>(data_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace mfv::util

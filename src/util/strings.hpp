@@ -1,0 +1,33 @@
+// Small string helpers used by the config parsers and CLI renderers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mfv::util {
+
+/// Splits on `delimiter`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Splits on runs of whitespace, dropping empty fields (tokenization).
+std::vector<std::string> split_whitespace(std::string_view text);
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view text);
+
+std::string join(const std::vector<std::string>& parts, std::string_view separator);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Number of leading space characters (config indent depth).
+int indent_of(std::string_view line);
+
+std::string to_lower(std::string_view text);
+
+/// Parses a non-negative integer; returns false on any non-digit input.
+bool parse_uint32(std::string_view text, uint32_t& out);
+bool parse_uint64(std::string_view text, uint64_t& out);
+
+}  // namespace mfv::util

@@ -1,0 +1,69 @@
+// Virtual time for the discrete-event emulation.
+//
+// All simulated time is integer microseconds since emulation start. Using a
+// dedicated wrapper (not std::chrono) keeps arithmetic explicit and makes
+// accidental mixing with wall-clock time a type error.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace mfv::util {
+
+class Duration {
+ public:
+  constexpr Duration() : micros_(0) {}
+  constexpr explicit Duration(int64_t micros) : micros_(micros) {}
+
+  static constexpr Duration micros(int64_t n) { return Duration(n); }
+  static constexpr Duration millis(int64_t n) { return Duration(n * 1000); }
+  static constexpr Duration seconds(int64_t n) { return Duration(n * 1000000); }
+  static constexpr Duration minutes(int64_t n) { return Duration(n * 60000000); }
+
+  constexpr int64_t count_micros() const { return micros_; }
+  constexpr double seconds_double() const { return static_cast<double>(micros_) / 1e6; }
+
+  constexpr Duration operator+(Duration other) const { return Duration(micros_ + other.micros_); }
+  constexpr Duration operator-(Duration other) const { return Duration(micros_ - other.micros_); }
+  constexpr Duration operator*(int64_t factor) const { return Duration(micros_ * factor); }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  int64_t micros_;
+};
+
+class TimePoint {
+ public:
+  constexpr TimePoint() : micros_(0) {}
+  constexpr explicit TimePoint(int64_t micros) : micros_(micros) {}
+
+  constexpr int64_t count_micros() const { return micros_; }
+  constexpr double seconds_double() const { return static_cast<double>(micros_) / 1e6; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(micros_ + d.count_micros()); }
+  constexpr Duration operator-(TimePoint other) const { return Duration(micros_ - other.micros_); }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  int64_t micros_;
+};
+
+inline std::string Duration::to_string() const {
+  if (micros_ >= 60000000 && micros_ % 60000000 == 0)
+    return std::to_string(micros_ / 60000000) + "min";
+  if (micros_ >= 1000000)
+    return std::to_string(static_cast<double>(micros_) / 1e6).substr(0, 6) + "s";
+  if (micros_ >= 1000) return std::to_string(micros_ / 1000) + "ms";
+  return std::to_string(micros_) + "us";
+}
+
+inline std::string TimePoint::to_string() const {
+  return "t+" + Duration(micros_).to_string();
+}
+
+}  // namespace mfv::util

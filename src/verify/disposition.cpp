@@ -1,0 +1,56 @@
+#include "verify/disposition.hpp"
+
+namespace mfv::verify {
+
+std::string disposition_name(Disposition disposition) {
+  switch (disposition) {
+    case Disposition::kAccepted: return "ACCEPTED";
+    case Disposition::kDeliveredToSubnet: return "DELIVERED_TO_SUBNET";
+    case Disposition::kExitsNetwork: return "EXITS_NETWORK";
+    case Disposition::kNoRoute: return "NO_ROUTE";
+    case Disposition::kNullRouted: return "NULL_ROUTED";
+    case Disposition::kNeighborUnreachable: return "NEIGHBOR_UNREACHABLE";
+    case Disposition::kLoop: return "LOOP";
+    case Disposition::kDeniedIn: return "DENIED_IN";
+    case Disposition::kDeniedOut: return "DENIED_OUT";
+  }
+  return "?";
+}
+
+bool DispositionSet::all_success() const {
+  if (empty()) return false;
+  for (Disposition d : values())
+    if (d != Disposition::kAccepted && d != Disposition::kDeliveredToSubnet &&
+        d != Disposition::kExitsNetwork)
+      return false;
+  return true;
+}
+
+bool DispositionSet::any_failure() const {
+  for (Disposition d : values())
+    if (d == Disposition::kNoRoute || d == Disposition::kNullRouted ||
+        d == Disposition::kNeighborUnreachable || d == Disposition::kLoop ||
+        d == Disposition::kDeniedIn || d == Disposition::kDeniedOut)
+      return true;
+  return false;
+}
+
+std::vector<Disposition> DispositionSet::values() const {
+  std::vector<Disposition> out;
+  for (int i = 0; i <= static_cast<int>(Disposition::kDeniedOut); ++i) {
+    Disposition d = static_cast<Disposition>(i);
+    if (contains(d)) out.push_back(d);
+  }
+  return out;
+}
+
+std::string DispositionSet::to_string() const {
+  std::string out;
+  for (Disposition d : values()) {
+    if (!out.empty()) out += "|";
+    out += disposition_name(d);
+  }
+  return out.empty() ? "NONE" : out;
+}
+
+}  // namespace mfv::verify

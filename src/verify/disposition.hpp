@@ -1,0 +1,50 @@
+// Flow dispositions, mirroring Batfish's vocabulary so differential
+// reachability output reads like the paper's Pybatfish runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mfv::verify {
+
+enum class Disposition : uint8_t {
+  kAccepted,             // delivered to a device owning the destination
+  kDeliveredToSubnet,    // forwarded onto a connected subnet with no owner
+  kExitsNetwork,         // left the modeled network (e.g. toward an external peer)
+  kNoRoute,              // no FIB entry covered the destination
+  kNullRouted,           // matched a drop entry
+  kNeighborUnreachable,  // next hop address owned by no (up) interface
+  kLoop,                 // revisited a device
+  kDeniedIn,             // dropped by an ingress packet filter
+  kDeniedOut,            // dropped by an egress packet filter
+};
+
+std::string disposition_name(Disposition disposition);
+
+/// Small ordered set of dispositions (a multipath flow can end differently
+/// on different branches).
+class DispositionSet {
+ public:
+  void add(Disposition d) { bits_ |= bit(d); }
+  bool contains(Disposition d) const { return (bits_ & bit(d)) != 0; }
+  bool empty() const { return bits_ == 0; }
+
+  /// True if every branch ends in success (accepted / delivered / exits).
+  bool all_success() const;
+  /// True if any branch fails (no-route, null-routed, unreachable, loop).
+  bool any_failure() const;
+
+  std::vector<Disposition> values() const;
+  std::string to_string() const;
+
+  bool operator==(const DispositionSet&) const = default;
+
+ private:
+  static uint16_t bit(Disposition d) {
+    return static_cast<uint16_t>(1u << static_cast<int>(d));
+  }
+  uint16_t bits_ = 0;
+};
+
+}  // namespace mfv::verify

@@ -1,0 +1,150 @@
+#include "verify/forwarding_graph.hpp"
+
+#include <set>
+
+namespace mfv::verify {
+
+ForwardingGraph::ForwardingGraph(const gnmi::Snapshot& snapshot) : snapshot_(snapshot) {
+  for (const auto& [node, device] : snapshot_.devices) {
+    net::PrefixTrie<const aft::Ipv4Entry*>& trie = tries_[node];
+    for (const auto& [prefix, entry] : device.aft.ipv4_entries())
+      trie.insert(prefix, &entry);
+    for (const auto& [name, interface] : device.interfaces) {
+      // Non-default-instance (VRF) interfaces are invisible to the default
+      // forwarding graph: their addresses are not reachable through it.
+      if (!interface.oper_up || !interface.address || !interface.vrf.empty()) continue;
+      owners_[interface.address->address.bits()] = node;
+      connected_[node].push_back(interface.address->subnet);
+    }
+  }
+}
+
+std::vector<net::NodeName> ForwardingGraph::nodes() const {
+  std::vector<net::NodeName> names;
+  names.reserve(snapshot_.devices.size());
+  for (const auto& [node, device] : snapshot_.devices) names.push_back(node);
+  return names;
+}
+
+const aft::Ipv4Entry* ForwardingGraph::lookup(const net::NodeName& node,
+                                              net::Ipv4Address destination) const {
+  auto it = tries_.find(node);
+  if (it == tries_.end()) return nullptr;
+  auto match = it->second.longest_match(destination);
+  return match ? *match->second : nullptr;
+}
+
+namespace {
+std::vector<aft::NextHop> group_hops(const aft::Aft& aft, uint64_t group_id) {
+  const aft::NextHopGroup* group = aft.group(group_id);
+  if (group == nullptr) return {};
+  std::vector<aft::NextHop> hops;
+  for (const auto& [index, weight] : group->next_hops) {
+    const aft::NextHop* hop = aft.next_hop(index);
+    if (hop != nullptr) hops.push_back(*hop);
+  }
+  return hops;
+}
+}  // namespace
+
+std::vector<aft::NextHop> ForwardingGraph::next_hops(const net::NodeName& node,
+                                                     const aft::Ipv4Entry& entry) const {
+  auto it = snapshot_.devices.find(node);
+  if (it == snapshot_.devices.end()) return {};
+  return group_hops(it->second.aft, entry.next_hop_group);
+}
+
+const aft::LabelEntry* ForwardingGraph::lookup_label(const net::NodeName& node,
+                                                     uint32_t label) const {
+  auto it = snapshot_.devices.find(node);
+  if (it == snapshot_.devices.end()) return nullptr;
+  const auto& entries = it->second.aft.label_entries();
+  auto entry_it = entries.find(label);
+  return entry_it == entries.end() ? nullptr : &entry_it->second;
+}
+
+std::vector<aft::NextHop> ForwardingGraph::label_next_hops(
+    const net::NodeName& node, const aft::LabelEntry& entry) const {
+  auto it = snapshot_.devices.find(node);
+  if (it == snapshot_.devices.end()) return {};
+  return group_hops(it->second.aft, entry.next_hop_group);
+}
+
+std::optional<net::NodeName> ForwardingGraph::address_owner(
+    net::Ipv4Address address) const {
+  auto it = owners_.find(address.bits());
+  if (it == owners_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ForwardingGraph::owns(const net::NodeName& node, net::Ipv4Address address) const {
+  auto it = owners_.find(address.bits());
+  return it != owners_.end() && it->second == node;
+}
+
+bool ForwardingGraph::on_connected_subnet(const net::NodeName& node,
+                                          net::Ipv4Address address) const {
+  auto it = connected_.find(node);
+  if (it == connected_.end()) return false;
+  for (const net::Ipv4Prefix& subnet : it->second)
+    if (subnet.contains(address)) return true;
+  return false;
+}
+
+const aft::InterfaceState* ForwardingGraph::interface_state(
+    const net::NodeName& node, const net::InterfaceName& interface) const {
+  auto it = snapshot_.devices.find(node);
+  if (it == snapshot_.devices.end()) return nullptr;
+  auto iface_it = it->second.interfaces.find(interface);
+  return iface_it == it->second.interfaces.end() ? nullptr : &iface_it->second;
+}
+
+const aft::InterfaceState* ForwardingGraph::interface_owning(
+    const net::NodeName& node, net::Ipv4Address address) const {
+  auto it = snapshot_.devices.find(node);
+  if (it == snapshot_.devices.end()) return nullptr;
+  for (const auto& [name, interface] : it->second.interfaces)
+    if (interface.oper_up && interface.address &&
+        interface.address->address == address)
+      return &interface;
+  return nullptr;
+}
+
+bool ForwardingGraph::egress_permits(const net::NodeName& node,
+                                     const net::InterfaceName& interface,
+                                     net::Ipv4Address destination) const {
+  const aft::InterfaceState* state = interface_state(node, interface);
+  if (state == nullptr || !state->acl_out) return true;
+  return aft::acl_permits(*state->acl_out, destination);
+}
+
+bool ForwardingGraph::ingress_permits(const net::NodeName& node, net::Ipv4Address via,
+                                      net::Ipv4Address destination) const {
+  const aft::InterfaceState* state = interface_owning(node, via);
+  if (state == nullptr || !state->acl_in) return true;
+  return aft::acl_permits(*state->acl_in, destination);
+}
+
+std::vector<net::Ipv4Prefix> ForwardingGraph::relevant_prefixes() const {
+  std::set<net::Ipv4Prefix> prefixes;
+  for (const auto& [node, device] : snapshot_.devices) {
+    for (const auto& [prefix, entry] : device.aft.ipv4_entries()) prefixes.insert(prefix);
+    for (const auto& [name, interface] : device.interfaces) {
+      if (interface.address && interface.vrf.empty()) {
+        prefixes.insert(interface.address->subnet);
+        prefixes.insert(net::Ipv4Prefix::host(interface.address->address));
+      }
+      // Packet-filter match boundaries shape forwarding too: without them
+      // a class could straddle a permit/deny edge.
+      if (interface.acl_in)
+        for (const aft::AclRule& rule : *interface.acl_in)
+          prefixes.insert(rule.destination);
+      if (interface.acl_out)
+        for (const aft::AclRule& rule : *interface.acl_out)
+          prefixes.insert(rule.destination);
+    }
+  }
+  return {prefixes.begin(), prefixes.end()};
+}
+
+}  // namespace mfv::verify

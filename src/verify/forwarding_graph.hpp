@@ -1,0 +1,81 @@
+// Forwarding-graph model of a dataplane snapshot.
+//
+// Indexes a gnmi::Snapshot for fast per-hop resolution: per-device LPM
+// tries over the AFT entries, an address-ownership map (who answers for a
+// next-hop IP), and per-device connected subnets (attached delivery). This
+// is the "formally model the dataplane" stage of §4.2 — everything the
+// trace walker and the exhaustive queries need.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gnmi/gnmi.hpp"
+#include "net/prefix_trie.hpp"
+
+namespace mfv::verify {
+
+class ForwardingGraph {
+ public:
+  explicit ForwardingGraph(const gnmi::Snapshot& snapshot);
+
+  const gnmi::Snapshot& snapshot() const { return snapshot_; }
+
+  std::vector<net::NodeName> nodes() const;
+  bool has_node(const net::NodeName& node) const {
+    return snapshot_.devices.count(node) > 0;
+  }
+
+  /// LPM lookup of `destination` in `node`'s AFT.
+  const aft::Ipv4Entry* lookup(const net::NodeName& node,
+                               net::Ipv4Address destination) const;
+
+  /// MPLS label lookup in `node`'s AFT (LSP following).
+  const aft::LabelEntry* lookup_label(const net::NodeName& node, uint32_t label) const;
+  std::vector<aft::NextHop> label_next_hops(const net::NodeName& node,
+                                            const aft::LabelEntry& entry) const;
+
+  /// Resolved next hops of an entry on a node (empty if the group is
+  /// dangling — treated as unreachable by the walker).
+  std::vector<aft::NextHop> next_hops(const net::NodeName& node,
+                                      const aft::Ipv4Entry& entry) const;
+
+  /// Device owning `address` on an operationally-up interface.
+  std::optional<net::NodeName> address_owner(net::Ipv4Address address) const;
+
+  /// True if `node` owns `address` on an up interface.
+  bool owns(const net::NodeName& node, net::Ipv4Address address) const;
+
+  /// True if `address` falls in one of `node`'s up connected subnets.
+  bool on_connected_subnet(const net::NodeName& node, net::Ipv4Address address) const;
+
+  /// Interface state lookup (packet filters, addresses).
+  const aft::InterfaceState* interface_state(const net::NodeName& node,
+                                             const net::InterfaceName& interface) const;
+  /// The up interface of `node` owning `address` (ingress resolution).
+  const aft::InterfaceState* interface_owning(const net::NodeName& node,
+                                              net::Ipv4Address address) const;
+
+  /// Applies the egress filter of (node, interface) to `destination`.
+  /// True = forward; absent filter permits.
+  bool egress_permits(const net::NodeName& node, const net::InterfaceName& interface,
+                      net::Ipv4Address destination) const;
+  /// Applies the ingress filter of the interface owning `via` on `node`.
+  bool ingress_permits(const net::NodeName& node, net::Ipv4Address via,
+                       net::Ipv4Address destination) const;
+
+  /// Every distinct prefix that shapes forwarding anywhere: all FIB
+  /// prefixes plus all interface subnets and addresses. The packet-class
+  /// partition is computed from this set.
+  std::vector<net::Ipv4Prefix> relevant_prefixes() const;
+
+ private:
+  gnmi::Snapshot snapshot_;
+  std::map<net::NodeName, net::PrefixTrie<const aft::Ipv4Entry*>> tries_;
+  std::map<uint32_t, net::NodeName> owners_;  // address bits -> node
+  std::map<net::NodeName, std::vector<net::Ipv4Prefix>> connected_;
+};
+
+}  // namespace mfv::verify

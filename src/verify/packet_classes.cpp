@@ -1,0 +1,51 @@
+#include "verify/packet_classes.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace mfv::verify {
+
+std::string PacketClass::to_string() const {
+  if (first == last) return first.to_string();
+  return first.to_string() + "-" + last.to_string();
+}
+
+std::vector<PacketClass> compute_packet_classes(
+    const std::vector<net::Ipv4Prefix>& prefixes) {
+  // Boundary points: the first address of each prefix and the address just
+  // past its last. 64-bit to represent the point past 255.255.255.255.
+  std::set<uint64_t> boundaries;
+  boundaries.insert(0);
+  boundaries.insert(0x100000000ull);
+  for (const net::Ipv4Prefix& prefix : prefixes) {
+    boundaries.insert(prefix.first_address().bits());
+    boundaries.insert(static_cast<uint64_t>(prefix.last_address().bits()) + 1);
+  }
+
+  std::vector<PacketClass> classes;
+  classes.reserve(boundaries.size());
+  auto it = boundaries.begin();
+  uint64_t previous = *it++;
+  for (; it != boundaries.end(); ++it) {
+    classes.push_back(PacketClass{net::Ipv4Address(static_cast<uint32_t>(previous)),
+                                  net::Ipv4Address(static_cast<uint32_t>(*it - 1))});
+    previous = *it;
+  }
+  return classes;
+}
+
+std::vector<PacketClass> compute_packet_classes(
+    const std::vector<net::Ipv4Prefix>& prefixes, const net::Ipv4Prefix& scope) {
+  std::vector<PacketClass> all = compute_packet_classes(prefixes);
+  std::vector<PacketClass> scoped;
+  for (const PacketClass& cls : all) {
+    // Intersect with scope.
+    uint32_t lo = std::max(cls.first.bits(), scope.first_address().bits());
+    uint32_t hi = std::min(cls.last.bits(), scope.last_address().bits());
+    if (lo > hi) continue;
+    scoped.push_back(PacketClass{net::Ipv4Address(lo), net::Ipv4Address(hi)});
+  }
+  return scoped;
+}
+
+}  // namespace mfv::verify

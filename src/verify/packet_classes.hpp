@@ -1,0 +1,51 @@
+// Packet-class partitioning of the IPv4 destination space.
+//
+// Exhaustive reachability ("for all possible packets", §5) is feasible
+// because forwarding decisions only change at prefix boundaries: collecting
+// every prefix that appears in any FIB or on any interface and splitting
+// the 2^32 destination space at each prefix's first and last+1 address
+// yields O(#prefixes) atomic intervals. Within one interval, every router's
+// LPM result is constant, so one representative address per interval covers
+// the whole space — the interval-based equivalent of Batfish's BDD packet
+// sets, specialized to destination-IP forwarding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace mfv::verify {
+
+/// One atomic destination class: the half-open address interval
+/// [first, last] (inclusive) over which all forwarding decisions are
+/// constant.
+struct PacketClass {
+  net::Ipv4Address first;
+  net::Ipv4Address last;
+
+  net::Ipv4Address representative() const { return first; }
+  uint64_t size() const {
+    return static_cast<uint64_t>(last.bits()) - first.bits() + 1;
+  }
+  bool contains(net::Ipv4Address address) const {
+    return address >= first && address <= last;
+  }
+  std::string to_string() const;
+
+  bool operator==(const PacketClass&) const = default;
+};
+
+/// Partitions the full destination space at the boundaries of `prefixes`.
+/// The result covers [0.0.0.0, 255.255.255.255] exactly, in order, with no
+/// gaps or overlaps (an invariant the property tests check).
+std::vector<PacketClass> compute_packet_classes(
+    const std::vector<net::Ipv4Prefix>& prefixes);
+
+/// Classes restricted to those overlapping `scope` (e.g. only loopback
+/// space, or only destinations the operator asked about).
+std::vector<PacketClass> compute_packet_classes(
+    const std::vector<net::Ipv4Prefix>& prefixes, const net::Ipv4Prefix& scope);
+
+}  // namespace mfv::verify

@@ -1,0 +1,172 @@
+#include "verify/queries.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace mfv::verify {
+
+namespace {
+
+std::vector<net::NodeName> resolve_sources(const ForwardingGraph& graph,
+                                           const QueryOptions& options) {
+  if (!options.sources.empty()) return options.sources;
+  return graph.nodes();
+}
+
+std::vector<PacketClass> classes_for(const std::vector<net::Ipv4Prefix>& prefixes,
+                                     const QueryOptions& options) {
+  if (options.scope) return compute_packet_classes(prefixes, *options.scope);
+  return compute_packet_classes(prefixes);
+}
+
+}  // namespace
+
+ReachabilityResult reachability(const ForwardingGraph& graph, const QueryOptions& options) {
+  ReachabilityResult result;
+  std::vector<PacketClass> classes = classes_for(graph.relevant_prefixes(), options);
+  std::vector<net::NodeName> sources = resolve_sources(graph, options);
+  result.classes = classes.size();
+  for (const net::NodeName& source : sources) {
+    for (const PacketClass& cls : classes) {
+      TraceResult trace = trace_flow(graph, source, cls.representative(), options.trace);
+      result.rows.push_back({source, cls, trace.dispositions});
+      ++result.flows;
+    }
+  }
+  return result;
+}
+
+std::string DifferentialRow::to_string() const {
+  return source + " -> " + destination.to_string() + ": base=" + base.to_string() +
+         " candidate=" + candidate.to_string();
+}
+
+std::vector<DifferentialRow> DifferentialResult::regressions() const {
+  std::vector<DifferentialRow> out;
+  for (const DifferentialRow& row : rows)
+    if (row.base.all_success() && row.candidate.any_failure()) out.push_back(row);
+  return out;
+}
+
+DifferentialResult differential_reachability(const ForwardingGraph& base,
+                                             const ForwardingGraph& candidate,
+                                             const QueryOptions& options) {
+  DifferentialResult result;
+
+  // Classes must be computed over the union of both snapshots' prefixes so
+  // a boundary present in only one side still splits the space.
+  std::vector<net::Ipv4Prefix> prefixes = base.relevant_prefixes();
+  std::vector<net::Ipv4Prefix> candidate_prefixes = candidate.relevant_prefixes();
+  prefixes.insert(prefixes.end(), candidate_prefixes.begin(), candidate_prefixes.end());
+  std::sort(prefixes.begin(), prefixes.end());
+  prefixes.erase(std::unique(prefixes.begin(), prefixes.end()), prefixes.end());
+
+  std::vector<PacketClass> classes = classes_for(prefixes, options);
+  result.classes = classes.size();
+
+  // Sources: union of both snapshots' devices (or the explicit list).
+  std::vector<net::NodeName> sources;
+  if (!options.sources.empty()) {
+    sources = options.sources;
+  } else {
+    std::set<net::NodeName> all;
+    for (const net::NodeName& node : base.nodes()) all.insert(node);
+    for (const net::NodeName& node : candidate.nodes()) all.insert(node);
+    sources.assign(all.begin(), all.end());
+  }
+
+  for (const net::NodeName& source : sources) {
+    for (const PacketClass& cls : classes) {
+      TraceResult base_trace = trace_flow(base, source, cls.representative(), options.trace);
+      TraceResult candidate_trace =
+          trace_flow(candidate, source, cls.representative(), options.trace);
+      ++result.flows;
+      if (base_trace.dispositions == candidate_trace.dispositions) continue;
+      result.rows.push_back(
+          {source, cls, base_trace.dispositions, candidate_trace.dispositions});
+    }
+  }
+  return result;
+}
+
+std::string RouteRow::to_string() const {
+  std::string out = node + " " + prefix.to_string() + " " + protocol + "/" +
+                    std::to_string(metric) + " ->";
+  for (const std::string& hop : next_hops) out += " " + hop;
+  return out;
+}
+
+std::vector<RouteRow> routes(const ForwardingGraph& graph, const net::NodeName& node) {
+  std::vector<RouteRow> rows;
+  for (const auto& [name, device] : graph.snapshot().devices) {
+    if (!node.empty() && name != node) continue;
+    for (const auto& [prefix, entry] : device.aft.ipv4_entries()) {
+      RouteRow row;
+      row.node = name;
+      row.prefix = prefix;
+      row.protocol = entry.origin_protocol;
+      row.metric = entry.metric;
+      for (const aft::NextHop& hop : graph.next_hops(name, entry)) {
+        if (hop.drop) {
+          row.next_hops.push_back("drop");
+          continue;
+        }
+        std::string rendered;
+        if (hop.ip_address) rendered = hop.ip_address->to_string();
+        if (hop.interface)
+          rendered += (rendered.empty() ? "via " : " via ") + *hop.interface;
+        if (hop.label_op == aft::LabelOp::kPush)
+          rendered += " push " + std::to_string(hop.label);
+        row.next_hops.push_back(rendered.empty() ? "attached" : rendered);
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+ReachabilityResult detect_loops(const ForwardingGraph& graph, const QueryOptions& options) {
+  ReachabilityResult all = reachability(graph, options);
+  ReachabilityResult loops;
+  loops.classes = all.classes;
+  loops.flows = all.flows;
+  for (ReachabilityRow& row : all.rows)
+    if (row.dispositions.contains(Disposition::kLoop)) loops.rows.push_back(std::move(row));
+  return loops;
+}
+
+std::optional<net::Ipv4Address> device_loopback(const gnmi::Snapshot& snapshot,
+                                                const net::NodeName& node) {
+  auto it = snapshot.devices.find(node);
+  if (it == snapshot.devices.end()) return std::nullopt;
+  std::optional<net::Ipv4Address> fallback;
+  for (const auto& [name, interface] : it->second.interfaces) {
+    if (!interface.address || !interface.oper_up) continue;
+    if (name.rfind("Loopback", 0) == 0 || name.rfind("lo", 0) == 0)
+      return interface.address->address;
+    if (!fallback || interface.address->address < *fallback)
+      fallback = interface.address->address;
+  }
+  return fallback;
+}
+
+PairwiseResult pairwise_reachability(const ForwardingGraph& graph,
+                                     const TraceOptions& options) {
+  PairwiseResult result;
+  std::vector<net::NodeName> nodes = graph.nodes();
+  for (const net::NodeName& source : nodes) {
+    for (const net::NodeName& destination : nodes) {
+      if (source == destination) continue;
+      auto loopback = device_loopback(graph.snapshot(), destination);
+      if (!loopback) continue;
+      TraceResult trace = trace_flow(graph, source, *loopback, options);
+      bool reachable = trace.reachable();
+      result.cells.push_back({source, destination, reachable});
+      ++result.total_pairs;
+      if (reachable) ++result.reachable_pairs;
+    }
+  }
+  return result;
+}
+
+}  // namespace mfv::verify

@@ -1,0 +1,125 @@
+// Verification queries over dataplane snapshots — the Pybatfish-style
+// question layer of §4.2.
+//
+// All queries are exhaustive over the destination space: they enumerate the
+// packet-class partition and trace one representative per class, so "no
+// differences found" is a statement about every possible destination
+// address, not a sample.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "verify/packet_classes.hpp"
+#include "verify/trace.hpp"
+
+namespace mfv::verify {
+
+struct QueryOptions {
+  /// Sources to inject at; empty = every device.
+  std::vector<net::NodeName> sources;
+  /// Restrict the destination space (e.g. to loopback ranges); nullopt =
+  /// the full IPv4 space.
+  std::optional<net::Ipv4Prefix> scope;
+  TraceOptions trace;
+};
+
+// ---------------------------------------------------------------------------
+// Reachability
+
+struct ReachabilityRow {
+  net::NodeName source;
+  PacketClass destination;
+  DispositionSet dispositions;
+};
+
+struct ReachabilityResult {
+  std::vector<ReachabilityRow> rows;
+  size_t classes = 0;
+  size_t flows = 0;
+};
+
+/// Disposition of every (source, destination-class) flow.
+ReachabilityResult reachability(const ForwardingGraph& graph,
+                                const QueryOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Differential reachability (the paper's E1 query)
+
+struct DifferentialRow {
+  net::NodeName source;
+  PacketClass destination;
+  DispositionSet base;
+  DispositionSet candidate;
+
+  std::string to_string() const;
+};
+
+struct DifferentialResult {
+  std::vector<DifferentialRow> rows;  // only flows whose dispositions differ
+  size_t classes = 0;
+  size_t flows = 0;
+
+  bool empty() const { return rows.empty(); }
+  /// Rows where the base succeeded and the candidate fails — regressions,
+  /// the signal operators act on.
+  std::vector<DifferentialRow> regressions() const;
+};
+
+/// Compares all flows between two snapshots (e.g. pre/post change, or
+/// model-based vs. model-free dataplanes for identical configs — E3).
+DifferentialResult differential_reachability(const ForwardingGraph& base,
+                                             const ForwardingGraph& candidate,
+                                             const QueryOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Routes question (Pybatfish `routes()`): tabular FIB view per node
+
+struct RouteRow {
+  net::NodeName node;
+  net::Ipv4Prefix prefix;
+  std::string protocol;
+  uint32_t metric = 0;
+  /// Rendered next hops ("10.0.0.1 via Ethernet1", "drop", ...).
+  std::vector<std::string> next_hops;
+
+  std::string to_string() const;
+};
+
+/// All FIB entries of `node` (or every node when empty), in prefix order.
+std::vector<RouteRow> routes(const ForwardingGraph& graph,
+                             const net::NodeName& node = "");
+
+// ---------------------------------------------------------------------------
+// Structural queries
+
+/// (source, class) flows that traverse a forwarding loop.
+ReachabilityResult detect_loops(const ForwardingGraph& graph,
+                                const QueryOptions& options = {});
+
+/// Loopback-style address of a device: first Loopback/lo interface address,
+/// else its lowest interface address.
+std::optional<net::Ipv4Address> device_loopback(const gnmi::Snapshot& snapshot,
+                                                const net::NodeName& node);
+
+struct PairwiseCell {
+  net::NodeName source;
+  net::NodeName destination;
+  bool reachable = false;
+};
+
+struct PairwiseResult {
+  std::vector<PairwiseCell> cells;
+  size_t reachable_pairs = 0;
+  size_t total_pairs = 0;
+
+  bool full_mesh() const { return reachable_pairs == total_pairs && total_pairs > 0; }
+};
+
+/// Loopback-to-loopback reachability matrix ("full pair-wise reachability"
+/// in §5's Fig. 3 experiment).
+PairwiseResult pairwise_reachability(const ForwardingGraph& graph,
+                                     const TraceOptions& options = {});
+
+}  // namespace mfv::verify

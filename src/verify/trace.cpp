@@ -1,0 +1,206 @@
+#include "verify/trace.hpp"
+
+#include <set>
+
+namespace mfv::verify {
+
+std::string TracePath::to_string() const {
+  std::string out;
+  for (size_t i = 0; i < hops.size(); ++i) {
+    if (i != 0) {
+      // Mark label-switched segments: R1 =(100001)=> R2.
+      const auto& previous = hops[i - 1];
+      out += previous.out_label
+                 ? " =(" + std::to_string(*previous.out_label) + ")=> "
+                 : " -> ";
+    }
+    out += hops[i].node;
+  }
+  out += " [" + disposition_name(disposition) + "]";
+  return out;
+}
+
+namespace {
+
+class Tracer {
+ public:
+  Tracer(const ForwardingGraph& graph, net::Ipv4Address destination,
+         const TraceOptions& options)
+      : graph_(graph), destination_(destination), options_(options) {}
+
+  TraceResult run(const net::NodeName& source) {
+    std::vector<TraceHopDetail> path;
+    std::set<net::NodeName> visited;
+    walk(source, std::nullopt, path, visited);
+    return std::move(result_);
+  }
+
+ private:
+  void finish(std::vector<TraceHopDetail> path, Disposition disposition) {
+    result_.dispositions.add(disposition);
+    if (result_.paths.size() >= options_.max_paths) {
+      result_.truncated = true;
+      return;
+    }
+    TracePath trace_path;
+    trace_path.hops = std::move(path);
+    trace_path.disposition = disposition;
+    result_.paths.push_back(std::move(trace_path));
+  }
+
+  void walk(const net::NodeName& node, std::optional<uint32_t> carried_label,
+            std::vector<TraceHopDetail> path, std::set<net::NodeName> visited) {
+    if (result_.paths.size() >= options_.max_paths) {
+      result_.truncated = true;
+      return;
+    }
+    TraceHopDetail hop;
+    hop.node = node;
+
+    if (visited.count(node) || static_cast<int>(path.size()) >= options_.max_hops) {
+      path.push_back(hop);
+      finish(std::move(path), Disposition::kLoop);
+      return;
+    }
+    visited.insert(node);
+
+    // Labeled packet: forward by the MPLS table until a pop returns it to
+    // IP forwarding.
+    while (carried_label) {
+      const aft::LabelEntry* label_entry = graph_.lookup_label(node, *carried_label);
+      if (label_entry == nullptr) {
+        // Broken LSP: the device has no binding for the incoming label.
+        path.push_back(hop);
+        finish(std::move(path), Disposition::kNoRoute);
+        return;
+      }
+      std::vector<aft::NextHop> label_hops = graph_.label_next_hops(node, *label_entry);
+      if (label_hops.empty()) {
+        path.push_back(hop);
+        finish(std::move(path), Disposition::kNoRoute);
+        return;
+      }
+      const aft::NextHop& action = label_hops.front();  // LSPs do not ECMP here
+      if (action.label_op == aft::LabelOp::kPop) {
+        carried_label.reset();  // tail: resume IP forwarding on this node
+        break;
+      }
+      // Swap and move downstream.
+      hop.out_label = action.label;
+      hop.next_hop = action.ip_address;
+      hop.out_interface = action.interface;
+      hop.origin_protocol = "MPLS";
+      if (!action.ip_address) {
+        path.push_back(hop);
+        finish(std::move(path), Disposition::kNeighborUnreachable);
+        return;
+      }
+      auto owner = graph_.address_owner(*action.ip_address);
+      if (!owner) {
+        path.push_back(hop);
+        finish(std::move(path), Disposition::kNeighborUnreachable);
+        return;
+      }
+      path.push_back(hop);
+      walk(*owner, action.label, std::move(path), std::move(visited));
+      return;
+    }
+
+    // Delivered: this device owns the destination address.
+    if (graph_.owns(node, destination_)) {
+      path.push_back(hop);
+      finish(std::move(path), Disposition::kAccepted);
+      return;
+    }
+
+    const aft::Ipv4Entry* entry = graph_.lookup(node, destination_);
+    if (entry == nullptr) {
+      path.push_back(hop);
+      finish(std::move(path), Disposition::kNoRoute);
+      return;
+    }
+    hop.matched_prefix = entry->prefix;
+    hop.origin_protocol = entry->origin_protocol;
+
+    std::vector<aft::NextHop> next_hops = graph_.next_hops(node, *entry);
+    if (next_hops.empty()) {
+      path.push_back(hop);
+      finish(std::move(path), Disposition::kNoRoute);
+      return;
+    }
+
+    for (const aft::NextHop& next_hop : next_hops) {
+      TraceHopDetail branch_hop = hop;
+      branch_hop.next_hop = next_hop.ip_address;
+      branch_hop.out_interface = next_hop.interface;
+      if (next_hop.label_op == aft::LabelOp::kPush) branch_hop.out_label = next_hop.label;
+      std::vector<TraceHopDetail> branch_path = path;
+      branch_path.push_back(branch_hop);
+
+      if (next_hop.drop) {
+        finish(std::move(branch_path), Disposition::kNullRouted);
+        continue;
+      }
+      // Egress packet filter on the outgoing interface.
+      if (next_hop.interface &&
+          !graph_.egress_permits(node, *next_hop.interface, destination_)) {
+        finish(std::move(branch_path), Disposition::kDeniedOut);
+        continue;
+      }
+      if (next_hop.ip_address) {
+        auto owner = graph_.address_owner(*next_hop.ip_address);
+        if (!owner) {
+          finish(std::move(branch_path), Disposition::kNeighborUnreachable);
+          continue;
+        }
+        // Ingress filter on the receiving interface.
+        if (!graph_.ingress_permits(*owner, *next_hop.ip_address, destination_)) {
+          TraceHopDetail denied;
+          denied.node = *owner;
+          branch_path.push_back(denied);
+          finish(std::move(branch_path), Disposition::kDeniedIn);
+          continue;
+        }
+        std::optional<uint32_t> pushed;
+        if (next_hop.label_op == aft::LabelOp::kPush) pushed = next_hop.label;
+        walk(*owner, pushed, std::move(branch_path), visited);
+        continue;
+      }
+      // Attached: forwarding onto a connected subnet.
+      auto owner = graph_.address_owner(destination_);
+      if (owner) {
+        if (!graph_.ingress_permits(*owner, destination_, destination_)) {
+          TraceHopDetail denied;
+          denied.node = *owner;
+          branch_path.push_back(denied);
+          finish(std::move(branch_path), Disposition::kDeniedIn);
+          continue;
+        }
+        walk(*owner, std::nullopt, std::move(branch_path), visited);
+      } else if (graph_.on_connected_subnet(node, destination_)) {
+        finish(std::move(branch_path), Disposition::kDeliveredToSubnet);
+      } else {
+        finish(std::move(branch_path), Disposition::kExitsNetwork);
+      }
+    }
+  }
+
+  const ForwardingGraph& graph_;
+  net::Ipv4Address destination_;
+  TraceOptions options_;
+  TraceResult result_;
+};
+
+}  // namespace
+
+TraceResult trace_flow(const ForwardingGraph& graph, const net::NodeName& source,
+                       net::Ipv4Address destination, const TraceOptions& options) {
+  if (!graph.has_node(source)) {
+    TraceResult result;
+    result.dispositions.add(Disposition::kNoRoute);
+    return result;
+  }
+  return Tracer(graph, destination, options).run(source);
+}
+
+}  // namespace mfv::verify

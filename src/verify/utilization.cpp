@@ -1,0 +1,102 @@
+#include "verify/utilization.hpp"
+
+#include <set>
+
+#include "verify/queries.hpp"
+
+namespace mfv::verify {
+
+namespace {
+
+class FlowRouter {
+ public:
+  FlowRouter(const ForwardingGraph& graph, UtilizationResult& result)
+      : graph_(graph), result_(result) {}
+
+  void route(const net::NodeName& node, net::Ipv4Address destination, double bps,
+             std::set<net::NodeName> visited) {
+    if (bps <= 0) return;
+    if (visited.count(node)) {
+      result_.unrouted_bps += bps;  // loop: traffic circulates, count as lost
+      return;
+    }
+    visited.insert(node);
+
+    if (graph_.owns(node, destination)) {
+      result_.delivered_bps += bps;
+      return;
+    }
+    const aft::Ipv4Entry* entry = graph_.lookup(node, destination);
+    if (entry == nullptr) {
+      result_.unrouted_bps += bps;
+      return;
+    }
+    std::vector<aft::NextHop> hops = graph_.next_hops(node, *entry);
+    if (hops.empty()) {
+      result_.unrouted_bps += bps;
+      return;
+    }
+    double share = bps / static_cast<double>(hops.size());  // equal ECMP split
+    for (const aft::NextHop& hop : hops) {
+      if (hop.drop) {
+        result_.unrouted_bps += share;
+        continue;
+      }
+      if (hop.interface) {
+        if (!graph_.egress_permits(node, *hop.interface, destination)) {
+          result_.unrouted_bps += share;
+          continue;
+        }
+        result_.load_bps[{node, *hop.interface}] += share;
+      }
+      if (hop.ip_address) {
+        auto owner = graph_.address_owner(*hop.ip_address);
+        if (!owner) {
+          result_.unrouted_bps += share;
+          continue;
+        }
+        if (!graph_.ingress_permits(*owner, *hop.ip_address, destination)) {
+          result_.unrouted_bps += share;
+          continue;
+        }
+        route(*owner, destination, share, visited);
+      } else {
+        // Attached delivery.
+        auto owner = graph_.address_owner(destination);
+        if (owner) route(*owner, destination, share, visited);
+        else result_.delivered_bps += share;  // leaves the modeled network
+      }
+    }
+  }
+
+ private:
+  const ForwardingGraph& graph_;
+  UtilizationResult& result_;
+};
+
+}  // namespace
+
+UtilizationResult link_utilization(const ForwardingGraph& graph,
+                                   const std::vector<Demand>& demands) {
+  UtilizationResult result;
+  FlowRouter router(graph, result);
+  for (const Demand& demand : demands)
+    router.route(demand.source, demand.destination, demand.bps, {});
+  return result;
+}
+
+std::vector<Demand> uniform_mesh_demand(const gnmi::Snapshot& snapshot,
+                                        double bps_per_pair) {
+  std::vector<Demand> demands;
+  for (const auto& [source, source_device] : snapshot.devices) {
+    for (const auto& [target, target_device] : snapshot.devices) {
+      if (source == target) continue;
+      auto loopback = device_loopback(snapshot, target);
+      if (!loopback) continue;
+      demands.push_back({source, *loopback, bps_per_pair});
+    }
+  }
+  return demands;
+}
+
+}  // namespace mfv::verify

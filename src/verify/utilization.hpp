@@ -1,0 +1,50 @@
+// Workload exploration on the extracted dataplane (§6, "Performance
+// verification"): "one can explore workloads on the produced dataplane
+// model, such as checking link utilizations for a range of possible
+// demands with the given dataplane."
+//
+// Routes a demand matrix over the snapshot's forwarding state — splitting
+// flow equally across ECMP branches at every hop — and accumulates the
+// offered load on each directed link (egress interface). No packet-level
+// simulation: this is fluid-flow accounting on the verified FIBs, which is
+// exactly what an operator needs to ask "would this dataplane melt under
+// Monday's traffic?" before deploying it.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "verify/forwarding_graph.hpp"
+
+namespace mfv::verify {
+
+struct Demand {
+  net::NodeName source;
+  net::Ipv4Address destination;
+  double bps = 0;
+};
+
+struct UtilizationResult {
+  /// Offered load per directed link, keyed by (node, egress interface).
+  std::map<std::pair<net::NodeName, net::InterfaceName>, double> load_bps;
+  /// Demand volume that could not be routed (no route / filtered / loop).
+  double unrouted_bps = 0;
+  /// Demand volume delivered somewhere (accepted / delivered / exits).
+  double delivered_bps = 0;
+
+  double max_load() const {
+    double peak = 0;
+    for (const auto& [link, load] : load_bps) peak = std::max(peak, load);
+    return peak;
+  }
+};
+
+/// Routes every demand over the forwarding graph.
+UtilizationResult link_utilization(const ForwardingGraph& graph,
+                                   const std::vector<Demand>& demands);
+
+/// Convenience: a uniform all-pairs loopback-to-loopback demand matrix.
+std::vector<Demand> uniform_mesh_demand(const gnmi::Snapshot& snapshot, double bps_per_pair);
+
+}  // namespace mfv::verify

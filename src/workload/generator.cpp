@@ -1,0 +1,296 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "config/dialect.hpp"
+#include "util/rng.hpp"
+
+namespace mfv::workload {
+
+namespace {
+
+using config::DeviceConfig;
+using net::Ipv4Address;
+
+std::string loopback_address(int index) {
+  return "10.1." + std::to_string(index / 256) + "." + std::to_string(index % 256);
+}
+
+std::string isis_net(int index) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "49.0001.0000.%04x.%04x.00",
+                (index >> 16) & 0xFFFF, index & 0xFFFF);
+  return buffer;
+}
+
+/// Link k's /31 is carved sequentially out of 100.64.0.0/10.
+std::string link_address(int link_index, int side) {
+  uint32_t base = ((uint32_t(100) << 24) | (uint32_t(64) << 16)) +
+                  uint32_t(link_index) * 2 + static_cast<uint32_t>(side);
+  return Ipv4Address(base).to_string();
+}
+
+}  // namespace
+
+std::string interface_name(config::Vendor vendor, int index) {
+  switch (vendor) {
+    case config::Vendor::kCeos: return "Ethernet" + std::to_string(index);
+    case config::Vendor::kVjun: return "et-0/0/" + std::to_string(index) + ".0";
+  }
+  return "Ethernet" + std::to_string(index);
+}
+
+std::string loopback_name(config::Vendor vendor) {
+  return vendor == config::Vendor::kVjun ? "lo0.0" : "Loopback0";
+}
+
+emu::Topology wan_topology(const WanOptions& options) {
+  util::Pcg32 rng(options.seed);
+  const int n = options.routers;
+  int chords = options.extra_chords >= 0 ? options.extra_chords : n / 4;
+
+  // Vendors: deterministically sprinkle vjun routers.
+  std::vector<config::Vendor> vendors(static_cast<size_t>(n), config::Vendor::kCeos);
+  int vjun_count = static_cast<int>(options.vjun_fraction * n);
+  for (int i = 0; i < vjun_count; ++i)
+    vendors[static_cast<size_t>(i) * static_cast<size_t>(n) /
+            std::max(1, vjun_count) % static_cast<size_t>(n)] = config::Vendor::kVjun;
+
+  // Edge list: line or ring, plus chords (dedup, no self-loops).
+  std::set<std::pair<int, int>> edges;
+  if (n > 1) {
+    int ring_links = options.line ? n - 1 : n;
+    for (int i = 0; i < ring_links; ++i)
+      edges.insert({std::min(i, (i + 1) % n), std::max(i, (i + 1) % n)});
+  }
+  if (options.line) chords = 0;
+  const size_t base_links = edges.size();
+  int attempts = 0;
+  while (edges.size() < base_links + static_cast<size_t>(chords) &&
+         attempts < chords * 20) {
+    ++attempts;
+    int a = static_cast<int>(rng.next_below(static_cast<uint32_t>(n)));
+    int b = static_cast<int>(rng.next_below(static_cast<uint32_t>(n)));
+    if (a == b) continue;
+    edges.insert({std::min(a, b), std::max(a, b)});
+  }
+
+  // Per-router interface allocation.
+  std::vector<DeviceConfig> configs(static_cast<size_t>(n));
+  std::vector<int> next_port(static_cast<size_t>(n), 1);
+  const bool use_ospf = options.igp == WanOptions::Igp::kOspf;
+  for (int i = 0; i < n; ++i) {
+    DeviceConfig& config = configs[static_cast<size_t>(i)];
+    config.hostname = "wan" + std::to_string(i);
+    config.vendor = vendors[static_cast<size_t>(i)];
+    if (use_ospf) {
+      config.ospf.enabled = true;
+      config.ospf.networks.push_back(*net::Ipv4Prefix::parse("10.1.0.0/16"));
+      config.ospf.networks.push_back(*net::Ipv4Prefix::parse("100.64.0.0/10"));
+    } else {
+      config.isis.enabled = true;
+      config.isis.instance = "default";
+      config.isis.net = isis_net(i);
+      config.isis.af_ipv4_unicast = true;
+    }
+    auto& loopback = config.interface(loopback_name(config.vendor));
+    loopback.switchport = false;
+    loopback.address = net::InterfaceAddress::parse(loopback_address(i) + "/32");
+    if (!use_ospf) {
+      loopback.isis_enabled = true;
+      loopback.isis_passive = true;
+      loopback.isis_instance = "default";
+    }
+  }
+
+  emu::Topology topology;
+  int link_index = 0;
+  for (const auto& [a, b] : edges) {
+    int port_a = next_port[static_cast<size_t>(a)]++;
+    int port_b = next_port[static_cast<size_t>(b)]++;
+    std::string if_a = interface_name(vendors[static_cast<size_t>(a)], port_a);
+    std::string if_b = interface_name(vendors[static_cast<size_t>(b)], port_b);
+    for (int side = 0; side < 2; ++side) {
+      DeviceConfig& config = configs[static_cast<size_t>(side == 0 ? a : b)];
+      auto& iface = config.interface(side == 0 ? if_a : if_b);
+      iface.switchport = false;
+      iface.address =
+          net::InterfaceAddress::parse(link_address(link_index, side) + "/31");
+      if (!use_ospf) {
+        iface.isis_enabled = true;
+        iface.isis_instance = "default";
+      }
+      iface.mpls_enabled = options.mpls;
+      if (options.mpls) config.mpls.enabled = true;
+    }
+    topology.links.push_back({{"wan" + std::to_string(a), if_a},
+                              {"wan" + std::to_string(b), if_b},
+                              1000});
+    ++link_index;
+  }
+
+  // BGP: optional full iBGP mesh + border routers with external peers.
+  std::vector<int> borders;
+  for (int i = 0; i < options.border_count && i < n; ++i)
+    borders.push_back(i * std::max(1, n / std::max(1, options.border_count)));
+
+  if (options.ibgp_mesh || !borders.empty()) {
+    for (int i = 0; i < n; ++i) {
+      DeviceConfig& config = configs[static_cast<size_t>(i)];
+      config.bgp.enabled = true;
+      config.bgp.local_as = options.core_as;
+      config.bgp.router_id = Ipv4Address::parse(loopback_address(i));
+    }
+  }
+  if (options.ibgp_mesh) {
+    for (int i = 0; i < n; ++i) {
+      DeviceConfig& config = configs[static_cast<size_t>(i)];
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        config::BgpNeighborConfig neighbor;
+        neighbor.peer = *Ipv4Address::parse(loopback_address(j));
+        neighbor.remote_as = options.core_as;
+        neighbor.update_source = loopback_name(config.vendor);
+        neighbor.next_hop_self =
+            std::find(borders.begin(), borders.end(), i) != borders.end();
+        config.bgp.neighbors.push_back(std::move(neighbor));
+      }
+    }
+  }
+
+  // External peers: one per border, on a dedicated /31.
+  for (size_t b = 0; b < borders.size(); ++b) {
+    int router = borders[b];
+    DeviceConfig& config = configs[static_cast<size_t>(router)];
+    int port = next_port[static_cast<size_t>(router)]++;
+    std::string ifname = interface_name(config.vendor, port);
+    std::string router_address = "100.127." + std::to_string(b) + ".0";
+    std::string peer_address = "100.127." + std::to_string(b) + ".1";
+    auto& iface = config.interface(ifname);
+    iface.switchport = false;
+    iface.address = net::InterfaceAddress::parse(router_address + "/31");
+
+    net::AsNumber peer_as = 64900 + static_cast<net::AsNumber>(b);
+    config::BgpNeighborConfig neighbor;
+    neighbor.peer = *Ipv4Address::parse(peer_address);
+    neighbor.remote_as = peer_as;
+    config.bgp.neighbors.push_back(std::move(neighbor));
+
+    emu::ExternalPeerSpec peer;
+    peer.name = "peer" + std::to_string(b);
+    peer.attach_node = config.hostname;
+    peer.address = *Ipv4Address::parse(peer_address);
+    peer.as_number = peer_as;
+    peer.routes = synth_route_feed(options.routes_per_peer, peer_as, peer.address,
+                                   options.seed + b + 1);
+    topology.external_peers.push_back(std::move(peer));
+  }
+
+  for (const DeviceConfig& config : configs)
+    topology.nodes.push_back(
+        {config.hostname, config.vendor, config::write_config(config)});
+  return topology;
+}
+
+std::vector<emu::NodeSpec> production_corpus(size_t count, double vjun_fraction,
+                                             uint64_t seed) {
+  util::Pcg32 rng(seed);
+  std::vector<emu::NodeSpec> corpus;
+  corpus.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    config::Vendor vendor = rng.next_double() < vjun_fraction ? config::Vendor::kVjun
+                                                              : config::Vendor::kCeos;
+    DeviceConfig config;
+    config.vendor = vendor;
+    int role = static_cast<int>(rng.next_below(3));  // 0 core, 1 edge, 2 peering
+    const char* role_name[] = {"core", "edge", "peer"};
+    config.hostname = std::string(role_name[role]) + std::to_string(i);
+
+    auto& loopback = config.interface(loopback_name(vendor));
+    loopback.switchport = false;
+    loopback.address = net::InterfaceAddress::parse(
+        "10.2." + std::to_string(i / 256) + "." + std::to_string(i % 256) + "/32");
+    config.isis.enabled = true;
+    config.isis.instance = "default";
+    config.isis.net = isis_net(static_cast<int>(i) + 1);
+    config.isis.af_ipv4_unicast = true;
+    loopback.isis_enabled = true;
+    loopback.isis_passive = true;
+
+    int ports = role == 0 ? 4 + static_cast<int>(rng.next_below(4))
+                          : 2 + static_cast<int>(rng.next_below(3));
+    for (int p = 1; p <= ports; ++p) {
+      auto& iface = config.interface(interface_name(vendor, p));
+      iface.switchport = false;
+      iface.address = net::InterfaceAddress::parse(
+          "100.96." + std::to_string((i * 8 + static_cast<size_t>(p)) % 256) + "." +
+          std::to_string(rng.next_below(128) * 2) + "/31");
+      iface.isis_enabled = true;
+      iface.isis_instance = "default";
+      // Production reality: MPLS on core-facing links — the material
+      // coverage gap of E2.
+      iface.mpls_enabled = true;
+      config.mpls.enabled = true;
+    }
+    if (role == 0 && rng.next_below(2) == 0) {
+      config.mpls.te_enabled = true;
+      config::TeTunnel tunnel;
+      tunnel.name = "TE-" + config.hostname;
+      tunnel.destination = net::Ipv4Address(0x0A020000u + rng.next_below(65536));
+      config.mpls.tunnels.push_back(tunnel);
+    }
+    if (role != 0) {
+      config.bgp.enabled = true;
+      config.bgp.local_as = 65000;
+      config.bgp.router_id = loopback.address->address;
+      config::BgpNeighborConfig neighbor;
+      neighbor.peer = net::Ipv4Address(0x0A020000u + rng.next_below(65536));
+      neighbor.remote_as = role == 2 ? 64000 + rng.next_below(1000) : 65000;
+      if (neighbor.remote_as == 65000) neighbor.update_source = loopback_name(vendor);
+      config.bgp.neighbors.push_back(neighbor);
+    }
+
+    // Management-plane blocks (for ceos via the writer's feature list; the
+    // vjun writer emits system services itself).
+    if (vendor == config::Vendor::kCeos) {
+      config.management_features.push_back(
+          {"daemon TerminAttr",
+           {"daemon TerminAttr", "exec /usr/bin/TerminAttr -cvaddr=203.0.113.50:9910",
+            "no shutdown"}});
+      config.management_features.push_back(
+          {"management api gnmi",
+           {"management api gnmi", "transport grpc default", "no shutdown"}});
+      config.management_features.push_back(
+          {"management ssl profile default",
+           {"management ssl profile default", "certificate mgmt.crt key mgmt.key"}});
+    }
+    corpus.push_back({config.hostname, vendor, config::write_config(config)});
+  }
+  return corpus;
+}
+
+std::vector<proto::BgpRoute> synth_route_feed(size_t count, net::AsNumber origin_as,
+                                              net::Ipv4Address next_hop, uint64_t seed) {
+  util::Pcg32 rng(seed);
+  std::vector<proto::BgpRoute> routes;
+  routes.reserve(count);
+  for (size_t k = 0; k < count; ++k) {
+    proto::BgpRoute route;
+    // Distinct /24s carved from 32.0.0.0/3 (room for ~64M).
+    uint32_t base = (uint32_t(32) << 24) + static_cast<uint32_t>(k) * 256;
+    route.prefix = net::Ipv4Prefix(Ipv4Address(base), 24);
+    route.attributes.next_hop = next_hop;
+    route.attributes.origin = proto::BgpOrigin::kIgp;
+    route.attributes.med = rng.next_below(100);
+    int path_len = 1 + static_cast<int>(rng.next_below(4));
+    route.attributes.as_path.push_back(origin_as);
+    for (int h = 1; h < path_len; ++h)
+      route.attributes.as_path.push_back(64000 + rng.next_below(500));
+    routes.push_back(std::move(route));
+  }
+  return routes;
+}
+
+}  // namespace mfv::workload

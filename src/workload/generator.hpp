@@ -1,0 +1,62 @@
+// Parameterized workload generation for the scaling experiments (E4) and
+// ablations: WAN-style topologies of arbitrary size, optional multi-vendor
+// mix, border routers with external BGP peers, and synthetic full-table
+// route feeds ("millions of routes from each BGP peer", §5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "emu/topology.hpp"
+#include "proto/messages.hpp"
+
+namespace mfv::workload {
+
+struct WanOptions {
+  int routers = 30;
+  uint64_t seed = 1;
+  /// Ring + this many random chord links (0 keeps a plain ring).
+  int extra_chords = -1;  // -1 = routers / 4
+  /// Line (chain) instead of ring: every link is a bridge, so any single
+  /// cut partitions the network (used by failure-injection sweeps).
+  bool line = false;
+  /// Fraction of routers configured in the vjun dialect (multi-vendor).
+  double vjun_fraction = 0.0;
+  /// Routers that terminate eBGP sessions from external peers.
+  int border_count = 0;
+  /// Advertisements injected by each external peer.
+  size_t routes_per_peer = 0;
+  /// Full iBGP mesh over loopbacks (needed to spread injected routes to
+  /// every router; O(n^2) sessions, so default off for very large runs).
+  bool ibgp_mesh = false;
+  /// Enable MPLS on core links (exercise the feature the model lacks).
+  bool mpls = false;
+  /// Interior gateway protocol for the core.
+  enum class Igp { kIsis, kOspf } igp = Igp::kIsis;
+  net::AsNumber core_as = 65000;
+};
+
+/// Generates a connected WAN topology with per-router native-dialect
+/// configuration text, deterministic in `seed`.
+emu::Topology wan_topology(const WanOptions& options);
+
+/// Synthetic BGP advertisement feed: `count` distinct /24s from the
+/// 32.0.0.0/3 space with varied AS-path lengths and MEDs.
+std::vector<proto::BgpRoute> synth_route_feed(size_t count, net::AsNumber origin_as,
+                                              net::Ipv4Address next_hop, uint64_t seed);
+
+/// Production-style config corpus for parser-coverage studies: `count`
+/// configs across roles (core / edge / peering), all carrying the
+/// management-plane blocks and MPLS features real deployments have, with
+/// `vjun_fraction` in the second dialect. Reproduces the shape of the
+/// paper's 1500-production-config experiment ("all of them failed in the
+/// parsing phase due to unsupported features in the model").
+std::vector<emu::NodeSpec> production_corpus(size_t count, double vjun_fraction,
+                                             uint64_t seed);
+
+/// Interface naming per vendor dialect ("Ethernet3" vs "et-0/0/3.0").
+std::string interface_name(config::Vendor vendor, int index);
+/// Loopback naming per vendor dialect ("Loopback0" vs "lo0.0").
+std::string loopback_name(config::Vendor vendor);
+
+}  // namespace mfv::workload

@@ -1,0 +1,33 @@
+// The paper's evaluation scenarios (§5), reconstructed as topology
+// builders. Shared by tests, examples, and benchmarks so every consumer
+// exercises the same inputs.
+#pragma once
+
+#include <string>
+
+#include "emu/topology.hpp"
+
+namespace mfv::workload {
+
+/// Fig. 3: the 3-node line R1 <> R2 <> R3 running IS-IS, with unique
+/// addresses per interface. Each config writes "ip address" before
+/// "no switchport" and uses "isis enable default" — both valid on the real
+/// device, both tripping the reference model (issues #1 and #2).
+emu::Topology fig3_line_topology();
+
+/// Fig. 2: the 6-node test network distilled from production configs:
+///   AS1 = {R1}, AS2 = {R2, R5}, AS3 = {R3, R4, R6}
+///   eBGP: R1-R2 and R2-R3 (inter-AS), iBGP inside AS2 and AS3 (loopback
+///   sessions with next-hop-self at the borders), IS-IS as the IGP inside
+///   each multi-router AS. Configs include the management-plane and MPLS
+///   blocks real production configs carry (62-82 lines each; the reference
+///   model fails to recognize 38-42 of them — experiment E2).
+///
+/// `ebgp_session_down` applies the E1 bug: the R2-R3 eBGP session is
+/// administratively shut down, severing AS3 from AS2/AS1.
+emu::Topology fig2_topology(bool ebgp_session_down = false);
+
+/// Per-router loopback address used by the Fig. 2 network ("10.0.0.<i>").
+std::string fig2_loopback(int router_index);
+
+}  // namespace mfv::workload

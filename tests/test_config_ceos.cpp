@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "config/ceos_parser.hpp"
+
+namespace mfv::config {
+namespace {
+
+TEST(CeosParser, HostnameAndInterface) {
+  auto result = parse_ceos(
+      "hostname edge1\n"
+      "!\n"
+      "interface Ethernet1\n"
+      "   description to core\n"
+      "   ip address 10.0.0.1/31\n"
+      "   no switchport\n"
+      "!\n");
+  EXPECT_EQ(result.diagnostics.error_count(), 0u);
+  EXPECT_EQ(result.config.hostname, "edge1");
+  const InterfaceConfig* iface = result.config.find_interface("Ethernet1");
+  ASSERT_NE(iface, nullptr);
+  EXPECT_EQ(iface->description, "to core");
+  ASSERT_TRUE(iface->address.has_value());
+  EXPECT_EQ(iface->address->to_string(), "10.0.0.1/31");
+  EXPECT_FALSE(iface->switchport);
+  EXPECT_TRUE(iface->routed());
+}
+
+TEST(CeosParser, AddressBeforeNoSwitchportIsAccepted) {
+  // Fig. 3's ordering: the real device accepts either order.
+  auto result = parse_ceos(
+      "interface Ethernet2\n"
+      "   ip address 100.64.0.1/31\n"
+      "   no switchport\n");
+  EXPECT_EQ(result.diagnostics.error_count(), 0u);
+  const InterfaceConfig* iface = result.config.find_interface("Ethernet2");
+  ASSERT_NE(iface, nullptr);
+  EXPECT_TRUE(iface->address.has_value());
+  EXPECT_TRUE(iface->routed());
+}
+
+TEST(CeosParser, EthernetDefaultsToSwitchport) {
+  auto result = parse_ceos("interface Ethernet3\n   description l2 port\n");
+  const InterfaceConfig* iface = result.config.find_interface("Ethernet3");
+  ASSERT_NE(iface, nullptr);
+  EXPECT_TRUE(iface->switchport);
+  EXPECT_FALSE(iface->routed());
+}
+
+TEST(CeosParser, LoopbackAlwaysRouted) {
+  auto result = parse_ceos("interface Loopback0\n   ip address 1.1.1.1/32\n");
+  const InterfaceConfig* iface = result.config.find_interface("Loopback0");
+  ASSERT_NE(iface, nullptr);
+  EXPECT_TRUE(iface->routed());
+  EXPECT_TRUE(iface->is_loopback());
+}
+
+TEST(CeosParser, IsisStanzaAndInterfaceCommands) {
+  auto result = parse_ceos(
+      "router isis default\n"
+      "   net 49.0001.1010.1040.1030.00\n"
+      "   is-type level-2\n"
+      "   address-family ipv4 unicast\n"
+      "!\n"
+      "interface Ethernet1\n"
+      "   no switchport\n"
+      "   ip address 10.0.0.0/31\n"
+      "   isis enable default\n"
+      "   isis metric 25\n"
+      "!\n"
+      "interface Loopback0\n"
+      "   ip address 1.1.1.1/32\n"
+      "   isis enable default\n"
+      "   isis passive-interface default\n");
+  EXPECT_EQ(result.diagnostics.error_count(), 0u);
+  EXPECT_TRUE(result.config.isis.enabled);
+  EXPECT_EQ(result.config.isis.net, "49.0001.1010.1040.1030.00");
+  EXPECT_EQ(result.config.isis.level, IsisLevel::kLevel2);
+  EXPECT_TRUE(result.config.isis.af_ipv4_unicast);
+  const InterfaceConfig* eth = result.config.find_interface("Ethernet1");
+  EXPECT_TRUE(eth->isis_enabled);
+  EXPECT_EQ(eth->isis_metric, 25u);
+  const InterfaceConfig* lo = result.config.find_interface("Loopback0");
+  EXPECT_TRUE(lo->isis_passive);
+}
+
+TEST(CeosParser, BgpFullStanza) {
+  auto result = parse_ceos(
+      "router bgp 65001\n"
+      "   router-id 1.1.1.1\n"
+      "   bgp default local-preference 150\n"
+      "   neighbor 10.0.0.1 remote-as 65002\n"
+      "   neighbor 10.0.0.1 route-map RM_IN in\n"
+      "   neighbor 10.0.0.1 route-map RM_OUT out\n"
+      "   neighbor 10.0.0.1 send-community\n"
+      "   neighbor 10.0.0.1 ebgp-multihop 4\n"
+      "   neighbor 2.2.2.2 remote-as 65001\n"
+      "   neighbor 2.2.2.2 update-source Loopback0\n"
+      "   neighbor 2.2.2.2 next-hop-self\n"
+      "   neighbor 3.3.3.3 remote-as 65001\n"
+      "   neighbor 3.3.3.3 shutdown\n"
+      "   network 10.1.0.0/24 route-map RM_NET\n"
+      "   redistribute connected\n"
+      "   redistribute static\n");
+  EXPECT_EQ(result.diagnostics.error_count(), 0u);
+  const BgpConfig& bgp = result.config.bgp;
+  EXPECT_TRUE(bgp.enabled);
+  EXPECT_EQ(bgp.local_as, 65001u);
+  EXPECT_EQ(bgp.default_local_pref, 150u);
+  ASSERT_EQ(bgp.neighbors.size(), 3u);
+  EXPECT_EQ(bgp.neighbors[0].remote_as, 65002u);
+  EXPECT_EQ(bgp.neighbors[0].route_map_in, "RM_IN");
+  EXPECT_EQ(bgp.neighbors[0].route_map_out, "RM_OUT");
+  EXPECT_TRUE(bgp.neighbors[0].send_community);
+  EXPECT_EQ(bgp.neighbors[0].ebgp_multihop, 4);
+  EXPECT_EQ(bgp.neighbors[1].update_source, "Loopback0");
+  EXPECT_TRUE(bgp.neighbors[1].next_hop_self);
+  EXPECT_TRUE(bgp.neighbors[2].shutdown);
+  ASSERT_EQ(bgp.networks.size(), 1u);
+  EXPECT_EQ(bgp.networks[0].route_map, "RM_NET");
+  EXPECT_TRUE(bgp.redistribute_connected);
+  EXPECT_TRUE(bgp.redistribute_static);
+}
+
+TEST(CeosParser, StaticRoutesVariants) {
+  auto result = parse_ceos(
+      "ip route 0.0.0.0/0 Null0\n"
+      "ip route 10.9.0.0/16 100.64.0.0 250\n"
+      "ip route 10.8.0.0/16 Ethernet1\n");
+  EXPECT_EQ(result.diagnostics.error_count(), 0u);
+  ASSERT_EQ(result.config.static_routes.size(), 3u);
+  EXPECT_TRUE(result.config.static_routes[0].null_route);
+  EXPECT_EQ(result.config.static_routes[1].next_hop->to_string(), "100.64.0.0");
+  EXPECT_EQ(result.config.static_routes[1].distance, 250);
+  EXPECT_EQ(result.config.static_routes[2].exit_interface, "Ethernet1");
+}
+
+TEST(CeosParser, PrefixListsAndRouteMaps) {
+  auto result = parse_ceos(
+      "ip prefix-list PL seq 10 permit 10.0.0.0/8 ge 24 le 32\n"
+      "ip prefix-list PL seq 20 deny 0.0.0.0/0\n"
+      "ip community-list standard CL permit 65001:100 65001:200\n"
+      "route-map RM permit 10\n"
+      "   match ip address prefix-list PL\n"
+      "   set local-preference 200\n"
+      "   set community 65001:100 additive\n"
+      "   set as-path prepend 65001 65001\n"
+      "route-map RM deny 20\n");
+  EXPECT_EQ(result.diagnostics.error_count(), 0u);
+  const PrefixList& list = result.config.prefix_lists.at("PL");
+  ASSERT_EQ(list.entries.size(), 2u);
+  EXPECT_EQ(list.entries[0].ge, 24);
+  EXPECT_EQ(list.entries[0].le, 32);
+  EXPECT_FALSE(list.entries[1].permit);
+  EXPECT_EQ(result.config.community_lists.at("CL").communities.size(), 2u);
+  const RouteMap& map = result.config.route_maps.at("RM");
+  ASSERT_EQ(map.clauses.size(), 2u);
+  EXPECT_EQ(map.clauses[0].set_local_pref, 200u);
+  EXPECT_TRUE(map.clauses[0].additive_communities);
+  EXPECT_EQ(map.clauses[0].prepend_count, 2u);
+  EXPECT_FALSE(map.clauses[1].permit);
+}
+
+TEST(CeosParser, ManagementBlocksAreAccepted) {
+  auto result = parse_ceos(
+      "daemon PowerManager\n"
+      "   exec /usr/bin/power-manager\n"
+      "   no shutdown\n"
+      "!\n"
+      "management api gnmi\n"
+      "   transport grpc default\n"
+      "!\n"
+      "service routing protocols model multi-agent\n"
+      "spanning-tree mode mstp\n");
+  EXPECT_EQ(result.diagnostics.error_count(), 0u);
+  EXPECT_GE(result.config.management_features.size(), 4u);
+}
+
+TEST(CeosParser, MplsAndTeTunnels) {
+  auto result = parse_ceos(
+      "mpls ip\n"
+      "mpls traffic-engineering\n"
+      "router traffic-engineering\n"
+      "   tunnel TE1\n"
+      "   destination 3.3.3.3\n"
+      "   hop 2.2.2.2\n"
+      "   priority 3 3\n"
+      "   bandwidth 1000000\n");
+  EXPECT_EQ(result.diagnostics.error_count(), 0u);
+  EXPECT_TRUE(result.config.mpls.enabled);
+  EXPECT_TRUE(result.config.mpls.te_enabled);
+  ASSERT_EQ(result.config.mpls.tunnels.size(), 1u);
+  const TeTunnel& tunnel = result.config.mpls.tunnels[0];
+  EXPECT_EQ(tunnel.destination.to_string(), "3.3.3.3");
+  ASSERT_EQ(tunnel.explicit_hops.size(), 1u);
+  EXPECT_EQ(tunnel.setup_priority, 3u);
+  EXPECT_EQ(tunnel.bandwidth_bps, 1000000u);
+}
+
+TEST(CeosParser, InvalidCommandsAreRejectedButParsingContinues) {
+  auto result = parse_ceos(
+      "hostname r1\n"
+      "frobnicate the network\n"
+      "interface Ethernet1\n"
+      "   bogus command here\n"
+      "   ip address 10.0.0.1/31\n"
+      "   no switchport\n");
+  EXPECT_EQ(result.diagnostics.error_count(), 2u);
+  // The valid parts still landed.
+  EXPECT_EQ(result.config.hostname, "r1");
+  EXPECT_TRUE(result.config.find_interface("Ethernet1")->address.has_value());
+}
+
+TEST(CeosParser, InvalidValuesProduceErrors) {
+  auto result = parse_ceos(
+      "interface Ethernet1\n"
+      "   ip address not-an-ip\n"
+      "   isis metric 0\n"
+      "router bgp 0\n"
+      "ip route 10.0.0.0/40 Null0\n");
+  EXPECT_GE(result.diagnostics.error_count(), 4u);
+  EXPECT_FALSE(result.config.bgp.enabled);
+}
+
+TEST(CeosParser, CountsTotalLines) {
+  auto result = parse_ceos("hostname x\n!\n\n!! comment\ninterface Ethernet1\n   shutdown\n");
+  EXPECT_EQ(result.total_lines, 3);
+}
+
+TEST(CeosParser, TrailingCommentStripped) {
+  auto result = parse_ceos("interface Loopback0\n   ip address 1.1.1.1/32 ! router id\n");
+  EXPECT_TRUE(result.config.find_interface("Loopback0")->address.has_value());
+}
+
+}  // namespace
+}  // namespace mfv::config

@@ -1,0 +1,158 @@
+// Round-trip property tests: parse(write(config)) must reproduce the
+// semantic configuration in both dialects. This is what keeps the workload
+// generator (which emits text) and the parsers (which consume it) honest
+// with each other.
+#include <gtest/gtest.h>
+
+#include "config/dialect.hpp"
+#include "util/rng.hpp"
+
+namespace mfv::config {
+namespace {
+
+/// Builds a semi-random but semantically valid device config.
+DeviceConfig random_config(uint64_t seed, Vendor vendor) {
+  util::Pcg32 rng(seed);
+  DeviceConfig config;
+  config.vendor = vendor;
+  config.hostname = "dev" + std::to_string(seed);
+
+  std::string loopback_name = vendor == Vendor::kVjun ? "lo0.0" : "Loopback0";
+  auto& loopback = config.interface(loopback_name);
+  loopback.switchport = false;
+  loopback.address = net::InterfaceAddress::parse(
+      "10.255." + std::to_string(rng.next_below(255)) + "." +
+      std::to_string(rng.next_below(255)) + "/32");
+
+  int interfaces = 1 + static_cast<int>(rng.next_below(4));
+  for (int i = 1; i <= interfaces; ++i) {
+    std::string name = vendor == Vendor::kVjun ? "et-0/0/" + std::to_string(i) + ".0"
+                                               : "Ethernet" + std::to_string(i);
+    auto& iface = config.interface(name);
+    iface.switchport = false;
+    iface.address = net::InterfaceAddress::parse(
+        "10." + std::to_string(rng.next_below(200)) + "." +
+        std::to_string(rng.next_below(255)) + "." + std::to_string(rng.next_below(127) * 2) +
+        "/31");
+    iface.isis_enabled = rng.next_below(2) == 0;
+    iface.isis_instance = "default";
+    if (iface.isis_enabled && rng.next_below(3) == 0) iface.isis_metric = 20 + rng.next_below(80);
+    iface.mpls_enabled = rng.next_below(3) == 0;
+    if (iface.mpls_enabled) config.mpls.enabled = true;
+  }
+
+  bool any_isis = false;
+  for (auto& [name, iface] : config.interfaces) any_isis |= iface.isis_enabled;
+  if (any_isis) {
+    loopback.isis_enabled = true;
+    loopback.isis_passive = true;
+    config.isis.enabled = true;
+    config.isis.instance = "default";
+    config.isis.net = "49.0001.0000.0000.000" + std::to_string(1 + seed % 9) + ".00";
+    config.isis.af_ipv4_unicast = true;
+  }
+
+  if (rng.next_below(2) == 0) {
+    config.bgp.enabled = true;
+    config.bgp.local_as = 65000 + rng.next_below(100);
+    config.bgp.router_id = loopback.address->address;
+    int neighbors = 1 + static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < neighbors; ++i) {
+      BgpNeighborConfig neighbor;
+      neighbor.peer = net::Ipv4Address(0x0B000000u + rng.next());
+      neighbor.remote_as =
+          rng.next_below(2) == 0 ? config.bgp.local_as : 64512 + rng.next_below(100);
+      if (neighbor.remote_as == config.bgp.local_as) {
+        neighbor.update_source = loopback_name;
+        neighbor.next_hop_self = rng.next_below(2) == 0;
+      }
+      config.bgp.neighbors.push_back(std::move(neighbor));
+    }
+    config.bgp.networks.push_back(
+        {net::Ipv4Prefix(loopback.address->address, 32), std::nullopt});
+  }
+
+  if (rng.next_below(2) == 0) {
+    StaticRoute route;
+    route.prefix = *net::Ipv4Prefix::parse("0.0.0.0/0");
+    route.null_route = true;
+    route.distance = vendor == Vendor::kVjun ? 5 : 1;
+    config.static_routes.push_back(route);
+  }
+  return config;
+}
+
+/// Semantic comparison of the fields the round trip must preserve.
+void expect_equivalent(const DeviceConfig& a, const DeviceConfig& b) {
+  EXPECT_EQ(a.hostname, b.hostname);
+  ASSERT_EQ(a.interfaces.size(), b.interfaces.size());
+  for (const auto& [name, iface] : a.interfaces) {
+    const InterfaceConfig* other = b.find_interface(name);
+    ASSERT_NE(other, nullptr) << name;
+    EXPECT_EQ(iface.address, other->address) << name;
+    EXPECT_EQ(iface.isis_enabled, other->isis_enabled) << name;
+    EXPECT_EQ(iface.isis_passive, other->isis_passive) << name;
+    EXPECT_EQ(iface.isis_metric, other->isis_metric) << name;
+    EXPECT_EQ(iface.mpls_enabled, other->mpls_enabled) << name;
+    EXPECT_EQ(iface.routed(), other->routed()) << name;
+  }
+  EXPECT_EQ(a.isis.enabled, b.isis.enabled);
+  EXPECT_EQ(a.isis.net, b.isis.net);
+  EXPECT_EQ(a.bgp.enabled, b.bgp.enabled);
+  EXPECT_EQ(a.bgp.local_as, b.bgp.local_as);
+  EXPECT_EQ(a.bgp.router_id, b.bgp.router_id);
+  ASSERT_EQ(a.bgp.neighbors.size(), b.bgp.neighbors.size());
+  for (size_t i = 0; i < a.bgp.neighbors.size(); ++i) {
+    // Writers may emit neighbors in different order; find by peer.
+    const BgpNeighborConfig& mine = a.bgp.neighbors[i];
+    const BgpNeighborConfig* theirs = nullptr;
+    for (const auto& candidate : b.bgp.neighbors)
+      if (candidate.peer == mine.peer) theirs = &candidate;
+    ASSERT_NE(theirs, nullptr) << mine.peer.to_string();
+    EXPECT_EQ(mine.remote_as, theirs->remote_as);
+    EXPECT_EQ(mine.update_source, theirs->update_source);
+    EXPECT_EQ(mine.next_hop_self, theirs->next_hop_self);
+  }
+  ASSERT_EQ(a.static_routes.size(), b.static_routes.size());
+  for (size_t i = 0; i < a.static_routes.size(); ++i) {
+    EXPECT_EQ(a.static_routes[i].prefix, b.static_routes[i].prefix);
+    EXPECT_EQ(a.static_routes[i].null_route, b.static_routes[i].null_route);
+    EXPECT_EQ(a.static_routes[i].distance, b.static_routes[i].distance);
+  }
+}
+
+class RoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTrip, CeosParseWriteParse) {
+  DeviceConfig original = random_config(GetParam(), Vendor::kCeos);
+  std::string text = write_config(original);
+  ParseResult reparsed = parse_config(text, Vendor::kCeos);
+  EXPECT_EQ(reparsed.diagnostics.error_count(), 0u)
+      << (reparsed.diagnostics.items.empty()
+              ? ""
+              : reparsed.diagnostics.items[0].to_string() + "\n" + text);
+  expect_equivalent(original, reparsed.config);
+}
+
+TEST_P(RoundTrip, VjunParseWriteParse) {
+  DeviceConfig original = random_config(GetParam(), Vendor::kVjun);
+  std::string text = write_config(original);
+  ParseResult reparsed = parse_config(text, Vendor::kVjun);
+  EXPECT_EQ(reparsed.diagnostics.error_count(), 0u)
+      << (reparsed.diagnostics.items.empty()
+              ? ""
+              : reparsed.diagnostics.items[0].to_string() + "\n" + text);
+  expect_equivalent(original, reparsed.config);
+}
+
+TEST_P(RoundTrip, DialectAutoDetection) {
+  DeviceConfig ceos = random_config(GetParam(), Vendor::kCeos);
+  DeviceConfig vjun = random_config(GetParam(), Vendor::kVjun);
+  EXPECT_EQ(detect_vendor(write_config(ceos)), Vendor::kCeos);
+  EXPECT_EQ(detect_vendor(write_config(vjun)), Vendor::kVjun);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTrip, ::testing::Range<uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace mfv::config

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "config/vjun_parser.hpp"
+
+namespace mfv::config {
+namespace {
+
+const char* kSample = R"(
+system {
+    host-name pe1;
+    services {
+        ssh;
+        netconf;
+    }
+}
+interfaces {
+    et-0/0/1 {
+        unit 0 {
+            description "to core";
+            family inet {
+                address 10.0.0.1/31;
+            }
+            family iso;
+            family mpls;
+        }
+    }
+    lo0 {
+        unit 0 {
+            family inet {
+                address 2.2.2.1/32;
+            }
+        }
+    }
+}
+routing-options {
+    router-id 2.2.2.1;
+    autonomous-system 65001;
+    static {
+        route 0.0.0.0/0 discard;
+        route 10.9.0.0/16 next-hop 10.0.0.0 preference 250;
+    }
+}
+protocols {
+    isis {
+        net 49.0001.0000.0000.0001.00;
+        level 2;
+        interface et-0/0/1.0 {
+            metric 25;
+        }
+        interface lo0.0 {
+            passive;
+        }
+    }
+    bgp {
+        group ebgp-peers {
+            type external;
+            peer-as 65002;
+            import RM-IN;
+            neighbor 10.0.0.0;
+        }
+        group ibgp {
+            type internal;
+            local-address 2.2.2.1;
+            neighbor 2.2.2.2;
+        }
+    }
+    mpls {
+        interface et-0/0/1.0;
+        label-switched-path LSP1 {
+            to 3.3.3.3;
+            bandwidth 5000;
+        }
+    }
+    rsvp {
+        interface et-0/0/1.0;
+    }
+}
+policy-options {
+    prefix-list PL-LOOP {
+        2.2.2.0/24;
+    }
+    community CUST members 65001:100;
+    policy-statement RM-IN {
+        term 10 {
+            from {
+                prefix-list PL-LOOP;
+            }
+            then {
+                local-preference 200;
+                accept;
+            }
+        }
+        term 20 {
+            then reject;
+        }
+    }
+}
+)";
+
+TEST(VjunParser, FullConfig) {
+  auto result = parse_vjun(kSample);
+  EXPECT_EQ(result.diagnostics.error_count(), 0u)
+      << (result.diagnostics.items.empty() ? ""
+                                           : result.diagnostics.items[0].to_string());
+  const DeviceConfig& config = result.config;
+  EXPECT_EQ(config.hostname, "pe1");
+  EXPECT_EQ(config.vendor, Vendor::kVjun);
+
+  const InterfaceConfig* et = config.find_interface("et-0/0/1.0");
+  ASSERT_NE(et, nullptr);
+  EXPECT_EQ(et->address->to_string(), "10.0.0.1/31");
+  EXPECT_EQ(et->description, "to core");
+  EXPECT_TRUE(et->mpls_enabled);
+  EXPECT_TRUE(et->isis_enabled);
+  EXPECT_EQ(et->isis_metric, 25u);
+
+  const InterfaceConfig* lo = config.find_interface("lo0.0");
+  ASSERT_NE(lo, nullptr);
+  EXPECT_TRUE(lo->is_loopback());
+  EXPECT_TRUE(lo->isis_passive);
+
+  EXPECT_TRUE(config.isis.enabled);
+  EXPECT_EQ(config.isis.net, "49.0001.0000.0000.0001.00");
+  EXPECT_EQ(config.isis.level, IsisLevel::kLevel2);
+  EXPECT_TRUE(config.isis.af_ipv4_unicast);
+
+  EXPECT_EQ(config.bgp.local_as, 65001u);
+  EXPECT_EQ(config.bgp.router_id->to_string(), "2.2.2.1");
+  ASSERT_EQ(config.bgp.neighbors.size(), 2u);
+  EXPECT_EQ(config.bgp.neighbors[0].remote_as, 65002u);
+  EXPECT_EQ(config.bgp.neighbors[0].route_map_in, "RM-IN");
+  EXPECT_EQ(config.bgp.neighbors[1].remote_as, 65001u);
+  EXPECT_EQ(config.bgp.neighbors[1].update_source, "lo0.0");
+  EXPECT_TRUE(config.bgp.neighbors[1].send_community);
+
+  ASSERT_EQ(config.static_routes.size(), 2u);
+  EXPECT_TRUE(config.static_routes[0].null_route);
+  EXPECT_EQ(config.static_routes[0].distance, 5);  // vjun default preference
+  EXPECT_EQ(config.static_routes[1].distance, 250);
+
+  EXPECT_TRUE(config.mpls.enabled);
+  EXPECT_TRUE(config.mpls.te_enabled);
+  ASSERT_EQ(config.mpls.tunnels.size(), 1u);
+  EXPECT_EQ(config.mpls.tunnels[0].bandwidth_bps, 5000u);
+
+  const RouteMap& map = config.route_maps.at("RM-IN");
+  ASSERT_EQ(map.clauses.size(), 2u);
+  EXPECT_TRUE(map.clauses[0].permit);
+  EXPECT_EQ(map.clauses[0].match_prefix_list, "PL-LOOP");
+  EXPECT_EQ(map.clauses[0].set_local_pref, 200u);
+  EXPECT_FALSE(map.clauses[1].permit);
+}
+
+TEST(VjunParser, TreeParse) {
+  DiagnosticList diagnostics;
+  auto tree = parse_vjun_tree("a { b c; d { e; } }", diagnostics);
+  EXPECT_EQ(diagnostics.error_count(), 0u);
+  ASSERT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree[0].words, (std::vector<std::string>{"a"}));
+  ASSERT_EQ(tree[0].children.size(), 2u);
+  EXPECT_EQ(tree[0].children[0].text(), "b c");
+  ASSERT_EQ(tree[0].children[1].children.size(), 1u);
+  EXPECT_EQ(tree[0].children[1].children[0].text(), "e");
+}
+
+TEST(VjunParser, UnbalancedBracesReported) {
+  DiagnosticList diagnostics;
+  parse_vjun_tree("a { b;", diagnostics);
+  EXPECT_GE(diagnostics.error_count(), 1u);
+
+  DiagnosticList diagnostics2;
+  parse_vjun_tree("a; }", diagnostics2);
+  EXPECT_GE(diagnostics2.error_count(), 1u);
+}
+
+TEST(VjunParser, MissingSemicolonReported) {
+  DiagnosticList diagnostics;
+  parse_vjun_tree("a { b }", diagnostics);
+  EXPECT_GE(diagnostics.error_count(), 1u);
+}
+
+TEST(VjunParser, CommentsIgnored) {
+  auto result = parse_vjun("# header comment\nsystem {\n  host-name x; # inline\n}\n");
+  EXPECT_EQ(result.config.hostname, "x");
+}
+
+TEST(VjunParser, QuotedStringsKeepSpaces) {
+  auto result = parse_vjun(
+      "interfaces { et-0/0/0 { unit 0 { description \"long haul to west\"; } } }");
+  const InterfaceConfig* iface = result.config.find_interface("et-0/0/0.0");
+  ASSERT_NE(iface, nullptr);
+  EXPECT_EQ(iface->description, "long haul to west");
+}
+
+TEST(VjunParser, UnknownStanzaIsError) {
+  auto result = parse_vjun("nonsense { a; }");
+  EXPECT_GE(result.diagnostics.error_count(), 1u);
+}
+
+TEST(VjunParser, ManagementStanzasAccepted) {
+  auto result = parse_vjun("snmp { community public; }\nchassis { alarm; }");
+  EXPECT_EQ(result.diagnostics.error_count(), 0u);
+  EXPECT_EQ(result.config.management_features.size(), 2u);
+}
+
+TEST(VjunParser, ExternalGroupWithoutPeerAsIsError) {
+  auto result = parse_vjun(
+      "protocols { bgp { group e { type external; neighbor 10.0.0.1; } } }");
+  EXPECT_GE(result.diagnostics.error_count(), 1u);
+  EXPECT_TRUE(result.config.bgp.neighbors.empty());
+}
+
+}  // namespace
+}  // namespace mfv::config

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "emu/kernel.hpp"
+
+namespace mfv::emu {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+TEST(Kernel, RunsEventsInTimeOrder) {
+  EventKernel kernel;
+  std::vector<int> order;
+  kernel.schedule(Duration::millis(30), [&] { order.push_back(3); });
+  kernel.schedule(Duration::millis(10), [&] { order.push_back(1); });
+  kernel.schedule(Duration::millis(20), [&] { order.push_back(2); });
+  EXPECT_TRUE(kernel.run_until_idle());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(kernel.now(), TimePoint(0) + Duration::millis(30));
+  EXPECT_EQ(kernel.executed(), 3u);
+}
+
+TEST(Kernel, SameTimestampRunsInScheduleOrder) {
+  EventKernel kernel;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    kernel.schedule(Duration::millis(5), [&order, i] { order.push_back(i); });
+  kernel.run_until_idle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Kernel, EventsCanScheduleMoreEvents) {
+  EventKernel kernel;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) kernel.schedule(Duration::millis(1), step);
+  };
+  kernel.schedule(Duration::millis(1), step);
+  EXPECT_TRUE(kernel.run_until_idle());
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(kernel.now(), TimePoint(0) + Duration::millis(5));
+}
+
+TEST(Kernel, RunUntilStopsAtBoundary) {
+  EventKernel kernel;
+  int fired = 0;
+  kernel.schedule(Duration::millis(10), [&] { ++fired; });
+  kernel.schedule(Duration::millis(30), [&] { ++fired; });
+  kernel.run_until(TimePoint(0) + Duration::millis(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(kernel.now(), TimePoint(0) + Duration::millis(20));  // advances to boundary
+  EXPECT_EQ(kernel.pending(), 1u);
+  kernel.run_for(Duration::millis(10));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Kernel, MaxEventsCapStopsRunaway) {
+  EventKernel kernel;
+  std::function<void()> forever = [&] { kernel.schedule(Duration::millis(1), forever); };
+  kernel.schedule(Duration::millis(1), forever);
+  EXPECT_FALSE(kernel.run_until_idle(1000));
+  EXPECT_EQ(kernel.executed(), 1000u);
+}
+
+TEST(Kernel, PastScheduleClampsToNow) {
+  EventKernel kernel;
+  kernel.schedule(Duration::millis(10), [] {});
+  kernel.run_until_idle();
+  bool fired = false;
+  kernel.schedule_at(TimePoint(0), [&] { fired = true; });  // in the past
+  kernel.run_until_idle();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(kernel.now(), TimePoint(0) + Duration::millis(10));  // time never goes back
+}
+
+}  // namespace
+}  // namespace mfv::emu

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "emu/emulation.hpp"
+#include "emu/topology.hpp"
+#include "workload/scenarios.hpp"
+
+namespace mfv::emu {
+namespace {
+
+TEST(Topology, JsonRoundTrip) {
+  Topology original = workload::fig2_topology(false);
+  util::Json json = original.to_json();
+  auto restored = Topology::from_json(json);
+  ASSERT_TRUE(restored.ok()) << restored.status().to_string();
+  ASSERT_EQ(restored->nodes.size(), original.nodes.size());
+  for (size_t i = 0; i < original.nodes.size(); ++i) {
+    EXPECT_EQ(restored->nodes[i].name, original.nodes[i].name);
+    EXPECT_EQ(restored->nodes[i].vendor, original.nodes[i].vendor);
+    EXPECT_EQ(restored->nodes[i].config_text, original.nodes[i].config_text);
+  }
+  ASSERT_EQ(restored->links.size(), original.links.size());
+  for (size_t i = 0; i < original.links.size(); ++i) {
+    EXPECT_EQ(restored->links[i].a, original.links[i].a);
+    EXPECT_EQ(restored->links[i].b, original.links[i].b);
+    EXPECT_EQ(restored->links[i].latency_micros, original.links[i].latency_micros);
+  }
+}
+
+TEST(Topology, ExternalPeerRoundTrip) {
+  Topology topology;
+  ExternalPeerSpec peer;
+  peer.name = "transit";
+  peer.attach_node = "R1";
+  peer.address = *net::Ipv4Address::parse("100.127.0.1");
+  peer.as_number = 64900;
+  proto::BgpRoute route;
+  route.prefix = *net::Ipv4Prefix::parse("32.0.0.0/24");
+  route.attributes.as_path = {64900, 64901};
+  route.attributes.med = 5;
+  route.attributes.next_hop = peer.address;
+  peer.routes.push_back(route);
+  topology.external_peers.push_back(peer);
+  topology.nodes.push_back({"R1", config::Vendor::kCeos, "hostname R1\n"});
+
+  auto restored = Topology::from_json(topology.to_json());
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->external_peers.size(), 1u);
+  const ExternalPeerSpec& restored_peer = restored->external_peers[0];
+  EXPECT_EQ(restored_peer.as_number, 64900u);
+  ASSERT_EQ(restored_peer.routes.size(), 1u);
+  EXPECT_EQ(restored_peer.routes[0].attributes.as_path,
+            (std::vector<net::AsNumber>{64900, 64901}));
+  EXPECT_EQ(restored_peer.routes[0].attributes.med, 5u);
+  EXPECT_EQ(restored_peer.routes[0].attributes.next_hop, peer.address);
+}
+
+TEST(Topology, FromJsonTextRejectsSyntaxErrors) {
+  EXPECT_FALSE(Topology::from_json_text("{ nodes: [").ok());
+}
+
+TEST(Topology, RejectsMalformedEntries) {
+  EXPECT_FALSE(Topology::from_json_text(R"({"nodes":[{"vendor":"ceos"}]})").ok());
+  EXPECT_FALSE(Topology::from_json_text(
+                   R"({"nodes":[{"name":"a","vendor":"cisco"}]})")
+                   .ok());
+  EXPECT_FALSE(Topology::from_json_text(
+                   R"({"links":[{"a":"R1-no-colon","b":"R2:eth0"}]})")
+                   .ok());
+}
+
+TEST(Topology, FindNode) {
+  Topology topology = workload::fig3_line_topology();
+  EXPECT_NE(topology.find_node("R2"), nullptr);
+  EXPECT_EQ(topology.find_node("R9"), nullptr);
+}
+
+TEST(Emulation, AddTopologyValidatesEndpoints) {
+  Topology topology;
+  topology.nodes.push_back({"R1", config::Vendor::kCeos, "hostname R1\n"});
+  topology.links.push_back({{"R1", "Ethernet1"}, {"MISSING", "Ethernet1"}, 1000});
+  Emulation emulation;
+  util::Status status = emulation.add_topology(topology);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kNotFound);
+}
+
+TEST(Emulation, HostnameMismatchRejected) {
+  Topology topology;
+  topology.nodes.push_back({"R1", config::Vendor::kCeos, "hostname OTHER\n"});
+  Emulation emulation;
+  EXPECT_FALSE(emulation.add_topology(topology).ok());
+}
+
+TEST(Emulation, ApplyConfigToUnknownNodeFails) {
+  Emulation emulation;
+  EXPECT_FALSE(emulation.apply_config_text("ghost", "hostname ghost\n",
+                                           config::Vendor::kCeos)
+                   .ok());
+}
+
+TEST(Emulation, SetLinkUpOnUnknownLinkReturnsFalse) {
+  Emulation emulation;
+  EXPECT_FALSE(emulation.set_link_up({"a", "x"}, {"b", "y"}, false));
+}
+
+}  // namespace
+}  // namespace mfv::emu

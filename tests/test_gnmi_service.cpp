@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "gnmi/gnmi.hpp"
+#include "workload/scenarios.hpp"
+
+namespace mfv::gnmi {
+namespace {
+
+struct GnmiFixture : ::testing::Test {
+  void SetUp() override {
+    ASSERT_TRUE(emulation.add_topology(workload::fig3_line_topology()).ok());
+    emulation.start_all();
+    ASSERT_TRUE(emulation.run_to_convergence());
+  }
+  emu::Emulation emulation;
+};
+
+TEST_F(GnmiFixture, GetAftsFullDocument) {
+  GnmiService service(emulation);
+  auto result = service.get("R1", "/afts");
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->find("ipv4-unicast"), nullptr);
+  EXPECT_NE(result->find("next-hop-groups"), nullptr);
+  EXPECT_NE(result->find("next-hops"), nullptr);
+}
+
+TEST_F(GnmiFixture, OpenConfigStylePrefixAccepted) {
+  GnmiService service(emulation);
+  auto result =
+      service.get("R1", "/network-instances/network-instance[name=default]/afts");
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->find("ipv4-unicast"), nullptr);
+}
+
+TEST_F(GnmiFixture, SubtreeQueries) {
+  GnmiService service(emulation);
+  auto entries = service.get("R2", "/afts/ipv4-unicast");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_TRUE(entries->is_array());
+  EXPECT_GE(entries->as_array().size(), 5u);  // loopbacks + link subnets
+  auto groups = service.get("R2", "/afts/next-hop-groups");
+  ASSERT_TRUE(groups.ok());
+  EXPECT_TRUE(groups->is_array());
+}
+
+TEST_F(GnmiFixture, InterfaceStateQuery) {
+  GnmiService service(emulation);
+  auto all = service.get("R1", "/interfaces");
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(all->is_array());
+  auto one = service.get("R1", "/interfaces/interface[name=Ethernet2]/state");
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->find("oper-status")->as_string(), "UP");
+  EXPECT_EQ(one->find("address")->as_string(), "100.64.0.1/31");
+}
+
+TEST_F(GnmiFixture, ErrorsAreTyped) {
+  GnmiService service(emulation);
+  EXPECT_EQ(service.get("R9", "/afts").status().code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(service.get("R1", "/afts/bogus").status().code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(service.get("R1", "/interfaces/interface[name=Ethernet9]/state").status().code(),
+            util::StatusCode::kNotFound);
+  EXPECT_EQ(service.get("R1", "/wibble").status().code(), util::StatusCode::kUnimplemented);
+}
+
+TEST_F(GnmiFixture, ListTargets) {
+  GnmiService service(emulation);
+  EXPECT_EQ(service.list_targets().size(), 3u);
+}
+
+TEST_F(GnmiFixture, SnapshotCaptureAndJsonRoundTrip) {
+  Snapshot snapshot = Snapshot::capture(emulation, "test");
+  EXPECT_EQ(snapshot.devices.size(), 3u);
+  EXPECT_GT(snapshot.total_entries(), 0u);
+
+  std::string text = snapshot.to_json().dump(2);
+  auto restored = Snapshot::from_json_text(text);
+  ASSERT_TRUE(restored.ok()) << restored.status().to_string();
+  EXPECT_EQ(restored->name, "test");
+  EXPECT_EQ(restored->devices.size(), 3u);
+  for (const auto& [node, device] : snapshot.devices) {
+    ASSERT_TRUE(restored->devices.count(node));
+    EXPECT_TRUE(restored->devices.at(node).aft.forwarding_equal(device.aft)) << node;
+    EXPECT_EQ(restored->devices.at(node).interfaces, device.interfaces) << node;
+  }
+}
+
+TEST_F(GnmiFixture, SnapshotFromJsonRejectsGarbage) {
+  EXPECT_FALSE(Snapshot::from_json_text("{{{").ok());
+  EXPECT_FALSE(Snapshot::from_json_text("{}").ok());  // missing devices
+}
+
+}  // namespace
+}  // namespace mfv::gnmi

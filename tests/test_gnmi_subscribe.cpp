@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "gnmi/gnmi.hpp"
+#include "workload/scenarios.hpp"
+
+namespace mfv::gnmi {
+namespace {
+
+using util::Duration;
+
+TEST(GnmiSubscribe, OnChangeEmitsDuringConvergenceThenGoesQuiet) {
+  emu::Emulation emulation;
+  ASSERT_TRUE(emulation.add_topology(workload::fig3_line_topology()).ok());
+  emulation.start_all();
+
+  GnmiSubscriber subscriber(emulation);
+  subscriber.add("R1", "/afts", SubscriptionMode::kOnChange);
+
+  // Convergence window: the FIB fills in, so updates arrive.
+  auto during = subscriber.run(Duration::seconds(30), Duration::seconds(1));
+  EXPECT_GE(during.size(), 1u);
+  for (const auto& update : during) EXPECT_EQ(update.node, "R1");
+
+  // Steady state: nothing changes, nothing is emitted.
+  auto after = subscriber.run(Duration::seconds(30), Duration::seconds(1));
+  EXPECT_TRUE(after.empty());
+}
+
+TEST(GnmiSubscribe, SampleEmitsEveryInterval) {
+  emu::Emulation emulation;
+  ASSERT_TRUE(emulation.add_topology(workload::fig3_line_topology()).ok());
+  emulation.start_all();
+  emulation.run_to_convergence();
+
+  GnmiSubscriber subscriber(emulation);
+  subscriber.add("R2", "/afts/ipv4-unicast", SubscriptionMode::kSample);
+  auto updates = subscriber.run(Duration::seconds(10), Duration::seconds(1));
+  EXPECT_EQ(updates.size(), 10u);
+  EXPECT_TRUE(updates[0].payload.is_array());
+}
+
+TEST(GnmiSubscribe, LinkCutTriggersOnChangeUpdate) {
+  emu::Emulation emulation;
+  ASSERT_TRUE(emulation.add_topology(workload::fig3_line_topology()).ok());
+  emulation.start_all();
+  emulation.run_to_convergence();
+
+  GnmiSubscriber subscriber(emulation);
+  subscriber.add("R1", "/afts", SubscriptionMode::kOnChange);
+  // Baseline poll establishes the digest.
+  subscriber.run(Duration::seconds(5), Duration::seconds(1));
+
+  ASSERT_TRUE(emulation.set_link_up({"R2", "Ethernet2"}, {"R3", "Ethernet1"}, false));
+  auto updates = subscriber.run(Duration::seconds(30), Duration::seconds(1));
+  EXPECT_GE(updates.size(), 1u) << "R1's AFT loses the R3 routes";
+}
+
+TEST(GnmiSubscribe, UnknownTargetIsSkippedNotFatal) {
+  emu::Emulation emulation;
+  ASSERT_TRUE(emulation.add_topology(workload::fig3_line_topology()).ok());
+  emulation.start_all();
+  emulation.run_to_convergence();
+
+  GnmiSubscriber subscriber(emulation);
+  subscriber.add("ghost", "/afts", SubscriptionMode::kSample);
+  subscriber.add("R1", "/interfaces", SubscriptionMode::kSample);
+  auto updates = subscriber.run(Duration::seconds(3), Duration::seconds(1));
+  EXPECT_EQ(updates.size(), 3u);  // only R1 produced data
+  for (const auto& update : updates) EXPECT_EQ(update.node, "R1");
+}
+
+TEST(GnmiSubscribe, MultipleSubscriptionsInterleave) {
+  emu::Emulation emulation;
+  ASSERT_TRUE(emulation.add_topology(workload::fig3_line_topology()).ok());
+  emulation.start_all();
+  emulation.run_to_convergence();
+
+  GnmiSubscriber subscriber(emulation);
+  for (const char* node : {"R1", "R2", "R3"})
+    subscriber.add(node, "/afts", SubscriptionMode::kSample);
+  auto updates = subscriber.run(Duration::seconds(2), Duration::seconds(1));
+  EXPECT_EQ(updates.size(), 6u);  // 3 nodes x 2 polls
+  EXPECT_EQ(subscriber.updates().size(), 6u);
+}
+
+}  // namespace
+}  // namespace mfv::gnmi

@@ -1,0 +1,135 @@
+// gRIBI-style programmatic route injection: add/replace/delete/flush
+// semantics, admin-distance interaction with routing protocols, ECMP
+// entries, and end-to-end verification of controller-programmed paths.
+#include <gtest/gtest.h>
+
+#include "cli/show.hpp"
+#include "gnmi/gnmi.hpp"
+#include "gribi/gribi.hpp"
+#include "helpers.hpp"
+#include "verify/queries.hpp"
+
+namespace mfv {
+namespace {
+
+using test::base_router;
+using test::link;
+using test::wire;
+
+net::Ipv4Address addr(const std::string& text) { return *net::Ipv4Address::parse(text); }
+net::Ipv4Prefix pfx(const std::string& text) { return *net::Ipv4Prefix::parse(text); }
+
+/// R1 - R2 - R3 line with IS-IS (so gRIBI must override the IGP).
+struct GribiFixture : ::testing::Test {
+  void SetUp() override {
+    auto r1 = base_router("R1", 1);
+    wire(r1, 1, "100.64.0.0/31");
+    wire(r1, 2, "100.64.0.4/31");
+    auto r2 = base_router("R2", 2);
+    wire(r2, 1, "100.64.0.1/31");
+    auto r3 = base_router("R3", 3);
+    wire(r3, 1, "100.64.0.5/31");
+    emulation.add_router(std::move(r1));
+    emulation.add_router(std::move(r2));
+    emulation.add_router(std::move(r3));
+    link(emulation, "R1", 1, "R2", 1);
+    link(emulation, "R1", 2, "R3", 1);
+    emulation.start_all();
+    ASSERT_TRUE(emulation.run_to_convergence());
+  }
+
+  emu::Emulation emulation;
+};
+
+TEST_F(GribiFixture, AddInstallsPreferredRoute) {
+  gribi::GribiClient client(emulation);
+  // IS-IS reaches R3's loopback via Ethernet2; the controller overrides
+  // toward R2 instead.
+  ASSERT_TRUE(client.add("R1", {pfx("10.0.0.3/32"), {addr("100.64.0.1")}}).ok());
+  ASSERT_TRUE(emulation.run_to_convergence());
+  auto hops = emulation.router("R1")->fib().forward(addr("10.0.0.3"));
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0].ip_address->to_string(), "100.64.0.1") << "gRIBI (AD 5) beats IS-IS";
+  const aft::Ipv4Entry* entry = emulation.router("R1")->fib().ipv4_entry(pfx("10.0.0.3/32"));
+  EXPECT_EQ(entry->origin_protocol, "GRIBI");
+}
+
+TEST_F(GribiFixture, ReplaceAndDeleteSemantics) {
+  gribi::GribiClient client(emulation);
+  ASSERT_TRUE(client.add("R1", {pfx("203.0.113.0/24"), {addr("100.64.0.1")}}).ok());
+  // Replace: same prefix, new next hop.
+  ASSERT_TRUE(client.add("R1", {pfx("203.0.113.0/24"), {addr("100.64.0.5")}}).ok());
+  ASSERT_TRUE(emulation.run_to_convergence());
+  auto hops = emulation.router("R1")->fib().forward(addr("203.0.113.1"));
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0].ip_address->to_string(), "100.64.0.5");
+
+  ASSERT_TRUE(client.remove("R1", pfx("203.0.113.0/24")).ok());
+  ASSERT_TRUE(emulation.run_to_convergence());
+  EXPECT_TRUE(emulation.router("R1")->fib().forward(addr("203.0.113.1")).empty());
+  EXPECT_EQ(client.remove("R1", pfx("203.0.113.0/24")).code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST_F(GribiFixture, EcmpEntry) {
+  gribi::GribiClient client(emulation);
+  ASSERT_TRUE(client
+                  .add("R1", {pfx("203.0.113.0/24"),
+                              {addr("100.64.0.1"), addr("100.64.0.5")}})
+                  .ok());
+  ASSERT_TRUE(emulation.run_to_convergence());
+  EXPECT_EQ(emulation.router("R1")->fib().forward(addr("203.0.113.1")).size(), 2u);
+}
+
+TEST_F(GribiFixture, FlushAndGet) {
+  gribi::GribiClient client(emulation);
+  ASSERT_TRUE(client.add("R1", {pfx("203.0.113.0/24"), {addr("100.64.0.1")}}).ok());
+  ASSERT_TRUE(client.add("R1", {pfx("198.51.100.0/24"), {addr("100.64.0.5")}}).ok());
+  EXPECT_EQ(client.get("R1").size(), 2u);
+  ASSERT_TRUE(client.flush("R1").ok());
+  EXPECT_TRUE(client.get("R1").empty());
+  ASSERT_TRUE(emulation.run_to_convergence());
+  EXPECT_TRUE(emulation.router("R1")->fib().forward(addr("203.0.113.1")).empty());
+}
+
+TEST_F(GribiFixture, ErrorsAreTyped) {
+  gribi::GribiClient client(emulation);
+  EXPECT_EQ(client.add("ghost", {pfx("1.0.0.0/8"), {addr("100.64.0.1")}}).code(),
+            util::StatusCode::kNotFound);
+  EXPECT_EQ(client.add("R1", {pfx("1.0.0.0/8"), {}}).code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(client.flush("ghost").code(), util::StatusCode::kNotFound);
+  EXPECT_TRUE(client.get("ghost").empty());
+}
+
+TEST_F(GribiFixture, UnresolvableNextHopNotProgrammedToFib) {
+  gribi::GribiClient client(emulation);
+  ASSERT_TRUE(client.add("R1", {pfx("203.0.113.0/24"), {addr("172.31.0.1")}}).ok());
+  ASSERT_TRUE(emulation.run_to_convergence());
+  // RIB has it, FIB does not (resolution fails) — like a real device.
+  EXPECT_EQ(client.get("R1").size(), 1u);
+  EXPECT_TRUE(emulation.router("R1")->fib().forward(addr("203.0.113.1")).empty());
+}
+
+TEST_F(GribiFixture, VerificationSeesProgrammedPaths) {
+  gribi::GribiClient client(emulation);
+  ASSERT_TRUE(client.add("R2", {pfx("10.0.0.3/32"), {addr("100.64.0.0")}}).ok());
+  ASSERT_TRUE(emulation.run_to_convergence());
+  verify::ForwardingGraph graph(gnmi::Snapshot::capture(emulation, "sdn"));
+  verify::TraceResult trace = verify::trace_flow(graph, "R2", addr("10.0.0.3"));
+  ASSERT_TRUE(trace.reachable());
+  // Path goes R2 -> R1 -> R3 through the programmed hop.
+  ASSERT_EQ(trace.paths[0].hops.size(), 3u);
+  EXPECT_EQ(trace.paths[0].hops[1].node, "R1");
+}
+
+TEST_F(GribiFixture, CliShowsGribiRoutes) {
+  gribi::GribiClient client(emulation);
+  ASSERT_TRUE(client.add("R1", {pfx("203.0.113.0/24"), {addr("100.64.0.1")}}).ok());
+  ASSERT_TRUE(emulation.run_to_convergence());
+  std::string output = cli::show_ip_route(*emulation.router("R1"));
+  EXPECT_NE(output.find(" G   203.0.113.0/24 [5/0]"), std::string::npos) << output;
+}
+
+}  // namespace
+}  // namespace mfv

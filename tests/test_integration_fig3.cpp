@@ -1,0 +1,103 @@
+// Experiment E3 (§5, Fig. 3): on identical configurations, the model-based
+// dataplane diverges from the emulation-derived one. The reference model's
+// ordering assumption (issue #1: "ip address" before "no switchport" is
+// silently dropped) breaks reachability involving R1, and it reports
+// "isis enable default" as invalid syntax (issue #2), while the emulated
+// routers accept the config and converge to full pair-wise reachability.
+#include <gtest/gtest.h>
+
+#include "api/session.hpp"
+#include "config/dialect.hpp"
+#include "model/reference_parser.hpp"
+#include "workload/scenarios.hpp"
+
+namespace mfv {
+namespace {
+
+class Fig3Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topology_ = workload::fig3_line_topology();
+    ASSERT_TRUE(
+        session_.init_snapshot(topology_, "emulated", api::Backend::kModelFree).ok());
+    ASSERT_TRUE(
+        session_.init_snapshot(topology_, "modeled", api::Backend::kModelBased).ok());
+  }
+
+  emu::Topology topology_;
+  api::Session session_;
+};
+
+TEST_F(Fig3Test, EmulationHasFullPairwiseReachability) {
+  auto pairwise = session_.pairwise_reachability("emulated");
+  ASSERT_TRUE(pairwise.ok());
+  EXPECT_TRUE(pairwise->full_mesh())
+      << pairwise->reachable_pairs << "/" << pairwise->total_pairs;
+}
+
+TEST_F(Fig3Test, ModelLosesReachabilityFromR2ToR1) {
+  // The paper's headline divergence: the model's dataplane drops packets
+  // from R2 to R1 that the real router forwards.
+  auto loopback1 = net::Ipv4Address::parse("2.2.2.1");
+  auto model_trace = session_.traceroute("modeled", "R2", *loopback1);
+  ASSERT_TRUE(model_trace.ok());
+  EXPECT_FALSE(model_trace->reachable())
+      << "model should drop R2->R1 due to the switchport ordering assumption";
+
+  auto emu_trace = session_.traceroute("emulated", "R2", *loopback1);
+  ASSERT_TRUE(emu_trace.ok());
+  EXPECT_TRUE(emu_trace->reachable()) << "the emulated router forwards R2->R1";
+}
+
+TEST_F(Fig3Test, BackendDifferentialSurfacesTheDivergence) {
+  // Differential Reachability between the two *backends* on identical
+  // configs — exactly how the paper discovered the model bug.
+  auto diff = session_.differential_reachability("emulated", "modeled");
+  ASSERT_TRUE(diff.ok());
+  EXPECT_FALSE(diff->empty());
+
+  auto loopback1 = net::Ipv4Address::parse("2.2.2.1");
+  bool r2_to_r1_diff = false;
+  for (const auto& row : diff->regressions())
+    if (row.source == "R2" && row.destination.contains(*loopback1)) r2_to_r1_diff = true;
+  EXPECT_TRUE(r2_to_r1_diff) << "R2->R1 must appear as a regression in the model";
+}
+
+TEST_F(Fig3Test, ModelReportsIsisEnableAsInvalidSyntax) {
+  // Issue #2: the model flags the valid "isis enable default" line.
+  const emu::NodeSpec* r1 = topology_.find_node("R1");
+  ASSERT_NE(r1, nullptr);
+  model::ReferenceParseResult parsed = model::reference_parse(r1->config_text);
+  bool flagged = false;
+  for (const auto& diagnostic : parsed.diagnostics.items)
+    if (diagnostic.severity == config::DiagnosticSeverity::kError &&
+        diagnostic.line.find("isis enable") != std::string::npos)
+      flagged = true;
+  EXPECT_TRUE(flagged);
+}
+
+TEST_F(Fig3Test, ModelSilentlyDropsTheInterfaceAddress) {
+  // Issue #1 is silent: no diagnostic, the address is just gone.
+  const emu::NodeSpec* r1 = topology_.find_node("R1");
+  ASSERT_NE(r1, nullptr);
+  model::ReferenceParseResult parsed = model::reference_parse(r1->config_text);
+  const config::InterfaceConfig* eth2 = parsed.config.find_interface("Ethernet2");
+  ASSERT_NE(eth2, nullptr);
+  EXPECT_FALSE(eth2->address.has_value())
+      << "the model's ordering assumption must drop the address";
+  // And the vendor parser (the real device) keeps it.
+  config::ParseResult vendor = config::parse_config(r1->config_text);
+  const config::InterfaceConfig* vendor_eth2 = vendor.config.find_interface("Ethernet2");
+  ASSERT_NE(vendor_eth2, nullptr);
+  EXPECT_TRUE(vendor_eth2->address.has_value());
+}
+
+TEST_F(Fig3Test, VendorParserAcceptsEverything) {
+  for (const emu::NodeSpec& node : topology_.nodes) {
+    config::ParseResult parsed = config::parse_config(node.config_text);
+    EXPECT_EQ(parsed.diagnostics.error_count(), 0u) << node.name;
+  }
+}
+
+}  // namespace
+}  // namespace mfv

@@ -1,0 +1,128 @@
+// Experiment E4: scaling and timing. Validates the orchestration resource
+// model (60 routers per e2-standard-32 machine; 1,000 devices on a 17-node
+// cluster), the startup-vs-convergence split, and that generated WAN
+// topologies actually converge with full loopback reachability and
+// injected routes.
+#include <gtest/gtest.h>
+
+#include "api/session.hpp"
+#include "orch/cluster.hpp"
+#include "verify/queries.hpp"
+#include "workload/generator.hpp"
+
+namespace mfv {
+namespace {
+
+TEST(ScaleOrchestration, SixtyCeosRoutersFitOneMachine) {
+  orch::MachineSpec machine;  // defaults: 32 vCPU / 128 GB, 2 reserved
+  orch::ResourceProfile ceos =
+      orch::resource_profile(config::Vendor::kCeos, orch::ImageKind::kContainer);
+  EXPECT_EQ(orch::machine_capacity(machine, ceos), 60);
+}
+
+TEST(ScaleOrchestration, SixtyFirstRouterIsUnschedulable) {
+  orch::ClusterSpec cluster = orch::ClusterSpec::standard(1);
+  std::vector<orch::PodSpec> pods;
+  for (int i = 0; i < 60; ++i)
+    pods.push_back({"r" + std::to_string(i), config::Vendor::kCeos,
+                    orch::ImageKind::kContainer});
+  EXPECT_TRUE(orch::schedule_pods(cluster, pods).ok());
+  pods.push_back({"r60", config::Vendor::kCeos, orch::ImageKind::kContainer});
+  auto overfull = orch::schedule_pods(cluster, pods);
+  EXPECT_FALSE(overfull.ok());
+  EXPECT_EQ(overfull.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(ScaleOrchestration, ThousandDevicesFitSeventeenMachines) {
+  orch::ClusterSpec cluster = orch::ClusterSpec::standard(17);
+  std::vector<orch::PodSpec> pods;
+  for (int i = 0; i < 1000; ++i)
+    pods.push_back({"r" + std::to_string(i), config::Vendor::kCeos,
+                    orch::ImageKind::kContainer});
+  EXPECT_TRUE(orch::schedule_pods(cluster, pods).ok());
+}
+
+TEST(ScaleOrchestration, VmImagesCutCapacityFourfold) {
+  // The container shift is what enabled digital-twin scale (§1/§3).
+  orch::MachineSpec machine;
+  orch::ResourceProfile vm =
+      orch::resource_profile(config::Vendor::kCeos, orch::ImageKind::kVm);
+  EXPECT_EQ(orch::machine_capacity(machine, vm), 15);
+}
+
+TEST(ScaleOrchestration, StartupTimeInPaperRange) {
+  // 30-node deployment: paper reports 12-17 minutes one-time startup.
+  emu::Topology topology = workload::wan_topology({.routers = 30, .seed = 7});
+  orch::ClusterSpec cluster = orch::ClusterSpec::standard(2);
+  auto plan = orch::plan_deployment(cluster, topology);
+  ASSERT_TRUE(plan.ok());
+  double minutes = plan->boot.total_startup.seconds_double() / 60.0;
+  EXPECT_GE(minutes, 8.0) << minutes;
+  EXPECT_LE(minutes, 20.0) << minutes;
+  EXPECT_EQ(plan->boot.ready_at.size(), 30u);
+}
+
+TEST(ScaleEmulation, ThirtyNodeWanConvergesWithInjectedRoutes) {
+  workload::WanOptions options;
+  options.routers = 30;
+  options.seed = 7;
+  options.border_count = 2;
+  options.routes_per_peer = 2000;  // scaled-down stand-in for "millions"
+  options.ibgp_mesh = true;
+  emu::Topology topology = workload::wan_topology(options);
+
+  api::Session session;
+  ASSERT_TRUE(session.init_snapshot(topology, "wan").ok());
+  const api::SnapshotInfo* info = session.info("wan");
+  ASSERT_NE(info, nullptr);
+  EXPECT_GT(info->convergence_time.count_micros(), 0);
+
+  // Full loopback mesh.
+  auto pairwise = session.pairwise_reachability("wan");
+  ASSERT_TRUE(pairwise.ok());
+  EXPECT_TRUE(pairwise->full_mesh())
+      << pairwise->reachable_pairs << "/" << pairwise->total_pairs;
+
+  // Injected routes present everywhere: pick a prefix from the feed and a
+  // non-border router.
+  const gnmi::Snapshot* snapshot = session.snapshot("wan");
+  ASSERT_NE(snapshot, nullptr);
+  auto feed_address = net::Ipv4Address::parse("32.0.1.1");  // inside 32.0.1.0/24
+  size_t holders = 0;
+  for (const auto& [node, device] : snapshot->devices)
+    if (!device.aft.forward(*feed_address).empty()) ++holders;
+  EXPECT_EQ(holders, snapshot->devices.size())
+      << "every router must carry the injected routes";
+}
+
+TEST(ScaleEmulation, HundredNodeIsisWanConverges) {
+  emu::Topology topology = workload::wan_topology({.routers = 100, .seed = 11});
+  api::Session session;
+  ASSERT_TRUE(session.init_snapshot(topology, "wan100").ok());
+  auto pairwise = session.pairwise_reachability("wan100");
+  ASSERT_TRUE(pairwise.ok());
+  EXPECT_TRUE(pairwise->full_mesh())
+      << pairwise->reachable_pairs << "/" << pairwise->total_pairs;
+}
+
+TEST(ScaleEmulation, MultiVendorWanConverges) {
+  workload::WanOptions options;
+  options.routers = 12;
+  options.seed = 3;
+  options.vjun_fraction = 0.4;
+  emu::Topology topology = workload::wan_topology(options);
+  int vjun_nodes = 0;
+  for (const auto& node : topology.nodes)
+    if (node.vendor == config::Vendor::kVjun) ++vjun_nodes;
+  ASSERT_GT(vjun_nodes, 0) << "mix must actually include vjun devices";
+
+  api::Session session;
+  ASSERT_TRUE(session.init_snapshot(topology, "mixed").ok());
+  auto pairwise = session.pairwise_reachability("mixed");
+  ASSERT_TRUE(pairwise.ok());
+  EXPECT_TRUE(pairwise->full_mesh())
+      << pairwise->reachable_pairs << "/" << pairwise->total_pairs;
+}
+
+}  // namespace
+}  // namespace mfv

@@ -1,0 +1,198 @@
+// The model-based baseline: reference parser coverage gaps, the IBDP-style
+// fixed-point dataplane, and its documented divergences.
+#include <gtest/gtest.h>
+
+#include "config/dialect.hpp"
+#include "model/ibdp.hpp"
+#include "verify/queries.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenarios.hpp"
+
+namespace mfv::model {
+namespace {
+
+net::Ipv4Prefix pfx(const std::string& text) { return *net::Ipv4Prefix::parse(text); }
+net::Ipv4Address addr(const std::string& text) { return *net::Ipv4Address::parse(text); }
+
+TEST(ReferenceParser, OrderingAssumptionDropsAddress) {
+  auto result = reference_parse(
+      "interface Ethernet1\n"
+      "   ip address 10.0.0.1/31\n"
+      "   no switchport\n");
+  const config::InterfaceConfig* iface = result.config.find_interface("Ethernet1");
+  ASSERT_NE(iface, nullptr);
+  EXPECT_FALSE(iface->address.has_value()) << "address before 'no switchport' is dropped";
+
+  auto correct_order = reference_parse(
+      "interface Ethernet1\n"
+      "   no switchport\n"
+      "   ip address 10.0.0.1/31\n");
+  EXPECT_TRUE(correct_order.config.find_interface("Ethernet1")->address.has_value());
+}
+
+TEST(ReferenceParser, IsisEnableFlaggedButProcessed) {
+  auto result = reference_parse(
+      "interface Ethernet1\n"
+      "   no switchport\n"
+      "   ip address 10.0.0.1/31\n"
+      "   isis enable default\n");
+  EXPECT_EQ(result.diagnostics.error_count(), 1u);
+  EXPECT_TRUE(result.config.find_interface("Ethernet1")->isis_enabled);
+}
+
+TEST(ReferenceParser, MplsIsMaterialGap) {
+  auto result = reference_parse(
+      "mpls ip\n"
+      "router traffic-engineering\n"
+      "   tunnel TE1\n"
+      "   destination 1.2.3.4\n"
+      "interface Ethernet1\n"
+      "   no switchport\n"
+      "   mpls ip\n");
+  EXPECT_FALSE(result.config.mpls.enabled);
+  EXPECT_TRUE(result.config.mpls.tunnels.empty());
+  EXPECT_GE(result.material_unrecognized, 5);
+}
+
+TEST(ReferenceParser, ManagementIsCosmeticGap) {
+  auto result = reference_parse(
+      "daemon PowerManager\n"
+      "   exec /usr/bin/power-manager\n"
+      "   no shutdown\n"
+      "management api gnmi\n"
+      "   transport grpc default\n");
+  EXPECT_EQ(result.cosmetic_unrecognized, 5);
+  EXPECT_EQ(result.material_unrecognized, 0);
+}
+
+TEST(ReferenceParser, Fig2ConfigsLoseThirtyEightToFortyTwoLines) {
+  // The E2 headline: "failed to recognize between 38 and 42 of lines in
+  // each configuration".
+  emu::Topology topology = workload::fig2_topology(false);
+  for (const emu::NodeSpec& node : topology.nodes) {
+    auto result = reference_parse(node.config_text);
+    size_t unparsed =
+        result.diagnostics.unrecognized_count() + result.diagnostics.error_count();
+    EXPECT_GE(unparsed, 38u) << node.name;
+    EXPECT_LE(unparsed, 42u) << node.name;
+    EXPECT_GE(result.total_lines, 62) << node.name;
+    EXPECT_LE(result.total_lines, 82) << node.name;
+  }
+}
+
+TEST(ReferenceParser, ProductionCorpusAllFailParsing) {
+  // The paper's 2025 experiment: 1500 production configs across roles all
+  // failed the model's parsing phase; the devices accept them all. (Scaled
+  // to 300 here to keep the test fast; the bench runs the full 1500.)
+  auto corpus = workload::production_corpus(300, /*vjun_fraction=*/0.3, /*seed=*/7);
+  for (const emu::NodeSpec& node : corpus) {
+    ReferenceParseResult reference = reference_parse(node.config_text);
+    EXPECT_GT(reference.diagnostics.unrecognized_count() +
+                  reference.diagnostics.error_count(),
+              0u)
+        << node.name << " unexpectedly parsed cleanly in the model";
+    config::ParseResult vendor = config::parse_config(node.config_text, node.vendor);
+    EXPECT_EQ(vendor.diagnostics.error_count(), 0u)
+        << node.name << ": "
+        << (vendor.diagnostics.items.empty() ? ""
+                                             : vendor.diagnostics.items[0].to_string());
+  }
+}
+
+TEST(Ibdp, CleanTopologyConverges) {
+  // A topology with model-friendly ordering converges to full
+  // reachability in the model too: build Fig. 2 but note its writer emits
+  // the model-hostile order, so craft a small clean one instead.
+  emu::Topology topology;
+  for (int i = 1; i <= 2; ++i) {
+    std::string id = std::to_string(i);
+    std::string other = std::to_string(3 - i);
+    topology.nodes.push_back(
+        {"R" + id, config::Vendor::kCeos,
+         "hostname R" + id + "\n" +
+             "router isis default\n"
+             "   net 49.0001.0000.0000.000" + id + ".00\n"
+             "   address-family ipv4 unicast\n"
+             "interface Loopback0\n"
+             "   ip address 1.1.1." + id + "/32\n"
+             "   isis instance default\n"
+             "   isis passive-interface default\n"
+             "interface Ethernet1\n"
+             "   no switchport\n"
+             "   ip address 100.64.0." + std::to_string(i - 1) + "/31\n"
+             "   isis instance default\n"});
+  }
+  topology.links.push_back({{"R1", "Ethernet1"}, {"R2", "Ethernet1"}, 1000});
+
+  ModelResult result = run_model(topology);
+  verify::ForwardingGraph graph(result.snapshot);
+  verify::PairwiseResult pairwise = verify::pairwise_reachability(graph);
+  EXPECT_TRUE(pairwise.full_mesh())
+      << pairwise.reachable_pairs << "/" << pairwise.total_pairs;
+}
+
+TEST(Ibdp, Fig2BgpFixedPointConverges) {
+  ModelResult result = run_model(workload::fig2_topology(false));
+  EXPECT_GT(result.bgp_rounds, 1);
+  EXPECT_LT(result.bgp_rounds, 64);
+  // The model *does* produce BGP routes (its gaps are elsewhere): R4
+  // reaches R1's aggregate in the model since AS3 configs parse well
+  // enough (their ISIS interfaces use "isis enable" which is processed).
+  verify::ForwardingGraph graph(result.snapshot);
+  auto trace = verify::trace_flow(graph, "R4", addr("10.0.0.2"));
+  EXPECT_TRUE(trace.reachable());
+}
+
+TEST(Ibdp, VjunDialectIsCompletelyUnparsed) {
+  workload::WanOptions options;
+  options.routers = 4;
+  options.seed = 5;
+  options.vjun_fraction = 1.0;
+  emu::Topology topology = workload::wan_topology(options);
+  ModelResult result = run_model(topology);
+  for (const auto& [node, parsed] : result.parse_results) {
+    EXPECT_GT(parsed.total_lines, 0) << node;
+    EXPECT_EQ(static_cast<int>(parsed.diagnostics.unrecognized_count()),
+              parsed.total_lines)
+        << node << ": every line must be unrecognized";
+  }
+  // And the model dataplane is empty: nothing parsed, nothing converges.
+  verify::ForwardingGraph graph(result.snapshot);
+  verify::PairwiseResult pairwise = verify::pairwise_reachability(graph);
+  EXPECT_EQ(pairwise.reachable_pairs, 0u);
+}
+
+TEST(Ibdp, ExternalAdvertisementsInjected) {
+  workload::WanOptions options;
+  options.routers = 4;
+  options.seed = 5;
+  options.border_count = 1;
+  options.routes_per_peer = 10;
+  options.ibgp_mesh = true;
+  emu::Topology topology = workload::wan_topology(options);
+  ModelResult result = run_model(topology);
+  const auto& border = result.snapshot.devices.at(topology.external_peers[0].attach_node);
+  const aft::Ipv4Entry* entry = border.aft.ipv4_entry(pfx("32.0.0.0/24"));
+  ASSERT_NE(entry, nullptr) << "border must carry the injected route in the model";
+  EXPECT_EQ(entry->origin_protocol, "BGP");
+}
+
+TEST(Ibdp, DivergenceFromEmulationOnFig3) {
+  // The repo's E3 in miniature, at the model API level.
+  emu::Topology topology = workload::fig3_line_topology();
+  ModelResult model = run_model(topology);
+
+  emu::Emulation emulation;
+  ASSERT_TRUE(emulation.add_topology(topology).ok());
+  emulation.start_all();
+  ASSERT_TRUE(emulation.run_to_convergence());
+  gnmi::Snapshot emulated = gnmi::Snapshot::capture(emulation, "emu");
+
+  verify::ForwardingGraph model_graph(model.snapshot);
+  verify::ForwardingGraph emu_graph(emulated);
+  auto diff = verify::differential_reachability(emu_graph, model_graph);
+  EXPECT_FALSE(diff.empty());
+}
+
+}  // namespace
+}  // namespace mfv::model

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "net/ipv4.hpp"
+
+namespace mfv::net {
+namespace {
+
+TEST(Ipv4Address, ParseValid) {
+  auto a = Ipv4Address::parse("192.168.1.200");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "192.168.1.200");
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->bits(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->bits(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Address, ParseInvalid) {
+  EXPECT_FALSE(Ipv4Address::parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 ").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.0004").has_value());  // >3 digits
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(*Ipv4Address::parse("10.0.0.1"), *Ipv4Address::parse("10.0.0.2"));
+  EXPECT_LT(*Ipv4Address::parse("9.255.255.255"), *Ipv4Address::parse("10.0.0.0"));
+}
+
+TEST(Ipv4Prefix, NormalizesHostBits) {
+  Ipv4Prefix p(*Ipv4Address::parse("10.1.2.3"), 16);
+  EXPECT_EQ(p.to_string(), "10.1.0.0/16");
+  EXPECT_EQ(Ipv4Prefix(*Ipv4Address::parse("255.255.255.255"), 0).to_string(), "0.0.0.0/0");
+}
+
+TEST(Ipv4Prefix, ParseValidAndInvalid) {
+  auto p = Ipv4Prefix::parse("10.0.0.0/8");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 8);
+  EXPECT_TRUE(Ipv4Prefix::parse("1.2.3.4/32").has_value());
+  EXPECT_TRUE(Ipv4Prefix::parse("0.0.0.0/0").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("/8").has_value());
+}
+
+TEST(Ipv4Prefix, Contains) {
+  auto p = *Ipv4Prefix::parse("10.1.0.0/16");
+  EXPECT_TRUE(p.contains(*Ipv4Address::parse("10.1.255.255")));
+  EXPECT_TRUE(p.contains(*Ipv4Address::parse("10.1.0.0")));
+  EXPECT_FALSE(p.contains(*Ipv4Address::parse("10.2.0.0")));
+  EXPECT_TRUE(p.contains(*Ipv4Prefix::parse("10.1.2.0/24")));
+  EXPECT_FALSE(p.contains(*Ipv4Prefix::parse("10.0.0.0/8")));  // less specific
+  EXPECT_TRUE(p.contains(p));
+}
+
+TEST(Ipv4Prefix, DefaultRouteContainsEverything) {
+  auto any = *Ipv4Prefix::parse("0.0.0.0/0");
+  EXPECT_TRUE(any.contains(*Ipv4Address::parse("255.255.255.255")));
+  EXPECT_TRUE(any.contains(*Ipv4Address::parse("0.0.0.0")));
+  EXPECT_EQ(any.size(), uint64_t(1) << 32);
+}
+
+TEST(Ipv4Prefix, Overlaps) {
+  auto a = *Ipv4Prefix::parse("10.0.0.0/8");
+  auto b = *Ipv4Prefix::parse("10.1.0.0/16");
+  auto c = *Ipv4Prefix::parse("11.0.0.0/8");
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(Ipv4Prefix, FirstLastAddress) {
+  auto p = *Ipv4Prefix::parse("100.64.0.2/31");
+  EXPECT_EQ(p.first_address().to_string(), "100.64.0.2");
+  EXPECT_EQ(p.last_address().to_string(), "100.64.0.3");
+  auto host = Ipv4Prefix::host(*Ipv4Address::parse("1.2.3.4"));
+  EXPECT_EQ(host.first_address(), host.last_address());
+  EXPECT_EQ(host.size(), 1u);
+}
+
+TEST(InterfaceAddress, KeepsHostAndSubnet) {
+  auto ia = InterfaceAddress::parse("100.64.0.1/31");
+  ASSERT_TRUE(ia.has_value());
+  EXPECT_EQ(ia->address.to_string(), "100.64.0.1");
+  EXPECT_EQ(ia->subnet.to_string(), "100.64.0.0/31");
+  EXPECT_EQ(ia->to_string(), "100.64.0.1/31");
+  EXPECT_FALSE(InterfaceAddress::parse("100.64.0.1").has_value());
+}
+
+}  // namespace
+}  // namespace mfv::net

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "net/prefix_trie.hpp"
+#include "util/rng.hpp"
+
+namespace mfv::net {
+namespace {
+
+Ipv4Prefix pfx(const std::string& text) { return *Ipv4Prefix::parse(text); }
+Ipv4Address addr(const std::string& text) { return *Ipv4Address::parse(text); }
+
+TEST(PrefixTrie, InsertFindErase) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.insert(pfx("10.0.0.0/8"), 1));
+  EXPECT_FALSE(trie.insert(pfx("10.0.0.0/8"), 2));  // replace
+  EXPECT_EQ(*trie.find(pfx("10.0.0.0/8")), 2);
+  EXPECT_EQ(trie.find(pfx("10.0.0.0/16")), nullptr);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_TRUE(trie.erase(pfx("10.0.0.0/8")));
+  EXPECT_FALSE(trie.erase(pfx("10.0.0.0/8")));
+  EXPECT_TRUE(trie.empty());
+}
+
+TEST(PrefixTrie, LongestMatchPicksMostSpecific) {
+  PrefixTrie<std::string> trie;
+  trie.insert(pfx("0.0.0.0/0"), "default");
+  trie.insert(pfx("10.0.0.0/8"), "eight");
+  trie.insert(pfx("10.1.0.0/16"), "sixteen");
+  trie.insert(pfx("10.1.2.0/24"), "twentyfour");
+
+  auto m = trie.longest_match(addr("10.1.2.3"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->second, "twentyfour");
+  EXPECT_EQ(m->first, pfx("10.1.2.0/24"));
+
+  EXPECT_EQ(*trie.longest_match(addr("10.1.99.1"))->second, "sixteen");
+  EXPECT_EQ(*trie.longest_match(addr("10.99.0.1"))->second, "eight");
+  EXPECT_EQ(*trie.longest_match(addr("192.168.0.1"))->second, "default");
+}
+
+TEST(PrefixTrie, NoMatchWithoutDefault) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.0/8"), 1);
+  EXPECT_FALSE(trie.longest_match(addr("11.0.0.1")).has_value());
+}
+
+TEST(PrefixTrie, HostRouteMatches) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("10.0.0.1/32"), 7);
+  EXPECT_TRUE(trie.longest_match(addr("10.0.0.1")).has_value());
+  EXPECT_FALSE(trie.longest_match(addr("10.0.0.2")).has_value());
+}
+
+TEST(PrefixTrie, AllMatchesShortestFirst) {
+  PrefixTrie<int> trie;
+  trie.insert(pfx("0.0.0.0/0"), 0);
+  trie.insert(pfx("10.0.0.0/8"), 8);
+  trie.insert(pfx("10.1.0.0/16"), 16);
+  auto matches = trie.all_matches(addr("10.1.0.5"));
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(*matches[0].second, 0);
+  EXPECT_EQ(*matches[1].second, 8);
+  EXPECT_EQ(*matches[2].second, 16);
+}
+
+TEST(PrefixTrie, ForEachVisitsAll) {
+  PrefixTrie<int> trie;
+  std::vector<std::string> inserted = {"0.0.0.0/0", "10.0.0.0/8", "10.1.0.0/16",
+                                       "192.168.1.0/24", "255.255.255.255/32"};
+  for (size_t i = 0; i < inserted.size(); ++i) trie.insert(pfx(inserted[i]), int(i));
+  std::map<std::string, int> seen;
+  trie.for_each([&](const Ipv4Prefix& p, const int& v) { seen[p.to_string()] = v; });
+  EXPECT_EQ(seen.size(), inserted.size());
+  for (size_t i = 0; i < inserted.size(); ++i) EXPECT_EQ(seen[inserted[i]], int(i));
+}
+
+// Property test: trie LPM agrees with a brute-force scan over a random
+// prefix population.
+TEST(PrefixTrie, PropertyMatchesBruteForce) {
+  util::Pcg32 rng(1234);
+  PrefixTrie<int> trie;
+  std::vector<std::pair<Ipv4Prefix, int>> prefixes;
+  for (int i = 0; i < 300; ++i) {
+    Ipv4Address address(rng.next());
+    uint8_t length = static_cast<uint8_t>(rng.next_below(33));
+    Ipv4Prefix prefix(address, length);
+    bool fresh = trie.insert(prefix, i);
+    if (fresh) prefixes.emplace_back(prefix, i);
+    else {
+      for (auto& [p, v] : prefixes)
+        if (p == prefix) v = i;
+    }
+  }
+  for (int trial = 0; trial < 2000; ++trial) {
+    Ipv4Address probe(rng.next());
+    // Brute force: most specific containing prefix, latest value.
+    const std::pair<Ipv4Prefix, int>* best = nullptr;
+    for (const auto& entry : prefixes) {
+      if (!entry.first.contains(probe)) continue;
+      if (best == nullptr || entry.first.length() > best->first.length()) best = &entry;
+    }
+    auto got = trie.longest_match(probe);
+    if (best == nullptr) {
+      EXPECT_FALSE(got.has_value());
+    } else {
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got->second, best->second)
+          << probe.to_string() << " expected " << best->first.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mfv::net

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "orch/cluster.hpp"
+#include "workload/generator.hpp"
+
+namespace mfv::orch {
+namespace {
+
+std::vector<PodSpec> ceos_pods(int count) {
+  std::vector<PodSpec> pods;
+  for (int i = 0; i < count; ++i)
+    pods.push_back({"r" + std::to_string(i), config::Vendor::kCeos, ImageKind::kContainer});
+  return pods;
+}
+
+TEST(ResourceProfiles, PaperNumbers) {
+  ResourceProfile ceos = resource_profile(config::Vendor::kCeos, ImageKind::kContainer);
+  EXPECT_DOUBLE_EQ(ceos.vcpus, 0.5);  // "0.5 vCPUs and 1 GB of RAM"
+  EXPECT_EQ(ceos.memory_mb, 1024u);
+  ResourceProfile vjun = resource_profile(config::Vendor::kVjun, ImageKind::kContainer);
+  EXPECT_GT(vjun.vcpus, ceos.vcpus);
+}
+
+TEST(Scheduler, SpreadsAcrossMachinesFirstFit) {
+  ClusterSpec cluster = ClusterSpec::standard(2);
+  auto placement = schedule_pods(cluster, ceos_pods(100));
+  ASSERT_TRUE(placement.ok());
+  std::map<std::string, int> per_machine;
+  for (const auto& [pod, machine] : placement->assignment) ++per_machine[machine];
+  EXPECT_EQ(per_machine["node-0"], 60);  // first machine filled to capacity
+  EXPECT_EQ(per_machine["node-1"], 40);
+}
+
+TEST(Scheduler, MixedVendorsPackByCpu) {
+  ClusterSpec cluster = ClusterSpec::standard(1);
+  std::vector<PodSpec> pods;
+  // 20 vjun (1.0 vCPU) + 20 ceos (0.5 vCPU) = 30 vCPU exactly.
+  for (int i = 0; i < 20; ++i)
+    pods.push_back({"v" + std::to_string(i), config::Vendor::kVjun, ImageKind::kContainer});
+  for (int i = 0; i < 20; ++i)
+    pods.push_back({"c" + std::to_string(i), config::Vendor::kCeos, ImageKind::kContainer});
+  EXPECT_TRUE(schedule_pods(cluster, pods).ok());
+  pods.push_back({"extra", config::Vendor::kCeos, ImageKind::kContainer});
+  EXPECT_FALSE(schedule_pods(cluster, pods).ok());
+}
+
+TEST(Scheduler, MemoryCanBindInsteadOfCpu) {
+  MachineSpec machine;
+  machine.vcpus = 128;         // plenty of CPU
+  machine.memory_mb = 10240;   // 10 GB only
+  ResourceProfile ceos = resource_profile(config::Vendor::kCeos, ImageKind::kContainer);
+  EXPECT_EQ(machine_capacity(machine, ceos), 10);
+}
+
+TEST(Scheduler, EmptyClusterFailsEveryPod) {
+  EXPECT_FALSE(schedule_pods(ClusterSpec{}, ceos_pods(1)).ok());
+}
+
+TEST(BootModel, DeterministicForSeed) {
+  ClusterSpec cluster = ClusterSpec::standard(2);
+  auto pods = ceos_pods(50);
+  auto placement = schedule_pods(cluster, pods);
+  ASSERT_TRUE(placement.ok());
+  BootModelOptions options;
+  options.seed = 5;
+  BootPlan a = plan_boot(cluster, pods, *placement, options);
+  BootPlan b = plan_boot(cluster, pods, *placement, options);
+  EXPECT_EQ(a.total_startup.count_micros(), b.total_startup.count_micros());
+  EXPECT_EQ(a.ready_at, b.ready_at);
+}
+
+TEST(BootModel, EveryPodGetsAReadyTimeAfterInit) {
+  ClusterSpec cluster = ClusterSpec::standard(1);
+  auto pods = ceos_pods(30);
+  auto placement = schedule_pods(cluster, pods);
+  ASSERT_TRUE(placement.ok());
+  BootModelOptions options;
+  BootPlan plan = plan_boot(cluster, pods, *placement, options);
+  EXPECT_EQ(plan.ready_at.size(), 30u);
+  for (const auto& [pod, ready] : plan.ready_at) {
+    EXPECT_GT(ready, options.base_init) << pod;
+    EXPECT_LE(ready, plan.total_startup) << pod;
+  }
+}
+
+TEST(BootModel, VmImagesBootSlower) {
+  ClusterSpec cluster = ClusterSpec::standard(4);
+  std::vector<PodSpec> container_pods = ceos_pods(30);
+  std::vector<PodSpec> vm_pods;
+  for (int i = 0; i < 30; ++i)
+    vm_pods.push_back({"r" + std::to_string(i), config::Vendor::kCeos, ImageKind::kVm});
+  auto cp = schedule_pods(cluster, container_pods);
+  auto vp = schedule_pods(cluster, vm_pods);
+  ASSERT_TRUE(cp.ok());
+  ASSERT_TRUE(vp.ok());
+  BootPlan container_plan = plan_boot(cluster, container_pods, *cp);
+  BootPlan vm_plan = plan_boot(cluster, vm_pods, *vp);
+  EXPECT_GT(vm_plan.total_startup.count_micros(),
+            container_plan.total_startup.count_micros());
+}
+
+TEST(Deployment, PlanForTopologyCoversAllNodes) {
+  emu::Topology topology = workload::wan_topology({.routers = 25, .seed = 2});
+  auto plan = plan_deployment(ClusterSpec::standard(1), topology);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->pods.size(), 25u);
+  EXPECT_EQ(plan->placement.assignment.size(), 25u);
+  EXPECT_EQ(plan->boot.ready_at.size(), 25u);
+}
+
+TEST(Deployment, OverCapacityTopologyFails) {
+  emu::Topology topology = workload::wan_topology({.routers = 61, .seed = 2});
+  EXPECT_FALSE(plan_deployment(ClusterSpec::standard(1), topology).ok());
+  EXPECT_TRUE(plan_deployment(ClusterSpec::standard(2), topology).ok());
+}
+
+}  // namespace
+}  // namespace mfv::orch

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "proto/policy.hpp"
+
+namespace mfv::proto {
+namespace {
+
+struct PolicyFixture : ::testing::Test {
+  void SetUp() override {
+    config::PrefixList list;
+    list.name = "PL";
+    list.entries.push_back({10, true, *net::Ipv4Prefix::parse("10.0.0.0/8"), 0, 24});
+    list.entries.push_back({20, false, *net::Ipv4Prefix::parse("0.0.0.0/0"), 0, 32});
+    prefix_lists["PL"] = list;
+
+    config::CommunityList communities;
+    communities.name = "CL";
+    communities.communities = {config::make_community(65001, 100)};
+    community_lists["CL"] = communities;
+
+    context.route_maps = &route_maps;
+    context.prefix_lists = &prefix_lists;
+    context.community_lists = &community_lists;
+    context.local_as = 65001;
+  }
+
+  BgpRoute route(const std::string& prefix) {
+    BgpRoute r;
+    r.prefix = *net::Ipv4Prefix::parse(prefix);
+    r.attributes.local_pref = 100;
+    return r;
+  }
+
+  std::map<std::string, config::RouteMap> route_maps;
+  std::map<std::string, config::PrefixList> prefix_lists;
+  std::map<std::string, config::CommunityList> community_lists;
+  PolicyContext context;
+};
+
+TEST_F(PolicyFixture, MissingRouteMapPermitsUnchanged) {
+  auto result = apply_route_map(context, std::nullopt, route("10.1.0.0/16"));
+  EXPECT_TRUE(result.permitted);
+  auto dangling = apply_route_map(context, std::string("NOPE"), route("10.1.0.0/16"));
+  EXPECT_TRUE(dangling.permitted);
+}
+
+TEST_F(PolicyFixture, PrefixListMatchGates) {
+  config::RouteMap map;
+  map.name = "RM";
+  config::RouteMapClause clause;
+  clause.seq = 10;
+  clause.match_prefix_list = "PL";
+  clause.set_local_pref = 200;
+  map.clauses.push_back(clause);
+  route_maps["RM"] = map;
+
+  auto hit = apply_route_map(context, std::string("RM"), route("10.1.0.0/16"));
+  EXPECT_TRUE(hit.permitted);
+  EXPECT_EQ(hit.route.attributes.local_pref, 200u);
+
+  // /25 exceeds le 24 bound: first entry misses, deny entry matches ->
+  // prefix-list denies -> clause does not match -> implicit deny at end.
+  auto miss = apply_route_map(context, std::string("RM"), route("10.1.0.0/25"));
+  EXPECT_FALSE(miss.permitted);
+  auto outside = apply_route_map(context, std::string("RM"), route("172.16.0.0/16"));
+  EXPECT_FALSE(outside.permitted);
+}
+
+TEST_F(PolicyFixture, DenyClauseShortCircuits) {
+  config::RouteMap map;
+  map.name = "RM";
+  config::RouteMapClause deny;
+  deny.seq = 10;
+  deny.permit = false;
+  deny.match_prefix_list = "PL";
+  map.clauses.push_back(deny);
+  config::RouteMapClause allow;
+  allow.seq = 20;
+  allow.permit = true;
+  map.clauses.push_back(allow);
+  route_maps["RM"] = map;
+
+  EXPECT_FALSE(apply_route_map(context, std::string("RM"), route("10.1.0.0/16")).permitted);
+  EXPECT_TRUE(apply_route_map(context, std::string("RM"), route("172.16.0.0/16")).permitted);
+}
+
+TEST_F(PolicyFixture, ClausesEvaluatedInSeqOrderNotInsertion) {
+  config::RouteMap map;
+  map.name = "RM";
+  config::RouteMapClause late;
+  late.seq = 20;
+  late.set_local_pref = 111;
+  map.clauses.push_back(late);  // inserted first, evaluated second
+  config::RouteMapClause early;
+  early.seq = 10;
+  early.set_local_pref = 222;
+  map.clauses.push_back(early);
+  route_maps["RM"] = map;
+
+  auto result = apply_route_map(context, std::string("RM"), route("10.1.0.0/16"));
+  EXPECT_EQ(result.route.attributes.local_pref, 222u);
+}
+
+TEST_F(PolicyFixture, CommunityMatchAndSet) {
+  config::RouteMap map;
+  map.name = "RM";
+  config::RouteMapClause clause;
+  clause.seq = 10;
+  clause.match_community_list = "CL";
+  clause.set_communities = {config::make_community(65001, 999)};
+  clause.additive_communities = true;
+  map.clauses.push_back(clause);
+  route_maps["RM"] = map;
+
+  BgpRoute tagged = route("10.1.0.0/16");
+  tagged.attributes.communities = {config::make_community(65001, 100)};
+  auto result = apply_route_map(context, std::string("RM"), tagged);
+  EXPECT_TRUE(result.permitted);
+  EXPECT_EQ(result.route.attributes.communities.size(), 2u);
+
+  // Without the community the clause misses.
+  EXPECT_FALSE(apply_route_map(context, std::string("RM"), route("10.1.0.0/16")).permitted);
+}
+
+TEST_F(PolicyFixture, NonAdditiveSetReplacesCommunities) {
+  config::RouteMap map;
+  map.name = "RM";
+  config::RouteMapClause clause;
+  clause.seq = 10;
+  clause.set_communities = {config::make_community(65001, 999)};
+  map.clauses.push_back(clause);
+  route_maps["RM"] = map;
+
+  BgpRoute tagged = route("10.1.0.0/16");
+  tagged.attributes.communities = {config::make_community(65001, 100),
+                                   config::make_community(65001, 200)};
+  auto result = apply_route_map(context, std::string("RM"), tagged);
+  ASSERT_EQ(result.route.attributes.communities.size(), 1u);
+  EXPECT_EQ(result.route.attributes.communities[0], config::make_community(65001, 999));
+}
+
+TEST_F(PolicyFixture, PrependAndNextHopAndMed) {
+  config::RouteMap map;
+  map.name = "RM";
+  config::RouteMapClause clause;
+  clause.seq = 10;
+  clause.prepend_count = 3;
+  clause.set_next_hop = net::Ipv4Address::parse("9.9.9.9");
+  clause.set_med = 77;
+  map.clauses.push_back(clause);
+  route_maps["RM"] = map;
+
+  BgpRoute r = route("10.1.0.0/16");
+  r.attributes.as_path = {65002};
+  auto result = apply_route_map(context, std::string("RM"), r);
+  ASSERT_EQ(result.route.attributes.as_path.size(), 4u);
+  EXPECT_EQ(result.route.attributes.as_path[0], 65001u);  // own AS prepended
+  EXPECT_EQ(result.route.attributes.as_path[3], 65002u);
+  EXPECT_EQ(result.route.attributes.next_hop.to_string(), "9.9.9.9");
+  EXPECT_EQ(result.route.attributes.med, 77u);
+}
+
+TEST_F(PolicyFixture, MedMatch) {
+  config::RouteMap map;
+  map.name = "RM";
+  config::RouteMapClause clause;
+  clause.seq = 10;
+  clause.match_med = 50;
+  map.clauses.push_back(clause);
+  route_maps["RM"] = map;
+
+  BgpRoute r = route("10.1.0.0/16");
+  r.attributes.med = 50;
+  EXPECT_TRUE(apply_route_map(context, std::string("RM"), r).permitted);
+  r.attributes.med = 51;
+  EXPECT_FALSE(apply_route_map(context, std::string("RM"), r).permitted);
+}
+
+TEST(SystemId, ParseAndFromNet) {
+  auto id = SystemId::parse("1010.1040.1030");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(id->to_string(), "1010.1040.1030");
+  auto from_net = SystemId::from_net("49.0001.1010.1040.1030.00");
+  ASSERT_TRUE(from_net.has_value());
+  EXPECT_EQ(*from_net, *id);
+  EXPECT_FALSE(SystemId::from_net("49.0001").has_value());
+  EXPECT_FALSE(SystemId::parse("10.1040.1030").has_value());   // short group
+  EXPECT_FALSE(SystemId::parse("xxxx.yyyy.zzzz").has_value() &&
+               false);  // hex digits only (x/y/z invalid)
+  EXPECT_FALSE(SystemId::parse("zzzz.0000.0000").has_value());
+}
+
+}  // namespace
+}  // namespace mfv::proto

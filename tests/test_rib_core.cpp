@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "rib/rib.hpp"
+
+namespace mfv::rib {
+namespace {
+
+net::Ipv4Prefix pfx(const std::string& text) { return *net::Ipv4Prefix::parse(text); }
+net::Ipv4Address addr(const std::string& text) { return *net::Ipv4Address::parse(text); }
+
+RibRoute make_route(const std::string& prefix, Protocol protocol, uint32_t metric = 0,
+                    const std::string& next_hop = "", const std::string& interface = "",
+                    const std::string& source = "") {
+  RibRoute route;
+  route.prefix = pfx(prefix);
+  route.protocol = protocol;
+  route.admin_distance = default_admin_distance(protocol);
+  route.metric = metric;
+  if (!next_hop.empty()) route.next_hop = addr(next_hop);
+  if (!interface.empty()) route.interface = interface;
+  route.source = source;
+  return route;
+}
+
+TEST(Rib, AdminDistanceOrdering) {
+  // Connected < static < TE < eBGP < IS-IS < iBGP, EOS-style.
+  EXPECT_LT(default_admin_distance(Protocol::kConnected),
+            default_admin_distance(Protocol::kStatic));
+  EXPECT_LT(default_admin_distance(Protocol::kStatic), default_admin_distance(Protocol::kTe));
+  EXPECT_LT(default_admin_distance(Protocol::kTe), default_admin_distance(Protocol::kBgp));
+  EXPECT_LT(default_admin_distance(Protocol::kBgp), default_admin_distance(Protocol::kIsis));
+  EXPECT_LT(default_admin_distance(Protocol::kIsis), default_admin_distance(Protocol::kIbgp));
+}
+
+TEST(Rib, BestPrefersLowerAdminDistance) {
+  Rib rib;
+  rib.add(make_route("10.0.0.0/8", Protocol::kIsis, 20, "1.1.1.1", "Ethernet1"));
+  rib.add(make_route("10.0.0.0/8", Protocol::kStatic, 0, "2.2.2.2"));
+  auto best = rib.best(pfx("10.0.0.0/8"));
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_EQ(best[0].protocol, Protocol::kStatic);
+  // Both candidates still visible.
+  EXPECT_EQ(rib.candidates(pfx("10.0.0.0/8")).size(), 2u);
+}
+
+TEST(Rib, BestPrefersLowerMetricWithinProtocol) {
+  Rib rib;
+  rib.add(make_route("10.0.0.0/8", Protocol::kIsis, 30, "1.1.1.1", "Ethernet1"));
+  rib.add(make_route("10.0.0.0/8", Protocol::kIsis, 20, "2.2.2.2", "Ethernet2"));
+  auto best = rib.best(pfx("10.0.0.0/8"));
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_EQ(best[0].metric, 20u);
+}
+
+TEST(Rib, EqualCostRoutesFormEcmpSet) {
+  Rib rib;
+  rib.add(make_route("10.0.0.0/8", Protocol::kIsis, 20, "1.1.1.1", "Ethernet1"));
+  rib.add(make_route("10.0.0.0/8", Protocol::kIsis, 20, "2.2.2.2", "Ethernet2"));
+  EXPECT_EQ(rib.best(pfx("10.0.0.0/8")).size(), 2u);
+}
+
+TEST(Rib, AddReportsBestChange) {
+  Rib rib;
+  EXPECT_TRUE(rib.add(make_route("10.0.0.0/8", Protocol::kIsis, 20, "1.1.1.1", "Ethernet1")));
+  // Worse route: best unchanged.
+  EXPECT_FALSE(rib.add(make_route("10.0.0.0/8", Protocol::kIbgp, 0, "9.9.9.9")));
+  // Better route: best changes.
+  EXPECT_TRUE(rib.add(make_route("10.0.0.0/8", Protocol::kStatic, 0, "2.2.2.2")));
+}
+
+TEST(Rib, ReplaceInSlotUpdatesMetric) {
+  Rib rib;
+  RibRoute route = make_route("10.0.0.0/8", Protocol::kIsis, 20, "1.1.1.1", "Ethernet1", "i");
+  rib.add(route);
+  route.metric = 40;
+  EXPECT_TRUE(rib.add(route));  // replaced, best metric changed
+  auto best = rib.best(pfx("10.0.0.0/8"));
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_EQ(best[0].metric, 40u);
+  EXPECT_EQ(rib.route_count(), 1u);
+}
+
+TEST(Rib, RemoveAndClearProtocol) {
+  Rib rib;
+  rib.add(make_route("10.0.0.0/8", Protocol::kIsis, 20, "1.1.1.1", "Ethernet1", "default"));
+  rib.add(make_route("10.1.0.0/16", Protocol::kIsis, 30, "1.1.1.1", "Ethernet1", "default"));
+  rib.add(make_route("10.2.0.0/16", Protocol::kStatic, 0, "2.2.2.2", "", "static"));
+  EXPECT_EQ(rib.clear_protocol(Protocol::kIsis, "default"), 2u);
+  EXPECT_EQ(rib.prefix_count(), 1u);
+  EXPECT_TRUE(rib.remove(make_route("10.2.0.0/16", Protocol::kStatic, 0, "2.2.2.2", "", "static")));
+  EXPECT_EQ(rib.prefix_count(), 0u);
+  EXPECT_FALSE(rib.remove(make_route("10.2.0.0/16", Protocol::kStatic, 0, "2.2.2.2")));
+}
+
+TEST(Rib, ClearProtocolBySourceOnly) {
+  Rib rib;
+  rib.add(make_route("10.0.0.0/8", Protocol::kIsis, 10, "1.1.1.1", "Ethernet1", "a"));
+  rib.add(make_route("10.1.0.0/16", Protocol::kIsis, 10, "1.1.1.1", "Ethernet1", "b"));
+  EXPECT_EQ(rib.clear_protocol(Protocol::kIsis, "a"), 1u);
+  EXPECT_EQ(rib.prefix_count(), 1u);
+}
+
+TEST(Rib, LongestMatchUsesMostSpecificPrefix) {
+  Rib rib;
+  rib.add(make_route("0.0.0.0/0", Protocol::kStatic, 0, "", "", "static"));
+  rib.candidates(pfx("0.0.0.0/0"));
+  rib.add(make_route("10.0.0.0/8", Protocol::kIsis, 10, "1.1.1.1", "Ethernet1"));
+  rib.add(make_route("10.1.0.0/16", Protocol::kIsis, 10, "2.2.2.2", "Ethernet2"));
+  auto best = rib.longest_match(addr("10.1.5.5"));
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_EQ(best[0].prefix, pfx("10.1.0.0/16"));
+  EXPECT_EQ(rib.longest_match(addr("172.16.0.1"))[0].prefix, pfx("0.0.0.0/0"));
+}
+
+TEST(Rib, LongestMatchAfterErasureFallsBack) {
+  Rib rib;
+  rib.add(make_route("10.0.0.0/8", Protocol::kIsis, 10, "1.1.1.1", "Ethernet1"));
+  RibRoute specific = make_route("10.1.0.0/16", Protocol::kIsis, 10, "2.2.2.2", "Ethernet2");
+  rib.add(specific);
+  EXPECT_EQ(rib.longest_match(addr("10.1.0.1"))[0].prefix, pfx("10.1.0.0/16"));
+  rib.remove(specific);
+  EXPECT_EQ(rib.longest_match(addr("10.1.0.1"))[0].prefix, pfx("10.0.0.0/8"));
+}
+
+TEST(Rib, ForEachBestVisitsEveryPrefixOnce) {
+  Rib rib;
+  rib.add(make_route("10.0.0.0/8", Protocol::kIsis, 10, "1.1.1.1", "Ethernet1"));
+  rib.add(make_route("10.0.0.0/8", Protocol::kIbgp, 0, "9.9.9.9"));
+  rib.add(make_route("10.1.0.0/16", Protocol::kStatic, 0, "2.2.2.2"));
+  int visits = 0;
+  rib.for_each_best([&](const net::Ipv4Prefix& prefix, const std::vector<RibRoute>& best) {
+    ++visits;
+    ASSERT_FALSE(best.empty());
+    if (prefix == pfx("10.0.0.0/8")) EXPECT_EQ(best[0].protocol, Protocol::kIsis);
+  });
+  EXPECT_EQ(visits, 2);
+}
+
+}  // namespace
+}  // namespace mfv::rib

@@ -1,0 +1,205 @@
+// Recursive next-hop resolution and FIB compilation (RIB -> AFT).
+#include <gtest/gtest.h>
+
+#include "rib/rib.hpp"
+
+namespace mfv::rib {
+namespace {
+
+net::Ipv4Prefix pfx(const std::string& text) { return *net::Ipv4Prefix::parse(text); }
+net::Ipv4Address addr(const std::string& text) { return *net::Ipv4Address::parse(text); }
+
+/// Typical router RIB: connected link, IS-IS loopback route, recursive BGP.
+Rib typical_rib() {
+  Rib rib;
+  RibRoute connected;
+  connected.prefix = pfx("100.64.0.0/31");
+  connected.protocol = Protocol::kConnected;
+  connected.interface = "Ethernet1";
+  rib.add(connected);
+
+  RibRoute isis;
+  isis.prefix = pfx("2.2.2.2/32");  // remote loopback
+  isis.protocol = Protocol::kIsis;
+  isis.admin_distance = 115;
+  isis.metric = 20;
+  isis.next_hop = addr("100.64.0.1");
+  isis.interface = "Ethernet1";
+  rib.add(isis);
+
+  RibRoute bgp;  // BGP route with next hop = remote loopback (recursive)
+  bgp.prefix = pfx("203.0.113.0/24");
+  bgp.protocol = Protocol::kIbgp;
+  bgp.admin_distance = 200;
+  bgp.next_hop = addr("2.2.2.2");
+  rib.add(bgp);
+  return rib;
+}
+
+TEST(Resolve, DirectRouteResolvesToItself) {
+  Rib rib = typical_rib();
+  auto routes = rib.best(pfx("2.2.2.2/32"));
+  ASSERT_EQ(routes.size(), 1u);
+  auto resolved = resolve(rib, routes[0]);
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_EQ(resolved[0].next_hop->to_string(), "100.64.0.1");
+  EXPECT_EQ(resolved[0].interface, "Ethernet1");
+}
+
+TEST(Resolve, RecursiveBgpRouteResolvesThroughIgp) {
+  Rib rib = typical_rib();
+  auto routes = rib.best(pfx("203.0.113.0/24"));
+  ASSERT_EQ(routes.size(), 1u);
+  auto resolved = resolve(rib, routes[0]);
+  ASSERT_EQ(resolved.size(), 1u);
+  // Forwarding uses the IGP's adjacent next hop, not the BGP next hop.
+  EXPECT_EQ(resolved[0].next_hop->to_string(), "100.64.0.1");
+  EXPECT_EQ(resolved[0].interface, "Ethernet1");
+}
+
+TEST(Resolve, NextHopOnConnectedSubnetIsAdjacent) {
+  Rib rib = typical_rib();
+  RibRoute route;
+  route.prefix = pfx("198.51.100.0/24");
+  route.protocol = Protocol::kStatic;
+  route.next_hop = addr("100.64.0.1");  // directly on the connected /31
+  auto resolved = resolve(rib, route);
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_EQ(resolved[0].next_hop->to_string(), "100.64.0.1");
+  EXPECT_EQ(resolved[0].interface, "Ethernet1");
+}
+
+TEST(Resolve, UnresolvableNextHopYieldsNothing) {
+  Rib rib = typical_rib();
+  RibRoute route;
+  route.prefix = pfx("198.51.100.0/24");
+  route.protocol = Protocol::kStatic;
+  route.next_hop = addr("172.16.0.1");  // no covering route
+  EXPECT_TRUE(resolve(rib, route).empty());
+}
+
+TEST(Resolve, DropRouteResolvesToDrop) {
+  Rib rib;
+  RibRoute route;
+  route.prefix = pfx("0.0.0.0/0");
+  route.protocol = Protocol::kStatic;
+  route.drop = true;
+  auto resolved = resolve(rib, route);
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_TRUE(resolved[0].drop);
+}
+
+TEST(Resolve, TeLabelPropagatesThroughRecursion) {
+  Rib rib = typical_rib();
+  RibRoute te;
+  te.prefix = pfx("2.2.2.2/32");
+  te.protocol = Protocol::kTe;
+  te.admin_distance = 2;
+  te.next_hop = addr("100.64.0.1");
+  te.push_label = 100042;
+  auto resolved = resolve(rib, te);
+  ASSERT_EQ(resolved.size(), 1u);
+  ASSERT_TRUE(resolved[0].push_label.has_value());
+  EXPECT_EQ(*resolved[0].push_label, 100042u);
+}
+
+TEST(Resolve, SelfReferentialRouteTerminates) {
+  Rib rib;
+  RibRoute loopy;
+  loopy.prefix = pfx("10.0.0.0/8");
+  loopy.protocol = Protocol::kStatic;
+  loopy.next_hop = addr("10.0.0.1");  // resolves through itself
+  rib.add(loopy);
+  EXPECT_TRUE(resolve(rib, loopy).empty());
+}
+
+TEST(Resolve, TwoRouteResolutionCycleTerminates) {
+  Rib rib;
+  RibRoute a;
+  a.prefix = pfx("10.0.0.0/8");
+  a.protocol = Protocol::kStatic;
+  a.next_hop = addr("20.0.0.1");
+  rib.add(a);
+  RibRoute b;
+  b.prefix = pfx("20.0.0.0/8");
+  b.protocol = Protocol::kStatic;
+  b.next_hop = addr("10.0.0.1");
+  rib.add(b);
+  EXPECT_TRUE(resolve(rib, a).empty());
+  EXPECT_TRUE(resolve(rib, b).empty());
+}
+
+TEST(CompileFib, ProducesEntriesWithSharedNextHops) {
+  Rib rib = typical_rib();
+  aft::Aft fib = compile_fib(rib);
+  // Three prefixes: connected /31, loopback /32, BGP /24.
+  EXPECT_EQ(fib.entry_count(), 3u);
+  // The IS-IS route and the recursive BGP route share one next hop.
+  EXPECT_EQ(fib.next_hops().size(), 2u);  // adjacent hop + connected-attached hop
+
+  const aft::Ipv4Entry* bgp_entry = fib.ipv4_entry(pfx("203.0.113.0/24"));
+  ASSERT_NE(bgp_entry, nullptr);
+  EXPECT_EQ(bgp_entry->origin_protocol, "IBGP");
+  auto hops = fib.forward(addr("203.0.113.7"));
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0].ip_address->to_string(), "100.64.0.1");
+}
+
+TEST(CompileFib, EcmpBecomesOneGroupWithTwoHops) {
+  Rib rib;
+  for (int i = 1; i <= 2; ++i) {
+    RibRoute connected;
+    connected.prefix = pfx("100.64." + std::to_string(i) + ".0/31");
+    connected.protocol = Protocol::kConnected;
+    connected.interface = "Ethernet" + std::to_string(i);
+    connected.source = connected.interface.value();
+    rib.add(connected);
+
+    RibRoute isis;
+    isis.prefix = pfx("2.2.2.2/32");
+    isis.protocol = Protocol::kIsis;
+    isis.admin_distance = 115;
+    isis.metric = 20;
+    isis.next_hop = addr("100.64." + std::to_string(i) + ".1");
+    isis.interface = "Ethernet" + std::to_string(i);
+    isis.source = "default";
+    rib.add(isis);
+  }
+  aft::Aft fib = compile_fib(rib);
+  auto hops = fib.forward(addr("2.2.2.2"));
+  EXPECT_EQ(hops.size(), 2u);
+}
+
+TEST(CompileFib, UnresolvableRouteNotProgrammed) {
+  Rib rib;
+  RibRoute bgp;
+  bgp.prefix = pfx("203.0.113.0/24");
+  bgp.protocol = Protocol::kBgp;
+  bgp.admin_distance = 20;
+  bgp.next_hop = addr("2.2.2.2");  // nothing resolves this
+  rib.add(bgp);
+  aft::Aft fib = compile_fib(rib);
+  EXPECT_EQ(fib.entry_count(), 0u);
+}
+
+TEST(CompileFib, DropRouteProgrammedAsDrop) {
+  Rib rib;
+  RibRoute null_route;
+  null_route.prefix = pfx("0.0.0.0/0");
+  null_route.protocol = Protocol::kStatic;
+  null_route.drop = true;
+  rib.add(null_route);
+  aft::Aft fib = compile_fib(rib);
+  auto hops = fib.forward(addr("8.8.8.8"));
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_TRUE(hops[0].drop);
+}
+
+TEST(CompileFib, IdenticalRibsCompileForwardingEqual) {
+  aft::Aft a = compile_fib(typical_rib());
+  aft::Aft b = compile_fib(typical_rib());
+  EXPECT_TRUE(a.forwarding_equal(b));
+}
+
+}  // namespace
+}  // namespace mfv::rib

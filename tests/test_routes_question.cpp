@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "api/session.hpp"
+#include "workload/generator.hpp"
+#include "workload/scenarios.hpp"
+
+namespace mfv {
+namespace {
+
+TEST(RoutesQuestion, ListsEveryFibEntryForOneNode) {
+  api::Session session;
+  ASSERT_TRUE(session.init_snapshot(workload::fig3_line_topology(), "snap").ok());
+  auto rows = session.routes("snap", "R2");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), session.snapshot("snap")->devices.at("R2").aft.entry_count());
+  for (const auto& row : *rows) {
+    EXPECT_EQ(row.node, "R2");
+    EXPECT_FALSE(row.next_hops.empty()) << row.to_string();
+    EXPECT_FALSE(row.protocol.empty());
+  }
+}
+
+TEST(RoutesQuestion, EmptyNodeMeansAllNodes) {
+  api::Session session;
+  ASSERT_TRUE(session.init_snapshot(workload::fig3_line_topology(), "snap").ok());
+  auto rows = session.routes("snap");
+  ASSERT_TRUE(rows.ok());
+  size_t total = 0;
+  for (const auto& [node, device] : session.snapshot("snap")->devices)
+    total += device.aft.entry_count();
+  EXPECT_EQ(rows->size(), total);
+}
+
+TEST(RoutesQuestion, RendersProtocolsAndNextHops) {
+  api::Session session;
+  ASSERT_TRUE(session.init_snapshot(workload::fig3_line_topology(), "snap").ok());
+  auto rows = session.routes("snap", "R1");
+  ASSERT_TRUE(rows.ok());
+  bool saw_isis = false;
+  bool saw_connected = false;
+  for (const auto& row : *rows) {
+    if (row.protocol == "ISIS") {
+      saw_isis = true;
+      EXPECT_NE(row.next_hops[0].find("via"), std::string::npos);
+    }
+    if (row.protocol == "CONNECTED") saw_connected = true;
+  }
+  EXPECT_TRUE(saw_isis);
+  EXPECT_TRUE(saw_connected);
+}
+
+TEST(RoutesQuestion, UnknownSnapshotErrors) {
+  api::Session session;
+  EXPECT_EQ(session.routes("ghost").status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(OspfWan, GeneratorIgpChoiceConverges) {
+  workload::WanOptions options;
+  options.routers = 10;
+  options.seed = 4;
+  options.igp = workload::WanOptions::Igp::kOspf;
+  api::Session session;
+  ASSERT_TRUE(session.init_snapshot(workload::wan_topology(options), "ospf-wan").ok());
+  auto pairwise = session.pairwise_reachability("ospf-wan");
+  ASSERT_TRUE(pairwise.ok());
+  EXPECT_TRUE(pairwise->full_mesh());
+  // Every IGP route is OSPF, no IS-IS anywhere.
+  auto rows = session.routes("ospf-wan");
+  ASSERT_TRUE(rows.ok());
+  for (const auto& row : *rows) EXPECT_NE(row.protocol, "ISIS");
+}
+
+}  // namespace
+}  // namespace mfv

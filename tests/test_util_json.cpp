@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "util/json.hpp"
+
+namespace mfv::util {
+namespace {
+
+TEST(Json, BuildAndDump) {
+  Json j = Json::object();
+  j["name"] = "R1";
+  j["count"] = 3;
+  j["up"] = true;
+  Json array = Json::array();
+  array.push_back(1);
+  array.push_back("two");
+  j["items"] = std::move(array);
+  EXPECT_EQ(j.dump(), R"({"name":"R1","count":3,"up":true,"items":[1,"two"]})");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json j = Json::object();
+  j["z"] = 1;
+  j["a"] = 2;
+  EXPECT_EQ(j.dump(), R"({"z":1,"a":2})");
+}
+
+TEST(Json, ParseRoundTrip) {
+  const std::string text =
+      R"({"s":"hi","i":-5,"d":2.5,"b":false,"n":null,"a":[1,2,3],"o":{"k":"v"}})";
+  auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("s")->as_string(), "hi");
+  EXPECT_EQ(parsed->find("i")->as_int(), -5);
+  EXPECT_DOUBLE_EQ(parsed->find("d")->as_double(), 2.5);
+  EXPECT_FALSE(parsed->find("b")->as_bool());
+  EXPECT_TRUE(parsed->find("n")->is_null());
+  EXPECT_EQ(parsed->find("a")->as_array().size(), 3u);
+  EXPECT_EQ(parsed->find("o")->find("k")->as_string(), "v");
+  EXPECT_EQ(Json::parse(parsed->dump())->dump(), parsed->dump());
+}
+
+TEST(Json, StringEscapes) {
+  Json j = Json::object();
+  j["text"] = "line1\nline2\t\"quoted\"\\";
+  auto parsed = Json::parse(j.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("text")->as_string(), "line1\nline2\t\"quoted\"\\");
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  auto parsed = Json::parse(R"("Aé")");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, RejectsMalformed) {
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":}").has_value());
+  EXPECT_FALSE(Json::parse("tru").has_value());
+  EXPECT_FALSE(Json::parse("1 2").has_value());  // trailing garbage
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(Json::parse("").has_value());
+}
+
+TEST(Json, PrettyPrint) {
+  Json j = Json::object();
+  j["a"] = 1;
+  EXPECT_EQ(j.dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, FindOnNonObjectIsNull) {
+  Json j = Json(5);
+  EXPECT_EQ(j.find("x"), nullptr);
+}
+
+TEST(Json, LargeIntegersSurvive) {
+  Json j = Json(int64_t{1234567890123456789});
+  auto parsed = Json::parse(j.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_int(), 1234567890123456789);
+}
+
+}  // namespace
+}  // namespace mfv::util

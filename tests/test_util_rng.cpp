@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace mfv::util {
+namespace {
+
+TEST(Pcg32, DeterministicForSeed) {
+  Pcg32 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiverge) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, NextBelowInRange) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Pcg32, NextBelowCoversAllValues) {
+  Pcg32 rng(7);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Pcg32, NextInInclusiveBounds) {
+  Pcg32 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    uint32_t v = rng.next_in(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+  }
+  // Degenerate range.
+  EXPECT_EQ(rng.next_in(5, 5), 5u);
+}
+
+TEST(Pcg32, DoubleInUnitInterval) {
+  Pcg32 rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);  // rough uniformity
+}
+
+}  // namespace
+}  // namespace mfv::util

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "util/strings.hpp"
+
+namespace mfv::util {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,,c", ','), (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitWhitespace, DropsEmptyFields) {
+  EXPECT_EQ(split_whitespace("  a\t b  c "), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_whitespace("   ").empty());
+  EXPECT_TRUE(split_whitespace("").empty());
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("\t\n x \r"), "x");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Join, InsertsSeparators) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("Ethernet1", "Ethernet"));
+  EXPECT_FALSE(starts_with("Eth", "Ethernet"));
+  EXPECT_TRUE(ends_with("config.txt", ".txt"));
+  EXPECT_FALSE(ends_with("txt", "config.txt"));
+}
+
+TEST(IndentOf, CountsLeadingSpaces) {
+  EXPECT_EQ(indent_of("   isis enable"), 3);
+  EXPECT_EQ(indent_of("hostname"), 0);
+  EXPECT_EQ(indent_of(""), 0);
+}
+
+TEST(ToLower, Ascii) { EXPECT_EQ(to_lower("EtherNET"), "ethernet"); }
+
+TEST(ParseUint32, AcceptsDigitsOnly) {
+  uint32_t value = 0;
+  EXPECT_TRUE(parse_uint32("65000", value));
+  EXPECT_EQ(value, 65000u);
+  EXPECT_TRUE(parse_uint32("0", value));
+  EXPECT_EQ(value, 0u);
+  EXPECT_FALSE(parse_uint32("", value));
+  EXPECT_FALSE(parse_uint32("-1", value));
+  EXPECT_FALSE(parse_uint32("12a", value));
+  EXPECT_FALSE(parse_uint32("4294967296", value));  // 2^32
+  EXPECT_TRUE(parse_uint32("4294967295", value));
+}
+
+TEST(ParseUint64, OverflowRejected) {
+  uint64_t value = 0;
+  EXPECT_TRUE(parse_uint64("18446744073709551615", value));
+  EXPECT_EQ(value, UINT64_MAX);
+  EXPECT_FALSE(parse_uint64("18446744073709551616", value));
+}
+
+}  // namespace
+}  // namespace mfv::util

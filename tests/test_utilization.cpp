@@ -1,0 +1,139 @@
+// Link-utilization analysis over extracted dataplanes: flow conservation,
+// ECMP splitting, filter/blackhole accounting.
+#include <gtest/gtest.h>
+
+#include "gnmi/gnmi.hpp"
+#include "helpers.hpp"
+#include "verify/utilization.hpp"
+#include "workload/generator.hpp"
+
+namespace mfv::verify {
+namespace {
+
+using test::base_router;
+using test::link;
+using test::wire;
+
+net::Ipv4Address addr(const std::string& text) { return *net::Ipv4Address::parse(text); }
+
+gnmi::Snapshot line_snapshot(emu::Emulation& emulation) {
+  auto r1 = base_router("R1", 1);
+  wire(r1, 1, "100.64.0.0/31");
+  auto r2 = base_router("R2", 2);
+  wire(r2, 1, "100.64.0.1/31");
+  wire(r2, 2, "100.64.0.2/31");
+  auto r3 = base_router("R3", 3);
+  wire(r3, 1, "100.64.0.3/31");
+  emulation.add_router(std::move(r1));
+  emulation.add_router(std::move(r2));
+  emulation.add_router(std::move(r3));
+  link(emulation, "R1", 1, "R2", 1);
+  link(emulation, "R2", 2, "R3", 1);
+  emulation.start_all();
+  EXPECT_TRUE(emulation.run_to_convergence());
+  return gnmi::Snapshot::capture(emulation, "line");
+}
+
+TEST(Utilization, TransitLoadAccumulates) {
+  emu::Emulation emulation;
+  ForwardingGraph graph(line_snapshot(emulation));
+  std::vector<Demand> demands = {
+      {"R1", addr("10.0.0.3"), 100.0},  // crosses both links
+      {"R2", addr("10.0.0.3"), 50.0},   // second link only
+  };
+  UtilizationResult result = link_utilization(graph, demands);
+  EXPECT_DOUBLE_EQ(result.load_bps.at({"R1", "Ethernet1"}), 100.0);
+  EXPECT_DOUBLE_EQ(result.load_bps.at({"R2", "Ethernet2"}), 150.0);
+  EXPECT_DOUBLE_EQ(result.delivered_bps, 150.0);
+  EXPECT_DOUBLE_EQ(result.unrouted_bps, 0.0);
+}
+
+TEST(Utilization, NoRouteCountsAsUnrouted) {
+  emu::Emulation emulation;
+  ForwardingGraph graph(line_snapshot(emulation));
+  UtilizationResult result =
+      link_utilization(graph, {{"R1", addr("8.8.8.8"), 75.0}});
+  EXPECT_DOUBLE_EQ(result.unrouted_bps, 75.0);
+  EXPECT_DOUBLE_EQ(result.delivered_bps, 0.0);
+  EXPECT_TRUE(result.load_bps.empty());
+}
+
+TEST(Utilization, EcmpSplitsEvenly) {
+  // Square with two equal paths R1->{R2,R3}->R4.
+  emu::Emulation emulation;
+  auto r1 = base_router("R1", 1);
+  wire(r1, 1, "100.64.0.0/31");
+  wire(r1, 2, "100.64.0.4/31");
+  auto r2 = base_router("R2", 2);
+  wire(r2, 1, "100.64.0.1/31");
+  wire(r2, 2, "100.64.0.2/31");
+  auto r3 = base_router("R3", 3);
+  wire(r3, 1, "100.64.0.5/31");
+  wire(r3, 2, "100.64.0.6/31");
+  auto r4 = base_router("R4", 4);
+  wire(r4, 1, "100.64.0.3/31");
+  wire(r4, 2, "100.64.0.7/31");
+  emulation.add_router(std::move(r1));
+  emulation.add_router(std::move(r2));
+  emulation.add_router(std::move(r3));
+  emulation.add_router(std::move(r4));
+  link(emulation, "R1", 1, "R2", 1);
+  link(emulation, "R2", 2, "R4", 1);
+  link(emulation, "R1", 2, "R3", 1);
+  link(emulation, "R3", 2, "R4", 2);
+  emulation.start_all();
+  ASSERT_TRUE(emulation.run_to_convergence());
+  ForwardingGraph graph(gnmi::Snapshot::capture(emulation, "square"));
+
+  UtilizationResult result = link_utilization(graph, {{"R1", addr("10.0.0.4"), 100.0}});
+  EXPECT_DOUBLE_EQ(result.load_bps.at({"R1", "Ethernet1"}), 50.0);
+  EXPECT_DOUBLE_EQ(result.load_bps.at({"R1", "Ethernet2"}), 50.0);
+  EXPECT_DOUBLE_EQ(result.load_bps.at({"R2", "Ethernet2"}), 50.0);
+  EXPECT_DOUBLE_EQ(result.delivered_bps, 100.0);
+  EXPECT_DOUBLE_EQ(result.max_load(), 50.0);
+}
+
+TEST(Utilization, UniformMeshConservesFlow) {
+  emu::Emulation emulation;
+  emu::Topology topology = workload::wan_topology({.routers = 8, .seed = 5});
+  ASSERT_TRUE(emulation.add_topology(topology).ok());
+  emulation.start_all();
+  ASSERT_TRUE(emulation.run_to_convergence());
+  gnmi::Snapshot snapshot = gnmi::Snapshot::capture(emulation, "wan");
+  ForwardingGraph graph(snapshot);
+
+  std::vector<Demand> demands = uniform_mesh_demand(snapshot, 10.0);
+  EXPECT_EQ(demands.size(), 8u * 7u);
+  UtilizationResult result = link_utilization(graph, demands);
+  double offered = 10.0 * static_cast<double>(demands.size());
+  EXPECT_NEAR(result.delivered_bps + result.unrouted_bps, offered, 1e-6);
+  EXPECT_DOUBLE_EQ(result.unrouted_bps, 0.0);
+  EXPECT_GT(result.max_load(), 10.0);  // some link carries transit traffic
+}
+
+TEST(Utilization, EgressFilterDropsLoad) {
+  emu::Emulation emulation;
+  auto r1 = base_router("R1", 1);
+  wire(r1, 1, "100.64.0.0/31");
+  auto r2 = base_router("R2", 2);
+  wire(r2, 1, "100.64.0.1/31");
+  config::Acl acl;
+  acl.name = "BLOCK";
+  acl.entries.push_back({10, false, *net::Ipv4Prefix::parse("10.0.0.2/32")});
+  acl.entries.push_back({20, true, net::Ipv4Prefix()});
+  r1.acls["BLOCK"] = acl;
+  r1.interface("Ethernet1").acl_out = "BLOCK";
+  emulation.add_router(std::move(r1));
+  emulation.add_router(std::move(r2));
+  link(emulation, "R1", 1, "R2", 1);
+  emulation.start_all();
+  ASSERT_TRUE(emulation.run_to_convergence());
+  ForwardingGraph graph(gnmi::Snapshot::capture(emulation, "acl"));
+
+  UtilizationResult result = link_utilization(graph, {{"R1", addr("10.0.0.2"), 40.0}});
+  EXPECT_DOUBLE_EQ(result.unrouted_bps, 40.0);
+  EXPECT_EQ(result.load_bps.count({"R1", "Ethernet1"}), 0u);
+}
+
+}  // namespace
+}  // namespace mfv::verify

@@ -1,0 +1,179 @@
+// VRF (network-instance) support: config round trips in both dialects,
+// management-VRF isolation from the default dataplane, per-instance AFT
+// export over the gNMI instance paths, and CLI access.
+#include <gtest/gtest.h>
+
+#include "cli/show.hpp"
+#include "config/dialect.hpp"
+#include "gnmi/gnmi.hpp"
+#include "helpers.hpp"
+#include "verify/queries.hpp"
+
+namespace mfv {
+namespace {
+
+using test::base_router;
+using test::link;
+using test::wire;
+
+net::Ipv4Address addr(const std::string& text) { return *net::Ipv4Address::parse(text); }
+net::Ipv4Prefix pfx(const std::string& text) { return *net::Ipv4Prefix::parse(text); }
+
+TEST(VrfConfig, CeosRoundTrip) {
+  const std::string text =
+      "hostname r1\n"
+      "vrf instance MGMT\n"
+      "!\n"
+      "interface Management1\n"
+      "   vrf MGMT\n"
+      "   no switchport\n"
+      "   ip address 192.168.0.10/24\n"
+      "!\n"
+      "ip route vrf MGMT 0.0.0.0/0 192.168.0.1\n";
+  config::ParseResult parsed = config::parse_config(text, config::Vendor::kCeos);
+  EXPECT_EQ(parsed.diagnostics.error_count(), 0u)
+      << (parsed.diagnostics.items.empty() ? "" : parsed.diagnostics.items[0].to_string());
+  EXPECT_TRUE(parsed.config.has_vrf("MGMT"));
+  EXPECT_EQ(parsed.config.find_interface("Management1")->vrf, "MGMT");
+  ASSERT_EQ(parsed.config.static_routes.size(), 1u);
+  EXPECT_EQ(parsed.config.static_routes[0].vrf, "MGMT");
+
+  config::ParseResult reparsed =
+      config::parse_config(config::write_config(parsed.config), config::Vendor::kCeos);
+  EXPECT_EQ(reparsed.diagnostics.error_count(), 0u);
+  EXPECT_TRUE(reparsed.config.has_vrf("MGMT"));
+  EXPECT_EQ(reparsed.config.find_interface("Management1")->vrf, "MGMT");
+  EXPECT_EQ(reparsed.config.static_routes[0].vrf, "MGMT");
+}
+
+TEST(VrfConfig, VjunRoundTrip) {
+  config::DeviceConfig config;
+  config.hostname = "pe1";
+  config.vendor = config::Vendor::kVjun;
+  config.vrfs.push_back("MGMT");
+  auto& mgmt = config.interface("em0.0");
+  mgmt.switchport = false;
+  mgmt.vrf = "MGMT";
+  mgmt.address = net::InterfaceAddress::parse("192.168.0.10/24");
+  config::StaticRoute route;
+  route.prefix = pfx("0.0.0.0/0");
+  route.next_hop = addr("192.168.0.1");
+  route.distance = 5;
+  route.vrf = "MGMT";
+  config.static_routes.push_back(route);
+
+  std::string text = config::write_config(config);
+  EXPECT_NE(text.find("routing-instances"), std::string::npos);
+  config::ParseResult reparsed = config::parse_config(text, config::Vendor::kVjun);
+  EXPECT_EQ(reparsed.diagnostics.error_count(), 0u)
+      << (reparsed.diagnostics.items.empty() ? text
+                                             : reparsed.diagnostics.items[0].to_string());
+  EXPECT_TRUE(reparsed.config.has_vrf("MGMT"));
+  EXPECT_EQ(reparsed.config.find_interface("em0.0")->vrf, "MGMT");
+  ASSERT_EQ(reparsed.config.static_routes.size(), 1u);
+  EXPECT_EQ(reparsed.config.static_routes[0].vrf, "MGMT");
+}
+
+/// R1 - R2 line with IS-IS, plus a management network on R1 in VRF MGMT,
+/// wired to a management switch node.
+struct VrfFixture : ::testing::Test {
+  void SetUp() override {
+    auto r1 = base_router("R1", 1);
+    wire(r1, 1, "100.64.0.0/31");
+    r1.vrfs.push_back("MGMT");
+    auto& mgmt = r1.interface("Management1");
+    mgmt.switchport = false;
+    mgmt.vrf = "MGMT";
+    mgmt.address = net::InterfaceAddress::parse("192.168.0.10/24");
+    config::StaticRoute route;
+    route.prefix = pfx("10.99.0.0/16");
+    route.next_hop = addr("192.168.0.1");
+    route.vrf = "MGMT";
+    r1.static_routes.push_back(route);
+
+    auto r2 = base_router("R2", 2);
+    wire(r2, 1, "100.64.0.1/31");
+    auto mgmt_switch = base_router("SW", 9, /*isis=*/false);
+    auto& sw_iface = wire(mgmt_switch, 1, "192.168.0.1/24", /*isis=*/false);
+    (void)sw_iface;
+
+    emulation.add_router(std::move(r1));
+    emulation.add_router(std::move(r2));
+    emulation.add_router(std::move(mgmt_switch));
+    link(emulation, "R1", 1, "R2", 1);
+    emulation.add_link({"R1", "Management1"}, {"SW", "Ethernet1"});
+    emulation.start_all();
+    ASSERT_TRUE(emulation.run_to_convergence());
+  }
+  emu::Emulation emulation;
+};
+
+TEST_F(VrfFixture, VrfRoutesLiveInTheInstanceNotDefault) {
+  const auto* r1 = emulation.router("R1");
+  // Default RIB/FIB: no management routes.
+  EXPECT_TRUE(r1->routing_table().best(pfx("192.168.0.0/24")).empty());
+  EXPECT_TRUE(r1->fib().forward(addr("192.168.0.1")).empty());
+  // Instance RIB has connected + static.
+  const rib::Rib* mgmt = r1->vrf_routing_table("MGMT");
+  ASSERT_NE(mgmt, nullptr);
+  EXPECT_FALSE(mgmt->best(pfx("192.168.0.0/24")).empty());
+  EXPECT_FALSE(mgmt->best(pfx("10.99.0.0/16")).empty());
+}
+
+TEST_F(VrfFixture, InstanceAftExportedAndIsolated) {
+  aft::DeviceAft device = emulation.router("R1")->device_aft();
+  ASSERT_EQ(device.instances.count("MGMT"), 1u);
+  const aft::Aft& mgmt = device.instances.at("MGMT");
+  EXPECT_NE(mgmt.longest_match(addr("10.99.1.1")), nullptr);
+  EXPECT_EQ(device.aft.longest_match(addr("10.99.1.1")), nullptr);
+  EXPECT_EQ(device.interfaces.at("Management1").vrf, "MGMT");
+
+  // JSON round trip preserves instances.
+  auto restored = aft::DeviceAft::from_json(device.to_json());
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->instances.count("MGMT"), 1u);
+  EXPECT_TRUE(restored->instances.at("MGMT").forwarding_equal(mgmt));
+}
+
+TEST_F(VrfFixture, VrfPrefixesStayOutOfTheIgp) {
+  // R2 must not learn the management subnet through IS-IS.
+  EXPECT_TRUE(emulation.router("R2")->fib().forward(addr("192.168.0.10")).empty());
+  // But the default-instance loopbacks still work.
+  EXPECT_FALSE(emulation.router("R2")->fib().forward(addr("10.0.0.1")).empty());
+}
+
+TEST_F(VrfFixture, VerificationIgnoresVrfAddresses) {
+  verify::ForwardingGraph graph(gnmi::Snapshot::capture(emulation, "vrf"));
+  verify::TraceResult trace = verify::trace_flow(graph, "R2", addr("192.168.0.10"));
+  EXPECT_FALSE(trace.reachable())
+      << "a VRF address must not be reachable through the default graph";
+  // Default-instance reachability intact.
+  EXPECT_TRUE(verify::trace_flow(graph, "R2", addr("10.0.0.1")).reachable());
+}
+
+TEST_F(VrfFixture, GnmiInstancePaths) {
+  gnmi::GnmiService service(emulation);
+  auto mgmt = service.get("R1", "/network-instances/network-instance[name=MGMT]/afts");
+  ASSERT_TRUE(mgmt.ok()) << mgmt.status().to_string();
+  ASSERT_TRUE(mgmt->find("ipv4-unicast")->is_array());
+  EXPECT_GE(mgmt->find("ipv4-unicast")->as_array().size(), 2u);  // connected + static
+  auto missing = service.get("R1", "/network-instances/network-instance[name=NOPE]/afts");
+  EXPECT_EQ(missing.status().code(), util::StatusCode::kNotFound);
+  // Default path still works.
+  EXPECT_TRUE(
+      service.get("R1", "/network-instances/network-instance[name=default]/afts").ok());
+}
+
+TEST_F(VrfFixture, CliShowIpRouteVrf) {
+  auto output = cli::run_command(*emulation.router("R1"), "show ip route vrf MGMT");
+  ASSERT_TRUE(output.ok());
+  EXPECT_NE(output->find("VRF: MGMT"), std::string::npos);
+  EXPECT_NE(output->find("192.168.0.0/24"), std::string::npos);
+  EXPECT_NE(output->find("10.99.0.0/16"), std::string::npos);
+  auto missing = cli::run_command(*emulation.router("R2"), "show ip route vrf MGMT");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_NE(missing->find("no routing table"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mfv

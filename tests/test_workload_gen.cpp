@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "config/dialect.hpp"
+#include "workload/generator.hpp"
+
+namespace mfv::workload {
+namespace {
+
+TEST(WanGenerator, DeterministicForSeed) {
+  WanOptions options;
+  options.routers = 20;
+  options.seed = 9;
+  emu::Topology a = wan_topology(options);
+  emu::Topology b = wan_topology(options);
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+}
+
+TEST(WanGenerator, DifferentSeedsChangeChords) {
+  WanOptions a_options{.routers = 30, .seed = 1};
+  WanOptions b_options{.routers = 30, .seed = 2};
+  EXPECT_NE(wan_topology(a_options).to_json().dump(),
+            wan_topology(b_options).to_json().dump());
+}
+
+TEST(WanGenerator, RingPlusChordsLinkCount) {
+  WanOptions options;
+  options.routers = 40;
+  options.extra_chords = 0;
+  EXPECT_EQ(wan_topology(options).links.size(), 40u);  // plain ring
+  options.extra_chords = 10;
+  emu::Topology with_chords = wan_topology(options);
+  EXPECT_GE(with_chords.links.size(), 45u);
+  EXPECT_LE(with_chords.links.size(), 50u);
+}
+
+TEST(WanGenerator, AllConfigsParseCleanlyInTheirDialect) {
+  WanOptions options;
+  options.routers = 16;
+  options.seed = 4;
+  options.vjun_fraction = 0.5;
+  options.border_count = 2;
+  options.routes_per_peer = 3;
+  options.ibgp_mesh = true;
+  options.mpls = true;
+  emu::Topology topology = wan_topology(options);
+  for (const emu::NodeSpec& node : topology.nodes) {
+    config::ParseResult parsed = config::parse_config(node.config_text, node.vendor);
+    EXPECT_EQ(parsed.diagnostics.error_count(), 0u)
+        << node.name << ": "
+        << (parsed.diagnostics.items.empty() ? ""
+                                             : parsed.diagnostics.items[0].to_string());
+    EXPECT_EQ(parsed.config.hostname, node.name);
+  }
+}
+
+TEST(WanGenerator, UniqueAddressesAndSystemIds) {
+  emu::Topology topology = wan_topology({.routers = 50, .seed = 6});
+  std::set<std::string> addresses;
+  std::set<std::string> nets;
+  for (const emu::NodeSpec& node : topology.nodes) {
+    config::ParseResult parsed = config::parse_config(node.config_text, node.vendor);
+    EXPECT_TRUE(nets.insert(parsed.config.isis.net).second) << "duplicate NET";
+    for (const auto& [name, iface] : parsed.config.interfaces) {
+      if (!iface.address) continue;
+      EXPECT_TRUE(addresses.insert(iface.address->address.to_string()).second)
+          << "duplicate address " << iface.address->to_string();
+    }
+  }
+}
+
+TEST(WanGenerator, BorderCountRespected) {
+  WanOptions options;
+  options.routers = 20;
+  options.border_count = 3;
+  options.routes_per_peer = 1;
+  emu::Topology topology = wan_topology(options);
+  EXPECT_EQ(topology.external_peers.size(), 3u);
+  std::set<std::string> attach_nodes;
+  for (const auto& peer : topology.external_peers) {
+    attach_nodes.insert(peer.attach_node);
+    EXPECT_EQ(peer.routes.size(), 1u);
+  }
+  EXPECT_EQ(attach_nodes.size(), 3u) << "borders must be distinct routers";
+}
+
+TEST(RouteFeed, DistinctPrefixesAndSaneAttributes) {
+  auto nh = *net::Ipv4Address::parse("100.127.0.1");
+  auto feed = synth_route_feed(5000, 64900, nh, 3);
+  ASSERT_EQ(feed.size(), 5000u);
+  std::set<net::Ipv4Prefix> prefixes;
+  for (const auto& route : feed) {
+    EXPECT_TRUE(prefixes.insert(route.prefix).second);
+    EXPECT_EQ(route.prefix.length(), 24);
+    EXPECT_EQ(route.attributes.next_hop, nh);
+    ASSERT_FALSE(route.attributes.as_path.empty());
+    EXPECT_EQ(route.attributes.as_path.front(), 64900u);
+    EXPECT_LE(route.attributes.as_path.size(), 4u);
+  }
+}
+
+TEST(RouteFeed, DeterministicForSeed) {
+  auto nh = *net::Ipv4Address::parse("100.127.0.1");
+  auto a = synth_route_feed(100, 64900, nh, 7);
+  auto b = synth_route_feed(100, 64900, nh, 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(InterfaceNaming, PerVendor) {
+  EXPECT_EQ(interface_name(config::Vendor::kCeos, 3), "Ethernet3");
+  EXPECT_EQ(interface_name(config::Vendor::kVjun, 3), "et-0/0/3.0");
+  EXPECT_EQ(loopback_name(config::Vendor::kCeos), "Loopback0");
+  EXPECT_EQ(loopback_name(config::Vendor::kVjun), "lo0.0");
+}
+
+}  // namespace
+}  // namespace mfv::workload
