@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_nondeterminism.dir/bench_a2_nondeterminism.cpp.o"
+  "CMakeFiles/bench_a2_nondeterminism.dir/bench_a2_nondeterminism.cpp.o.d"
+  "bench_a2_nondeterminism"
+  "bench_a2_nondeterminism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_nondeterminism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_linkcuts.dir/bench_a3_linkcuts.cpp.o"
+  "CMakeFiles/bench_a3_linkcuts.dir/bench_a3_linkcuts.cpp.o.d"
+  "bench_a3_linkcuts"
+  "bench_a3_linkcuts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_linkcuts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_interop.dir/bench_a4_interop.cpp.o"
+  "CMakeFiles/bench_a4_interop.dir/bench_a4_interop.cpp.o.d"
+  "bench_a4_interop"
+  "bench_a4_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_differential.dir/bench_e1_differential.cpp.o"
+  "CMakeFiles/bench_e1_differential.dir/bench_e1_differential.cpp.o.d"
+  "bench_e1_differential"
+  "bench_e1_differential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

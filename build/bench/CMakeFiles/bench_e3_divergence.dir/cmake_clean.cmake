@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_divergence.dir/bench_e3_divergence.cpp.o"
+  "CMakeFiles/bench_e3_divergence.dir/bench_e3_divergence.cpp.o.d"
+  "bench_e3_divergence"
+  "bench_e3_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

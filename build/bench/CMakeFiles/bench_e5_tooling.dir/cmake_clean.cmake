@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_tooling.dir/bench_e5_tooling.cpp.o"
+  "CMakeFiles/bench_e5_tooling.dir/bench_e5_tooling.cpp.o.d"
+  "bench_e5_tooling"
+  "bench_e5_tooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_tooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_acl.dir/campus_acl.cpp.o"
+  "CMakeFiles/campus_acl.dir/campus_acl.cpp.o.d"
+  "campus_acl"
+  "campus_acl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_acl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

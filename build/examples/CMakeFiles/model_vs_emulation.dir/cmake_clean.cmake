@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_vs_emulation.dir/model_vs_emulation.cpp.o"
+  "CMakeFiles/model_vs_emulation.dir/model_vs_emulation.cpp.o.d"
+  "model_vs_emulation"
+  "model_vs_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_vs_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multivendor_wan.dir/multivendor_wan.cpp.o"
+  "CMakeFiles/multivendor_wan.dir/multivendor_wan.cpp.o.d"
+  "multivendor_wan"
+  "multivendor_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multivendor_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

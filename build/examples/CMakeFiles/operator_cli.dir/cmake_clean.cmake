@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_cli.dir/operator_cli.cpp.o"
+  "CMakeFiles/operator_cli.dir/operator_cli.cpp.o.d"
+  "operator_cli"
+  "operator_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

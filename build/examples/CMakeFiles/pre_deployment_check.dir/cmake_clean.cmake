@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pre_deployment_check.dir/pre_deployment_check.cpp.o"
+  "CMakeFiles/pre_deployment_check.dir/pre_deployment_check.cpp.o.d"
+  "pre_deployment_check"
+  "pre_deployment_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pre_deployment_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

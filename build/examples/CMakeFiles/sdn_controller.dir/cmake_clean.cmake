@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdn_controller.dir/sdn_controller.cpp.o"
+  "CMakeFiles/sdn_controller.dir/sdn_controller.cpp.o.d"
+  "sdn_controller"
+  "sdn_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdn_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

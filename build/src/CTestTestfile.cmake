@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("net")
+subdirs("config")
+subdirs("aft")
+subdirs("rib")
+subdirs("proto")
+subdirs("vrouter")
+subdirs("emu")
+subdirs("orch")
+subdirs("gnmi")
+subdirs("gribi")
+subdirs("verify")
+subdirs("model")
+subdirs("workload")
+subdirs("cli")
+subdirs("api")

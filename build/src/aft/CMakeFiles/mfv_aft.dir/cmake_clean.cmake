@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfv_aft.dir/aft.cpp.o"
+  "CMakeFiles/mfv_aft.dir/aft.cpp.o.d"
+  "libmfv_aft.a"
+  "libmfv_aft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfv_aft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mfv_aft.
+# This may be replaced when dependencies are built.

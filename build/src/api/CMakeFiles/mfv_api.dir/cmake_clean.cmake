@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfv_api.dir/session.cpp.o"
+  "CMakeFiles/mfv_api.dir/session.cpp.o.d"
+  "libmfv_api.a"
+  "libmfv_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfv_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

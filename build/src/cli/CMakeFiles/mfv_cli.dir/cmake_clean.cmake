@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfv_cli.dir/show.cpp.o"
+  "CMakeFiles/mfv_cli.dir/show.cpp.o.d"
+  "libmfv_cli.a"
+  "libmfv_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfv_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/ceos_parser.cpp" "src/config/CMakeFiles/mfv_config.dir/ceos_parser.cpp.o" "gcc" "src/config/CMakeFiles/mfv_config.dir/ceos_parser.cpp.o.d"
+  "/root/repo/src/config/ceos_writer.cpp" "src/config/CMakeFiles/mfv_config.dir/ceos_writer.cpp.o" "gcc" "src/config/CMakeFiles/mfv_config.dir/ceos_writer.cpp.o.d"
+  "/root/repo/src/config/device_config.cpp" "src/config/CMakeFiles/mfv_config.dir/device_config.cpp.o" "gcc" "src/config/CMakeFiles/mfv_config.dir/device_config.cpp.o.d"
+  "/root/repo/src/config/dialect.cpp" "src/config/CMakeFiles/mfv_config.dir/dialect.cpp.o" "gcc" "src/config/CMakeFiles/mfv_config.dir/dialect.cpp.o.d"
+  "/root/repo/src/config/vjun_parser.cpp" "src/config/CMakeFiles/mfv_config.dir/vjun_parser.cpp.o" "gcc" "src/config/CMakeFiles/mfv_config.dir/vjun_parser.cpp.o.d"
+  "/root/repo/src/config/vjun_writer.cpp" "src/config/CMakeFiles/mfv_config.dir/vjun_writer.cpp.o" "gcc" "src/config/CMakeFiles/mfv_config.dir/vjun_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mfv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mfv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfv_config.dir/ceos_parser.cpp.o"
+  "CMakeFiles/mfv_config.dir/ceos_parser.cpp.o.d"
+  "CMakeFiles/mfv_config.dir/ceos_writer.cpp.o"
+  "CMakeFiles/mfv_config.dir/ceos_writer.cpp.o.d"
+  "CMakeFiles/mfv_config.dir/device_config.cpp.o"
+  "CMakeFiles/mfv_config.dir/device_config.cpp.o.d"
+  "CMakeFiles/mfv_config.dir/dialect.cpp.o"
+  "CMakeFiles/mfv_config.dir/dialect.cpp.o.d"
+  "CMakeFiles/mfv_config.dir/vjun_parser.cpp.o"
+  "CMakeFiles/mfv_config.dir/vjun_parser.cpp.o.d"
+  "CMakeFiles/mfv_config.dir/vjun_writer.cpp.o"
+  "CMakeFiles/mfv_config.dir/vjun_writer.cpp.o.d"
+  "libmfv_config.a"
+  "libmfv_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfv_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfv_emu.dir/convergence.cpp.o"
+  "CMakeFiles/mfv_emu.dir/convergence.cpp.o.d"
+  "CMakeFiles/mfv_emu.dir/emulation.cpp.o"
+  "CMakeFiles/mfv_emu.dir/emulation.cpp.o.d"
+  "CMakeFiles/mfv_emu.dir/topology.cpp.o"
+  "CMakeFiles/mfv_emu.dir/topology.cpp.o.d"
+  "libmfv_emu.a"
+  "libmfv_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfv_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfv_gnmi.dir/gnmi.cpp.o"
+  "CMakeFiles/mfv_gnmi.dir/gnmi.cpp.o.d"
+  "libmfv_gnmi.a"
+  "libmfv_gnmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfv_gnmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfv_gribi.dir/gribi.cpp.o"
+  "CMakeFiles/mfv_gribi.dir/gribi.cpp.o.d"
+  "libmfv_gribi.a"
+  "libmfv_gribi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfv_gribi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mfv_gribi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfv_model.dir/ibdp.cpp.o"
+  "CMakeFiles/mfv_model.dir/ibdp.cpp.o.d"
+  "CMakeFiles/mfv_model.dir/reference_parser.cpp.o"
+  "CMakeFiles/mfv_model.dir/reference_parser.cpp.o.d"
+  "libmfv_model.a"
+  "libmfv_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfv_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

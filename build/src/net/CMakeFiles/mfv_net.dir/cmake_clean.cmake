@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfv_net.dir/ipv4.cpp.o"
+  "CMakeFiles/mfv_net.dir/ipv4.cpp.o.d"
+  "libmfv_net.a"
+  "libmfv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfv_orch.dir/cluster.cpp.o"
+  "CMakeFiles/mfv_orch.dir/cluster.cpp.o.d"
+  "libmfv_orch.a"
+  "libmfv_orch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfv_orch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

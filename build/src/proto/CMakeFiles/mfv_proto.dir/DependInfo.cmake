@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/bgp.cpp" "src/proto/CMakeFiles/mfv_proto.dir/bgp.cpp.o" "gcc" "src/proto/CMakeFiles/mfv_proto.dir/bgp.cpp.o.d"
+  "/root/repo/src/proto/isis.cpp" "src/proto/CMakeFiles/mfv_proto.dir/isis.cpp.o" "gcc" "src/proto/CMakeFiles/mfv_proto.dir/isis.cpp.o.d"
+  "/root/repo/src/proto/messages.cpp" "src/proto/CMakeFiles/mfv_proto.dir/messages.cpp.o" "gcc" "src/proto/CMakeFiles/mfv_proto.dir/messages.cpp.o.d"
+  "/root/repo/src/proto/mpls.cpp" "src/proto/CMakeFiles/mfv_proto.dir/mpls.cpp.o" "gcc" "src/proto/CMakeFiles/mfv_proto.dir/mpls.cpp.o.d"
+  "/root/repo/src/proto/ospf.cpp" "src/proto/CMakeFiles/mfv_proto.dir/ospf.cpp.o" "gcc" "src/proto/CMakeFiles/mfv_proto.dir/ospf.cpp.o.d"
+  "/root/repo/src/proto/policy.cpp" "src/proto/CMakeFiles/mfv_proto.dir/policy.cpp.o" "gcc" "src/proto/CMakeFiles/mfv_proto.dir/policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/config/CMakeFiles/mfv_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/rib/CMakeFiles/mfv_rib.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mfv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mfv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/aft/CMakeFiles/mfv_aft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfv_proto.dir/bgp.cpp.o"
+  "CMakeFiles/mfv_proto.dir/bgp.cpp.o.d"
+  "CMakeFiles/mfv_proto.dir/isis.cpp.o"
+  "CMakeFiles/mfv_proto.dir/isis.cpp.o.d"
+  "CMakeFiles/mfv_proto.dir/messages.cpp.o"
+  "CMakeFiles/mfv_proto.dir/messages.cpp.o.d"
+  "CMakeFiles/mfv_proto.dir/mpls.cpp.o"
+  "CMakeFiles/mfv_proto.dir/mpls.cpp.o.d"
+  "CMakeFiles/mfv_proto.dir/ospf.cpp.o"
+  "CMakeFiles/mfv_proto.dir/ospf.cpp.o.d"
+  "CMakeFiles/mfv_proto.dir/policy.cpp.o"
+  "CMakeFiles/mfv_proto.dir/policy.cpp.o.d"
+  "libmfv_proto.a"
+  "libmfv_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfv_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

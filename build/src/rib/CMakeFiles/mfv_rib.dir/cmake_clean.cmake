@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfv_rib.dir/rib.cpp.o"
+  "CMakeFiles/mfv_rib.dir/rib.cpp.o.d"
+  "libmfv_rib.a"
+  "libmfv_rib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfv_rib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfv_util.dir/json.cpp.o"
+  "CMakeFiles/mfv_util.dir/json.cpp.o.d"
+  "CMakeFiles/mfv_util.dir/logging.cpp.o"
+  "CMakeFiles/mfv_util.dir/logging.cpp.o.d"
+  "CMakeFiles/mfv_util.dir/strings.cpp.o"
+  "CMakeFiles/mfv_util.dir/strings.cpp.o.d"
+  "libmfv_util.a"
+  "libmfv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

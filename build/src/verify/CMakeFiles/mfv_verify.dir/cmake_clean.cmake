@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfv_verify.dir/disposition.cpp.o"
+  "CMakeFiles/mfv_verify.dir/disposition.cpp.o.d"
+  "CMakeFiles/mfv_verify.dir/forwarding_graph.cpp.o"
+  "CMakeFiles/mfv_verify.dir/forwarding_graph.cpp.o.d"
+  "CMakeFiles/mfv_verify.dir/packet_classes.cpp.o"
+  "CMakeFiles/mfv_verify.dir/packet_classes.cpp.o.d"
+  "CMakeFiles/mfv_verify.dir/queries.cpp.o"
+  "CMakeFiles/mfv_verify.dir/queries.cpp.o.d"
+  "CMakeFiles/mfv_verify.dir/trace.cpp.o"
+  "CMakeFiles/mfv_verify.dir/trace.cpp.o.d"
+  "CMakeFiles/mfv_verify.dir/utilization.cpp.o"
+  "CMakeFiles/mfv_verify.dir/utilization.cpp.o.d"
+  "libmfv_verify.a"
+  "libmfv_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfv_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfv_vrouter.dir/virtual_router.cpp.o"
+  "CMakeFiles/mfv_vrouter.dir/virtual_router.cpp.o.d"
+  "libmfv_vrouter.a"
+  "libmfv_vrouter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfv_vrouter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmfv_vrouter.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mfv_vrouter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfv_workload.dir/generator.cpp.o"
+  "CMakeFiles/mfv_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/mfv_workload.dir/scenarios.cpp.o"
+  "CMakeFiles/mfv_workload.dir/scenarios.cpp.o.d"
+  "libmfv_workload.a"
+  "libmfv_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfv_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

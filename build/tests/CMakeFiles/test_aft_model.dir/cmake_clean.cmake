@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aft_model.dir/test_aft_model.cpp.o"
+  "CMakeFiles/test_aft_model.dir/test_aft_model.cpp.o.d"
+  "test_aft_model"
+  "test_aft_model.pdb"
+  "test_aft_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aft_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_api_session.dir/test_api_session.cpp.o"
+  "CMakeFiles/test_api_session.dir/test_api_session.cpp.o.d"
+  "test_api_session"
+  "test_api_session.pdb"
+  "test_api_session[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_api_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp_route_reflector.dir/test_bgp_route_reflector.cpp.o"
+  "CMakeFiles/test_bgp_route_reflector.dir/test_bgp_route_reflector.cpp.o.d"
+  "test_bgp_route_reflector"
+  "test_bgp_route_reflector.pdb"
+  "test_bgp_route_reflector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp_route_reflector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

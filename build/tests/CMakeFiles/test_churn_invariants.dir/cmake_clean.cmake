@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_churn_invariants.dir/test_churn_invariants.cpp.o"
+  "CMakeFiles/test_churn_invariants.dir/test_churn_invariants.cpp.o.d"
+  "test_churn_invariants"
+  "test_churn_invariants.pdb"
+  "test_churn_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_churn_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cli_show.dir/test_cli_show.cpp.o"
+  "CMakeFiles/test_cli_show.dir/test_cli_show.cpp.o.d"
+  "test_cli_show"
+  "test_cli_show.pdb"
+  "test_cli_show[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cli_show.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_ceos.dir/test_config_ceos.cpp.o"
+  "CMakeFiles/test_config_ceos.dir/test_config_ceos.cpp.o.d"
+  "test_config_ceos"
+  "test_config_ceos.pdb"
+  "test_config_ceos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_ceos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

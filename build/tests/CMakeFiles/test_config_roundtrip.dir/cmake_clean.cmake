@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_roundtrip.dir/test_config_roundtrip.cpp.o"
+  "CMakeFiles/test_config_roundtrip.dir/test_config_roundtrip.cpp.o.d"
+  "test_config_roundtrip"
+  "test_config_roundtrip.pdb"
+  "test_config_roundtrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_vjun.dir/test_config_vjun.cpp.o"
+  "CMakeFiles/test_config_vjun.dir/test_config_vjun.cpp.o.d"
+  "test_config_vjun"
+  "test_config_vjun.pdb"
+  "test_config_vjun[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_vjun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

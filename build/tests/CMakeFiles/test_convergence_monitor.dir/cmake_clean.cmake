@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_convergence_monitor.dir/test_convergence_monitor.cpp.o"
+  "CMakeFiles/test_convergence_monitor.dir/test_convergence_monitor.cpp.o.d"
+  "test_convergence_monitor"
+  "test_convergence_monitor.pdb"
+  "test_convergence_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_convergence_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

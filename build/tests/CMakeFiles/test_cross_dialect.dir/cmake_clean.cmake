@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_dialect.dir/test_cross_dialect.cpp.o"
+  "CMakeFiles/test_cross_dialect.dir/test_cross_dialect.cpp.o.d"
+  "test_cross_dialect"
+  "test_cross_dialect.pdb"
+  "test_cross_dialect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_dialect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emu_kernel.dir/test_emu_kernel.cpp.o"
+  "CMakeFiles/test_emu_kernel.dir/test_emu_kernel.cpp.o.d"
+  "test_emu_kernel"
+  "test_emu_kernel.pdb"
+  "test_emu_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emu_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

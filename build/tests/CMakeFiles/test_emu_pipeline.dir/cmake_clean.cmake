@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emu_pipeline.dir/test_emu_pipeline.cpp.o"
+  "CMakeFiles/test_emu_pipeline.dir/test_emu_pipeline.cpp.o.d"
+  "test_emu_pipeline"
+  "test_emu_pipeline.pdb"
+  "test_emu_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emu_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

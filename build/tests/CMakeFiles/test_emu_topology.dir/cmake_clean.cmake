@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emu_topology.dir/test_emu_topology.cpp.o"
+  "CMakeFiles/test_emu_topology.dir/test_emu_topology.cpp.o.d"
+  "test_emu_topology"
+  "test_emu_topology.pdb"
+  "test_emu_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emu_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

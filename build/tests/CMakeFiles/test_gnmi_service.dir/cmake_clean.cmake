@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gnmi_service.dir/test_gnmi_service.cpp.o"
+  "CMakeFiles/test_gnmi_service.dir/test_gnmi_service.cpp.o.d"
+  "test_gnmi_service"
+  "test_gnmi_service.pdb"
+  "test_gnmi_service[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gnmi_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gnmi_subscribe.dir/test_gnmi_subscribe.cpp.o"
+  "CMakeFiles/test_gnmi_subscribe.dir/test_gnmi_subscribe.cpp.o.d"
+  "test_gnmi_subscribe"
+  "test_gnmi_subscribe.pdb"
+  "test_gnmi_subscribe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gnmi_subscribe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

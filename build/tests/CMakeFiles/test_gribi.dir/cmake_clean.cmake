@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gribi.dir/test_gribi.cpp.o"
+  "CMakeFiles/test_gribi.dir/test_gribi.cpp.o.d"
+  "test_gribi"
+  "test_gribi.pdb"
+  "test_gribi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gribi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_fig3.dir/test_integration_fig3.cpp.o"
+  "CMakeFiles/test_integration_fig3.dir/test_integration_fig3.cpp.o.d"
+  "test_integration_fig3"
+  "test_integration_fig3.pdb"
+  "test_integration_fig3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_fig3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_scale.dir/test_integration_scale.cpp.o"
+  "CMakeFiles/test_integration_scale.dir/test_integration_scale.cpp.o.d"
+  "test_integration_scale"
+  "test_integration_scale.pdb"
+  "test_integration_scale[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

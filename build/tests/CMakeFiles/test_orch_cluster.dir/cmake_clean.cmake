@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orch_cluster.dir/test_orch_cluster.cpp.o"
+  "CMakeFiles/test_orch_cluster.dir/test_orch_cluster.cpp.o.d"
+  "test_orch_cluster"
+  "test_orch_cluster.pdb"
+  "test_orch_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orch_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

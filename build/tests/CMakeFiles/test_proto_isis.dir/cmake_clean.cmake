@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto_isis.dir/test_proto_isis.cpp.o"
+  "CMakeFiles/test_proto_isis.dir/test_proto_isis.cpp.o.d"
+  "test_proto_isis"
+  "test_proto_isis.pdb"
+  "test_proto_isis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto_isis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto_mpls.dir/test_proto_mpls.cpp.o"
+  "CMakeFiles/test_proto_mpls.dir/test_proto_mpls.cpp.o.d"
+  "test_proto_mpls"
+  "test_proto_mpls.pdb"
+  "test_proto_mpls[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto_mpls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto_ospf.dir/test_proto_ospf.cpp.o"
+  "CMakeFiles/test_proto_ospf.dir/test_proto_ospf.cpp.o.d"
+  "test_proto_ospf"
+  "test_proto_ospf.pdb"
+  "test_proto_ospf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto_ospf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

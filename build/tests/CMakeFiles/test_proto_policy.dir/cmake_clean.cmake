@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto_policy.dir/test_proto_policy.cpp.o"
+  "CMakeFiles/test_proto_policy.dir/test_proto_policy.cpp.o.d"
+  "test_proto_policy"
+  "test_proto_policy.pdb"
+  "test_proto_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rib_core.dir/test_rib_core.cpp.o"
+  "CMakeFiles/test_rib_core.dir/test_rib_core.cpp.o.d"
+  "test_rib_core"
+  "test_rib_core.pdb"
+  "test_rib_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rib_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rib_fib.dir/test_rib_fib.cpp.o"
+  "CMakeFiles/test_rib_fib.dir/test_rib_fib.cpp.o.d"
+  "test_rib_fib"
+  "test_rib_fib.pdb"
+  "test_rib_fib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rib_fib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routes_question.dir/test_routes_question.cpp.o"
+  "CMakeFiles/test_routes_question.dir/test_routes_question.cpp.o.d"
+  "test_routes_question"
+  "test_routes_question.pdb"
+  "test_routes_question[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routes_question.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

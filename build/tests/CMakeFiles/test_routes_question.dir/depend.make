@@ -1,0 +1,2 @@
+# Empty dependencies file for test_routes_question.
+# This may be replaced when dependencies are built.

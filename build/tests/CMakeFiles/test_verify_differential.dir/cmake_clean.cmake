@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verify_differential.dir/test_verify_differential.cpp.o"
+  "CMakeFiles/test_verify_differential.dir/test_verify_differential.cpp.o.d"
+  "test_verify_differential"
+  "test_verify_differential.pdb"
+  "test_verify_differential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verify_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

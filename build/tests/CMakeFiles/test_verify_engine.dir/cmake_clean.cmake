@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verify_engine.dir/test_verify_engine.cpp.o"
+  "CMakeFiles/test_verify_engine.dir/test_verify_engine.cpp.o.d"
+  "test_verify_engine"
+  "test_verify_engine.pdb"
+  "test_verify_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verify_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verify_lsp.dir/test_verify_lsp.cpp.o"
+  "CMakeFiles/test_verify_lsp.dir/test_verify_lsp.cpp.o.d"
+  "test_verify_lsp"
+  "test_verify_lsp.pdb"
+  "test_verify_lsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verify_lsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

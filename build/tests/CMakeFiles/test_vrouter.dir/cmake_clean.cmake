@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vrouter.dir/test_vrouter.cpp.o"
+  "CMakeFiles/test_vrouter.dir/test_vrouter.cpp.o.d"
+  "test_vrouter"
+  "test_vrouter.pdb"
+  "test_vrouter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vrouter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

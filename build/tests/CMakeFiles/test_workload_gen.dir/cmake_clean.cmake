@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_gen.dir/test_workload_gen.cpp.o"
+  "CMakeFiles/test_workload_gen.dir/test_workload_gen.cpp.o.d"
+  "test_workload_gen"
+  "test_workload_gen.pdb"
+  "test_workload_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
