@@ -7,6 +7,7 @@
 // verification of a snapshot is fast.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 #include "gnmi/gnmi.hpp"
@@ -44,27 +45,87 @@ void report() {
   std::printf("\n");
 }
 
+/// Serial-vs-parallel and cached-vs-uncached comparison on the headline
+/// 200-router sweep. Emits machine-readable `A1_TIMING`/`A1_SPEEDUP`
+/// lines so experiment scripts can scrape the numbers.
+void engine_report() {
+  constexpr int kRouters = 200;
+  gnmi::Snapshot snapshot = converge(kRouters);
+  verify::ForwardingGraph graph(snapshot);
+
+  auto run = [&](const char* label, verify::QueryOptions options) {
+    auto begin = std::chrono::steady_clock::now();
+    auto result = verify::reachability(graph, options);
+    auto end = std::chrono::steady_clock::now();
+    double ms = std::chrono::duration<double, std::milli>(end - begin).count();
+    std::printf("A1_TIMING routers=%d engine=%s threads=%u flows=%zu ms=%.1f\n",
+                kRouters, label, options.threads, result.flows, ms);
+    return ms;
+  };
+
+  std::printf("=== A1: engine comparison, %d-router reachability sweep ===\n",
+              kRouters);
+  verify::QueryOptions serial;
+  serial.threads = 1;
+  serial.engine = verify::EngineMode::kLegacy;
+  double serial_ms = run("serial", serial);
+
+  verify::QueryOptions cached_serial;
+  cached_serial.threads = 1;
+  cached_serial.engine = verify::EngineMode::kCached;
+  double cached_serial_ms = run("cached-serial", cached_serial);
+
+  verify::QueryOptions parallel;
+  parallel.threads = 8;
+  parallel.engine = verify::EngineMode::kCached;
+  double parallel_ms = run("cached-parallel", parallel);
+
+  std::printf("A1_SPEEDUP routers=%d cached_serial=%.1fx cached_parallel=%.1fx\n",
+              kRouters, serial_ms / cached_serial_ms, serial_ms / parallel_ms);
+  std::printf("\n");
+}
+
 void BM_ReachabilityQuery(benchmark::State& state) {
   gnmi::Snapshot snapshot = converge(static_cast<int>(state.range(0)));
   verify::ForwardingGraph graph(snapshot);
+  verify::QueryOptions options;
+  options.threads = static_cast<unsigned>(state.range(1));
+  options.engine = state.range(2) != 0 ? verify::EngineMode::kCached
+                                       : verify::EngineMode::kLegacy;
   for (auto _ : state) {
-    auto result = verify::reachability(graph);
+    auto result = verify::reachability(graph, options);
     benchmark::DoNotOptimize(result.flows);
   }
   state.counters["routers"] = static_cast<double>(state.range(0));
+  state.counters["threads"] = static_cast<double>(state.range(1));
+  state.counters["cached"] = static_cast<double>(state.range(2));
 }
-BENCHMARK(BM_ReachabilityQuery)->Arg(10)->Arg(20)->Arg(40)->Unit(benchmark::kMillisecond);
+// Rows: serial legacy baseline, cached at one thread (memoization win
+// alone), cached at eight threads (memoization + sharding).
+BENCHMARK(BM_ReachabilityQuery)
+    ->Args({10, 1, 0})->Args({20, 1, 0})->Args({40, 1, 0})
+    ->Args({10, 1, 1})->Args({20, 1, 1})->Args({40, 1, 1})
+    ->Args({10, 8, 1})->Args({20, 8, 1})->Args({40, 8, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DifferentialQuery(benchmark::State& state) {
   gnmi::Snapshot snapshot = converge(static_cast<int>(state.range(0)));
   verify::ForwardingGraph base(snapshot);
   verify::ForwardingGraph candidate(snapshot);
+  verify::QueryOptions options;
+  options.threads = static_cast<unsigned>(state.range(1));
+  options.engine = state.range(1) > 1 ? verify::EngineMode::kCached
+                                      : verify::EngineMode::kLegacy;
   for (auto _ : state) {
-    auto result = verify::differential_reachability(base, candidate);
+    auto result = verify::differential_reachability(base, candidate, options);
     benchmark::DoNotOptimize(result.flows);
   }
+  state.counters["threads"] = static_cast<double>(state.range(1));
 }
-BENCHMARK(BM_DifferentialQuery)->Arg(10)->Arg(20)->Arg(40)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DifferentialQuery)
+    ->Args({10, 1})->Args({20, 1})->Args({40, 1})
+    ->Args({10, 8})->Args({20, 8})->Args({40, 8})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GraphConstruction(benchmark::State& state) {
   gnmi::Snapshot snapshot = converge(static_cast<int>(state.range(0)));
@@ -90,6 +151,7 @@ BENCHMARK(BM_SingleTraceroute)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   report();
+  engine_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

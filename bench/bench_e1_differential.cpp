@@ -9,6 +9,7 @@
 // routers in AS2". Timing sections measure the cost of each pipeline stage.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 #include "api/session.hpp"
@@ -47,6 +48,30 @@ void report() {
               regressions.size(), as3_to_as2);
   std::printf("%-46s %-22s %s\n", "baseline convergence (virtual)", "n/a",
               session.info("base")->convergence_time.to_string().c_str());
+
+  // Engine comparison on the same query: serial legacy walker versus the
+  // memoized trace cache, with and without sharded execution. Emitted as
+  // machine-readable E1_TIMING lines for experiment scripts.
+  auto timed = [&](const char* label, verify::QueryOptions options) {
+    auto begin = std::chrono::steady_clock::now();
+    auto result = session.differential_reachability("base", "bug", options);
+    auto end = std::chrono::steady_clock::now();
+    double ms = std::chrono::duration<double, std::milli>(end - begin).count();
+    std::printf("E1_TIMING engine=%s threads=%u flows=%zu ms=%.2f\n", label,
+                options.threads, result.ok() ? result->flows : 0, ms);
+  };
+  verify::QueryOptions serial;
+  serial.threads = 1;
+  serial.engine = verify::EngineMode::kLegacy;
+  timed("serial", serial);
+  verify::QueryOptions cached_serial;
+  cached_serial.threads = 1;
+  cached_serial.engine = verify::EngineMode::kCached;
+  timed("cached-serial", cached_serial);
+  verify::QueryOptions parallel;
+  parallel.threads = 8;
+  parallel.engine = verify::EngineMode::kCached;
+  timed("cached-parallel", parallel);
   std::printf("\n");
 }
 
@@ -64,12 +89,17 @@ void BM_DifferentialQuery(benchmark::State& state) {
   api::Session session;
   if (!session.init_snapshot(workload::fig2_topology(false), "base").ok()) return;
   if (!session.init_snapshot(workload::fig2_topology(true), "bug").ok()) return;
+  verify::QueryOptions options;
+  options.threads = static_cast<unsigned>(state.range(0));
+  options.engine = state.range(0) > 1 ? verify::EngineMode::kCached
+                                      : verify::EngineMode::kLegacy;
   for (auto _ : state) {
-    auto diff = session.differential_reachability("base", "bug");
+    auto diff = session.differential_reachability("base", "bug", options);
     benchmark::DoNotOptimize(diff->rows.size());
   }
+  state.counters["threads"] = static_cast<double>(state.range(0));
 }
-BENCHMARK(BM_DifferentialQuery)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DifferentialQuery)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
 void BM_SnapshotExtraction(benchmark::State& state) {
   emu::Emulation emulation;

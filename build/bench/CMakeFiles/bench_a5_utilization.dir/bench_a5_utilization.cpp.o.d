@@ -235,4 +235,5 @@ bench/CMakeFiles/bench_a5_utilization.dir/bench_a5_utilization.cpp.o: \
  /root/repo/src/proto/mpls.hpp /root/repo/src/proto/ospf.hpp \
  /root/repo/src/verify/utilization.hpp \
  /root/repo/src/verify/forwarding_graph.hpp \
+ /root/repo/src/verify/packet_classes.hpp \
  /root/repo/src/workload/generator.hpp

@@ -183,12 +183,11 @@ bench/CMakeFiles/bench_e1_differential.dir/bench_e1_differential.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/api/session.hpp /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
- /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
- /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/ios \
+ /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
  /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
  /usr/include/c++/12/bits/locale_classes.h \
@@ -201,8 +200,14 @@ bench/CMakeFiles/bench_e1_differential.dir/bench_e1_differential.cpp.o: \
  /usr/include/c++/12/bits/streambuf_iterator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
- /usr/include/c++/12/bits/basic_ios.tcc \
+ /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/api/session.hpp \
+ /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
@@ -223,17 +228,16 @@ bench/CMakeFiles/bench_e1_differential.dir/bench_e1_differential.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/time.hpp \
  /root/repo/src/emu/topology.hpp /root/repo/src/config/device_config.hpp \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/net/ipv4.hpp /root/repo/src/net/types.hpp \
- /root/repo/src/proto/messages.hpp /root/repo/src/util/json.hpp \
- /root/repo/src/util/status.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/vrouter/virtual_router.hpp /root/repo/src/aft/aft.hpp \
- /root/repo/src/net/prefix_trie.hpp /root/repo/src/proto/bgp.hpp \
- /root/repo/src/proto/env.hpp /root/repo/src/rib/rib.hpp \
- /root/repo/src/proto/policy.hpp /root/repo/src/proto/isis.hpp \
- /root/repo/src/proto/mpls.hpp /root/repo/src/proto/ospf.hpp \
- /root/repo/src/gnmi/gnmi.hpp /root/repo/src/model/ibdp.hpp \
- /root/repo/src/model/reference_parser.hpp \
+ /usr/include/c++/12/variant /root/repo/src/net/ipv4.hpp \
+ /root/repo/src/net/types.hpp /root/repo/src/proto/messages.hpp \
+ /root/repo/src/util/json.hpp /root/repo/src/util/status.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/vrouter/virtual_router.hpp \
+ /root/repo/src/aft/aft.hpp /root/repo/src/net/prefix_trie.hpp \
+ /root/repo/src/proto/bgp.hpp /root/repo/src/proto/env.hpp \
+ /root/repo/src/rib/rib.hpp /root/repo/src/proto/policy.hpp \
+ /root/repo/src/proto/isis.hpp /root/repo/src/proto/mpls.hpp \
+ /root/repo/src/proto/ospf.hpp /root/repo/src/gnmi/gnmi.hpp \
+ /root/repo/src/model/ibdp.hpp /root/repo/src/model/reference_parser.hpp \
  /root/repo/src/verify/queries.hpp \
  /root/repo/src/verify/packet_classes.hpp /root/repo/src/verify/trace.hpp \
  /root/repo/src/verify/disposition.hpp \

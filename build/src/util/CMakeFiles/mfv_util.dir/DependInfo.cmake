@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/json.cpp" "src/util/CMakeFiles/mfv_util.dir/json.cpp.o" "gcc" "src/util/CMakeFiles/mfv_util.dir/json.cpp.o.d"
   "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/mfv_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/mfv_util.dir/logging.cpp.o.d"
   "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/mfv_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/mfv_util.dir/strings.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/mfv_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/mfv_util.dir/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

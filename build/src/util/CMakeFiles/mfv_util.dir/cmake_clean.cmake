@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/mfv_util.dir/logging.cpp.o.d"
   "CMakeFiles/mfv_util.dir/strings.cpp.o"
   "CMakeFiles/mfv_util.dir/strings.cpp.o.d"
+  "CMakeFiles/mfv_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/mfv_util.dir/thread_pool.cpp.o.d"
   "libmfv_util.a"
   "libmfv_util.pdb"
 )

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/verify/packet_classes.cpp" "src/verify/CMakeFiles/mfv_verify.dir/packet_classes.cpp.o" "gcc" "src/verify/CMakeFiles/mfv_verify.dir/packet_classes.cpp.o.d"
   "/root/repo/src/verify/queries.cpp" "src/verify/CMakeFiles/mfv_verify.dir/queries.cpp.o" "gcc" "src/verify/CMakeFiles/mfv_verify.dir/queries.cpp.o.d"
   "/root/repo/src/verify/trace.cpp" "src/verify/CMakeFiles/mfv_verify.dir/trace.cpp.o" "gcc" "src/verify/CMakeFiles/mfv_verify.dir/trace.cpp.o.d"
+  "/root/repo/src/verify/trace_cache.cpp" "src/verify/CMakeFiles/mfv_verify.dir/trace_cache.cpp.o" "gcc" "src/verify/CMakeFiles/mfv_verify.dir/trace_cache.cpp.o.d"
   "/root/repo/src/verify/utilization.cpp" "src/verify/CMakeFiles/mfv_verify.dir/utilization.cpp.o" "gcc" "src/verify/CMakeFiles/mfv_verify.dir/utilization.cpp.o.d"
   )
 

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/mfv_verify.dir/queries.cpp.o.d"
   "CMakeFiles/mfv_verify.dir/trace.cpp.o"
   "CMakeFiles/mfv_verify.dir/trace.cpp.o.d"
+  "CMakeFiles/mfv_verify.dir/trace_cache.cpp.o"
+  "CMakeFiles/mfv_verify.dir/trace_cache.cpp.o.d"
   "CMakeFiles/mfv_verify.dir/utilization.cpp.o"
   "CMakeFiles/mfv_verify.dir/utilization.cpp.o.d"
   "libmfv_verify.a"

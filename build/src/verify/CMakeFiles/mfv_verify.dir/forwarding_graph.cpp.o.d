@@ -130,17 +130,17 @@ src/verify/CMakeFiles/mfv_verify.dir/forwarding_graph.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/basic_string.tcc \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/gnmi/gnmi.hpp \
  /root/repo/src/aft/aft.hpp /root/repo/src/net/ipv4.hpp \
  /root/repo/src/net/prefix_trie.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -231,4 +231,4 @@ src/verify/CMakeFiles/mfv_verify.dir/forwarding_graph.cpp.o: \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/proto/env.hpp \
  /root/repo/src/rib/rib.hpp /root/repo/src/proto/policy.hpp \
  /root/repo/src/proto/isis.hpp /root/repo/src/proto/mpls.hpp \
- /root/repo/src/proto/ospf.hpp
+ /root/repo/src/proto/ospf.hpp /root/repo/src/verify/packet_classes.hpp

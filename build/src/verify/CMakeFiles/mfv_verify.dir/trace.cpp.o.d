@@ -137,13 +137,13 @@ src/verify/CMakeFiles/mfv_verify.dir/trace.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/gnmi/gnmi.hpp \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/gnmi/gnmi.hpp \
  /root/repo/src/aft/aft.hpp /root/repo/src/net/ipv4.hpp \
  /root/repo/src/net/prefix_trie.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -234,4 +234,4 @@ src/verify/CMakeFiles/mfv_verify.dir/trace.cpp.o: \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/proto/env.hpp \
  /root/repo/src/rib/rib.hpp /root/repo/src/proto/policy.hpp \
  /root/repo/src/proto/isis.hpp /root/repo/src/proto/mpls.hpp \
- /root/repo/src/proto/ospf.hpp
+ /root/repo/src/proto/ospf.hpp /root/repo/src/verify/packet_classes.hpp

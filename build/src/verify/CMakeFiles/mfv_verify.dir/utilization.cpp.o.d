@@ -136,12 +136,12 @@ src/verify/CMakeFiles/mfv_verify.dir/utilization.cpp.o: \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/gnmi/gnmi.hpp /root/repo/src/aft/aft.hpp \
- /root/repo/src/net/ipv4.hpp /root/repo/src/net/prefix_trie.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/gnmi/gnmi.hpp \
+ /root/repo/src/aft/aft.hpp /root/repo/src/net/ipv4.hpp \
+ /root/repo/src/net/prefix_trie.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -232,6 +232,6 @@ src/verify/CMakeFiles/mfv_verify.dir/utilization.cpp.o: \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/proto/env.hpp \
  /root/repo/src/rib/rib.hpp /root/repo/src/proto/policy.hpp \
  /root/repo/src/proto/isis.hpp /root/repo/src/proto/mpls.hpp \
- /root/repo/src/proto/ospf.hpp /root/repo/src/verify/queries.hpp \
- /root/repo/src/verify/packet_classes.hpp /root/repo/src/verify/trace.hpp \
+ /root/repo/src/proto/ospf.hpp /root/repo/src/verify/packet_classes.hpp \
+ /root/repo/src/verify/queries.hpp /root/repo/src/verify/trace.hpp \
  /root/repo/src/verify/disposition.hpp

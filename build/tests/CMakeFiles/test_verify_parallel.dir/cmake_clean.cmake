@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verify_parallel.dir/test_verify_parallel.cpp.o"
+  "CMakeFiles/test_verify_parallel.dir/test_verify_parallel.cpp.o.d"
+  "test_verify_parallel"
+  "test_verify_parallel.pdb"
+  "test_verify_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verify_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

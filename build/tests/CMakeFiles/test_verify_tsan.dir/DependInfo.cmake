@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_verify_tsan.cpp" "tests/CMakeFiles/test_verify_tsan.dir/test_verify_tsan.cpp.o" "gcc" "tests/CMakeFiles/test_verify_tsan.dir/test_verify_tsan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mfv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mfv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/mfv_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/aft/CMakeFiles/mfv_aft.dir/DependInfo.cmake"
+  "/root/repo/build/src/rib/CMakeFiles/mfv_rib.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/mfv_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/vrouter/CMakeFiles/mfv_vrouter.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/mfv_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/orch/CMakeFiles/mfv_orch.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnmi/CMakeFiles/mfv_gnmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/gribi/CMakeFiles/mfv_gribi.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/mfv_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mfv_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mfv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/mfv_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/mfv_api.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verify_tsan.dir/test_verify_tsan.cpp.o"
+  "CMakeFiles/test_verify_tsan.dir/test_verify_tsan.cpp.o.d"
+  "test_verify_tsan"
+  "test_verify_tsan.pdb"
+  "test_verify_tsan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verify_tsan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aft/aft.cpp" "tests/CMakeFiles/test_verify_tsan_tsan.dir/__/src/aft/aft.cpp.o" "gcc" "tests/CMakeFiles/test_verify_tsan_tsan.dir/__/src/aft/aft.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "tests/CMakeFiles/test_verify_tsan_tsan.dir/__/src/net/ipv4.cpp.o" "gcc" "tests/CMakeFiles/test_verify_tsan_tsan.dir/__/src/net/ipv4.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "tests/CMakeFiles/test_verify_tsan_tsan.dir/__/src/util/json.cpp.o" "gcc" "tests/CMakeFiles/test_verify_tsan_tsan.dir/__/src/util/json.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "tests/CMakeFiles/test_verify_tsan_tsan.dir/__/src/util/strings.cpp.o" "gcc" "tests/CMakeFiles/test_verify_tsan_tsan.dir/__/src/util/strings.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "tests/CMakeFiles/test_verify_tsan_tsan.dir/__/src/util/thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_verify_tsan_tsan.dir/__/src/util/thread_pool.cpp.o.d"
+  "/root/repo/src/verify/disposition.cpp" "tests/CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/disposition.cpp.o" "gcc" "tests/CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/disposition.cpp.o.d"
+  "/root/repo/src/verify/forwarding_graph.cpp" "tests/CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/forwarding_graph.cpp.o" "gcc" "tests/CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/forwarding_graph.cpp.o.d"
+  "/root/repo/src/verify/packet_classes.cpp" "tests/CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/packet_classes.cpp.o" "gcc" "tests/CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/packet_classes.cpp.o.d"
+  "/root/repo/src/verify/queries.cpp" "tests/CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/queries.cpp.o" "gcc" "tests/CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/queries.cpp.o.d"
+  "/root/repo/src/verify/trace.cpp" "tests/CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/trace.cpp.o" "gcc" "tests/CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/trace.cpp.o.d"
+  "/root/repo/src/verify/trace_cache.cpp" "tests/CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/trace_cache.cpp.o" "gcc" "tests/CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/trace_cache.cpp.o.d"
+  "/root/repo/tests/test_verify_tsan.cpp" "tests/CMakeFiles/test_verify_tsan_tsan.dir/test_verify_tsan.cpp.o" "gcc" "tests/CMakeFiles/test_verify_tsan_tsan.dir/test_verify_tsan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

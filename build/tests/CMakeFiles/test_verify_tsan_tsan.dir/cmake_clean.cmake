@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verify_tsan_tsan.dir/__/src/aft/aft.cpp.o"
+  "CMakeFiles/test_verify_tsan_tsan.dir/__/src/aft/aft.cpp.o.d"
+  "CMakeFiles/test_verify_tsan_tsan.dir/__/src/net/ipv4.cpp.o"
+  "CMakeFiles/test_verify_tsan_tsan.dir/__/src/net/ipv4.cpp.o.d"
+  "CMakeFiles/test_verify_tsan_tsan.dir/__/src/util/json.cpp.o"
+  "CMakeFiles/test_verify_tsan_tsan.dir/__/src/util/json.cpp.o.d"
+  "CMakeFiles/test_verify_tsan_tsan.dir/__/src/util/strings.cpp.o"
+  "CMakeFiles/test_verify_tsan_tsan.dir/__/src/util/strings.cpp.o.d"
+  "CMakeFiles/test_verify_tsan_tsan.dir/__/src/util/thread_pool.cpp.o"
+  "CMakeFiles/test_verify_tsan_tsan.dir/__/src/util/thread_pool.cpp.o.d"
+  "CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/disposition.cpp.o"
+  "CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/disposition.cpp.o.d"
+  "CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/forwarding_graph.cpp.o"
+  "CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/forwarding_graph.cpp.o.d"
+  "CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/packet_classes.cpp.o"
+  "CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/packet_classes.cpp.o.d"
+  "CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/queries.cpp.o"
+  "CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/queries.cpp.o.d"
+  "CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/trace.cpp.o"
+  "CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/trace.cpp.o.d"
+  "CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/trace_cache.cpp.o"
+  "CMakeFiles/test_verify_tsan_tsan.dir/__/src/verify/trace_cache.cpp.o.d"
+  "CMakeFiles/test_verify_tsan_tsan.dir/test_verify_tsan.cpp.o"
+  "CMakeFiles/test_verify_tsan_tsan.dir/test_verify_tsan.cpp.o.d"
+  "test_verify_tsan_tsan"
+  "test_verify_tsan_tsan.pdb"
+  "test_verify_tsan_tsan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verify_tsan_tsan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

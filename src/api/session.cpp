@@ -127,10 +127,10 @@ util::Result<verify::TraceResult> Session::traceroute(const std::string& snapsho
 }
 
 util::Result<verify::PairwiseResult> Session::pairwise_reachability(
-    const std::string& snapshot) const {
+    const std::string& snapshot, const verify::QueryOptions& options) const {
   const verify::ForwardingGraph* graph = graph_for(snapshot);
   if (graph == nullptr) return util::not_found("no snapshot '" + snapshot + "'");
-  return verify::pairwise_reachability(*graph);
+  return verify::pairwise_reachability(*graph, options);
 }
 
 util::Result<verify::ReachabilityResult> Session::detect_loops(

@@ -84,8 +84,11 @@ class Session {
   util::Result<verify::TraceResult> traceroute(const std::string& snapshot,
                                                const net::NodeName& source,
                                                net::Ipv4Address destination) const;
+  /// Options tune the engine too (threads / engine mode / trace limits):
+  /// every query runs on the sharded, memoized engine described in
+  /// DESIGN.md §5 when options.threads != 1.
   util::Result<verify::PairwiseResult> pairwise_reachability(
-      const std::string& snapshot) const;
+      const std::string& snapshot, const verify::QueryOptions& options = {}) const;
   util::Result<verify::ReachabilityResult> detect_loops(
       const std::string& snapshot, const verify::QueryOptions& options = {}) const;
   /// Tabular FIB view (Pybatfish `routes()`): all of `node`'s entries, or

@@ -30,6 +30,13 @@ class DispositionSet {
   bool contains(Disposition d) const { return (bits_ & bit(d)) != 0; }
   bool empty() const { return bits_ == 0; }
 
+  /// Union with another set (multipath branches ending differently).
+  void merge(const DispositionSet& other) { bits_ |= other.bits_; }
+  /// True if the sets share at least one disposition.
+  bool intersects(const DispositionSet& other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+
   /// True if every branch ends in success (accepted / delivered / exits).
   bool all_success() const;
   /// True if any branch fails (no-route, null-routed, unreachable, loop).

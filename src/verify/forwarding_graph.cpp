@@ -28,10 +28,31 @@ std::vector<net::NodeName> ForwardingGraph::nodes() const {
 
 const aft::Ipv4Entry* ForwardingGraph::lookup(const net::NodeName& node,
                                               net::Ipv4Address destination) const {
+  if (!lpm_index_.empty()) {
+    auto node_it = lpm_index_.find(node);
+    if (node_it != lpm_index_.end()) {
+      auto hit = node_it->second.find(destination.bits());
+      if (hit != node_it->second.end()) return hit->second;
+    }
+  }
   auto it = tries_.find(node);
   if (it == tries_.end()) return nullptr;
   auto match = it->second.longest_match(destination);
   return match ? *match->second : nullptr;
+}
+
+void ForwardingGraph::prime_class_lpm(const std::vector<PacketClass>& classes) const {
+  for (const auto& [node, trie] : tries_) {
+    auto& index = lpm_index_[node];
+    index.reserve(index.size() + classes.size());
+    for (const PacketClass& cls : classes) {
+      net::Ipv4Address representative = cls.representative();
+      auto [it, fresh] = index.try_emplace(representative.bits(), nullptr);
+      if (!fresh) continue;  // already primed by an earlier partition
+      auto match = trie.longest_match(representative);
+      it->second = match ? *match->second : nullptr;
+    }
+  }
 }
 
 namespace {

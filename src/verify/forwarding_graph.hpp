@@ -10,10 +10,12 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "gnmi/gnmi.hpp"
 #include "net/prefix_trie.hpp"
+#include "verify/packet_classes.hpp"
 
 namespace mfv::verify {
 
@@ -71,11 +73,24 @@ class ForwardingGraph {
   /// partition is computed from this set.
   std::vector<net::Ipv4Prefix> relevant_prefixes() const;
 
+  /// Precomputes, for every node, the LPM resolution of each class
+  /// representative; lookup() then serves those exact addresses from a
+  /// flat hash table instead of descending the trie — the per-hop cost of
+  /// a query sweep stops paying the trie walk. Idempotent and cumulative
+  /// across partitions (differential queries prime both snapshots with
+  /// the union partition). Not safe against concurrent lookup(): prime
+  /// before the parallel phase of a query.
+  void prime_class_lpm(const std::vector<PacketClass>& classes) const;
+
  private:
   gnmi::Snapshot snapshot_;
   std::map<net::NodeName, net::PrefixTrie<const aft::Ipv4Entry*>> tries_;
   std::map<uint32_t, net::NodeName> owners_;  // address bits -> node
   std::map<net::NodeName, std::vector<net::Ipv4Prefix>> connected_;
+  /// Primed per-representative LPM results (nullptr = cached "no route").
+  mutable std::map<net::NodeName,
+                   std::unordered_map<uint32_t, const aft::Ipv4Entry*>>
+      lpm_index_;
 };
 
 }  // namespace mfv::verify

@@ -1,7 +1,6 @@
 #include "verify/packet_classes.hpp"
 
 #include <algorithm>
-#include <set>
 
 namespace mfv::verify {
 
@@ -14,13 +13,19 @@ std::vector<PacketClass> compute_packet_classes(
     const std::vector<net::Ipv4Prefix>& prefixes) {
   // Boundary points: the first address of each prefix and the address just
   // past its last. 64-bit to represent the point past 255.255.255.255.
-  std::set<uint64_t> boundaries;
-  boundaries.insert(0);
-  boundaries.insert(0x100000000ull);
+  // Sorted flat vector + unique instead of a std::set: one allocation and
+  // a sort beat a red-black node per boundary on large snapshots.
+  std::vector<uint64_t> boundaries;
+  boundaries.reserve(2 * prefixes.size() + 2);
+  boundaries.push_back(0);
+  boundaries.push_back(0x100000000ull);
   for (const net::Ipv4Prefix& prefix : prefixes) {
-    boundaries.insert(prefix.first_address().bits());
-    boundaries.insert(static_cast<uint64_t>(prefix.last_address().bits()) + 1);
+    boundaries.push_back(prefix.first_address().bits());
+    boundaries.push_back(static_cast<uint64_t>(prefix.last_address().bits()) + 1);
   }
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
 
   std::vector<PacketClass> classes;
   classes.reserve(boundaries.size());

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <set>
+#include <thread>
+
+#include "util/thread_pool.hpp"
+#include "verify/trace_cache.hpp"
 
 namespace mfv::verify {
 
@@ -19,6 +23,26 @@ std::vector<PacketClass> classes_for(const std::vector<net::Ipv4Prefix>& prefixe
   return compute_packet_classes(prefixes);
 }
 
+unsigned resolve_threads(const QueryOptions& options) {
+  if (options.threads != 0) return options.threads;
+  return util::ThreadPool::default_threads();
+}
+
+/// True when the memoized (TraceCache) engine should run; false selects
+/// the legacy per-flow walker.
+bool use_cached_engine(const QueryOptions& options, unsigned threads) {
+  switch (options.engine) {
+    case EngineMode::kLegacy: return false;
+    case EngineMode::kCached: return true;
+    case EngineMode::kAuto: return threads > 1;
+  }
+  return threads > 1;
+}
+
+bool row_passes(const QueryOptions& options, const DispositionSet& dispositions) {
+  return options.row_filter.empty() || dispositions.intersects(options.row_filter);
+}
+
 }  // namespace
 
 ReachabilityResult reachability(const ForwardingGraph& graph, const QueryOptions& options) {
@@ -26,11 +50,48 @@ ReachabilityResult reachability(const ForwardingGraph& graph, const QueryOptions
   std::vector<PacketClass> classes = classes_for(graph.relevant_prefixes(), options);
   std::vector<net::NodeName> sources = resolve_sources(graph, options);
   result.classes = classes.size();
-  for (const net::NodeName& source : sources) {
-    for (const PacketClass& cls : classes) {
-      TraceResult trace = trace_flow(graph, source, cls.representative(), options.trace);
-      result.rows.push_back({source, cls, trace.dispositions});
-      ++result.flows;
+
+  unsigned threads = resolve_threads(options);
+  if (!use_cached_engine(options, threads) && threads <= 1) {
+    // Legacy serial engine: one full walk per (source, class), bit-identical
+    // to the seed implementation (including path-truncation behavior).
+    for (const net::NodeName& source : sources) {
+      for (const PacketClass& cls : classes) {
+        TraceResult trace = trace_flow(graph, source, cls.representative(), options.trace);
+        ++result.flows;
+        if (!row_passes(options, trace.dispositions)) continue;
+        result.rows.push_back({source, cls, trace.dispositions});
+      }
+    }
+    return result;
+  }
+
+  // Sharded engine: one shard per packet class. Each shard resolves its
+  // class once (memoized per-node table when the cache is on) and fills a
+  // shard-indexed slice of the disposition matrix, so row content and
+  // order never depend on the worker count.
+  graph.prime_class_lpm(classes);
+  const size_t class_count = classes.size();
+  std::vector<DispositionSet> matrix(sources.size() * class_count);
+  bool cached = use_cached_engine(options, threads);
+  TraceCache cache(graph);
+  util::parallel_for_shards(threads, class_count, [&](size_t c) {
+    net::Ipv4Address representative = classes[c].representative();
+    if (cached) cache.warm(representative);
+    for (size_t s = 0; s < sources.size(); ++s) {
+      matrix[s * class_count + c] =
+          cached ? cache.dispositions(sources[s], representative)
+                 : trace_flow(graph, sources[s], representative, options.trace)
+                       .dispositions;
+    }
+  });
+
+  result.flows = sources.size() * class_count;
+  for (size_t s = 0; s < sources.size(); ++s) {
+    for (size_t c = 0; c < class_count; ++c) {
+      const DispositionSet& dispositions = matrix[s * class_count + c];
+      if (!row_passes(options, dispositions)) continue;
+      result.rows.push_back({sources[s], classes[c], dispositions});
     }
   }
   return result;
@@ -54,7 +115,9 @@ DifferentialResult differential_reachability(const ForwardingGraph& base,
   DifferentialResult result;
 
   // Classes must be computed over the union of both snapshots' prefixes so
-  // a boundary present in only one side still splits the space.
+  // a boundary present in only one side still splits the space. Computed
+  // once here — base and candidate then share one TraceCache pair across
+  // every flow instead of re-deriving per-flow state.
   std::vector<net::Ipv4Prefix> prefixes = base.relevant_prefixes();
   std::vector<net::Ipv4Prefix> candidate_prefixes = candidate.relevant_prefixes();
   prefixes.insert(prefixes.end(), candidate_prefixes.begin(), candidate_prefixes.end());
@@ -75,15 +138,64 @@ DifferentialResult differential_reachability(const ForwardingGraph& base,
     sources.assign(all.begin(), all.end());
   }
 
-  for (const net::NodeName& source : sources) {
-    for (const PacketClass& cls : classes) {
-      TraceResult base_trace = trace_flow(base, source, cls.representative(), options.trace);
-      TraceResult candidate_trace =
-          trace_flow(candidate, source, cls.representative(), options.trace);
-      ++result.flows;
-      if (base_trace.dispositions == candidate_trace.dispositions) continue;
+  unsigned threads = resolve_threads(options);
+  if (!use_cached_engine(options, threads) && threads <= 1) {
+    for (const net::NodeName& source : sources) {
+      for (const PacketClass& cls : classes) {
+        TraceResult base_trace = trace_flow(base, source, cls.representative(), options.trace);
+        TraceResult candidate_trace =
+            trace_flow(candidate, source, cls.representative(), options.trace);
+        ++result.flows;
+        if (base_trace.dispositions == candidate_trace.dispositions) continue;
+        result.rows.push_back(
+            {source, cls, base_trace.dispositions, candidate_trace.dispositions});
+      }
+    }
+    return result;
+  }
+
+  base.prime_class_lpm(classes);
+  candidate.prime_class_lpm(classes);
+  const size_t class_count = classes.size();
+  bool cached = use_cached_engine(options, threads);
+  TraceCache base_cache(base);
+  TraceCache candidate_cache(candidate);
+  // Cell (s, c): the two disposition sets plus a differ flag; only
+  // differing cells become rows, in source-major order like the legacy
+  // engine.
+  std::vector<DispositionSet> base_matrix(sources.size() * class_count);
+  std::vector<DispositionSet> candidate_matrix(sources.size() * class_count);
+  std::vector<uint8_t> differs(sources.size() * class_count, 0);
+  util::parallel_for_shards(threads, class_count, [&](size_t c) {
+    net::Ipv4Address representative = classes[c].representative();
+    if (cached) {
+      base_cache.warm(representative);
+      candidate_cache.warm(representative);
+    }
+    for (size_t s = 0; s < sources.size(); ++s) {
+      size_t cell = s * class_count + c;
+      if (cached) {
+        base_matrix[cell] = base_cache.dispositions(sources[s], representative);
+        candidate_matrix[cell] =
+            candidate_cache.dispositions(sources[s], representative);
+      } else {
+        base_matrix[cell] =
+            trace_flow(base, sources[s], representative, options.trace).dispositions;
+        candidate_matrix[cell] =
+            trace_flow(candidate, sources[s], representative, options.trace)
+                .dispositions;
+      }
+      differs[cell] = base_matrix[cell] == candidate_matrix[cell] ? 0 : 1;
+    }
+  });
+
+  result.flows = sources.size() * class_count;
+  for (size_t s = 0; s < sources.size(); ++s) {
+    for (size_t c = 0; c < class_count; ++c) {
+      size_t cell = s * class_count + c;
+      if (!differs[cell]) continue;
       result.rows.push_back(
-          {source, cls, base_trace.dispositions, candidate_trace.dispositions});
+          {sources[s], classes[c], base_matrix[cell], candidate_matrix[cell]});
     }
   }
   return result;
@@ -126,13 +238,12 @@ std::vector<RouteRow> routes(const ForwardingGraph& graph, const net::NodeName& 
 }
 
 ReachabilityResult detect_loops(const ForwardingGraph& graph, const QueryOptions& options) {
-  ReachabilityResult all = reachability(graph, options);
-  ReachabilityResult loops;
-  loops.classes = all.classes;
-  loops.flows = all.flows;
-  for (ReachabilityRow& row : all.rows)
-    if (row.dispositions.contains(Disposition::kLoop)) loops.rows.push_back(std::move(row));
-  return loops;
+  // Push the loop filter into the query sweep: non-loop rows are never
+  // materialized instead of being built and thrown away.
+  QueryOptions loop_options = options;
+  loop_options.row_filter = DispositionSet();
+  loop_options.row_filter.add(Disposition::kLoop);
+  return reachability(graph, loop_options);
 }
 
 std::optional<net::Ipv4Address> device_loopback(const gnmi::Snapshot& snapshot,
@@ -151,22 +262,67 @@ std::optional<net::Ipv4Address> device_loopback(const gnmi::Snapshot& snapshot,
 }
 
 PairwiseResult pairwise_reachability(const ForwardingGraph& graph,
-                                     const TraceOptions& options) {
+                                     const QueryOptions& options) {
   PairwiseResult result;
   std::vector<net::NodeName> nodes = graph.nodes();
-  for (const net::NodeName& source : nodes) {
-    for (const net::NodeName& destination : nodes) {
-      if (source == destination) continue;
-      auto loopback = device_loopback(graph.snapshot(), destination);
-      if (!loopback) continue;
-      TraceResult trace = trace_flow(graph, source, *loopback, options);
-      bool reachable = trace.reachable();
-      result.cells.push_back({source, destination, reachable});
+
+  unsigned threads = resolve_threads(options);
+  if (!use_cached_engine(options, threads) && threads <= 1) {
+    for (const net::NodeName& source : nodes) {
+      for (const net::NodeName& destination : nodes) {
+        if (source == destination) continue;
+        auto loopback = device_loopback(graph.snapshot(), destination);
+        if (!loopback) continue;
+        TraceResult trace = trace_flow(graph, source, *loopback, options.trace);
+        bool reachable = trace.reachable();
+        result.cells.push_back({source, destination, reachable});
+        ++result.total_pairs;
+        if (reachable) ++result.reachable_pairs;
+      }
+    }
+    return result;
+  }
+
+  // Shard by destination device: its loopback's trace table is computed
+  // once (memoized) and shared by all sources. Cells are emitted
+  // source-major afterwards, matching the legacy ordering.
+  const size_t node_count = nodes.size();
+  std::vector<std::optional<net::Ipv4Address>> loopbacks(node_count);
+  for (size_t d = 0; d < node_count; ++d)
+    loopbacks[d] = device_loopback(graph.snapshot(), nodes[d]);
+
+  bool cached = use_cached_engine(options, threads);
+  TraceCache cache(graph);
+  std::vector<uint8_t> reachable(node_count * node_count, 0);
+  util::parallel_for_shards(threads, node_count, [&](size_t d) {
+    if (!loopbacks[d]) return;
+    for (size_t s = 0; s < node_count; ++s) {
+      if (s == d) continue;
+      bool ok =
+          cached
+              ? cache.dispositions(nodes[s], *loopbacks[d]).contains(Disposition::kAccepted)
+              : trace_flow(graph, nodes[s], *loopbacks[d], options.trace).reachable();
+      reachable[s * node_count + d] = ok ? 1 : 0;
+    }
+  });
+
+  for (size_t s = 0; s < node_count; ++s) {
+    for (size_t d = 0; d < node_count; ++d) {
+      if (s == d || !loopbacks[d]) continue;
+      bool ok = reachable[s * node_count + d] != 0;
+      result.cells.push_back({nodes[s], nodes[d], ok});
       ++result.total_pairs;
-      if (reachable) ++result.reachable_pairs;
+      if (ok) ++result.reachable_pairs;
     }
   }
   return result;
+}
+
+PairwiseResult pairwise_reachability(const ForwardingGraph& graph,
+                                     const TraceOptions& options) {
+  QueryOptions query;
+  query.trace = options;
+  return pairwise_reachability(graph, query);
 }
 
 }  // namespace mfv::verify

@@ -16,6 +16,13 @@
 
 namespace mfv::verify {
 
+/// Engine selection. kAuto picks the memoized sharded engine whenever the
+/// query runs multi-threaded and the legacy per-flow walker when
+/// threads == 1 (bit-identical to the seed engine). kLegacy / kCached
+/// force one path regardless of thread count — e.g. for benchmarking
+/// cached-vs-uncached at equal parallelism.
+enum class EngineMode { kAuto, kLegacy, kCached };
+
 struct QueryOptions {
   /// Sources to inject at; empty = every device.
   std::vector<net::NodeName> sources;
@@ -23,6 +30,15 @@ struct QueryOptions {
   /// the full IPv4 space.
   std::optional<net::Ipv4Prefix> scope;
   TraceOptions trace;
+  /// Worker threads for the query sweep: 0 = hardware concurrency,
+  /// 1 = serial legacy path. Results are identical for every thread
+  /// count (shard-indexed result slots; see util::parallel_for_shards).
+  unsigned threads = 0;
+  EngineMode engine = EngineMode::kAuto;
+  /// If non-empty, only rows whose disposition set intersects this filter
+  /// are materialized (flow/class counters still cover every flow) — e.g.
+  /// detect_loops() filters on kLoop so success rows are never built.
+  DispositionSet row_filter;
 };
 
 // ---------------------------------------------------------------------------
@@ -118,8 +134,12 @@ struct PairwiseResult {
 };
 
 /// Loopback-to-loopback reachability matrix ("full pair-wise reachability"
-/// in §5's Fig. 3 experiment).
+/// in §5's Fig. 3 experiment). Sharded by destination device; each
+/// destination's trace table is memoized once and shared by all sources.
 PairwiseResult pairwise_reachability(const ForwardingGraph& graph,
-                                     const TraceOptions& options = {});
+                                     const QueryOptions& options = {});
+/// Convenience overload keeping the historical trace-options signature.
+PairwiseResult pairwise_reachability(const ForwardingGraph& graph,
+                                     const TraceOptions& options);
 
 }  // namespace mfv::verify

@@ -1,0 +1,230 @@
+#include "verify/trace_cache.hpp"
+
+#include <set>
+
+namespace mfv::verify {
+
+namespace {
+
+/// Per-class depth-first disposition solver. States are (node, carried
+/// MPLS label); loop detection is node-based like the legacy walker's
+/// visited set, so a revisit of a device under *any* label state ends the
+/// path with kLoop.
+///
+/// The subtlety: inside a forwarding cycle, a node's disposition set is
+/// context-sensitive — entering the cycle mid-way blocks exploration of
+/// the on-stack part, so the truncated union must not be memoized (a
+/// plain tri-color memo would record {LOOP} for a cycle member that can
+/// also reach an exit). Every on-stack hit therefore taints the result
+/// with the hit node; a frame absorbs taint on its own node when it pops
+/// and only untainted (context-free) results enter the memo. Roots are
+/// always untainted by the time they return — all deps reference stack
+/// ancestors — so one pass over all nodes fully populates the table.
+class ClassSolver {
+ public:
+  ClassSolver(const ForwardingGraph& graph, net::Ipv4Address destination,
+              const std::map<net::NodeName, uint32_t>& node_index,
+              std::unordered_map<uint64_t, DispositionSet>& memo)
+      : graph_(graph),
+        destination_(destination),
+        node_index_(node_index),
+        memo_(memo),
+        node_on_stack_(node_index.size(), 0) {}
+
+  void solve_all() {
+    for (const auto& [node, index] : node_index_) {
+      Outcome outcome = visit(node, index, std::nullopt);
+      // Root results are always context-free: every dependency recorded
+      // below a frame is absorbed when that frame pops, so by the time
+      // the (empty-stack) root returns, deps is empty and the result was
+      // memoized by visit() itself.
+      (void)outcome;
+    }
+  }
+
+ private:
+  struct Outcome {
+    DispositionSet set;
+    /// Node indices whose on-stack presence this result depends on;
+    /// empty = context-free (memoizable).
+    std::set<uint32_t> deps;
+  };
+
+  static uint64_t state_key(uint32_t node_index, std::optional<uint32_t> label) {
+    // label+1 so "no label" (0) never collides with label 0.
+    uint64_t label_part = label ? static_cast<uint64_t>(*label) + 1 : 0;
+    return (static_cast<uint64_t>(node_index) << 33) | label_part;
+  }
+
+  Outcome visit(const net::NodeName& node, uint32_t index,
+                std::optional<uint32_t> label) {
+    uint64_t key = state_key(index, label);
+    if (auto it = memo_.find(key); it != memo_.end()) return {it->second, {}};
+    if (node_on_stack_[index] > 0) {
+      // Device already on the current path (under any label state): the
+      // legacy walker's node-based visited set calls this a loop. The
+      // verdict holds only for paths running through that on-stack
+      // occurrence, so taint the result with the node — a cycle member
+      // reached mid-cycle may still reach exits this truncated branch
+      // cannot see, and must not be memoized here.
+      Outcome loop;
+      loop.set.add(Disposition::kLoop);
+      loop.deps.insert(index);
+      return loop;
+    }
+
+    ++node_on_stack_[index];
+    Outcome outcome = expand(node, label);
+    --node_on_stack_[index];
+
+    outcome.deps.erase(index);  // this frame satisfies its own-node deps
+    if (outcome.deps.empty()) memo_[key] = outcome.set;
+    return outcome;
+  }
+
+  /// One step of the legacy walker, disposition-only: label forwarding
+  /// until pop, then IP forwarding. Mirrors Tracer::walk in trace.cpp.
+  Outcome expand(const net::NodeName& node, std::optional<uint32_t> label) {
+    Outcome out;
+    if (label) {
+      const aft::LabelEntry* label_entry = graph_.lookup_label(node, *label);
+      if (label_entry == nullptr) return terminal(Disposition::kNoRoute);
+      std::vector<aft::NextHop> label_hops = graph_.label_next_hops(node, *label_entry);
+      if (label_hops.empty()) return terminal(Disposition::kNoRoute);
+      const aft::NextHop& action = label_hops.front();  // LSPs do not ECMP
+      if (action.label_op != aft::LabelOp::kPop) {
+        // Swap and move downstream.
+        if (!action.ip_address) return terminal(Disposition::kNeighborUnreachable);
+        auto owner = graph_.address_owner(*action.ip_address);
+        if (!owner) return terminal(Disposition::kNeighborUnreachable);
+        follow(out, *owner, action.label);
+        return out;
+      }
+      // Pop: resume IP forwarding on this node, same frame (the walker
+      // does not re-check its visited set here).
+    }
+
+    if (graph_.owns(node, destination_)) return terminal(Disposition::kAccepted);
+
+    const aft::Ipv4Entry* entry = graph_.lookup(node, destination_);
+    if (entry == nullptr) return terminal(Disposition::kNoRoute);
+    std::vector<aft::NextHop> next_hops = graph_.next_hops(node, *entry);
+    if (next_hops.empty()) return terminal(Disposition::kNoRoute);
+
+    for (const aft::NextHop& next_hop : next_hops) {
+      if (next_hop.drop) {
+        out.set.add(Disposition::kNullRouted);
+        continue;
+      }
+      if (next_hop.interface &&
+          !graph_.egress_permits(node, *next_hop.interface, destination_)) {
+        out.set.add(Disposition::kDeniedOut);
+        continue;
+      }
+      if (next_hop.ip_address) {
+        auto owner = graph_.address_owner(*next_hop.ip_address);
+        if (!owner) {
+          out.set.add(Disposition::kNeighborUnreachable);
+          continue;
+        }
+        if (!graph_.ingress_permits(*owner, *next_hop.ip_address, destination_)) {
+          out.set.add(Disposition::kDeniedIn);
+          continue;
+        }
+        std::optional<uint32_t> pushed;
+        if (next_hop.label_op == aft::LabelOp::kPush) pushed = next_hop.label;
+        follow(out, *owner, pushed);
+        continue;
+      }
+      // Attached: forwarding onto a connected subnet.
+      auto owner = graph_.address_owner(destination_);
+      if (owner) {
+        if (!graph_.ingress_permits(*owner, destination_, destination_)) {
+          out.set.add(Disposition::kDeniedIn);
+          continue;
+        }
+        follow(out, *owner, std::nullopt);
+      } else if (graph_.on_connected_subnet(node, destination_)) {
+        out.set.add(Disposition::kDeliveredToSubnet);
+      } else {
+        out.set.add(Disposition::kExitsNetwork);
+      }
+    }
+    return out;
+  }
+
+  void follow(Outcome& out, const net::NodeName& node, std::optional<uint32_t> label) {
+    auto it = node_index_.find(node);
+    if (it == node_index_.end()) {
+      // Downstream device absent from the graph (cannot happen for
+      // address owners, which are graph nodes by construction).
+      out.set.add(Disposition::kNoRoute);
+      return;
+    }
+    Outcome child = visit(node, it->second, label);
+    out.set.merge(child.set);
+    out.deps.insert(child.deps.begin(), child.deps.end());
+  }
+
+  static Outcome terminal(Disposition disposition) {
+    Outcome out;
+    out.set.add(disposition);
+    return out;
+  }
+
+  const ForwardingGraph& graph_;
+  net::Ipv4Address destination_;
+  const std::map<net::NodeName, uint32_t>& node_index_;
+  std::unordered_map<uint64_t, DispositionSet>& memo_;
+  std::vector<uint32_t> node_on_stack_;  // per-node on-chain counts
+};
+
+}  // namespace
+
+TraceCache::TraceCache(const ForwardingGraph& graph) : graph_(graph) {
+  uint32_t index = 0;
+  for (const net::NodeName& node : graph.nodes()) {
+    node_index_.emplace(node, index++);
+    node_names_.push_back(node);
+  }
+}
+
+TraceCache::ClassTable& TraceCache::table_for(net::Ipv4Address destination) {
+  std::unique_ptr<ClassTable>* slot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slot = &tables_[destination.bits()];
+    if (!*slot) *slot = std::make_unique<ClassTable>();
+  }
+  ClassTable& table = **slot;
+  std::call_once(table.once, [&] {
+    ClassSolver solver(graph_, destination, node_index_, table.memo);
+    solver.solve_all();
+  });
+  return table;
+}
+
+void TraceCache::warm(net::Ipv4Address destination) { table_for(destination); }
+
+DispositionSet TraceCache::dispositions(const net::NodeName& source,
+                                        net::Ipv4Address destination) {
+  auto index_it = node_index_.find(source);
+  if (index_it == node_index_.end()) {
+    DispositionSet no_route;
+    no_route.add(Disposition::kNoRoute);
+    return no_route;
+  }
+  ClassTable& table = table_for(destination);
+  uint64_t key = static_cast<uint64_t>(index_it->second) << 33;
+  auto it = table.memo.find(key);
+  if (it != table.memo.end()) return it->second;
+  // Unreachable: solve_all memoizes every root (see ClassSolver).
+  return {};
+}
+
+size_t TraceCache::classes_cached() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tables_.size();
+}
+
+}  // namespace mfv::verify

@@ -1,0 +1,78 @@
+// Per-snapshot memoization of trace continuations.
+//
+// Forwarding of a packet is a function of (current device, packet class)
+// only — never of how the packet got there. The legacy engine ignores
+// this and re-walks the forwarding graph for every (source x class) pair,
+// an O(S*C*pathlen) sweep. TraceCache instead computes, per class, the
+// disposition set of *every* node in one depth-first pass over the
+// forwarding graph (memoizing each node's continuation), then serves all
+// S sources from that table: the S x C trace matrix becomes C
+// dynamic-programming passes — an algorithmic win independent of
+// threading.
+//
+// Semantics match the legacy per-flow walker (trace.cpp) exactly, with
+// two documented exceptions, both unreachable in realistic snapshots:
+//   * path-enumeration truncation (TraceOptions.max_paths) can make the
+//     legacy walker *miss* dispositions on flows with > max_paths ECMP
+//     branches; the cache always reports the untruncated union;
+//   * a simple path longer than max_hops is reported as a loop by the
+//     legacy walker and by its true disposition here.
+// Loop detection is node-based, like the walker's visited set: a flow
+// revisiting a device in *any* label state is a loop. Continuations whose
+// loop verdict depends on the path taken (a node revisited in a different
+// MPLS label state without a state-graph cycle) are computed per entry
+// path and never memoized, so the table stays context-free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "verify/disposition.hpp"
+#include "verify/forwarding_graph.hpp"
+
+namespace mfv::verify {
+
+class TraceCache {
+ public:
+  explicit TraceCache(const ForwardingGraph& graph);
+
+  /// Disposition set of the flow injected at `source` destined to
+  /// `destination` (any address of a packet class, typically its
+  /// representative). Computes the per-node table for that destination on
+  /// first use. An unknown source reports NO_ROUTE, like trace_flow.
+  DispositionSet dispositions(const net::NodeName& source,
+                              net::Ipv4Address destination);
+
+  /// Precomputes the table for `destination`'s class (idempotent).
+  void warm(net::Ipv4Address destination);
+
+  /// Number of distinct destination classes resolved so far.
+  size_t classes_cached() const;
+
+  /// Thread-safety: concurrent calls are safe for any mix of
+  /// destinations; each class table is computed exactly once (callers
+  /// sharding by class never contend).
+
+ private:
+  struct ClassTable {
+    std::once_flag once;
+    /// state key -> disposition set; populated for every node at minimum.
+    std::unordered_map<uint64_t, DispositionSet> memo;
+  };
+
+  ClassTable& table_for(net::Ipv4Address destination);
+
+  const ForwardingGraph& graph_;
+  /// Stable node -> dense index mapping (for state keys).
+  std::map<net::NodeName, uint32_t> node_index_;
+  std::vector<net::NodeName> node_names_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<uint32_t, std::unique_ptr<ClassTable>> tables_;
+};
+
+}  // namespace mfv::verify
