@@ -13,16 +13,46 @@
 #include <cstdio>
 
 #include "api/session.hpp"
+#include "scenario/scenario.hpp"
 #include "workload/scenarios.hpp"
 
 namespace {
 
 using namespace mfv;
 
+/// The E1 change as perturbations: the configs that differ between the
+/// healthy and bug topologies, expressed as ConfigReplace operations.
+std::vector<scenario::Perturbation> e1_perturbations() {
+  emu::Topology healthy = workload::fig2_topology(false);
+  emu::Topology bug = workload::fig2_topology(true);
+  std::vector<scenario::Perturbation> perturbations;
+  for (const emu::NodeSpec& node : bug.nodes) {
+    const emu::NodeSpec* before = healthy.find_node(node.name);
+    if (before != nullptr && before->config_text != node.config_text)
+      perturbations.push_back(
+          scenario::ConfigReplace{node.name, node.config_text, node.vendor});
+  }
+  return perturbations;
+}
+
 void report() {
   api::Session session;
   if (!session.init_snapshot(workload::fig2_topology(false), "base").ok()) return;
+
+  // Candidate snapshot built both ways: a second cold boot (the paper's
+  // pipeline) and a fork of the converged base with the config delta
+  // applied (the scenario engine). Both are byte-equivalent dataplanes
+  // (tests/test_scenario_fork.cpp); timings quantify the saving.
+  auto cold_begin = std::chrono::steady_clock::now();
   if (!session.init_snapshot(workload::fig2_topology(true), "bug").ok()) return;
+  double cold_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - cold_begin)
+                       .count();
+  auto fork_begin = std::chrono::steady_clock::now();
+  if (!session.fork_snapshot("base", "bug-forked", e1_perturbations()).ok()) return;
+  double fork_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - fork_begin)
+                       .count();
   auto diff = session.differential_reachability("base", "bug");
   if (!diff.ok()) return;
   auto regressions = diff->regressions();
@@ -48,6 +78,28 @@ void report() {
               regressions.size(), as3_to_as2);
   std::printf("%-46s %-22s %s\n", "baseline convergence (virtual)", "n/a",
               session.info("base")->convergence_time.to_string().c_str());
+  std::printf("%-46s %-22s %.2f ms cold / %.2f ms forked (%.1fx)\n",
+              "candidate snapshot build (wall)", "full re-emulation", cold_ms, fork_ms,
+              fork_ms > 0 ? cold_ms / fork_ms : 0.0);
+
+  // The forked candidate answers the query identically.
+  auto forked_diff = session.differential_reachability("base", "bug-forked");
+  size_t forked_as3_to_as2 = 0;
+  if (forked_diff.ok()) {
+    for (const auto& row : forked_diff->regressions()) {
+      if (row.source != "R3" && row.source != "R4" && row.source != "R6") continue;
+      for (int i : {2, 5})
+        if (row.destination.contains(
+                *net::Ipv4Address::parse(workload::fig2_loopback(i))))
+          ++forked_as3_to_as2;
+    }
+  }
+  std::printf("%-46s %-22s %s (%zu AS3->AS2 rows)\n", "forked snapshot finds the loss",
+              "same verdict", forked_as3_to_as2 == as3_to_as2 ? "yes" : "NO",
+              forked_as3_to_as2);
+  std::printf("E1_TIMING build=cold ms=%.2f\n", cold_ms);
+  std::printf("E1_TIMING build=forked ms=%.2f speedup=%.2f\n", fork_ms,
+              fork_ms > 0 ? cold_ms / fork_ms : 0.0);
 
   // Engine comparison on the same query: serial legacy walker versus the
   // memoized trace cache, with and without sharded execution. Emitted as
@@ -84,6 +136,25 @@ void BM_EmulateFig2ToConvergence(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EmulateFig2ToConvergence)->Unit(benchmark::kMillisecond);
+
+void BM_ForkFig2WithConfigDelta(benchmark::State& state) {
+  // The incremental alternative to BM_EmulateFig2ToConvergence: fork the
+  // converged base and apply the E1 config delta.
+  emu::Emulation base;
+  if (!base.add_topology(workload::fig2_topology(false)).ok()) return;
+  base.start_all();
+  base.run_to_convergence();
+  std::vector<scenario::Perturbation> perturbations = e1_perturbations();
+  for (auto _ : state) {
+    std::unique_ptr<emu::Emulation> fork = base.fork();
+    for (const scenario::Perturbation& perturbation : perturbations)
+      scenario::ScenarioRunner::apply(*fork, perturbation);
+    fork->run_to_convergence();
+    gnmi::Snapshot snapshot = gnmi::Snapshot::capture(*fork, "bug");
+    benchmark::DoNotOptimize(snapshot.total_entries());
+  }
+}
+BENCHMARK(BM_ForkFig2WithConfigDelta)->Unit(benchmark::kMillisecond);
 
 void BM_DifferentialQuery(benchmark::State& state) {
   api::Session session;

@@ -6,46 +6,48 @@
 namespace mfv::aft {
 
 uint64_t Aft::add_next_hop(NextHop next_hop) {
-  uint64_t index = next_hop_counter_++;
+  Tables& tables = mutate();
+  uint64_t index = tables.next_hop_counter++;
   next_hop.index = index;
-  next_hops_[index] = std::move(next_hop);
+  tables.next_hops[index] = std::move(next_hop);
   return index;
 }
 
 uint64_t Aft::add_group(std::vector<std::pair<uint64_t, uint64_t>> weighted_next_hops) {
-  uint64_t id = group_counter_++;
+  Tables& tables = mutate();
+  uint64_t id = tables.group_counter++;
   NextHopGroup group;
   group.id = id;
   group.next_hops = std::move(weighted_next_hops);
-  groups_[id] = std::move(group);
+  tables.groups[id] = std::move(group);
   return id;
 }
 
 void Aft::set_ipv4_entry(Ipv4Entry entry) {
-  ipv4_entries_[entry.prefix] = std::move(entry);
-  invalidate_trie();
+  Tables& tables = mutate();
+  tables.ipv4_entries[entry.prefix] = std::move(entry);
 }
 
-void Aft::set_label_entry(LabelEntry entry) { label_entries_[entry.label] = entry; }
+void Aft::set_label_entry(LabelEntry entry) { mutate().label_entries[entry.label] = entry; }
 
 const NextHop* Aft::next_hop(uint64_t index) const {
-  auto it = next_hops_.find(index);
-  return it == next_hops_.end() ? nullptr : &it->second;
+  auto it = tables_->next_hops.find(index);
+  return it == tables_->next_hops.end() ? nullptr : &it->second;
 }
 
 const NextHopGroup* Aft::group(uint64_t id) const {
-  auto it = groups_.find(id);
-  return it == groups_.end() ? nullptr : &it->second;
+  auto it = tables_->groups.find(id);
+  return it == tables_->groups.end() ? nullptr : &it->second;
 }
 
 const Ipv4Entry* Aft::ipv4_entry(const net::Ipv4Prefix& prefix) const {
-  auto it = ipv4_entries_.find(prefix);
-  return it == ipv4_entries_.end() ? nullptr : &it->second;
+  auto it = tables_->ipv4_entries.find(prefix);
+  return it == tables_->ipv4_entries.end() ? nullptr : &it->second;
 }
 
 void Aft::rebuild_trie() const {
   trie_.clear();
-  for (const auto& [prefix, entry] : ipv4_entries_) trie_.insert(prefix, &entry);
+  for (const auto& [prefix, entry] : tables_->ipv4_entries) trie_.insert(prefix, &entry);
   trie_valid_ = true;
 }
 
@@ -69,8 +71,9 @@ std::vector<NextHop> Aft::forward(net::Ipv4Address destination) const {
 }
 
 bool Aft::forwarding_equal(const Aft& other) const {
-  if (ipv4_entries_.size() != other.ipv4_entries_.size()) return false;
-  if (label_entries_.size() != other.label_entries_.size()) return false;
+  if (&*tables_ == &*other.tables_) return true;  // shared storage
+  if (tables_->ipv4_entries.size() != other.tables_->ipv4_entries.size()) return false;
+  if (tables_->label_entries.size() != other.tables_->label_entries.size()) return false;
   auto resolved = [](const Aft& aft, uint64_t group_id) {
     // Canonical, index-free view of one entry's action set.
     std::set<std::tuple<std::string, std::string, bool, int, uint32_t>> actions;
@@ -85,15 +88,15 @@ bool Aft::forwarding_equal(const Aft& other) const {
     }
     return actions;
   };
-  for (const auto& [prefix, entry] : ipv4_entries_) {
+  for (const auto& [prefix, entry] : tables_->ipv4_entries) {
     const Ipv4Entry* theirs = other.ipv4_entry(prefix);
     if (theirs == nullptr) return false;
     if (resolved(*this, entry.next_hop_group) != resolved(other, theirs->next_hop_group))
       return false;
   }
-  for (const auto& [label, entry] : label_entries_) {
-    auto it = other.label_entries_.find(label);
-    if (it == other.label_entries_.end()) return false;
+  for (const auto& [label, entry] : tables_->label_entries) {
+    auto it = other.tables_->label_entries.find(label);
+    if (it == other.tables_->label_entries.end()) return false;
     if (resolved(*this, entry.next_hop_group) !=
         resolved(other, it->second.next_hop_group))
       return false;
@@ -127,7 +130,7 @@ util::Json Aft::to_json() const {
   Json afts = Json::object();
 
   Json next_hops = Json::array();
-  for (const auto& [index, nh] : next_hops_) {
+  for (const auto& [index, nh] : tables_->next_hops) {
     Json j = Json::object();
     j["index"] = nh.index;
     if (nh.ip_address) j["ip-address"] = nh.ip_address->to_string();
@@ -142,7 +145,7 @@ util::Json Aft::to_json() const {
   afts["next-hops"] = std::move(next_hops);
 
   Json groups = Json::array();
-  for (const auto& [id, group] : groups_) {
+  for (const auto& [id, group] : tables_->groups) {
     Json j = Json::object();
     j["id"] = group.id;
     Json members = Json::array();
@@ -158,7 +161,7 @@ util::Json Aft::to_json() const {
   afts["next-hop-groups"] = std::move(groups);
 
   Json entries = Json::array();
-  for (const auto& [prefix, entry] : ipv4_entries_) {
+  for (const auto& [prefix, entry] : tables_->ipv4_entries) {
     Json j = Json::object();
     j["prefix"] = prefix.to_string();
     j["next-hop-group"] = entry.next_hop_group;
@@ -169,7 +172,7 @@ util::Json Aft::to_json() const {
   afts["ipv4-unicast"] = std::move(entries);
 
   Json labels = Json::array();
-  for (const auto& [label, entry] : label_entries_) {
+  for (const auto& [label, entry] : tables_->label_entries) {
     Json j = Json::object();
     j["label"] = entry.label;
     j["next-hop-group"] = entry.next_hop_group;
@@ -183,6 +186,7 @@ util::Json Aft::to_json() const {
 util::Result<Aft> Aft::from_json(const util::Json& json) {
   if (!json.is_object()) return util::invalid_argument("AFT document must be an object");
   Aft aft;
+  Tables& tables = aft.mutate();
 
   if (const util::Json* next_hops = json.find("next-hops"); next_hops && next_hops->is_array()) {
     for (const util::Json& j : next_hops->as_array()) {
@@ -204,8 +208,8 @@ util::Result<Aft> Aft::from_json(const util::Json& json) {
         if (const util::Json* label = j.find("label"))
           nh.label = static_cast<uint32_t>(label->as_int());
       }
-      aft.next_hops_[nh.index] = nh;
-      aft.next_hop_counter_ = std::max(aft.next_hop_counter_, nh.index + 1);
+      tables.next_hops[nh.index] = nh;
+      tables.next_hop_counter = std::max(tables.next_hop_counter, nh.index + 1);
     }
   }
 
@@ -225,8 +229,8 @@ util::Result<Aft> Aft::from_json(const util::Json& json) {
               weight ? static_cast<uint64_t>(weight->as_int()) : 1);
         }
       }
-      aft.groups_[group.id] = std::move(group);
-      aft.group_counter_ = std::max(aft.group_counter_, aft.groups_.rbegin()->first + 1);
+      tables.groups[group.id] = std::move(group);
+      tables.group_counter = std::max(tables.group_counter, tables.groups.rbegin()->first + 1);
     }
   }
 
@@ -245,7 +249,7 @@ util::Result<Aft> Aft::from_json(const util::Json& json) {
         entry.origin_protocol = origin->as_string();
       if (const util::Json* metric = j.find("metric"))
         entry.metric = static_cast<uint32_t>(metric->as_int());
-      aft.ipv4_entries_[entry.prefix] = std::move(entry);
+      tables.ipv4_entries[entry.prefix] = std::move(entry);
     }
   }
 
@@ -258,7 +262,7 @@ util::Result<Aft> Aft::from_json(const util::Json& json) {
         return util::invalid_argument("label entry missing label or next-hop-group");
       entry.label = static_cast<uint32_t>(label->as_int());
       entry.next_hop_group = static_cast<uint64_t>(nhg->as_int());
-      aft.label_entries_[entry.label] = entry;
+      tables.label_entries[entry.label] = entry;
     }
   }
 

@@ -18,6 +18,7 @@
 #include "net/ipv4.hpp"
 #include "net/prefix_trie.hpp"
 #include "net/types.hpp"
+#include "util/cow.hpp"
 #include "util/json.hpp"
 #include "util/status.hpp"
 
@@ -67,14 +68,24 @@ struct LabelEntry {
 };
 
 /// AFT of one network instance (we model the default VRF).
+///
+/// Copies are O(1): the table storage is copy-on-write (shared until one
+/// side mutates). A snapshot capture or emulation fork therefore shares
+/// the router's compiled tables instead of deep-copying thousands of map
+/// nodes; whoever mutates first pays for the clone.
 class Aft {
  public:
   Aft() = default;
-  // Copying resets the lazily built lookup trie: it holds pointers into
-  // this instance's entry map. Moves keep it (map nodes are stable).
-  Aft(const Aft& other) { copy_from(other); }
+  // Copying shares the tables and resets only the lazily built lookup
+  // trie (it holds pointers scoped to this instance's view of the
+  // storage). Moves keep it.
+  Aft(const Aft& other) : tables_(other.tables_) {}
   Aft& operator=(const Aft& other) {
-    if (this != &other) copy_from(other);
+    if (this != &other) {
+      tables_ = other.tables_;
+      trie_.clear();
+      trie_valid_ = false;
+    }
     return *this;
   }
   Aft(Aft&&) = default;
@@ -92,10 +103,14 @@ class Aft {
   void set_ipv4_entry(Ipv4Entry entry);
   void set_label_entry(LabelEntry entry);
 
-  const std::map<uint64_t, NextHop>& next_hops() const { return next_hops_; }
-  const std::map<uint64_t, NextHopGroup>& groups() const { return groups_; }
-  const std::map<net::Ipv4Prefix, Ipv4Entry>& ipv4_entries() const { return ipv4_entries_; }
-  const std::map<uint32_t, LabelEntry>& label_entries() const { return label_entries_; }
+  const std::map<uint64_t, NextHop>& next_hops() const { return tables_->next_hops; }
+  const std::map<uint64_t, NextHopGroup>& groups() const { return tables_->groups; }
+  const std::map<net::Ipv4Prefix, Ipv4Entry>& ipv4_entries() const {
+    return tables_->ipv4_entries;
+  }
+  const std::map<uint32_t, LabelEntry>& label_entries() const {
+    return tables_->label_entries;
+  }
 
   const NextHop* next_hop(uint64_t index) const;
   const NextHopGroup* group(uint64_t id) const;
@@ -109,10 +124,13 @@ class Aft {
   /// for ECMP) next hops of the LPM entry. Empty if no route.
   std::vector<NextHop> forward(net::Ipv4Address destination) const;
 
-  size_t entry_count() const { return ipv4_entries_.size(); }
+  size_t entry_count() const { return tables_->ipv4_entries.size(); }
   bool operator==(const Aft& other) const {
-    return next_hops_ == other.next_hops_ && groups_ == other.groups_ &&
-           ipv4_entries_ == other.ipv4_entries_ && label_entries_ == other.label_entries_;
+    if (&*tables_ == &*other.tables_) return true;  // shared storage
+    return tables_->next_hops == other.tables_->next_hops &&
+           tables_->groups == other.tables_->groups &&
+           tables_->ipv4_entries == other.tables_->ipv4_entries &&
+           tables_->label_entries == other.tables_->label_entries;
   }
 
   /// Structural equality of *forwarding behaviour*: same prefixes mapping
@@ -125,26 +143,27 @@ class Aft {
   static util::Result<Aft> from_json(const util::Json& json);
 
  private:
-  void copy_from(const Aft& other) {
-    next_hops_ = other.next_hops_;
-    groups_ = other.groups_;
-    ipv4_entries_ = other.ipv4_entries_;
-    label_entries_ = other.label_entries_;
-    next_hop_counter_ = other.next_hop_counter_;
-    group_counter_ = other.group_counter_;
-    trie_.clear();
+  /// The copy-on-write storage unit. Kept as one block so a mutation
+  /// clones all tables together (their index spaces are interdependent).
+  struct Tables {
+    std::map<uint64_t, NextHop> next_hops;
+    std::map<uint64_t, NextHopGroup> groups;
+    std::map<net::Ipv4Prefix, Ipv4Entry> ipv4_entries;
+    std::map<uint32_t, LabelEntry> label_entries;
+    uint64_t next_hop_counter = 1;
+    uint64_t group_counter = 1;
+  };
+
+  /// Mutable table access; clones shared storage and drops the trie (its
+  /// entry pointers may target the storage being replaced).
+  Tables& mutate() {
     trie_valid_ = false;
+    return tables_.mutate();
   }
 
-  void invalidate_trie() const { trie_valid_ = false; }
   void rebuild_trie() const;
 
-  std::map<uint64_t, NextHop> next_hops_;
-  std::map<uint64_t, NextHopGroup> groups_;
-  std::map<net::Ipv4Prefix, Ipv4Entry> ipv4_entries_;
-  std::map<uint32_t, LabelEntry> label_entries_;
-  uint64_t next_hop_counter_ = 1;
-  uint64_t group_counter_ = 1;
+  util::Cow<Tables> tables_;
 
   mutable net::PrefixTrie<const Ipv4Entry*> trie_;
   mutable bool trie_valid_ = false;

@@ -48,6 +48,39 @@ util::Status Session::init_snapshot(const emu::Topology& topology, const std::st
   return util::Status::ok_status();
 }
 
+util::Status Session::fork_snapshot(const std::string& base, const std::string& name,
+                                    const std::vector<scenario::Perturbation>& perturbations) {
+  if (snapshots_.count(name))
+    return util::already_exists("snapshot '" + name + "' already exists");
+  auto it = snapshots_.find(base);
+  if (it == snapshots_.end()) return util::not_found("no snapshot '" + base + "'");
+  if (it->second.emulation == nullptr)
+    return util::invalid_argument("snapshot '" + base +
+                                  "' has no live emulation to fork (model-based or imported)");
+  std::unique_ptr<emu::Emulation> fork = it->second.emulation->fork();
+  if (fork == nullptr)
+    return util::invalid_argument("snapshot '" + base +
+                                  "' emulation is not quiescent; cannot fork");
+  util::TimePoint forked_at = fork->kernel().now();
+  for (const scenario::Perturbation& perturbation : perturbations)
+    if (!scenario::ScenarioRunner::apply(*fork, perturbation))
+      return util::not_found("perturbation target missing: " +
+                             scenario::perturbation_to_string(perturbation));
+  if (!fork->run_to_convergence(options_.max_events))
+    return util::internal_error("snapshot '" + name +
+                                "' did not re-converge within the event budget");
+
+  Entry entry;
+  entry.info.backend = it->second.info.backend;
+  entry.info.convergence_time = fork->kernel().now() - forked_at;
+  entry.info.messages = fork->messages_delivered();
+  entry.info.diagnostics = fork->parse_diagnostics();
+  entry.snapshot = gnmi::Snapshot::capture(*fork, name);
+  entry.emulation = std::move(fork);
+  snapshots_.emplace(name, std::move(entry));
+  return util::Status::ok_status();
+}
+
 util::Status Session::add_snapshot(gnmi::Snapshot snapshot, const std::string& name,
                                    SnapshotInfo info) {
   if (snapshots_.count(name))

@@ -22,6 +22,7 @@
 #include "emu/emulation.hpp"
 #include "gnmi/gnmi.hpp"
 #include "model/ibdp.hpp"
+#include "scenario/scenario.hpp"
 #include "util/status.hpp"
 #include "verify/queries.hpp"
 
@@ -65,6 +66,16 @@ class Session {
   /// Registers an externally produced snapshot (e.g. loaded from JSON).
   util::Status add_snapshot(gnmi::Snapshot snapshot, const std::string& name,
                             SnapshotInfo info = {});
+
+  /// Builds snapshot `name` by forking the live emulation behind
+  /// model-free snapshot `base`, applying `perturbations`, and running the
+  /// incremental re-convergence — the cheap path for what-if snapshots
+  /// (E1's config delta, A3's link cuts) that skips the cold boot the
+  /// paper's per-scenario pipeline repeats. The new snapshot keeps its own
+  /// live emulation, so it can itself be forked or perturbed further. The
+  /// recorded convergence_time is the incremental re-convergence only.
+  util::Status fork_snapshot(const std::string& base, const std::string& name,
+                             const std::vector<scenario::Perturbation>& perturbations);
 
   bool has_snapshot(const std::string& name) const;
   const gnmi::Snapshot* snapshot(const std::string& name) const;

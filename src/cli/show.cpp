@@ -161,7 +161,7 @@ std::string show_ip_bgp_summary(const vrouter::VirtualRouter& router) {
     out << "  " << session.config.peer.to_string() << "  " << session.config.remote_as
         << "  " << proto::session_state_name(session.state);
     if (session.config.shutdown) out << " (Admin)";
-    out << "  " << session.adj_rib_in.size() << "  " << session.adj_rib_out.size() << "\n";
+    out << "  " << session.adj_rib_in->size() << "  " << session.adj_rib_out->size() << "\n";
   }
   return out.str();
 }

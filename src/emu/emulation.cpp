@@ -13,8 +13,16 @@ namespace mfv::emu {
 ExternalPeer::ExternalPeer(ExternalPeerSpec spec, vrouter::Fabric& fabric)
     : spec_(std::move(spec)), fabric_(fabric) {}
 
+ExternalPeer::ExternalPeer(const ExternalPeer& other, vrouter::Fabric& fabric)
+    : spec_(other.spec_),
+      fabric_(fabric),
+      established_(other.established_),
+      updates_received_(other.updates_received_),
+      remote_(other.remote_) {}
+
 void ExternalPeer::handle(const proto::Message& message, size_t batch_size) {
   if (const auto* open = std::get_if<proto::BgpOpen>(&message)) {
+    remote_ = open->source;
     // Respond with our own Open, then stream the advertisement set.
     proto::BgpOpen reply;
     reply.as_number = spec_.as_number;
@@ -41,11 +49,51 @@ void ExternalPeer::handle(const proto::Message& message, size_t batch_size) {
   }
 }
 
+bool ExternalPeer::withdraw(const std::vector<net::Ipv4Prefix>& prefixes) {
+  if (!established_) return false;
+  proto::BgpUpdate update;
+  update.source = spec_.address;
+  if (prefixes.empty()) {
+    update.withdrawn.reserve(spec_.routes.size());
+    for (const proto::BgpRoute& route : spec_.routes)
+      update.withdrawn.push_back(route.prefix);
+  } else {
+    update.withdrawn = prefixes;
+  }
+  fabric_.send_addressed("peer:" + spec_.name, remote_, proto::Message(update));
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // Emulation
 
 Emulation::Emulation(EmulationOptions options)
     : options_(options), rng_(options.seed) {}
+
+Emulation::Emulation(const Emulation& other)
+    : options_(other.options_),
+      rng_(other.rng_),  // mid-stream state, not a reseed: post-fork jitter
+                         // draws match a cold run continuing from here
+      links_(other.links_),
+      address_owner_(other.address_owner_),
+      parse_diagnostics_(other.parse_diagnostics_),
+      channel_busy_until_(other.channel_busy_until_),
+      messages_delivered_(other.messages_delivered_),
+      messages_dropped_(other.messages_dropped_) {
+  kernel_.adopt_time(other.kernel_);
+  for (const auto& [name, router] : other.routers_)
+    routers_.emplace(name, router->fork(*this));
+  for (const auto& peer : other.external_peers_) {
+    auto copy = std::make_unique<ExternalPeer>(*peer, *this);
+    peer_addresses_[copy->spec().address] = copy.get();
+    external_peers_.push_back(std::move(copy));
+  }
+}
+
+std::unique_ptr<Emulation> Emulation::fork() const {
+  if (!kernel_.idle()) return nullptr;
+  return std::unique_ptr<Emulation>(new Emulation(*this));
+}
 
 Emulation::~Emulation() = default;
 
@@ -169,10 +217,23 @@ bool Emulation::set_link_up(const net::PortRef& a, const net::PortRef& b, bool u
   auto it_b = links_.find(b);
   if (it_a == links_.end() || it_b == links_.end()) return false;
   if (it_a->second.peer != b || it_b->second.peer != a) return false;
+  if (!up && it_a->second.up) {
+    // Frames already on the wire die with the link (delivery re-checks the
+    // epoch, so even a flap faster than the latency drops them).
+    ++it_a->second.down_epoch;
+    ++it_b->second.down_epoch;
+  }
   it_a->second.up = up;
   it_b->second.up = up;
   refresh_link_states();
   return true;
+}
+
+bool Emulation::withdraw_external_routes(const std::string& peer,
+                                         const std::vector<net::Ipv4Prefix>& prefixes) {
+  for (const auto& external : external_peers_)
+    if (external->spec().name == peer) return external->withdraw(prefixes);
+  return false;
 }
 
 bool Emulation::run_to_convergence(uint64_t max_events) {
@@ -215,23 +276,36 @@ std::vector<aft::DeviceAft> Emulation::dump_afts() const {
 void Emulation::send_on_interface(const net::NodeName& node,
                                   const net::InterfaceName& interface,
                                   const proto::Message& message) {
-  auto it = links_.find(net::PortRef{node, interface});
+  net::PortRef from{node, interface};
+  auto it = links_.find(from);
   if (it == links_.end() || !it->second.up) {
     ++messages_dropped_;
     return;
   }
-  const LinkEnd& end = it->second;
-  auto router_it = routers_.find(end.peer.node);
-  if (router_it == routers_.end()) {
+  if (routers_.find(it->second.peer.node) == routers_.end()) {
     ++messages_dropped_;
     return;
   }
-  vrouter::VirtualRouter* target = router_it->second.get();
-  net::InterfaceName in_interface = end.peer.interface;
-  util::Duration delay = util::Duration::micros(end.latency_micros) + jitter();
-  kernel_.schedule(delay, [this, target, in_interface, message] {
+  util::Duration delay = util::Duration::micros(it->second.latency_micros) + jitter();
+  // The frame is re-validated at arrival: a cut (or any down/up flap — the
+  // epoch check) while it was in flight drops it, like a real wire losing
+  // its contents. Looking the link up again at fire time also keeps the
+  // event free of raw router pointers.
+  uint64_t epoch = it->second.down_epoch;
+  kernel_.schedule(delay, [this, from, epoch, message] {
+    auto link_it = links_.find(from);
+    if (link_it == links_.end() || !link_it->second.up ||
+        link_it->second.down_epoch != epoch) {
+      ++messages_dropped_;
+      return;
+    }
+    auto router_it = routers_.find(link_it->second.peer.node);
+    if (router_it == routers_.end()) {
+      ++messages_dropped_;
+      return;
+    }
     ++messages_delivered_;
-    target->deliver_on_interface(in_interface, message);
+    router_it->second->deliver_on_interface(link_it->second.peer.interface, message);
   });
 }
 

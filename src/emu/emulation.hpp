@@ -48,6 +48,8 @@ struct EmulationOptions {
 class ExternalPeer {
  public:
   ExternalPeer(ExternalPeerSpec spec, vrouter::Fabric& fabric);
+  /// Deep copy onto a new fabric (the peer half of Emulation::fork()).
+  ExternalPeer(const ExternalPeer& other, vrouter::Fabric& fabric);
 
   const ExternalPeerSpec& spec() const { return spec_; }
   bool established() const { return established_; }
@@ -55,11 +57,19 @@ class ExternalPeer {
 
   void handle(const proto::Message& message, size_t batch_size);
 
+  /// Sends a BGP withdraw for `prefixes` (empty = every advertised route)
+  /// to the router this peer established with. The spec's route set is
+  /// left untouched: the withdrawal is a perturbation, not a respec.
+  /// Returns false when no session is established.
+  bool withdraw(const std::vector<net::Ipv4Prefix>& prefixes);
+
  private:
   ExternalPeerSpec spec_;
   vrouter::Fabric& fabric_;
   bool established_ = false;
   size_t updates_received_ = 0;
+  /// Session endpoint learned from the router's Open (withdraw target).
+  net::Ipv4Address remote_;
 };
 
 class Emulation final : public vrouter::Fabric {
@@ -92,16 +102,36 @@ class Emulation final : public vrouter::Fabric {
   util::Status apply_config_text(const net::NodeName& node, const std::string& text,
                                  config::Vendor vendor);
 
-  /// Takes a link down / up. Returns false if no such link.
+  /// Takes a link down / up. Returns false if no such link. Taking a link
+  /// down drops frames already in flight on it (they are counted in
+  /// `messages_dropped`), even if the link comes back up before their
+  /// scheduled arrival — a flap kills the wire's contents.
   bool set_link_up(const net::PortRef& a, const net::PortRef& b, bool up);
+
+  /// Makes external peer `peer` withdraw `prefixes` (empty = all of its
+  /// advertised routes) from its established session. Returns false if no
+  /// such peer exists or its session never established.
+  bool withdraw_external_routes(const std::string& peer,
+                                const std::vector<net::Ipv4Prefix>& prefixes = {});
 
   // -- execution ----------------------------------------------------------------
 
   EventKernel& kernel() { return kernel_; }
+  const EventKernel& kernel() const { return kernel_; }
 
   /// Runs until the control plane quiesces. Returns false if `max_events`
   /// fired without quiescing (possible persistent oscillation).
   bool run_to_convergence(uint64_t max_events = 100000000ull);
+
+  /// Deep-copies the whole emulation: every router with its full protocol
+  /// state, links, external peers, RNG state, and the virtual clock. Only
+  /// valid when the kernel is idle (a converged base); returns nullptr
+  /// otherwise, because pending event callbacks cannot be cloned. From the
+  /// fork onward, the copy behaves identically to a cold re-run that was
+  /// brought to the same converged state — same seed stream, same event
+  /// ordering — which is the equivalence the scenario engine rests on
+  /// (tests/test_scenario_fork.cpp proves it per perturbation kind).
+  std::unique_ptr<Emulation> fork() const;
 
   /// Virtual time of the last forwarding change on any router — the
   /// "dataplane stabilized at all routers" timestamp of §5.
@@ -138,7 +168,13 @@ class Emulation final : public vrouter::Fabric {
     net::PortRef peer;
     int64_t latency_micros = 1000;
     bool up = true;
+    /// Bumped on every up -> down transition. In-flight frames carry the
+    /// epoch they were sent under and are dropped on mismatch, so a
+    /// down/up flap faster than the link latency still kills them.
+    uint64_t down_epoch = 0;
   };
+
+  Emulation(const Emulation& other);
 
   util::Duration jitter();
   void index_addresses(const config::DeviceConfig& config);

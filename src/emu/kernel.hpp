@@ -52,6 +52,17 @@ class EventKernel {
 
   void run_for(util::Duration duration) { run_until(now_ + duration); }
 
+  /// Adopts another kernel's clock, sequence counter, and executed count.
+  /// Used when forking a quiescent emulation: pending events are never
+  /// cloned (there are none at quiescence), but the clone must continue
+  /// virtual time and same-timestamp ordering exactly where the base would
+  /// have — otherwise a forked run and a cold continuation diverge.
+  void adopt_time(const EventKernel& other) {
+    now_ = other.now_;
+    next_sequence_ = other.next_sequence_;
+    executed_ = other.executed_;
+  }
+
  private:
   struct Event {
     util::TimePoint when;

@@ -53,6 +53,40 @@ BgpEngine::BgpEngine(RouterEnv& env, const config::DeviceConfig& device,
   }
 }
 
+BgpEngine::BgpEngine(RouterEnv& env, const config::DeviceConfig& device,
+                     const BgpEngine& other)
+    : env_(env),
+      active_(other.active_),
+      local_as_(other.local_as_),
+      router_id_(other.router_id_),
+      default_local_pref_(other.default_local_pref_),
+      maximum_paths_(other.maximum_paths_),
+      redistribute_connected_(other.redistribute_connected_),
+      redistribute_static_(other.redistribute_static_),
+      networks_(other.networks_),
+      options_(other.options_),
+      sessions_(other.sessions_),
+      local_routes_(other.local_routes_),
+      best_routes_(other.best_routes_),
+      winners_(other.winners_),
+      installed_paths_(other.installed_paths_),
+      arrival_counter_(other.arrival_counter_),
+      decision_pending_(other.decision_pending_),
+      tables_dirty_(other.tables_dirty_),
+      next_hop_refs_(other.next_hop_refs_),
+      last_next_hop_info_(other.last_next_hop_info_) {
+  if (!active_) return;
+  policy_.route_maps = &device.route_maps;
+  policy_.prefix_lists = &device.prefix_lists;
+  policy_.community_lists = &device.community_lists;
+  policy_.local_as = local_as_;
+}
+
+std::unique_ptr<BgpEngine> BgpEngine::fork(RouterEnv& env,
+                                           const config::DeviceConfig& device) const {
+  return std::unique_ptr<BgpEngine>(new BgpEngine(env, device, *this));
+}
+
 void BgpEngine::start() {
   if (!active_) return;
   refresh_local_routes();
@@ -142,7 +176,7 @@ void BgpEngine::establish(BgpSession& session, const BgpOpen& open) {
 }
 
 void BgpEngine::teardown(BgpSession& session, const std::string& reason, bool notify_peer) {
-  if (session.state == BgpSessionState::kIdle && session.adj_rib_in.empty()) return;
+  if (session.state == BgpSessionState::kIdle && session.adj_rib_in->empty()) return;
   MFV_LOG(kInfo, "bgp") << env_.node_name() << ": session with "
                         << session.config.peer.to_string() << " down: " << reason;
   if (notify_peer && session.state == BgpSessionState::kEstablished) {
@@ -153,9 +187,14 @@ void BgpEngine::teardown(BgpSession& session, const std::string& reason, bool no
   }
   session.state = BgpSessionState::kIdle;
   session.open_sent = false;
-  session.adj_rib_in.clear();
-  session.adj_rib_out.clear();
-  session.arrival.clear();
+  if (!session.adj_rib_in->empty()) {
+    for (const auto& [prefix, route] : *session.adj_rib_in)
+      untrack_next_hop(route.attributes.next_hop);
+    tables_dirty_ = true;
+  }
+  session.adj_rib_in.reset();
+  session.adj_rib_out.reset();
+  session.arrival.reset();
   schedule_decision();
 }
 
@@ -178,29 +217,45 @@ void BgpEngine::handle_update(const BgpUpdate& update) {
     PolicyResult result = apply_route_map(policy_, session->config.route_map_in, route);
     if (!result.permitted) {
       // Denied routes are absent from Adj-RIB-In (no soft-reconfig store).
-      if (session->adj_rib_in.erase(route.prefix) > 0) {
-        session->arrival.erase(route.prefix);
+      auto denied = session->adj_rib_in->find(route.prefix);
+      if (denied != session->adj_rib_in->end()) {
+        untrack_next_hop(denied->second.attributes.next_hop);
+        session->adj_rib_in.mutate().erase(route.prefix);
+        session->arrival.mutate().erase(route.prefix);
         changed = true;
       }
       continue;
     }
-    auto it = session->adj_rib_in.find(route.prefix);
-    if (it == session->adj_rib_in.end()) {
-      session->arrival[route.prefix] = ++arrival_counter_;
-      session->adj_rib_in.emplace(route.prefix, result.route);
+    auto it = session->adj_rib_in->find(route.prefix);
+    if (it == session->adj_rib_in->end()) {
+      session->arrival.mutate()[route.prefix] = ++arrival_counter_;
+      track_next_hop(result.route.attributes.next_hop);
+      session->adj_rib_in.mutate().emplace(route.prefix, result.route);
       changed = true;
     } else if (!(it->second == result.route)) {
-      it->second = result.route;  // implicit withdraw + replace keeps arrival
+      if (it->second.attributes.next_hop != result.route.attributes.next_hop) {
+        untrack_next_hop(it->second.attributes.next_hop);
+        track_next_hop(result.route.attributes.next_hop);
+      }
+      // Implicit withdraw + replace keeps arrival. Keyed store rather than
+      // through `it`: mutate() may clone, invalidating iterators.
+      session->adj_rib_in.mutate()[route.prefix] = result.route;
       changed = true;
     }
   }
   for (const net::Ipv4Prefix& prefix : update.withdrawn) {
-    if (session->adj_rib_in.erase(prefix) > 0) {
-      session->arrival.erase(prefix);
+    auto it = session->adj_rib_in->find(prefix);
+    if (it != session->adj_rib_in->end()) {
+      untrack_next_hop(it->second.attributes.next_hop);
+      session->adj_rib_in.mutate().erase(prefix);
+      session->arrival.mutate().erase(prefix);
       changed = true;
     }
   }
-  if (changed) schedule_decision();
+  if (changed) {
+    tables_dirty_ = true;
+    schedule_decision();
+  }
 }
 
 void BgpEngine::handle_notification(const BgpNotification& notification) {
@@ -257,6 +312,7 @@ void BgpEngine::refresh_local_routes() {
 
   if (fresh != local_routes_) {
     local_routes_ = std::move(fresh);
+    tables_dirty_ = true;
     schedule_decision();
   }
 }
@@ -295,22 +351,22 @@ std::vector<BgpEngine::Candidate> BgpEngine::candidates_for(
   std::vector<Candidate> candidates;
   if (auto it = local_routes_.find(prefix); it != local_routes_.end()) {
     Candidate candidate;
-    candidate.route = it->second;
+    candidate.route = &it->second;
     candidate.locally_originated = true;
     candidate.arrival = 0;
     candidates.push_back(std::move(candidate));
   }
   for (const BgpSession& session : sessions_) {
-    auto it = session.adj_rib_in.find(prefix);
-    if (it == session.adj_rib_in.end()) continue;
+    auto it = session.adj_rib_in->find(prefix);
+    if (it == session.adj_rib_in->end()) continue;
     Candidate candidate;
-    candidate.route = it->second;
+    candidate.route = &it->second;
     candidate.from_ebgp = !session.is_ibgp;
     candidate.from_client = session.is_ibgp && session.config.route_reflector_client;
     candidate.peer = session.config.peer;
     candidate.peer_router_id = session.peer_router_id;
-    auto arrival_it = session.arrival.find(prefix);
-    candidate.arrival = arrival_it == session.arrival.end() ? UINT64_MAX : arrival_it->second;
+    auto arrival_it = session.arrival->find(prefix);
+    candidate.arrival = arrival_it == session.arrival->end() ? UINT64_MAX : arrival_it->second;
     candidates.push_back(std::move(candidate));
   }
   return candidates;
@@ -327,20 +383,39 @@ uint32_t BgpEngine::igp_metric_to(net::Ipv4Address next_hop) const {
   return metric;
 }
 
-const BgpEngine::Candidate* BgpEngine::decide(
-    const std::vector<Candidate>& candidates) const {
+std::pair<bool, uint32_t> BgpEngine::next_hop_info(net::Ipv4Address next_hop,
+                                                   NextHopCache& cache) const {
+  auto it = cache.find(next_hop);
+  if (it == cache.end())
+    it = cache
+             .emplace(next_hop,
+                      std::make_pair(env_.reachable(next_hop), igp_metric_to(next_hop)))
+             .first;
+  return it->second;
+}
+
+void BgpEngine::track_next_hop(net::Ipv4Address next_hop) { ++next_hop_refs_[next_hop]; }
+
+void BgpEngine::untrack_next_hop(net::Ipv4Address next_hop) {
+  auto it = next_hop_refs_.find(next_hop);
+  if (it == next_hop_refs_.end()) return;
+  if (--it->second == 0) next_hop_refs_.erase(it);
+}
+
+const BgpEngine::Candidate* BgpEngine::decide(const std::vector<Candidate>& candidates,
+                                              NextHopCache& cache) const {
   const Candidate* best = nullptr;
   for (const Candidate& candidate : candidates) {
     // Step 0: the next hop must be reachable (locals are always valid).
     if (!candidate.locally_originated &&
-        !env_.reachable(candidate.route.attributes.next_hop))
+        !next_hop_info(candidate.route->attributes.next_hop, cache).first)
       continue;
     if (best == nullptr) {
       best = &candidate;
       continue;
     }
-    const BgpAttributes& a = candidate.route.attributes;
-    const BgpAttributes& b = best->route.attributes;
+    const BgpAttributes& a = candidate.route->attributes;
+    const BgpAttributes& b = best->route->attributes;
 
     // 1. Highest local preference.
     if (a.local_pref != b.local_pref) {
@@ -376,8 +451,8 @@ const BgpEngine::Candidate* BgpEngine::decide(
       continue;
     }
     // 7. Lowest IGP metric to next hop.
-    uint32_t metric_a = igp_metric_to(a.next_hop);
-    uint32_t metric_b = igp_metric_to(b.next_hop);
+    uint32_t metric_a = next_hop_info(a.next_hop, cache).second;
+    uint32_t metric_b = next_hop_info(b.next_hop, cache).second;
     if (metric_a != metric_b) {
       if (metric_a < metric_b) best = &candidate;
       continue;
@@ -398,17 +473,18 @@ const BgpEngine::Candidate* BgpEngine::decide(
 }
 
 std::vector<const BgpEngine::Candidate*> BgpEngine::multipath_set(
-    const std::vector<Candidate>& candidates, const Candidate& winner) const {
+    const std::vector<Candidate>& candidates, const Candidate& winner,
+    NextHopCache& cache) const {
   std::vector<const Candidate*> set = {&winner};
   if (maximum_paths_ <= 1 || winner.locally_originated) return set;
-  const BgpAttributes& w = winner.route.attributes;
-  uint32_t winner_igp = igp_metric_to(w.next_hop);
+  const BgpAttributes& w = winner.route->attributes;
+  uint32_t winner_igp = next_hop_info(w.next_hop, cache).second;
   std::set<net::Ipv4Address> next_hops = {w.next_hop};
   for (const Candidate& candidate : candidates) {
     if (set.size() >= maximum_paths_) break;
     if (&candidate == &winner || candidate.locally_originated) continue;
-    const BgpAttributes& a = candidate.route.attributes;
-    if (!env_.reachable(a.next_hop)) continue;
+    const BgpAttributes& a = candidate.route->attributes;
+    if (!next_hop_info(a.next_hop, cache).first) continue;
     if (next_hops.count(a.next_hop)) continue;  // distinct forwarding paths only
     bool comparable_med =
         (a.as_path.empty() && w.as_path.empty()) ||
@@ -416,7 +492,7 @@ std::vector<const BgpEngine::Candidate*> BgpEngine::multipath_set(
     if (a.local_pref != w.local_pref || a.as_path.size() != w.as_path.size() ||
         a.origin != w.origin || (comparable_med && a.med != w.med) ||
         candidate.from_ebgp != winner.from_ebgp ||
-        igp_metric_to(a.next_hop) != winner_igp)
+        next_hop_info(a.next_hop, cache).second != winner_igp)
       continue;
     set.push_back(&candidate);
     next_hops.insert(a.next_hop);
@@ -427,50 +503,74 @@ std::vector<const BgpEngine::Candidate*> BgpEngine::multipath_set(
 void BgpEngine::run_decision() {
   if (!active_) return;
 
+  // Exact skip: the outcome is a pure function of the tables (covered by
+  // tables_dirty_) and the per-next-hop (reachable, IGP metric) answers
+  // for the next hops they reference (covered by the fingerprint below —
+  // local routes never have their next hop consulted: step 2 settles any
+  // local-vs-learned comparison before the IGP-metric step, and multipath
+  // excludes them). Computing the fingerprint costs |distinct next hops|
+  // RIB lookups, reused as the pre-warmed per-run cache on a miss.
+  NextHopCache next_hops;
+  for (const auto& [next_hop, refs] : next_hop_refs_) next_hop_info(next_hop, next_hops);
+  bool inputs_unchanged = !tables_dirty_ && next_hops == last_next_hop_info_;
+  tables_dirty_ = false;
+  last_next_hop_info_ = next_hops;
+  if (inputs_unchanged) return;
+
   // Union of all known prefixes.
   std::set<net::Ipv4Prefix> prefixes;
   for (const auto& [prefix, route] : local_routes_) prefixes.insert(prefix);
   for (const BgpSession& session : sessions_)
-    for (const auto& [prefix, route] : session.adj_rib_in) prefixes.insert(prefix);
+    for (const auto& [prefix, route] : *session.adj_rib_in) prefixes.insert(prefix);
 
-  std::map<net::Ipv4Prefix, BgpRoute> fresh_best;
+  // Decision pass. Candidates reference Adj-RIB-In / local-route entries
+  // in place (stable for the duration of the run) and all reachability /
+  // IGP-metric lookups go through one per-run cache, so deciding a prefix
+  // allocates no route copies. Change detection runs inline against the
+  // stored outcome — the common re-decision whose result is identical
+  // exits without ever deep-copying a route.
   std::map<net::Ipv4Prefix, Candidate> winners;
   std::map<net::Ipv4Prefix, std::vector<Candidate>> path_sets;
   std::map<net::Ipv4Prefix, std::set<net::Ipv4Address>> fresh_paths;
+  // Prefixes whose winner tuple (route + export-relevant metadata) was
+  // added, replaced, or removed this run. Everything downstream — outcome
+  // persistence and per-session export — patches exactly this set, so a
+  // re-decision that shifts one prefix touches one prefix, not the world.
+  // Sorted so incremental export emits announcements in the same
+  // prefix-ascending order a full Adj-RIB-Out rebuild would.
+  std::set<net::Ipv4Prefix> changed;
   for (const net::Ipv4Prefix& prefix : prefixes) {
     std::vector<Candidate> candidates = candidates_for(prefix);
-    const Candidate* winner = decide(candidates);
+    const Candidate* winner = decide(candidates, next_hops);
     if (winner == nullptr) continue;
-    fresh_best.emplace(prefix, winner->route);
-    winners.emplace(prefix, *winner);
-    for (const Candidate* path : multipath_set(candidates, *winner)) {
+    for (const Candidate* path : multipath_set(candidates, *winner, next_hops)) {
       path_sets[prefix].push_back(*path);
-      fresh_paths[prefix].insert(path->route.attributes.next_hop);
+      fresh_paths[prefix].insert(path->route->attributes.next_hop);
     }
+    winners.emplace(prefix, *winner);
+    // Changed when the route or its winning source (export filtering
+    // depends on every Winner field) differs from the stored outcome.
+    auto stored = winners_->find(prefix);
+    if (stored == winners_->end() || stored->second.peer != winner->peer ||
+        stored->second.from_ebgp != winner->from_ebgp ||
+        stored->second.locally_originated != winner->locally_originated ||
+        stored->second.from_client != winner->from_client ||
+        !(stored->second.route == *winner->route))
+      changed.insert(prefix);
   }
+  for (const auto& [prefix, stored] : *winners_)
+    if (!winners.count(prefix)) changed.insert(prefix);
+  bool outcome_changed = !changed.empty() || fresh_paths != *installed_paths_;
+  if (!outcome_changed) return;
 
-  // Converged when both the routes and their winning sources are unchanged
-  // (the source matters for split-horizon on export).
-  auto same_winners = [&] {
-    if (winners.size() != winners_.size()) return false;
-    for (const auto& [prefix, winner] : winners) {
-      auto it = winners_.find(prefix);
-      if (it == winners_.end() || it->second.peer != winner.peer ||
-          it->second.locally_originated != winner.locally_originated)
-        return false;
-    }
-    return true;
-  };
-  if (fresh_best == best_routes_ && same_winners() && fresh_paths == installed_paths_)
-    return;
-
-  // Update the RIB: remove entries whose best changed or vanished, install
-  // the multipath set (locally originated ones are already in the RIB via
-  // their origin protocol). All paths share the winner's MED so they form
-  // one ECMP group downstream.
-  rib::Rib& rib = env_.rib();
-  rib.clear_protocol(rib::Protocol::kBgp, "bgp");
-  rib.clear_protocol(rib::Protocol::kIbgp, "bgp");
+  // Update the RIB: install the multipath sets (locally originated ones
+  // are already in the RIB via their origin protocol). All paths share the
+  // winner's MED so they form one ECMP group downstream. replace_protocol
+  // mutates only prefixes whose routes differ and reports whether the RIB
+  // changed at all — an outcome shift visible only in exported attributes
+  // must not cascade a FIB recompile.
+  std::vector<rib::RibRoute> ebgp_routes;
+  std::vector<rib::RibRoute> ibgp_routes;
   for (const auto& [prefix, winner] : winners) {
     if (winner.locally_originated) continue;
     for (const Candidate& path : path_sets[prefix]) {
@@ -478,24 +578,48 @@ void BgpEngine::run_decision() {
       route.prefix = prefix;
       route.protocol = winner.from_ebgp ? rib::Protocol::kBgp : rib::Protocol::kIbgp;
       route.admin_distance = rib::default_admin_distance(route.protocol);
-      route.metric = winner.route.attributes.med;
-      route.next_hop = path.route.attributes.next_hop;
+      route.metric = winner.route->attributes.med;
+      route.next_hop = path.route->attributes.next_hop;
       route.source = "bgp";
-      rib.add(route);
+      (winner.from_ebgp ? ebgp_routes : ibgp_routes).push_back(std::move(route));
     }
   }
-  best_routes_ = std::move(fresh_best);
-  winners_ = std::move(winners);
+  rib::Rib& rib = env_.rib();
+  bool rib_changed = rib.replace_protocol(rib::Protocol::kBgp, "bgp", std::move(ebgp_routes));
+  rib_changed |= rib.replace_protocol(rib::Protocol::kIbgp, "bgp", std::move(ibgp_routes));
+
+  // Persist the outcome as deep copies: the winning candidates point into
+  // Adj-RIBs whose entries later updates erase or replace. Only changed
+  // prefixes are patched; mutate() clones the stored maps first when a
+  // fork still shares them, so the base's tables never change underneath
+  // it.
+  if (!changed.empty()) {
+    std::map<net::Ipv4Prefix, BgpRoute>& best = best_routes_.mutate();
+    std::map<net::Ipv4Prefix, Winner>& stored_winners = winners_.mutate();
+    for (const net::Ipv4Prefix& prefix : changed) {
+      auto it = winners.find(prefix);
+      if (it == winners.end()) {
+        best.erase(prefix);
+        stored_winners.erase(prefix);
+        continue;
+      }
+      const Candidate& winner = it->second;
+      best.insert_or_assign(prefix, *winner.route);
+      stored_winners.insert_or_assign(
+          prefix, Winner{*winner.route, winner.from_ebgp, winner.locally_originated,
+                         winner.from_client, winner.peer});
+    }
+  }
   installed_paths_ = std::move(fresh_paths);
 
   for (BgpSession& session : sessions_)
-    if (session.state == BgpSessionState::kEstablished) export_to(session);
+    if (session.state == BgpSessionState::kEstablished) export_changes(session, changed);
 
-  env_.notify_rib_changed();
+  if (rib_changed) env_.notify_rib_changed();
 }
 
 std::optional<BgpRoute> BgpEngine::export_route(const BgpSession& session,
-                                                const Candidate& best) const {
+                                                const Winner& best) const {
   // Never echo a route back to the peer that supplied it.
   if (!best.locally_originated && best.peer == session.config.peer) return std::nullopt;
   // iBGP propagation: local and eBGP-learned routes go to every iBGP peer.
@@ -530,7 +654,7 @@ std::optional<BgpRoute> BgpEngine::export_route(const BgpSession& session,
 
 void BgpEngine::export_to(BgpSession& session) {
   std::map<net::Ipv4Prefix, BgpRoute> desired;
-  for (const auto& [prefix, winner] : winners_) {
+  for (const auto& [prefix, winner] : *winners_) {
     std::optional<BgpRoute> exported = export_route(session, winner);
     if (exported) desired.emplace(prefix, std::move(*exported));
   }
@@ -538,11 +662,11 @@ void BgpEngine::export_to(BgpSession& session) {
   BgpUpdate update;
   update.source = session.local_address;
   for (const auto& [prefix, route] : desired) {
-    auto it = session.adj_rib_out.find(prefix);
-    if (it == session.adj_rib_out.end() || !(it->second == route))
+    auto it = session.adj_rib_out->find(prefix);
+    if (it == session.adj_rib_out->end() || !(it->second == route))
       update.announced.push_back(route);
   }
-  for (const auto& [prefix, route] : session.adj_rib_out)
+  for (const auto& [prefix, route] : *session.adj_rib_out)
     if (!desired.count(prefix)) update.withdrawn.push_back(prefix);
 
   session.adj_rib_out = std::move(desired);
@@ -551,6 +675,47 @@ void BgpEngine::export_to(BgpSession& session) {
   env_.send_addressed(session.config.peer, Message(update));
 }
 
-std::map<net::Ipv4Prefix, BgpRoute> BgpEngine::loc_rib() const { return best_routes_; }
+void BgpEngine::export_changes(BgpSession& session,
+                               const std::set<net::Ipv4Prefix>& changed) {
+  // Each Adj-RIB-Out entry is a pure function of (winner, session config),
+  // and session config only changes through an engine rebuild (which
+  // resyncs via the full export_to() on establish). So prefixes with an
+  // unchanged winner have an unchanged entry, and patching the changed set
+  // reproduces exactly what a full rebuild would — announcements included,
+  // since `changed` iterates in the same prefix-ascending order.
+  BgpUpdate update;
+  update.source = session.local_address;
+  std::vector<std::pair<net::Ipv4Prefix, std::optional<BgpRoute>>> patches;
+  for (const net::Ipv4Prefix& prefix : changed) {
+    auto winner = winners_->find(prefix);
+    std::optional<BgpRoute> exported;
+    if (winner != winners_->end()) exported = export_route(session, winner->second);
+    auto it = session.adj_rib_out->find(prefix);
+    bool present = it != session.adj_rib_out->end();
+    if (exported) {
+      if (!present || !(it->second == *exported)) {
+        update.announced.push_back(*exported);
+        patches.emplace_back(prefix, std::move(exported));
+      }
+    } else if (present) {
+      update.withdrawn.push_back(prefix);
+      patches.emplace_back(prefix, std::nullopt);
+    }
+  }
+  if (!patches.empty()) {
+    // One mutate() for the whole patch set: clones a fork-shared table at
+    // most once, and only for sessions whose export actually changed.
+    std::map<net::Ipv4Prefix, BgpRoute>& rib_out = session.adj_rib_out.mutate();
+    for (auto& [prefix, route] : patches) {
+      if (route) rib_out.insert_or_assign(prefix, std::move(*route));
+      else rib_out.erase(prefix);
+    }
+  }
+  if (update.announced.empty() && update.withdrawn.empty()) return;
+  ++session.updates_sent;
+  env_.send_addressed(session.config.peer, Message(update));
+}
+
+std::map<net::Ipv4Prefix, BgpRoute> BgpEngine::loc_rib() const { return *best_routes_; }
 
 }  // namespace mfv::proto

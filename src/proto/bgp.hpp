@@ -17,6 +17,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -26,6 +27,7 @@
 #include "proto/env.hpp"
 #include "proto/messages.hpp"
 #include "proto/policy.hpp"
+#include "util/cow.hpp"
 
 namespace mfv::proto {
 
@@ -41,12 +43,14 @@ struct BgpSession {
   net::RouterId peer_router_id;         // learned from Open
   bool open_sent = false;
 
-  /// Routes received from this peer, post-import-policy.
-  std::map<net::Ipv4Prefix, BgpRoute> adj_rib_in;
+  /// Routes received from this peer, post-import-policy. Copy-on-write:
+  /// forking a converged emulation shares these tables with the base and
+  /// only a scenario that actually disturbs the session pays for a copy.
+  util::Cow<std::map<net::Ipv4Prefix, BgpRoute>> adj_rib_in;
   /// Routes announced to this peer (for diffing into incremental updates).
-  std::map<net::Ipv4Prefix, BgpRoute> adj_rib_out;
+  util::Cow<std::map<net::Ipv4Prefix, BgpRoute>> adj_rib_out;
   /// Arrival sequence per prefix (prefer-oldest tiebreak).
-  std::map<net::Ipv4Prefix, uint64_t> arrival;
+  util::Cow<std::map<net::Ipv4Prefix, uint64_t>> arrival;
 
   uint64_t updates_received = 0;
   uint64_t updates_sent = 0;
@@ -72,6 +76,14 @@ class BgpEngine {
   net::RouterId router_id() const { return router_id_; }
 
   void start();
+
+  /// Deep copy of the full engine state (sessions with their Adj-RIBs,
+  /// Loc-RIB, arrival counters) bound to a new env. `device` must be the
+  /// forked router's own config copy: the policy context holds pointers
+  /// into the config's route-map/prefix-list/community-list maps and must
+  /// be rebound. Valid only while the owning emulation is quiescent.
+  std::unique_ptr<BgpEngine> fork(RouterEnv& env, const config::DeviceConfig& device) const;
+
   /// Handles an addressed message (ignores non-BGP messages).
   void handle(const Message& message);
   /// Reacts to RIB changes: session reachability, next-hop validity,
@@ -84,8 +96,14 @@ class BgpEngine {
   std::map<net::Ipv4Prefix, BgpRoute> loc_rib() const;
 
  private:
+  BgpEngine(RouterEnv& env, const config::DeviceConfig& device, const BgpEngine& other);
+
+  /// A route competing in one decision run. `route` points into the
+  /// owning Adj-RIB-In (or local_routes_), which is stable for the
+  /// duration of run_decision() — candidates are views, not copies, so
+  /// the decision process allocates nothing per candidate.
   struct Candidate {
-    BgpRoute route;
+    const BgpRoute* route = nullptr;
     bool from_ebgp = false;
     bool locally_originated = false;
     /// Learned from a route-reflector client session (reflection rules).
@@ -94,6 +112,22 @@ class BgpEngine {
     net::RouterId peer_router_id; // 0 for local
     uint64_t arrival = 0;
   };
+
+  /// A persisted decision outcome. Unlike Candidate this owns a deep copy
+  /// of the route: Adj-RIB-In entries are erased or replaced by later
+  /// updates, so stored winners must not reference them.
+  struct Winner {
+    BgpRoute route;
+    bool from_ebgp = false;
+    bool locally_originated = false;
+    bool from_client = false;
+    net::Ipv4Address peer;  // 0 for local
+  };
+
+  /// Per-decision-run cache of (reachable, IGP metric) per next-hop
+  /// address: the RIB is stable within a run, and the same few next hops
+  /// recur across every prefix's comparisons.
+  using NextHopCache = std::map<net::Ipv4Address, std::pair<bool, uint32_t>>;
 
   BgpSession* find_session(net::Ipv4Address peer);
   void attempt_connect(BgpSession& session);
@@ -113,17 +147,31 @@ class BgpEngine {
   void run_decision();
 
   std::vector<Candidate> candidates_for(const net::Ipv4Prefix& prefix) const;
-  const Candidate* decide(const std::vector<Candidate>& candidates) const;
+  const Candidate* decide(const std::vector<Candidate>& candidates, NextHopCache& cache) const;
   /// ECMP set: candidates equal to the winner through the IGP-metric step
   /// (multipath-eligible), winner first, capped at maximum-paths.
   std::vector<const Candidate*> multipath_set(const std::vector<Candidate>& candidates,
-                                              const Candidate& winner) const;
+                                              const Candidate& winner,
+                                              NextHopCache& cache) const;
   uint32_t igp_metric_to(net::Ipv4Address next_hop) const;
+  /// Cached (reachable, IGP metric) lookup for a next hop within one run.
+  std::pair<bool, uint32_t> next_hop_info(net::Ipv4Address next_hop, NextHopCache& cache) const;
+
+  /// Reference-count upkeep for `next_hop_refs_` — called at every
+  /// Adj-RIB-In insert/replace/erase so the decision-input fingerprint
+  /// always knows which next hops the tables reference.
+  void track_next_hop(net::Ipv4Address next_hop);
+  void untrack_next_hop(net::Ipv4Address next_hop);
 
   /// Computes this session's Adj-RIB-Out from the current best routes and
-  /// sends an incremental update with the diff.
+  /// sends an incremental update with the diff. Full rebuild — used on
+  /// session establish to sync a peer from scratch.
   void export_to(BgpSession& session);
-  std::optional<BgpRoute> export_route(const BgpSession& session, const Candidate& best) const;
+  /// Incremental export: patches only the prefixes whose winner changed
+  /// in the last decision run. Equivalent to export_to() because each
+  /// Adj-RIB-Out entry is a pure function of (winner, session config).
+  void export_changes(BgpSession& session, const std::set<net::Ipv4Prefix>& changed);
+  std::optional<BgpRoute> export_route(const BgpSession& session, const Winner& best) const;
 
   RouterEnv& env_;
   bool active_ = false;
@@ -139,15 +187,31 @@ class BgpEngine {
 
   std::vector<BgpSession> sessions_;
   std::map<net::Ipv4Prefix, BgpRoute> local_routes_;
+  // The persisted decision outcome is copy-on-write: a fork shares it
+  // with its base for free, and the changed-prefix patching in
+  // run_decision() goes through mutate(), which clones first whenever the
+  // storage is still shared.
   /// Last decision outcome per prefix (to detect changes cheaply).
-  std::map<net::Ipv4Prefix, BgpRoute> best_routes_;
+  util::Cow<std::map<net::Ipv4Prefix, BgpRoute>> best_routes_;
   /// Winner metadata per prefix (reused by export without re-deciding).
-  std::map<net::Ipv4Prefix, Candidate> winners_;
+  util::Cow<std::map<net::Ipv4Prefix, Winner>> winners_;
   /// Installed ECMP next hops per prefix (multipath change detection).
-  std::map<net::Ipv4Prefix, std::set<net::Ipv4Address>> installed_paths_;
+  util::Cow<std::map<net::Ipv4Prefix, std::set<net::Ipv4Address>>> installed_paths_;
   uint64_t arrival_counter_ = 0;
   bool decision_pending_ = false;
   bool in_rib_changed_ = false;
+
+  // Exact decision-skip state. The decision outcome is a pure function of
+  // (a) the Adj-RIB-In tables + local routes and (b) the (reachable, IGP
+  // metric) answer for every next hop those tables reference. (a) is
+  // tracked by `tables_dirty_`; (b) is re-checked each run against
+  // `last_next_hop_info_` over the reference-counted next-hop set. When
+  // neither changed since the last run, run_decision() returns without a
+  // decision pass — which is most rib_changed() wakeups during
+  // incremental re-convergence.
+  bool tables_dirty_ = true;
+  std::map<net::Ipv4Address, size_t> next_hop_refs_;
+  NextHopCache last_next_hop_info_;
 };
 
 }  // namespace mfv::proto

@@ -42,6 +42,22 @@ IsisEngine::IsisEngine(RouterEnv& env, const config::IsisConfig& config) : env_(
   level_ = config.level;
 }
 
+IsisEngine::IsisEngine(RouterEnv& env, const IsisEngine& other)
+    : env_(env),
+      active_(other.active_),
+      system_id_(other.system_id_),
+      instance_(other.instance_),
+      level_(other.level_),
+      adjacencies_(other.adjacencies_),
+      lsdb_(other.lsdb_),
+      own_sequence_(other.own_sequence_),
+      spf_pending_(other.spf_pending_),
+      spf_runs_(other.spf_runs_) {}
+
+std::unique_ptr<IsisEngine> IsisEngine::fork(RouterEnv& env) const {
+  return std::unique_ptr<IsisEngine>(new IsisEngine(env, *this));
+}
+
 void IsisEngine::start() {
   if (!active_) return;
   for (const InterfaceView& interface : env_.interfaces()) {
@@ -288,9 +304,7 @@ void IsisEngine::run_spf() {
 
   // Install routes: every prefix in every reachable LSP, cost = dist(origin)
   // + prefix metric, next hops = origin's first-hop adjacencies.
-  rib::Rib& rib = env_.rib();
-  rib.clear_protocol(rib::Protocol::kIsis, instance_);
-  bool changed = false;
+  std::vector<rib::RibRoute> fresh;
   std::map<net::Ipv4Prefix, uint32_t> best_metric;
 
   for (const auto& [origin, lsp] : lsdb_) {
@@ -315,14 +329,15 @@ void IsisEngine::run_spf() {
         route.next_hop = adjacency_it->second.neighbor_address;
         route.interface = hop;
         route.source = instance_;
-        changed |= rib.add(route);
+        fresh.push_back(std::move(route));
       }
     }
   }
-  // The RIB changed if we removed or added anything; clear_protocol gives
-  // no precise signal, so always notify — dependents tolerate no-ops.
-  (void)changed;
-  env_.notify_rib_changed();
+  // Notify only when the installed set actually changed: SPF re-runs whose
+  // result is identical (the common case during incremental re-convergence
+  // after a fork) must not cascade FIB recompiles and BGP re-decisions.
+  if (env_.rib().replace_protocol(rib::Protocol::kIsis, instance_, std::move(fresh)))
+    env_.notify_rib_changed();
 }
 
 }  // namespace mfv::proto

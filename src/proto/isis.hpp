@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -42,6 +43,11 @@ class IsisEngine {
   /// Begins hello transmission on all eligible interfaces.
   void start();
 
+  /// Deep copy of the full instance state (adjacencies, LSDB, sequence
+  /// numbers) bound to a new env. Only valid while no timer callbacks are
+  /// pending, i.e. the owning emulation is quiescent (scenario-engine fork).
+  std::unique_ptr<IsisEngine> fork(RouterEnv& env) const;
+
   /// Graceful shutdown: floods a purge LSP (no neighbors, no prefixes) so
   /// the rest of the area withdraws routes through this router. Called
   /// when the instance is being torn down (config replacement). Without
@@ -64,6 +70,8 @@ class IsisEngine {
   uint32_t spf_runs() const { return spf_runs_; }
 
  private:
+  IsisEngine(RouterEnv& env, const IsisEngine& other);
+
   void send_hello(const InterfaceView& interface);
   void handle_hello(const net::InterfaceName& in_interface, const IsisHello& hello);
   void handle_lsp(const net::InterfaceName& in_interface, const IsisLsp& lsp);

@@ -33,6 +33,22 @@ TeEngine::TeEngine(RouterEnv& env, const config::DeviceConfig& device, TeOptions
   }
 }
 
+TeEngine::TeEngine(RouterEnv& env, const TeEngine& other)
+    : env_(env),
+      active_(other.active_),
+      options_(other.options_),
+      router_id_(other.router_id_),
+      tunnels_(other.tunnels_),
+      bindings_(other.bindings_),
+      upstream_of_(other.upstream_of_),
+      downstream_of_(other.downstream_of_),
+      label_counter_(other.label_counter_),
+      resignal_pending_(other.resignal_pending_) {}
+
+std::unique_ptr<TeEngine> TeEngine::fork(RouterEnv& env) const {
+  return std::unique_ptr<TeEngine>(new TeEngine(env, *this));
+}
+
 void TeEngine::start() {
   if (!active_) return;
   for (auto& [name, tunnel] : tunnels_) signal(tunnel);

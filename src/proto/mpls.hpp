@@ -18,6 +18,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -70,6 +71,12 @@ class TeEngine {
   bool active() const { return active_; }
 
   void start();
+
+  /// Deep copy of the full signaling state (tunnels, label bindings,
+  /// transit path state, label counter) bound to a new env; valid only
+  /// while the owning emulation is quiescent (scenario-engine fork).
+  std::unique_ptr<TeEngine> fork(RouterEnv& env) const;
+
   void handle(const Message& message);
   void rib_changed();
 
@@ -77,6 +84,8 @@ class TeEngine {
   const std::map<uint32_t, TeLabelBinding>& label_bindings() const { return bindings_; }
 
  private:
+  TeEngine(RouterEnv& env, const TeEngine& other);
+
   void signal(TeTunnelStatus& tunnel);
   void handle_path(const RsvpPath& path);
   void process_path(const RsvpPath& path);

@@ -26,6 +26,22 @@ OspfEngine::OspfEngine(RouterEnv& env, const config::DeviceConfig& device) : env
   for (const auto& [name, iface] : device.interfaces) costs_[name] = iface.ospf_cost;
 }
 
+OspfEngine::OspfEngine(RouterEnv& env, const OspfEngine& other)
+    : env_(env),
+      active_(other.active_),
+      router_id_(other.router_id_),
+      ospf_(other.ospf_),
+      costs_(other.costs_),
+      adjacencies_(other.adjacencies_),
+      lsdb_(other.lsdb_),
+      own_sequence_(other.own_sequence_),
+      spf_pending_(other.spf_pending_),
+      spf_runs_(other.spf_runs_) {}
+
+std::unique_ptr<OspfEngine> OspfEngine::fork(RouterEnv& env) const {
+  return std::unique_ptr<OspfEngine>(new OspfEngine(env, *this));
+}
+
 bool OspfEngine::participates(const InterfaceView& interface) const {
   return interface.vrf.empty() && interface.address &&
          ospf_.covers(interface.address->address);
@@ -263,8 +279,7 @@ void OspfEngine::run_spf() {
     }
   }
 
-  rib::Rib& rib = env_.rib();
-  rib.clear_protocol(rib::Protocol::kOspf, std::to_string(ospf_.process_id));
+  std::vector<rib::RibRoute> fresh;
   std::map<net::Ipv4Prefix, uint32_t> best_metric;
   for (const auto& [origin, lsa] : lsdb_) {
     if (origin == router_id_) continue;
@@ -288,11 +303,15 @@ void OspfEngine::run_spf() {
         route.next_hop = adjacency_it->second.neighbor_address;
         route.interface = hop;
         route.source = std::to_string(ospf_.process_id);
-        rib.add(route);
+        fresh.push_back(std::move(route));
       }
     }
   }
-  env_.notify_rib_changed();
+  // Notify only on a real change — identical SPF results (common during
+  // incremental re-convergence) must not cascade downstream recomputation.
+  if (env_.rib().replace_protocol(rib::Protocol::kOspf, std::to_string(ospf_.process_id),
+                                  std::move(fresh)))
+    env_.notify_rib_changed();
 }
 
 }  // namespace mfv::proto

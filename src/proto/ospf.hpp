@@ -9,6 +9,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -38,6 +39,11 @@ class OspfEngine {
   uint32_t process_id() const { return ospf_.process_id; }
 
   void start();
+
+  /// Deep copy of the full instance state bound to a new env; valid only
+  /// while the owning emulation is quiescent (scenario-engine fork).
+  std::unique_ptr<OspfEngine> fork(RouterEnv& env) const;
+
   void handle(const net::InterfaceName& in_interface, const Message& message);
   void interfaces_changed();
   void shutdown();
@@ -49,6 +55,8 @@ class OspfEngine {
   uint32_t spf_runs() const { return spf_runs_; }
 
  private:
+  OspfEngine(RouterEnv& env, const OspfEngine& other);
+
   /// True if the interface participates (covered by a network statement).
   bool participates(const InterfaceView& interface) const;
   bool passive(const InterfaceView& interface) const;

@@ -35,8 +35,23 @@ uint8_t default_admin_distance(Protocol protocol) {
   return 255;
 }
 
+void Rib::prefix_added(const net::Ipv4Prefix& prefix) {
+  // Keep a valid trie valid: one insert beats a full rebuild on the next
+  // longest_match (SPF/BGP churn interleaves mutation with LPM lookups).
+  if (trie_valid_) trie_.insert(prefix, true);
+}
+
+void Rib::prefix_removed(const net::Ipv4Prefix& prefix) {
+  if (trie_valid_) trie_.erase(prefix);
+}
+
 bool Rib::add(RibRoute route) {
-  auto& slot = routes_[route.prefix];
+  auto it = routes_.find(route.prefix);
+  if (it == routes_.end()) {
+    prefix_added(route.prefix);
+    it = routes_.emplace(route.prefix, std::vector<RibRoute>{}).first;
+  }
+  auto& slot = it->second;
   std::vector<RibRoute> before = select_best(slot);
   bool replaced = false;
   for (auto& existing : slot) {
@@ -46,10 +61,7 @@ bool Rib::add(RibRoute route) {
       break;
     }
   }
-  if (!replaced) {
-    slot.push_back(std::move(route));
-    trie_valid_ = false;
-  }
+  if (!replaced) slot.push_back(std::move(route));
   return select_best(slot) != before;
 }
 
@@ -64,8 +76,8 @@ bool Rib::remove(const RibRoute& route) {
   slot.erase(removed, slot.end());
   bool changed;
   if (slot.empty()) {
+    prefix_removed(it->first);
     routes_.erase(it);
-    trie_valid_ = false;
     changed = !before.empty();
   } else {
     changed = select_best(slot) != before;
@@ -86,13 +98,93 @@ size_t Rib::clear_protocol(Protocol protocol, const std::string& source) {
                slot.end());
     removed += before - slot.size();
     if (slot.empty()) {
+      prefix_removed(it->first);
       it = routes_.erase(it);
-      trie_valid_ = false;
     } else {
       ++it;
     }
   }
   return removed;
+}
+
+bool Rib::replace_protocol(Protocol protocol, const std::string& source,
+                           std::vector<RibRoute> fresh) {
+  // Group incoming routes by prefix with add()'s same-slot semantics
+  // (later route replaces an earlier one occupying the same slot).
+  std::map<net::Ipv4Prefix, std::vector<RibRoute>> incoming;
+  for (RibRoute& route : fresh) {
+    auto& slot = incoming[route.prefix];
+    bool replaced = false;
+    for (RibRoute& existing : slot) {
+      if (existing.same_slot(route)) {
+        existing = std::move(route);
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) slot.push_back(std::move(route));
+  }
+
+  auto matches = [&](const RibRoute& r) {
+    return r.protocol == protocol && (source.empty() || r.source == source);
+  };
+  bool changed = false;
+
+  // Existing prefixes: replace this protocol's routes only where the set
+  // actually differs.
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    auto& slot = it->second;
+    auto in = incoming.find(it->first);
+    std::vector<const RibRoute*> current;
+    for (const RibRoute& r : slot)
+      if (matches(r)) current.push_back(&r);
+    std::vector<RibRoute>* want = in == incoming.end() ? nullptr : &in->second;
+    size_t want_size = want ? want->size() : 0;
+    bool same = current.size() == want_size;
+    if (same && want) {
+      std::vector<bool> used(current.size(), false);
+      for (const RibRoute& w : *want) {
+        bool found = false;
+        for (size_t i = 0; i < current.size(); ++i) {
+          if (!used[i] && *current[i] == w) {
+            used[i] = true;
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          same = false;
+          break;
+        }
+      }
+    }
+    if (same) {
+      if (want) incoming.erase(in);
+      ++it;
+      continue;
+    }
+    changed = true;
+    slot.erase(std::remove_if(slot.begin(), slot.end(), matches), slot.end());
+    if (want) {
+      for (RibRoute& w : *want) slot.push_back(std::move(w));
+      incoming.erase(in);
+    }
+    if (slot.empty()) {
+      prefix_removed(it->first);
+      it = routes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Whatever remains in `incoming` targets brand-new prefixes.
+  for (auto& [prefix, want] : incoming) {
+    prefix_added(prefix);
+    auto& slot = routes_[prefix];
+    for (RibRoute& w : want) slot.push_back(std::move(w));
+    changed = true;
+  }
+  return changed;
 }
 
 std::vector<RibRoute> Rib::select_best(const std::vector<RibRoute>& routes) const {
@@ -209,12 +301,68 @@ aft::Aft compile_fib(const Rib& rib) {
   std::map<ResolvedNextHop, uint64_t> next_hop_index;
   std::map<std::vector<uint64_t>, uint64_t> group_index;
 
+  // Memoized recursive resolution. A route with neither interface nor drop
+  // resolves purely as a function of (next hop, pushed label) — the prefix
+  // only matters through resolve_into's self-referential guard, which can
+  // fire only when the route's own prefix covers its next hop. Full-table
+  // workloads resolve thousands of BGP prefixes through a handful of next
+  // hops, so this collapses the dominant compile cost.
+  std::map<std::pair<net::Ipv4Address, std::optional<uint32_t>>,
+           std::vector<ResolvedNextHop>>
+      recursive_memo;
+  std::vector<ResolvedNextHop> scratch;
+  auto memo_key = [](const RibRoute& route)
+      -> std::optional<std::pair<net::Ipv4Address, std::optional<uint32_t>>> {
+    bool memoizable = route.next_hop && !route.interface && !route.drop &&
+                      !route.prefix.contains(*route.next_hop);
+    if (!memoizable) return std::nullopt;
+    return std::make_pair(*route.next_hop, route.push_label);
+  };
+  auto resolve_route = [&](const RibRoute& route) -> const std::vector<ResolvedNextHop>& {
+    auto key = memo_key(route);
+    if (!key) return scratch = resolve(rib, route);
+    auto it = recursive_memo.find(*key);
+    if (it == recursive_memo.end())
+      it = recursive_memo.emplace(*key, resolve(rib, route)).first;
+    return it->second;
+  };
+
+  // Second-level memo: (next hop, label) straight to the group id (0 =
+  // resolves to nothing). A full-feed table maps thousands of single-path
+  // BGP prefixes through a handful of next hops; once one such prefix has
+  // been compiled, its siblings skip the per-hop dedup entirely. Pure
+  // shortcut: a hit means the identical resolved set was already interned,
+  // so the slow path would have created no new next hops or groups — the
+  // emitted Aft (indices included) is identical either way.
+  std::map<std::pair<net::Ipv4Address, std::optional<uint32_t>>, uint64_t> group_memo;
+
   rib.for_each_best([&](const net::Ipv4Prefix& prefix, const std::vector<RibRoute>& best) {
+    std::optional<std::pair<net::Ipv4Address, std::optional<uint32_t>>> fast_key;
+    if (best.size() == 1) {
+      fast_key = memo_key(best.front());
+      if (fast_key) {
+        auto it = group_memo.find(*fast_key);
+        if (it != group_memo.end()) {
+          if (it->second == 0) return;  // memoized as unresolvable
+          aft::Ipv4Entry entry;
+          entry.prefix = prefix;
+          entry.next_hop_group = it->second;
+          entry.origin_protocol = protocol_name(best.front().protocol);
+          entry.metric = best.front().metric;
+          fib.set_ipv4_entry(std::move(entry));
+          return;
+        }
+      }
+    }
+
     std::set<ResolvedNextHop> resolved;
     for (const RibRoute& route : best)
-      for (const ResolvedNextHop& hop : resolve(rib, route))
+      for (const ResolvedNextHop& hop : resolve_route(route))
         resolved.insert(hop);
-    if (resolved.empty()) return;  // unresolvable: not programmed
+    if (resolved.empty()) {  // unresolvable: not programmed
+      if (fast_key) group_memo.emplace(*fast_key, 0);
+      return;
+    }
 
     std::vector<uint64_t> indices;
     for (const ResolvedNextHop& hop : resolved) {
@@ -240,6 +388,7 @@ aft::Aft compile_fib(const Rib& rib) {
       for (uint64_t index : indices) weighted.emplace_back(index, 1);
       group_it = group_index.emplace(indices, fib.add_group(std::move(weighted))).first;
     }
+    if (fast_key) group_memo.emplace(*fast_key, group_it->second);
 
     aft::Ipv4Entry entry;
     entry.prefix = prefix;

@@ -69,6 +69,23 @@ struct RibRoute {
 
 class Rib {
  public:
+  Rib() = default;
+  // Copying resets the lazily built presence trie instead of cloning it:
+  // the trie is a pure cache over `routes_` and rebuilds on first LPM.
+  // This is what makes a RIB (and hence a whole router) forkable for the
+  // scenario engine. Moves keep the trie (node ownership transfers).
+  Rib(const Rib& other) : routes_(other.routes_) {}
+  Rib& operator=(const Rib& other) {
+    if (this != &other) {
+      routes_ = other.routes_;
+      trie_.clear();
+      trie_valid_ = false;
+    }
+    return *this;
+  }
+  Rib(Rib&&) = default;
+  Rib& operator=(Rib&&) = default;
+
   /// Inserts or replaces (by slot identity). Returns true if the best-route
   /// set for the prefix changed.
   bool add(RibRoute route);
@@ -80,6 +97,15 @@ class Rib {
   /// Drops every route of `protocol` (optionally only those from `source`).
   /// Returns the number removed.
   size_t clear_protocol(Protocol protocol, const std::string& source = "");
+
+  /// Replaces every route of (`protocol`, `source`) with `fresh`, as if by
+  /// clear_protocol followed by add() of each route in order — but slots
+  /// whose route set is already identical are left untouched (the presence
+  /// trie survives when the prefix set is stable). Returns true only when
+  /// something actually changed, giving SPF-style full reinstalls a precise
+  /// signal for notify_rib_changed().
+  bool replace_protocol(Protocol protocol, const std::string& source,
+                        std::vector<RibRoute> fresh);
 
   /// Best route set (ECMP) for an exact prefix; empty if none.
   std::vector<RibRoute> best(const net::Ipv4Prefix& prefix) const;
@@ -101,6 +127,10 @@ class Rib {
  private:
   std::vector<RibRoute> select_best(const std::vector<RibRoute>& routes) const;
   void rebuild_trie() const;
+  /// Incremental trie upkeep on slot creation/removal: a valid trie stays
+  /// valid across mutations (full rebuilds happen only after a copy).
+  void prefix_added(const net::Ipv4Prefix& prefix);
+  void prefix_removed(const net::Ipv4Prefix& prefix);
 
   std::map<net::Ipv4Prefix, std::vector<RibRoute>> routes_;
   mutable net::PrefixTrie<bool> trie_;  // presence trie for LPM

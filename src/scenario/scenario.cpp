@@ -1,0 +1,145 @@
+#include "scenario/scenario.hpp"
+
+#include <functional>
+
+#include "util/thread_pool.hpp"
+
+namespace mfv::scenario {
+
+std::string perturbation_to_string(const Perturbation& perturbation) {
+  return std::visit(
+      [](const auto& p) -> std::string {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, LinkCut>) {
+          return "cut " + p.a.to_string() + " <-> " + p.b.to_string();
+        } else if constexpr (std::is_same_v<T, LinkRestore>) {
+          return "restore " + p.a.to_string() + " <-> " + p.b.to_string();
+        } else if constexpr (std::is_same_v<T, ConfigReplace>) {
+          return "replace config of " + p.node;
+        } else {
+          std::string text = "withdraw from " + p.peer;
+          if (p.prefixes.empty()) return text + " (all routes)";
+          text += ":";
+          for (const net::Ipv4Prefix& prefix : p.prefixes) text += " " + prefix.to_string();
+          return text;
+        }
+      },
+      perturbation);
+}
+
+bool ScenarioRunner::apply(emu::Emulation& emulation, const Perturbation& perturbation) {
+  return std::visit(
+      [&emulation](const auto& p) -> bool {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, LinkCut>) {
+          return emulation.set_link_up(p.a, p.b, false);
+        } else if constexpr (std::is_same_v<T, LinkRestore>) {
+          return emulation.set_link_up(p.a, p.b, true);
+        } else if constexpr (std::is_same_v<T, ConfigReplace>) {
+          return emulation.apply_config_text(p.node, p.config_text, p.vendor).ok();
+        } else {
+          return emulation.withdraw_external_routes(p.peer, p.prefixes);
+        }
+      },
+      perturbation);
+}
+
+ScenarioRunner::ScenarioRunner(const emu::Emulation& base, ScenarioRunnerOptions options)
+    : base_(base),
+      options_(options),
+      base_idle_(base.kernel().idle()),
+      base_snapshot_(gnmi::Snapshot::capture(base, "base")),
+      base_graph_(base_snapshot_) {
+  if (options_.pairwise) {
+    base_pairwise_ = verify::pairwise_reachability(base_graph_, options_.verify);
+    for (const verify::PairwiseCell& cell : base_pairwise_.cells)
+      if (cell.reachable) base_reachable_.insert({cell.source, cell.destination});
+  }
+}
+
+util::Result<std::vector<ScenarioResult>> ScenarioRunner::run(
+    const std::vector<Scenario>& scenarios) const {
+  if (!base_idle_)
+    return util::invalid_argument(
+        "scenario base is not quiescent: run it to convergence before forking");
+
+  std::vector<ScenarioResult> results(scenarios.size());
+  util::parallel_for_shards(options_.threads, scenarios.size(), [&](size_t index) {
+    const Scenario& scenario = scenarios[index];
+    ScenarioResult& result = results[index];
+    result.name = scenario.name;
+
+    std::unique_ptr<emu::Emulation> fork = base_.fork();
+    if (fork == nullptr) return;  // base went non-idle underneath us
+
+    util::TimePoint forked_at = fork->kernel().now();
+    uint64_t events_before = fork->kernel().executed();
+    result.applied = true;
+    for (const Perturbation& perturbation : scenario.perturbations)
+      if (!apply(*fork, perturbation)) result.applied = false;
+    result.converged = fork->run_to_convergence(options_.max_events);
+    result.reconvergence = fork->kernel().now() - forked_at;
+    result.events = fork->kernel().executed() - events_before;
+
+    gnmi::Snapshot snapshot = gnmi::Snapshot::capture(*fork, scenario.name);
+    if (options_.pairwise) {
+      verify::ForwardingGraph graph(snapshot);
+      result.pairwise = verify::pairwise_reachability(graph, options_.verify);
+      for (const verify::PairwiseCell& cell : result.pairwise.cells)
+        if (!cell.reachable && base_reachable_.count({cell.source, cell.destination}) > 0)
+          ++result.broken_pairs;
+    }
+    if (options_.keep_snapshots || options_.differential)
+      result.snapshot = std::move(snapshot);
+  });
+
+  // Differentials aggregate against the shared base graph, whose lazily
+  // primed class-LPM index tolerates no concurrent writers — serial phase.
+  if (options_.differential) {
+    for (ScenarioResult& result : results) {
+      if (!result.converged) continue;
+      verify::ForwardingGraph graph(result.snapshot);
+      result.differential =
+          verify::differential_reachability(base_graph_, graph, options_.verify);
+      if (!options_.keep_snapshots) result.snapshot = gnmi::Snapshot{};
+    }
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Sweep builders
+
+std::vector<Scenario> single_link_cuts(const emu::Topology& topology) {
+  return k_link_cuts(topology, 1);
+}
+
+std::vector<Scenario> k_link_cuts(const emu::Topology& topology, size_t k) {
+  std::vector<Scenario> scenarios;
+  const std::vector<emu::LinkSpec>& links = topology.links;
+  if (k == 0 || links.size() < k) return scenarios;
+
+  std::vector<size_t> picked(k);
+  std::function<void(size_t, size_t)> descend = [&](size_t start, size_t depth) {
+    if (depth == k) {
+      Scenario scenario;
+      for (size_t index : picked) {
+        const emu::LinkSpec& link = links[index];
+        if (!scenario.name.empty()) scenario.name += " + ";
+        scenario.name += link.a.to_string() + "<->" + link.b.to_string();
+        scenario.perturbations.push_back(LinkCut{link.a, link.b});
+      }
+      scenario.name = "cut " + scenario.name;
+      scenarios.push_back(std::move(scenario));
+      return;
+    }
+    for (size_t i = start; i + (k - depth) <= links.size(); ++i) {
+      picked[depth] = i;
+      descend(i + 1, depth + 1);
+    }
+  };
+  descend(0, 0);
+  return scenarios;
+}
+
+}  // namespace mfv::scenario

@@ -1,0 +1,57 @@
+// Copy-on-write container wrapper for forkable state.
+//
+// Emulation::fork() deep-copies every router; for a converged base the
+// bulk of that copy is large route tables (BGP Adj-RIBs, decision
+// outcomes, compiled FIBs) that most what-if scenarios never touch
+// again. Wrapping them in Cow<T> makes the fork itself O(1) per table —
+// the fork shares the base's storage and pays for a private copy only on
+// its first mutation, which for unchanged tables is never.
+//
+// Thread-safety: scenario shards run forks of the same base
+// concurrently. Shared storage is only ever read; mutate() on a shared
+// table clones it into this instance before writing. The use_count()==1
+// fast path is sound: this Cow holds one reference, so a count of 1
+// proves no other owner exists (a new owner could only appear by copying
+// an existing reference, which some owner would have to hold).
+#pragma once
+
+#include <memory>
+#include <utility>
+
+namespace mfv::util {
+
+template <typename T>
+class Cow {
+ public:
+  Cow() : data_(std::make_shared<T>()) {}
+  Cow(const Cow&) = default;
+  Cow(Cow&& other) noexcept : data_(std::move(other.data_)) { other.reset(); }
+  Cow& operator=(const Cow&) = default;
+  Cow& operator=(Cow&& other) noexcept {
+    data_ = std::move(other.data_);
+    other.reset();
+    return *this;
+  }
+  /// Replaces the contents wholesale (no copy of the old value).
+  Cow& operator=(T value) {
+    data_ = std::make_shared<T>(std::move(value));
+    return *this;
+  }
+
+  const T& operator*() const { return *data_; }
+  const T* operator->() const { return data_.get(); }
+
+  /// Mutable access; clones the storage first if it is shared.
+  T& mutate() {
+    if (data_.use_count() != 1) data_ = std::make_shared<T>(*data_);
+    return *data_;
+  }
+
+  /// Resets to a default-constructed value (no copy of the old value).
+  void reset() { data_ = std::make_shared<T>(); }
+
+ private:
+  std::shared_ptr<T> data_;
+};
+
+}  // namespace mfv::util

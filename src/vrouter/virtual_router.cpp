@@ -35,6 +35,34 @@ VirtualRouter::VirtualRouter(config::DeviceConfig config, Fabric& fabric,
 
 VirtualRouter::~VirtualRouter() { *alive_ = false; }
 
+VirtualRouter::VirtualRouter(const VirtualRouter& other, Fabric& fabric)
+    : config_(other.config_),
+      fabric_(fabric),
+      options_(other.options_),
+      started_(other.started_),
+      alive_(std::make_shared<bool>(true)),
+      generation_(std::make_shared<uint64_t>(*other.generation_)),
+      rib_(other.rib_),
+      vrf_ribs_(other.vrf_ribs_),
+      link_connected_(other.link_connected_),
+      fib_(other.fib_),
+      vrf_fibs_(other.vrf_fibs_),
+      fib_version_(other.fib_version_),
+      last_fib_change_(other.last_fib_change_),
+      fib_compile_pending_(other.fib_compile_pending_) {
+  // Engines are forked against *this* router's env so their callbacks and
+  // RIB writes land in the clone. BGP rebinds its policy pointers to our
+  // config copy.
+  if (other.isis_) isis_ = other.isis_->fork(*this);
+  if (other.ospf_) ospf_ = other.ospf_->fork(*this);
+  if (other.bgp_) bgp_ = other.bgp_->fork(*this, config_);
+  if (other.te_) te_ = other.te_->fork(*this);
+}
+
+std::unique_ptr<VirtualRouter> VirtualRouter::fork(Fabric& fabric) const {
+  return std::unique_ptr<VirtualRouter>(new VirtualRouter(*this, fabric));
+}
+
 bool VirtualRouter::interface_up(const config::InterfaceConfig& interface) const {
   if (interface.shutdown) return false;
   if (interface.is_loopback()) return true;
@@ -308,8 +336,8 @@ void VirtualRouter::compile_fib_now() {
         break;
       }
     }
-  if (fresh.forwarding_equal(fib_) && vrf_equal) return;
-  fib_ = std::move(fresh);
+  if (fresh.forwarding_equal(*fib_) && vrf_equal) return;
+  fib_ = std::make_shared<const aft::Aft>(std::move(fresh));
   vrf_fibs_ = std::move(fresh_vrf);
   ++fib_version_;
   last_fib_change_ = fabric_.now();
@@ -318,7 +346,7 @@ void VirtualRouter::compile_fib_now() {
 aft::DeviceAft VirtualRouter::device_aft() const {
   aft::DeviceAft device;
   device.node = config_.hostname;
-  device.aft = fib_;
+  device.aft = *fib_;
   device.instances = vrf_fibs_;
   for (const auto& [name, interface] : config_.interfaces) {
     aft::InterfaceState state;

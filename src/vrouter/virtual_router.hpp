@@ -65,6 +65,14 @@ class VirtualRouter final : public proto::RouterEnv {
   VirtualRouter(const VirtualRouter&) = delete;
   VirtualRouter& operator=(const VirtualRouter&) = delete;
 
+  /// Deep copy of the entire device onto a new fabric: configuration, all
+  /// RIBs/FIBs, and every protocol engine's session/adjacency/LSDB state.
+  /// Only valid while no callbacks are pending on the owning fabric (the
+  /// emulation kernel is idle), because scheduled callbacks are not — and
+  /// cannot be — cloned. The copy continues exactly where the original
+  /// would: this is the per-router half of Emulation::fork().
+  std::unique_ptr<VirtualRouter> fork(Fabric& fabric) const;
+
   /// Boots the control plane: installs connected/local/static routes and
   /// starts the protocol engines.
   void start();
@@ -99,7 +107,7 @@ class VirtualRouter final : public proto::RouterEnv {
   bool owns_address(net::Ipv4Address address) const;
 
   // -- dataplane export (gNMI-facing) --
-  const aft::Aft& fib() const { return fib_; }
+  const aft::Aft& fib() const { return *fib_; }
   aft::DeviceAft device_aft() const;
   /// Monotonic counter bumped whenever forwarding behaviour changes.
   uint64_t fib_version() const { return fib_version_; }
@@ -131,6 +139,8 @@ class VirtualRouter final : public proto::RouterEnv {
   bool reachable(net::Ipv4Address address) const override;
 
  private:
+  VirtualRouter(const VirtualRouter& other, Fabric& fabric);
+
   bool interface_up(const config::InterfaceConfig& interface) const;
   void install_connected_routes();
   void install_static_routes();
@@ -159,7 +169,11 @@ class VirtualRouter final : public proto::RouterEnv {
 
   std::map<net::InterfaceName, bool> link_connected_;
 
-  aft::Aft fib_;
+  // Shared, immutable once compiled: compile_fib_now() swaps in a fresh
+  // Aft instead of mutating, so forks share the base's compiled FIB until
+  // their first recompile (and forever if the scenario never touches this
+  // router's RIB).
+  std::shared_ptr<const aft::Aft> fib_ = std::make_shared<aft::Aft>();
   std::map<std::string, aft::Aft> vrf_fibs_;
   uint64_t fib_version_ = 0;
   util::TimePoint last_fib_change_;

@@ -378,8 +378,8 @@ TEST(Bgp, CommunitiesPropagateOnlyWithSendCommunity) {
 
     const auto* session = session_to(*emulation.router("R2"), "100.64.0.0");
     ASSERT_NE(session, nullptr);
-    auto it = session->adj_rib_in.find(pfx("203.0.113.0/24"));
-    ASSERT_NE(it, session->adj_rib_in.end());
+    auto it = session->adj_rib_in->find(pfx("203.0.113.0/24"));
+    ASSERT_NE(it, session->adj_rib_in->end());
     // The route-map applies after the send-community strip, so the tag is
     // always present here; the *strip* is what send-community=false does to
     // communities carried from elsewhere. Validate via a tagged network.
