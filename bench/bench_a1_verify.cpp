@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "gnmi/gnmi.hpp"
 #include "verify/queries.hpp"
 #include "workload/generator.hpp"
@@ -58,8 +59,13 @@ void engine_report() {
     auto result = verify::reachability(graph, options);
     auto end = std::chrono::steady_clock::now();
     double ms = std::chrono::duration<double, std::milli>(end - begin).count();
-    std::printf("A1_TIMING routers=%d engine=%s threads=%u flows=%zu ms=%.1f\n",
-                kRouters, label, options.threads, result.flows, ms);
+    mfv::util::Json fields = mfv::util::Json::object();
+    fields["routers"] = kRouters;
+    fields["engine"] = label;
+    fields["threads"] = static_cast<uint64_t>(options.threads);
+    fields["flows"] = static_cast<uint64_t>(result.flows);
+    fields["ms"] = ms;
+    mfvbench::timing("A1_TIMING", fields);
     return ms;
   };
 
@@ -80,8 +86,11 @@ void engine_report() {
   parallel.engine = verify::EngineMode::kCached;
   double parallel_ms = run("cached-parallel", parallel);
 
-  std::printf("A1_SPEEDUP routers=%d cached_serial=%.1fx cached_parallel=%.1fx\n",
-              kRouters, serial_ms / cached_serial_ms, serial_ms / parallel_ms);
+  mfv::util::Json speedup = mfv::util::Json::object();
+  speedup["routers"] = kRouters;
+  speedup["cached_serial"] = serial_ms / cached_serial_ms;
+  speedup["cached_parallel"] = serial_ms / parallel_ms;
+  mfvbench::timing("A1_SPEEDUP", speedup);
   std::printf("\n");
 }
 
@@ -150,9 +159,11 @@ BENCHMARK(BM_SingleTraceroute)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  mfvbench::JsonReport::instance().init(&argc, argv, "bench_a1_verify");
   report();
   engine_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  mfvbench::JsonReport::instance().flush();
   return 0;
 }

@@ -15,6 +15,7 @@
 #include <map>
 #include <set>
 
+#include "bench_json.hpp"
 #include "emu/emulation.hpp"
 #include "gnmi/gnmi.hpp"
 
@@ -109,6 +110,13 @@ void report() {
   print("arrival-order tiebreak + timing jitter", jittered);
   print("arrival-order tiebreak, no jitter", no_jitter);
   print("deterministic (router-id) tiebreak + jitter", deterministic);
+
+  mfv::util::Json fields = mfv::util::Json::object();
+  fields["runs"] = kRuns;
+  fields["jittered_outcomes"] = static_cast<uint64_t>(jittered.size());
+  fields["no_jitter_outcomes"] = static_cast<uint64_t>(no_jitter.size());
+  fields["deterministic_outcomes"] = static_cast<uint64_t>(deterministic.size());
+  mfvbench::timing("A2_RESULT", fields);
   std::printf("\npaper: 'one run of emulation will produce a single converged state';\n"
               "running multiple times explores the ordering space. Model-based tools\n"
               "'avoid supporting features requiring non-determinism' — the\n"
@@ -127,8 +135,10 @@ BENCHMARK(BM_SeededRun)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  mfvbench::JsonReport::instance().init(&argc, argv, "bench_a2_nondeterminism");
   report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  mfvbench::JsonReport::instance().flush();
   return 0;
 }

@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "gnmi/gnmi.hpp"
 #include "scenario/scenario.hpp"
 #include "verify/queries.hpp"
@@ -138,6 +139,18 @@ void print_row(const char* label, const SweepStats& stats, double cold_ms) {
               stats.ms, per_sec, speedup, stats.breaking_cuts);
 }
 
+/// One A3_TIMING row (legacy line + JSON); `cold_ms` > 0 adds a speedup.
+void record_sweep(const char* sweep, const char* approach, const SweepStats& stats,
+                  double cold_ms) {
+  mfv::util::Json fields = mfv::util::Json::object();
+  fields["sweep"] = sweep;
+  fields["approach"] = approach;
+  fields["scenarios"] = static_cast<uint64_t>(stats.scenarios);
+  fields["ms"] = stats.ms;
+  if (cold_ms > 0 && stats.ms > 0) fields["speedup"] = cold_ms / stats.ms;
+  mfvbench::timing("A3_TIMING", fields);
+}
+
 void report() {
   // A ring with a few chords: some links are redundant, bridge links are
   // not (rings with chords keep 2-connectivity except at chord-free spans).
@@ -179,15 +192,9 @@ void report() {
   if (forked_serial.worst_broken_pairs > 0)
     std::printf("  worst cut: %s (%zu pairs lost)\n", forked_serial.worst_cut.c_str(),
                 forked_serial.worst_broken_pairs);
-  std::printf("A3_TIMING sweep=k1 approach=cold scenarios=%zu ms=%.1f\n", cold.scenarios,
-              cold.ms);
-  std::printf("A3_TIMING sweep=k1 approach=forked-serial scenarios=%zu ms=%.1f speedup=%.2f\n",
-              forked_serial.scenarios, forked_serial.ms,
-              forked_serial.ms > 0 ? cold.ms / forked_serial.ms : 0.0);
-  std::printf(
-      "A3_TIMING sweep=k1 approach=forked-threaded scenarios=%zu ms=%.1f speedup=%.2f\n",
-      forked_threaded.scenarios, forked_threaded.ms,
-      forked_threaded.ms > 0 ? cold.ms / forked_threaded.ms : 0.0);
+  record_sweep("k1", "cold", cold, 0);
+  record_sweep("k1", "forked-serial", forked_serial, cold.ms);
+  record_sweep("k1", "forked-threaded", forked_threaded, cold.ms);
 
   // The exponential the paper warns about — now with the k=2 sweep
   // actually executed on the scenario engine instead of only counted.
@@ -208,8 +215,7 @@ void report() {
   if (k2_stats.worst_broken_pairs > 0)
     std::printf("  worst pair of cuts          : %s (%zu pairs lost)\n",
                 k2_stats.worst_cut.c_str(), k2_stats.worst_broken_pairs);
-  std::printf("A3_TIMING sweep=k2 approach=forked-threaded scenarios=%zu ms=%.1f\n",
-              k2_stats.scenarios, k2_stats.ms);
+  record_sweep("k2", "forked-threaded", k2_stats, 0);
 
   // Negative control: a line topology, where every link is a bridge — the
   // sweep must flag every cut.
@@ -316,8 +322,10 @@ BENCHMARK(BM_IncrementalCutReconvergence)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  mfvbench::JsonReport::instance().init(&argc, argv, "bench_a3_linkcuts");
   report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  mfvbench::JsonReport::instance().flush();
   return 0;
 }

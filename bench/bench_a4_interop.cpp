@@ -18,6 +18,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "config/dialect.hpp"
 #include "emu/emulation.hpp"
 #include "workload/generator.hpp"
@@ -127,6 +128,11 @@ void report() {
   std::printf("  %-38s %.1f s\n", "re-route through a vjun transit hop", mixed);
   if (pure_ceos > 0)
     std::printf("  %-38s %.1fx\n", "slowdown from timer interplay", mixed / pure_ceos);
+  mfv::util::Json fields = mfv::util::Json::object();
+  fields["all_ceos_s"] = pure_ceos;
+  fields["mixed_vendor_s"] = mixed;
+  if (pure_ceos > 0) fields["slowdown"] = mixed / pure_ceos;
+  mfvbench::timing("A4_TIMING", fields);
   std::printf("\npaper (§2): mismatched RSVP-TE timers between two vendors caused\n"
               "\"very slow reconvergence after a major link-cut\". A single\n"
               "reference model cannot exhibit this; per-vendor emulation does.\n\n");
@@ -143,8 +149,10 @@ BENCHMARK(BM_MixedVendorReconvergence)->Unit(benchmark::kMillisecond)->Iteration
 }  // namespace
 
 int main(int argc, char** argv) {
+  mfvbench::JsonReport::instance().init(&argc, argv, "bench_a4_interop");
   report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  mfvbench::JsonReport::instance().flush();
   return 0;
 }

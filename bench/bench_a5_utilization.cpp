@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "gnmi/gnmi.hpp"
 #include "verify/utilization.hpp"
 #include "workload/generator.hpp"
@@ -53,6 +54,12 @@ void report() {
                 (hottest.first + ":" + hottest.second).c_str(), peak,
                 100.0 * peak / kCapacityMbps,
                 peak > kCapacityMbps ? "  <-- OVERLOADED" : "");
+    mfv::util::Json fields = mfv::util::Json::object();
+    fields["per_pair_mbps"] = per_pair;
+    fields["hottest_link"] = hottest.first + ":" + hottest.second;
+    fields["max_load_mbps"] = peak;
+    fields["utilization_pct"] = 100.0 * peak / kCapacityMbps;
+    mfvbench::timing("A5_RESULT", fields);
   }
 
   // What-if: cut the hottest link and re-check the same demand.
@@ -68,6 +75,12 @@ void report() {
               "unrouted %.0f Mbps\n\n",
               cut.a.to_string().c_str(), before.max_load(), after.max_load(),
               after.unrouted_bps);
+  mfv::util::Json whatif = mfv::util::Json::object();
+  whatif["cut"] = cut.a.to_string();
+  whatif["max_load_before_mbps"] = before.max_load();
+  whatif["max_load_after_mbps"] = after.max_load();
+  whatif["unrouted_mbps"] = after.unrouted_bps;
+  mfvbench::timing("A5_WHATIF", whatif);
 }
 
 void BM_UtilizationSweep(benchmark::State& state) {
@@ -88,8 +101,10 @@ BENCHMARK(BM_UtilizationSweep)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMilli
 }  // namespace
 
 int main(int argc, char** argv) {
+  mfvbench::JsonReport::instance().init(&argc, argv, "bench_a5_utilization");
   report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  mfvbench::JsonReport::instance().flush();
   return 0;
 }

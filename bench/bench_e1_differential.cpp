@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "api/session.hpp"
 #include "scenario/scenario.hpp"
 #include "workload/scenarios.hpp"
@@ -97,9 +98,17 @@ void report() {
   std::printf("%-46s %-22s %s (%zu AS3->AS2 rows)\n", "forked snapshot finds the loss",
               "same verdict", forked_as3_to_as2 == as3_to_as2 ? "yes" : "NO",
               forked_as3_to_as2);
-  std::printf("E1_TIMING build=cold ms=%.2f\n", cold_ms);
-  std::printf("E1_TIMING build=forked ms=%.2f speedup=%.2f\n", fork_ms,
-              fork_ms > 0 ? cold_ms / fork_ms : 0.0);
+  {
+    mfv::util::Json fields = mfv::util::Json::object();
+    fields["build"] = "cold";
+    fields["ms"] = cold_ms;
+    mfvbench::timing("E1_TIMING", fields);
+    fields = mfv::util::Json::object();
+    fields["build"] = "forked";
+    fields["ms"] = fork_ms;
+    fields["speedup"] = fork_ms > 0 ? cold_ms / fork_ms : 0.0;
+    mfvbench::timing("E1_TIMING", fields);
+  }
 
   // Engine comparison on the same query: serial legacy walker versus the
   // memoized trace cache, with and without sharded execution. Emitted as
@@ -109,8 +118,12 @@ void report() {
     auto result = session.differential_reachability("base", "bug", options);
     auto end = std::chrono::steady_clock::now();
     double ms = std::chrono::duration<double, std::milli>(end - begin).count();
-    std::printf("E1_TIMING engine=%s threads=%u flows=%zu ms=%.2f\n", label,
-                options.threads, result.ok() ? result->flows : 0, ms);
+    mfv::util::Json fields = mfv::util::Json::object();
+    fields["engine"] = label;
+    fields["threads"] = static_cast<uint64_t>(options.threads);
+    fields["flows"] = static_cast<uint64_t>(result.ok() ? result->flows : 0);
+    fields["ms"] = ms;
+    mfvbench::timing("E1_TIMING", fields);
   };
   verify::QueryOptions serial;
   serial.threads = 1;
@@ -187,8 +200,10 @@ BENCHMARK(BM_SnapshotExtraction)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  mfvbench::JsonReport::instance().init(&argc, argv, "bench_e1_differential");
   report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  mfvbench::JsonReport::instance().flush();
   return 0;
 }

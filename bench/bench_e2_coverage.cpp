@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "config/dialect.hpp"
 #include "model/reference_parser.hpp"
 #include "workload/generator.hpp"
@@ -62,6 +63,12 @@ void report() {
               corpus.size());
   std::printf("  %-44s %zu/%zu\n", "configs the vendor parser accepts cleanly",
               vendor_clean, corpus.size());
+  mfv::util::Json fields = mfv::util::Json::object();
+  fields["configs_in_paper_band"] = static_cast<uint64_t>(in_range);
+  fields["corpus_size"] = static_cast<uint64_t>(corpus.size());
+  fields["corpus_model_failures"] = static_cast<uint64_t>(failed);
+  fields["corpus_vendor_clean"] = static_cast<uint64_t>(vendor_clean);
+  mfvbench::timing("E2_RESULT", fields);
   std::printf("\n");
 }
 
@@ -90,8 +97,10 @@ BENCHMARK(BM_ReferenceParser)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  mfvbench::JsonReport::instance().init(&argc, argv, "bench_e2_coverage");
   report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  mfvbench::JsonReport::instance().flush();
   return 0;
 }

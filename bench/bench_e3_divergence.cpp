@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "api/session.hpp"
 #include "model/ibdp.hpp"
 #include "workload/scenarios.hpp"
@@ -53,6 +54,14 @@ void report() {
               "reported as invalid", isis_syntax_flags);
   std::printf("%-46s %-26s %s\n", "issue #1: address silently dropped",
               "line ignored (silent)", "yes (no diagnostic, address absent)");
+  mfv::util::Json fields = mfv::util::Json::object();
+  fields["emulation_reachable_pairs"] =
+      static_cast<uint64_t>(emu_pairwise->reachable_pairs);
+  fields["total_pairs"] = static_cast<uint64_t>(emu_pairwise->total_pairs);
+  fields["model_r2_r1_reachable"] = model_r2_r1->reachable();
+  fields["differential_rows"] = static_cast<uint64_t>(diff->rows.size());
+  fields["isis_syntax_flags"] = static_cast<uint64_t>(isis_syntax_flags);
+  mfvbench::timing("E3_RESULT", fields);
   std::printf("\n");
 }
 
@@ -93,8 +102,10 @@ BENCHMARK(BM_BackendDifferential)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  mfvbench::JsonReport::instance().init(&argc, argv, "bench_e3_divergence");
   report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  mfvbench::JsonReport::instance().flush();
   return 0;
 }

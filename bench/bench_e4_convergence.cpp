@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_json.hpp"
 #include "emu/emulation.hpp"
 #include "orch/cluster.hpp"
 #include "workload/generator.hpp"
@@ -96,6 +97,13 @@ void report() {
               "-", minutes);
   std::printf("%-48s %-14s %.1f min (virtual, linear model)\n",
               "convergence extrapolated to 1M routes/peer", "~3 min", extrapolated_1m);
+  mfv::util::Json fields = mfv::util::Json::object();
+  if (plan.ok())
+    fields["startup_min"] = plan->boot.total_startup.seconds_double() / 60.0;
+  fields["routes_per_peer"] = static_cast<uint64_t>(options.routes_per_peer);
+  fields["converge_min_virtual"] = minutes;
+  fields["extrapolated_1m_min"] = extrapolated_1m;
+  mfvbench::timing("E4B_TIMING", fields);
   std::printf("(run the measured point at full size: MFV_ROUTES_PER_PEER=1000000)\n\n");
 }
 
@@ -140,8 +148,10 @@ BENCHMARK(BM_ReconfigurationConvergence)->Unit(benchmark::kMillisecond)->Iterati
 }  // namespace
 
 int main(int argc, char** argv) {
+  mfvbench::JsonReport::instance().init(&argc, argv, "bench_e4_convergence");
   report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  mfvbench::JsonReport::instance().flush();
   return 0;
 }

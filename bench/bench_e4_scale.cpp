@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "emu/emulation.hpp"
 #include "orch/cluster.hpp"
 #include "workload/generator.hpp"
@@ -52,6 +53,12 @@ void report() {
   for (int machines : {1, 2, 4, 8, 17})
     std::printf(" %6d", max_schedulable(machines, orch::ImageKind::kContainer));
   std::printf("\n\n");
+  for (int machines : {1, 2, 4, 8, 17}) {
+    mfv::util::Json fields = mfv::util::Json::object();
+    fields["machines"] = machines;
+    fields["capacity"] = max_schedulable(machines, orch::ImageKind::kContainer);
+    mfvbench::timing("E4A_RESULT", fields);
+  }
 
   std::printf("startup model (one-time infra init + image pull + boot):\n");
   std::printf("%-34s %-18s %s\n", "topology", "paper", "measured");
@@ -108,8 +115,10 @@ BENCHMARK(BM_SchedulerThroughput)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  mfvbench::JsonReport::instance().init(&argc, argv, "bench_e4_scale");
   report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  mfvbench::JsonReport::instance().flush();
   return 0;
 }

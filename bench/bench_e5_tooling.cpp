@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "cli/show.hpp"
 #include "config/dialect.hpp"
 #include "emu/emulation.hpp"
@@ -68,6 +69,11 @@ void report() {
                            ? "full mesh restored"
                            : "still broken";
               }());
+  mfv::util::Json fields = mfv::util::Json::object();
+  fields["syntax_errors"] = static_cast<uint64_t>(diagnostics.error_count());
+  fields["broken_reachable_pairs"] = static_cast<uint64_t>(pairwise.reachable_pairs);
+  fields["total_pairs"] = static_cast<uint64_t>(pairwise.total_pairs);
+  mfvbench::timing("E5_RESULT", fields);
   std::printf("\n");
 }
 
@@ -114,8 +120,10 @@ BENCHMARK(BM_ApplyConfigReconverge)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  mfvbench::JsonReport::instance().init(&argc, argv, "bench_e5_tooling");
   report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  mfvbench::JsonReport::instance().flush();
   return 0;
 }

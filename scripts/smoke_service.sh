@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Loopback smoke test for the verification service: boots mfvd on a unix
+# socket, drives the full verb surface with mfvc (upload -> snapshot ->
+# query -> fork -> differential -> stats), and checks the answers. CI runs
+# this after the build; it needs only bash + python3 for JSON plumbing.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+MFVD="$BUILD_DIR/src/cli/mfvd"
+MFVC="$BUILD_DIR/src/cli/mfvc"
+[ -x "$MFVD" ] && [ -x "$MFVC" ] || { echo "smoke: build $MFVD / $MFVC first"; exit 1; }
+
+SOCK="$(mktemp -u /tmp/mfvd_smoke_XXXXXX.sock)"
+WORK="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null && wait "$DAEMON_PID" 2>/dev/null
+  rm -rf "$WORK"
+  rm -f "$SOCK"
+}
+trap cleanup EXIT
+
+"$MFVD" --socket "$SOCK" &
+DAEMON_PID=$!
+for _ in $(seq 1 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { echo "smoke: mfvd did not come up"; exit 1; }
+
+c() { "$MFVC" --socket "$SOCK" "$@"; }
+field() { python3 -c "import json,sys; print(json.load(sys.stdin)$1)"; }
+
+echo "smoke: demo topology + upload"
+c demo-topology --routers 5 > "$WORK/topology.json"
+SUBMISSION="$(c upload "$WORK/topology.json" | field "['submission']")"
+echo "smoke: submission $SUBMISSION"
+
+echo "smoke: snapshot (cold, then store hit)"
+HIT_COLD="$(c snapshot "$SUBMISSION" | field "['hit']")"
+HIT_WARM="$(c snapshot "$SUBMISSION" | field "['hit']")"
+[ "$HIT_COLD" = "False" ] || { echo "smoke: first snapshot should be a miss"; exit 1; }
+[ "$HIT_WARM" = "True" ] || { echo "smoke: second snapshot should hit the store"; exit 1; }
+
+echo "smoke: pairwise query"
+PAIRS="$(c query "$SUBMISSION" --kind pairwise | field "['answer']['reachable_pairs']")"
+[ "$PAIRS" -eq 20 ] || { echo "smoke: expected 20 reachable pairs, got $PAIRS"; exit 1; }
+
+echo "smoke: fork a link-cut what-if"
+python3 - "$WORK/topology.json" > "$WORK/cut.json" << 'EOF'
+import json, sys
+link = json.load(open(sys.argv[1]))["links"][0]
+# topology links are "node:interface" strings; perturbations take objects
+def port(ref):
+    node, interface = ref.split(":", 1)
+    return {"node": node, "interface": interface}
+print(json.dumps([{"kind": "link_cut", "a": port(link["a"]), "b": port(link["b"])}]))
+EOF
+FORK="$(c fork "$SUBMISSION" "$WORK/cut.json" | field "['snapshot']")"
+[ "$FORK" != "$SUBMISSION" ] || { echo "smoke: fork key must differ from base"; exit 1; }
+
+echo "smoke: differential query against the base"
+DIFFS="$(c query "$FORK" --kind differential --base "$SUBMISSION" | field "['answer']['flows']")"
+[ "$DIFFS" -ge 0 ] || { echo "smoke: differential failed"; exit 1; }
+
+echo "smoke: stats"
+ENTRIES="$(c stats | field "['store']['entries']")"
+[ "$ENTRIES" -eq 2 ] || { echo "smoke: expected 2 stored snapshots, got $ENTRIES"; exit 1; }
+
+echo "smoke: graceful shutdown"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || { echo "smoke: mfvd exited non-zero"; exit 1; }
+DAEMON_PID=""
+
+echo "smoke: OK"

@@ -1,5 +1,7 @@
 #include "api/session.hpp"
 
+#include "verify/trace_cache.hpp"
+
 namespace mfv::api {
 
 std::string backend_name(Backend backend) {
@@ -128,16 +130,33 @@ const verify::ForwardingGraph* Session::graph_for(const std::string& name) const
   if (it == snapshots_.end()) return nullptr;
   // Lazy build; Entry is logically const from the caller's view.
   Entry& entry = const_cast<Entry&>(it->second);
-  if (!entry.graph)
+  if (!entry.graph) {
     entry.graph = std::make_unique<verify::ForwardingGraph>(entry.snapshot);
+    entry.cache = std::make_unique<verify::TraceCache>(*entry.graph);
+  }
   return entry.graph.get();
+}
+
+verify::TraceCache* Session::cache_for(const std::string& name) const {
+  if (graph_for(name) == nullptr) return nullptr;
+  return snapshots_.find(name)->second.cache.get();
+}
+
+verify::QueryOptions Session::with_session_caches(const verify::QueryOptions& options,
+                                                  const std::string& snapshot,
+                                                  const std::string& candidate) const {
+  verify::QueryOptions out = options;
+  if (out.cache == nullptr) out.cache = cache_for(snapshot);
+  if (!candidate.empty() && out.candidate_cache == nullptr)
+    out.candidate_cache = cache_for(candidate);
+  return out;
 }
 
 util::Result<verify::ReachabilityResult> Session::reachability(
     const std::string& snapshot, const verify::QueryOptions& options) const {
   const verify::ForwardingGraph* graph = graph_for(snapshot);
   if (graph == nullptr) return util::not_found("no snapshot '" + snapshot + "'");
-  return verify::reachability(*graph, options);
+  return verify::reachability(*graph, with_session_caches(options, snapshot));
 }
 
 util::Result<verify::DifferentialResult> Session::differential_reachability(
@@ -148,7 +167,8 @@ util::Result<verify::DifferentialResult> Session::differential_reachability(
   const verify::ForwardingGraph* candidate_graph = graph_for(candidate);
   if (candidate_graph == nullptr)
     return util::not_found("no snapshot '" + candidate + "'");
-  return verify::differential_reachability(*base_graph, *candidate_graph, options);
+  return verify::differential_reachability(*base_graph, *candidate_graph,
+                                           with_session_caches(options, base, candidate));
 }
 
 util::Result<verify::TraceResult> Session::traceroute(const std::string& snapshot,
@@ -163,14 +183,14 @@ util::Result<verify::PairwiseResult> Session::pairwise_reachability(
     const std::string& snapshot, const verify::QueryOptions& options) const {
   const verify::ForwardingGraph* graph = graph_for(snapshot);
   if (graph == nullptr) return util::not_found("no snapshot '" + snapshot + "'");
-  return verify::pairwise_reachability(*graph, options);
+  return verify::pairwise_reachability(*graph, with_session_caches(options, snapshot));
 }
 
 util::Result<verify::ReachabilityResult> Session::detect_loops(
     const std::string& snapshot, const verify::QueryOptions& options) const {
   const verify::ForwardingGraph* graph = graph_for(snapshot);
   if (graph == nullptr) return util::not_found("no snapshot '" + snapshot + "'");
-  return verify::detect_loops(*graph, options);
+  return verify::detect_loops(*graph, with_session_caches(options, snapshot));
 }
 
 util::Result<std::vector<verify::RouteRow>> Session::routes(

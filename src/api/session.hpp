@@ -113,10 +113,21 @@ class Session {
     SnapshotInfo info;
     std::unique_ptr<emu::Emulation> emulation;           // model-free only
     std::unique_ptr<verify::ForwardingGraph> graph;      // built lazily
+    /// Long-lived memoization shared by every query on this snapshot (the
+    /// cached engine solves each destination class once per *session*, not
+    /// once per query). Built with the graph; plugged into QueryOptions
+    /// whenever the caller did not bring their own cache.
+    std::unique_ptr<verify::TraceCache> cache;
   };
 
   const Entry* find(const std::string& name) const;
   const verify::ForwardingGraph* graph_for(const std::string& name) const;
+  /// The session-owned cache for a snapshot (nullptr if unknown).
+  verify::TraceCache* cache_for(const std::string& name) const;
+  /// `options` with the session-owned caches filled into empty cache slots.
+  verify::QueryOptions with_session_caches(
+      const verify::QueryOptions& options, const std::string& snapshot,
+      const std::string& candidate = "") const;
 
   SessionOptions options_;
   std::map<std::string, Entry> snapshots_;

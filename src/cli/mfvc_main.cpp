@@ -1,0 +1,168 @@
+// mfvc — command-line client for the mfvd verification service.
+//
+//   mfvc demo-topology --routers 8 > topo.json      (local, no daemon)
+//   mfvc upload topo.json                           -> submission id
+//   mfvc snapshot <submission>                      converge / reuse
+//   mfvc query <snapshot> --kind pairwise
+//   mfvc query <snapshot> --kind differential --base <other>
+//   mfvc fork <base> perturbations.json             what-if snapshot
+//   mfvc stats
+//
+// Connection flags (before the verb): --socket PATH (default
+// /tmp/mfvd.sock) or --tcp PORT [--host 127.0.0.1]. Request flags:
+// --priority interactive|batch|background, --deadline-ms N, --pretty.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "util/logging.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "mfvc: %s\n", message.c_str());
+  return 1;
+}
+
+bool read_input(const std::string& path, std::string& out) {
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    out = buffer.str();
+    return true;
+  }
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return false;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+struct Options {
+  std::string socket_path = "/tmp/mfvd.sock";
+  std::string host = "127.0.0.1";
+  uint16_t tcp_port = 0;
+  bool tcp = false;
+  bool pretty = false;
+  mfv::service::Priority priority = mfv::service::Priority::kBatch;
+  int64_t deadline_ms = 0;
+};
+
+int run_call(const Options& options, mfv::service::Request request) {
+  request.id = 1;
+  request.priority = options.priority;
+  request.deadline_ms = options.deadline_ms;
+
+  mfv::service::Client client;
+  mfv::util::Status status =
+      options.tcp ? client.connect_tcp(options.host, options.tcp_port)
+                  : client.connect_unix(options.socket_path);
+  if (!status.ok()) return fail(status.to_string());
+
+  mfv::util::Result<mfv::service::Response> response = client.call(request);
+  if (!response.ok()) return fail(response.status().to_string());
+  if (!response->ok()) return fail(response->status().to_string());
+  std::printf("%s\n", response->result.dump(options.pretty ? 2 : 0).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mfv::util::init_log_level_from_env();
+
+  Options options;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+
+  // Peel connection/request flags; what remains is verb + operands.
+  std::vector<std::string> operands;
+  std::string kind, scope, base, node;
+  bool full = false;
+  int routers = 6;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "mfvc: flag %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (arg == "--socket") options.socket_path = next();
+    else if (arg == "--tcp") { options.tcp_port = static_cast<uint16_t>(std::atoi(next().c_str())); options.tcp = true; }
+    else if (arg == "--host") options.host = next();
+    else if (arg == "--pretty") options.pretty = true;
+    else if (arg == "--priority") {
+      auto priority = mfv::service::priority_from_name(next());
+      if (!priority) return fail("priority must be interactive|batch|background");
+      options.priority = *priority;
+    } else if (arg == "--deadline-ms") options.deadline_ms = std::atol(next().c_str());
+    else if (arg == "--kind") kind = next();
+    else if (arg == "--scope") scope = next();
+    else if (arg == "--base") base = next();
+    else if (arg == "--node") node = next();
+    else if (arg == "--full") full = true;
+    else if (arg == "--routers") routers = std::atoi(next().c_str());
+    else operands.push_back(arg);
+  }
+
+  if (operands.empty())
+    return fail("usage: mfvc [flags] demo-topology|upload|snapshot|query|fork|stats ...");
+  const std::string verb = operands[0];
+
+  if (verb == "demo-topology") {
+    mfv::workload::WanOptions wan;
+    wan.routers = routers;
+    std::printf("%s\n", mfv::workload::wan_topology(wan).to_json().dump(2).c_str());
+    return 0;
+  }
+
+  mfv::service::Request request;
+  request.params = mfv::util::Json::object();
+  if (verb == "upload") {
+    if (operands.size() != 2) return fail("usage: mfvc upload <topology.json|->");
+    std::string text;
+    if (!read_input(operands[1], text)) return fail("cannot read " + operands[1]);
+    mfv::util::Result<mfv::util::Json> topology = mfv::util::Json::parse_checked(text);
+    if (!topology.ok()) return fail(topology.status().to_string());
+    request.verb = "upload_configs";
+    request.params["topology"] = std::move(*topology);
+  } else if (verb == "snapshot") {
+    if (operands.size() != 2) return fail("usage: mfvc snapshot <submission>");
+    request.verb = "snapshot";
+    request.params["submission"] = operands[1];
+  } else if (verb == "query") {
+    if (operands.size() != 2) return fail("usage: mfvc query <snapshot> [--kind K]");
+    request.verb = "query";
+    request.params["snapshot"] = operands[1];
+    if (!kind.empty()) request.params["kind"] = kind;
+    if (!scope.empty()) request.params["scope"] = scope;
+    if (!base.empty()) request.params["base"] = base;
+    if (!node.empty()) request.params["node"] = node;
+    if (full) request.params["full"] = true;
+  } else if (verb == "fork") {
+    if (operands.size() != 3) return fail("usage: mfvc fork <base> <perturbations.json|->");
+    std::string text;
+    if (!read_input(operands[2], text)) return fail("cannot read " + operands[2]);
+    mfv::util::Result<mfv::util::Json> perturbations = mfv::util::Json::parse_checked(text);
+    if (!perturbations.ok()) return fail(perturbations.status().to_string());
+    request.verb = "fork_scenario";
+    request.params["base"] = operands[1];
+    request.params["perturbations"] = std::move(*perturbations);
+  } else if (verb == "stats") {
+    request.verb = "stats";
+  } else {
+    return fail("unknown verb '" + verb + "'");
+  }
+
+  return run_call(options, std::move(request));
+}

@@ -1,0 +1,116 @@
+// mfvd — the verification service daemon.
+//
+// Serves the mfv::service wire protocol on a unix-domain socket (default)
+// or loopback TCP. All state is in-memory; stopping the daemon drops the
+// snapshot store.
+//
+//   mfvd --socket /tmp/mfvd.sock
+//   mfvd --tcp 7471 --threads 4 --queue 128 --budget-mb 512
+//
+// SIGINT/SIGTERM trigger the graceful drain: in-flight requests finish
+// and their responses are delivered before the process exits.
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/server.hpp"
+#include "service/service.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+volatile sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--socket PATH | --tcp PORT] [--threads N] [--queue N]\n"
+               "          [--budget-mb N] [--query-threads N] [--max-rows N]\n"
+               "\n"
+               "  --socket PATH      unix-domain socket to listen on (default\n"
+               "                     /tmp/mfvd.sock)\n"
+               "  --tcp PORT         listen on 127.0.0.1:PORT instead (0 = ephemeral)\n"
+               "  --threads N        broker worker threads (0 = hardware)\n"
+               "  --queue N          admission queue capacity (default 64)\n"
+               "  --budget-mb N      snapshot store byte budget in MiB (default 512)\n"
+               "  --query-threads N  threads per individual query (default 1)\n"
+               "  --max-rows N       row cap for non-full query answers\n"
+               "\n"
+               "Log verbosity comes from MFV_LOG_LEVEL (debug|info|warn|error|off).\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mfv::util::init_log_level_from_env();
+
+  mfv::service::ServiceOptions service_options;
+  mfv::service::ServerOptions server_options;
+  server_options.unix_path = "/tmp/mfvd.sock";
+  bool tcp = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      server_options.unix_path = next();
+      tcp = false;
+    } else if (arg == "--tcp") {
+      server_options.tcp_port = static_cast<uint16_t>(std::atoi(next()));
+      tcp = true;
+    } else if (arg == "--threads") {
+      service_options.broker.threads = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--queue") {
+      service_options.broker.queue_capacity = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--budget-mb") {
+      service_options.store.byte_budget = static_cast<size_t>(std::atol(next())) << 20;
+    } else if (arg == "--query-threads") {
+      service_options.query_threads = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--max-rows") {
+      service_options.max_rows = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (tcp) server_options.unix_path.clear();
+
+  mfv::service::VerificationService service(service_options);
+  mfv::service::Server server(service, server_options);
+  mfv::util::Status status = server.start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "mfvd: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  if (tcp) std::printf("mfvd: listening on 127.0.0.1:%u\n", server.port());
+  else std::printf("mfvd: listening on %s\n", server.unix_path().c_str());
+  std::fflush(stdout);
+
+  struct sigaction action {};
+  action.sa_handler = handle_signal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  while (!g_stop) pause();
+
+  std::printf("mfvd: draining...\n");
+  std::fflush(stdout);
+  server.stop();
+  std::printf("mfvd: bye\n");
+  return 0;
+}

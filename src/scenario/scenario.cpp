@@ -27,6 +27,127 @@ std::string perturbation_to_string(const Perturbation& perturbation) {
       perturbation);
 }
 
+namespace {
+
+util::Json port_to_json(const net::PortRef& port) {
+  util::Json j = util::Json::object();
+  j["node"] = port.node;
+  j["interface"] = port.interface;
+  return j;
+}
+
+util::Result<net::PortRef> port_from_json(const util::Json* json, const char* field) {
+  if (json == nullptr || !json->is_object())
+    return util::invalid_argument(std::string("perturbation missing port object '") +
+                                  field + "'");
+  const util::Json* node = json->find("node");
+  const util::Json* interface = json->find("interface");
+  if (node == nullptr || node->type() != util::Json::Type::kString ||
+      interface == nullptr || interface->type() != util::Json::Type::kString)
+    return util::invalid_argument(std::string("port '") + field +
+                                  "' needs string members 'node' and 'interface'");
+  return net::PortRef{node->as_string(), interface->as_string()};
+}
+
+}  // namespace
+
+util::Json perturbation_to_json(const Perturbation& perturbation) {
+  util::Json j = util::Json::object();
+  std::visit(
+      [&j](const auto& p) {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, LinkCut>) {
+          j["kind"] = "link_cut";
+          j["a"] = port_to_json(p.a);
+          j["b"] = port_to_json(p.b);
+        } else if constexpr (std::is_same_v<T, LinkRestore>) {
+          j["kind"] = "link_restore";
+          j["a"] = port_to_json(p.a);
+          j["b"] = port_to_json(p.b);
+        } else if constexpr (std::is_same_v<T, ConfigReplace>) {
+          j["kind"] = "config_replace";
+          j["node"] = p.node;
+          j["vendor"] = config::vendor_name(p.vendor);
+          j["config"] = p.config_text;
+        } else {
+          j["kind"] = "route_withdraw";
+          j["peer"] = p.peer;
+          util::Json prefixes = util::Json::array();
+          for (const net::Ipv4Prefix& prefix : p.prefixes)
+            prefixes.push_back(prefix.to_string());
+          j["prefixes"] = std::move(prefixes);
+        }
+      },
+      perturbation);
+  return j;
+}
+
+util::Result<Perturbation> perturbation_from_json(const util::Json& json) {
+  if (!json.is_object()) return util::invalid_argument("perturbation must be an object");
+  const util::Json* kind = json.find("kind");
+  if (kind == nullptr || kind->type() != util::Json::Type::kString)
+    return util::invalid_argument("perturbation needs a string 'kind'");
+  const std::string& name = kind->as_string();
+
+  if (name == "link_cut" || name == "link_restore") {
+    auto a = port_from_json(json.find("a"), "a");
+    if (!a.ok()) return a.status();
+    auto b = port_from_json(json.find("b"), "b");
+    if (!b.ok()) return b.status();
+    if (name == "link_cut") return Perturbation(LinkCut{*a, *b});
+    return Perturbation(LinkRestore{*a, *b});
+  }
+  if (name == "config_replace") {
+    const util::Json* node = json.find("node");
+    const util::Json* text = json.find("config");
+    if (node == nullptr || node->type() != util::Json::Type::kString ||
+        text == nullptr || text->type() != util::Json::Type::kString)
+      return util::invalid_argument("config_replace needs string 'node' and 'config'");
+    ConfigReplace replace{node->as_string(), text->as_string(), config::Vendor::kCeos};
+    if (const util::Json* vendor = json.find("vendor")) {
+      if (vendor->type() != util::Json::Type::kString)
+        return util::invalid_argument("config_replace 'vendor' must be a string");
+      if (vendor->as_string() == "vjun") replace.vendor = config::Vendor::kVjun;
+      else if (vendor->as_string() == "ceos") replace.vendor = config::Vendor::kCeos;
+      else
+        return util::invalid_argument("unknown vendor '" + vendor->as_string() + "'");
+    }
+    return Perturbation(std::move(replace));
+  }
+  if (name == "route_withdraw") {
+    const util::Json* peer = json.find("peer");
+    if (peer == nullptr || peer->type() != util::Json::Type::kString)
+      return util::invalid_argument("route_withdraw needs a string 'peer'");
+    RouteWithdraw withdraw{peer->as_string(), {}};
+    if (const util::Json* prefixes = json.find("prefixes")) {
+      if (!prefixes->is_array())
+        return util::invalid_argument("route_withdraw 'prefixes' must be an array");
+      for (const util::Json& entry : prefixes->as_array()) {
+        if (entry.type() != util::Json::Type::kString)
+          return util::invalid_argument("route_withdraw prefixes must be strings");
+        auto prefix = net::Ipv4Prefix::parse(entry.as_string());
+        if (!prefix)
+          return util::invalid_argument("bad prefix '" + entry.as_string() + "'");
+        withdraw.prefixes.push_back(*prefix);
+      }
+    }
+    return Perturbation(std::move(withdraw));
+  }
+  return util::invalid_argument("unknown perturbation kind '" + name + "'");
+}
+
+util::Result<std::vector<Perturbation>> perturbations_from_json(const util::Json& json) {
+  if (!json.is_array())
+    return util::invalid_argument("perturbations must be a JSON array");
+  std::vector<Perturbation> out;
+  for (const util::Json& entry : json.as_array()) {
+    auto perturbation = perturbation_from_json(entry);
+    if (!perturbation.ok()) return perturbation.status();
+    out.push_back(std::move(*perturbation));
+  }
+  return out;
+}
+
 bool ScenarioRunner::apply(emu::Emulation& emulation, const Perturbation& perturbation) {
   return std::visit(
       [&emulation](const auto& p) -> bool {

@@ -61,6 +61,15 @@ using Perturbation = std::variant<LinkCut, LinkRestore, ConfigReplace, RouteWith
 
 std::string perturbation_to_string(const Perturbation& perturbation);
 
+/// Wire forms for the service protocol (mfv::service fork_scenario verb).
+/// The JSON round-trip is lossless — unlike perturbation_to_string, it
+/// carries full content (config text, vendor, prefix lists), so it is also
+/// the canonical byte string the snapshot store hashes into delta keys.
+util::Json perturbation_to_json(const Perturbation& perturbation);
+util::Result<Perturbation> perturbation_from_json(const util::Json& json);
+/// Parses a JSON array of perturbations; fails on the first invalid one.
+util::Result<std::vector<Perturbation>> perturbations_from_json(const util::Json& json);
+
 /// One what-if scenario: a named list of deltas applied to the base.
 struct Scenario {
   std::string name;
@@ -111,7 +120,12 @@ struct ScenarioRunnerOptions {
   /// engine is forced (kAuto would fall back to the legacy walker at one
   /// thread) — per-class memoization pays off within a single pairwise
   /// sweep regardless of thread count.
-  verify::QueryOptions verify = {.threads = 1, .engine = verify::EngineMode::kCached};
+  verify::QueryOptions verify = [] {
+    verify::QueryOptions options;
+    options.threads = 1;
+    options.engine = verify::EngineMode::kCached;
+    return options;
+  }();
 };
 
 /// Forks a converged base emulation per scenario and verifies the results.

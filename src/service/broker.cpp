@@ -1,0 +1,118 @@
+#include "service/broker.hpp"
+
+#include <utility>
+
+namespace mfv::service {
+
+Broker::Broker(BrokerOptions options, Handler handler)
+    : options_(options), handler_(std::move(handler)), pool_(options.threads) {}
+
+Broker::~Broker() { drain(); }
+
+void Broker::submit(Request request, Callback callback) {
+  const uint64_t id = request.id;
+  util::Status rejection;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      ++rejected_;
+      rejection = util::unavailable("service is draining; not accepting requests");
+    } else if (queued_ >= options_.queue_capacity) {
+      ++rejected_;
+      rejection = util::resource_exhausted(
+          "request queue full (" + std::to_string(options_.queue_capacity) +
+          " pending); retry later or lower the offered load");
+    } else {
+      Job job;
+      job.enqueued_at = std::chrono::steady_clock::now();
+      job.expires_at =
+          request.deadline_ms > 0
+              ? job.enqueued_at + std::chrono::milliseconds(request.deadline_ms)
+              : std::chrono::steady_clock::time_point::max();
+      size_t queue = static_cast<size_t>(request.priority);
+      job.request = std::move(request);
+      job.callback = std::move(callback);
+      queues_[queue].push_back(std::move(job));
+      ++queued_;
+      ++accepted_;
+    }
+  }
+  if (!rejection.ok()) {
+    callback(Response::failure(id, rejection));
+    return;
+  }
+  // One pool task per admitted job; the task picks the highest-priority
+  // pending job at execution time, which is what makes priority classes
+  // meaningful on a saturated pool.
+  pool_.submit([this] { run_one(); });
+}
+
+std::future<Response> Broker::submit(Request request) {
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> future = promise->get_future();
+  submit(std::move(request),
+         [promise](Response response) { promise->set_value(std::move(response)); });
+  return future;
+}
+
+void Broker::run_one() {
+  Job job;
+  bool expired = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::deque<Job>* queue = nullptr;
+    for (auto& candidate : queues_)
+      if (!candidate.empty()) {
+        queue = &candidate;
+        break;
+      }
+    if (queue == nullptr) return;  // job count and task count always match
+    job = std::move(queue->front());
+    queue->pop_front();
+    --queued_;
+    ++executing_;
+    expired = std::chrono::steady_clock::now() >= job.expires_at;
+  }
+
+  Response response;
+  if (expired) {
+    response = Response::failure(
+        job.request.id,
+        util::deadline_exceeded("deadline of " + std::to_string(job.request.deadline_ms) +
+                                "ms passed while queued"));
+  } else {
+    ExecContext context;
+    context.queue_wait_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                                std::chrono::steady_clock::now() - job.enqueued_at)
+                                .count();
+    response = handler_(job.request, context);
+    response.id = job.request.id;
+  }
+  job.callback(std::move(response));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  --executing_;
+  if (expired) ++expired_;
+  else ++completed_;
+  if (queued_ == 0 && executing_ == 0) drained_.notify_all();
+}
+
+void Broker::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  draining_ = true;
+  drained_.wait(lock, [this] { return queued_ == 0 && executing_ == 0; });
+}
+
+BrokerStats Broker::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  BrokerStats stats;
+  stats.accepted = accepted_;
+  stats.completed = completed_;
+  stats.rejected = rejected_;
+  stats.expired = expired_;
+  stats.queued = queued_;
+  stats.executing = executing_;
+  return stats;
+}
+
+}  // namespace mfv::service

@@ -1,0 +1,111 @@
+// Request broker: admission control, priority scheduling, deadlines, and
+// graceful drain in front of the worker pool.
+//
+// Every accepted request enters one of three bounded priority queues
+// (interactive > batch > background). Workers always pop the
+// highest-priority pending request, so a batch backlog cannot starve an
+// interactive caller of its turn. Admission is explicit: a full queue
+// rejects with RESOURCE_EXHAUSTED at submit() time — the service never
+// buffers unboundedly and never silently drops. A request whose relative
+// deadline passes while still queued is failed with DEADLINE_EXCEEDED
+// instead of executed (late answers to an impatient caller are pure
+// waste). drain() stops admission (UNAVAILABLE) and waits for everything
+// already accepted to finish — the graceful-shutdown half of the
+// contract.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+
+#include "service/protocol.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mfv::service {
+
+struct BrokerOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned threads = 0;
+  /// Max queued (not yet executing) requests across all priorities.
+  size_t queue_capacity = 64;
+};
+
+/// Execution-side context handed to the handler alongside the request.
+struct ExecContext {
+  /// Time the request spent queued before a worker picked it up.
+  int64_t queue_wait_us = 0;
+};
+
+struct BrokerStats {
+  uint64_t accepted = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;         // RESOURCE_EXHAUSTED at admission
+  uint64_t expired = 0;          // DEADLINE_EXCEEDED at dequeue
+  size_t queued = 0;             // current depth across priorities
+  size_t executing = 0;
+};
+
+class Broker {
+ public:
+  using Handler = std::function<Response(const Request&, const ExecContext&)>;
+  using Callback = std::function<void(Response)>;
+
+  /// `handler` executes accepted requests on worker threads; it must be
+  /// safe to call concurrently.
+  Broker(BrokerOptions options, Handler handler);
+  ~Broker();
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Admits the request or fails fast. The callback runs exactly once, on
+  /// a worker thread for executed/expired requests or inline on the
+  /// caller for admission rejections (queue full → RESOURCE_EXHAUSTED,
+  /// draining → UNAVAILABLE).
+  void submit(Request request, Callback callback);
+
+  /// Future-returning convenience for synchronous callers.
+  std::future<Response> submit(Request request);
+
+  /// Stops admitting work and blocks until every accepted request has
+  /// completed. Safe to call more than once.
+  void drain();
+
+  BrokerStats stats() const;
+
+ private:
+  struct Job {
+    Request request;
+    Callback callback;
+    std::chrono::steady_clock::time_point enqueued_at;
+    /// Absolute expiry derived from request.deadline_ms; max() = none.
+    std::chrono::steady_clock::time_point expires_at;
+  };
+
+  /// Worker-side: pops the highest-priority job and runs or expires it.
+  void run_one();
+
+  BrokerOptions options_;
+  Handler handler_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable drained_;
+  std::deque<Job> queues_[kPriorityCount];
+  size_t queued_ = 0;
+  size_t executing_ = 0;
+  bool draining_ = false;
+  uint64_t accepted_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t expired_ = 0;
+
+  /// Last member: destroyed first, so workers stop before the queues and
+  /// handler they reference go away.
+  util::ThreadPool pool_;
+};
+
+}  // namespace mfv::service

@@ -1,0 +1,89 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace mfv::service {
+
+Client::~Client() { close(); }
+
+util::Status Client::connect_unix(const std::string& path) {
+  if (fd_ >= 0) return util::failed_precondition("client already connected");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    return util::invalid_argument("unix socket path too long: " + path);
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return util::internal_error(std::string("socket: ") + std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    util::Status status =
+        util::unavailable("connect " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  return util::Status::ok_status();
+}
+
+util::Status Client::connect_tcp(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) return util::failed_precondition("client already connected");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    return util::invalid_argument("bad IPv4 address '" + host + "'");
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return util::internal_error(std::string("socket: ") + std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    util::Status status = util::unavailable("connect " + host + ":" +
+                                            std::to_string(port) + ": " +
+                                            std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  return util::Status::ok_status();
+}
+
+util::Status Client::send(const Request& request) {
+  if (fd_ < 0) return util::failed_precondition("client is not connected");
+  return write_frame(fd_, request.to_json().dump());
+}
+
+util::Result<Response> Client::receive() {
+  if (fd_ < 0) return util::failed_precondition("client is not connected");
+  std::string payload;
+  util::Status status = read_frame(fd_, payload);
+  if (!status.ok()) return status;
+  return decode_response(payload);
+}
+
+util::Result<Response> Client::call(const Request& request) {
+  util::Status status = send(request);
+  if (!status.ok()) return status;
+  util::Result<Response> response = receive();
+  if (!response.ok()) return response;
+  if (response->id != request.id)
+    return util::internal_error("response id " + std::to_string(response->id) +
+                                " does not match request id " +
+                                std::to_string(request.id) +
+                                " (pipelined calls must use send/receive)");
+  return response;
+}
+
+void Client::close() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace mfv::service

@@ -1,0 +1,49 @@
+// Client side of the wire protocol (the mfvc binary and the tests /
+// benches use this; any language that can frame JSON can substitute).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "util/status.hpp"
+
+namespace mfv::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  util::Status connect_unix(const std::string& path);
+  util::Status connect_tcp(const std::string& host, uint16_t port);
+
+  /// One round trip: send the request, read one response, check the
+  /// echoed id. For non-pipelined use; pipelined callers use
+  /// send()/receive() and match ids themselves.
+  util::Result<Response> call(const Request& request);
+
+  util::Status send(const Request& request);
+  util::Result<Response> receive();
+
+  void close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace mfv::service

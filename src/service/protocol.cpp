@@ -1,0 +1,203 @@
+#include "service/protocol.hpp"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace mfv::service {
+
+std::string priority_name(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive: return "interactive";
+    case Priority::kBatch: return "batch";
+    case Priority::kBackground: return "background";
+  }
+  return "?";
+}
+
+std::optional<Priority> priority_from_name(std::string_view name) {
+  if (name == "interactive") return Priority::kInteractive;
+  if (name == "batch") return Priority::kBatch;
+  if (name == "background") return Priority::kBackground;
+  return std::nullopt;
+}
+
+util::Json Request::to_json() const {
+  util::Json j = util::Json::object();
+  j["id"] = id;
+  j["verb"] = verb;
+  j["priority"] = priority_name(priority);
+  if (deadline_ms > 0) j["deadline_ms"] = deadline_ms;
+  if (!params.is_null()) j["params"] = params;
+  return j;
+}
+
+util::Result<Request> Request::from_json(const util::Json& json) {
+  if (!json.is_object()) return util::invalid_argument("request must be a JSON object");
+  Request request;
+  if (const util::Json* id = json.find("id")) {
+    if (id->type() != util::Json::Type::kInt || id->as_int() < 0)
+      return util::invalid_argument("request 'id' must be a non-negative integer");
+    request.id = static_cast<uint64_t>(id->as_int());
+  }
+  const util::Json* verb = json.find("verb");
+  if (verb == nullptr || verb->type() != util::Json::Type::kString)
+    return util::invalid_argument("request needs a string 'verb'");
+  request.verb = verb->as_string();
+  if (const util::Json* priority = json.find("priority")) {
+    if (priority->type() != util::Json::Type::kString)
+      return util::invalid_argument("request 'priority' must be a string");
+    auto parsed = priority_from_name(priority->as_string());
+    if (!parsed)
+      return util::invalid_argument("unknown priority '" + priority->as_string() + "'");
+    request.priority = *parsed;
+  }
+  if (const util::Json* deadline = json.find("deadline_ms")) {
+    if (deadline->type() != util::Json::Type::kInt || deadline->as_int() < 0)
+      return util::invalid_argument("request 'deadline_ms' must be a non-negative integer");
+    request.deadline_ms = deadline->as_int();
+  }
+  if (const util::Json* params = json.find("params")) request.params = *params;
+  return request;
+}
+
+util::Json Response::to_json() const {
+  util::Json j = util::Json::object();
+  j["id"] = id;
+  j["code"] = util::Status::code_name(code);
+  if (!error.empty()) j["error"] = error;
+  if (!result.is_null()) j["result"] = result;
+  return j;
+}
+
+util::Result<Response> Response::from_json(const util::Json& json) {
+  if (!json.is_object()) return util::invalid_argument("response must be a JSON object");
+  Response response;
+  if (const util::Json* id = json.find("id")) {
+    if (id->type() != util::Json::Type::kInt || id->as_int() < 0)
+      return util::invalid_argument("response 'id' must be a non-negative integer");
+    response.id = static_cast<uint64_t>(id->as_int());
+  }
+  const util::Json* code = json.find("code");
+  if (code == nullptr || code->type() != util::Json::Type::kString)
+    return util::invalid_argument("response needs a string 'code'");
+  auto parsed = util::Status::code_from_name(code->as_string());
+  if (!parsed)
+    return util::invalid_argument("unknown status code '" + code->as_string() + "'");
+  response.code = *parsed;
+  if (const util::Json* error = json.find("error")) {
+    if (error->type() != util::Json::Type::kString)
+      return util::invalid_argument("response 'error' must be a string");
+    response.error = error->as_string();
+  }
+  if (const util::Json* result = json.find("result")) response.result = *result;
+  return response;
+}
+
+Response Response::failure(uint64_t id, const util::Status& status) {
+  Response response;
+  response.id = id;
+  response.code = status.ok() ? util::StatusCode::kInternal : status.code();
+  response.error = status.ok() ? "failure() from OK status" : status.message();
+  return response;
+}
+
+Response Response::success(uint64_t id, util::Json result) {
+  Response response;
+  response.id = id;
+  response.result = std::move(result);
+  return response;
+}
+
+namespace {
+
+util::Status write_all(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    // MSG_NOSIGNAL: a peer that hangs up must surface as EPIPE, not kill
+    // the process with SIGPIPE. Non-socket fds (tests over pipes) fall
+    // back to write(2).
+    ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET)
+        return util::unavailable("peer closed the connection");
+      return util::internal_error(std::string("write: ") + std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return util::Status::ok_status();
+}
+
+/// Reads exactly `size` bytes. eof_ok: a clean EOF before the first byte
+/// returns kUnavailable (frame boundary), otherwise kInternal (truncation).
+util::Status read_all(int fd, char* data, size_t size, bool eof_ok) {
+  size_t received = 0;
+  while (received < size) {
+    ssize_t n = ::read(fd, data + received, size - received);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::internal_error(std::string("read: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (eof_ok && received == 0)
+        return util::unavailable("peer closed the connection");
+      return util::internal_error("connection closed mid-frame");
+    }
+    received += static_cast<size_t>(n);
+  }
+  return util::Status::ok_status();
+}
+
+}  // namespace
+
+util::Status write_frame(int fd, std::string_view payload, size_t max_bytes) {
+  if (payload.size() > max_bytes)
+    return util::invalid_argument("frame payload of " + std::to_string(payload.size()) +
+                                  " bytes exceeds limit of " + std::to_string(max_bytes));
+  char header[4];
+  uint32_t size = static_cast<uint32_t>(payload.size());
+  header[0] = static_cast<char>((size >> 24) & 0xff);
+  header[1] = static_cast<char>((size >> 16) & 0xff);
+  header[2] = static_cast<char>((size >> 8) & 0xff);
+  header[3] = static_cast<char>(size & 0xff);
+  // Two writes keep the implementation allocation-free for large payloads;
+  // interleaving is impossible because each connection has one writer at a
+  // time (the server serializes via a per-connection write mutex).
+  util::Status status = write_all(fd, header, sizeof(header));
+  if (!status.ok()) return status;
+  return write_all(fd, payload.data(), payload.size());
+}
+
+util::Status read_frame(int fd, std::string& payload, size_t max_bytes) {
+  char header[4];
+  util::Status status = read_all(fd, header, sizeof(header), /*eof_ok=*/true);
+  if (!status.ok()) return status;
+  uint32_t size = (static_cast<uint32_t>(static_cast<uint8_t>(header[0])) << 24) |
+                  (static_cast<uint32_t>(static_cast<uint8_t>(header[1])) << 16) |
+                  (static_cast<uint32_t>(static_cast<uint8_t>(header[2])) << 8) |
+                  static_cast<uint32_t>(static_cast<uint8_t>(header[3]));
+  if (size > max_bytes)
+    return util::invalid_argument("frame of " + std::to_string(size) +
+                                  " bytes exceeds limit of " + std::to_string(max_bytes));
+  payload.resize(size);
+  if (size == 0) return util::Status::ok_status();
+  return read_all(fd, payload.data(), size, /*eof_ok=*/false);
+}
+
+util::Result<Request> decode_request(std::string_view payload) {
+  util::Result<util::Json> json = util::Json::parse_checked(payload, kWireParseLimits);
+  if (!json.ok()) return json.status();
+  return Request::from_json(*json);
+}
+
+util::Result<Response> decode_response(std::string_view payload) {
+  util::Result<util::Json> json = util::Json::parse_checked(payload, kWireParseLimits);
+  if (!json.ok()) return json.status();
+  return Response::from_json(*json);
+}
+
+}  // namespace mfv::service

@@ -1,0 +1,90 @@
+// Wire protocol of the mfv verification service.
+//
+// Frames are a 4-byte big-endian payload length followed by that many
+// bytes of UTF-8 JSON — trivial to speak from any language, incrementally
+// parseable, and bounded (kMaxFrameBytes caps what a peer can force the
+// server to buffer; the JSON parser additionally runs under
+// kWireParseLimits so adversarial nesting cannot blow the stack).
+//
+// A Request names a verb (upload_configs / snapshot / query /
+// fork_scenario / stats), carries a client-chosen id echoed back in the
+// Response, a priority class for the broker, and an optional relative
+// deadline. Responses carry a StatusCode by name, so RESOURCE_EXHAUSTED
+// rejections and DEADLINE_EXCEEDED expiries are first-class wire values.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace mfv::service {
+
+/// Broker scheduling classes, dispatched strictly in this order.
+enum class Priority { kInteractive = 0, kBatch = 1, kBackground = 2 };
+inline constexpr size_t kPriorityCount = 3;
+
+std::string priority_name(Priority priority);
+std::optional<Priority> priority_from_name(std::string_view name);
+
+struct Request {
+  /// Client-chosen correlation id, echoed in the response (pipelined
+  /// clients match responses by id; ordering is not guaranteed).
+  uint64_t id = 0;
+  std::string verb;
+  Priority priority = Priority::kBatch;
+  /// Relative deadline budget in milliseconds; 0 = none. A request whose
+  /// deadline passes while still queued is failed with DEADLINE_EXCEEDED
+  /// instead of executed.
+  int64_t deadline_ms = 0;
+  util::Json params;
+
+  util::Json to_json() const;
+  static util::Result<Request> from_json(const util::Json& json);
+};
+
+struct Response {
+  uint64_t id = 0;
+  util::StatusCode code = util::StatusCode::kOk;
+  std::string error;  // human-readable; empty when ok
+  util::Json result;  // verb-specific object; null when !ok
+
+  bool ok() const { return code == util::StatusCode::kOk; }
+  util::Status status() const {
+    if (ok()) return util::Status::ok_status();
+    return util::Status(code, error);
+  }
+
+  util::Json to_json() const;
+  static util::Result<Response> from_json(const util::Json& json);
+  static Response failure(uint64_t id, const util::Status& status);
+  static Response success(uint64_t id, util::Json result);
+};
+
+/// Upper bound on one frame's payload (4-byte length field notwithstanding).
+inline constexpr size_t kMaxFrameBytes = 16u << 20;
+
+/// Parser limits applied to every payload read off the wire.
+inline constexpr util::JsonParseLimits kWireParseLimits{/*max_depth=*/64,
+                                                        /*max_bytes=*/kMaxFrameBytes};
+
+/// Writes one length-prefixed frame; loops over partial writes. Fails with
+/// kInvalidArgument when the payload exceeds max_bytes, kUnavailable when
+/// the peer is gone (EPIPE/ECONNRESET).
+util::Status write_frame(int fd, std::string_view payload,
+                         size_t max_bytes = kMaxFrameBytes);
+
+/// Reads one frame into `payload`. kUnavailable on clean EOF at a frame
+/// boundary (peer closed), kInvalidArgument on an oversized length prefix,
+/// kInternal on a mid-frame EOF or socket error.
+util::Status read_frame(int fd, std::string& payload,
+                        size_t max_bytes = kMaxFrameBytes);
+
+/// Payload decoding under the wire parse limits.
+util::Result<Request> decode_request(std::string_view payload);
+util::Result<Response> decode_response(std::string_view payload);
+
+}  // namespace mfv::service

@@ -1,0 +1,169 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace mfv::service {
+
+Server::Connection::~Connection() { ::close(fd); }
+
+Server::Server(VerificationService& service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+Server::~Server() { stop(); }
+
+util::Status Server::start() {
+  if (listen_fd_ >= 0) return util::failed_precondition("server already started");
+
+  if (!options_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path))
+      return util::invalid_argument("unix socket path too long: " + options_.unix_path);
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(), sizeof(addr.sun_path) - 1);
+
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+      return util::internal_error(std::string("socket: ") + std::strerror(errno));
+    ::unlink(options_.unix_path.c_str());  // stale socket from a crashed run
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      util::Status status =
+          util::internal_error("bind " + options_.unix_path + ": " + std::strerror(errno));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return status;
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+      return util::internal_error(std::string("socket: ") + std::strerror(errno));
+    int enable = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // never exposed beyond localhost
+    addr.sin_port = htons(options_.tcp_port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      util::Status status = util::internal_error("bind 127.0.0.1:" +
+                                                 std::to_string(options_.tcp_port) + ": " +
+                                                 std::strerror(errno));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return status;
+    }
+    sockaddr_in bound{};
+    socklen_t bound_size = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_size);
+    port_ = ntohs(bound.sin_port);
+  }
+
+  if (::listen(listen_fd_, 64) < 0) {
+    util::Status status = util::internal_error(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  MFV_LOG(kInfo, "server") << "listening on "
+                           << (options_.unix_path.empty()
+                                   ? "127.0.0.1:" + std::to_string(port_)
+                                   : options_.unix_path);
+  return util::Status::ok_status();
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket closed (stop) or broken
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto connection = std::make_shared<Connection>(fd);
+    std::lock_guard<std::mutex> lock(mutex_);
+    connections_.push_back(connection);
+    connection_threads_.emplace_back(
+        [this, connection = std::move(connection)]() mutable {
+          serve_connection(std::move(connection));
+        });
+  }
+}
+
+void Server::serve_connection(std::shared_ptr<Connection> connection) {
+  std::string payload;
+  for (;;) {
+    util::Status status = read_frame(connection->fd, payload);
+    if (!status.ok()) {
+      if (status.code() != util::StatusCode::kUnavailable) {
+        MFV_LOG(kDebug, "server") << "connection dropped: " << status.to_string();
+      }
+      return;
+    }
+
+    util::Result<Request> request = decode_request(payload);
+    if (!request.ok()) {
+      // Malformed payload: answer (id 0 — we could not parse theirs) and
+      // keep the connection; framing is still intact.
+      Response response = Response::failure(0, request.status());
+      std::lock_guard<std::mutex> lock(connection->write_mutex);
+      if (!write_frame(connection->fd, response.to_json().dump()).ok()) return;
+      continue;
+    }
+
+    // The callback owns a reference to the connection, so a response that
+    // completes after this reader exits still has a live fd to write to.
+    service_.submit(std::move(*request), [connection](Response response) {
+      std::string frame = response.to_json().dump();
+      std::lock_guard<std::mutex> lock(connection->write_mutex);
+      util::Status write_status = write_frame(connection->fd, frame);
+      if (!write_status.ok()) {
+        MFV_LOG(kDebug, "server") << "response dropped: " << write_status.to_string();
+      }
+    });
+  }
+}
+
+void Server::stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true);
+
+  // 1. No new connections: closing the listen socket pops accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Drain: everything already admitted executes and its response is
+  // written to the still-open client sockets.
+  service_.drain();
+
+  // 3. Unblock the per-connection readers and join them.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::weak_ptr<Connection>& weak : connections_)
+      if (std::shared_ptr<Connection> connection = weak.lock())
+        ::shutdown(connection->fd, SHUT_RDWR);
+    threads.swap(connection_threads_);
+    connections_.clear();
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+}  // namespace mfv::service

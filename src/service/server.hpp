@@ -1,0 +1,88 @@
+// Socket front end of the verification service (the mfvd daemon's core).
+//
+// Listens on a unix-domain socket (preferred for local use) or loopback
+// TCP, accepts connections on a dedicated thread, and runs one reader
+// thread per connection. Each decoded request is submitted to the
+// service's broker; the completion callback writes the response frame
+// under a per-connection write mutex, so pipelined requests from one
+// client interleave correctly (responses may arrive out of order —
+// clients match on the echoed request id).
+//
+// stop() is the graceful-drain sequence: stop accepting, drain the
+// service (in-flight requests finish and their responses are delivered),
+// then shut the connections down and join every thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.hpp"
+#include "util/status.hpp"
+
+namespace mfv::service {
+
+struct ServerOptions {
+  /// Non-empty = listen on this unix-domain socket path (unlinked on
+  /// bind and on stop).
+  std::string unix_path;
+  /// Used when unix_path is empty: TCP on 127.0.0.1; 0 = ephemeral (read
+  /// the bound port back with port()).
+  uint16_t tcp_port = 0;
+};
+
+class Server {
+ public:
+  Server(VerificationService& service, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept thread.
+  util::Status start();
+
+  /// Graceful shutdown; safe to call more than once.
+  void stop();
+
+  /// Bound TCP port (valid after start() in TCP mode).
+  uint16_t port() const { return port_; }
+  const std::string& unix_path() const { return options_.unix_path; }
+
+  size_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One client socket. The fd closes when the last reference drops, so
+  /// a response callback still in flight after the reader exits writes
+  /// to a valid descriptor (at worst a shut-down one).
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection();
+    int fd;
+    std::mutex write_mutex;
+  };
+
+  void accept_loop();
+  void serve_connection(std::shared_ptr<Connection> connection);
+
+  VerificationService& service_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> connections_accepted_{0};
+  std::thread accept_thread_;
+
+  std::mutex mutex_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<std::weak_ptr<Connection>> connections_;
+};
+
+}  // namespace mfv::service

@@ -1,0 +1,115 @@
+// The verification service: verbs over the snapshot store, scheduled by
+// the broker.
+//
+//   upload_configs  register a topology; returns its content address
+//                   (identical submissions dedupe to the same id)
+//   snapshot        converge the uploaded network (or reuse the stored
+//                   converged emulation — one boot per distinct content)
+//   query           reachability / pairwise / loops / routes /
+//                   differential against a stored snapshot
+//   fork_scenario   what-if: fork the stored converged emulation, apply
+//                   perturbations, re-converge incrementally; the result
+//                   is itself stored and addressable
+//   stats           store / broker / request counters for observability
+//
+// Every response carries a `timing` object (queue_wait_us, converge_us,
+// verify_us, total_us) so clients can see where their latency went.
+//
+// Concurrency contract: stored snapshots are immutable once built; all
+// queries run with prime_lpm=false (the graph is shared and priming
+// mutates it) and share the entry's thread-safe TraceCache, so N
+// concurrent queries on one snapshot are both safe and byte-identical to
+// serial execution.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "service/broker.hpp"
+#include "service/protocol.hpp"
+#include "service/snapshot_store.hpp"
+#include "verify/queries.hpp"
+
+namespace mfv::service {
+
+struct ServiceOptions {
+  StoreOptions store;
+  BrokerOptions broker;
+  emu::EmulationOptions emulation;
+  /// Event budget per convergence run (cold boot or fork re-converge).
+  uint64_t max_events = 100000000ull;
+  /// Worker threads per individual query. 1 keeps each request serial —
+  /// the broker's pool is the parallelism — which is the right shape for
+  /// a loaded service; raise it only for huge networks at low QPS.
+  unsigned query_threads = 1;
+  /// Row cap for rendered query results unless the request sets
+  /// params.full = true.
+  size_t max_rows = 1000;
+};
+
+class VerificationService {
+ public:
+  explicit VerificationService(ServiceOptions options = {});
+  ~VerificationService();
+
+  VerificationService(const VerificationService&) = delete;
+  VerificationService& operator=(const VerificationService&) = delete;
+
+  /// Executes a request synchronously on the calling thread, bypassing
+  /// the broker (tests, and the broker's own handler).
+  Response execute(const Request& request, const ExecContext& context = {});
+
+  /// Schedules through the broker: admission control, priorities,
+  /// deadlines all apply. The callback runs exactly once.
+  void submit(Request request, Broker::Callback callback);
+  std::future<Response> submit(Request request);
+
+  /// Stops admission and waits for in-flight requests (see Broker::drain).
+  void drain();
+
+  SnapshotStore& store() { return store_; }
+  BrokerStats broker_stats() const { return broker_.stats(); }
+
+  // Rendering helpers, exposed so tests can compare a wire answer with a
+  // direct engine run byte for byte. max_rows = 0 means unlimited.
+  static util::Json render_reachability(const verify::ReachabilityResult& result,
+                                        size_t max_rows);
+  static util::Json render_pairwise(const verify::PairwiseResult& result);
+  static util::Json render_differential(const verify::DifferentialResult& result,
+                                        size_t max_rows);
+  static util::Json render_routes(const std::vector<verify::RouteRow>& rows,
+                                  size_t max_rows);
+
+ private:
+  Response upload_configs(const Request& request);
+  Response snapshot(const Request& request, util::Json& timing);
+  Response query(const Request& request, util::Json& timing);
+  Response fork_scenario(const Request& request, util::Json& timing);
+  Response stats(const Request& request);
+
+  /// Resolves a "<field>": "<snapshot id>" param to a pinned store entry.
+  util::Result<SnapshotStore::Lease> resolve_snapshot(const Request& request,
+                                                      const char* field);
+
+  /// QueryOptions for serving `entry` under the concurrency contract.
+  verify::QueryOptions query_options(const Request& request,
+                                     const StoredSnapshot& entry) const;
+
+  ServiceOptions options_;
+  SnapshotStore store_;
+
+  std::mutex uploads_mutex_;
+  /// Registered topologies by content address (the dedup map).
+  std::map<std::string, std::shared_ptr<const emu::Topology>> uploads_;
+
+  std::atomic<uint64_t> requests_{0};
+
+  /// Last member: drains before everything it references is destroyed.
+  Broker broker_;
+};
+
+}  // namespace mfv::service

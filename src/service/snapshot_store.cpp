@@ -1,0 +1,150 @@
+#include "service/snapshot_store.hpp"
+
+#include "util/hash.hpp"
+
+namespace mfv::service {
+
+std::string SnapshotKey::to_string() const {
+  return "t" + util::hex64(topology) + "-c" + util::hex64(configs) + "-d" +
+         util::hex64(delta);
+}
+
+std::optional<SnapshotKey> SnapshotKey::parse(std::string_view text) {
+  // t<16>-c<16>-d<16> = 1 + 16 + 2 + 16 + 2 + 16
+  if (text.size() != 53 || text[0] != 't' || text.substr(17, 2) != "-c" ||
+      text.substr(35, 2) != "-d")
+    return std::nullopt;
+  SnapshotKey key;
+  if (!util::parse_hex64(text.substr(1, 16), key.topology) ||
+      !util::parse_hex64(text.substr(19, 16), key.configs) ||
+      !util::parse_hex64(text.substr(37, 16), key.delta))
+    return std::nullopt;
+  return key;
+}
+
+SnapshotKey key_for_topology(const emu::Topology& topology) {
+  SnapshotKey key;
+
+  // Structure hash: the topology JSON with config bytes blanked, so a
+  // config-only change moves the config hash but not the topology hash.
+  emu::Topology structure = topology;
+  for (emu::NodeSpec& node : structure.nodes) node.config_text.clear();
+  key.topology = util::fnv1a(structure.to_json().dump());
+
+  uint64_t configs = util::kFnvOffset;
+  for (const emu::NodeSpec& node : topology.nodes) {
+    configs = util::fnv1a(node.name, configs);
+    configs = util::fnv1a(config::vendor_name(node.vendor), configs);
+    configs = util::fnv1a(node.config_text, configs);
+  }
+  key.configs = configs;
+  return key;
+}
+
+uint64_t delta_hash(uint64_t parent_delta,
+                    const std::vector<scenario::Perturbation>& perturbations) {
+  uint64_t hash = util::fnv1a_mix(parent_delta);
+  for (const scenario::Perturbation& perturbation : perturbations)
+    hash = util::fnv1a(scenario::perturbation_to_json(perturbation).dump(), hash);
+  return hash;
+}
+
+SnapshotKey key_for_fork(const SnapshotKey& base,
+                         const std::vector<scenario::Perturbation>& perturbations) {
+  SnapshotKey key = base;
+  key.delta = delta_hash(base.delta, perturbations);
+  return key;
+}
+
+SnapshotStore::SnapshotStore(StoreOptions options) : options_(options) {}
+
+util::Result<SnapshotStore::Lease> SnapshotStore::get_or_build(const SnapshotKey& key,
+                                                               const Builder& builder) {
+  const std::string id = key.to_string();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      auto it = slots_.find(id);
+      if (it == slots_.end()) break;
+      if (it->second.value != nullptr) {
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second.lru);
+        return Lease{it->second.value, /*hit=*/true};
+      }
+      // Someone else is building this key; wait for them rather than
+      // duplicating a convergence run.
+      build_done_.wait(lock);
+    }
+    ++misses_;
+    slots_[id].building = true;
+  }
+
+  util::Result<std::unique_ptr<StoredSnapshot>> built = builder();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!built.ok() || *built == nullptr) {
+    // Not cached: the next request for this key retries the build.
+    slots_.erase(id);
+    build_done_.notify_all();
+    if (!built.ok()) return built.status();
+    return util::internal_error("snapshot builder returned no entry");
+  }
+
+  std::shared_ptr<StoredSnapshot> entry(std::move(*built));
+  entry->key = key;
+  if (entry->bytes == 0) entry->bytes = entry->snapshot.to_json().dump().size();
+
+  Slot& slot = slots_[id];
+  slot.value = entry;
+  slot.building = false;
+  lru_.push_front(id);
+  slot.lru = lru_.begin();
+  bytes_ += entry->bytes;
+  evict_locked();
+  build_done_.notify_all();
+  return Lease{std::move(entry), /*hit=*/false};
+}
+
+SnapshotStore::EntryPtr SnapshotStore::find(const SnapshotKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(key.to_string());
+  if (it == slots_.end() || it->second.value == nullptr) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru);
+  return it->second.value;
+}
+
+void SnapshotStore::evict_locked() {
+  while (bytes_ > options_.byte_budget && lru_.size() > 1) {
+    const std::string& victim = lru_.back();
+    auto it = slots_.find(victim);
+    const EntryPtr& entry = it->second.value;
+    bytes_ -= entry->bytes;
+    if (entry->cache != nullptr) {
+      retired_trace_hits_ += entry->cache->hits();
+      retired_trace_misses_ += entry->cache->misses();
+    }
+    ++evictions_;
+    slots_.erase(it);  // leaseholders keep the entry alive
+    lru_.pop_back();
+  }
+}
+
+StoreStats SnapshotStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StoreStats stats;
+  stats.entries = lru_.size();
+  stats.bytes = bytes_;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.evictions = evictions_;
+  stats.trace_hits = retired_trace_hits_;
+  stats.trace_misses = retired_trace_misses_;
+  for (const auto& [id, slot] : slots_) {
+    if (slot.value == nullptr || slot.value->cache == nullptr) continue;
+    stats.trace_hits += slot.value->cache->hits();
+    stats.trace_misses += slot.value->cache->misses();
+  }
+  return stats;
+}
+
+}  // namespace mfv::service

@@ -1,0 +1,157 @@
+// Content-addressed snapshot store: the service's memory.
+//
+// A stored snapshot is addressed by what produced it, not by a name:
+//
+//   (topology hash, config-set hash, scenario-delta hash)
+//
+// The topology hash covers structure only (nodes/links/peers with config
+// text blanked), the config-set hash covers the per-node configuration
+// bytes, and the delta hash chains the perturbation sequence applied on
+// top of the converged base (empty chain = 0). Two clients uploading the
+// same network therefore dedupe onto one converged emulation, and a
+// what-if that differs only in its perturbations forks from the cached
+// base instead of cold-booting (DESIGN.md §7).
+//
+// Entries carry everything a query needs — the captured gnmi::Snapshot,
+// the live emulation (kept quiescent, fork()-able for further what-ifs),
+// the ForwardingGraph, and a shared thread-safe TraceCache so concurrent
+// requests on one snapshot amortize trace work across each other.
+//
+// Retention is byte-budget LRU. Eviction only drops the store's
+// reference: in-flight requests hold shared_ptr leases, so an evicted
+// entry stays alive until its last lease is released. Builds are
+// single-flight — concurrent misses on one key block on the first
+// builder instead of duplicating the convergence run.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "emu/emulation.hpp"
+#include "emu/topology.hpp"
+#include "gnmi/gnmi.hpp"
+#include "scenario/scenario.hpp"
+#include "util/status.hpp"
+#include "verify/forwarding_graph.hpp"
+#include "verify/trace_cache.hpp"
+
+namespace mfv::service {
+
+struct SnapshotKey {
+  uint64_t topology = 0;  // structure sans config text
+  uint64_t configs = 0;   // per-node configuration bytes
+  uint64_t delta = 0;     // chained perturbation hash; 0 = converged base
+
+  bool operator==(const SnapshotKey&) const = default;
+
+  /// "t<hex16>-c<hex16>-d<hex16>" — doubles as the client-visible
+  /// submission id.
+  std::string to_string() const;
+  static std::optional<SnapshotKey> parse(std::string_view text);
+};
+
+/// Key of the converged base snapshot for a topology (delta = 0).
+SnapshotKey key_for_topology(const emu::Topology& topology);
+
+/// Chains `perturbations` onto a parent delta hash. Hashes the lossless
+/// JSON wire form (perturbation_to_string drops config bytes, which would
+/// collide distinct config deltas).
+uint64_t delta_hash(uint64_t parent_delta,
+                    const std::vector<scenario::Perturbation>& perturbations);
+
+/// Key of the snapshot produced by applying `perturbations` to `base`.
+SnapshotKey key_for_fork(const SnapshotKey& base,
+                         const std::vector<scenario::Perturbation>& perturbations);
+
+/// One converged network state plus the machinery to query and fork it.
+struct StoredSnapshot {
+  SnapshotKey key;
+  gnmi::Snapshot snapshot;
+  /// Quiescent post-convergence emulation; fork() source for what-ifs.
+  std::unique_ptr<emu::Emulation> emulation;
+  std::unique_ptr<verify::ForwardingGraph> graph;
+  /// Thread-safe; shared by every request that leases this entry.
+  std::unique_ptr<verify::TraceCache> cache;
+  /// Retention charge (snapshot JSON size unless the builder set it).
+  size_t bytes = 0;
+  /// Virtual convergence time and control-plane messages of the build.
+  util::Duration convergence_time;
+  uint64_t messages = 0;
+};
+
+struct StoreOptions {
+  /// Byte budget for retained entries; the most recently used entry is
+  /// always kept even if it alone exceeds the budget.
+  size_t byte_budget = 512u << 20;
+};
+
+struct StoreStats {
+  size_t entries = 0;
+  size_t bytes = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  /// Aggregate TraceCache counters across live + evicted entries.
+  uint64_t trace_hits = 0;
+  uint64_t trace_misses = 0;
+};
+
+class SnapshotStore {
+ public:
+  using EntryPtr = std::shared_ptr<const StoredSnapshot>;
+
+  /// A pinned entry: holding the Lease keeps the snapshot alive across
+  /// eviction. `hit` is false when this call ran the builder.
+  struct Lease {
+    EntryPtr entry;
+    bool hit = false;
+  };
+
+  /// Produces a fully populated entry on miss (key/bytes are stamped by
+  /// the store). Runs outside the store lock; may take seconds.
+  using Builder = std::function<util::Result<std::unique_ptr<StoredSnapshot>>()>;
+
+  explicit SnapshotStore(StoreOptions options = {});
+
+  /// Returns the cached entry or builds it exactly once: concurrent
+  /// callers with the same key block until the first caller's builder
+  /// finishes and then share its entry. A failed build is not cached.
+  util::Result<Lease> get_or_build(const SnapshotKey& key, const Builder& builder);
+
+  /// Lookup without building; touches LRU on hit. nullptr on miss.
+  EntryPtr find(const SnapshotKey& key);
+
+  StoreStats stats() const;
+
+ private:
+  struct Slot {
+    EntryPtr value;          // null while building
+    bool building = false;
+    std::list<std::string>::iterator lru;  // valid iff value != null
+  };
+
+  /// Drops least-recently-used entries until within budget (caller holds
+  /// the lock). Never drops the most recent entry.
+  void evict_locked();
+
+  StoreOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable build_done_;
+  std::map<std::string, Slot> slots_;
+  std::list<std::string> lru_;  // front = most recently used
+  size_t bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  /// TraceCache counters of evicted entries, so stats stay cumulative.
+  uint64_t retired_trace_hits_ = 0;
+  uint64_t retired_trace_misses_ = 0;
+};
+
+}  // namespace mfv::service

@@ -1,0 +1,63 @@
+// Content hashing for the service's content-addressed snapshot store.
+//
+// FNV-1a over canonical byte strings: not cryptographic, but stable across
+// runs and platforms, which is all content addressing inside one trusted
+// store needs (keys are derived server-side, never accepted from clients
+// as proofs). 64 bits keeps accidental collisions out of realistic store
+// sizes (~billions of entries for a 50% chance).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mfv::util {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+constexpr uint64_t fnv1a(std::string_view bytes, uint64_t seed = kFnvOffset) {
+  uint64_t hash = seed;
+  for (char c : bytes) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Chains a 64-bit value into a running hash (for composing field hashes).
+constexpr uint64_t fnv1a_mix(uint64_t value, uint64_t seed = kFnvOffset) {
+  uint64_t hash = seed;
+  for (int i = 0; i < 8; ++i) {
+    hash ^= value & 0xff;
+    hash *= kFnvPrime;
+    value >>= 8;
+  }
+  return hash;
+}
+
+inline std::string hex64(uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = digits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+/// Inverse of hex64; false on non-hex input or wrong length.
+inline bool parse_hex64(std::string_view text, uint64_t& out) {
+  if (text.size() != 16) return false;
+  out = 0;
+  for (char c : text) {
+    uint64_t digit;
+    if (c >= '0' && c <= '9') digit = static_cast<uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<uint64_t>(c - 'a' + 10);
+    else return false;
+    out = (out << 4) | digit;
+  }
+  return true;
+}
+
+}  // namespace mfv::util

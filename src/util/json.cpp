@@ -117,17 +117,41 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  Parser(std::string_view text, const JsonParseLimits& limits)
+      : text_(text), limits_(limits) {}
 
   std::optional<Json> run() {
+    if (limits_.max_bytes != 0 && text_.size() > limits_.max_bytes) {
+      fail("input of " + std::to_string(text_.size()) + " bytes exceeds limit of " +
+           std::to_string(limits_.max_bytes));
+      return std::nullopt;
+    }
     auto value = parse_value();
     if (!value) return std::nullopt;
     skip_whitespace();
-    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    if (pos_ != text_.size()) {
+      fail("trailing garbage");
+      return std::nullopt;
+    }
     return value;
   }
 
+  /// First error recorded during run(), as "<message> at byte <offset>".
+  std::string error() const {
+    return error_.empty() ? std::string("malformed JSON")
+                          : error_ + " at byte " + std::to_string(error_pos_);
+  }
+
  private:
+  /// Records the first failure; later failures (unwinding) keep the
+  /// original, most specific message.
+  std::nullopt_t fail(std::string message) {
+    if (error_.empty()) {
+      error_ = std::move(message);
+      error_pos_ = pos_;
+    }
+    return std::nullopt;
+  }
   void skip_whitespace() {
     while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
   }
@@ -149,7 +173,7 @@ class Parser {
 
   std::optional<Json> parse_value() {
     skip_whitespace();
-    if (pos_ >= text_.size()) return std::nullopt;
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
     char c = text_[pos_];
     if (c == '{') return parse_object();
     if (c == '[') return parse_array();
@@ -164,48 +188,78 @@ class Parser {
     return parse_number();
   }
 
+  bool enter() {
+    if (depth_ >= limits_.max_depth) {
+      fail("nesting exceeds depth limit of " + std::to_string(limits_.max_depth));
+      return false;
+    }
+    ++depth_;
+    return true;
+  }
+
   std::optional<Json> parse_object() {
-    if (!eat('{')) return std::nullopt;
+    if (!eat('{')) return fail("expected '{'");
+    if (!enter()) return std::nullopt;
     Json object = Json::object();
     skip_whitespace();
-    if (eat('}')) return object;
+    if (eat('}')) {
+      --depth_;
+      return object;
+    }
     while (true) {
       skip_whitespace();
       auto key = parse_string();
-      if (!key || !eat(':')) return std::nullopt;
+      if (!key) return std::nullopt;
+      if (!eat(':')) return fail("expected ':' after object key");
       auto value = parse_value();
       if (!value) return std::nullopt;
       object[*key] = std::move(*value);
       if (eat(',')) continue;
-      if (eat('}')) return object;
-      return std::nullopt;
+      if (eat('}')) {
+        --depth_;
+        return object;
+      }
+      return fail("expected ',' or '}' in object");
     }
   }
 
   std::optional<Json> parse_array() {
-    if (!eat('[')) return std::nullopt;
+    if (!eat('[')) return fail("expected '['");
+    if (!enter()) return std::nullopt;
     Json array = Json::array();
     skip_whitespace();
-    if (eat(']')) return array;
+    if (eat(']')) {
+      --depth_;
+      return array;
+    }
     while (true) {
       auto value = parse_value();
       if (!value) return std::nullopt;
       array.push_back(std::move(*value));
       if (eat(',')) continue;
-      if (eat(']')) return array;
-      return std::nullopt;
+      if (eat(']')) {
+        --depth_;
+        return array;
+      }
+      return fail("expected ',' or ']' in array");
     }
   }
 
   std::optional<std::string> parse_string() {
-    if (pos_ >= text_.size() || text_[pos_] != '"') return std::nullopt;
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      fail("expected string");
+      return std::nullopt;
+    }
     ++pos_;
     std::string out;
     while (pos_ < text_.size()) {
       char c = text_[pos_++];
       if (c == '"') return out;
       if (c == '\\') {
-        if (pos_ >= text_.size()) return std::nullopt;
+        if (pos_ >= text_.size()) {
+          fail("unterminated escape");
+          return std::nullopt;
+        }
         char escape = text_[pos_++];
         switch (escape) {
           case '"': out += '"'; break;
@@ -217,7 +271,10 @@ class Parser {
           case 'b': out += '\b'; break;
           case 'f': out += '\f'; break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) return std::nullopt;
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return std::nullopt;
+            }
             unsigned code = 0;
             for (int i = 0; i < 4; ++i) {
               char h = text_[pos_++];
@@ -225,7 +282,10 @@ class Parser {
               if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
               else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
               else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else return std::nullopt;
+              else {
+                fail("invalid \\u escape digit");
+                return std::nullopt;
+              }
             }
             // Encode as UTF-8 (BMP only; surrogate pairs unsupported).
             if (code < 0x80) {
@@ -240,13 +300,16 @@ class Parser {
             }
             break;
           }
-          default: return std::nullopt;
+          default:
+            fail("unknown escape character");
+            return std::nullopt;
         }
       } else {
         out += c;
       }
     }
-    return std::nullopt;  // unterminated
+    fail("unterminated string");
+    return std::nullopt;
   }
 
   std::optional<Json> parse_number() {
@@ -265,7 +328,7 @@ class Parser {
       }
     }
     std::string_view token = text_.substr(start, pos_ - start);
-    if (token.empty() || token == "-") return std::nullopt;
+    if (token.empty() || token == "-") return fail("invalid value");
     if (!is_double) {
       int64_t value = 0;
       auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
@@ -273,16 +336,30 @@ class Parser {
     }
     double value = 0;
     auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
-    if (ec != std::errc() || ptr != token.data() + token.size()) return std::nullopt;
+    if (ec != std::errc() || ptr != token.data() + token.size())
+      return fail("invalid number");
     return Json(value);
   }
 
   std::string_view text_;
+  JsonParseLimits limits_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
+  std::string error_;
+  size_t error_pos_ = 0;
 };
 
 }  // namespace
 
-std::optional<Json> Json::parse(std::string_view text) { return Parser(text).run(); }
+std::optional<Json> Json::parse(std::string_view text) {
+  return Parser(text, JsonParseLimits{}).run();
+}
+
+Result<Json> Json::parse_checked(std::string_view text, const JsonParseLimits& limits) {
+  Parser parser(text, limits);
+  auto value = parser.run();
+  if (!value) return invalid_argument("JSON parse error: " + parser.error());
+  return std::move(*value);
+}
 
 }  // namespace mfv::util

@@ -14,7 +14,19 @@
 #include <variant>
 #include <vector>
 
+#include "util/status.hpp"
+
 namespace mfv::util {
+
+/// Resource limits for parsing untrusted input (the service wire protocol
+/// feeds attacker-controlled bytes straight into the parser). Depth bounds
+/// the parser's recursion so deeply nested documents error out instead of
+/// overflowing the stack; max_bytes (0 = unlimited) rejects oversized
+/// documents before any work is done.
+struct JsonParseLimits {
+  size_t max_depth = 128;
+  size_t max_bytes = 0;
+};
 
 class Json;
 using JsonArray = std::vector<Json>;
@@ -78,8 +90,14 @@ class Json {
   /// Serializes; `indent` > 0 pretty-prints.
   std::string dump(int indent = 0) const;
 
-  /// Parses a JSON document; returns nullopt on syntax error.
+  /// Parses a JSON document; returns nullopt on syntax error. Enforces the
+  /// default JsonParseLimits (so pathological nesting can never crash).
   static std::optional<Json> parse(std::string_view text);
+
+  /// Parses untrusted input: like parse(), but returns a Status describing
+  /// the first error (kind + byte offset) and applies caller-chosen limits.
+  static Result<Json> parse_checked(std::string_view text,
+                                    const JsonParseLimits& limits = {});
 
   bool operator==(const Json& other) const = default;
 

@@ -1,7 +1,11 @@
 #include "util/logging.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
-#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.hpp"
 
 namespace mfv::util {
 
@@ -24,10 +28,45 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string lower = to_lower(trim(name));
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+bool init_log_level_from_env() {
+  const char* value = std::getenv("MFV_LOG_LEVEL");
+  if (value == nullptr) return false;
+  std::optional<LogLevel> level = parse_log_level(value);
+  if (!level || *level == log_level()) return false;
+  set_log_level(*level);
+  return true;
+}
+
 void log_line(LogLevel level, std::string_view component, std::string_view message) {
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(message.size()), message.data());
+  if (level < log_level()) return;
+  // Assemble the full line and emit it with one write(2): writes of a
+  // whole line are never interleaved mid-line between threads (atomic for
+  // pipes up to PIPE_BUF, and appends for regular files/terminals).
+  std::string line;
+  line.reserve(16 + component.size() + message.size());
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line.append(component.data(), component.size());
+  line += ": ";
+  line.append(message.data(), message.size());
+  line += '\n';
+  size_t written = 0;
+  while (written < line.size()) {
+    ssize_t n = ::write(STDERR_FILENO, line.data() + written, line.size() - written);
+    if (n <= 0) return;  // stderr gone; nothing useful to do
+    written += static_cast<size_t>(n);
+  }
 }
 
 }  // namespace mfv::util

@@ -5,6 +5,7 @@
 // message expression.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -17,7 +18,18 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
-/// Emits one line to stderr: "[LEVEL] component: message".
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive).
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// Applies the MFV_LOG_LEVEL environment variable when set and valid;
+/// returns true if the level changed. Daemons call this at startup so log
+/// verbosity is controllable without a rebuild (mfvd), but any binary may.
+bool init_log_level_from_env();
+
+/// Emits one line to stderr: "[LEVEL] component: message". Thread-safe:
+/// the line is assembled first and written with a single write(2), so
+/// concurrent loggers never interleave within a line. Filters on
+/// log_level() itself, so direct callers get the same gating as MFV_LOG.
 void log_line(LogLevel level, std::string_view component, std::string_view message);
 
 namespace detail {

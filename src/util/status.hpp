@@ -20,6 +20,10 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  // Service-facing codes (mfv::service wire protocol):
+  kResourceExhausted,  // admission control rejected the request (queue full)
+  kDeadlineExceeded,   // the request's deadline passed before completion
+  kUnavailable,        // the service is shutting down / not accepting work
 };
 
 /// Error-or-success value without a payload.
@@ -51,8 +55,23 @@ class Status {
       case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
       case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
       case StatusCode::kInternal: return "INTERNAL";
+      case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+      case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+      case StatusCode::kUnavailable: return "UNAVAILABLE";
     }
     return "UNKNOWN";
+  }
+
+  /// Inverse of code_name (wire decoding); nullopt for unknown names.
+  static std::optional<StatusCode> code_from_name(const std::string& name) {
+    for (StatusCode code :
+         {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+          StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+          StatusCode::kUnimplemented, StatusCode::kInternal,
+          StatusCode::kResourceExhausted, StatusCode::kDeadlineExceeded,
+          StatusCode::kUnavailable})
+      if (code_name(code) == name) return code;
+    return std::nullopt;
   }
 
  private:
@@ -77,6 +96,15 @@ inline Status unimplemented(std::string message) {
 }
 inline Status internal_error(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+inline Status resource_exhausted(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+inline Status deadline_exceeded(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+inline Status unavailable(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 /// Value-or-Status. `value()` throws std::runtime_error on error so misuse

@@ -1,6 +1,7 @@
 #include "verify/queries.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 #include <thread>
 
@@ -43,6 +44,21 @@ bool row_passes(const QueryOptions& options, const DispositionSet& dispositions)
   return options.row_filter.empty() || dispositions.intersects(options.row_filter);
 }
 
+/// The memoization a query sweep uses: the caller's long-lived cache when
+/// provided (service / session path), else a fresh query-local one.
+class CacheRef {
+ public:
+  CacheRef(TraceCache* shared, const ForwardingGraph& graph) {
+    if (shared == nullptr) local_ = std::make_unique<TraceCache>(graph);
+    cache_ = shared != nullptr ? shared : local_.get();
+  }
+  TraceCache& operator*() { return *cache_; }
+
+ private:
+  std::unique_ptr<TraceCache> local_;
+  TraceCache* cache_ = nullptr;
+};
+
 }  // namespace
 
 ReachabilityResult reachability(const ForwardingGraph& graph, const QueryOptions& options) {
@@ -70,17 +86,17 @@ ReachabilityResult reachability(const ForwardingGraph& graph, const QueryOptions
   // class once (memoized per-node table when the cache is on) and fills a
   // shard-indexed slice of the disposition matrix, so row content and
   // order never depend on the worker count.
-  graph.prime_class_lpm(classes);
+  if (options.prime_lpm) graph.prime_class_lpm(classes);
   const size_t class_count = classes.size();
   std::vector<DispositionSet> matrix(sources.size() * class_count);
   bool cached = use_cached_engine(options, threads);
-  TraceCache cache(graph);
+  CacheRef cache(options.cache, graph);
   util::parallel_for_shards(threads, class_count, [&](size_t c) {
     net::Ipv4Address representative = classes[c].representative();
-    if (cached) cache.warm(representative);
+    if (cached) (*cache).warm(representative);
     for (size_t s = 0; s < sources.size(); ++s) {
       matrix[s * class_count + c] =
-          cached ? cache.dispositions(sources[s], representative)
+          cached ? (*cache).dispositions(sources[s], representative)
                  : trace_flow(graph, sources[s], representative, options.trace)
                        .dispositions;
     }
@@ -154,12 +170,14 @@ DifferentialResult differential_reachability(const ForwardingGraph& base,
     return result;
   }
 
-  base.prime_class_lpm(classes);
-  candidate.prime_class_lpm(classes);
+  if (options.prime_lpm) {
+    base.prime_class_lpm(classes);
+    candidate.prime_class_lpm(classes);
+  }
   const size_t class_count = classes.size();
   bool cached = use_cached_engine(options, threads);
-  TraceCache base_cache(base);
-  TraceCache candidate_cache(candidate);
+  CacheRef base_cache(options.cache, base);
+  CacheRef candidate_cache(options.candidate_cache, candidate);
   // Cell (s, c): the two disposition sets plus a differ flag; only
   // differing cells become rows, in source-major order like the legacy
   // engine.
@@ -169,15 +187,15 @@ DifferentialResult differential_reachability(const ForwardingGraph& base,
   util::parallel_for_shards(threads, class_count, [&](size_t c) {
     net::Ipv4Address representative = classes[c].representative();
     if (cached) {
-      base_cache.warm(representative);
-      candidate_cache.warm(representative);
+      (*base_cache).warm(representative);
+      (*candidate_cache).warm(representative);
     }
     for (size_t s = 0; s < sources.size(); ++s) {
       size_t cell = s * class_count + c;
       if (cached) {
-        base_matrix[cell] = base_cache.dispositions(sources[s], representative);
+        base_matrix[cell] = (*base_cache).dispositions(sources[s], representative);
         candidate_matrix[cell] =
-            candidate_cache.dispositions(sources[s], representative);
+            (*candidate_cache).dispositions(sources[s], representative);
       } else {
         base_matrix[cell] =
             trace_flow(base, sources[s], representative, options.trace).dispositions;
@@ -292,7 +310,7 @@ PairwiseResult pairwise_reachability(const ForwardingGraph& graph,
     loopbacks[d] = device_loopback(graph.snapshot(), nodes[d]);
 
   bool cached = use_cached_engine(options, threads);
-  TraceCache cache(graph);
+  CacheRef cache(options.cache, graph);
   std::vector<uint8_t> reachable(node_count * node_count, 0);
   util::parallel_for_shards(threads, node_count, [&](size_t d) {
     if (!loopbacks[d]) return;
@@ -300,7 +318,7 @@ PairwiseResult pairwise_reachability(const ForwardingGraph& graph,
       if (s == d) continue;
       bool ok =
           cached
-              ? cache.dispositions(nodes[s], *loopbacks[d]).contains(Disposition::kAccepted)
+              ? (*cache).dispositions(nodes[s], *loopbacks[d]).contains(Disposition::kAccepted)
               : trace_flow(graph, nodes[s], *loopbacks[d], options.trace).reachable();
       reachable[s * node_count + d] = ok ? 1 : 0;
     }

@@ -16,6 +16,8 @@
 
 namespace mfv::verify {
 
+class TraceCache;
+
 /// Engine selection. kAuto picks the memoized sharded engine whenever the
 /// query runs multi-threaded and the legacy per-flow walker when
 /// threads == 1 (bit-identical to the seed engine). kLegacy / kCached
@@ -39,6 +41,19 @@ struct QueryOptions {
   /// are materialized (flow/class counters still cover every flow) — e.g.
   /// detect_loops() filters on kLoop so success rows are never built.
   DispositionSet row_filter;
+  /// Long-lived memoization shared across queries (the service keeps one
+  /// TraceCache per stored snapshot; api::Session keeps one per named
+  /// snapshot). Must be built over the same ForwardingGraph the query runs
+  /// on and must outlive the call. nullptr = a query-local cache.
+  TraceCache* cache = nullptr;
+  /// Candidate-side cache for differential queries (same contract).
+  TraceCache* candidate_cache = nullptr;
+  /// Pre-resolve every (node, class) LPM into a flat index before the
+  /// sweep. A per-query win, but the priming mutates the graph's index and
+  /// is not safe against concurrent lookup() from another query on the
+  /// same graph — the service disables it and relies on the shared
+  /// TraceCache instead, which amortizes the trie walks across requests.
+  bool prime_lpm = true;
 };
 
 // ---------------------------------------------------------------------------

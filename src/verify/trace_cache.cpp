@@ -197,10 +197,16 @@ TraceCache::ClassTable& TraceCache::table_for(net::Ipv4Address destination) {
     if (!*slot) *slot = std::make_unique<ClassTable>();
   }
   ClassTable& table = **slot;
+  bool solved_here = false;
   std::call_once(table.once, [&] {
     ClassSolver solver(graph_, destination, node_index_, table.memo);
     solver.solve_all();
+    solved_here = true;
   });
+  if (solved_here)
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  else
+    hits_.fetch_add(1, std::memory_order_relaxed);
   return table;
 }
 

@@ -24,6 +24,7 @@
 // path and never memoized, so the table stays context-free.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -53,6 +54,13 @@ class TraceCache {
   /// Number of distinct destination classes resolved so far.
   size_t classes_cached() const;
 
+  /// Observability for long-lived caches (the service's per-snapshot
+  /// caches): a hit is a table_for() that found the class table already
+  /// solved, a miss is one that ran the solver. hits/(hits+misses) is the
+  /// memoization rate across every request served from this cache.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
   /// Thread-safety: concurrent calls are safe for any mix of
   /// destinations; each class table is computed exactly once (callers
   /// sharding by class never contend).
@@ -73,6 +81,8 @@ class TraceCache {
 
   mutable std::mutex mutex_;
   std::unordered_map<uint32_t, std::unique_ptr<ClassTable>> tables_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace mfv::verify

@@ -330,9 +330,10 @@ TEST(ScenarioFork, SessionForkSnapshotReproducesE1) {
   ASSERT_TRUE(session.init_snapshot(workload::fig2_topology(false), "base").ok());
 
   emu::Topology bug = workload::fig2_topology(true);
+  emu::Topology baseline = workload::fig2_topology(false);
   std::vector<scenario::Perturbation> perturbations;
   for (const emu::NodeSpec& node : bug.nodes) {
-    const emu::NodeSpec* before = workload::fig2_topology(false).find_node(node.name);
+    const emu::NodeSpec* before = baseline.find_node(node.name);
     if (before != nullptr && before->config_text != node.config_text)
       perturbations.push_back(
           scenario::ConfigReplace{node.name, node.config_text, node.vendor});

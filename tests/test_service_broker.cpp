@@ -1,0 +1,205 @@
+// Broker semantics: admission control rejects with RESOURCE_EXHAUSTED
+// instead of buffering or hanging, priorities dispatch strictly
+// interactive > batch > background, expired deadlines fail with
+// DEADLINE_EXCEEDED, and drain() finishes every accepted request.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/broker.hpp"
+
+namespace mfv::service {
+namespace {
+
+Request make_request(uint64_t id, Priority priority = Priority::kBatch,
+                     int64_t deadline_ms = 0) {
+  Request request;
+  request.id = id;
+  request.verb = "test";
+  request.priority = priority;
+  request.deadline_ms = deadline_ms;
+  return request;
+}
+
+/// Lets a test hold the (single) worker hostage until released.
+class Gate {
+ public:
+  void block() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++blocked_;
+    arrived_.notify_all();
+    released_.wait(lock, [this] { return open_; });
+  }
+  void wait_for_blocked(int count) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    arrived_.wait(lock, [&] { return blocked_ >= count; });
+  }
+  void open() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    open_ = true;
+    released_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable arrived_, released_;
+  int blocked_ = 0;
+  bool open_ = false;
+};
+
+TEST(Broker, ExecutesAndEchoesId) {
+  BrokerOptions options;
+  options.threads = 2;
+  Broker broker(options, [](const Request& request, const ExecContext& context) {
+    EXPECT_GE(context.queue_wait_us, 0);
+    util::Json result = util::Json::object();
+    result["verb"] = request.verb;
+    return Response::success(request.id, std::move(result));
+  });
+
+  Response response = broker.submit(make_request(17)).get();
+  EXPECT_TRUE(response.ok());
+  EXPECT_EQ(response.id, 17u);
+  EXPECT_EQ(response.result.find("verb")->as_string(), "test");
+
+  broker.drain();
+  BrokerStats stats = broker.stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(Broker, FullQueueRejectsWithResourceExhausted) {
+  Gate gate;
+  BrokerOptions options;
+  options.threads = 1;
+  options.queue_capacity = 2;
+  Broker broker(options, [&gate](const Request& request, const ExecContext&) {
+    gate.block();
+    return Response::success(request.id, util::Json::object());
+  });
+
+  // First request occupies the worker; two more fill the queue.
+  std::vector<std::future<Response>> accepted;
+  accepted.push_back(broker.submit(make_request(1)));
+  gate.wait_for_blocked(1);
+  accepted.push_back(broker.submit(make_request(2)));
+  accepted.push_back(broker.submit(make_request(3)));
+
+  // Over-capacity burst: every extra submission is rejected immediately —
+  // no hang, no silent drop, the callback still fires exactly once.
+  for (uint64_t id = 4; id < 14; ++id) {
+    Response rejected = broker.submit(make_request(id)).get();
+    EXPECT_EQ(rejected.code, util::StatusCode::kResourceExhausted);
+    EXPECT_EQ(rejected.id, id);
+  }
+
+  gate.open();
+  for (auto& future : accepted) EXPECT_TRUE(future.get().ok());
+  broker.drain();
+  BrokerStats stats = broker.stats();
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.rejected, 10u);
+}
+
+TEST(Broker, InteractiveJumpsTheQueue) {
+  Gate gate;
+  std::mutex order_mutex;
+  std::vector<uint64_t> order;
+  BrokerOptions options;
+  options.threads = 1;
+  options.queue_capacity = 16;
+  Broker broker(options, [&](const Request& request, const ExecContext&) {
+    if (request.id == 0) {
+      gate.block();
+    } else {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(request.id);
+    }
+    return Response::success(request.id, util::Json::object());
+  });
+
+  // Hold the worker, then queue background / batch / interactive in
+  // submission order that inverts priority order.
+  auto blocker = broker.submit(make_request(0));
+  gate.wait_for_blocked(1);
+  auto background = broker.submit(make_request(30, Priority::kBackground));
+  auto batch = broker.submit(make_request(20, Priority::kBatch));
+  auto interactive = broker.submit(make_request(10, Priority::kInteractive));
+
+  gate.open();
+  blocker.get();
+  background.get();
+  batch.get();
+  interactive.get();
+
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 10u) << "interactive must run first";
+  EXPECT_EQ(order[1], 20u);
+  EXPECT_EQ(order[2], 30u);
+}
+
+TEST(Broker, ExpiredDeadlineFailsInsteadOfExecuting) {
+  Gate gate;
+  std::atomic<int> executed{0};
+  BrokerOptions options;
+  options.threads = 1;
+  Broker broker(options, [&](const Request& request, const ExecContext&) {
+    if (request.id == 0) gate.block();
+    else executed.fetch_add(1);
+    return Response::success(request.id, util::Json::object());
+  });
+
+  auto blocker = broker.submit(make_request(0));
+  gate.wait_for_blocked(1);
+  // 1 ms budget, then the worker stays busy for 50 ms: expired in queue.
+  auto doomed = broker.submit(make_request(1, Priority::kBatch, /*deadline_ms=*/1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  gate.open();
+
+  Response response = doomed.get();
+  EXPECT_EQ(response.code, util::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(response.id, 1u);
+  blocker.get();
+  broker.drain();
+  EXPECT_EQ(executed.load(), 0) << "an expired request must not execute";
+  EXPECT_EQ(broker.stats().expired, 1u);
+}
+
+TEST(Broker, DrainFinishesInFlightAndRejectsNewWork) {
+  BrokerOptions options;
+  options.threads = 2;
+  std::atomic<int> executed{0};
+  Broker broker(options, [&](const Request& request, const ExecContext&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    executed.fetch_add(1);
+    return Response::success(request.id, util::Json::object());
+  });
+
+  std::vector<std::future<Response>> futures;
+  for (uint64_t id = 1; id <= 6; ++id) futures.push_back(broker.submit(make_request(id)));
+  broker.drain();
+
+  // Everything accepted before the drain has fully completed.
+  EXPECT_EQ(executed.load(), 6);
+  for (auto& future : futures) {
+    auto status = future.wait_for(std::chrono::seconds(0));
+    ASSERT_EQ(status, std::future_status::ready) << "drain left a request unanswered";
+    EXPECT_TRUE(future.get().ok());
+  }
+
+  // Post-drain submissions are turned away with UNAVAILABLE.
+  Response rejected = broker.submit(make_request(99)).get();
+  EXPECT_EQ(rejected.code, util::StatusCode::kUnavailable);
+  EXPECT_EQ(broker.stats().completed, 6u);
+}
+
+}  // namespace
+}  // namespace mfv::service

@@ -81,5 +81,86 @@ TEST(Json, LargeIntegersSurvive) {
   EXPECT_EQ(parsed->as_int(), 1234567890123456789);
 }
 
+// ---------------------------------------------------------------------------
+// Untrusted-input hardening (the service feeds wire bytes to the parser)
+
+TEST(JsonLimits, DeepNestingIsRejectedNotFatal) {
+  // 100k unbalanced brackets: the recursive-descent parser would overflow
+  // its stack without the depth limit; with it, this is just an error.
+  std::string bomb(100000, '[');
+  EXPECT_FALSE(Json::parse(bomb).has_value());
+
+  auto checked = Json::parse_checked(bomb);
+  ASSERT_FALSE(checked.ok());
+  EXPECT_NE(checked.status().message().find("depth"), std::string::npos)
+      << checked.status().to_string();
+
+  std::string object_bomb;
+  for (int i = 0; i < 100000; ++i) object_bomb += "{\"a\":";
+  EXPECT_FALSE(Json::parse(object_bomb).has_value());
+  EXPECT_FALSE(Json::parse_checked(object_bomb).ok());
+}
+
+TEST(JsonLimits, DepthLimitIsExact) {
+  JsonParseLimits limits;
+  limits.max_depth = 3;
+  EXPECT_TRUE(Json::parse_checked("[[[1]]]", limits).ok());
+  EXPECT_FALSE(Json::parse_checked("[[[[1]]]]", limits).ok());
+  // Balanced nesting at the default limit parses fine.
+  std::string nested;
+  for (int i = 0; i < 128; ++i) nested += '[';
+  nested += '1';
+  for (int i = 0; i < 128; ++i) nested += ']';
+  EXPECT_TRUE(Json::parse_checked(nested).ok());
+}
+
+TEST(JsonLimits, InputSizeLimit) {
+  JsonParseLimits limits;
+  limits.max_bytes = 16;
+  EXPECT_TRUE(Json::parse_checked(R"({"a":1})", limits).ok());
+  auto rejected = Json::parse_checked(R"({"key":"0123456789abcdef"})", limits);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JsonLimits, ParseCheckedReportsPosition) {
+  auto result = Json::parse_checked("{\"a\": tru}");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("at byte"), std::string::npos)
+      << result.status().to_string();
+}
+
+TEST(JsonLimits, TruncatedAndAdversarialInputs) {
+  const char* cases[] = {
+      "{\"a\":",               // truncated value
+      "[1,2",                  // unterminated array
+      "\"\\u12",               // truncated unicode escape
+      "\"\\u12zz\"",           // bad unicode escape digits
+      "\"\\q\"",               // unknown escape
+      "-",                     // lone minus
+      "0x10",                  // hex is not JSON
+      "{\"a\" 1}",             // missing colon
+      "{1: 2}",                // non-string key
+      "[,1]",                  // leading comma
+      "nul",                   // truncated keyword
+      "\x01",                  // control character
+  };
+  for (const char* text : cases) {
+    EXPECT_FALSE(Json::parse(text).has_value()) << "input: " << text;
+    EXPECT_FALSE(Json::parse_checked(text).ok()) << "input: " << text;
+  }
+}
+
+TEST(JsonLimits, CheckedAndUncheckedAgreeOnValidInput) {
+  const std::string text =
+      R"({"s":"hi","i":-5,"d":2.5,"b":false,"n":null,"a":[1,2,3],"o":{"k":"v"}})";
+  auto unchecked = Json::parse(text);
+  auto checked = Json::parse_checked(text);
+  ASSERT_TRUE(unchecked.has_value());
+  ASSERT_TRUE(checked.ok());
+  EXPECT_EQ(unchecked->dump(), checked->dump());
+}
+
 }  // namespace
 }  // namespace mfv::util
