@@ -94,7 +94,12 @@ void emit_bgp(std::string& out, const BgpConfig& bgp) {
     out += "   maximum-paths " + std::to_string(bgp.maximum_paths) + "\n";
   for (const auto& n : bgp.neighbors) {
     std::string peer = n.peer.to_string();
-    out += "   neighbor " + peer + " remote-as " + std::to_string(n.remote_as) + "\n";
+    // A neighbor with no remote-as yet (half-configured: some other
+    // neighbor line arrived first) renders without the remote-as line,
+    // exactly as the device CLI shows it. Emitting "remote-as 0" would
+    // produce text the parser rejects (found by the dialect fuzz oracle).
+    if (n.remote_as != 0)
+      out += "   neighbor " + peer + " remote-as " + std::to_string(n.remote_as) + "\n";
     if (n.description) out += "   neighbor " + peer + " description " + *n.description + "\n";
     if (n.update_source) out += "   neighbor " + peer + " update-source " + *n.update_source + "\n";
     if (n.next_hop_self) out += "   neighbor " + peer + " next-hop-self\n";

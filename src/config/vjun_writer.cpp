@@ -174,10 +174,24 @@ std::string write_vjun(const DeviceConfig& config, const VjunWriterOptions& opti
     e.close();
     e.close();
   }
-  if (config.bgp.enabled && !config.bgp.neighbors.empty()) {
+  // Count only neighbors the dialect can express (see the remote-as skip
+  // below): if none remain, an empty "bgp { }" block would parse back to
+  // zero neighbors and the next write would drop the block — not a
+  // fixpoint (found by the dialect fuzz oracle on the minimized
+  // half-configured-neighbor repro).
+  bool any_expressible_neighbor = false;
+  for (const auto& neighbor : config.bgp.neighbors)
+    if (neighbor.remote_as != 0) any_expressible_neighbor = true;
+  if (config.bgp.enabled && any_expressible_neighbor) {
     e.open("bgp");
     int group_index = 0;
     for (const auto& neighbor : config.bgp.neighbors) {
+      // A neighbor with no peer AS resolved cannot be expressed: an
+      // external group without peer-as fails the parser's (and a real
+      // transactional commit's) validation. Skip it rather than emit
+      // text that does not parse back (found by the dialect fuzz
+      // oracle).
+      if (neighbor.remote_as == 0) continue;
       bool external = neighbor.remote_as != config.bgp.local_as;
       e.open("group " + std::string(external ? "ebgp" : "ibgp") + "-" +
              std::to_string(group_index++));

@@ -1,0 +1,35 @@
+// Delta-debugging reducer for failing fuzz cases.
+//
+// Greedy structural shrinking to a fixpoint: drop perturbations, external
+// peers, links, nodes, config lines, synthetic devices and their AFT
+// entries, and literals — keeping any reduction under which the case
+// still fails the same oracle. The result is the small, human-readable
+// repro that goes into tests/fuzz_corpus/.
+#pragma once
+
+#include <functional>
+
+#include "fuzz/fuzz.hpp"
+
+namespace mfv::fuzz {
+
+struct MinimizeStats {
+  /// Oracle (or predicate) evaluations spent.
+  size_t attempts = 0;
+  /// Reductions that kept the failure and were committed.
+  size_t accepted = 0;
+};
+
+/// Shrinks `failing` while `still_fails` holds. `still_fails(failing)`
+/// must be true on entry; the returned case also satisfies it. Evaluation
+/// count is capped by `budget`.
+FuzzCase minimize(const FuzzCase& failing,
+                  const std::function<bool(const FuzzCase&)>& still_fails,
+                  MinimizeStats* stats = nullptr, size_t budget = 600);
+
+/// Oracle-driven convenience: shrinks while the case still fails any
+/// oracle in `oracle_mask`.
+FuzzCase minimize_for_oracle(const FuzzCase& failing, uint32_t oracle_mask,
+                             MinimizeStats* stats = nullptr, size_t budget = 600);
+
+}  // namespace mfv::fuzz

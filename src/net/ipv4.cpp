@@ -1,8 +1,28 @@
 #include "net/ipv4.hpp"
 
-#include "util/strings.hpp"
-
 namespace mfv::net {
+
+namespace {
+
+/// Canonical prefix-length text: 1-2 digits, no leading zero ("0" is fine,
+/// "00"/"032" are not), value <= 32. Stricter than util::parse_uint32 on
+/// purpose — a mask that does not round-trip byte-identically is a silent
+/// divergence between what an operator wrote and what we verify (and "08"
+/// is octal to some real-device parsers).
+bool parse_mask(std::string_view text, uint32_t& out) {
+  if (text.empty() || text.size() > 2) return false;
+  if (text.size() > 1 && text[0] == '0') return false;
+  uint32_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint32_t>(c - '0');
+  }
+  if (value > 32) return false;
+  out = value;
+  return true;
+}
+
+}  // namespace
 
 std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
   uint32_t bits = 0;
@@ -12,6 +32,7 @@ std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
     if (i >= text.size()) return std::nullopt;
     uint32_t value = 0;
     size_t digits = 0;
+    size_t start = i;
     while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
       value = value * 10 + static_cast<uint32_t>(text[i] - '0');
       if (value > 255) return std::nullopt;
@@ -19,6 +40,10 @@ std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
       ++digits;
     }
     if (digits == 0 || digits > 3) return std::nullopt;
+    // Leading zeros ("01", "007") are rejected: inet_aton-style parsers
+    // treat them as octal, so accepting them silently re-interprets what a
+    // real device would load — and the text no longer round-trips.
+    if (digits > 1 && text[start] == '0') return std::nullopt;
     bits = (bits << 8) | value;
     ++octets;
     if (octets < 4) {
@@ -46,7 +71,7 @@ std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
   auto address = Ipv4Address::parse(text.substr(0, slash));
   if (!address) return std::nullopt;
   uint32_t length = 0;
-  if (!util::parse_uint32(text.substr(slash + 1), length) || length > 32) return std::nullopt;
+  if (!parse_mask(text.substr(slash + 1), length)) return std::nullopt;
   return Ipv4Prefix(*address, static_cast<uint8_t>(length));
 }
 
@@ -60,7 +85,7 @@ std::optional<InterfaceAddress> InterfaceAddress::parse(std::string_view text) {
   auto address = Ipv4Address::parse(text.substr(0, slash));
   if (!address) return std::nullopt;
   uint32_t length = 0;
-  if (!util::parse_uint32(text.substr(slash + 1), length) || length > 32) return std::nullopt;
+  if (!parse_mask(text.substr(slash + 1), length)) return std::nullopt;
   return InterfaceAddress{*address, Ipv4Prefix(*address, static_cast<uint8_t>(length))};
 }
 

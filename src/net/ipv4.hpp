@@ -20,7 +20,9 @@ class Ipv4Address {
   constexpr Ipv4Address(uint8_t a, uint8_t b, uint8_t c, uint8_t d)
       : bits_((uint32_t(a) << 24) | (uint32_t(b) << 16) | (uint32_t(c) << 8) | d) {}
 
-  /// Parses dotted-quad "a.b.c.d". Rejects out-of-range octets and garbage.
+  /// Parses dotted-quad "a.b.c.d". Rejects out-of-range octets, leading
+  /// zeros ("01" — octal to inet_aton-style parsers), and trailing garbage.
+  /// Accepted text always round-trips byte-identically through to_string().
   static std::optional<Ipv4Address> parse(std::string_view text);
 
   constexpr uint32_t bits() const { return bits_; }
@@ -40,7 +42,8 @@ class Ipv4Prefix {
   constexpr Ipv4Prefix(Ipv4Address address, uint8_t length)
       : address_(Ipv4Address(mask_bits(address.bits(), length))), length_(length) {}
 
-  /// Parses "a.b.c.d/len". Rejects length > 32.
+  /// Parses "a.b.c.d/len". Rejects length > 32 and non-canonical mask text
+  /// (empty, leading zeros, overflow, trailing garbage).
   static std::optional<Ipv4Prefix> parse(std::string_view text);
 
   /// A /32 host route for `address`.

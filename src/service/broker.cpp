@@ -24,7 +24,7 @@ void Broker::submit(Request request, Callback callback) {
           " pending); retry later or lower the offered load");
     } else {
       Job job;
-      job.enqueued_at = std::chrono::steady_clock::now();
+      job.enqueued_at = now();
       job.expires_at =
           request.deadline_ms > 0
               ? job.enqueued_at + std::chrono::milliseconds(request.deadline_ms)
@@ -57,7 +57,6 @@ std::future<Response> Broker::submit(Request request) {
 
 void Broker::run_one() {
   Job job;
-  bool expired = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     std::deque<Job>* queue = nullptr;
@@ -71,20 +70,29 @@ void Broker::run_one() {
     queue->pop_front();
     --queued_;
     ++executing_;
-    expired = std::chrono::steady_clock::now() >= job.expires_at;
   }
+
+  // One clock sample at execution start decides expiry AND stamps the
+  // queue wait. Checking under the dequeue lock and stamping with a later
+  // sample (the old scheme) let a job whose deadline passed in between run
+  // to completion — counted as completed, with a reported wait exceeding
+  // its own deadline.
+  const auto started = now();
+  const bool expired = started >= job.expires_at;
+  const int64_t queue_wait_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(started - job.enqueued_at)
+          .count();
 
   Response response;
   if (expired) {
     response = Response::failure(
         job.request.id,
         util::deadline_exceeded("deadline of " + std::to_string(job.request.deadline_ms) +
-                                "ms passed while queued"));
+                                "ms passed while queued (waited " +
+                                std::to_string(queue_wait_us) + "us)"));
   } else {
     ExecContext context;
-    context.queue_wait_us = std::chrono::duration_cast<std::chrono::microseconds>(
-                                std::chrono::steady_clock::now() - job.enqueued_at)
-                                .count();
+    context.queue_wait_us = queue_wait_us;
     response = handler_(job.request, context);
     response.id = job.request.id;
   }
@@ -92,8 +100,12 @@ void Broker::run_one() {
 
   std::lock_guard<std::mutex> lock(mutex_);
   --executing_;
-  if (expired) ++expired_;
-  else ++completed_;
+  if (expired) {
+    ++expired_;
+    expired_wait_us_ += queue_wait_us;
+  } else {
+    ++completed_;
+  }
   if (queued_ == 0 && executing_ == 0) drained_.notify_all();
 }
 
@@ -110,6 +122,7 @@ BrokerStats Broker::stats() const {
   stats.completed = completed_;
   stats.rejected = rejected_;
   stats.expired = expired_;
+  stats.expired_wait_us = expired_wait_us_;
   stats.queued = queued_;
   stats.executing = executing_;
   return stats;

@@ -32,6 +32,10 @@ struct BrokerOptions {
   unsigned threads = 0;
   /// Max queued (not yet executing) requests across all priorities.
   size_t queue_capacity = 64;
+  /// Clock used for deadlines and queue-wait accounting; null = the real
+  /// steady clock. Injectable so tests can place the deadline exactly
+  /// between dequeue and execution start.
+  std::function<std::chrono::steady_clock::time_point()> clock;
 };
 
 /// Execution-side context handed to the handler alongside the request.
@@ -44,7 +48,11 @@ struct BrokerStats {
   uint64_t accepted = 0;
   uint64_t completed = 0;
   uint64_t rejected = 0;         // RESOURCE_EXHAUSTED at admission
-  uint64_t expired = 0;          // DEADLINE_EXCEEDED at dequeue
+  uint64_t expired = 0;          // DEADLINE_EXCEEDED at execution start
+  /// Cumulative queue+dispatch wait of expired requests, so the time an
+  /// impatient caller spent waiting for a DEADLINE_EXCEEDED shows up in
+  /// observability just like completed requests' waits do.
+  int64_t expired_wait_us = 0;
   size_t queued = 0;             // current depth across priorities
   size_t executing = 0;
 };
@@ -87,7 +95,15 @@ class Broker {
   };
 
   /// Worker-side: pops the highest-priority job and runs or expires it.
+  /// The deadline is checked at execution start — after the dequeue, from
+  /// the same clock sample that stamps queue_wait — so a job whose
+  /// deadline passed between dequeue and execution never runs, and a job
+  /// that does run never reports a wait exceeding its deadline.
   void run_one();
+
+  std::chrono::steady_clock::time_point now() const {
+    return options_.clock ? options_.clock() : std::chrono::steady_clock::now();
+  }
 
   BrokerOptions options_;
   Handler handler_;
@@ -102,6 +118,7 @@ class Broker {
   uint64_t completed_ = 0;
   uint64_t rejected_ = 0;
   uint64_t expired_ = 0;
+  int64_t expired_wait_us_ = 0;
 
   /// Last member: destroyed first, so workers stop before the queues and
   /// handler they reference go away.

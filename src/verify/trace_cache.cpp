@@ -24,7 +24,7 @@ class ClassSolver {
  public:
   ClassSolver(const ForwardingGraph& graph, net::Ipv4Address destination,
               const std::map<net::NodeName, uint32_t>& node_index,
-              std::unordered_map<uint64_t, DispositionSet>& memo)
+              std::unordered_map<uint64_t, TraceMemoEntry>& memo)
       : graph_(graph),
         destination_(destination),
         node_index_(node_index),
@@ -48,6 +48,10 @@ class ClassSolver {
     /// Node indices whose on-stack presence this result depends on;
     /// empty = context-free (memoizable).
     std::set<uint32_t> deps;
+    /// Every node index this subtree traversed. Stored with the memo
+    /// entry: the result is reusable only by callers whose path avoids
+    /// all of them (node-based loop semantics).
+    std::set<uint32_t> footprint;
   };
 
   static uint64_t state_key(uint32_t node_index, std::optional<uint32_t> label) {
@@ -59,7 +63,16 @@ class ClassSolver {
   Outcome visit(const net::NodeName& node, uint32_t index,
                 std::optional<uint32_t> label) {
     uint64_t key = state_key(index, label);
-    if (auto it = memo_.find(key); it != memo_.end()) return {it->second, {}};
+    // The on-stack check must come BEFORE the memo lookup. A memoized
+    // entry for (node, label') is context-free only in contexts where the
+    // node is not already on the path: the legacy walker's visited set is
+    // node-based, so re-entering an on-stack device under a *different*
+    // label state is a loop for this path even though the state's
+    // context-free continuation (memoized from some other root, where the
+    // node was fresh) says otherwise. Serving the memo here absorbed taint
+    // owed to the on-stack node and silently diverged from the serial
+    // walker on cycles spanning multiple label states (found by the
+    // serial-vs-threaded fuzz oracle; regression in tests/fuzz_corpus/).
     if (node_on_stack_[index] > 0) {
       // Device already on the current path (under any label state): the
       // legacy walker's node-based visited set calls this a loop. The
@@ -70,15 +83,43 @@ class ClassSolver {
       Outcome loop;
       loop.set.add(Disposition::kLoop);
       loop.deps.insert(index);
+      loop.footprint.insert(index);
       return loop;
+    }
+    if (auto it = memo_.find(key); it != memo_.end()) {
+      // A memo entry is context-free only for callers whose path avoids
+      // every node its subtree traverses: loop detection is node-based,
+      // so if any footprint node is already on the stack, the legacy
+      // walker would cut this continuation short with kLoop at that node
+      // instead of running it to the recorded terminals. Re-expand in
+      // context — the expansion deterministically reaches the on-stack
+      // node, returns tainted, and is not re-memoized (found by the
+      // serial-vs-threaded fuzz oracle on label cycles whose broken
+      // binding sits on the re-entered node).
+      bool reusable = true;
+      for (uint32_t traversed : it->second.footprint) {
+        if (node_on_stack_[traversed] > 0) {
+          reusable = false;
+          break;
+        }
+      }
+      if (reusable) {
+        Outcome hit;
+        hit.set = it->second.set;
+        hit.footprint.insert(it->second.footprint.begin(),
+                             it->second.footprint.end());
+        return hit;
+      }
     }
 
     ++node_on_stack_[index];
     Outcome outcome = expand(node, label);
     --node_on_stack_[index];
 
+    outcome.footprint.insert(index);
     outcome.deps.erase(index);  // this frame satisfies its own-node deps
-    if (outcome.deps.empty()) memo_[key] = outcome.set;
+    if (outcome.deps.empty())
+      memo_[key] = {outcome.set, {outcome.footprint.begin(), outcome.footprint.end()}};
     return outcome;
   }
 
@@ -164,6 +205,7 @@ class ClassSolver {
     Outcome child = visit(node, it->second, label);
     out.set.merge(child.set);
     out.deps.insert(child.deps.begin(), child.deps.end());
+    out.footprint.insert(child.footprint.begin(), child.footprint.end());
   }
 
   static Outcome terminal(Disposition disposition) {
@@ -175,7 +217,7 @@ class ClassSolver {
   const ForwardingGraph& graph_;
   net::Ipv4Address destination_;
   const std::map<net::NodeName, uint32_t>& node_index_;
-  std::unordered_map<uint64_t, DispositionSet>& memo_;
+  std::unordered_map<uint64_t, TraceMemoEntry>& memo_;
   std::vector<uint32_t> node_on_stack_;  // per-node on-chain counts
 };
 
@@ -223,7 +265,7 @@ DispositionSet TraceCache::dispositions(const net::NodeName& source,
   ClassTable& table = table_for(destination);
   uint64_t key = static_cast<uint64_t>(index_it->second) << 33;
   auto it = table.memo.find(key);
-  if (it != table.memo.end()) return it->second;
+  if (it != table.memo.end()) return it->second.set;
   // Unreachable: solve_all memoizes every root (see ClassSolver).
   return {};
 }

@@ -37,6 +37,19 @@
 
 namespace mfv::verify {
 
+/// One memoized continuation in a TraceCache class table (implementation
+/// detail, shared with the per-class solver).
+struct TraceMemoEntry {
+  DispositionSet set;
+  /// Node indices the state's subtree traverses. Loop detection is
+  /// node-based, so a memoized result is valid for a caller only when
+  /// none of these nodes are already on the caller's path — otherwise
+  /// the legacy walker would have declared a loop at that node and the
+  /// continuation recorded here never runs (found by the
+  /// serial-vs-threaded fuzz oracle; regression in tests/fuzz_corpus/).
+  std::vector<uint32_t> footprint;
+};
+
 class TraceCache {
  public:
   explicit TraceCache(const ForwardingGraph& graph);
@@ -68,8 +81,9 @@ class TraceCache {
  private:
   struct ClassTable {
     std::once_flag once;
-    /// state key -> disposition set; populated for every node at minimum.
-    std::unordered_map<uint64_t, DispositionSet> memo;
+    /// state key -> memoized continuation; populated for every node at
+    /// minimum.
+    std::unordered_map<uint64_t, TraceMemoEntry> memo;
   };
 
   ClassTable& table_for(net::Ipv4Address destination);

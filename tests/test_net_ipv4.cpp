@@ -24,6 +24,30 @@ TEST(Ipv4Address, ParseInvalid) {
   EXPECT_FALSE(Ipv4Address::parse("1.2.3.0004").has_value());  // >3 digits
 }
 
+TEST(Ipv4Address, RejectsLeadingZeroOctets) {
+  // "01.1.1.1" is ambiguous (octal on some stacks, decimal on others);
+  // inet_pton rejects it and so do we. Regression: the parser accepted
+  // these and then re-rendered them differently ("01" -> "1"), breaking
+  // the canonical-literal rule checked by the fuzz dialect oracle.
+  EXPECT_FALSE(Ipv4Address::parse("01.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.02.3.4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.04").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("001.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("010.0.0.0").has_value());
+  // A single zero octet is fine — no leading-zero ambiguity.
+  EXPECT_TRUE(Ipv4Address::parse("0.0.0.0").has_value());
+  EXPECT_TRUE(Ipv4Address::parse("10.0.0.1").has_value());
+}
+
+TEST(Ipv4Address, RejectsOversizedAndSignedOctets) {
+  EXPECT_FALSE(Ipv4Address::parse("256.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.1.1.999").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("+1.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.-4").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.").has_value());
+  EXPECT_FALSE(Ipv4Address::parse(".1.2.3.4").has_value());
+}
+
 TEST(Ipv4Address, Ordering) {
   EXPECT_LT(*Ipv4Address::parse("10.0.0.1"), *Ipv4Address::parse("10.0.0.2"));
   EXPECT_LT(*Ipv4Address::parse("9.255.255.255"), *Ipv4Address::parse("10.0.0.0"));
@@ -45,6 +69,26 @@ TEST(Ipv4Prefix, ParseValidAndInvalid) {
   EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0").has_value());
   EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/").has_value());
   EXPECT_FALSE(Ipv4Prefix::parse("/8").has_value());
+}
+
+TEST(Ipv4Prefix, RejectsAdversarialMasks) {
+  // Regression: the mask parser took any strtoul-able tail, so "/032",
+  // "/00", and 2^32-overflowing lengths parsed and re-rendered to a
+  // different string, breaking the canonical-literal rule checked by the
+  // fuzz dialect oracle. Masks are 1-2 digits, no leading zero, <= 32.
+  EXPECT_FALSE(Ipv4Prefix::parse("1.2.3.4/032").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("1.2.3.4/00").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("1.2.3.4/01").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("10.0.0.0/4294967298").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("1.2.3.4/+8").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("1.2.3.4/-8").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("1.2.3.4/8 ").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("1.2.3.4/8x").has_value());
+  EXPECT_FALSE(Ipv4Prefix::parse("1.2.3.4/3.2").has_value());
+  // Boundary values stay accepted and canonical.
+  EXPECT_EQ(Ipv4Prefix::parse("1.2.3.4/32")->to_string(), "1.2.3.4/32");
+  EXPECT_EQ(Ipv4Prefix::parse("0.0.0.0/0")->to_string(), "0.0.0.0/0");
+  EXPECT_EQ(Ipv4Prefix::parse("10.0.0.0/9")->to_string(), "10.0.0.0/9");
 }
 
 TEST(Ipv4Prefix, Contains) {

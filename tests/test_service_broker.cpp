@@ -173,6 +173,60 @@ TEST(Broker, ExpiredDeadlineFailsInsteadOfExecuting) {
   EXPECT_EQ(broker.stats().expired, 1u);
 }
 
+// Regression: the deadline used to be checked from a different clock
+// sample than the one that stamped queue_wait, so a request could expire
+// yet report a wait under its own deadline (or run with a wait past it),
+// and expired requests vanished from wait accounting entirely. With an
+// injected clock the expiry decision and the stamped wait are provably
+// the same sample, taken at execution start.
+TEST(Broker, DeadlineAndWaitComeFromOneClockSampleAtExecutionStart) {
+  const auto base = std::chrono::steady_clock::now();
+  std::atomic<int64_t> offset_us{0};
+  Gate gate;
+  Gate second_gate;
+  BrokerOptions options;
+  options.threads = 1;
+  options.clock = [&] { return base + std::chrono::microseconds(offset_us.load()); };
+  std::atomic<int64_t> observed_wait_us{-1};
+  Broker broker(options, [&](const Request& request, const ExecContext& context) {
+    if (request.id == 0) gate.block();
+    else if (request.id == 3) second_gate.block();
+    else observed_wait_us.store(context.queue_wait_us);
+    return Response::success(request.id, util::Json::object());
+  });
+
+  // Hold the single worker so queued requests only start when we say so.
+  auto blocker = broker.submit(make_request(0));
+  gate.wait_for_blocked(1);
+
+  // Queued at t=0 with a 10 ms budget; the clock reads t=20 ms when the
+  // worker reaches it, so it expires with exactly that wait on record.
+  auto doomed = broker.submit(make_request(1, Priority::kBatch, /*deadline_ms=*/10));
+  offset_us.store(20'000);
+  gate.open();
+  Response expired = doomed.get();
+  EXPECT_EQ(expired.code, util::StatusCode::kDeadlineExceeded);
+  BrokerStats stats = broker.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.expired_wait_us, 20'000);
+
+  // Queued at t=20 ms with the same budget; the clock reads t=25 ms at
+  // execution start — inside the deadline — so it runs, and the wait it
+  // observes is that same 5 ms sample. A second blocker holds the worker
+  // so the clock is advanced before the request is picked up.
+  auto second_blocker = broker.submit(make_request(3));
+  second_gate.wait_for_blocked(1);
+  auto served = broker.submit(make_request(2, Priority::kBatch, /*deadline_ms=*/10));
+  offset_us.store(25'000);
+  second_gate.open();
+  EXPECT_TRUE(served.get().ok());
+  EXPECT_EQ(observed_wait_us.load(), 5'000);
+
+  blocker.get();
+  second_blocker.get();
+  broker.drain();
+}
+
 TEST(Broker, DrainFinishesInFlightAndRejectsNewWork) {
   BrokerOptions options;
   options.threads = 2;

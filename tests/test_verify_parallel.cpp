@@ -298,6 +298,126 @@ TEST(TraceCache, LoopDispositionsMatchLegacyWalker) {
   }
 }
 
+// Regression (serial-vs-threaded fuzz oracle): a label-switched cycle
+// spanning several label states, where the cycle is entered from nodes
+// that are themselves part of it. The memo must not serve a continuation
+// recorded from a root that saw the re-entered node fresh — the legacy
+// walker's visited set is node-based and calls the revisit a loop.
+TEST(TraceCache, NestedLabelCycleMatchesLegacyWalker) {
+  gnmi::Snapshot snapshot;
+  auto make = [&](const std::string& node, const std::string& address) {
+    aft::DeviceAft device;
+    device.node = node;
+    device.interfaces["eth0"] = {"eth0", net::InterfaceAddress::parse(address), true};
+    return device;
+  };
+  auto labeled_hop = [&](const std::string& ip, aft::LabelOp op, uint32_t label) {
+    aft::NextHop hop;
+    if (!ip.empty()) hop.ip_address = addr(ip);
+    hop.interface = "eth0";
+    hop.label_op = op;
+    hop.label = label;
+    return hop;
+  };
+
+  // r1 pushes L2 toward r2; r2 swaps L2->L3 toward r4 but pushes L1
+  // toward r3 for fresh IP traffic; r3 swaps L1->L2 back to r2; r4 pops
+  // L3 and owns the destination.
+  aft::DeviceAft r1 = make("r1", "10.0.0.1/24");
+  r1.aft.set_ipv4_entry({pfx("99.0.0.0/16"),
+                         r1.aft.add_group(r1.aft.add_next_hop(
+                             labeled_hop("10.0.0.2", aft::LabelOp::kPush, 2))),
+                         "STATIC", 0});
+  snapshot.devices["r1"] = std::move(r1);
+
+  aft::DeviceAft r2 = make("r2", "10.0.0.2/24");
+  r2.aft.set_label_entry(
+      {2, r2.aft.add_group(r2.aft.add_next_hop(
+              labeled_hop("10.0.0.4", aft::LabelOp::kSwap, 3)))});
+  r2.aft.set_ipv4_entry({pfx("99.0.0.0/16"),
+                         r2.aft.add_group(r2.aft.add_next_hop(
+                             labeled_hop("10.0.0.3", aft::LabelOp::kPush, 1))),
+                         "STATIC", 0});
+  snapshot.devices["r2"] = std::move(r2);
+
+  aft::DeviceAft r3 = make("r3", "10.0.0.3/24");
+  r3.aft.set_label_entry(
+      {1, r3.aft.add_group(r3.aft.add_next_hop(
+              labeled_hop("10.0.0.2", aft::LabelOp::kSwap, 2)))});
+  snapshot.devices["r3"] = std::move(r3);
+
+  aft::DeviceAft r4 = make("r4", "10.0.0.4/24");
+  r4.interfaces["lo0"] = {"lo0", net::InterfaceAddress::parse("99.0.0.1/32"), true};
+  r4.aft.set_label_entry(
+      {3, r4.aft.add_group(r4.aft.add_next_hop(
+              labeled_hop("", aft::LabelOp::kPop, 0)))});
+  snapshot.devices["r4"] = std::move(r4);
+
+  ForwardingGraph graph(snapshot);
+  TraceCache cache(graph);
+  net::Ipv4Address destination = addr("99.0.0.1");
+  for (const char* source : {"r1", "r2", "r3", "r4"}) {
+    EXPECT_EQ(cache.dispositions(source, destination).to_string(),
+              trace_flow(graph, source, destination).dispositions.to_string())
+        << source;
+  }
+}
+
+// Regression (serial-vs-threaded fuzz oracle, minimized from synthetic
+// seed 42): d1 pushes label 1 to d2, d2 swaps label 1 straight back to
+// d1, and d1 has no binding for it. Solving root d0 first memoizes
+// (d2, label 1) = NO_ROUTE — honest there, because d1 was off-path and
+// its missing binding terminates the walk. From root d1 that entry is a
+// lie: node-based loop detection must flag the return to d1 as a loop.
+// The memo footprint check exists for exactly this case.
+TEST(TraceCache, MemoFootprintRespectsNodeBasedLoops) {
+  gnmi::Snapshot snapshot;
+  auto make = [&](const std::string& node, const std::string& address) {
+    aft::DeviceAft device;
+    device.node = node;
+    device.interfaces["eth0"] = {"eth0", net::InterfaceAddress::parse(address), true};
+    return device;
+  };
+  auto labeled_hop = [&](const std::string& ip, aft::LabelOp op, uint32_t label) {
+    aft::NextHop hop;
+    if (!ip.empty()) hop.ip_address = addr(ip);
+    hop.interface = "eth0";
+    hop.label_op = op;
+    hop.label = label;
+    return hop;
+  };
+
+  aft::DeviceAft d0 = make("d0", "10.0.0.1/24");
+  d0.aft.set_ipv4_entry({pfx("0.0.0.0/0"),
+                         d0.aft.add_group(d0.aft.add_next_hop(
+                             labeled_hop("10.0.0.3", aft::LabelOp::kPush, 1))),
+                         "STATIC", 0});
+  snapshot.devices["d0"] = std::move(d0);
+
+  aft::DeviceAft d1 = make("d1", "10.0.0.2/24");
+  d1.aft.set_ipv4_entry({pfx("99.0.0.0/16"),
+                         d1.aft.add_group(d1.aft.add_next_hop(
+                             labeled_hop("10.0.0.3", aft::LabelOp::kPush, 1))),
+                         "STATIC", 0});
+  snapshot.devices["d1"] = std::move(d1);
+
+  aft::DeviceAft d2 = make("d2", "10.0.0.3/24");
+  d2.aft.set_label_entry(
+      {1, d2.aft.add_group(d2.aft.add_next_hop(
+              labeled_hop("10.0.0.2", aft::LabelOp::kSwap, 1)))});
+  snapshot.devices["d2"] = std::move(d2);
+
+  ForwardingGraph graph(snapshot);
+  TraceCache cache(graph);
+  net::Ipv4Address destination = addr("99.0.0.1");
+  for (const char* source : {"d0", "d1", "d2"}) {
+    EXPECT_EQ(cache.dispositions(source, destination).to_string(),
+              trace_flow(graph, source, destination).dispositions.to_string())
+        << source;
+  }
+  EXPECT_TRUE(cache.dispositions("d1", destination).contains(Disposition::kLoop));
+}
+
 // ---------------------------------------------------------------------------
 // (c) Packet-class property: classes partition the scoped space exactly
 
