@@ -12,6 +12,7 @@
 
 #include "bench_json.hpp"
 #include "gnmi/gnmi.hpp"
+#include "obs/metrics.hpp"
 #include "verify/queries.hpp"
 #include "workload/generator.hpp"
 
@@ -94,6 +95,50 @@ void engine_report() {
   std::printf("\n");
 }
 
+/// Observability tax: the cached-parallel sweep with no metrics sink versus
+/// the same sweep publishing into a live obs::MetricsRegistry. Both sides
+/// run kReps times and keep the best wall time (noise floor, not average),
+/// and the registry snapshot itself rides along in the JSON report.
+void obs_overhead_report() {
+  constexpr int kRouters = 200;
+  constexpr int kReps = 5;
+  gnmi::Snapshot snapshot = converge(kRouters);
+  verify::ForwardingGraph graph(snapshot);
+
+  obs::MetricsRegistry registry;
+  auto best_of = [&](obs::MetricsRegistry* metrics) {
+    verify::QueryOptions options;
+    options.threads = 8;
+    options.engine = verify::EngineMode::kCached;
+    options.metrics = metrics;
+    double best = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto begin = std::chrono::steady_clock::now();
+      auto result = verify::reachability(graph, options);
+      auto end = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(result.flows);
+      double ms = std::chrono::duration<double, std::milli>(end - begin).count();
+      if (rep == 0 || ms < best) best = ms;
+    }
+    return best;
+  };
+
+  std::printf("=== A1: observability overhead, %d-router cached-parallel sweep ===\n",
+              kRouters);
+  double plain_ms = best_of(nullptr);
+  double instrumented_ms = best_of(&registry);
+
+  mfv::util::Json fields = mfv::util::Json::object();
+  fields["routers"] = kRouters;
+  fields["reps"] = kReps;
+  fields["plain_ms"] = plain_ms;
+  fields["instrumented_ms"] = instrumented_ms;
+  fields["overhead_pct"] = (instrumented_ms / plain_ms - 1.0) * 100.0;
+  mfvbench::timing("A1_OBS", fields);
+  mfvbench::JsonReport::instance().attach("metrics", registry.to_json());
+  std::printf("\n");
+}
+
 void BM_ReachabilityQuery(benchmark::State& state) {
   gnmi::Snapshot snapshot = converge(static_cast<int>(state.range(0)));
   verify::ForwardingGraph graph(snapshot);
@@ -162,6 +207,7 @@ int main(int argc, char** argv) {
   mfvbench::JsonReport::instance().init(&argc, argv, "bench_a1_verify");
   report();
   engine_report();
+  obs_overhead_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   mfvbench::JsonReport::instance().flush();

@@ -57,6 +57,15 @@ class JsonReport {
     rows_.push_back(std::move(row));
   }
 
+  /// Attaches a named sub-document to the report — e.g. an
+  /// obs::MetricsRegistry::to_json() snapshot taken after a sweep, so the
+  /// JSON artifact carries the engine's own counters next to the wall-clock
+  /// rows. Re-attaching the same key replaces the previous value.
+  void attach(const std::string& key, mfv::util::Json value) {
+    if (!attachments_.is_object()) attachments_ = mfv::util::Json::object();
+    attachments_[key] = std::move(value);
+  }
+
   /// Writes the report if a path is configured. Benches call this at the
   /// end of main; calling it with nothing recorded still writes a valid
   /// (empty) document so scripts can rely on the file existing.
@@ -65,6 +74,7 @@ class JsonReport {
     mfv::util::Json document = mfv::util::Json::object();
     document["bench"] = bench_;
     document["metrics"] = mfv::util::Json(rows_);
+    if (attachments_.is_object()) document["attachments"] = attachments_;
     std::FILE* file = std::fopen(path_.c_str(), "w");
     if (file == nullptr) {
       std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
@@ -80,6 +90,7 @@ class JsonReport {
   std::string bench_;
   std::string path_;
   mfv::util::JsonArray rows_;
+  mfv::util::Json attachments_;
 };
 
 /// One metric row: prints the legacy `METRIC k=v ...` line to stdout and

@@ -64,6 +64,28 @@ echo "smoke: stats"
 ENTRIES="$(c stats | field "['store']['entries']")"
 [ "$ENTRIES" -eq 2 ] || { echo "smoke: expected 2 stored snapshots, got $ENTRIES"; exit 1; }
 
+echo "smoke: metrics (registry snapshot, kept as $BUILD_DIR/smoke_metrics.json)"
+c metrics --json > "$BUILD_DIR/smoke_metrics.json"
+# Every instrumented family must have published by now, and the registry
+# must agree with what the run just did (one convergence per distinct
+# snapshot: base + fork).
+python3 - "$BUILD_DIR/smoke_metrics.json" << 'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+counters = doc["metrics"]["counters"]
+for family in ("emu_", "trace_cache_", "snapshot_store_", "broker_", "service_"):
+    assert any(name.startswith(family) for name in counters), f"no {family} metrics"
+assert counters["emu_convergence_runs"] == 2, counters["emu_convergence_runs"]
+assert counters["snapshot_store_hits"] >= 1
+assert counters["snapshot_store_misses"] == 2
+assert counters["trace_cache_hits"] > 0
+assert doc["metrics"]["histograms"]["verify_shard_latency_us"]["count"] > 0
+assert len(doc["spans"]) > 0, "span ring must not be empty"
+EOF
+# The text exposition serves the same numbers.
+c metrics | grep -q "^emu_convergence_runs 2$" \
+  || { echo "smoke: text exposition out of sync"; exit 1; }
+
 echo "smoke: graceful shutdown"
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID" || { echo "smoke: mfvd exited non-zero"; exit 1; }

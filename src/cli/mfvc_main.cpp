@@ -7,6 +7,7 @@
 //   mfvc query <snapshot> --kind differential --base <other>
 //   mfvc fork <base> perturbations.json             what-if snapshot
 //   mfvc stats
+//   mfvc metrics [--json] [--spans N]               registry snapshot
 //
 // Connection flags (before the verb): --socket PATH (default
 // /tmp/mfvd.sock) or --tcp PORT [--host 127.0.0.1]. Request flags:
@@ -54,6 +55,9 @@ struct Options {
   bool pretty = false;
   mfv::service::Priority priority = mfv::service::Priority::kBatch;
   int64_t deadline_ms = 0;
+  /// When set, print this string field of the result raw instead of the
+  /// whole result as JSON (mfvc metrics' default text exposition).
+  std::string print_field;
 };
 
 int run_call(const Options& options, mfv::service::Request request) {
@@ -70,6 +74,13 @@ int run_call(const Options& options, mfv::service::Request request) {
   mfv::util::Result<mfv::service::Response> response = client.call(request);
   if (!response.ok()) return fail(response.status().to_string());
   if (!response->ok()) return fail(response->status().to_string());
+  if (!options.print_field.empty()) {
+    const mfv::util::Json* field = response->result.find(options.print_field);
+    if (field != nullptr && field->type() == mfv::util::Json::Type::kString) {
+      std::printf("%s", field->as_string().c_str());
+      return 0;
+    }
+  }
   std::printf("%s\n", response->result.dump(options.pretty ? 2 : 0).c_str());
   return 0;
 }
@@ -87,7 +98,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> operands;
   std::string kind, scope, base, node;
   bool full = false;
+  bool json = false;
   int routers = 6;
+  int64_t spans = -1;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto next = [&]() -> std::string {
@@ -111,12 +124,14 @@ int main(int argc, char** argv) {
     else if (arg == "--base") base = next();
     else if (arg == "--node") node = next();
     else if (arg == "--full") full = true;
+    else if (arg == "--json") json = true;
+    else if (arg == "--spans") spans = std::atol(next().c_str());
     else if (arg == "--routers") routers = std::atoi(next().c_str());
     else operands.push_back(arg);
   }
 
   if (operands.empty())
-    return fail("usage: mfvc [flags] demo-topology|upload|snapshot|query|fork|stats ...");
+    return fail("usage: mfvc [flags] demo-topology|upload|snapshot|query|fork|stats|metrics ...");
   const std::string verb = operands[0];
 
   if (verb == "demo-topology") {
@@ -160,6 +175,13 @@ int main(int argc, char** argv) {
     request.params["perturbations"] = std::move(*perturbations);
   } else if (verb == "stats") {
     request.verb = "stats";
+  } else if (verb == "metrics") {
+    request.verb = "metrics";
+    if (spans >= 0) request.params["spans"] = spans;
+    if (!json) {
+      request.params["text"] = true;
+      options.print_field = "text";
+    }
   } else {
     return fail("unknown verb '" + verb + "'");
   }

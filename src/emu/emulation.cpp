@@ -1,6 +1,7 @@
 #include "emu/emulation.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "config/dialect.hpp"
 #include "util/logging.hpp"
@@ -68,7 +69,9 @@ bool ExternalPeer::withdraw(const std::vector<net::Ipv4Prefix>& prefixes) {
 // Emulation
 
 Emulation::Emulation(EmulationOptions options)
-    : options_(options), rng_(options.seed) {}
+    : options_(options), rng_(options.seed) {
+  wire_metrics();
+}
 
 Emulation::Emulation(const Emulation& other)
     : options_(other.options_),
@@ -80,6 +83,7 @@ Emulation::Emulation(const Emulation& other)
       channel_busy_until_(other.channel_busy_until_),
       messages_delivered_(other.messages_delivered_),
       messages_dropped_(other.messages_dropped_) {
+  wire_metrics();
   kernel_.adopt_time(other.kernel_);
   for (const auto& [name, router] : other.routers_)
     routers_.emplace(name, router->fork(*this));
@@ -96,6 +100,18 @@ std::unique_ptr<Emulation> Emulation::fork() const {
 }
 
 Emulation::~Emulation() = default;
+
+void Emulation::wire_metrics() {
+  obs::MetricsRegistry* metrics = options_.metrics;
+  if (metrics == nullptr) return;
+  delivered_counter_ = &metrics->counter("emu_messages_delivered");
+  dropped_counter_ = &metrics->counter("emu_messages_dropped");
+  convergence_runs_counter_ = &metrics->counter("emu_convergence_runs");
+  events_counter_ = &metrics->counter("emu_events_processed");
+  convergence_wall_us_ = &metrics->latency_histogram_us("emu_convergence_wall_us");
+  convergence_virtual_us_ =
+      &metrics->latency_histogram_us("emu_convergence_virtual_us");
+}
 
 util::Duration Emulation::jitter() {
   if (options_.message_jitter_micros <= 0) return util::Duration::micros(0);
@@ -237,7 +253,20 @@ bool Emulation::withdraw_external_routes(const std::string& peer,
 }
 
 bool Emulation::run_to_convergence(uint64_t max_events) {
-  return kernel_.run_until_idle(max_events);
+  if (convergence_runs_counter_ == nullptr)
+    return kernel_.run_until_idle(max_events);
+  uint64_t events_before = kernel_.executed();
+  util::TimePoint virtual_before = kernel_.now();
+  auto wall_before = std::chrono::steady_clock::now();
+  bool converged = kernel_.run_until_idle(max_events);
+  convergence_runs_counter_->add(1);
+  events_counter_->add(kernel_.executed() - events_before);
+  convergence_wall_us_->observe(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wall_before)
+          .count());
+  convergence_virtual_us_->observe((kernel_.now() - virtual_before).count_micros());
+  return converged;
 }
 
 util::TimePoint Emulation::converged_at() const {
@@ -279,11 +308,11 @@ void Emulation::send_on_interface(const net::NodeName& node,
   net::PortRef from{node, interface};
   auto it = links_.find(from);
   if (it == links_.end() || !it->second.up) {
-    ++messages_dropped_;
+    note_dropped();
     return;
   }
   if (routers_.find(it->second.peer.node) == routers_.end()) {
-    ++messages_dropped_;
+    note_dropped();
     return;
   }
   util::Duration delay = util::Duration::micros(it->second.latency_micros) + jitter();
@@ -296,15 +325,15 @@ void Emulation::send_on_interface(const net::NodeName& node,
     auto link_it = links_.find(from);
     if (link_it == links_.end() || !link_it->second.up ||
         link_it->second.down_epoch != epoch) {
-      ++messages_dropped_;
+      note_dropped();
       return;
     }
     auto router_it = routers_.find(link_it->second.peer.node);
     if (router_it == routers_.end()) {
-      ++messages_dropped_;
+      note_dropped();
       return;
     }
-    ++messages_delivered_;
+    note_delivered();
     router_it->second->deliver_on_interface(link_it->second.peer.interface, message);
   });
 }
@@ -325,24 +354,24 @@ void Emulation::send_addressed(const net::NodeName& node, net::Ipv4Address desti
   if (auto peer_it = peer_addresses_.find(destination); peer_it != peer_addresses_.end()) {
     ExternalPeer* peer = peer_it->second;
     kernel_.schedule(delay, [this, peer, message] {
-      ++messages_delivered_;
+      note_delivered();
       peer->handle(message, options_.injection_batch_size);
     });
     return;
   }
   auto owner_it = address_owner_.find(destination);
   if (owner_it == address_owner_.end()) {
-    ++messages_dropped_;
+    note_dropped();
     return;
   }
   auto router_it = routers_.find(owner_it->second);
   if (router_it == routers_.end()) {
-    ++messages_dropped_;
+    note_dropped();
     return;
   }
   vrouter::VirtualRouter* target = router_it->second.get();
   kernel_.schedule(delay, [this, target, message] {
-    ++messages_delivered_;
+    note_delivered();
     target->deliver_addressed(message);
   });
 }

@@ -17,6 +17,7 @@
 
 #include "config/diagnostics.hpp"
 #include "emu/kernel.hpp"
+#include "obs/metrics.hpp"
 #include "emu/topology.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
@@ -42,6 +43,12 @@ struct EmulationOptions {
   bool bgp_prefer_oldest = true;
   /// Routes per injected BGP update message.
   size_t injection_batch_size = 1000;
+  /// Optional metrics sink. When set, the emulation mirrors its message
+  /// counters into the emu_* family and records convergence runs
+  /// (events, wall time, virtual time) as counters/histograms. Forks
+  /// inherit the pointer, so a scenario sweep's reconvergences aggregate
+  /// into the same registry. nullptr = plain member counters only.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// External BGP speaker that injects context advertisements.
@@ -176,6 +183,17 @@ class Emulation final : public vrouter::Fabric {
 
   Emulation(const Emulation& other);
 
+  /// Resolves the emu_* instruments from options_.metrics (both ctors).
+  void wire_metrics();
+  void note_delivered() {
+    ++messages_delivered_;
+    if (delivered_counter_ != nullptr) delivered_counter_->add(1);
+  }
+  void note_dropped() {
+    ++messages_dropped_;
+    if (dropped_counter_ != nullptr) dropped_counter_->add(1);
+  }
+
   util::Duration jitter();
   void index_addresses(const config::DeviceConfig& config);
   void refresh_link_states();
@@ -197,6 +215,16 @@ class Emulation final : public vrouter::Fabric {
 
   uint64_t messages_delivered_ = 0;
   uint64_t messages_dropped_ = 0;
+
+  /// Registry mirrors (null when options_.metrics is null). The plain
+  /// members above stay authoritative per instance — a fork copies them
+  /// but shares these instruments with its base.
+  obs::Counter* delivered_counter_ = nullptr;
+  obs::Counter* dropped_counter_ = nullptr;
+  obs::Counter* convergence_runs_counter_ = nullptr;
+  obs::Counter* events_counter_ = nullptr;
+  obs::Histogram* convergence_wall_us_ = nullptr;
+  obs::Histogram* convergence_virtual_us_ = nullptr;
 };
 
 }  // namespace mfv::emu

@@ -1,0 +1,125 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mfv::obs {
+
+namespace {
+
+// Sorted, deduplicated boundaries make bucket choice a deterministic
+// lower_bound and keep bucket count == boundaries + 1.
+std::vector<int64_t> normalized(std::vector<int64_t> boundaries) {
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+  return boundaries;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<int64_t> boundaries)
+    : boundaries_(normalized(std::move(boundaries))),
+      buckets_(boundaries_.size() + 1) {}
+
+void Histogram::observe(int64_t value) {
+  size_t bucket =
+      std::lower_bound(boundaries_.begin(), boundaries_.end(), value) -
+      boundaries_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> counts(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i)
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  return counts;
+}
+
+const std::vector<int64_t>& default_latency_boundaries_us() {
+  static const std::vector<int64_t> boundaries{
+      10, 100, 1'000, 10'000, 100'000, 1'000'000, 10'000'000};
+  return boundaries;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<int64_t>& boundaries) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(boundaries);
+  return *slot;
+}
+
+util::Json MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::Json root = util::Json::object();
+  util::Json counters = util::Json::object();
+  for (const auto& [name, counter] : counters_)
+    counters[name] = static_cast<int64_t>(counter->value());
+  root["counters"] = std::move(counters);
+
+  util::Json gauges = util::Json::object();
+  for (const auto& [name, gauge] : gauges_) gauges[name] = gauge->value();
+  root["gauges"] = std::move(gauges);
+
+  util::Json histograms = util::Json::object();
+  for (const auto& [name, histogram] : histograms_) {
+    util::Json entry = util::Json::object();
+    util::Json bounds = util::Json::array();
+    for (int64_t boundary : histogram->boundaries()) bounds.push_back(boundary);
+    entry["boundaries"] = std::move(bounds);
+    util::Json counts = util::Json::array();
+    for (uint64_t n : histogram->bucket_counts())
+      counts.push_back(static_cast<int64_t>(n));
+    entry["counts"] = std::move(counts);
+    entry["count"] = static_cast<int64_t>(histogram->count());
+    entry["sum"] = histogram->sum();
+    histograms[name] = std::move(entry);
+  }
+  root["histograms"] = std::move(histograms);
+  return root;
+}
+
+std::string MetricsRegistry::to_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_)
+    out << name << " " << counter->value() << "\n";
+  for (const auto& [name, gauge] : gauges_)
+    out << name << " " << gauge->value() << "\n";
+  for (const auto& [name, histogram] : histograms_) {
+    std::vector<uint64_t> counts = histogram->bucket_counts();
+    const std::vector<int64_t>& bounds = histogram->boundaries();
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      out << name << "_bucket{le=\"";
+      if (i < bounds.size())
+        out << bounds[i];
+      else
+        out << "+Inf";
+      out << "\"} " << cumulative << "\n";
+    }
+    out << name << "_count " << histogram->count() << "\n";
+    out << name << "_sum " << histogram->sum() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mfv::obs

@@ -1,0 +1,117 @@
+// Process-wide, lock-cheap metrics: monotonic counters, gauges, and
+// fixed-boundary histograms, owned by an injectable MetricsRegistry.
+//
+// Design constraints (DESIGN.md §9):
+//   * Instruments are registered once (mutex-protected name map) and
+//     then updated lock-free through stable pointers — relaxed atomics
+//     on the hot path, no per-update allocation or locking.
+//   * Histogram bucketing is deterministic: fixed boundaries chosen at
+//     registration, bucket i counts observations v <= boundaries[i],
+//     the final bucket is the overflow. Tests can assert exact bucket
+//     counts for injected-clock workloads.
+//   * No hidden globals: every instrumented component takes a
+//     `MetricsRegistry*` (nullptr = instrumentation compiled to a
+//     null-guarded pointer check, near zero cost; see bench A1_OBS).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace mfv::obs {
+
+/// Monotonic counter. add() with relaxed ordering; value() is a racy
+/// read, exact once writers quiesce (the only time tests assert on it).
+class Counter {
+ public:
+  void add(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value gauge (queue depths, live entry counts). set/add are
+/// relaxed; negative values are legal.
+class Gauge {
+ public:
+  void set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-boundary histogram. Boundaries are sorted, immutable after
+/// registration; observe(v) increments the first bucket with
+/// v <= boundaries[i], or the trailing overflow bucket. count/sum ride
+/// along so exposition can report totals without summing buckets.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<int64_t> boundaries);
+
+  void observe(int64_t value);
+
+  const std::vector<int64_t>& boundaries() const { return boundaries_; }
+  /// Per-bucket counts; size() == boundaries().size() + 1 (overflow last).
+  std::vector<uint64_t> bucket_counts() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<int64_t> boundaries_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// Default microsecond-latency boundaries: 10us .. 10s, one decade per
+/// bucket. Deterministic and shared so families stay comparable.
+const std::vector<int64_t>& default_latency_boundaries_us();
+
+/// Named instrument registry. Registration takes a mutex and returns a
+/// reference that stays valid for the registry's lifetime (instruments
+/// are heap-allocated, never moved); updates through that reference are
+/// lock-free. Re-registering a name returns the existing instrument —
+/// first registration wins (including histogram boundaries).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       const std::vector<int64_t>& boundaries);
+  Histogram& latency_histogram_us(const std::string& name) {
+    return histogram(name, default_latency_boundaries_us());
+  }
+
+  /// Snapshot as JSON:
+  ///   {"counters": {name: n, ...},
+  ///    "gauges": {name: n, ...},
+  ///    "histograms": {name: {"boundaries": [...], "counts": [...],
+  ///                          "count": n, "sum": n}, ...}}
+  /// std::map keys make the rendering order deterministic.
+  util::Json to_json() const;
+
+  /// Prometheus-flavoured text exposition (one `name value` line per
+  /// counter/gauge, `name_bucket{le="..."} n` per histogram bucket).
+  std::string to_text() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mfv::obs

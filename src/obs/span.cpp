@@ -1,0 +1,100 @@
+#include "obs/span.hpp"
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace mfv::obs {
+
+namespace {
+
+int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+SpanCollector::SpanCollector(SpanCollectorOptions options,
+                             MetricsRegistry* metrics)
+    : options_(std::move(options)),
+      clock_(options_.clock ? options_.clock : steady_now_us) {
+  if (options_.capacity == 0) options_.capacity = 1;
+  if (metrics != nullptr) dropped_counter_ = &metrics->counter("obs_spans_dropped");
+}
+
+void SpanCollector::record(SpanRecord span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.push_back(std::move(span));
+  while (ring_.size() > options_.capacity) {
+    ring_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    if (dropped_counter_ != nullptr) dropped_counter_->add(1);
+  }
+}
+
+std::vector<SpanRecord> SpanCollector::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+util::Json SpanCollector::to_json(size_t limit) const {
+  std::vector<SpanRecord> spans = snapshot();
+  size_t first = 0;
+  if (limit != 0 && spans.size() > limit) first = spans.size() - limit;
+  util::Json out = util::Json::array();
+  for (size_t i = first; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    util::Json entry = util::Json::object();
+    entry["id"] = static_cast<int64_t>(span.id);
+    entry["parent"] = static_cast<int64_t>(span.parent);
+    entry["name"] = span.name;
+    entry["start_us"] = span.start_us;
+    entry["duration_us"] = span.duration_us;
+    util::Json attributes = util::Json::object();
+    for (const auto& [key, value] : span.attributes) attributes[key] = value;
+    entry["attributes"] = std::move(attributes);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+TraceSpan::TraceSpan(SpanCollector* collector, std::string name, uint64_t parent)
+    : collector_(collector) {
+  if (collector_ == nullptr) return;
+  record_.id = collector_->next_id();
+  record_.parent = parent;
+  record_.name = std::move(name);
+  record_.start_us = collector_->now_us();
+}
+
+TraceSpan::TraceSpan(TraceSpan&& other) noexcept
+    : collector_(other.collector_), record_(std::move(other.record_)) {
+  other.collector_ = nullptr;
+}
+
+TraceSpan& TraceSpan::operator=(TraceSpan&& other) noexcept {
+  if (this != &other) {
+    end();
+    collector_ = other.collector_;
+    record_ = std::move(other.record_);
+    other.collector_ = nullptr;
+  }
+  return *this;
+}
+
+void TraceSpan::attr(std::string key, std::string value) {
+  if (collector_ == nullptr) return;
+  record_.attributes.emplace_back(std::move(key), std::move(value));
+}
+
+void TraceSpan::end() {
+  if (collector_ == nullptr) return;
+  record_.duration_us = collector_->now_us() - record_.start_us;
+  SpanCollector* collector = collector_;
+  collector_ = nullptr;
+  collector->record(std::move(record_));
+}
+
+}  // namespace mfv::obs

@@ -1,0 +1,105 @@
+// Causal trace spans with a bounded ring-buffer collector.
+//
+// A TraceSpan is an RAII timing scope: it records a span id, its
+// parent's id (0 = root), a steady-clock duration, and free-form
+// key/value attributes, then hands the finished record to its
+// SpanCollector. The collector keeps the most recent `capacity` spans in
+// a ring; overflow drops the *oldest* span and bumps an
+// `obs_spans_dropped` counter in the attached registry, so a saturated
+// ring is visible rather than silent.
+//
+// The clock is injectable (microseconds since an arbitrary epoch) so
+// tests can assert exact durations; the default samples
+// std::chrono::steady_clock. A TraceSpan constructed against a null
+// collector is a complete no-op — instrumented code paths pay one
+// pointer test when tracing is off.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace mfv::obs {
+
+class Counter;
+class MetricsRegistry;
+
+/// One finished span, as stored by the collector.
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent = 0;  // 0 = root span
+  std::string name;
+  int64_t start_us = 0;
+  int64_t duration_us = 0;
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+struct SpanCollectorOptions {
+  /// Ring capacity; the collector retains at most this many finished
+  /// spans, dropping the oldest on overflow.
+  size_t capacity = 1024;
+  /// Microsecond clock; defaults to steady_clock when unset.
+  std::function<int64_t()> clock;
+};
+
+class SpanCollector {
+ public:
+  explicit SpanCollector(SpanCollectorOptions options = {},
+                         MetricsRegistry* metrics = nullptr);
+
+  uint64_t next_id() { return id_sequence_.fetch_add(1, std::memory_order_relaxed) + 1; }
+  int64_t now_us() const { return clock_(); }
+  void record(SpanRecord span);
+
+  /// Oldest-first copy of the retained spans.
+  std::vector<SpanRecord> snapshot() const;
+  /// Spans discarded to ring overflow since construction.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Newest `limit` spans (0 = all retained), oldest-first, as
+  /// [{"id":..,"parent":..,"name":..,"start_us":..,"duration_us":..,
+  ///   "attributes":{...}}].
+  util::Json to_json(size_t limit = 0) const;
+
+ private:
+  SpanCollectorOptions options_;
+  std::function<int64_t()> clock_;
+  std::atomic<uint64_t> id_sequence_{0};
+  std::atomic<uint64_t> dropped_{0};
+  Counter* dropped_counter_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::deque<SpanRecord> ring_;
+};
+
+/// RAII span. Move-only; ends (and records) on destruction unless end()
+/// was called. Every operation is a no-op when the collector is null.
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  TraceSpan(SpanCollector* collector, std::string name, uint64_t parent = 0);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  TraceSpan(TraceSpan&& other) noexcept;
+  TraceSpan& operator=(TraceSpan&& other) noexcept;
+  ~TraceSpan() { end(); }
+
+  /// This span's id, for parenting children; 0 when no-op.
+  uint64_t id() const { return record_.id; }
+  void attr(std::string key, std::string value);
+  /// Stops the clock and hands the record to the collector (idempotent).
+  void end();
+
+ private:
+  SpanCollector* collector_ = nullptr;
+  SpanRecord record_;
+};
+
+}  // namespace mfv::obs

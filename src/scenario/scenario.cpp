@@ -2,6 +2,7 @@
 
 #include <functional>
 
+#include "util/cow.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mfv::scenario {
@@ -184,6 +185,24 @@ util::Result<std::vector<ScenarioResult>> ScenarioRunner::run(
     return util::invalid_argument(
         "scenario base is not quiescent: run it to convergence before forking");
 
+  // Sweep-level instruments, resolved once (all null when no registry).
+  // Counters and histograms are atomic, so shards update them freely.
+  obs::Counter* forks_counter = nullptr;
+  obs::Counter* events_counter = nullptr;
+  obs::Counter* cow_clones_counter = nullptr;
+  obs::Histogram* fork_depth = nullptr;
+  obs::Histogram* reconvergence_us = nullptr;
+  if (options_.metrics != nullptr) {
+    forks_counter = &options_.metrics->counter("scenario_forks");
+    events_counter = &options_.metrics->counter("scenario_events");
+    cow_clones_counter = &options_.metrics->counter("scenario_cow_clones");
+    fork_depth = &options_.metrics->histogram(
+        "scenario_fork_depth", {1, 2, 4, 8, 16, 32});
+    reconvergence_us = &options_.metrics->latency_histogram_us(
+        "scenario_reconvergence_virtual_us");
+  }
+  const uint64_t cow_clones_before = util::cow_clone_count().load();
+
   std::vector<ScenarioResult> results(scenarios.size());
   util::parallel_for_shards(options_.threads, scenarios.size(), [&](size_t index) {
     const Scenario& scenario = scenarios[index];
@@ -192,6 +211,10 @@ util::Result<std::vector<ScenarioResult>> ScenarioRunner::run(
 
     std::unique_ptr<emu::Emulation> fork = base_.fork();
     if (fork == nullptr) return;  // base went non-idle underneath us
+    if (forks_counter != nullptr) {
+      forks_counter->add(1);
+      fork_depth->observe(static_cast<int64_t>(scenario.perturbations.size()));
+    }
 
     util::TimePoint forked_at = fork->kernel().now();
     uint64_t events_before = fork->kernel().executed();
@@ -201,6 +224,10 @@ util::Result<std::vector<ScenarioResult>> ScenarioRunner::run(
     result.converged = fork->run_to_convergence(options_.max_events);
     result.reconvergence = fork->kernel().now() - forked_at;
     result.events = fork->kernel().executed() - events_before;
+    if (events_counter != nullptr) {
+      events_counter->add(result.events);
+      reconvergence_us->observe(result.reconvergence.count_micros());
+    }
 
     gnmi::Snapshot snapshot = gnmi::Snapshot::capture(*fork, scenario.name);
     if (options_.pairwise) {
@@ -225,6 +252,11 @@ util::Result<std::vector<ScenarioResult>> ScenarioRunner::run(
       if (!options_.keep_snapshots) result.snapshot = gnmi::Snapshot{};
     }
   }
+  // Process-wide delta, so clones by a concurrent unrelated sweep can
+  // leak in; within one service the broker serializes sweeps enough for
+  // this to be the number operators want (copies this sweep paid for).
+  if (cow_clones_counter != nullptr)
+    cow_clones_counter->add(util::cow_clone_count().load() - cow_clones_before);
   return results;
 }
 

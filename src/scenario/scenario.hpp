@@ -25,6 +25,7 @@
 #include "emu/emulation.hpp"
 #include "emu/topology.hpp"
 #include "gnmi/gnmi.hpp"
+#include "obs/metrics.hpp"
 #include "util/status.hpp"
 #include "verify/forwarding_graph.hpp"
 #include "verify/queries.hpp"
@@ -126,6 +127,11 @@ struct ScenarioRunnerOptions {
     options.engine = verify::EngineMode::kCached;
     return options;
   }();
+  /// Optional metrics sink for the scenario_* family: forks taken,
+  /// fork depth (perturbations per scenario) and reconvergence virtual
+  /// time as histograms, re-convergence events, and the process-wide
+  /// CoW clone delta across the sweep. nullptr = no instrumentation.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Forks a converged base emulation per scenario and verifies the results.

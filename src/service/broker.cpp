@@ -5,7 +5,20 @@
 namespace mfv::service {
 
 Broker::Broker(BrokerOptions options, Handler handler)
-    : options_(options), handler_(std::move(handler)), pool_(options.threads) {}
+    : options_(options), handler_(std::move(handler)), pool_(options.threads) {
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& metrics = *options_.metrics;
+    accepted_counter_ = &metrics.counter("broker_accepted");
+    completed_counter_ = &metrics.counter("broker_completed");
+    rejected_counter_ = &metrics.counter("broker_rejected");
+    expired_counter_ = &metrics.counter("broker_expired");
+    queued_gauge_ = &metrics.gauge("broker_queued");
+    executing_gauge_ = &metrics.gauge("broker_executing");
+    queue_wait_us_ = &metrics.latency_histogram_us("broker_queue_wait_us");
+    expired_wait_histogram_ =
+        &metrics.latency_histogram_us("broker_expired_wait_us");
+  }
+}
 
 Broker::~Broker() { drain(); }
 
@@ -16,9 +29,11 @@ void Broker::submit(Request request, Callback callback) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (draining_) {
       ++rejected_;
+      if (rejected_counter_ != nullptr) rejected_counter_->add(1);
       rejection = util::unavailable("service is draining; not accepting requests");
     } else if (queued_ >= options_.queue_capacity) {
       ++rejected_;
+      if (rejected_counter_ != nullptr) rejected_counter_->add(1);
       rejection = util::resource_exhausted(
           "request queue full (" + std::to_string(options_.queue_capacity) +
           " pending); retry later or lower the offered load");
@@ -35,6 +50,10 @@ void Broker::submit(Request request, Callback callback) {
       queues_[queue].push_back(std::move(job));
       ++queued_;
       ++accepted_;
+      if (accepted_counter_ != nullptr) {
+        accepted_counter_->add(1);
+        queued_gauge_->set(static_cast<int64_t>(queued_));
+      }
     }
   }
   if (!rejection.ok()) {
@@ -70,6 +89,10 @@ void Broker::run_one() {
     queue->pop_front();
     --queued_;
     ++executing_;
+    if (queued_gauge_ != nullptr) {
+      queued_gauge_->set(static_cast<int64_t>(queued_));
+      executing_gauge_->set(static_cast<int64_t>(executing_));
+    }
   }
 
   // One clock sample at execution start decides expiry AND stamps the
@@ -96,16 +119,35 @@ void Broker::run_one() {
     response = handler_(job.request, context);
     response.id = job.request.id;
   }
+  // Outcome accounting lands BEFORE the callback: a caller who has seen
+  // its response (the future resolved, the frame arrived) must find the
+  // completion already in stats() and the registry — otherwise every
+  // "submit, then read the counters" sequence races the worker's tail.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (expired) {
+      ++expired_;
+      expired_wait_us_ += queue_wait_us;
+      if (expired_counter_ != nullptr) {
+        expired_counter_->add(1);
+        expired_wait_histogram_->observe(queue_wait_us);
+      }
+    } else {
+      ++completed_;
+      if (completed_counter_ != nullptr) {
+        completed_counter_->add(1);
+        queue_wait_us_->observe(queue_wait_us);
+      }
+    }
+  }
   job.callback(std::move(response));
 
+  // The executing count (and the drain wake-up) stays after the callback:
+  // drain() must not return while a delivery is still in flight.
   std::lock_guard<std::mutex> lock(mutex_);
   --executing_;
-  if (expired) {
-    ++expired_;
-    expired_wait_us_ += queue_wait_us;
-  } else {
-    ++completed_;
-  }
+  if (executing_gauge_ != nullptr)
+    executing_gauge_->set(static_cast<int64_t>(executing_));
   if (queued_ == 0 && executing_ == 0) drained_.notify_all();
 }
 

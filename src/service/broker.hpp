@@ -22,6 +22,7 @@
 #include <future>
 #include <mutex>
 
+#include "obs/metrics.hpp"
 #include "service/protocol.hpp"
 #include "util/thread_pool.hpp"
 
@@ -36,6 +37,11 @@ struct BrokerOptions {
   /// steady clock. Injectable so tests can place the deadline exactly
   /// between dequeue and execution start.
   std::function<std::chrono::steady_clock::time_point()> clock;
+  /// Optional metrics sink: mirrors the broker_* family
+  /// (accepted/completed/rejected/expired counters, queued/executing
+  /// gauges, queue-wait and expired-wait histograms — the waits use the
+  /// injectable clock above, so histogram contents are exact in tests).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Execution-side context handed to the handler alongside the request.
@@ -119,6 +125,17 @@ class Broker {
   uint64_t rejected_ = 0;
   uint64_t expired_ = 0;
   int64_t expired_wait_us_ = 0;
+
+  /// Registry mirrors (null when no registry was injected); the plain
+  /// members above stay authoritative for stats().
+  obs::Counter* accepted_counter_ = nullptr;
+  obs::Counter* completed_counter_ = nullptr;
+  obs::Counter* rejected_counter_ = nullptr;
+  obs::Counter* expired_counter_ = nullptr;
+  obs::Gauge* queued_gauge_ = nullptr;
+  obs::Gauge* executing_gauge_ = nullptr;
+  obs::Histogram* queue_wait_us_ = nullptr;
+  obs::Histogram* expired_wait_histogram_ = nullptr;
 
   /// Last member: destroyed first, so workers stop before the queues and
   /// handler they reference go away.

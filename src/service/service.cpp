@@ -35,10 +35,29 @@ bool bool_param(const Request& request, const char* key, bool fallback) {
 
 }  // namespace
 
+ServiceOptions VerificationService::wire_observability(ServiceOptions options,
+                                                       obs::MetricsRegistry* metrics) {
+  options.store.metrics = metrics;
+  options.broker.metrics = metrics;
+  options.emulation.metrics = metrics;
+  return options;
+}
+
 VerificationService::VerificationService(ServiceOptions options)
-    : options_(options),
-      store_(options.store),
-      broker_(options.broker, [this](const Request& request, const ExecContext& context) {
+    : owned_metrics_(options.metrics == nullptr
+                         ? std::make_unique<obs::MetricsRegistry>()
+                         : nullptr),
+      metrics_(options.metrics != nullptr ? options.metrics : owned_metrics_.get()),
+      owned_spans_(options.spans == nullptr
+                       ? std::make_unique<obs::SpanCollector>(
+                             obs::SpanCollectorOptions{options.span_capacity, {}},
+                             metrics_)
+                       : nullptr),
+      spans_(options.spans != nullptr ? options.spans : owned_spans_.get()),
+      requests_counter_(&metrics_->counter("service_requests")),
+      options_(wire_observability(std::move(options), metrics_)),
+      store_(options_.store),
+      broker_(options_.broker, [this](const Request& request, const ExecContext& context) {
         return execute(request, context);
       }) {}
 
@@ -56,16 +75,22 @@ void VerificationService::drain() { broker_.drain(); }
 
 Response VerificationService::execute(const Request& request, const ExecContext& context) {
   requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_counter_->add(1);
   auto start = std::chrono::steady_clock::now();
   util::Json timing = util::Json::object();
   timing["queue_wait_us"] = context.queue_wait_us;
 
+  obs::TraceSpan span(spans_, "request");
+  span.attr("verb", request.verb);
+
   Response response;
   if (request.verb == "upload_configs") response = upload_configs(request);
-  else if (request.verb == "snapshot") response = snapshot(request, timing);
-  else if (request.verb == "query") response = query(request, timing);
-  else if (request.verb == "fork_scenario") response = fork_scenario(request, timing);
+  else if (request.verb == "snapshot") response = snapshot(request, timing, span.id());
+  else if (request.verb == "query") response = query(request, timing, span.id());
+  else if (request.verb == "fork_scenario")
+    response = fork_scenario(request, timing, span.id());
   else if (request.verb == "stats") response = stats(request);
+  else if (request.verb == "metrics") response = metrics_snapshot(request);
   else
     response = Response::failure(
         request.id, util::invalid_argument("unknown verb '" + request.verb + "'"));
@@ -113,7 +138,8 @@ Response VerificationService::upload_configs(const Request& request) {
   return Response::success(request.id, std::move(result));
 }
 
-Response VerificationService::snapshot(const Request& request, util::Json& timing) {
+Response VerificationService::snapshot(const Request& request, util::Json& timing,
+                                       uint64_t parent_span) {
   util::Result<std::string> id = string_param(request, "submission");
   if (!id.ok()) return Response::failure(request.id, id.status());
   std::optional<SnapshotKey> key = SnapshotKey::parse(*id);
@@ -134,8 +160,10 @@ Response VerificationService::snapshot(const Request& request, util::Json& timin
 
   auto converge_start = std::chrono::steady_clock::now();
   util::Result<SnapshotStore::Lease> lease =
-      store_.get_or_build(*key, [this, &topology, &id]()
+      store_.get_or_build(*key, [this, &topology, &id, parent_span]()
                               -> util::Result<std::unique_ptr<StoredSnapshot>> {
+        obs::TraceSpan converge(spans_, "converge", parent_span);
+        converge.attr("snapshot", *id);
         auto entry = std::make_unique<StoredSnapshot>();
         auto emulation = std::make_unique<emu::Emulation>(options_.emulation);
         util::Status status = emulation->add_topology(*topology);
@@ -149,7 +177,7 @@ Response VerificationService::snapshot(const Request& request, util::Json& timin
         entry->snapshot = gnmi::Snapshot::capture(*emulation, *id);
         entry->emulation = std::move(emulation);
         entry->graph = std::make_unique<verify::ForwardingGraph>(entry->snapshot);
-        entry->cache = std::make_unique<verify::TraceCache>(*entry->graph);
+        entry->cache = std::make_unique<verify::TraceCache>(*entry->graph, metrics_);
         return entry;
       });
   if (!lease.ok()) return Response::failure(request.id, lease.status());
@@ -187,6 +215,7 @@ verify::QueryOptions VerificationService::query_options(
   // priming would mutate it, the shared TraceCache is the safe substitute.
   options.prime_lpm = false;
   options.cache = entry.cache.get();
+  options.metrics = metrics_;
   if (const util::Json* sources = find_param(request, "sources");
       sources != nullptr && sources->is_array())
     for (const util::Json& source : sources->as_array())
@@ -195,7 +224,8 @@ verify::QueryOptions VerificationService::query_options(
   return options;
 }
 
-Response VerificationService::query(const Request& request, util::Json& timing) {
+Response VerificationService::query(const Request& request, util::Json& timing,
+                                    uint64_t parent_span) {
   util::Result<SnapshotStore::Lease> lease = resolve_snapshot(request, "snapshot");
   if (!lease.ok()) return Response::failure(request.id, lease.status());
   const StoredSnapshot& entry = *lease->entry;
@@ -222,6 +252,8 @@ Response VerificationService::query(const Request& request, util::Json& timing) 
   size_t max_rows = bool_param(request, "full", false) ? 0 : options_.max_rows;
 
   auto verify_start = std::chrono::steady_clock::now();
+  obs::TraceSpan verify_span(spans_, "verify", parent_span);
+  verify_span.attr("kind", kind);
   util::Json result = util::Json::object();
   result["snapshot"] = entry.key.to_string();
   result["kind"] = kind;
@@ -260,7 +292,8 @@ Response VerificationService::query(const Request& request, util::Json& timing) 
   return Response::success(request.id, std::move(result));
 }
 
-Response VerificationService::fork_scenario(const Request& request, util::Json& timing) {
+Response VerificationService::fork_scenario(const Request& request, util::Json& timing,
+                                            uint64_t parent_span) {
   util::Result<SnapshotStore::Lease> base = resolve_snapshot(request, "base");
   if (!base.ok()) return Response::failure(request.id, base.status());
   const SnapshotStore::EntryPtr& base_entry = base->entry;
@@ -281,8 +314,10 @@ Response VerificationService::fork_scenario(const Request& request, util::Json& 
 
   auto converge_start = std::chrono::steady_clock::now();
   util::Result<SnapshotStore::Lease> lease = store_.get_or_build(
-      key, [this, &base_entry, &perturbations, &id]()
+      key, [this, &base_entry, &perturbations, &id, parent_span]()
                -> util::Result<std::unique_ptr<StoredSnapshot>> {
+        obs::TraceSpan converge(spans_, "converge", parent_span);
+        converge.attr("snapshot", id);
         std::unique_ptr<emu::Emulation> fork = base_entry->emulation->fork();
         if (fork == nullptr)
           return util::failed_precondition(
@@ -301,7 +336,7 @@ Response VerificationService::fork_scenario(const Request& request, util::Json& 
         entry->snapshot = gnmi::Snapshot::capture(*fork, id);
         entry->emulation = std::move(fork);
         entry->graph = std::make_unique<verify::ForwardingGraph>(entry->snapshot);
-        entry->cache = std::make_unique<verify::TraceCache>(*entry->graph);
+        entry->cache = std::make_unique<verify::TraceCache>(*entry->graph, metrics_);
         return entry;
       });
   if (!lease.ok()) return Response::failure(request.id, lease.status());
@@ -327,6 +362,7 @@ Response VerificationService::stats(const Request& request) {
   store["hits"] = store_stats.hits;
   store["misses"] = store_stats.misses;
   store["evictions"] = store_stats.evictions;
+  store["single_flight_joins"] = store_stats.single_flight_joins;
   store["trace_hits"] = store_stats.trace_hits;
   store["trace_misses"] = store_stats.trace_misses;
 
@@ -335,6 +371,7 @@ Response VerificationService::stats(const Request& request) {
   broker["completed"] = broker_stats.completed;
   broker["rejected"] = broker_stats.rejected;
   broker["expired"] = broker_stats.expired;
+  broker["expired_wait_us"] = broker_stats.expired_wait_us;
   broker["queued"] = broker_stats.queued;
   broker["executing"] = broker_stats.executing;
 
@@ -347,6 +384,25 @@ Response VerificationService::stats(const Request& request) {
     result["uploads"] = uploads_.size();
   }
   return Response::success(request.id, std::move(result));
+}
+
+Response VerificationService::metrics_snapshot(const Request& request) {
+  // Strict superset of stats: same summary object, plus the full
+  // registry and the recent span ring. `spans` caps the span dump
+  // (default 64, 0 = everything retained); `text` adds the Prometheus
+  // flavoured exposition for humans and scrapers.
+  Response response = stats(request);
+  if (!response.ok()) return response;
+  response.result["metrics"] = metrics_->to_json();
+  int64_t span_limit = 64;
+  if (const util::Json* limit = find_param(request, "spans");
+      limit != nullptr && limit->type() == util::Json::Type::kInt)
+    span_limit = limit->as_int();
+  if (span_limit < 0) span_limit = 0;
+  response.result["spans"] = spans_->to_json(static_cast<size_t>(span_limit));
+  response.result["spans_dropped"] = spans_->dropped();
+  if (bool_param(request, "text", false)) response.result["text"] = metrics_->to_text();
+  return response;
 }
 
 // ---------------------------------------------------------------------------

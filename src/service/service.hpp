@@ -11,9 +11,16 @@
 //                   perturbations, re-converge incrementally; the result
 //                   is itself stored and addressable
 //   stats           store / broker / request counters for observability
+//   metrics         stats superset: the full MetricsRegistry snapshot
+//                   (emu/verify/store/broker/scenario families), recent
+//                   trace spans, and optional text exposition
 //
 // Every response carries a `timing` object (queue_wait_us, converge_us,
 // verify_us, total_us) so clients can see where their latency went.
+// Deeper visibility comes from the injected (or service-owned)
+// obs::MetricsRegistry — every subsystem publishes into it — plus a
+// ring-buffer SpanCollector that records a causal span per request with
+// converge/verify child spans.
 //
 // Concurrency contract: stored snapshots are immutable once built; all
 // queries run with prime_lpm=false (the graph is shared and priming
@@ -29,6 +36,8 @@
 #include <mutex>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "service/broker.hpp"
 #include "service/protocol.hpp"
 #include "service/snapshot_store.hpp"
@@ -49,6 +58,15 @@ struct ServiceOptions {
   /// Row cap for rendered query results unless the request sets
   /// params.full = true.
   size_t max_rows = 1000;
+  /// Metrics registry every subsystem (store, broker, emulation, trace
+  /// caches, spans) publishes into. nullptr = the service owns a private
+  /// registry, so the metrics verb always answers; inject one to observe
+  /// the service in-process (tests do exactly this).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Span collector for request/converge/verify spans; nullptr = the
+  /// service owns one with `span_capacity` slots.
+  obs::SpanCollector* spans = nullptr;
+  size_t span_capacity = 1024;
 };
 
 class VerificationService {
@@ -73,6 +91,9 @@ class VerificationService {
 
   SnapshotStore& store() { return store_; }
   BrokerStats broker_stats() const { return broker_.stats(); }
+  /// The registry/collector actually in use (injected or service-owned).
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  obs::SpanCollector& spans() { return *spans_; }
 
   // Rendering helpers, exposed so tests can compare a wire answer with a
   // direct engine run byte for byte. max_rows = 0 means unlimited.
@@ -85,11 +106,18 @@ class VerificationService {
                                   size_t max_rows);
 
  private:
+  /// Stamps the shared registry into the store/broker/emulation options
+  /// before those members are constructed from them.
+  static ServiceOptions wire_observability(ServiceOptions options,
+                                           obs::MetricsRegistry* metrics);
+
   Response upload_configs(const Request& request);
-  Response snapshot(const Request& request, util::Json& timing);
-  Response query(const Request& request, util::Json& timing);
-  Response fork_scenario(const Request& request, util::Json& timing);
+  Response snapshot(const Request& request, util::Json& timing, uint64_t parent_span);
+  Response query(const Request& request, util::Json& timing, uint64_t parent_span);
+  Response fork_scenario(const Request& request, util::Json& timing,
+                         uint64_t parent_span);
   Response stats(const Request& request);
+  Response metrics_snapshot(const Request& request);
 
   /// Resolves a "<field>": "<snapshot id>" param to a pinned store entry.
   util::Result<SnapshotStore::Lease> resolve_snapshot(const Request& request,
@@ -98,6 +126,14 @@ class VerificationService {
   /// QueryOptions for serving `entry` under the concurrency contract.
   verify::QueryOptions query_options(const Request& request,
                                      const StoredSnapshot& entry) const;
+
+  /// Declared (and thus constructed) before options_/store_/broker_,
+  /// which all consume the resolved registry pointer.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<obs::SpanCollector> owned_spans_;
+  obs::SpanCollector* spans_ = nullptr;
+  obs::Counter* requests_counter_ = nullptr;
 
   ServiceOptions options_;
   SnapshotStore store_;

@@ -56,26 +56,45 @@ SnapshotKey key_for_fork(const SnapshotKey& base,
   return key;
 }
 
-SnapshotStore::SnapshotStore(StoreOptions options) : options_(options) {}
+SnapshotStore::SnapshotStore(StoreOptions options) : options_(options) {
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& metrics = *options_.metrics;
+    hits_counter_ = &metrics.counter("snapshot_store_hits");
+    misses_counter_ = &metrics.counter("snapshot_store_misses");
+    evictions_counter_ = &metrics.counter("snapshot_store_evictions");
+    joins_counter_ = &metrics.counter("snapshot_store_single_flight_joins");
+    entries_gauge_ = &metrics.gauge("snapshot_store_entries");
+    bytes_gauge_ = &metrics.gauge("snapshot_store_bytes");
+  }
+}
 
 util::Result<SnapshotStore::Lease> SnapshotStore::get_or_build(const SnapshotKey& key,
                                                                const Builder& builder) {
   const std::string id = key.to_string();
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    bool joined = false;
     for (;;) {
       auto it = slots_.find(id);
       if (it == slots_.end()) break;
       if (it->second.value != nullptr) {
         ++hits_;
+        if (hits_counter_ != nullptr) hits_counter_->add(1);
         lru_.splice(lru_.begin(), lru_, it->second.lru);
         return Lease{it->second.value, /*hit=*/true};
       }
       // Someone else is building this key; wait for them rather than
-      // duplicating a convergence run.
+      // duplicating a convergence run. Counted once per joining caller,
+      // however many times the condition variable wakes it.
+      if (!joined) {
+        joined = true;
+        ++single_flight_joins_;
+        if (joins_counter_ != nullptr) joins_counter_->add(1);
+      }
       build_done_.wait(lock);
     }
     ++misses_;
+    if (misses_counter_ != nullptr) misses_counter_->add(1);
     slots_[id].building = true;
   }
 
@@ -101,6 +120,10 @@ util::Result<SnapshotStore::Lease> SnapshotStore::get_or_build(const SnapshotKey
   slot.lru = lru_.begin();
   bytes_ += entry->bytes;
   evict_locked();
+  if (entries_gauge_ != nullptr) {
+    entries_gauge_->set(static_cast<int64_t>(lru_.size()));
+    bytes_gauge_->set(static_cast<int64_t>(bytes_));
+  }
   build_done_.notify_all();
   return Lease{std::move(entry), /*hit=*/false};
 }
@@ -124,6 +147,7 @@ void SnapshotStore::evict_locked() {
       retired_trace_misses_ += entry->cache->misses();
     }
     ++evictions_;
+    if (evictions_counter_ != nullptr) evictions_counter_->add(1);
     slots_.erase(it);  // leaseholders keep the entry alive
     lru_.pop_back();
   }
@@ -137,6 +161,7 @@ StoreStats SnapshotStore::stats() const {
   stats.hits = hits_;
   stats.misses = misses_;
   stats.evictions = evictions_;
+  stats.single_flight_joins = single_flight_joins_;
   stats.trace_hits = retired_trace_hits_;
   stats.trace_misses = retired_trace_misses_;
   for (const auto& [id, slot] : slots_) {

@@ -36,6 +36,7 @@
 #include "emu/emulation.hpp"
 #include "emu/topology.hpp"
 #include "gnmi/gnmi.hpp"
+#include "obs/metrics.hpp"
 #include "scenario/scenario.hpp"
 #include "util/status.hpp"
 #include "verify/forwarding_graph.hpp"
@@ -89,6 +90,11 @@ struct StoreOptions {
   /// Byte budget for retained entries; the most recently used entry is
   /// always kept even if it alone exceeds the budget.
   size_t byte_budget = 512u << 20;
+  /// Optional metrics sink: mirrors the snapshot_store_* family
+  /// (hits/misses/evictions/single-flight joins as counters,
+  /// entries/bytes as gauges). The plain StoreStats members stay
+  /// authoritative; stats() is a thin view either way.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct StoreStats {
@@ -97,6 +103,9 @@ struct StoreStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  /// Callers that blocked on another caller's in-flight build of the
+  /// same key instead of duplicating it (counted once per caller).
+  uint64_t single_flight_joins = 0;
   /// Aggregate TraceCache counters across live + evicted entries.
   uint64_t trace_hits = 0;
   uint64_t trace_misses = 0;
@@ -149,9 +158,18 @@ class SnapshotStore {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t single_flight_joins_ = 0;
   /// TraceCache counters of evicted entries, so stats stay cumulative.
   uint64_t retired_trace_hits_ = 0;
   uint64_t retired_trace_misses_ = 0;
+
+  /// Registry mirrors (null when no registry was injected).
+  obs::Counter* hits_counter_ = nullptr;
+  obs::Counter* misses_counter_ = nullptr;
+  obs::Counter* evictions_counter_ = nullptr;
+  obs::Counter* joins_counter_ = nullptr;
+  obs::Gauge* entries_gauge_ = nullptr;
+  obs::Gauge* bytes_gauge_ = nullptr;
 };
 
 }  // namespace mfv::service

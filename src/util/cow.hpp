@@ -15,10 +15,22 @@
 // an existing reference, which some owner would have to hold).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <utility>
 
 namespace mfv::util {
+
+/// Process-wide count of actual copy-on-write clones — mutate() calls
+/// that found shared storage and paid for a private copy. A fork that
+/// never triggers clones is the whole point of Cow, so this is the
+/// number to watch: the scenario runner samples it around a sweep and
+/// reports the delta as `scenario_cow_clones`.
+inline std::atomic<uint64_t>& cow_clone_count() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
 
 template <typename T>
 class Cow {
@@ -43,7 +55,10 @@ class Cow {
 
   /// Mutable access; clones the storage first if it is shared.
   T& mutate() {
-    if (data_.use_count() != 1) data_ = std::make_shared<T>(*data_);
+    if (data_.use_count() != 1) {
+      data_ = std::make_shared<T>(*data_);
+      cow_clone_count().fetch_add(1, std::memory_order_relaxed);
+    }
     return *data_;
   }
 

@@ -1,10 +1,12 @@
 #include "verify/queries.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <set>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "verify/trace_cache.hpp"
 
@@ -48,8 +50,9 @@ bool row_passes(const QueryOptions& options, const DispositionSet& dispositions)
 /// provided (service / session path), else a fresh query-local one.
 class CacheRef {
  public:
-  CacheRef(TraceCache* shared, const ForwardingGraph& graph) {
-    if (shared == nullptr) local_ = std::make_unique<TraceCache>(graph);
+  CacheRef(TraceCache* shared, const ForwardingGraph& graph,
+           obs::MetricsRegistry* metrics) {
+    if (shared == nullptr) local_ = std::make_unique<TraceCache>(graph, metrics);
     cache_ = shared != nullptr ? shared : local_.get();
   }
   TraceCache& operator*() { return *cache_; }
@@ -58,6 +61,26 @@ class CacheRef {
   std::unique_ptr<TraceCache> local_;
   TraceCache* cache_ = nullptr;
 };
+
+/// Resolves the per-shard latency histogram once per sweep (nullptr when
+/// no registry is attached) and times one shard around a callable.
+obs::Histogram* shard_latency_histogram(const QueryOptions& options) {
+  if (options.metrics == nullptr) return nullptr;
+  return &options.metrics->latency_histogram_us("verify_shard_latency_us");
+}
+
+template <typename Fn>
+void timed_shard(obs::Histogram* histogram, Fn&& fn) {
+  if (histogram == nullptr) {
+    fn();
+    return;
+  }
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  histogram->observe(std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count());
+}
 
 }  // namespace
 
@@ -90,16 +113,19 @@ ReachabilityResult reachability(const ForwardingGraph& graph, const QueryOptions
   const size_t class_count = classes.size();
   std::vector<DispositionSet> matrix(sources.size() * class_count);
   bool cached = use_cached_engine(options, threads);
-  CacheRef cache(options.cache, graph);
+  CacheRef cache(options.cache, graph, options.metrics);
+  obs::Histogram* shard_latency = shard_latency_histogram(options);
   util::parallel_for_shards(threads, class_count, [&](size_t c) {
-    net::Ipv4Address representative = classes[c].representative();
-    if (cached) (*cache).warm(representative);
-    for (size_t s = 0; s < sources.size(); ++s) {
-      matrix[s * class_count + c] =
-          cached ? (*cache).dispositions(sources[s], representative)
-                 : trace_flow(graph, sources[s], representative, options.trace)
-                       .dispositions;
-    }
+    timed_shard(shard_latency, [&] {
+      net::Ipv4Address representative = classes[c].representative();
+      if (cached) (*cache).warm(representative);
+      for (size_t s = 0; s < sources.size(); ++s) {
+        matrix[s * class_count + c] =
+            cached ? (*cache).dispositions(sources[s], representative)
+                   : trace_flow(graph, sources[s], representative, options.trace)
+                         .dispositions;
+      }
+    });
   });
 
   result.flows = sources.size() * class_count;
@@ -176,8 +202,9 @@ DifferentialResult differential_reachability(const ForwardingGraph& base,
   }
   const size_t class_count = classes.size();
   bool cached = use_cached_engine(options, threads);
-  CacheRef base_cache(options.cache, base);
-  CacheRef candidate_cache(options.candidate_cache, candidate);
+  CacheRef base_cache(options.cache, base, options.metrics);
+  CacheRef candidate_cache(options.candidate_cache, candidate, options.metrics);
+  obs::Histogram* shard_latency = shard_latency_histogram(options);
   // Cell (s, c): the two disposition sets plus a differ flag; only
   // differing cells become rows, in source-major order like the legacy
   // engine.
@@ -185,26 +212,28 @@ DifferentialResult differential_reachability(const ForwardingGraph& base,
   std::vector<DispositionSet> candidate_matrix(sources.size() * class_count);
   std::vector<uint8_t> differs(sources.size() * class_count, 0);
   util::parallel_for_shards(threads, class_count, [&](size_t c) {
-    net::Ipv4Address representative = classes[c].representative();
-    if (cached) {
-      (*base_cache).warm(representative);
-      (*candidate_cache).warm(representative);
-    }
-    for (size_t s = 0; s < sources.size(); ++s) {
-      size_t cell = s * class_count + c;
+    timed_shard(shard_latency, [&] {
+      net::Ipv4Address representative = classes[c].representative();
       if (cached) {
-        base_matrix[cell] = (*base_cache).dispositions(sources[s], representative);
-        candidate_matrix[cell] =
-            (*candidate_cache).dispositions(sources[s], representative);
-      } else {
-        base_matrix[cell] =
-            trace_flow(base, sources[s], representative, options.trace).dispositions;
-        candidate_matrix[cell] =
-            trace_flow(candidate, sources[s], representative, options.trace)
-                .dispositions;
+        (*base_cache).warm(representative);
+        (*candidate_cache).warm(representative);
       }
-      differs[cell] = base_matrix[cell] == candidate_matrix[cell] ? 0 : 1;
-    }
+      for (size_t s = 0; s < sources.size(); ++s) {
+        size_t cell = s * class_count + c;
+        if (cached) {
+          base_matrix[cell] = (*base_cache).dispositions(sources[s], representative);
+          candidate_matrix[cell] =
+              (*candidate_cache).dispositions(sources[s], representative);
+        } else {
+          base_matrix[cell] =
+              trace_flow(base, sources[s], representative, options.trace).dispositions;
+          candidate_matrix[cell] =
+              trace_flow(candidate, sources[s], representative, options.trace)
+                  .dispositions;
+        }
+        differs[cell] = base_matrix[cell] == candidate_matrix[cell] ? 0 : 1;
+      }
+    });
   });
 
   result.flows = sources.size() * class_count;
@@ -310,18 +339,21 @@ PairwiseResult pairwise_reachability(const ForwardingGraph& graph,
     loopbacks[d] = device_loopback(graph.snapshot(), nodes[d]);
 
   bool cached = use_cached_engine(options, threads);
-  CacheRef cache(options.cache, graph);
+  CacheRef cache(options.cache, graph, options.metrics);
+  obs::Histogram* shard_latency = shard_latency_histogram(options);
   std::vector<uint8_t> reachable(node_count * node_count, 0);
   util::parallel_for_shards(threads, node_count, [&](size_t d) {
     if (!loopbacks[d]) return;
-    for (size_t s = 0; s < node_count; ++s) {
-      if (s == d) continue;
-      bool ok =
-          cached
-              ? (*cache).dispositions(nodes[s], *loopbacks[d]).contains(Disposition::kAccepted)
-              : trace_flow(graph, nodes[s], *loopbacks[d], options.trace).reachable();
-      reachable[s * node_count + d] = ok ? 1 : 0;
-    }
+    timed_shard(shard_latency, [&] {
+      for (size_t s = 0; s < node_count; ++s) {
+        if (s == d) continue;
+        bool ok =
+            cached
+                ? (*cache).dispositions(nodes[s], *loopbacks[d]).contains(Disposition::kAccepted)
+                : trace_flow(graph, nodes[s], *loopbacks[d], options.trace).reachable();
+        reachable[s * node_count + d] = ok ? 1 : 0;
+      }
+    });
   });
 
   for (size_t s = 0; s < node_count; ++s) {

@@ -14,6 +14,10 @@
 #include "verify/packet_classes.hpp"
 #include "verify/trace.hpp"
 
+namespace mfv::obs {
+class MetricsRegistry;
+}
+
 namespace mfv::verify {
 
 class TraceCache;
@@ -54,6 +58,11 @@ struct QueryOptions {
   /// same graph — the service disables it and relies on the shared
   /// TraceCache instead, which amortizes the trie walks across requests.
   bool prime_lpm = true;
+  /// Optional metrics sink. Sharded sweeps record per-shard wall time
+  /// into the `verify_shard_latency_us` histogram, and query-local
+  /// TraceCaches mirror their hit/miss counters into the registry.
+  /// nullptr = no instrumentation (the hot loops pay one pointer test).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // ---------------------------------------------------------------------------

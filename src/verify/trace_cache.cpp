@@ -24,11 +24,15 @@ class ClassSolver {
  public:
   ClassSolver(const ForwardingGraph& graph, net::Ipv4Address destination,
               const std::map<net::NodeName, uint32_t>& node_index,
-              std::unordered_map<uint64_t, TraceMemoEntry>& memo)
+              std::unordered_map<uint64_t, TraceMemoEntry>& memo,
+              std::atomic<uint64_t>* reexpansions,
+              obs::Counter* reexpansions_counter)
       : graph_(graph),
         destination_(destination),
         node_index_(node_index),
         memo_(memo),
+        reexpansions_(reexpansions),
+        reexpansions_counter_(reexpansions_counter),
         node_on_stack_(node_index.size(), 0) {}
 
   void solve_all() {
@@ -102,6 +106,11 @@ class ClassSolver {
           reusable = false;
           break;
         }
+      }
+      if (!reusable) {
+        if (reexpansions_ != nullptr)
+          reexpansions_->fetch_add(1, std::memory_order_relaxed);
+        if (reexpansions_counter_ != nullptr) reexpansions_counter_->add(1);
       }
       if (reusable) {
         Outcome hit;
@@ -218,16 +227,25 @@ class ClassSolver {
   net::Ipv4Address destination_;
   const std::map<net::NodeName, uint32_t>& node_index_;
   std::unordered_map<uint64_t, TraceMemoEntry>& memo_;
+  std::atomic<uint64_t>* reexpansions_;
+  obs::Counter* reexpansions_counter_;
   std::vector<uint32_t> node_on_stack_;  // per-node on-chain counts
 };
 
 }  // namespace
 
-TraceCache::TraceCache(const ForwardingGraph& graph) : graph_(graph) {
+TraceCache::TraceCache(const ForwardingGraph& graph,
+                       obs::MetricsRegistry* metrics)
+    : graph_(graph) {
   uint32_t index = 0;
   for (const net::NodeName& node : graph.nodes()) {
     node_index_.emplace(node, index++);
     node_names_.push_back(node);
+  }
+  if (metrics != nullptr) {
+    hits_counter_ = &metrics->counter("trace_cache_hits");
+    misses_counter_ = &metrics->counter("trace_cache_misses");
+    reexpansions_counter_ = &metrics->counter("trace_cache_reexpansions");
   }
 }
 
@@ -241,14 +259,18 @@ TraceCache::ClassTable& TraceCache::table_for(net::Ipv4Address destination) {
   ClassTable& table = **slot;
   bool solved_here = false;
   std::call_once(table.once, [&] {
-    ClassSolver solver(graph_, destination, node_index_, table.memo);
+    ClassSolver solver(graph_, destination, node_index_, table.memo,
+                       &reexpansions_, reexpansions_counter_);
     solver.solve_all();
     solved_here = true;
   });
-  if (solved_here)
+  if (solved_here) {
     misses_.fetch_add(1, std::memory_order_relaxed);
-  else
+    if (misses_counter_ != nullptr) misses_counter_->add(1);
+  } else {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    if (hits_counter_ != nullptr) hits_counter_->add(1);
+  }
   return table;
 }
 

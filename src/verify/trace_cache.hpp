@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "verify/disposition.hpp"
 #include "verify/forwarding_graph.hpp"
 
@@ -52,7 +53,11 @@ struct TraceMemoEntry {
 
 class TraceCache {
  public:
-  explicit TraceCache(const ForwardingGraph& graph);
+  /// `metrics`, when set, mirrors hits/misses/re-expansions into the
+  /// trace_cache_* counter family; the local atomics stay authoritative
+  /// for the accessors below either way.
+  explicit TraceCache(const ForwardingGraph& graph,
+                      obs::MetricsRegistry* metrics = nullptr);
 
   /// Disposition set of the flow injected at `source` destined to
   /// `destination` (any address of a packet class, typically its
@@ -73,6 +78,11 @@ class TraceCache {
   /// memoization rate across every request served from this cache.
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Memoized continuations found but re-expanded in context because a
+  /// footprint node was already on the caller's path (see ClassSolver).
+  uint64_t reexpansions() const {
+    return reexpansions_.load(std::memory_order_relaxed);
+  }
 
   /// Thread-safety: concurrent calls are safe for any mix of
   /// destinations; each class table is computed exactly once (callers
@@ -97,6 +107,11 @@ class TraceCache {
   std::unordered_map<uint32_t, std::unique_ptr<ClassTable>> tables_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> reexpansions_{0};
+  /// Optional registry mirrors (null when no registry was injected).
+  obs::Counter* hits_counter_ = nullptr;
+  obs::Counter* misses_counter_ = nullptr;
+  obs::Counter* reexpansions_counter_ = nullptr;
 };
 
 }  // namespace mfv::verify

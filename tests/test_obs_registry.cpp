@@ -1,0 +1,253 @@
+// Unit tests for the observability core (DESIGN.md §9): lock-cheap
+// instruments, deterministic histogram bucketing, injectable-clock span
+// durations, and the bounded span ring. The concurrency tests here also
+// run under the standalone TSan binary (test_obs_registry_tsan) so the
+// relaxed-atomic hot paths and the registration mutex are race-checked on
+// every tier-1 ctest run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace mfv::obs {
+namespace {
+
+TEST(Counter, AddsMonotonically) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Gauge, SetAddAndNegativeValues) {
+  Gauge gauge;
+  gauge.set(10);
+  gauge.add(-25);
+  EXPECT_EQ(gauge.value(), -15);
+}
+
+TEST(Histogram, DeterministicBuckets) {
+  // bucket i counts v <= boundaries[i]; the trailing bucket is overflow.
+  Histogram histogram({10, 100, 1000});
+  for (int64_t v : {-5, 0, 10}) histogram.observe(v);   // <= 10
+  for (int64_t v : {11, 100}) histogram.observe(v);     // <= 100
+  histogram.observe(500);                               // <= 1000
+  for (int64_t v : {1001, 9999}) histogram.observe(v);  // overflow
+  EXPECT_EQ(histogram.bucket_counts(), (std::vector<uint64_t>{3, 2, 1, 2}));
+  EXPECT_EQ(histogram.count(), 8u);
+  EXPECT_EQ(histogram.sum(), -5 + 0 + 10 + 11 + 100 + 500 + 1001 + 9999);
+}
+
+TEST(Histogram, BoundariesAreSortedAndDeduped) {
+  Histogram histogram({1000, 10, 10, 100});
+  EXPECT_EQ(histogram.boundaries(), (std::vector<int64_t>{10, 100, 1000}));
+  EXPECT_EQ(histogram.bucket_counts().size(), 4u);
+}
+
+TEST(Registry, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("hits");
+  first.add(3);
+  EXPECT_EQ(&registry.counter("hits"), &first);
+  EXPECT_EQ(registry.counter("hits").value(), 3u);
+  // First registration wins, including histogram boundaries.
+  Histogram& histogram = registry.histogram("lat", {10, 20});
+  EXPECT_EQ(&registry.histogram("lat", {1, 2, 3}), &histogram);
+  EXPECT_EQ(histogram.boundaries(), (std::vector<int64_t>{10, 20}));
+}
+
+TEST(Registry, ConcurrentRegistrationAndUpdates) {
+  // Hammer one registry from many threads: every thread re-resolves the
+  // instruments by name (registration mutex) and updates them (relaxed
+  // atomics). Totals must be exact once the writers join.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry] {
+      for (int i = 0; i < kIterations; ++i) {
+        registry.counter("shared_counter").add();
+        registry.gauge("shared_gauge").add(1);
+        registry.histogram("shared_hist", {10, 100}).observe(i % 200);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  constexpr uint64_t kTotal = uint64_t{kThreads} * kIterations;
+  EXPECT_EQ(registry.counter("shared_counter").value(), kTotal);
+  EXPECT_EQ(registry.gauge("shared_gauge").value(), static_cast<int64_t>(kTotal));
+  Histogram& histogram = registry.histogram("shared_hist", {10, 100});
+  EXPECT_EQ(histogram.count(), kTotal);
+  // i % 200: 0..10 → bucket 0 (11 values), 11..100 → bucket 1 (90),
+  // 101..199 → overflow (99); exact per thread, so exact in total.
+  EXPECT_EQ(histogram.bucket_counts(),
+            (std::vector<uint64_t>{kThreads * 11 * (kIterations / 200),
+                                   kThreads * 90 * (kIterations / 200),
+                                   kThreads * 99 * (kIterations / 200)}));
+}
+
+TEST(Registry, JsonSnapshotShape) {
+  MetricsRegistry registry;
+  registry.counter("c").add(7);
+  registry.gauge("g").set(-2);
+  registry.histogram("h", {10}).observe(5);
+  util::Json snapshot = registry.to_json();
+  EXPECT_EQ(snapshot["counters"]["c"].as_int(), 7);
+  EXPECT_EQ(snapshot["gauges"]["g"].as_int(), -2);
+  EXPECT_EQ(snapshot["histograms"]["h"]["count"].as_int(), 1);
+  const util::JsonArray& counts = snapshot["histograms"]["h"]["counts"].as_array();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0].as_int(), 1);
+  EXPECT_EQ(counts[1].as_int(), 0);
+
+  std::string text = registry.to_text();
+  EXPECT_NE(text.find("c 7"), std::string::npos);
+  EXPECT_NE(text.find("g -2"), std::string::npos);
+  EXPECT_NE(text.find("h_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("h_count 1"), std::string::npos);
+}
+
+TEST(Span, InjectedClockGivesExactDurations) {
+  std::atomic<int64_t> now{1000};
+  SpanCollectorOptions options;
+  options.clock = [&now] { return now.load(); };
+  SpanCollector collector(options);
+
+  TraceSpan span(&collector, "converge");
+  span.attr("snapshot", "abc");
+  now = 1250;
+  span.end();
+
+  std::vector<SpanRecord> spans = collector.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "converge");
+  EXPECT_EQ(spans[0].start_us, 1000);
+  EXPECT_EQ(spans[0].duration_us, 250);
+  ASSERT_EQ(spans[0].attributes.size(), 1u);
+  EXPECT_EQ(spans[0].attributes[0].first, "snapshot");
+  EXPECT_EQ(spans[0].attributes[0].second, "abc");
+}
+
+TEST(Span, EndIsIdempotentAndDestructorRecordsOnce) {
+  SpanCollector collector;
+  {
+    TraceSpan span(&collector, "once");
+    span.end();
+    span.end();  // second end is a no-op; destructor must not re-record
+  }
+  EXPECT_EQ(collector.snapshot().size(), 1u);
+}
+
+TEST(Span, ParentLinkage) {
+  SpanCollector collector;
+  TraceSpan root(&collector, "request");
+  TraceSpan child(&collector, "verify", root.id());
+  EXPECT_NE(root.id(), 0u);
+  EXPECT_NE(child.id(), root.id());
+  child.end();
+  root.end();
+
+  std::vector<SpanRecord> spans = collector.snapshot();
+  ASSERT_EQ(spans.size(), 2u);  // child ended first → oldest
+  EXPECT_EQ(spans[0].name, "verify");
+  EXPECT_EQ(spans[0].parent, root.id());
+  EXPECT_EQ(spans[1].name, "request");
+  EXPECT_EQ(spans[1].parent, 0u);
+}
+
+TEST(Span, NullCollectorIsCompleteNoOp) {
+  TraceSpan span(nullptr, "ghost");
+  EXPECT_EQ(span.id(), 0u);
+  span.attr("k", "v");  // must not crash or allocate a record anywhere
+  span.end();
+  TraceSpan defaulted;
+  defaulted.end();
+}
+
+TEST(Span, MoveTransfersOwnership) {
+  SpanCollector collector;
+  {
+    TraceSpan span(&collector, "moved");
+    TraceSpan stolen = std::move(span);
+    span.end();  // moved-from: no-op
+    EXPECT_EQ(collector.snapshot().size(), 0u);
+    stolen.end();
+  }
+  EXPECT_EQ(collector.snapshot().size(), 1u);
+}
+
+TEST(Span, RingOverflowDropsOldestAndCountsDrops) {
+  MetricsRegistry registry;
+  SpanCollectorOptions options;
+  options.capacity = 4;
+  SpanCollector collector(options, &registry);
+
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span(&collector, "span" + std::to_string(i));
+  }
+
+  std::vector<SpanRecord> spans = collector.snapshot();
+  ASSERT_EQ(spans.size(), 4u);  // newest four survive, oldest-first
+  EXPECT_EQ(spans[0].name, "span6");
+  EXPECT_EQ(spans[3].name, "span9");
+  EXPECT_EQ(collector.dropped(), 6u);
+  EXPECT_EQ(registry.counter("obs_spans_dropped").value(), 6u);
+}
+
+TEST(Span, JsonLimitKeepsNewestOldestFirst) {
+  SpanCollector collector;
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span(&collector, "s" + std::to_string(i));
+  }
+  util::Json all = collector.to_json();
+  ASSERT_EQ(all.as_array().size(), 5u);
+  util::Json newest = collector.to_json(2);
+  ASSERT_EQ(newest.as_array().size(), 2u);
+  EXPECT_EQ(newest.as_array()[0]["name"].as_string(), "s3");
+  EXPECT_EQ(newest.as_array()[1]["name"].as_string(), "s4");
+}
+
+TEST(Span, ConcurrentRecordingIsSafeAndBounded) {
+  MetricsRegistry registry;
+  SpanCollectorOptions options;
+  options.capacity = 64;
+  SpanCollector collector(options, &registry);
+
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&collector, t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span(&collector, "worker");
+        span.attr("thread", std::to_string(t));
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  EXPECT_EQ(collector.snapshot().size(), 64u);
+  constexpr uint64_t kTotal = uint64_t{kThreads} * kSpansPerThread;
+  EXPECT_EQ(collector.dropped(), kTotal - 64);
+  EXPECT_EQ(registry.counter("obs_spans_dropped").value(), kTotal - 64);
+  // Ids are unique under concurrency: the surviving ring must hold 64
+  // distinct ids.
+  std::vector<SpanRecord> spans = collector.snapshot();
+  std::vector<uint64_t> ids;
+  for (const SpanRecord& span : spans) ids.push_back(span.id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+}  // namespace
+}  // namespace mfv::obs

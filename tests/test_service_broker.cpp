@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "service/broker.hpp"
 
 namespace mfv::service {
@@ -225,6 +226,57 @@ TEST(Broker, DeadlineAndWaitComeFromOneClockSampleAtExecutionStart) {
   blocker.get();
   second_blocker.get();
   broker.drain();
+}
+
+TEST(Broker, ExpiredWhileQueuedPublishesExactMetrics) {
+  // The injected clock makes the expired-wait histogram deterministic:
+  // the doomed request waits exactly 20 ms on the broker's own clock, so
+  // the registry must show one expiry with that exact wait, landing in
+  // the le=100000 bucket of the default latency boundaries.
+  obs::MetricsRegistry registry;
+  const auto base = std::chrono::steady_clock::now();
+  std::atomic<int64_t> offset_us{0};
+  Gate gate;
+  BrokerOptions options;
+  options.threads = 1;
+  options.metrics = &registry;
+  options.clock = [&] { return base + std::chrono::microseconds(offset_us.load()); };
+  Broker broker(options, [&](const Request& request, const ExecContext&) {
+    if (request.id == 0) gate.block();
+    return Response::success(request.id, util::Json::object());
+  });
+
+  auto blocker = broker.submit(make_request(0));
+  gate.wait_for_blocked(1);
+  auto doomed = broker.submit(make_request(1, Priority::kBatch, /*deadline_ms=*/10));
+  EXPECT_EQ(registry.gauge("broker_queued").value(), 1);
+  offset_us.store(20'000);
+  gate.open();
+  EXPECT_EQ(doomed.get().code, util::StatusCode::kDeadlineExceeded);
+  blocker.get();
+  broker.drain();
+
+  EXPECT_EQ(registry.counter("broker_accepted").value(), 2u);
+  EXPECT_EQ(registry.counter("broker_expired").value(), 1u);
+  EXPECT_EQ(registry.counter("broker_completed").value(), 1u);  // the blocker
+  EXPECT_EQ(registry.counter("broker_rejected").value(), 0u);
+  EXPECT_EQ(registry.gauge("broker_queued").value(), 0);
+  EXPECT_EQ(registry.gauge("broker_executing").value(), 0);
+
+  obs::Histogram& expired_wait = registry.latency_histogram_us("broker_expired_wait_us");
+  EXPECT_EQ(expired_wait.count(), 1u);
+  EXPECT_EQ(expired_wait.sum(), 20'000);
+  // Boundaries {10, 100, 1000, 10000, 100000, ...}: 20'000 us → index 4.
+  EXPECT_EQ(expired_wait.bucket_counts()[4], 1u);
+  // The expiry never reached the completed path, so the queue-wait
+  // histogram holds only the blocker's (zero-wait) sample.
+  obs::Histogram& queue_wait = registry.latency_histogram_us("broker_queue_wait_us");
+  EXPECT_EQ(queue_wait.count(), 1u);
+  EXPECT_EQ(queue_wait.sum(), 0);
+  // The plain accessors stay authoritative and agree with the registry.
+  BrokerStats stats = broker.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.expired_wait_us, 20'000);
 }
 
 TEST(Broker, DrainFinishesInFlightAndRejectsNewWork) {

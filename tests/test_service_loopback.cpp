@@ -180,6 +180,71 @@ TEST(ServiceLoopback, FullRoundTrip) {
   EXPECT_EQ(unknown->code, util::StatusCode::kInvalidArgument);
 }
 
+TEST(ServiceLoopback, MetricsVerbIsStatsSupersetWithRegistryParity) {
+  obs::MetricsRegistry registry;
+  ServiceOptions service_options;
+  service_options.metrics = &registry;
+  Harness harness("metrics", service_options);
+  emu::Topology topology = test_topology();
+  Client client = harness.connect();
+  const std::string snapshot_id =
+      build_snapshot(client, topology, /*expect_store_hit=*/false);
+
+  Request query = make_request(5, "query");
+  query.params["snapshot"] = snapshot_id;
+  query.params["kind"] = "reachability";
+  ASSERT_TRUE(client.call(query).ok());
+
+  Request metrics_request = make_request(6, "metrics");
+  metrics_request.params["text"] = true;
+  auto metrics = client.call(metrics_request);
+  ASSERT_TRUE(metrics.ok() && metrics->ok()) << metrics.status().to_string();
+
+  // Superset: every stats field is present alongside the registry dump.
+  auto stats = client.call(make_request(7, "stats"));
+  ASSERT_TRUE(stats.ok() && stats->ok());
+  for (const auto& [key, value] : stats->result.members()) {
+    if (key == "timing" || key == "broker" || key == "requests") continue;
+    const util::Json* mirrored = metrics->result.find(key);
+    ASSERT_NE(mirrored, nullptr) << "stats field '" << key << "' missing from metrics";
+    EXPECT_EQ(mirrored->dump(), value.dump()) << "stats field '" << key << "' differs";
+  }
+  ASSERT_NE(metrics->result.find("broker"), nullptr);
+  ASSERT_NE(metrics->result.find("requests"), nullptr);
+
+  // Parity: every counter in the wire answer matches the in-process
+  // registry — excluding the broker_/service_ families, which keep moving
+  // between the wire snapshot and this assertion (the broker finishes its
+  // own bookkeeping after the response callback fires).
+  const util::Json* counters = metrics->result.find("metrics")->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GT(counters->members().size(), 0u);
+  bool saw_emu = false, saw_cache = false, saw_store = false;
+  for (const auto& [name, value] : counters->members()) {
+    if (name.rfind("broker_", 0) == 0 || name.rfind("service_", 0) == 0) continue;
+    saw_emu = saw_emu || name.rfind("emu_", 0) == 0;
+    saw_cache = saw_cache || name.rfind("trace_cache_", 0) == 0;
+    saw_store = saw_store || name.rfind("snapshot_store_", 0) == 0;
+    EXPECT_EQ(static_cast<uint64_t>(value.as_int()), registry.counter(name).value())
+        << "counter '" << name << "' drifted from the injected registry";
+  }
+  EXPECT_TRUE(saw_emu && saw_cache && saw_store)
+      << "wire metrics must cover the emu/verify/store families";
+
+  // The text exposition rides along and mentions a counter we know fired.
+  const util::Json* text = metrics->result.find("text");
+  ASSERT_NE(text, nullptr);
+  EXPECT_NE(text->as_string().find("emu_convergence_runs"), std::string::npos);
+
+  // Span dump: present, bounded by the requested cap.
+  metrics_request.id = 8;
+  metrics_request.params["spans"] = 2;
+  auto capped = client.call(metrics_request);
+  ASSERT_TRUE(capped.ok() && capped->ok());
+  EXPECT_LE(capped->result.find("spans")->as_array().size(), 2u);
+  EXPECT_GT(capped->result.find("spans")->as_array().size(), 0u);
+}
+
 TEST(ServiceLoopback, ParallelClientsMatchSerialSession) {
   emu::Topology topology = test_topology();
 

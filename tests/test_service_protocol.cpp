@@ -165,6 +165,57 @@ TEST(Decode, MalformedPayloads) {
   EXPECT_EQ(request->verb, "stats");
 }
 
+TEST_F(SocketPair, MetricsVerbRoundTripsOverTheWire) {
+  // The metrics verb is plain protocol surface: its request (with the
+  // span-cap and text params) frames, reads back, and decodes intact.
+  Request request;
+  request.id = 31;
+  request.verb = "metrics";
+  request.priority = Priority::kInteractive;
+  request.params = util::Json::object();
+  request.params["spans"] = 16;
+  request.params["text"] = true;
+
+  ASSERT_TRUE(write_frame(fds_[0], request.to_json().dump()).ok());
+  std::string payload;
+  ASSERT_TRUE(read_frame(fds_[1], payload).ok());
+  auto decoded = decode_request(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded->verb, "metrics");
+  EXPECT_EQ(decoded->id, 31u);
+  EXPECT_EQ(decoded->params.find("spans")->as_int(), 16);
+  EXPECT_TRUE(decoded->params.find("text")->as_bool());
+}
+
+TEST_F(SocketPair, TruncatedMetricsFrameFailsCleanly) {
+  // Adversarial truncation at both layers. A frame that announces the full
+  // metrics request but hangs up mid-payload is a framing error, not a
+  // hang or a partial decode...
+  const std::string full = [] {
+    Request request;
+    request.verb = "metrics";
+    request.params = util::Json::object();
+    request.params["spans"] = 16;
+    return request.to_json().dump();
+  }();
+  uint32_t length = static_cast<uint32_t>(full.size());
+  const char header[4] = {static_cast<char>(length >> 24), static_cast<char>(length >> 16),
+                          static_cast<char>(length >> 8), static_cast<char>(length)};
+  ASSERT_EQ(::send(fds_[0], header, 4, 0), 4);
+  ASSERT_EQ(::send(fds_[0], full.data(), full.size() / 2, 0),
+            static_cast<ssize_t>(full.size() / 2));
+  close(fds_[0]);
+  fds_[0] = -1;
+  std::string payload;
+  EXPECT_EQ(read_frame(fds_[1], payload).code(), util::StatusCode::kInternal);
+
+  // ...and a frame whose *payload* is cut (correct length prefix, broken
+  // JSON inside) fails at decode for every truncation point.
+  for (size_t cut = 1; cut < full.size(); cut += 7)
+    EXPECT_FALSE(decode_request(full.substr(0, cut)).ok())
+        << "truncation at byte " << cut << " must not decode";
+}
+
 TEST(Decode, WireDepthLimitApplies) {
   // 80 nested arrays exceed kWireParseLimits.max_depth = 64 even though
   // the default parse limit (128) would accept them.
