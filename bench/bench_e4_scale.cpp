@@ -9,10 +9,14 @@
 // wall-clock cost as topologies grow.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <string>
+#include <thread>
 
 #include "bench_json.hpp"
 #include "emu/emulation.hpp"
+#include "gnmi/gnmi.hpp"
 #include "orch/cluster.hpp"
 #include "workload/generator.hpp"
 
@@ -75,6 +79,56 @@ void report() {
   std::printf("\n");
 }
 
+// Serial vs sharded kernel on one 200-router WAN (DESIGN.md §10). Each
+// row records wall-clock, speedup over the serial row, and whether the
+// converged snapshot is byte-identical to serial — the sharded kernel's
+// contract. Speedup is bounded by the cores the host actually has, so
+// the row carries host_cores; on a single-core machine every shard count
+// serializes onto one core and the barrier overhead is what's measured.
+void shard_sweep() {
+  const unsigned host_cores = std::thread::hardware_concurrency();
+  std::printf("=== E4a addendum: sharded kernel, 200-router WAN (%u host cores) ===\n",
+              host_cores);
+  std::printf("%-8s %-12s %-10s %s\n", "shards", "wall_ms", "speedup", "identical");
+
+  emu::Topology topology = workload::wan_topology({.routers = 200, .seed = 11});
+  std::string serial_snapshot;
+  double serial_ms = 0.0;
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    emu::EmulationOptions options;
+    options.shards = shards;
+    emu::Emulation emulation(options);
+    if (!emulation.add_topology(topology).ok()) return;
+    emulation.start_all();
+    auto begin = std::chrono::steady_clock::now();
+    bool converged = emulation.run_to_convergence();
+    auto end = std::chrono::steady_clock::now();
+    double wall_ms =
+        std::chrono::duration<double, std::milli>(end - begin).count();
+    std::string snapshot =
+        gnmi::Snapshot::capture(emulation, "snap").to_json().dump();
+    if (shards == 1) {
+      serial_snapshot = snapshot;
+      serial_ms = wall_ms;
+    }
+    bool identical = snapshot == serial_snapshot;
+    double speedup = wall_ms > 0.0 ? serial_ms / wall_ms : 0.0;
+    std::printf("%-8u %-12.1f %-10.2f %s\n", shards, wall_ms, speedup,
+                identical ? "yes" : "NO");
+    mfv::util::Json fields = mfv::util::Json::object();
+    fields["routers"] = 200;
+    fields["shards"] = static_cast<int>(shards);
+    fields["host_cores"] = static_cast<int>(host_cores);
+    fields["wall_ms"] = wall_ms;
+    fields["speedup_vs_serial"] = speedup;
+    fields["identical_to_serial"] = identical;
+    fields["converged"] = converged;
+    fields["events"] = emulation.kernel().executed();
+    mfvbench::timing("E4A_SHARD", fields);
+  }
+  std::printf("\n");
+}
+
 void BM_EmulationWallClock(benchmark::State& state) {
   int routers = static_cast<int>(state.range(0));
   emu::Topology topology = workload::wan_topology({.routers = routers, .seed = 11});
@@ -115,8 +169,10 @@ BENCHMARK(BM_SchedulerThroughput)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  mfvbench::JsonReport::instance().init(&argc, argv, "bench_e4_scale");
+  mfvbench::JsonReport::instance().init(&argc, argv, "bench_e4_scale",
+                                        "BENCH_emu.json");
   report();
+  shard_sweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   mfvbench::JsonReport::instance().flush();

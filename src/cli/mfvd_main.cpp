@@ -30,7 +30,7 @@ void handle_signal(int) { g_stop = 1; }
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--socket PATH | --tcp PORT] [--threads N] [--queue N]\n"
-               "          [--budget-mb N] [--query-threads N] [--max-rows N]\n"
+               "          [--budget-mb N] [--query-threads N] [--max-rows N] [--shards N]\n"
                "\n"
                "  --socket PATH      unix-domain socket to listen on (default\n"
                "                     /tmp/mfvd.sock)\n"
@@ -40,6 +40,8 @@ void usage(const char* argv0) {
                "  --budget-mb N      snapshot store byte budget in MiB (default 512)\n"
                "  --query-threads N  threads per individual query (default 1)\n"
                "  --max-rows N       row cap for non-full query answers\n"
+               "  --shards N         event-loop shards per emulation (default 1 =\n"
+               "                     serial kernel; results are bit-identical)\n"
                "\n"
                "Log verbosity comes from MFV_LOG_LEVEL (debug|info|warn|error|off).\n",
                argv0);
@@ -80,6 +82,8 @@ int main(int argc, char** argv) {
       service_options.query_threads = static_cast<unsigned>(std::atoi(next()));
     } else if (arg == "--max-rows") {
       service_options.max_rows = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--shards") {
+      service_options.emulation.shards = static_cast<uint32_t>(std::atoi(next()));
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;

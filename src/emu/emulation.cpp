@@ -77,6 +77,8 @@ Emulation::Emulation(const Emulation& other)
     : options_(other.options_),
       rng_(other.rng_),  // mid-stream state, not a reseed: post-fork jitter
                          // draws match a cold run continuing from here
+      actor_ids_(other.actor_ids_),
+      next_actor_id_(other.next_actor_id_),
       links_(other.links_),
       address_owner_(other.address_owner_),
       parse_diagnostics_(other.parse_diagnostics_),
@@ -111,6 +113,33 @@ void Emulation::wire_metrics() {
   convergence_wall_us_ = &metrics->latency_histogram_us("emu_convergence_wall_us");
   convergence_virtual_us_ =
       &metrics->latency_histogram_us("emu_convergence_virtual_us");
+  sharded_runs_counter_ = &metrics->counter("emu_sharded_runs");
+  shard_epochs_counter_ = &metrics->counter("emu_shard_epochs");
+  shard_events_per_run_ = &metrics->histogram(
+      "emu_shard_events_per_run",
+      {16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576});
+  shard_barrier_stall_us_ =
+      &metrics->latency_histogram_us("emu_shard_barrier_stall_us");
+}
+
+ActorId Emulation::register_actor(const net::NodeName& name) {
+  auto [it, inserted] = actor_ids_.try_emplace(name, next_actor_id_);
+  if (inserted) ++next_actor_id_;
+  return it->second;
+}
+
+ActorId Emulation::actor_of(const net::NodeName& name) const {
+  auto it = actor_ids_.find(name);
+  return it == actor_ids_.end() ? kEnvActor : it->second;
+}
+
+void Emulation::schedule_event(ActorId emitter, ActorId owner, util::Duration delay,
+                               util::SmallFn fn) {
+  if (ShardContext* ctx = current_shard_context(this)) {
+    ctx->schedule(ctx->now + delay, emitter, owner, std::move(fn));
+    return;
+  }
+  kernel_.schedule(delay, emitter, owner, std::move(fn));
 }
 
 util::Duration Emulation::jitter() {
@@ -139,6 +168,12 @@ util::Status Emulation::add_topology(const Topology& topology) {
       return util::not_found("link endpoint node '" + link.a.node + "' not in topology");
     if (routers_.find(link.b.node) == routers_.end())
       return util::not_found("link endpoint node '" + link.b.node + "' not in topology");
+    if (link.latency_micros <= 0)
+      return util::invalid_argument(
+          "link " + link.a.to_string() + " <-> " + link.b.to_string() +
+          " has non-positive latency (" + std::to_string(link.latency_micros) +
+          "us); virtual links need latency >= 1us — a zero-latency link "
+          "degenerates the sharded kernel's conservative lookahead horizon");
     add_link(link.a, link.b, link.latency_micros);
   }
   for (const ExternalPeerSpec& peer : topology.external_peers) {
@@ -164,12 +199,19 @@ vrouter::VirtualRouter& Emulation::add_router(config::DeviceConfig config) {
     options.te.resignal_delay = util::Duration::seconds(1);
   }
   auto router = std::make_unique<vrouter::VirtualRouter>(std::move(config), *this, options);
+  register_actor(name);
   auto [it, inserted] = routers_.insert_or_assign(name, std::move(router));
   return *it->second;
 }
 
 void Emulation::add_link(const net::PortRef& a, const net::PortRef& b,
                          int64_t latency_micros) {
+  if (latency_micros <= 0) {
+    MFV_LOG(kWarn, "emu") << "link " << a.to_string() << " <-> " << b.to_string()
+                          << " has non-positive latency (" << latency_micros
+                          << "us), clamping to 1us";
+    latency_micros = 1;
+  }
   links_[a] = LinkEnd{b, latency_micros, true};
   links_[b] = LinkEnd{a, latency_micros, true};
   refresh_link_states();
@@ -177,6 +219,7 @@ void Emulation::add_link(const net::PortRef& a, const net::PortRef& b,
 
 void Emulation::add_external_peer(ExternalPeerSpec spec) {
   auto peer = std::make_unique<ExternalPeer>(std::move(spec), *this);
+  register_actor("peer:" + peer->spec().name);
   peer_addresses_[peer->spec().address] = peer.get();
   external_peers_.push_back(std::move(peer));
 }
@@ -205,7 +248,8 @@ void Emulation::start_all() {
   refresh_link_states();
   for (auto& [name, router] : routers_) {
     vrouter::VirtualRouter* r = router.get();
-    kernel_.schedule(util::Duration::micros(0), [r] { r->start(); });
+    ActorId actor = actor_of(name);
+    kernel_.schedule(util::Duration::micros(0), actor, actor, [r] { r->start(); });
   }
 }
 
@@ -213,7 +257,8 @@ void Emulation::start_node_after(const net::NodeName& node, util::Duration delay
   auto it = routers_.find(node);
   if (it == routers_.end()) return;
   vrouter::VirtualRouter* r = it->second.get();
-  kernel_.schedule(delay, [r] { r->start(); });
+  ActorId actor = actor_of(node);
+  kernel_.schedule(delay, actor, actor, [r] { r->start(); });
 }
 
 util::Status Emulation::apply_config_text(const net::NodeName& node,
@@ -253,12 +298,11 @@ bool Emulation::withdraw_external_routes(const std::string& peer,
 }
 
 bool Emulation::run_to_convergence(uint64_t max_events) {
-  if (convergence_runs_counter_ == nullptr)
-    return kernel_.run_until_idle(max_events);
+  if (convergence_runs_counter_ == nullptr) return run_events(max_events);
   uint64_t events_before = kernel_.executed();
   util::TimePoint virtual_before = kernel_.now();
   auto wall_before = std::chrono::steady_clock::now();
-  bool converged = kernel_.run_until_idle(max_events);
+  bool converged = run_events(max_events);
   convergence_runs_counter_->add(1);
   events_counter_->add(kernel_.executed() - events_before);
   convergence_wall_us_->observe(
@@ -267,6 +311,97 @@ bool Emulation::run_to_convergence(uint64_t max_events) {
           .count());
   convergence_virtual_us_->observe((kernel_.now() - virtual_before).count_micros());
   return converged;
+}
+
+bool Emulation::run_events(uint64_t max_events) {
+  uint32_t shards = options_.shards;
+  if (shards > routers_.size()) shards = static_cast<uint32_t>(routers_.size());
+  if (shards <= 1 || options_.message_jitter_micros > 0 || kernel_.idle())
+    return kernel_.run_until_idle(max_events);
+  return run_sharded(shards, max_events);
+}
+
+bool Emulation::run_sharded(uint32_t shards, uint64_t max_events) {
+  std::vector<KernelEvent> pending = kernel_.take_pending();
+  bool unattributed = false;
+  for (const KernelEvent& event : pending)
+    if (event.owner == kEnvActor) {
+      // Environment events (raw kernel scheduling from tests or tooling)
+      // have no shard to run on; correctness first, so run serially.
+      unattributed = true;
+      break;
+    }
+
+  ShardPlan plan;
+  if (!unattributed) {
+    ShardPlanInputs inputs;
+    inputs.actor_count = next_actor_id_;
+    inputs.requested_shards = shards;
+    inputs.addressed_latency_micros = options_.addressed_latency_micros;
+    inputs.routers.reserve(routers_.size());
+    for (const auto& [name, router] : routers_) inputs.routers.push_back(actor_of(name));
+    for (const auto& [port, end] : links_) {
+      if (!(port < end.peer)) continue;  // each undirected link once
+      inputs.edges.push_back(
+          {actor_of(port.node), actor_of(end.peer.node), end.latency_micros});
+    }
+    for (const auto& peer : external_peers_)
+      inputs.affinities.emplace_back(actor_of("peer:" + peer->spec().name),
+                                     actor_of(peer->spec().attach_node));
+    for (const auto& [node, shard] : options_.shard_assignment)
+      if (ActorId actor = actor_of(node); actor != kEnvActor)
+        inputs.overrides[actor] = shard;
+    plan = plan_shards(inputs);
+  }
+  if (unattributed || plan.shards <= 1 || plan.lookahead_micros <= 0) {
+    kernel_.restore(std::move(pending));
+    return kernel_.run_until_idle(max_events);
+  }
+
+  ShardRunInputs run_inputs;
+  run_inputs.context_tag = this;
+  run_inputs.channel_busy.resize(plan.shards);
+  for (const auto& [key, busy] : channel_busy_until_) {
+    ActorId sender = actor_of(key.first);
+    uint32_t shard = sender == kEnvActor ? 0 : plan.shard_of[sender];
+    run_inputs.channel_busy[shard].emplace(key, busy);
+  }
+  channel_busy_until_.clear();
+  run_inputs.plan = std::move(plan);
+  run_inputs.initial_events = std::move(pending);
+  run_inputs.actor_seqs = kernel_.take_actor_seqs(next_actor_id_);
+  run_inputs.start_now = kernel_.now();
+  run_inputs.max_events = max_events;
+
+  ShardRunResult result = run_sharded_events(std::move(run_inputs));
+
+  kernel_.restore_actor_seqs(std::move(result.actor_seqs));
+  util::TimePoint absorb_now = result.final_now;
+  // A capped run leaves events behind; the clock must not pass them, or
+  // their later execution would move virtual time backwards.
+  for (const KernelEvent& event : result.leftovers)
+    absorb_now = std::min(absorb_now, event.key.when);
+  kernel_.absorb_run(absorb_now, result.executed);
+  if (!result.leftovers.empty()) kernel_.restore(std::move(result.leftovers));
+
+  messages_delivered_ += result.delivered;
+  messages_dropped_ += result.dropped;
+  if (delivered_counter_ != nullptr && result.delivered > 0)
+    delivered_counter_->add(static_cast<int64_t>(result.delivered));
+  if (dropped_counter_ != nullptr && result.dropped > 0)
+    dropped_counter_->add(static_cast<int64_t>(result.dropped));
+  for (auto& slice : result.channel_busy)
+    for (auto& [key, busy] : slice) channel_busy_until_[key] = busy;
+
+  if (sharded_runs_counter_ != nullptr) {
+    sharded_runs_counter_->add(1);
+    shard_epochs_counter_->add(static_cast<int64_t>(result.epochs));
+    for (size_t shard = 0; shard < result.shard_events.size(); ++shard) {
+      shard_events_per_run_->observe(static_cast<int64_t>(result.shard_events[shard]));
+      shard_barrier_stall_us_->observe(result.shard_barrier_stall_us[shard]);
+    }
+  }
+  return result.drained;
 }
 
 util::TimePoint Emulation::converged_at() const {
@@ -318,24 +453,26 @@ void Emulation::send_on_interface(const net::NodeName& node,
   util::Duration delay = util::Duration::micros(it->second.latency_micros) + jitter();
   // The frame is re-validated at arrival: a cut (or any down/up flap — the
   // epoch check) while it was in flight drops it, like a real wire losing
-  // its contents. Looking the link up again at fire time also keeps the
-  // event free of raw router pointers.
+  // its contents. The captured LinkEnd stays valid (links are never
+  // erased) and keeps the event free of raw router pointers — and small
+  // enough for the kernel's inline event buffer, so the hot send path
+  // never heap-allocates.
   uint64_t epoch = it->second.down_epoch;
-  kernel_.schedule(delay, [this, from, epoch, message] {
-    auto link_it = links_.find(from);
-    if (link_it == links_.end() || !link_it->second.up ||
-        link_it->second.down_epoch != epoch) {
-      note_dropped();
-      return;
-    }
-    auto router_it = routers_.find(link_it->second.peer.node);
-    if (router_it == routers_.end()) {
-      note_dropped();
-      return;
-    }
-    note_delivered();
-    router_it->second->deliver_on_interface(link_it->second.peer.interface, message);
-  });
+  const LinkEnd* end = &it->second;
+  schedule_event(actor_of(node), actor_of(end->peer.node), delay,
+                 [this, end, epoch, message] {
+                   if (!end->up || end->down_epoch != epoch) {
+                     note_dropped();
+                     return;
+                   }
+                   auto router_it = routers_.find(end->peer.node);
+                   if (router_it == routers_.end()) {
+                     note_dropped();
+                     return;
+                   }
+                   note_delivered();
+                   router_it->second->deliver_on_interface(end->peer.interface, message);
+                 });
 }
 
 void Emulation::send_addressed(const net::NodeName& node, net::Ipv4Address destination,
@@ -346,17 +483,23 @@ void Emulation::send_addressed(const net::NodeName& node, net::Ipv4Address desti
                         static_cast<int64_t>(update->announced.size() +
                                              update->withdrawn.size()) *
                         options_.per_route_processing_micros);
-  // Serialize messages per session channel.
-  util::TimePoint& busy_until = channel_busy_until_[{node, destination.bits()}];
-  util::TimePoint deliver_at = std::max(kernel_.now(), busy_until) + delay;
+  // Serialize messages per session channel. During a sharded run the
+  // sender's shard owns its channel slice (and its clock), so the busy
+  // bookkeeping stays thread-private.
+  ShardContext* ctx = current_shard_context(this);
+  util::TimePoint current = ctx != nullptr ? ctx->now : kernel_.now();
+  auto& busy_map = ctx != nullptr ? ctx->channel_busy : channel_busy_until_;
+  util::TimePoint& busy_until = busy_map[{node, destination.bits()}];
+  util::TimePoint deliver_at = std::max(current, busy_until) + delay;
   busy_until = deliver_at;
-  delay = deliver_at - kernel_.now();
+  delay = deliver_at - current;
   if (auto peer_it = peer_addresses_.find(destination); peer_it != peer_addresses_.end()) {
     ExternalPeer* peer = peer_it->second;
-    kernel_.schedule(delay, [this, peer, message] {
-      note_delivered();
-      peer->handle(message, options_.injection_batch_size);
-    });
+    schedule_event(actor_of(node), actor_of("peer:" + peer->spec().name), delay,
+                   [this, peer, message] {
+                     note_delivered();
+                     peer->handle(message, options_.injection_batch_size);
+                   });
     return;
   }
   auto owner_it = address_owner_.find(destination);
@@ -370,14 +513,17 @@ void Emulation::send_addressed(const net::NodeName& node, net::Ipv4Address desti
     return;
   }
   vrouter::VirtualRouter* target = router_it->second.get();
-  kernel_.schedule(delay, [this, target, message] {
-    note_delivered();
-    target->deliver_addressed(message);
-  });
+  schedule_event(actor_of(node), actor_of(owner_it->second), delay,
+                 [this, target, message] {
+                   note_delivered();
+                   target->deliver_addressed(message);
+                 });
 }
 
-void Emulation::schedule(util::Duration delay, std::function<void()> fn) {
-  kernel_.schedule(delay, std::move(fn));
+void Emulation::schedule(const net::NodeName& node, util::Duration delay,
+                         std::function<void()> fn) {
+  ActorId actor = actor_of(node);
+  schedule_event(actor, actor, delay, std::move(fn));
 }
 
 }  // namespace mfv::emu

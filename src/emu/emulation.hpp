@@ -17,6 +17,7 @@
 
 #include "config/diagnostics.hpp"
 #include "emu/kernel.hpp"
+#include "emu/shard.hpp"
 #include "obs/metrics.hpp"
 #include "emu/topology.hpp"
 #include "util/rng.hpp"
@@ -43,6 +44,17 @@ struct EmulationOptions {
   bool bgp_prefer_oldest = true;
   /// Routes per injected BGP update message.
   size_t injection_batch_size = 1000;
+  /// Event-loop shards for run_to_convergence. 1 = the serial kernel.
+  /// Values > 1 partition routers across that many worker threads with a
+  /// conservative lookahead barrier (DESIGN.md §10); results are
+  /// bit-identical to serial. Runs that cannot shard safely — nonzero
+  /// jitter (shared RNG draws at schedule time), unattributed pending
+  /// events, or a degenerate lookahead — fall back to the serial kernel.
+  uint32_t shards = 1;
+  /// Optional explicit node -> shard placement, overriding the planner's
+  /// link-locality partition for the named nodes (out-of-range shard
+  /// indices wrap modulo the effective shard count).
+  std::map<net::NodeName, uint32_t> shard_assignment;
   /// Optional metrics sink. When set, the emulation mirrors its message
   /// counters into the emu_* family and records convergence runs
   /// (events, wall time, virtual time) as counters/histograms. Forks
@@ -93,6 +105,9 @@ class Emulation final : public vrouter::Fabric {
 
   /// Adds a single pre-parsed router (test convenience).
   vrouter::VirtualRouter& add_router(config::DeviceConfig config);
+  /// Wires a link. Non-positive latencies are clamped to 1us (a warning is
+  /// logged): a zero-latency link would degenerate the sharded kernel's
+  /// conservative lookahead horizon. add_topology rejects them outright.
   void add_link(const net::PortRef& a, const net::PortRef& b,
                 int64_t latency_micros = 1000);
   void add_external_peer(ExternalPeerSpec spec);
@@ -127,7 +142,10 @@ class Emulation final : public vrouter::Fabric {
   const EventKernel& kernel() const { return kernel_; }
 
   /// Runs until the control plane quiesces. Returns false if `max_events`
-  /// fired without quiescing (possible persistent oscillation).
+  /// fired without quiescing (possible persistent oscillation). With
+  /// options_.shards > 1 the run executes on the sharded kernel (bit-
+  /// identical results; the cap is then checked at epoch granularity, so
+  /// a capped run may overshoot the serial kernel's exact cut-off).
   bool run_to_convergence(uint64_t max_events = 100000000ull);
 
   /// Deep-copies the whole emulation: every router with its full protocol
@@ -167,8 +185,12 @@ class Emulation final : public vrouter::Fabric {
                          const proto::Message& message) override;
   void send_addressed(const net::NodeName& node, net::Ipv4Address destination,
                       const proto::Message& message) override;
-  void schedule(util::Duration delay, std::function<void()> fn) override;
-  util::TimePoint now() const override { return kernel_.now(); }
+  void schedule(const net::NodeName& node, util::Duration delay,
+                std::function<void()> fn) override;
+  util::TimePoint now() const override {
+    if (const ShardContext* ctx = current_shard_context(this)) return ctx->now;
+    return kernel_.now();
+  }
 
  private:
   struct LinkEnd {
@@ -185,14 +207,37 @@ class Emulation final : public vrouter::Fabric {
 
   /// Resolves the emu_* instruments from options_.metrics (both ctors).
   void wire_metrics();
+  /// Counters route to the executing shard's context during a sharded run
+  /// (merged into the members — and the registry mirrors — afterwards).
   void note_delivered() {
+    if (ShardContext* ctx = current_shard_context(this)) {
+      ++ctx->delivered;
+      return;
+    }
     ++messages_delivered_;
     if (delivered_counter_ != nullptr) delivered_counter_->add(1);
   }
   void note_dropped() {
+    if (ShardContext* ctx = current_shard_context(this)) {
+      ++ctx->dropped;
+      return;
+    }
     ++messages_dropped_;
     if (dropped_counter_ != nullptr) dropped_counter_->add(1);
   }
+
+  /// Registers `name` as an actor on first sight, returning its dense id.
+  ActorId register_actor(const net::NodeName& name);
+  /// Looks an actor up without registering; kEnvActor when unknown.
+  ActorId actor_of(const net::NodeName& name) const;
+  /// Routes a new event to the executing shard's context during a sharded
+  /// run, to the serial kernel otherwise.
+  void schedule_event(ActorId emitter, ActorId owner, util::Duration delay,
+                      util::SmallFn fn);
+  /// run_to_convergence's engine: dispatches to the sharded runtime when
+  /// options/state allow, else the serial kernel.
+  bool run_events(uint64_t max_events);
+  bool run_sharded(uint32_t shards, uint64_t max_events);
 
   util::Duration jitter();
   void index_addresses(const config::DeviceConfig& config);
@@ -203,6 +248,11 @@ class Emulation final : public vrouter::Fabric {
   util::Pcg32 rng_;
 
   std::map<net::NodeName, std::unique_ptr<vrouter::VirtualRouter>> routers_;
+  /// Dense actor ids for event attribution (routers by hostname, external
+  /// peers as "peer:<name>"), assigned at insertion. Forks copy the table
+  /// so fork and base assign identical event keys.
+  std::map<net::NodeName, ActorId> actor_ids_;
+  ActorId next_actor_id_ = kEnvActor + 1;
   std::map<net::PortRef, LinkEnd> links_;
   std::vector<std::unique_ptr<ExternalPeer>> external_peers_;
   std::map<net::Ipv4Address, net::NodeName> address_owner_;
@@ -225,6 +275,10 @@ class Emulation final : public vrouter::Fabric {
   obs::Counter* events_counter_ = nullptr;
   obs::Histogram* convergence_wall_us_ = nullptr;
   obs::Histogram* convergence_virtual_us_ = nullptr;
+  obs::Counter* sharded_runs_counter_ = nullptr;
+  obs::Counter* shard_epochs_counter_ = nullptr;
+  obs::Histogram* shard_events_per_run_ = nullptr;
+  obs::Histogram* shard_barrier_stall_us_ = nullptr;
 };
 
 }  // namespace mfv::emu

@@ -1,91 +1,175 @@
 // Discrete-event simulation kernel.
 //
-// A single priority queue of (virtual time, sequence number, callback).
-// The sequence number makes same-timestamp ordering deterministic: two runs
-// with the same seed and inputs execute events in exactly the same order
-// (DESIGN.md §5). Non-determinism experiments perturb *timing* (per-message
-// jitter) rather than the kernel itself.
+// A binary heap of (virtual time, emitter, per-emitter sequence) events.
+// The key makes same-timestamp ordering deterministic *and* shardable:
+//
+//   - `emitter` is the actor (router / external peer; 0 = environment)
+//     whose code scheduled the event; `seq` is that actor's own counter.
+//     Because an actor's events execute serially — on one thread in the
+//     sharded kernel, trivially in the serial one — its counter assigns
+//     the same sequence numbers in both modes, so the key is reproducible
+//     without any global schedule-order counter.
+//   - `owner` is the actor whose shard must execute the event (the
+//     receiver of a message delivery, the actor itself for timers). The
+//     serial kernel ignores it; the sharded runtime (shard.hpp) partitions
+//     by it.
+//
+// Two runs with the same inputs execute events in exactly the same order
+// (DESIGN.md §5, §10). Non-determinism experiments perturb *timing*
+// (per-message jitter) rather than the kernel itself.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
+#include "util/small_fn.hpp"
 #include "util/time.hpp"
 
 namespace mfv::emu {
+
+/// Dense actor identifier. 0 is reserved for the environment (test code,
+/// anything scheduled without attribution); routers and external peers get
+/// ids from 1 upward at insertion time.
+using ActorId = uint32_t;
+inline constexpr ActorId kEnvActor = 0;
+
+struct EventKey {
+  util::TimePoint when;
+  ActorId emitter = kEnvActor;
+  uint64_t seq = 0;
+
+  friend constexpr bool operator<(const EventKey& a, const EventKey& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.emitter != b.emitter) return a.emitter < b.emitter;
+    return a.seq < b.seq;
+  }
+};
+
+struct KernelEvent {
+  EventKey key;
+  ActorId owner = kEnvActor;
+  util::SmallFn fn;
+};
 
 class EventKernel {
  public:
   util::TimePoint now() const { return now_; }
 
-  void schedule_at(util::TimePoint when, std::function<void()> fn) {
+  void schedule_at(util::TimePoint when, ActorId emitter, ActorId owner,
+                   util::SmallFn fn) {
     if (when < now_) when = now_;
-    queue_.push(Event{when, next_sequence_++, std::move(fn)});
+    push(KernelEvent{EventKey{when, emitter, next_seq(emitter)}, owner, std::move(fn)});
   }
-  void schedule(util::Duration delay, std::function<void()> fn) {
-    schedule_at(now_ + delay, std::move(fn));
+  void schedule(util::Duration delay, ActorId emitter, ActorId owner, util::SmallFn fn) {
+    schedule_at(now_ + delay, emitter, owner, std::move(fn));
   }
 
-  bool idle() const { return queue_.empty(); }
-  size_t pending() const { return queue_.size(); }
+  /// Unattributed scheduling (tests, environment hooks). Such events pin
+  /// the run to the serial kernel — the sharded runtime has no shard to
+  /// place them on.
+  void schedule_at(util::TimePoint when, util::SmallFn fn) {
+    schedule_at(when, kEnvActor, kEnvActor, std::move(fn));
+  }
+  void schedule(util::Duration delay, util::SmallFn fn) {
+    schedule_at(now_ + delay, kEnvActor, kEnvActor, std::move(fn));
+  }
+
+  bool idle() const { return events_.empty(); }
+  size_t pending() const { return events_.size(); }
   uint64_t executed() const { return executed_; }
 
   /// Runs events until the queue drains or `max_events` fire. Returns true
   /// if the queue drained (the network is quiescent).
   bool run_until_idle(uint64_t max_events = UINT64_MAX) {
     uint64_t fired = 0;
-    while (!queue_.empty() && fired < max_events) {
+    while (!events_.empty() && fired < max_events) {
       step();
       ++fired;
     }
-    return queue_.empty();
+    return events_.empty();
   }
 
   /// Runs events with timestamps <= `until`. Virtual time advances to
   /// `until` even if the queue drains early.
   void run_until(util::TimePoint until) {
-    while (!queue_.empty() && queue_.top().when <= until) step();
+    while (!events_.empty() && events_.front().key.when <= until) step();
     if (now_ < until) now_ = until;
   }
 
   void run_for(util::Duration duration) { run_until(now_ + duration); }
 
-  /// Adopts another kernel's clock, sequence counter, and executed count.
-  /// Used when forking a quiescent emulation: pending events are never
-  /// cloned (there are none at quiescence), but the clone must continue
-  /// virtual time and same-timestamp ordering exactly where the base would
-  /// have — otherwise a forked run and a cold continuation diverge.
+  /// Adopts another kernel's clock, per-actor sequence counters, and
+  /// executed count. Used when forking a quiescent emulation: pending
+  /// events are never cloned (there are none at quiescence), but the clone
+  /// must continue virtual time and same-timestamp ordering exactly where
+  /// the base would have — otherwise a forked run and a cold continuation
+  /// diverge.
   void adopt_time(const EventKernel& other) {
     now_ = other.now_;
-    next_sequence_ = other.next_sequence_;
+    actor_seqs_ = other.actor_seqs_;
     executed_ = other.executed_;
   }
 
+  // -- sharded-run support (src/emu/shard.hpp) ------------------------------
+
+  /// Moves every pending event out; the sharded runtime distributes them
+  /// across per-shard heaps. Pair with restore() on fallback or leftovers.
+  std::vector<KernelEvent> take_pending() { return std::exchange(events_, {}); }
+
+  /// Re-inserts events taken by take_pending() (order-insensitive: the
+  /// heap re-sorts by key; sequence numbers are already assigned).
+  void restore(std::vector<KernelEvent> events) {
+    for (KernelEvent& event : events) push(std::move(event));
+  }
+
+  /// Hands the per-emitter counters to a sharded run (sized to cover
+  /// `actor_count` actors) and takes them back when it finishes, so
+  /// sequence streams continue seamlessly across serial/sharded phases.
+  std::vector<uint64_t> take_actor_seqs(size_t actor_count) {
+    if (actor_seqs_.size() < actor_count) actor_seqs_.resize(actor_count, 0);
+    return std::exchange(actor_seqs_, {});
+  }
+  void restore_actor_seqs(std::vector<uint64_t> seqs) { actor_seqs_ = std::move(seqs); }
+
+  /// Folds a finished sharded run back in: the clock lands on the last
+  /// executed event's timestamp and the executed count accumulates, same
+  /// as if the serial loop had run those events itself.
+  void absorb_run(util::TimePoint final_now, uint64_t executed_delta) {
+    if (now_ < final_now) now_ = final_now;
+    executed_ += executed_delta;
+  }
+
  private:
-  struct Event {
-    util::TimePoint when;
-    uint64_t sequence;
-    std::function<void()> fn;
-    bool operator>(const Event& other) const {
-      if (when != other.when) return when > other.when;
-      return sequence > other.sequence;
+  struct Later {
+    bool operator()(const KernelEvent& a, const KernelEvent& b) const {
+      return b.key < a.key;  // min-heap on the event key
     }
   };
 
+  uint64_t next_seq(ActorId emitter) {
+    if (emitter >= actor_seqs_.size()) actor_seqs_.resize(emitter + 1, 0);
+    return actor_seqs_[emitter]++;
+  }
+
+  void push(KernelEvent event) {
+    events_.push_back(std::move(event));
+    std::push_heap(events_.begin(), events_.end(), Later{});
+  }
+
   void step() {
-    // Moving out of the const top is safe: we pop immediately after.
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = event.when;
+    std::pop_heap(events_.begin(), events_.end(), Later{});
+    KernelEvent event = std::move(events_.back());
+    events_.pop_back();
+    now_ = event.key.when;
     ++executed_;
     event.fn();
   }
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<KernelEvent> events_;
   util::TimePoint now_;
-  uint64_t next_sequence_ = 0;
+  std::vector<uint64_t> actor_seqs_;
   uint64_t executed_ = 0;
 };
 

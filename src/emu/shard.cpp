@@ -1,0 +1,318 @@
+#include "emu/shard.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
+
+namespace mfv::emu {
+
+namespace {
+
+/// Thread-local pointer to the shard context executing on this thread,
+/// keyed by the owning emulation so concurrent sharded runs (scenario
+/// sweeps on a thread pool) stay isolated.
+struct ShardTlsSlot {
+  const void* tag = nullptr;
+  ShardContext* ctx = nullptr;
+};
+thread_local ShardTlsSlot g_shard_tls;
+
+constexpr uint64_t kNoEvents = std::numeric_limits<uint64_t>::max();
+
+struct KeyLater {
+  bool operator()(const KernelEvent& a, const KernelEvent& b) const {
+    return b.key < a.key;  // min-heap on the event key
+  }
+};
+
+void push_heap_event(std::vector<KernelEvent>& heap, KernelEvent event) {
+  heap.push_back(std::move(event));
+  std::push_heap(heap.begin(), heap.end(), KeyLater{});
+}
+
+}  // namespace
+
+ShardContext* current_shard_context(const void* tag) {
+  return (tag != nullptr && g_shard_tls.tag == tag) ? g_shard_tls.ctx : nullptr;
+}
+
+SpinBarrier::SpinBarrier(uint32_t parties)
+    : parties_(parties),
+      // With fewer cores than parties someone is always descheduled, so
+      // long spins only steal the core the straggler needs.
+      spin_limit_(std::thread::hardware_concurrency() >= parties ? 4096 : 64) {}
+
+// ---------------------------------------------------------------------------
+// Partition planning
+
+ShardPlan plan_shards(const ShardPlanInputs& inputs) {
+  ShardPlan plan;
+  plan.shard_of.assign(inputs.actor_count, 0);
+  uint32_t shards = inputs.requested_shards;
+  if (shards > inputs.routers.size()) shards = static_cast<uint32_t>(inputs.routers.size());
+  if (shards == 0) shards = 1;
+  plan.shards = shards;
+
+  // Router index in the deterministic (name-sorted) ordering; -1 for
+  // non-partitionable actors (environment, external peers).
+  std::vector<int64_t> order_index(inputs.actor_count, -1);
+  for (size_t i = 0; i < inputs.routers.size(); ++i)
+    order_index[inputs.routers[i]] = static_cast<int64_t>(i);
+
+  std::vector<std::vector<ActorId>> adjacency(inputs.routers.size());
+  for (const ShardPlanInputs::Edge& edge : inputs.edges) {
+    if (edge.a >= inputs.actor_count || edge.b >= inputs.actor_count) continue;
+    int64_t ia = order_index[edge.a];
+    int64_t ib = order_index[edge.b];
+    if (ia < 0 || ib < 0) continue;
+    adjacency[static_cast<size_t>(ia)].push_back(edge.b);
+    adjacency[static_cast<size_t>(ib)].push_back(edge.a);
+  }
+  for (std::vector<ActorId>& neighbors : adjacency)
+    std::sort(neighbors.begin(), neighbors.end(),
+              [&](ActorId x, ActorId y) { return order_index[x] < order_index[y]; });
+
+  // BFS over the link graph, restarting per component, gives an order in
+  // which neighborhoods are contiguous; chunking it into balanced blocks
+  // keeps most links shard-internal (ring/chord WANs split into arcs).
+  std::vector<ActorId> bfs_order;
+  bfs_order.reserve(inputs.routers.size());
+  std::vector<bool> visited(inputs.routers.size(), false);
+  for (size_t seed = 0; seed < inputs.routers.size(); ++seed) {
+    if (visited[seed]) continue;
+    visited[seed] = true;
+    std::vector<size_t> queue{seed};
+    for (size_t head = 0; head < queue.size(); ++head) {
+      size_t current = queue[head];
+      bfs_order.push_back(inputs.routers[current]);
+      for (ActorId neighbor : adjacency[current]) {
+        size_t index = static_cast<size_t>(order_index[neighbor]);
+        if (!visited[index]) {
+          visited[index] = true;
+          queue.push_back(index);
+        }
+      }
+    }
+  }
+
+  size_t block = bfs_order.size() / shards;
+  size_t remainder = bfs_order.size() % shards;
+  size_t position = 0;
+  for (uint32_t shard = 0; shard < shards; ++shard) {
+    size_t size = block + (shard < remainder ? 1 : 0);
+    for (size_t i = 0; i < size; ++i) plan.shard_of[bfs_order[position++]] = shard;
+  }
+
+  // Explicit router placements override the BFS blocks; affinity actors
+  // (external peers) then follow their routers, unless themselves pinned.
+  for (const auto& [actor, shard] : inputs.overrides)
+    if (actor < inputs.actor_count && order_index[actor] >= 0)
+      plan.shard_of[actor] = shard % shards;
+  for (const auto& [follower, anchor] : inputs.affinities)
+    if (follower < inputs.actor_count && anchor < inputs.actor_count)
+      plan.shard_of[follower] = plan.shard_of[anchor];
+  for (const auto& [actor, shard] : inputs.overrides)
+    if (actor < inputs.actor_count && order_index[actor] < 0)
+      plan.shard_of[actor] = shard % shards;
+
+  int64_t min_cross = std::numeric_limits<int64_t>::max();
+  for (const ShardPlanInputs::Edge& edge : inputs.edges) {
+    if (edge.a >= inputs.actor_count || edge.b >= inputs.actor_count) continue;
+    if (plan.shard_of[edge.a] == plan.shard_of[edge.b]) continue;
+    ++plan.cross_shard_links;
+    min_cross = std::min(min_cross, edge.latency_micros);
+  }
+  plan.lookahead_micros = inputs.addressed_latency_micros;
+  if (min_cross != std::numeric_limits<int64_t>::max())
+    plan.lookahead_micros = std::min(plan.lookahead_micros, min_cross);
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded executor
+
+class ShardedExecutor {
+ public:
+  explicit ShardedExecutor(ShardRunInputs inputs)
+      : inputs_(std::move(inputs)),
+        shards_(inputs_.plan.shards),
+        lookahead_(util::Duration::micros(inputs_.plan.lookahead_micros)),
+        seqs_(std::move(inputs_.actor_seqs)),
+        barrier_(inputs_.plan.shards),
+        lanes_(inputs_.plan.shards),
+        mail_(static_cast<size_t>(inputs_.plan.shards) * inputs_.plan.shards) {
+    if (seqs_.size() < inputs_.plan.shard_of.size())
+      seqs_.resize(inputs_.plan.shard_of.size(), 0);
+    for (uint32_t shard = 0; shard < shards_; ++shard) {
+      lanes_[shard].ctx.executor_ = this;
+      lanes_[shard].ctx.shard_ = shard;
+      lanes_[shard].ctx.now = inputs_.start_now;
+      lanes_[shard].last_when = inputs_.start_now;
+      if (shard < inputs_.channel_busy.size())
+        lanes_[shard].ctx.channel_busy = std::move(inputs_.channel_busy[shard]);
+    }
+    for (KernelEvent& event : inputs_.initial_events)
+      push_heap_event(lanes_[shard_for(event.owner)].heap, std::move(event));
+    inputs_.initial_events.clear();
+  }
+
+  ShardRunResult run() {
+    std::vector<std::thread> workers;
+    workers.reserve(shards_ - 1);
+    for (uint32_t shard = 1; shard < shards_; ++shard)
+      workers.emplace_back([this, shard] { worker(shard); });
+    worker(0);  // the calling thread doubles as shard 0
+    for (std::thread& thread : workers) thread.join();
+
+    ShardRunResult result;
+    result.drained = !capped_;
+    result.final_now = inputs_.start_now;
+    result.epochs = epochs_;
+    result.actor_seqs = std::move(seqs_);
+    for (uint32_t shard = 0; shard < shards_; ++shard) {
+      Lane& lane = lanes_[shard];
+      result.executed += lane.executed;
+      result.delivered += lane.ctx.delivered;
+      result.dropped += lane.ctx.dropped;
+      result.shard_events.push_back(lane.executed);
+      result.shard_barrier_stall_us.push_back(lane.stall_ns / 1000);
+      result.final_now = std::max(result.final_now, lane.last_when);
+      result.channel_busy.push_back(std::move(lane.ctx.channel_busy));
+      for (KernelEvent& event : lane.heap) result.leftovers.push_back(std::move(event));
+      lane.heap.clear();
+    }
+    return result;
+  }
+
+  /// Called from ShardContext::schedule on a worker thread. The emitter's
+  /// sequence slot is written only by the shard that owns the emitter, so
+  /// the shared counter vector is race-free without atomics.
+  void schedule_from(uint32_t from_shard, util::TimePoint when, ActorId emitter,
+                     ActorId owner, util::SmallFn fn) {
+    KernelEvent event{EventKey{when, emitter, seqs_[emitter]++}, owner, std::move(fn)};
+    uint32_t to_shard = shard_for(owner);
+    if (to_shard == from_shard)
+      push_heap_event(lanes_[from_shard].heap, std::move(event));
+    else
+      mail_[mail_slot(from_shard, to_shard)].push_back(std::move(event));
+  }
+
+ private:
+  struct alignas(64) Lane {
+    ShardContext ctx;
+    std::vector<KernelEvent> heap;
+    uint64_t executed = 0;  // cumulative; published at the decide barrier
+    uint64_t published_min = kNoEvents;
+    util::TimePoint last_when;
+    int64_t stall_ns = 0;
+  };
+
+  uint32_t shard_for(ActorId actor) const {
+    return actor < inputs_.plan.shard_of.size() ? inputs_.plan.shard_of[actor] : 0;
+  }
+  size_t mail_slot(uint32_t from, uint32_t to) const {
+    return static_cast<size_t>(from) * shards_ + to;
+  }
+
+  /// Runs exclusively in the last arriver of the decide barrier: picks the
+  /// next window [global_min, global_min + Δ) or declares termination.
+  void decide() {
+    uint64_t total_executed = 0;
+    uint64_t global_min = kNoEvents;
+    for (const Lane& lane : lanes_) {
+      total_executed += lane.executed;
+      global_min = std::min(global_min, lane.published_min);
+    }
+    if (global_min == kNoEvents || total_executed >= inputs_.max_events) {
+      done_ = true;
+      capped_ = global_min != kNoEvents;
+      return;
+    }
+    ++epochs_;
+    remaining_ = inputs_.max_events - total_executed;
+    window_end_ = util::TimePoint(static_cast<int64_t>(global_min)) + lookahead_;
+  }
+
+  template <typename OnLast>
+  void arrive(Lane& lane, OnLast&& on_last) {
+    auto start = std::chrono::steady_clock::now();
+    barrier_.arrive_and_wait(std::forward<OnLast>(on_last));
+    lane.stall_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  }
+
+  void worker(uint32_t shard) {
+    ShardTlsSlot saved = g_shard_tls;
+    g_shard_tls = {inputs_.context_tag, &lanes_[shard].ctx};
+    Lane& lane = lanes_[shard];
+    while (true) {
+      lane.published_min =
+          lane.heap.empty()
+              ? kNoEvents
+              : static_cast<uint64_t>(lane.heap.front().key.when.count_micros());
+      arrive(lane, [this] { decide(); });
+      if (done_) break;
+
+      // Execute phase: everything strictly inside the window, bounded by
+      // the remaining event budget so runaway zero-delay loops terminate.
+      util::TimePoint window_end = window_end_;
+      uint64_t budget = remaining_;
+      uint64_t ran = 0;
+      while (!lane.heap.empty() && lane.heap.front().key.when < window_end &&
+             ran < budget) {
+        std::pop_heap(lane.heap.begin(), lane.heap.end(), KeyLater{});
+        KernelEvent event = std::move(lane.heap.back());
+        lane.heap.pop_back();
+        lane.ctx.now = event.key.when;
+        lane.last_when = event.key.when;
+        ++ran;
+        event.fn();
+      }
+      lane.executed += ran;
+
+      // Phase separator: every outbox is fully written before anyone
+      // drains, then drained boxes are empty before anyone writes again.
+      arrive(lane, [] {});
+      for (uint32_t source = 0; source < shards_; ++source) {
+        std::vector<KernelEvent>& box = mail_[mail_slot(source, shard)];
+        for (KernelEvent& event : box) push_heap_event(lane.heap, std::move(event));
+        box.clear();
+      }
+    }
+    g_shard_tls = saved;
+  }
+
+  ShardRunInputs inputs_;
+  const uint32_t shards_;
+  const util::Duration lookahead_;
+  std::vector<uint64_t> seqs_;
+  SpinBarrier barrier_;
+  std::vector<Lane> lanes_;
+  /// mail_[from * shards + to]: written by `from` while executing, drained
+  /// by `to` after the phase barrier. Plain vectors; the barrier's
+  /// happens-before edge is the synchronization.
+  std::vector<std::vector<KernelEvent>> mail_;
+
+  // Epoch coordination, written only by the decide() completion (which
+  // runs exclusively between all-arrived and release).
+  util::TimePoint window_end_;
+  uint64_t remaining_ = 0;
+  uint64_t epochs_ = 0;
+  bool done_ = false;
+  bool capped_ = false;
+};
+
+void ShardContext::schedule(util::TimePoint when, ActorId emitter, ActorId owner,
+                            util::SmallFn fn) {
+  if (when < now) when = now;
+  executor_->schedule_from(shard_, when, emitter, owner, std::move(fn));
+}
+
+ShardRunResult run_sharded_events(ShardRunInputs inputs) {
+  ShardedExecutor executor(std::move(inputs));
+  return executor.run();
+}
+
+}  // namespace mfv::emu

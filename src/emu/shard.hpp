@@ -1,0 +1,198 @@
+// Sharded parallel execution of the event kernel (DESIGN.md §10).
+//
+// Conservative parallel discrete-event simulation: actors (routers,
+// external peers) are partitioned across N shards by link locality; each
+// shard owns a private event heap and runs a window of virtual time
+// [T, T + Δ) independently, where the lookahead Δ is the minimum latency
+// any cross-shard interaction can have (the smallest inter-shard link
+// latency, capped by the addressed-message latency). An event executing at
+// time t can only create a cross-shard event at t' >= t + Δ >= T + Δ, so
+// everything inside the window is causally closed per shard. Cross-shard
+// events travel through per-shard-pair mailboxes that are written during
+// one epoch's execute phase and drained after the next barrier — plain
+// vectors, made race-free by the barrier's happens-before edge, with no
+// locks anywhere in the event hot path.
+//
+// Determinism: events carry (when, emitter, per-emitter seq) keys assigned
+// identically in serial and sharded runs (see kernel.hpp); each shard
+// executes its subset in key order, so every actor observes exactly the
+// serial order of its own events. Converged FIBs, message counts, and
+// final virtual time are bit-identical to the serial kernel — verified by
+// the serial-vs-sharded fuzz oracle and tests/test_emu_shard.cpp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "emu/kernel.hpp"
+#include "util/time.hpp"
+
+namespace mfv::emu {
+
+// ---------------------------------------------------------------------------
+// Partition planning
+
+/// Deterministic actor -> shard assignment plus the conservative lookahead.
+struct ShardPlan {
+  uint32_t shards = 1;
+  /// Indexed by ActorId; entry 0 (the environment) is unused.
+  std::vector<uint32_t> shard_of;
+  /// Safe horizon Δ in virtual microseconds; <= 0 means the plan is
+  /// degenerate and the caller must fall back to the serial kernel.
+  int64_t lookahead_micros = 0;
+  size_t cross_shard_links = 0;
+};
+
+struct ShardPlanInputs {
+  /// Actor ids are dense in [0, actor_count); 0 is the environment.
+  uint32_t actor_count = 1;
+  uint32_t requested_shards = 1;
+  /// Lookahead contribution of addressed (multi-hop session) messages,
+  /// which can connect any pair of actors.
+  int64_t addressed_latency_micros = 0;
+  /// Partitionable actors in deterministic order (routers, sorted by
+  /// node name). The BFS seed and visit order follow this ordering.
+  std::vector<ActorId> routers;
+  /// Undirected router-router links with one-way latency.
+  struct Edge {
+    ActorId a = 0;
+    ActorId b = 0;
+    int64_t latency_micros = 0;
+  };
+  std::vector<Edge> edges;
+  /// Co-location constraints: first rides on whatever shard second lands
+  /// on (external peers pinned to their attach router).
+  std::vector<std::pair<ActorId, ActorId>> affinities;
+  /// Explicit placement overrides (actor -> shard), applied after the
+  /// BFS partition; out-of-range shards wrap modulo the shard count.
+  std::map<ActorId, uint32_t> overrides;
+};
+
+/// Graph-partitions by link locality: BFS over the link graph from the
+/// first router (restarting at the next unvisited router for disconnected
+/// components), chunked into `requested_shards` contiguous, size-balanced
+/// blocks, so neighborhoods land on the same shard and ring/chord WANs
+/// split into arcs. Shard count is clamped to the router count.
+ShardPlan plan_shards(const ShardPlanInputs& inputs);
+
+// ---------------------------------------------------------------------------
+// Per-shard execution context
+
+/// What the emulation's fabric callbacks see while a sharded epoch runs:
+/// the executing shard's virtual clock, message counters, channel-busy
+/// slice, and the scheduling entry point that routes new events to the
+/// local heap or an outbound mailbox. Reached via current_shard_context().
+class ShardContext {
+ public:
+  util::TimePoint now;
+  uint64_t delivered = 0;
+  uint64_t dropped = 0;
+  /// This shard's slice of the per-(sender, destination) channel
+  /// serialization map — senders live on exactly one shard, so slices are
+  /// disjoint and merge back losslessly after the run.
+  std::map<std::pair<std::string, uint32_t>, util::TimePoint> channel_busy;
+
+  /// Schedules an event from code running on this shard. `emitter` must be
+  /// an actor this shard owns (callbacks only ever emit as themselves);
+  /// `owner` may live anywhere — remote events go through a mailbox.
+  void schedule(util::TimePoint when, ActorId emitter, ActorId owner, util::SmallFn fn);
+
+ private:
+  friend class ShardedExecutor;
+  class ShardedExecutor* executor_ = nullptr;
+  uint32_t shard_ = 0;
+};
+
+/// Returns the shard context active on this thread for the emulation
+/// identified by `tag` (the Emulation*), or nullptr when the caller is on
+/// the serial path. Tag-keyed so nested/concurrent emulations (scenario
+/// sweeps forking sharded bases on a thread pool) never cross wires.
+ShardContext* current_shard_context(const void* tag);
+
+// ---------------------------------------------------------------------------
+// The sharded run
+
+struct ShardRunInputs {
+  /// Identity for current_shard_context routing (the owning Emulation).
+  const void* context_tag = nullptr;
+  ShardPlan plan;
+  std::vector<KernelEvent> initial_events;
+  /// Per-emitter sequence counters, taken from the serial kernel and
+  /// returned (continued) in the result.
+  std::vector<uint64_t> actor_seqs;
+  util::TimePoint start_now;
+  uint64_t max_events = UINT64_MAX;
+  /// Channel-busy slices, pre-partitioned by sender shard; size == shards.
+  std::vector<std::map<std::pair<std::string, uint32_t>, util::TimePoint>> channel_busy;
+};
+
+struct ShardRunResult {
+  /// True when every heap and mailbox drained (quiescence). False means
+  /// the max_events cap fired; `leftovers` then holds the unexecuted
+  /// events for EventKernel::restore(). Note the cap is checked at epoch
+  /// granularity, so a capped sharded run may execute up to one window
+  /// past the serial kernel's exact cut-off.
+  bool drained = true;
+  uint64_t executed = 0;
+  /// Timestamp of the last executed event (start_now if none ran).
+  util::TimePoint final_now;
+  uint64_t delivered = 0;
+  uint64_t dropped = 0;
+  uint64_t epochs = 0;
+  std::vector<uint64_t> shard_events;           // per shard
+  std::vector<int64_t> shard_barrier_stall_us;  // per shard, wall-clock
+  std::vector<std::map<std::pair<std::string, uint32_t>, util::TimePoint>> channel_busy;
+  std::vector<uint64_t> actor_seqs;
+  std::vector<KernelEvent> leftovers;
+};
+
+/// Runs the events to quiescence (or the cap) across plan.shards worker
+/// threads (the calling thread doubles as shard 0) and blocks until done.
+ShardRunResult run_sharded_events(ShardRunInputs inputs);
+
+// ---------------------------------------------------------------------------
+// Barrier
+
+/// Sense-reversing spin barrier for the epoch loop. The last arriver runs
+/// a completion callback exclusively (window/termination decisions) before
+/// releasing the others; release/acquire on the generation counter gives
+/// the happens-before edge that makes the mailbox vectors race-free.
+/// Spins briefly then parks on std::atomic::wait, so oversubscribed hosts
+/// (more shards than cores) degrade to futex waits instead of burning the
+/// core the other worker needs.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(uint32_t parties);
+
+  template <typename OnLast>
+  void arrive_and_wait(OnLast&& on_last) {
+    uint32_t generation = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      on_last();
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.store(generation + 1, std::memory_order_release);
+      generation_.notify_all();
+      return;
+    }
+    for (int spin = 0; spin < spin_limit_; ++spin)
+      if (generation_.load(std::memory_order_acquire) != generation) return;
+    while (generation_.load(std::memory_order_acquire) == generation)
+      generation_.wait(generation, std::memory_order_acquire);
+  }
+
+  void arrive_and_wait() {
+    arrive_and_wait([] {});
+  }
+
+ private:
+  const uint32_t parties_;
+  const int spin_limit_;
+  std::atomic<uint32_t> arrived_{0};
+  std::atomic<uint32_t> generation_{0};
+};
+
+}  // namespace mfv::emu

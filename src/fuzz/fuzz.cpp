@@ -209,6 +209,8 @@ std::string oracle_name(uint32_t oracle) {
       return "store";
     case kOracleDialect:
       return "dialect";
+    case kOracleSharded:
+      return "sharded";
     case kOracleAll:
       return "all";
     default:
@@ -221,6 +223,7 @@ std::optional<uint32_t> parse_oracle(std::string_view name) {
   if (name == "fork") return kOracleFork;
   if (name == "store") return kOracleStore;
   if (name == "dialect") return kOracleDialect;
+  if (name == "sharded") return kOracleSharded;
   if (name == "all") return kOracleAll;
   return std::nullopt;
 }
@@ -228,7 +231,8 @@ std::optional<uint32_t> parse_oracle(std::string_view name) {
 uint32_t FuzzCase::oracles() const {
   uint32_t mask = 0;
   if (!snapshot.devices.empty() || !topology.nodes.empty()) mask |= kOracleEngines;
-  if (!topology.nodes.empty()) mask |= kOracleFork | kOracleStore | kOracleDialect;
+  if (!topology.nodes.empty())
+    mask |= kOracleFork | kOracleStore | kOracleDialect | kOracleSharded;
   if (!literals.empty()) mask |= kOracleDialect;
   return mask;
 }

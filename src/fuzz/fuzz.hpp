@@ -57,12 +57,17 @@ enum Oracle : uint32_t {
   /// plus address-literal canonicalization: any literal the parser
   /// accepts must round-trip byte-identically through to_string().
   kOracleDialect = 1u << 3,
+  /// Sharded event kernel vs serial kernel: boot + perturb + re-converge
+  /// with EmulationOptions::shards > 1 must produce byte-identical
+  /// snapshot JSON and identical message/event/clock counters.
+  kOracleSharded = 1u << 4,
 
-  kOracleAll = kOracleEngines | kOracleFork | kOracleStore | kOracleDialect,
+  kOracleAll =
+      kOracleEngines | kOracleFork | kOracleStore | kOracleDialect | kOracleSharded,
 };
 
 std::string oracle_name(uint32_t oracle);
-/// Parses "engines" / "fork" / "store" / "dialect" / "all".
+/// Parses "engines" / "fork" / "store" / "dialect" / "sharded" / "all".
 std::optional<uint32_t> parse_oracle(std::string_view name);
 
 /// One self-contained fuzz case. Exactly one of topology/snapshot is

@@ -357,6 +357,43 @@ Verdict check_dialect(const FuzzCase& c) {
   return pass(kOracleDialect);
 }
 
+// -- oracle 5: sharded kernel vs serial kernel ------------------------------
+
+/// Boots the case's topology, applies its perturbation sequence, and
+/// re-converges after each one, all under `options`. Returns the snapshot
+/// JSON plus the counters the sharded kernel promises to preserve, or
+/// empty on skip (rejection / non-convergence).
+std::string run_case_observables(const FuzzCase& c, emu::EmulationOptions options) {
+  emu::Emulation emulation(options);
+  if (!emulation.add_topology(c.topology).ok()) return "";
+  emulation.start_all();
+  if (!emulation.run_to_convergence()) return "";
+  for (const scenario::Perturbation& perturbation : c.perturbations) {
+    scenario::ScenarioRunner::apply(emulation, perturbation);
+    if (!emulation.run_to_convergence()) return "";
+  }
+  return gnmi::Snapshot::capture(emulation, "snap").to_json().dump() +
+         "|delivered=" + std::to_string(emulation.messages_delivered()) +
+         "|dropped=" + std::to_string(emulation.messages_dropped()) +
+         "|executed=" + std::to_string(emulation.kernel().executed()) +
+         "|now=" + std::to_string(emulation.kernel().now().count_micros());
+}
+
+Verdict check_sharded(const FuzzCase& c) {
+  std::string serial = run_case_observables(c, {});
+  if (serial.empty()) return pass(kOracleSharded, "skipped: serial run did not settle");
+  for (uint32_t shards : {2u, 4u}) {
+    emu::EmulationOptions options;
+    options.shards = shards;
+    std::string sharded = run_case_observables(c, options);
+    if (sharded != serial)
+      return fail(kOracleSharded,
+                  std::to_string(shards) + "-shard run diverged from serial after " +
+                      std::to_string(c.perturbations.size()) + " perturbation(s)");
+  }
+  return pass(kOracleSharded);
+}
+
 }  // namespace
 
 std::vector<Verdict> run_oracles(const FuzzCase& c, uint32_t mask) {
@@ -366,6 +403,7 @@ std::vector<Verdict> run_oracles(const FuzzCase& c, uint32_t mask) {
   if (applicable & kOracleFork) verdicts.push_back(check_fork(c));
   if (applicable & kOracleStore) verdicts.push_back(check_store(c));
   if (applicable & kOracleDialect) verdicts.push_back(check_dialect(c));
+  if (applicable & kOracleSharded) verdicts.push_back(check_sharded(c));
   return verdicts;
 }
 

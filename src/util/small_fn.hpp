@@ -1,0 +1,119 @@
+// Small-buffer move-only callable for the event hot path.
+//
+// std::function is the wrong container for kernel events: a delivery
+// lambda capturing a proto::Message (~100 bytes) blows past std::function's
+// tiny SBO and heap-allocates on every scheduled message. SmallFn sizes its
+// inline buffer for exactly that case, so the emulator's send paths build
+// events with zero allocations; captures that do not fit (or whose move
+// can throw) fall back to a single heap cell. Move-only on purpose —
+// events are consumed exactly once and copying a captured Message would be
+// its own hidden cost.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mfv::util {
+
+class SmallFn {
+ public:
+  /// Sized for the emulator's fattest hot-path event: a link delivery
+  /// capturing {Emulation*, LinkEnd*, epoch, proto::Message}. Anything
+  /// larger still works, it just heap-allocates like std::function did.
+  static constexpr size_t kInlineCapacity = 136;
+
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, SmallFn> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& fn) {  // NOLINT(google-explicit-constructor): callable adapter
+    using Decayed = std::decay_t<F>;
+    if constexpr (sizeof(Decayed) <= kInlineCapacity &&
+                  alignof(Decayed) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Decayed>) {
+      ::new (static_cast<void*>(storage_)) Decayed(std::forward<F>(fn));
+      ops_ = &kInlineOps<Decayed>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Decayed*(new Decayed(std::forward<F>(fn)));
+      ops_ = &kHeapOps<Decayed>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  /// True when the callable lives in the inline buffer (no heap cell).
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs into `to` and destroys the source.
+    void (*relocate)(void* to, void* from);
+    void (*destroy)(void* storage);
+    bool inline_storage;
+  };
+
+  template <typename T>
+  static T* laundered(void* storage) {
+    return std::launder(reinterpret_cast<T*>(storage));
+  }
+
+  template <typename Decayed>
+  static constexpr Ops kInlineOps = {
+      [](void* storage) { (*laundered<Decayed>(storage))(); },
+      [](void* to, void* from) {
+        Decayed* source = laundered<Decayed>(from);
+        ::new (to) Decayed(std::move(*source));
+        source->~Decayed();
+      },
+      [](void* storage) { laundered<Decayed>(storage)->~Decayed(); },
+      /*inline_storage=*/true,
+  };
+
+  template <typename Decayed>
+  static constexpr Ops kHeapOps = {
+      [](void* storage) { (**laundered<Decayed*>(storage))(); },
+      [](void* to, void* from) {
+        ::new (to) Decayed*(*laundered<Decayed*>(from));
+      },
+      [](void* storage) { delete *laundered<Decayed*>(storage); },
+      /*inline_storage=*/false,
+  };
+
+  void move_from(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace mfv::util

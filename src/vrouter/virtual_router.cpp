@@ -266,10 +266,11 @@ void VirtualRouter::send_addressed(net::Ipv4Address destination,
 }
 
 void VirtualRouter::schedule(util::Duration delay, std::function<void()> fn) {
-  fabric_.schedule(delay, [alive = alive_, generation = generation_,
-                           expected = *generation_, fn = std::move(fn)] {
-    if (*alive && *generation == expected) fn();
-  });
+  fabric_.schedule(config_.hostname, delay,
+                   [alive = alive_, generation = generation_,
+                    expected = *generation_, fn = std::move(fn)] {
+                     if (*alive && *generation == expected) fn();
+                   });
 }
 
 bool VirtualRouter::reachable(net::Ipv4Address address) const {

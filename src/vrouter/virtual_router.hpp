@@ -47,7 +47,11 @@ class Fabric {
   /// Delivers an addressed message from `node` toward `destination`.
   virtual void send_addressed(const net::NodeName& node, net::Ipv4Address destination,
                               const proto::Message& message) = 0;
-  virtual void schedule(util::Duration delay, std::function<void()> fn) = 0;
+  /// Schedules a timer on behalf of `node`. The node attribution is what
+  /// lets the sharded kernel place the callback on the node's own shard
+  /// (and order it deterministically); every router timer self-attributes.
+  virtual void schedule(const net::NodeName& node, util::Duration delay,
+                        std::function<void()> fn) = 0;
   virtual util::TimePoint now() const = 0;
 };
 

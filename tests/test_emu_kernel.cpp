@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <vector>
+
 #include "emu/kernel.hpp"
 
 namespace mfv::emu {
@@ -71,6 +75,94 @@ TEST(Kernel, PastScheduleClampsToNow) {
   kernel.run_until_idle();
   EXPECT_TRUE(fired);
   EXPECT_EQ(kernel.now(), TimePoint(0) + Duration::millis(10));  // time never goes back
+}
+
+TEST(Kernel, SameTimestampOrdersByEmitterThenSequence) {
+  EventKernel kernel;
+  std::vector<int> order;
+  // Interleave schedule calls across emitters; execution must sort by
+  // (emitter, per-emitter seq), not by global schedule order.
+  kernel.schedule(Duration::millis(1), /*emitter=*/3, /*owner=*/3, [&] { order.push_back(30); });
+  kernel.schedule(Duration::millis(1), /*emitter=*/1, /*owner=*/1, [&] { order.push_back(10); });
+  kernel.schedule(Duration::millis(1), /*emitter=*/3, /*owner=*/3, [&] { order.push_back(31); });
+  kernel.schedule(Duration::millis(1), /*emitter=*/1, /*owner=*/1, [&] { order.push_back(11); });
+  kernel.schedule(Duration::millis(1), /*emitter=*/2, /*owner=*/2, [&] { order.push_back(20); });
+  EXPECT_TRUE(kernel.run_until_idle());
+  EXPECT_EQ(order, (std::vector<int>{10, 11, 20, 30, 31}));
+}
+
+TEST(Kernel, AdoptTimeCarriesPerActorSequences) {
+  EventKernel base;
+  // Burn different sequence counts per emitter, then drain.
+  base.schedule(Duration::millis(1), 1, 1, [] {});
+  base.schedule(Duration::millis(1), 1, 1, [] {});
+  base.schedule(Duration::millis(1), 2, 2, [] {});
+  base.run_until_idle();
+
+  EventKernel clone;
+  clone.adopt_time(base);
+  EXPECT_EQ(clone.now(), base.now());
+  EXPECT_EQ(clone.executed(), base.executed());
+
+  // Post-adopt events must get the same keys the base's continuation
+  // would assign, so both kernels execute the same interleaving.
+  std::vector<int> base_order;
+  std::vector<int> clone_order;
+  auto feed = [](EventKernel& kernel, std::vector<int>& order) {
+    kernel.schedule(Duration::millis(5), 2, 2, [&order] { order.push_back(2); });
+    kernel.schedule(Duration::millis(5), 1, 1, [&order] { order.push_back(1); });
+    kernel.run_until_idle();
+  };
+  feed(base, base_order);
+  feed(clone, clone_order);
+  EXPECT_EQ(base_order, clone_order);
+  EXPECT_EQ(base.now(), clone.now());
+}
+
+TEST(Kernel, TakePendingAndRestoreRoundTrips) {
+  EventKernel kernel;
+  std::vector<int> order;
+  kernel.schedule(Duration::millis(2), 1, 1, [&] { order.push_back(2); });
+  kernel.schedule(Duration::millis(1), 2, 2, [&] { order.push_back(1); });
+  std::vector<KernelEvent> taken = kernel.take_pending();
+  EXPECT_EQ(taken.size(), 2u);
+  EXPECT_TRUE(kernel.idle());
+  kernel.restore(std::move(taken));
+  EXPECT_TRUE(kernel.run_until_idle());
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SmallFn, InlineForSmallCapturesHeapForLarge) {
+  int hits = 0;
+  util::SmallFn small([&hits] { ++hits; });
+  EXPECT_TRUE(small.is_inline());
+  small();
+  EXPECT_EQ(hits, 1);
+
+  struct Big {
+    char bytes[512] = {};
+  };
+  Big big;
+  util::SmallFn large([big, &hits] { ++hits; (void)big; });
+  EXPECT_FALSE(large.is_inline());
+  large();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFn, MoveTransfersOwnershipAndDestroysOnce) {
+  auto alive = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = alive;
+  {
+    util::SmallFn fn([alive] { (void)*alive; });
+    alive.reset();
+    EXPECT_FALSE(watch.expired());
+    util::SmallFn moved = std::move(fn);
+    EXPECT_FALSE(fn);  // NOLINT(bugprone-use-after-move): moved-from is empty
+    EXPECT_TRUE(moved);
+    moved();
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
 }
 
 }  // namespace
