@@ -124,6 +124,7 @@ void shard_sweep() {
     fields["identical_to_serial"] = identical;
     fields["converged"] = converged;
     fields["events"] = emulation.kernel().executed();
+    fields["serial_fallbacks"] = emulation.serial_fallbacks();
     mfvbench::timing("E4A_SHARD", fields);
   }
   std::printf("\n");

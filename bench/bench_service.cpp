@@ -59,13 +59,14 @@ emu::Topology bench_topology(uint64_t seed) {
 }
 
 struct Harness {
-  Harness() {
+  explicit Harness(bool capture_verify_base = true, const char* tag = "") {
     service::ServiceOptions options;
     options.broker.queue_capacity = 4096;  // the load phases outrun one worker
+    options.capture_verify_base = capture_verify_base;
     service = std::make_unique<service::VerificationService>(options);
     service::ServerOptions server_options;
     server_options.unix_path =
-        "/tmp/mfv_bench_" + std::to_string(getpid()) + ".sock";
+        "/tmp/mfv_bench_" + std::to_string(getpid()) + tag + ".sock";
     server = std::make_unique<service::Server>(*service, server_options);
     if (!server->start().ok()) std::abort();
   }
@@ -212,6 +213,51 @@ void report() {
     util::Json extra = util::Json::object();
     extra["first_ms"] = fork_cold_ms;
     emit("fork-hit", fork_hit, std::move(extra));
+  }
+
+  // -- incremental: first pairwise query on a freshly forked snapshot.
+  //    With capture_verify_base on (the default) the query splices
+  //    against the base's captured disposition matrix; a second service
+  //    with capture disabled serves the identical fork cold. The first
+  //    query per side is the headline — repeats hit the fork's own warm
+  //    TraceCache on both sides --
+  {
+    const std::string forked_key = forked->result.find("snapshot")->as_string();
+    auto query_phase = [&](service::Client& c, const std::string& key) {
+      std::vector<double> latencies;
+      for (int i = 0; i < 20; ++i) {
+        Clock::time_point start = Clock::now();
+        auto response = c.call(query_request(500 + static_cast<uint64_t>(i), key));
+        if (!response.ok() || !response->ok()) std::abort();
+        latencies.push_back(ms_since(start));
+      }
+      return latencies;
+    };
+
+    Clock::time_point phase = Clock::now();
+    std::vector<double> spliced = query_phase(client, forked_key);
+    double spliced_wall = ms_since(phase);
+
+    Harness cold_harness(/*capture_verify_base=*/false, "_cold");
+    service::Client cold_client = cold_harness.connect();
+    std::string cold_base = upload_and_snapshot(cold_client, first_topology);
+    auto cold_forked = cold_client.call(fork_request(cold_base, first_topology));
+    if (!cold_forked.ok() || !cold_forked->ok()) std::abort();
+    const std::string cold_key = cold_forked->result.find("snapshot")->as_string();
+    phase = Clock::now();
+    std::vector<double> cold_queries = query_phase(cold_client, cold_key);
+    double cold_wall = ms_since(phase);
+
+    util::Json extra = util::Json::object();
+    extra["first_ms"] = spliced.front();
+    emit("incremental", summarize(spliced, spliced_wall), std::move(extra));
+    extra = util::Json::object();
+    extra["first_ms"] = cold_queries.front();
+    emit("incremental-cold", summarize(cold_queries, cold_wall), std::move(extra));
+    util::Json fields = util::Json::object();
+    fields["incremental_vs_cold_first"] =
+        spliced.front() > 0 ? cold_queries.front() / spliced.front() : 0.0;
+    mfvbench::timing("SERVICE_SPEEDUP", fields);
   }
 
   // -- closed-loop: K clients, back-to-back pairwise queries --

@@ -133,6 +133,12 @@ class Aft {
            tables_->label_entries == other.tables_->label_entries;
   }
 
+  /// O(1) equality witness: true when both sides still share the same
+  /// copy-on-write storage block. False only means "unknown" — a fork
+  /// that rewrote identical contents no longer shares. diff_fibs uses
+  /// this to skip whole devices a fork never recompiled.
+  bool shares_tables(const Aft& other) const { return &*tables_ == &*other.tables_; }
+
   /// Structural equality of *forwarding behaviour*: same prefixes mapping
   /// to the same resolved next-hop sets (indices may differ). This is the
   /// predicate the convergence detector polls (§5: "we detect convergence

@@ -68,15 +68,16 @@ bool ExternalPeer::withdraw(const std::vector<net::Ipv4Prefix>& prefixes) {
 // ---------------------------------------------------------------------------
 // Emulation
 
-Emulation::Emulation(EmulationOptions options)
-    : options_(options), rng_(options.seed) {
+Emulation::Emulation(EmulationOptions options) : options_(options) {
+  actor_rngs_.emplace_back(options_.seed, kEnvActor);
   wire_metrics();
 }
 
 Emulation::Emulation(const Emulation& other)
     : options_(other.options_),
-      rng_(other.rng_),  // mid-stream state, not a reseed: post-fork jitter
-                         // draws match a cold run continuing from here
+      actor_rngs_(other.actor_rngs_),  // mid-stream state, not a reseed:
+                                       // post-fork jitter draws match a cold
+                                       // run continuing from here
       actor_ids_(other.actor_ids_),
       next_actor_id_(other.next_actor_id_),
       links_(other.links_),
@@ -114,6 +115,7 @@ void Emulation::wire_metrics() {
   convergence_virtual_us_ =
       &metrics->latency_histogram_us("emu_convergence_virtual_us");
   sharded_runs_counter_ = &metrics->counter("emu_sharded_runs");
+  serial_fallbacks_counter_ = &metrics->counter("emu_serial_fallbacks");
   shard_epochs_counter_ = &metrics->counter("emu_shard_epochs");
   shard_events_per_run_ = &metrics->histogram(
       "emu_shard_events_per_run",
@@ -125,6 +127,8 @@ void Emulation::wire_metrics() {
 ActorId Emulation::register_actor(const net::NodeName& name) {
   auto [it, inserted] = actor_ids_.try_emplace(name, next_actor_id_);
   if (inserted) ++next_actor_id_;
+  while (actor_rngs_.size() < next_actor_id_)
+    actor_rngs_.emplace_back(options_.seed, actor_rngs_.size());
   return it->second;
 }
 
@@ -142,10 +146,11 @@ void Emulation::schedule_event(ActorId emitter, ActorId owner, util::Duration de
   kernel_.schedule(delay, emitter, owner, std::move(fn));
 }
 
-util::Duration Emulation::jitter() {
+util::Duration Emulation::jitter(ActorId emitter) {
   if (options_.message_jitter_micros <= 0) return util::Duration::micros(0);
+  util::Pcg32& rng = actor_rngs_[emitter < actor_rngs_.size() ? emitter : kEnvActor];
   return util::Duration::micros(static_cast<int64_t>(
-      rng_.next_below(static_cast<uint32_t>(options_.message_jitter_micros) + 1)));
+      rng.next_below(static_cast<uint32_t>(options_.message_jitter_micros) + 1)));
 }
 
 void Emulation::index_addresses(const config::DeviceConfig& config) {
@@ -316,8 +321,7 @@ bool Emulation::run_to_convergence(uint64_t max_events) {
 bool Emulation::run_events(uint64_t max_events) {
   uint32_t shards = options_.shards;
   if (shards > routers_.size()) shards = static_cast<uint32_t>(routers_.size());
-  if (shards <= 1 || options_.message_jitter_micros > 0 || kernel_.idle())
-    return kernel_.run_until_idle(max_events);
+  if (shards <= 1 || kernel_.idle()) return kernel_.run_until_idle(max_events);
   return run_sharded(shards, max_events);
 }
 
@@ -354,6 +358,8 @@ bool Emulation::run_sharded(uint32_t shards, uint64_t max_events) {
     plan = plan_shards(inputs);
   }
   if (unattributed || plan.shards <= 1 || plan.lookahead_micros <= 0) {
+    ++serial_fallbacks_;
+    if (serial_fallbacks_counter_ != nullptr) serial_fallbacks_counter_->add(1);
     kernel_.restore(std::move(pending));
     return kernel_.run_until_idle(max_events);
   }
@@ -450,7 +456,9 @@ void Emulation::send_on_interface(const net::NodeName& node,
     note_dropped();
     return;
   }
-  util::Duration delay = util::Duration::micros(it->second.latency_micros) + jitter();
+  ActorId emitter = actor_of(node);
+  util::Duration delay =
+      util::Duration::micros(it->second.latency_micros) + jitter(emitter);
   // The frame is re-validated at arrival: a cut (or any down/up flap — the
   // epoch check) while it was in flight drops it, like a real wire losing
   // its contents. The captured LinkEnd stays valid (links are never
@@ -459,7 +467,7 @@ void Emulation::send_on_interface(const net::NodeName& node,
   // never heap-allocates.
   uint64_t epoch = it->second.down_epoch;
   const LinkEnd* end = &it->second;
-  schedule_event(actor_of(node), actor_of(end->peer.node), delay,
+  schedule_event(emitter, actor_of(end->peer.node), delay,
                  [this, end, epoch, message] {
                    if (!end->up || end->down_epoch != epoch) {
                      note_dropped();
@@ -477,7 +485,9 @@ void Emulation::send_on_interface(const net::NodeName& node,
 
 void Emulation::send_addressed(const net::NodeName& node, net::Ipv4Address destination,
                                const proto::Message& message) {
-  util::Duration delay = util::Duration::micros(options_.addressed_latency_micros) + jitter();
+  ActorId emitter = actor_of(node);
+  util::Duration delay =
+      util::Duration::micros(options_.addressed_latency_micros) + jitter(emitter);
   if (const auto* update = std::get_if<proto::BgpUpdate>(&message))
     delay = delay + util::Duration::micros(
                         static_cast<int64_t>(update->announced.size() +
@@ -495,7 +505,7 @@ void Emulation::send_addressed(const net::NodeName& node, net::Ipv4Address desti
   delay = deliver_at - current;
   if (auto peer_it = peer_addresses_.find(destination); peer_it != peer_addresses_.end()) {
     ExternalPeer* peer = peer_it->second;
-    schedule_event(actor_of(node), actor_of("peer:" + peer->spec().name), delay,
+    schedule_event(emitter, actor_of("peer:" + peer->spec().name), delay,
                    [this, peer, message] {
                      note_delivered();
                      peer->handle(message, options_.injection_batch_size);
@@ -513,7 +523,7 @@ void Emulation::send_addressed(const net::NodeName& node, net::Ipv4Address desti
     return;
   }
   vrouter::VirtualRouter* target = router_it->second.get();
-  schedule_event(actor_of(node), actor_of(owner_it->second), delay,
+  schedule_event(emitter, actor_of(owner_it->second), delay,
                  [this, target, message] {
                    note_delivered();
                    target->deliver_addressed(message);

@@ -47,9 +47,11 @@ struct EmulationOptions {
   /// Event-loop shards for run_to_convergence. 1 = the serial kernel.
   /// Values > 1 partition routers across that many worker threads with a
   /// conservative lookahead barrier (DESIGN.md §10); results are
-  /// bit-identical to serial. Runs that cannot shard safely — nonzero
-  /// jitter (shared RNG draws at schedule time), unattributed pending
-  /// events, or a degenerate lookahead — fall back to the serial kernel.
+  /// bit-identical to serial. Jitter shards fine: each actor draws from
+  /// its own seeded RNG stream, so draws are thread-private and identical
+  /// to a serial run. Runs that cannot shard safely — unattributed
+  /// pending events or a degenerate lookahead — fall back to the serial
+  /// kernel (counted in emu_serial_fallbacks).
   uint32_t shards = 1;
   /// Optional explicit node -> shard placement, overriding the planner's
   /// link-locality partition for the named nodes (out-of-range shard
@@ -179,6 +181,10 @@ class Emulation final : public vrouter::Fabric {
 
   uint64_t messages_delivered() const { return messages_delivered_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
+  /// Times a run requested with shards > 1 had to execute on the serial
+  /// kernel anyway (unattributed pending events, or a plan degenerating
+  /// to <= 1 shard / a non-positive lookahead horizon).
+  uint64_t serial_fallbacks() const { return serial_fallbacks_; }
 
   // -- vrouter::Fabric ----------------------------------------------------------
   void send_on_interface(const net::NodeName& node, const net::InterfaceName& interface,
@@ -239,13 +245,20 @@ class Emulation final : public vrouter::Fabric {
   bool run_events(uint64_t max_events);
   bool run_sharded(uint32_t shards, uint64_t max_events);
 
-  util::Duration jitter();
+  /// Jitter draw charged to `emitter`'s private RNG stream. Per-actor
+  /// streams make the draw order a function of each actor's own send
+  /// sequence — identical under the serial and sharded kernels, and
+  /// thread-private during a sharded run (the emitter's shard owns it).
+  util::Duration jitter(ActorId emitter);
   void index_addresses(const config::DeviceConfig& config);
   void refresh_link_states();
 
   EmulationOptions options_;
   EventKernel kernel_;
-  util::Pcg32 rng_;
+  /// One RNG per dense actor id (slot 0 = kEnvActor), seeded from
+  /// options_.seed with the actor id as the PCG stream selector. Grown in
+  /// register_actor; forks copy mid-stream state.
+  std::vector<util::Pcg32> actor_rngs_;
 
   std::map<net::NodeName, std::unique_ptr<vrouter::VirtualRouter>> routers_;
   /// Dense actor ids for event attribution (routers by hostname, external
@@ -265,6 +278,7 @@ class Emulation final : public vrouter::Fabric {
 
   uint64_t messages_delivered_ = 0;
   uint64_t messages_dropped_ = 0;
+  uint64_t serial_fallbacks_ = 0;
 
   /// Registry mirrors (null when options_.metrics is null). The plain
   /// members above stay authoritative per instance — a fork copies them
@@ -276,6 +290,7 @@ class Emulation final : public vrouter::Fabric {
   obs::Histogram* convergence_wall_us_ = nullptr;
   obs::Histogram* convergence_virtual_us_ = nullptr;
   obs::Counter* sharded_runs_counter_ = nullptr;
+  obs::Counter* serial_fallbacks_counter_ = nullptr;
   obs::Counter* shard_epochs_counter_ = nullptr;
   obs::Histogram* shard_events_per_run_ = nullptr;
   obs::Histogram* shard_barrier_stall_us_ = nullptr;

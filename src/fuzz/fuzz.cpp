@@ -211,6 +211,8 @@ std::string oracle_name(uint32_t oracle) {
       return "dialect";
     case kOracleSharded:
       return "sharded";
+    case kOracleIncremental:
+      return "incremental";
     case kOracleAll:
       return "all";
     default:
@@ -224,6 +226,7 @@ std::optional<uint32_t> parse_oracle(std::string_view name) {
   if (name == "store") return kOracleStore;
   if (name == "dialect") return kOracleDialect;
   if (name == "sharded") return kOracleSharded;
+  if (name == "incremental") return kOracleIncremental;
   if (name == "all") return kOracleAll;
   return std::nullopt;
 }
@@ -232,7 +235,8 @@ uint32_t FuzzCase::oracles() const {
   uint32_t mask = 0;
   if (!snapshot.devices.empty() || !topology.nodes.empty()) mask |= kOracleEngines;
   if (!topology.nodes.empty())
-    mask |= kOracleFork | kOracleStore | kOracleDialect | kOracleSharded;
+    mask |= kOracleFork | kOracleStore | kOracleDialect | kOracleSharded |
+            kOracleIncremental;
   if (!literals.empty()) mask |= kOracleDialect;
   return mask;
 }

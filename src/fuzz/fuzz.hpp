@@ -61,9 +61,14 @@ enum Oracle : uint32_t {
   /// with EmulationOptions::shards > 1 must produce byte-identical
   /// snapshot JSON and identical message/event/clock counters.
   kOracleSharded = 1u << 4,
+  /// Incremental re-verification vs cold: after fork + perturb +
+  /// re-converge, the splicing engine (verify/incremental, seeded with
+  /// the base's captured disposition matrix) must reproduce the cold
+  /// reachability rows and pairwise cells byte for byte.
+  kOracleIncremental = 1u << 5,
 
-  kOracleAll =
-      kOracleEngines | kOracleFork | kOracleStore | kOracleDialect | kOracleSharded,
+  kOracleAll = kOracleEngines | kOracleFork | kOracleStore | kOracleDialect |
+               kOracleSharded | kOracleIncremental,
 };
 
 std::string oracle_name(uint32_t oracle);

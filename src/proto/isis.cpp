@@ -1,8 +1,10 @@
 #include "proto/isis.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <queue>
+#include <vector>
 
 #include "util/logging.hpp"
 
@@ -52,7 +54,8 @@ IsisEngine::IsisEngine(RouterEnv& env, const IsisEngine& other)
       lsdb_(other.lsdb_),
       own_sequence_(other.own_sequence_),
       spf_pending_(other.spf_pending_),
-      spf_runs_(other.spf_runs_) {}
+      spf_runs_(other.spf_runs_),
+      last_install_size_(other.last_install_size_) {}
 
 std::unique_ptr<IsisEngine> IsisEngine::fork(RouterEnv& env) const {
   return std::unique_ptr<IsisEngine>(new IsisEngine(env, *this));
@@ -244,60 +247,99 @@ void IsisEngine::run_spf() {
   ++spf_runs_;
 
   // Dijkstra over the LSDB. An edge A->B with metric m is usable only if
-  // B's LSP also reports A (bidirectional check).
-  struct NodeState {
-    uint32_t distance = std::numeric_limits<uint32_t>::max();
-    // First-hop adjacencies reaching this node at `distance` (ECMP set).
-    std::set<net::InterfaceName> first_hops;
-  };
-  std::map<SystemId, NodeState> states;
-  states[system_id_].distance = 0;
+  // B's LSP also reports A (bidirectional check). Everything runs over
+  // dense indices: SPF dominates reconvergence wall time, and the
+  // SystemId-keyed map/set formulation spent it all on node lookups and
+  // interface-name-set copies. The route output is identical — nodes are
+  // indexed in lsdb_ (SystemId) order so queue ties break the same way,
+  // and first-hop sets become bitmasks whose bit order is the
+  // adjacency-name order the old std::set iteration produced.
+  constexpr uint32_t kInf = std::numeric_limits<uint32_t>::max();
+  const size_t node_count = lsdb_.size();
+  std::vector<const IsisLsp*> lsps;
+  lsps.reserve(node_count);
+  std::map<SystemId, uint32_t> index;
+  for (const auto& [origin, lsp] : lsdb_) {
+    index.emplace(origin, static_cast<uint32_t>(lsps.size()));
+    lsps.push_back(&lsp);
+  }
 
-  auto reports = [&](SystemId from, SystemId to) {
-    auto it = lsdb_.find(from);
-    if (it == lsdb_.end()) return false;
-    for (const auto& neighbor : it->second.neighbors)
-      if (neighbor.system_id == to) return true;
-    return false;
-  };
+  // Bit i of a hop mask <-> the i-th adjacency in name order
+  // (adjacencies_ map order), so ascending-bit iteration below yields
+  // the exact interface order of the set<InterfaceName> it replaces.
+  std::vector<std::pair<const net::InterfaceName*, const IsisAdjacency*>> adjacency_list;
+  adjacency_list.reserve(adjacencies_.size());
+  for (const auto& [name, adjacency] : adjacencies_)
+    adjacency_list.emplace_back(&name, &adjacency);
+  const size_t hop_words = adjacency_list.empty() ? 1 : (adjacency_list.size() + 63) / 64;
 
-  using QueueItem = std::pair<uint32_t, SystemId>;
-  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
-  queue.push({0, system_id_});
-  std::set<SystemId> settled;
+  // First-hop mask towards each direct neighbor: the union of the up
+  // adjacency interfaces reaching it (parallel links merge here).
+  std::vector<std::vector<uint64_t>> direct_hops(node_count);
+  for (size_t i = 0; i < adjacency_list.size(); ++i) {
+    const IsisAdjacency& adjacency = *adjacency_list[i].second;
+    if (adjacency.state != IsisAdjacency::State::kUp) continue;
+    auto it = index.find(adjacency.neighbor);
+    if (it == index.end()) continue;  // no LSP: the bidir check fails anyway
+    std::vector<uint64_t>& mask = direct_hops[it->second];
+    if (mask.empty()) mask.assign(hop_words, 0);
+    mask[i / 64] |= uint64_t{1} << (i % 64);
+  }
 
-  while (!queue.empty()) {
-    auto [distance, node] = queue.top();
-    queue.pop();
-    if (settled.count(node)) continue;
-    settled.insert(node);
+  // reported[v] bitset: the node indices v's LSP lists as neighbors.
+  const size_t node_words = (node_count + 63) / 64;
+  std::vector<uint64_t> reported(node_count * node_words, 0);
+  for (size_t v = 0; v < node_count; ++v)
+    for (const auto& neighbor : lsps[v]->neighbors) {
+      auto it = index.find(neighbor.system_id);
+      if (it == index.end()) continue;
+      reported[v * node_words + it->second / 64] |= uint64_t{1} << (it->second % 64);
+    }
+  // Usable edges per node with the bidirectional check pre-resolved.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> edges(node_count);
+  for (size_t u = 0; u < node_count; ++u)
+    for (const auto& edge : lsps[u]->neighbors) {
+      auto it = index.find(edge.system_id);
+      if (it == index.end()) continue;
+      const uint32_t v = it->second;
+      if ((reported[v * node_words + u / 64] >> (u % 64) & 1) == 0) continue;
+      edges[u].emplace_back(v, edge.metric);
+    }
 
-    auto lsp_it = lsdb_.find(node);
-    if (lsp_it == lsdb_.end()) continue;
-    for (const auto& edge : lsp_it->second.neighbors) {
-      if (!reports(edge.system_id, node)) continue;  // unidirectional
-      uint32_t candidate = distance + edge.metric;
-      NodeState& neighbor_state = states[edge.system_id];
-
-      // First hops: for direct neighbors of us, the adjacency interfaces
-      // to them; otherwise inherit from the predecessor.
-      std::set<net::InterfaceName> hops;
-      if (node == system_id_) {
-        for (const auto& [name, adjacency] : adjacencies_)
-          if (adjacency.state == IsisAdjacency::State::kUp &&
-              adjacency.neighbor == edge.system_id)
-            hops.insert(name);
-      } else {
-        hops = states[node].first_hops;
-      }
-      if (hops.empty()) continue;
-
-      if (candidate < neighbor_state.distance) {
-        neighbor_state.distance = candidate;
-        neighbor_state.first_hops = hops;
-        queue.push({candidate, edge.system_id});
-      } else if (candidate == neighbor_state.distance) {
-        neighbor_state.first_hops.insert(hops.begin(), hops.end());  // ECMP
+  std::vector<uint32_t> distance(node_count, kInf);
+  std::vector<uint64_t> first_hops(node_count * hop_words, 0);
+  std::vector<uint8_t> settled(node_count, 0);
+  auto self_it = index.find(system_id_);
+  if (self_it != index.end()) {
+    const uint32_t self = self_it->second;
+    distance[self] = 0;
+    using QueueItem = std::pair<uint32_t, uint32_t>;
+    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> queue;
+    queue.push({0, self});
+    while (!queue.empty()) {
+      auto [dist, u] = queue.top();
+      queue.pop();
+      if (settled[u]) continue;
+      settled[u] = 1;
+      const uint64_t* u_hops = first_hops.data() + u * hop_words;
+      for (const auto& [v, metric] : edges[u]) {
+        uint32_t candidate = dist + metric;
+        // First hops: for direct neighbors of us, the adjacency
+        // interfaces to them; otherwise inherit from the predecessor
+        // (non-self settled nodes always carry a non-empty mask).
+        const uint64_t* hops = u_hops;
+        if (u == self) {
+          if (direct_hops[v].empty()) continue;
+          hops = direct_hops[v].data();
+        }
+        uint64_t* v_hops = first_hops.data() + v * hop_words;
+        if (candidate < distance[v]) {
+          distance[v] = candidate;
+          std::copy(hops, hops + hop_words, v_hops);
+          queue.push({candidate, v});
+        } else if (candidate == distance[v]) {
+          for (size_t w = 0; w < hop_words; ++w) v_hops[w] |= hops[w];  // ECMP
+        }
       }
     }
   }
@@ -305,34 +347,37 @@ void IsisEngine::run_spf() {
   // Install routes: every prefix in every reachable LSP, cost = dist(origin)
   // + prefix metric, next hops = origin's first-hop adjacencies.
   std::vector<rib::RibRoute> fresh;
+  fresh.reserve(last_install_size_);
   std::map<net::Ipv4Prefix, uint32_t> best_metric;
 
+  size_t next_index = 0;
   for (const auto& [origin, lsp] : lsdb_) {
+    const size_t u = next_index++;
     if (origin == system_id_) continue;  // own prefixes are connected routes
-    auto state_it = states.find(origin);
-    if (state_it == states.end() ||
-        state_it->second.distance == std::numeric_limits<uint32_t>::max())
-      continue;
+    if (distance[u] == kInf) continue;
+    const uint64_t* hops = first_hops.data() + u * hop_words;
     for (const auto& item : lsp.prefixes) {
-      uint32_t total = state_it->second.distance + item.metric;
+      uint32_t total = distance[u] + item.metric;
       auto best_it = best_metric.find(item.prefix);
       if (best_it != best_metric.end() && best_it->second < total) continue;
       best_metric[item.prefix] = total;
-      for (const net::InterfaceName& hop : state_it->second.first_hops) {
-        auto adjacency_it = adjacencies_.find(hop);
-        if (adjacency_it == adjacencies_.end()) continue;
-        rib::RibRoute route;
-        route.prefix = item.prefix;
-        route.protocol = rib::Protocol::kIsis;
-        route.admin_distance = rib::default_admin_distance(rib::Protocol::kIsis);
-        route.metric = total;
-        route.next_hop = adjacency_it->second.neighbor_address;
-        route.interface = hop;
-        route.source = instance_;
-        fresh.push_back(std::move(route));
+      for (size_t w = 0; w < hop_words; ++w) {
+        for (uint64_t word = hops[w]; word != 0; word &= word - 1) {
+          const size_t i = w * 64 + static_cast<size_t>(std::countr_zero(word));
+          rib::RibRoute route;
+          route.prefix = item.prefix;
+          route.protocol = rib::Protocol::kIsis;
+          route.admin_distance = rib::default_admin_distance(rib::Protocol::kIsis);
+          route.metric = total;
+          route.next_hop = adjacency_list[i].second->neighbor_address;
+          route.interface = *adjacency_list[i].first;
+          route.source = instance_;
+          fresh.push_back(std::move(route));
+        }
       }
     }
   }
+  last_install_size_ = fresh.size();
   // Notify only when the installed set actually changed: SPF re-runs whose
   // result is identical (the common case during incremental re-convergence
   // after a fork) must not cascade FIB recompiles and BGP re-decisions.

@@ -99,6 +99,9 @@ class IsisEngine {
   uint32_t own_sequence_ = 0;
   bool spf_pending_ = false;
   uint32_t spf_runs_ = 0;
+  // Size of the last installed route set; sizes the next run's vector up
+  // front (SPF re-runs during reconvergence install near-identical sets).
+  size_t last_install_size_ = 0;
 };
 
 }  // namespace mfv::proto

@@ -177,6 +177,8 @@ ScenarioRunner::ScenarioRunner(const emu::Emulation& base, ScenarioRunnerOptions
     for (const verify::PairwiseCell& cell : base_pairwise_.cells)
       if (cell.reachable) base_reachable_.insert({cell.source, cell.destination});
   }
+  if (options_.incremental)
+    incremental_base_ = verify::capture_incremental_base(base_graph_, options_.verify);
 }
 
 util::Result<std::vector<ScenarioResult>> ScenarioRunner::run(
@@ -232,7 +234,13 @@ util::Result<std::vector<ScenarioResult>> ScenarioRunner::run(
     gnmi::Snapshot snapshot = gnmi::Snapshot::capture(*fork, scenario.name);
     if (options_.pairwise) {
       verify::ForwardingGraph graph(snapshot);
-      result.pairwise = verify::pairwise_reachability(graph, options_.verify);
+      verify::QueryOptions verify_options = options_.verify;
+      if (incremental_base_ != nullptr) {
+        // Shared read-only across shards; diff + splice are const over it.
+        verify_options.incremental = incremental_base_.get();
+        verify_options.incremental_stats = &result.incremental;
+      }
+      result.pairwise = verify::pairwise_reachability(graph, verify_options);
       for (const verify::PairwiseCell& cell : result.pairwise.cells)
         if (!cell.reachable && base_reachable_.count({cell.source, cell.destination}) > 0)
           ++result.broken_pairs;

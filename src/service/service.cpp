@@ -178,6 +178,18 @@ Response VerificationService::snapshot(const Request& request, util::Json& timin
         entry->emulation = std::move(emulation);
         entry->graph = std::make_unique<verify::ForwardingGraph>(entry->snapshot);
         entry->cache = std::make_unique<verify::TraceCache>(*entry->graph, metrics_);
+        if (options_.capture_verify_base) {
+          // Same engine shape as query_options(); routing the capture
+          // through the entry cache fully warms it as a side effect.
+          verify::QueryOptions capture;
+          capture.threads = options_.query_threads;
+          capture.engine = verify::EngineMode::kCached;
+          capture.prime_lpm = false;
+          capture.cache = entry->cache.get();
+          capture.metrics = metrics_;
+          entry->verify_base =
+              verify::capture_incremental_base(*entry->graph, capture);
+        }
         return entry;
       });
   if (!lease.ok()) return Response::failure(request.id, lease.status());
@@ -251,6 +263,19 @@ Response VerificationService::query(const Request& request, util::Json& timing,
   }
   size_t max_rows = bool_param(request, "full", false) ? 0 : options_.max_rows;
 
+  // A forked snapshot verifies against its ancestor's captured result:
+  // the splicer re-traces only what the perturbation dirtied. The lease's
+  // parent pointer pins the ancestor, so eviction cannot race this.
+  verify::IncrementalStats incremental_stats;
+  const StoredSnapshot* splice_base =
+      entry.parent != nullptr && entry.parent->verify_base != nullptr
+          ? entry.parent.get()
+          : nullptr;
+  if (splice_base != nullptr) {
+    options.incremental = splice_base->verify_base.get();
+    options.incremental_stats = &incremental_stats;
+  }
+
   auto verify_start = std::chrono::steady_clock::now();
   obs::TraceSpan verify_span(spans_, "verify", parent_span);
   verify_span.attr("kind", kind);
@@ -288,6 +313,18 @@ Response VerificationService::query(const Request& request, util::Json& timing,
                              util::invalid_argument("unknown query kind '" + kind + "'"));
   }
 
+  if (splice_base != nullptr &&
+      (kind == "reachability" || kind == "pairwise" || kind == "loops")) {
+    util::Json incremental = util::Json::object();
+    incremental["base"] = splice_base->key.to_string();
+    incremental["spliced"] = incremental_stats.spliced;
+    incremental["retraced"] = incremental_stats.retraced;
+    incremental["dirty_classes"] = incremental_stats.dirty_classes;
+    incremental["fell_back"] = incremental_stats.fell_back;
+    if (incremental_stats.fell_back)
+      incremental["fallback_reason"] = incremental_stats.fallback_reason;
+    result["incremental"] = std::move(incremental);
+  }
   timing["verify_us"] = elapsed_us(verify_start);
   return Response::success(request.id, std::move(result));
 }
@@ -337,6 +374,10 @@ Response VerificationService::fork_scenario(const Request& request, util::Json& 
         entry->emulation = std::move(fork);
         entry->graph = std::make_unique<verify::ForwardingGraph>(entry->snapshot);
         entry->cache = std::make_unique<verify::TraceCache>(*entry->graph, metrics_);
+        // Queries on this fork splice from the nearest ancestor that
+        // captured a verify base (forks of forks chain through it).
+        entry->parent =
+            base_entry->verify_base != nullptr ? base_entry : base_entry->parent;
         return entry;
       });
   if (!lease.ok()) return Response::failure(request.id, lease.status());

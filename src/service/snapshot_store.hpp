@@ -40,6 +40,7 @@
 #include "scenario/scenario.hpp"
 #include "util/status.hpp"
 #include "verify/forwarding_graph.hpp"
+#include "verify/incremental/incremental.hpp"
 #include "verify/trace_cache.hpp"
 
 namespace mfv::service {
@@ -79,6 +80,16 @@ struct StoredSnapshot {
   std::unique_ptr<verify::ForwardingGraph> graph;
   /// Thread-safe; shared by every request that leases this entry.
   std::unique_ptr<verify::TraceCache> cache;
+  /// Base verify result in splice-ready form (verify/incremental), so
+  /// forks of this snapshot answer queries by verifying only the diff.
+  /// Captured for converged bases, not for forks (capturing a fork would
+  /// cost exactly the cold verify the splice is meant to avoid); read-only
+  /// after build, safe to share across concurrent requests.
+  std::unique_ptr<verify::IncrementalBase> verify_base;
+  /// Nearest ancestor carrying a verify_base (null for bases). Pins the
+  /// ancestor across store eviction, so an incremental query on a fork
+  /// never races the LRU.
+  std::shared_ptr<const StoredSnapshot> parent;
   /// Retention charge (snapshot JSON size unless the builder set it).
   size_t bytes = 0;
   /// Virtual convergence time and control-plane messages of the build.

@@ -8,6 +8,7 @@
 
 #include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "verify/incremental/incremental.hpp"
 #include "verify/trace_cache.hpp"
 
 namespace mfv::verify {
@@ -85,6 +86,7 @@ void timed_shard(obs::Histogram* histogram, Fn&& fn) {
 }  // namespace
 
 ReachabilityResult reachability(const ForwardingGraph& graph, const QueryOptions& options) {
+  if (options.incremental != nullptr) return incremental_reachability(graph, options);
   ReachabilityResult result;
   std::vector<PacketClass> classes = classes_for(graph.relevant_prefixes(), options);
   std::vector<net::NodeName> sources = resolve_sources(graph, options);
@@ -310,6 +312,7 @@ std::optional<net::Ipv4Address> device_loopback(const gnmi::Snapshot& snapshot,
 
 PairwiseResult pairwise_reachability(const ForwardingGraph& graph,
                                      const QueryOptions& options) {
+  if (options.incremental != nullptr) return incremental_pairwise(graph, options);
   PairwiseResult result;
   std::vector<net::NodeName> nodes = graph.nodes();
 

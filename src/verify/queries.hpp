@@ -21,6 +21,8 @@ class MetricsRegistry;
 namespace mfv::verify {
 
 class TraceCache;
+struct IncrementalBase;
+struct IncrementalStats;
 
 /// Engine selection. kAuto picks the memoized sharded engine whenever the
 /// query runs multi-threaded and the legacy per-flow walker when
@@ -63,6 +65,20 @@ struct QueryOptions {
   /// TraceCaches mirror their hit/miss counters into the registry.
   /// nullptr = no instrumentation (the hot loops pay one pointer test).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Base snapshot's captured verify result (verify/incremental). When
+  /// set, reachability() and pairwise_reachability() diff this graph
+  /// against the base, re-trace only the (source, class) cells the delta
+  /// can actually affect and splice the rest from the base matrix —
+  /// byte-identical to the cold sweep, falling back to it whenever the
+  /// delta is not expressible as a FIB diff. Must outlive the call (the
+  /// snapshot store keeps it alive alongside the base entry).
+  const IncrementalBase* incremental = nullptr;
+  /// Fall back to cold re-verification once re-traced cells exceed this
+  /// fraction of all cells (splicing would no longer pay for the diff).
+  double incremental_max_dirty_fraction = 0.5;
+  /// Optional out-param: dirty/splice/fallback accounting of the
+  /// incremental engine (untouched when `incremental` is null).
+  IncrementalStats* incremental_stats = nullptr;
 };
 
 // ---------------------------------------------------------------------------

@@ -36,14 +36,17 @@ class ClassSolver {
         node_on_stack_(node_index.size(), 0) {}
 
   void solve_all() {
-    for (const auto& [node, index] : node_index_) {
-      Outcome outcome = visit(node, index, std::nullopt);
-      // Root results are always context-free: every dependency recorded
-      // below a frame is absorbed when that frame pops, so by the time
-      // the (empty-stack) root returns, deps is empty and the result was
-      // memoized by visit() itself.
-      (void)outcome;
-    }
+    for (const auto& [node, index] : node_index_) solve_root(node, index);
+  }
+
+  /// Solves one root (and every continuation it reaches), memoizing into
+  /// the shared table. Root results are always context-free: every
+  /// dependency recorded below a frame is absorbed when that frame pops,
+  /// so by the time the (empty-stack) root returns, deps is empty and
+  /// the result was memoized by visit() itself. A root already memoized
+  /// by an earlier partial solve returns from the memo immediately.
+  void solve_root(const net::NodeName& node, uint32_t index) {
+    (void)visit(node, index, std::nullopt);
   }
 
  private:
@@ -249,21 +252,28 @@ TraceCache::TraceCache(const ForwardingGraph& graph,
   }
 }
 
+TraceCache::ClassTable& TraceCache::slot_for(net::Ipv4Address destination) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<ClassTable>& slot = tables_[destination.bits()];
+  if (!slot) slot = std::make_unique<ClassTable>();
+  return *slot;
+}
+
 TraceCache::ClassTable& TraceCache::table_for(net::Ipv4Address destination) {
-  std::unique_ptr<ClassTable>* slot;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    slot = &tables_[destination.bits()];
-    if (!*slot) *slot = std::make_unique<ClassTable>();
-  }
-  ClassTable& table = **slot;
+  ClassTable& table = slot_for(destination);
   bool solved_here = false;
-  std::call_once(table.once, [&] {
-    ClassSolver solver(graph_, destination, node_index_, table.memo,
-                       &reexpansions_, reexpansions_counter_);
-    solver.solve_all();
-    solved_here = true;
-  });
+  {
+    std::lock_guard<std::mutex> lock(table.mutex);
+    if (!table.fully_solved) {
+      // Roots memoized by earlier partial solves (dispositions_for) are
+      // served from the memo; only the remainder runs.
+      ClassSolver solver(graph_, destination, node_index_, table.memo,
+                         &reexpansions_, reexpansions_counter_);
+      solver.solve_all();
+      table.fully_solved = true;
+      solved_here = true;
+    }
+  }
   if (solved_here) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     if (misses_counter_ != nullptr) misses_counter_->add(1);
@@ -275,6 +285,44 @@ TraceCache::ClassTable& TraceCache::table_for(net::Ipv4Address destination) {
 }
 
 void TraceCache::warm(net::Ipv4Address destination) { table_for(destination); }
+
+std::vector<DispositionSet> TraceCache::dispositions_for(
+    const std::vector<net::NodeName>& sources, net::Ipv4Address destination) {
+  ClassTable& table = slot_for(destination);
+  std::vector<DispositionSet> out;
+  out.reserve(sources.size());
+  std::lock_guard<std::mutex> lock(table.mutex);
+  if (!table.fully_solved) {
+    ClassSolver solver(graph_, destination, node_index_, table.memo,
+                       &reexpansions_, reexpansions_counter_);
+    for (const net::NodeName& source : sources) {
+      auto it = node_index_.find(source);
+      if (it != node_index_.end()) solver.solve_root(source, it->second);
+    }
+    // Deliberately not fully_solved: only the requested roots (and their
+    // downstream continuations) are in the memo. A partial solve counts
+    // as a miss — it ran the solver — even though warm() may run it
+    // again later to finish the table.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (misses_counter_ != nullptr) misses_counter_->add(1);
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (hits_counter_ != nullptr) hits_counter_->add(1);
+  }
+  for (const net::NodeName& source : sources) {
+    auto it = node_index_.find(source);
+    if (it == node_index_.end()) {
+      DispositionSet no_route;
+      no_route.add(Disposition::kNoRoute);
+      out.push_back(no_route);
+      continue;
+    }
+    uint64_t key = static_cast<uint64_t>(it->second) << 33;
+    auto memo_it = table.memo.find(key);
+    out.push_back(memo_it != table.memo.end() ? memo_it->second.set : DispositionSet());
+  }
+  return out;
+}
 
 DispositionSet TraceCache::dispositions(const net::NodeName& source,
                                         net::Ipv4Address destination) {

@@ -69,6 +69,17 @@ class TraceCache {
   /// Precomputes the table for `destination`'s class (idempotent).
   void warm(net::Ipv4Address destination);
 
+  /// Partial solve: dispositions for `sources` only (returned in order),
+  /// computing just those roots and the continuations they reach instead
+  /// of the whole node table. The incremental splicer uses this when a
+  /// dirty column needs a handful of re-traced cells — paying solve_all's
+  /// O(nodes) there would erase the splice win. Memoized entries land in
+  /// the same class table, so a later warm()/dispositions() completes the
+  /// remaining roots without repeating work. Unknown sources report
+  /// NO_ROUTE, like dispositions().
+  std::vector<DispositionSet> dispositions_for(
+      const std::vector<net::NodeName>& sources, net::Ipv4Address destination);
+
   /// Number of distinct destination classes resolved so far.
   size_t classes_cached() const;
 
@@ -90,12 +101,17 @@ class TraceCache {
 
  private:
   struct ClassTable {
-    std::once_flag once;
-    /// state key -> memoized continuation; populated for every node at
-    /// minimum.
+    /// Guards memo and fully_solved: partial solves append under the
+    /// lock, the full solve runs once under it, and after fully_solved
+    /// flips the memo is immutable (lock-free reads are safe).
+    std::mutex mutex;
+    bool fully_solved = false;
+    /// state key -> memoized continuation; populated for every node once
+    /// fully_solved.
     std::unordered_map<uint64_t, TraceMemoEntry> memo;
   };
 
+  ClassTable& slot_for(net::Ipv4Address destination);
   ClassTable& table_for(net::Ipv4Address destination);
 
   const ForwardingGraph& graph_;

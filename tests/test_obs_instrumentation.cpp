@@ -47,7 +47,10 @@ TEST(ObsInstrumentation, ServicePublishesExactDeltas) {
   const std::string submission = uploaded.result.find("submission")->as_string();
 
   // Cold snapshot: one store miss, one convergence run, and the counter
-  // mirrors agree exactly with the response's own numbers.
+  // mirrors agree exactly with the response's own numbers. Building the
+  // entry also captures the incremental verify base through the entry's
+  // shared TraceCache, so the cache arrives at the first query pre-warmed
+  // (one miss + node_count hits per class, accounted for below).
   service::Request snapshot = make_request(2, "snapshot");
   snapshot.params["submission"] = submission;
   service::Response cold = svc.execute(snapshot);
@@ -76,9 +79,12 @@ TEST(ObsInstrumentation, ServicePublishesExactDeltas) {
   EXPECT_EQ(registry.counter("snapshot_store_misses").value(), 1u);
   EXPECT_EQ(registry.counter("emu_convergence_runs").value(), 1u);
 
-  // First reachability sweep: the shared TraceCache resolves each class
-  // once (a miss) and answers every (source, class) flow from the table
-  // (a hit); the shard histogram records one latency per class shard.
+  // First reachability sweep: each class was already resolved (a miss) at
+  // snapshot time by the verify-base capture, which also answered one flow
+  // per (source, class); the sweep's per-class warm and every flow are now
+  // hits — classes * (node_count + 1) on top of the capture's
+  // classes * node_count. The shard histogram records one latency per
+  // class shard (the capture's sweep does not touch it).
   service::Request query = make_request(4, "query");
   query.params["snapshot"] = submission;
   query.params["kind"] = "reachability";
@@ -92,19 +98,20 @@ TEST(ObsInstrumentation, ServicePublishesExactDeltas) {
   EXPECT_EQ(flows, classes * node_count);
 
   EXPECT_EQ(registry.counter("trace_cache_misses").value(), classes);
-  EXPECT_EQ(registry.counter("trace_cache_hits").value(), classes * node_count);
+  EXPECT_EQ(registry.counter("trace_cache_hits").value(),
+            classes * (2 * node_count + 1));
   EXPECT_EQ(registry.counter("trace_cache_reexpansions").value(), 0u);
   EXPECT_EQ(registry.latency_histogram_us("verify_shard_latency_us").count(), classes);
 
-  // Second identical sweep: fully memoized — the per-class warm is now a
-  // hit too, so hits grow by classes * (sources + 1) and misses by zero.
+  // Second identical sweep: fully memoized — hits grow by another
+  // classes * (sources + 1) and misses by zero.
   query.id = 5;
   service::Response second = svc.execute(query);
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(second.result.find("answer")->dump(), answer->dump());
   EXPECT_EQ(registry.counter("trace_cache_misses").value(), classes);
   EXPECT_EQ(registry.counter("trace_cache_hits").value(),
-            classes * node_count + classes * (node_count + 1));
+            classes * (3 * node_count + 2));
   EXPECT_EQ(registry.latency_histogram_us("verify_shard_latency_us").count(),
             2 * classes);
 
