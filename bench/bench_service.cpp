@@ -12,6 +12,13 @@
 //   * closed-loop — K clients issuing pairwise queries back-to-back;
 //   * open-loop   — paced arrivals at a fixed rate on one pipelined
 //                  connection; latency includes queueing delay.
+//   * tenant-*    — two tenants on one daemon: tenant A parks a large
+//                  pipelined backlog, tenant B keeps issuing sequential
+//                  queries. DRR admission keeps B's p95 near its unloaded
+//                  baseline instead of behind A's whole backlog.
+//   * ring        — two daemons behind a ClusterClient; answers must be
+//                  byte-identical to a single instance serving the same
+//                  requests.
 //
 // Reports QPS and p50/p95/p99 per phase (SERVICE_TIMING lines) and writes
 // the same numbers to BENCH_service.json (override with --json PATH).
@@ -29,6 +36,7 @@
 #include "bench_json.hpp"
 #include "scenario/scenario.hpp"
 #include "service/client.hpp"
+#include "service/cluster_client.hpp"
 #include "service/server.hpp"
 #include "service/service.hpp"
 #include "workload/generator.hpp"
@@ -59,8 +67,10 @@ emu::Topology bench_topology(uint64_t seed) {
 }
 
 struct Harness {
-  explicit Harness(bool capture_verify_base = true, const char* tag = "") {
+  explicit Harness(bool capture_verify_base = true, const char* tag = "",
+                   const service::ServiceOptions* overrides = nullptr) {
     service::ServiceOptions options;
+    if (overrides != nullptr) options = *overrides;
     options.broker.queue_capacity = 4096;  // the load phases outrun one worker
     options.capture_verify_base = capture_verify_base;
     service = std::make_unique<service::VerificationService>(options);
@@ -353,6 +363,208 @@ void report() {
   std::printf("\n");
 }
 
+// Two tenants, one daemon: A parks a pipelined backlog of kBacklog
+// queries; B issues sequential queries the whole time. The row pair
+// tenant-unloaded / tenant-isolated (and their p95 ratio) is the
+// isolation claim in EXPERIMENTS.md S2 — under strict FIFO, B's p95
+// would be the backlog drain time.
+void report_tenant_isolation() {
+  std::printf("=== service: two-tenant fair-share isolation ===\n");
+
+  service::ServiceOptions overrides;
+  overrides.broker.threads = 1;  // fixed so the backlog math is portable
+  Harness harness(/*capture_verify_base=*/true, "_tenant", &overrides);
+
+  auto tenant_request = [](uint64_t id, const std::string& verb,
+                           const std::string& tenant) {
+    service::Request request = make_request(id, verb);
+    request.tenant = tenant;
+    return request;
+  };
+
+  // Each tenant converges its own copy of the same network (namespaces
+  // never share entries, so both builds are real).
+  emu::Topology topology = bench_topology(2);
+  auto build_for = [&](service::Client& client, const std::string& tenant) {
+    service::Request upload = tenant_request(1, "upload_configs", tenant);
+    upload.params["topology"] = topology.to_json();
+    auto uploaded = client.call(upload);
+    if (!uploaded.ok() || !uploaded->ok()) std::abort();
+    const std::string submission = uploaded->result.find("submission")->as_string();
+    service::Request snapshot = tenant_request(2, "snapshot", tenant);
+    snapshot.params["submission"] = submission;
+    if (!client.call(snapshot).ok()) std::abort();
+    return submission;
+  };
+  service::Client client_a = harness.connect();
+  service::Client client_b = harness.connect();
+  const std::string snapshot_a = build_for(client_a, "tenant_a");
+  const std::string snapshot_b = build_for(client_b, "tenant_b");
+
+  auto b_query = [&](uint64_t id) {
+    service::Request request = tenant_request(id, "query", "tenant_b");
+    request.params["snapshot"] = snapshot_b;
+    request.params["kind"] = "pairwise";
+    return request;
+  };
+
+  // Broker queue wait (from the response's own timing block) is reported
+  // alongside wall latency: wall time on an oversubscribed single-core
+  // host includes kernel-scheduler wakeup delay the broker cannot
+  // control, while queue_wait_us is exactly the share the DRR discipline
+  // is responsible for.
+  auto queue_wait_ms = [](const service::Response& response) {
+    const util::Json* timing = response.result.find("timing");
+    const util::Json* wait = timing ? timing->find("queue_wait_us") : nullptr;
+    return wait ? static_cast<double>(wait->as_int()) / 1000.0 : 0.0;
+  };
+
+  // Unloaded baseline: B alone on the daemon.
+  constexpr int kBQueries = 30;
+  std::vector<double> unloaded;
+  std::vector<double> unloaded_waits;
+  Clock::time_point phase_start = Clock::now();
+  for (int i = 0; i < kBQueries; ++i) {
+    Clock::time_point start = Clock::now();
+    auto response = client_b.call(b_query(100 + static_cast<uint64_t>(i)));
+    if (!response.ok() || !response->ok()) std::abort();
+    unloaded.push_back(ms_since(start));
+    unloaded_waits.push_back(queue_wait_ms(*response));
+  }
+  PhaseStats unloaded_stats = summarize(unloaded, ms_since(phase_start));
+  PhaseStats unloaded_wait_stats = summarize(unloaded_waits, 0.0);
+  {
+    util::Json extra = util::Json::object();
+    extra["queue_wait_p95_ms"] = unloaded_wait_stats.p95;
+    emit("tenant-unloaded", unloaded_stats, std::move(extra));
+  }
+
+  // A floods: one pipelined burst, admitted before B's first loaded query.
+  constexpr int kBacklog = 400;
+  for (int i = 0; i < kBacklog; ++i) {
+    service::Request request = tenant_request(1000 + static_cast<uint64_t>(i),
+                                              "query", "tenant_a");
+    request.params["snapshot"] = snapshot_a;
+    request.params["kind"] = "pairwise";
+    if (!client_a.send(request).ok()) std::abort();
+  }
+  std::thread a_receiver([&] {
+    for (int i = 0; i < kBacklog; ++i)
+      if (!client_a.receive().ok()) std::abort();
+  });
+
+  std::vector<double> loaded;
+  std::vector<double> loaded_waits;
+  uint64_t b_rejected = 0;
+  phase_start = Clock::now();
+  for (int i = 0; i < kBQueries; ++i) {
+    Clock::time_point start = Clock::now();
+    auto response = client_b.call(b_query(2000 + static_cast<uint64_t>(i)));
+    if (!response.ok()) std::abort();
+    if (!response->ok()) ++b_rejected;
+    else loaded_waits.push_back(queue_wait_ms(*response));
+    loaded.push_back(ms_since(start));
+  }
+  PhaseStats loaded_stats = summarize(loaded, ms_since(phase_start));
+  PhaseStats loaded_wait_stats = summarize(loaded_waits, 0.0);
+  a_receiver.join();
+
+  util::Json extra = util::Json::object();
+  extra["a_backlog"] = kBacklog;
+  extra["b_rejected"] = b_rejected;
+  extra["p95_ratio"] = unloaded_stats.p95 > 0 ? loaded_stats.p95 / unloaded_stats.p95
+                                              : 0.0;
+  extra["queue_wait_p95_ms"] = loaded_wait_stats.p95;
+  // The same bound the service_tenant isolation test enforces: 2x the
+  // unloaded p95 plus a flat scheduling allowance for CI hosts where the
+  // benchmark timeshares one core with the daemon it is measuring.
+  extra["isolation_pass"] =
+      loaded_stats.p95 <= 2.0 * unloaded_stats.p95 + 50.0;
+  emit("tenant-isolated", loaded_stats, std::move(extra));
+  if (b_rejected > 0)
+    std::printf("  WARNING: tenant B saw %llu rejections under tenant A load\n",
+                static_cast<unsigned long long>(b_rejected));
+
+  // Per-tenant accounting as the daemon reports it.
+  auto stats = client_b.call(make_request(90, "stats"));
+  if (stats.ok() && stats->ok()) {
+    if (const util::Json* tenants = stats->result.find("tenants")) {
+      util::Json fields = util::Json::object();
+      for (const char* tenant : {"tenant_a", "tenant_b"}) {
+        const util::Json* slice = tenants->find(tenant);
+        if (slice == nullptr) continue;
+        fields[std::string(tenant) + "_completed"] = *slice->find("completed");
+        fields[std::string(tenant) + "_rejected"] = *slice->find("rejected");
+        fields[std::string(tenant) + "_store_bytes"] = *slice->find("store_bytes");
+      }
+      mfvbench::timing("SERVICE_TENANTS", fields);
+    }
+  }
+  std::printf("\n");
+}
+
+// Two daemons behind the consistent-hash ring: the same uploads and
+// queries must produce byte-identical answers to a single instance, with
+// each key pinned to one owner.
+void report_ring() {
+  std::printf("=== service: consistent-hash ring, two instances ===\n");
+
+  Harness instance0(true, "_ring0");
+  Harness instance1(true, "_ring1");
+  Harness single(true, "_ring_single");
+  service::Client single_client = single.connect();
+
+  service::ClusterClientOptions cluster_options;
+  for (const Harness* instance : {&instance0, &instance1}) {
+    service::ClusterEndpoint endpoint;
+    endpoint.unix_path = instance->server->unix_path();
+    cluster_options.endpoints.push_back(std::move(endpoint));
+  }
+  service::ClusterClient cluster(std::move(cluster_options));
+
+  constexpr uint64_t kNetworks = 6;
+  bool byte_identical = true;
+  std::vector<double> latencies;
+  Clock::time_point phase_start = Clock::now();
+  for (uint64_t seed = 1; seed <= kNetworks; ++seed) {
+    emu::Topology topology = bench_topology(seed);
+
+    service::Request upload = make_request(1, "upload_configs");
+    upload.params["topology"] = topology.to_json();
+    auto uploaded = cluster.call(upload);
+    if (!uploaded.ok() || !uploaded->ok()) std::abort();
+    const std::string submission = uploaded->result.find("submission")->as_string();
+
+    service::Request snapshot = make_request(2, "snapshot");
+    snapshot.params["submission"] = submission;
+    if (!cluster.call(snapshot).ok()) std::abort();
+
+    Clock::time_point start = Clock::now();
+    auto answer = cluster.call(query_request(3, submission));
+    if (!answer.ok() || !answer->ok()) std::abort();
+    latencies.push_back(ms_since(start));
+
+    const std::string single_submission = upload_and_snapshot(single_client, topology);
+    auto single_answer = single_client.call(query_request(3, single_submission));
+    if (!single_answer.ok() || !single_answer->ok()) std::abort();
+    if (submission != single_submission ||
+        answer->result.find("answer")->dump() !=
+            single_answer->result.find("answer")->dump())
+      byte_identical = false;
+  }
+  PhaseStats ring = summarize(latencies, ms_since(phase_start));
+
+  util::Json extra = util::Json::object();
+  extra["instances"] = 2;
+  extra["byte_identical"] = byte_identical;
+  extra["calls_instance0"] = cluster.per_instance_calls()[0];
+  extra["calls_instance1"] = cluster.per_instance_calls()[1];
+  emit("ring", ring, std::move(extra));
+  if (!byte_identical)
+    std::printf("  WARNING: ring answers differ from the single instance\n");
+  std::printf("\n");
+}
+
 void BM_WireStatsRoundTrip(benchmark::State& state) {
   // Floor of the wire path: framing + broker dispatch + a trivial verb.
   Harness harness;
@@ -399,6 +611,8 @@ int main(int argc, char** argv) {
   mfvbench::JsonReport::instance().init(&argc, argv, "bench_service",
                                         "BENCH_service.json");
   report();
+  report_tenant_isolation();
+  report_ring();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   mfvbench::JsonReport::instance().flush();

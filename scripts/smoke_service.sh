@@ -11,19 +11,29 @@ MFVC="$BUILD_DIR/src/cli/mfvc"
 [ -x "$MFVD" ] && [ -x "$MFVC" ] || { echo "smoke: build $MFVD / $MFVC first"; exit 1; }
 
 SOCK="$(mktemp -u /tmp/mfvd_smoke_XXXXXX.sock)"
+SOCK_A="$(mktemp -u /tmp/mfvd_smoke_a_XXXXXX.sock)"
+SOCK_B="$(mktemp -u /tmp/mfvd_smoke_b_XXXXXX.sock)"
 WORK="$(mktemp -d)"
 DAEMON_PID=""
+PID_A=""
+PID_B=""
 cleanup() {
-  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null && wait "$DAEMON_PID" 2>/dev/null
+  for pid in "$DAEMON_PID" "$PID_A" "$PID_B"; do
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null && wait "$pid" 2>/dev/null
+  done
   rm -rf "$WORK"
-  rm -f "$SOCK"
+  rm -f "$SOCK" "$SOCK_A" "$SOCK_B"
 }
 trap cleanup EXIT
 
+wait_for_socket() {
+  for _ in $(seq 1 50); do [ -S "$1" ] && return 0; sleep 0.1; done
+  echo "smoke: no daemon came up on $1"; exit 1
+}
+
 "$MFVD" --socket "$SOCK" &
 DAEMON_PID=$!
-for _ in $(seq 1 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
-[ -S "$SOCK" ] || { echo "smoke: mfvd did not come up"; exit 1; }
+wait_for_socket "$SOCK"
 
 c() { "$MFVC" --socket "$SOCK" "$@"; }
 field() { python3 -c "import json,sys; print(json.load(sys.stdin)$1)"; }
@@ -90,5 +100,77 @@ echo "smoke: graceful shutdown"
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID" || { echo "smoke: mfvd exited non-zero"; exit 1; }
 DAEMON_PID=""
+
+# ---------------------------------------------------------------------------
+# Multi-tenant fleet: two daemons on a consistent-hash ring, two tenants
+# with a 1 MiB per-tenant store quota each. Asserts (a) ring routing — the
+# cluster client places tenant_a's snapshot on exactly one instance and a
+# direct query of that owner matches the ring answer; (b) quota rejection —
+# tenant_b's oversized snapshot is turned away with a non-zero mfvc exit
+# while tenant_a's data and store hits are untouched.
+# ---------------------------------------------------------------------------
+echo "smoke: multi-tenant fleet (two daemons, two tenants)"
+"$MFVD" --socket "$SOCK_A" --tenant-budget-mb 1 &
+PID_A=$!
+"$MFVD" --socket "$SOCK_B" --tenant-budget-mb 1 &
+PID_B=$!
+wait_for_socket "$SOCK_A"
+wait_for_socket "$SOCK_B"
+
+CLUSTER="$SOCK_A,$SOCK_B"
+cc() { "$MFVC" --cluster "$CLUSTER" "$@"; }
+
+echo "smoke: tenant_a routes through the ring"
+"$MFVC" demo-topology --routers 7 > "$WORK/fleet_topology.json"
+SUB_A="$(cc --tenant tenant_a upload "$WORK/fleet_topology.json" | field "['submission']")"
+HIT="$(cc --tenant tenant_a snapshot "$SUB_A" | field "['hit']")"
+[ "$HIT" = "False" ] || { echo "smoke: first fleet snapshot should be a miss"; exit 1; }
+PAIRS_RING="$(cc --tenant tenant_a query "$SUB_A" --kind pairwise | field "['answer']['reachable_pairs']")"
+
+ENTRIES_A="$("$MFVC" --socket "$SOCK_A" stats | field "['store']['entries']")"
+ENTRIES_B="$("$MFVC" --socket "$SOCK_B" stats | field "['store']['entries']")"
+[ $((ENTRIES_A + ENTRIES_B)) -eq 1 ] \
+  || { echo "smoke: ring must place the snapshot on exactly one instance (saw $ENTRIES_A + $ENTRIES_B)"; exit 1; }
+if [ "$ENTRIES_A" -eq 1 ]; then OWNER="$SOCK_A"; else OWNER="$SOCK_B"; fi
+PAIRS_DIRECT="$("$MFVC" --socket "$OWNER" --tenant tenant_a query "$SUB_A" --kind pairwise | field "['answer']['reachable_pairs']")"
+[ "$PAIRS_RING" = "$PAIRS_DIRECT" ] \
+  || { echo "smoke: ring answer ($PAIRS_RING) differs from the owner's ($PAIRS_DIRECT)"; exit 1; }
+
+echo "smoke: tenant_b's oversized snapshot is rejected by its quota"
+"$MFVC" demo-topology --routers 80 > "$WORK/oversized_topology.json"
+SUB_B="$(cc --tenant tenant_b upload "$WORK/oversized_topology.json" | field "['submission']")"
+if cc --tenant tenant_b snapshot "$SUB_B" > /dev/null 2>&1; then
+  echo "smoke: oversized tenant_b snapshot must be RESOURCE_EXHAUSTED-rejected"; exit 1
+fi
+# tenant_a is untouched: its snapshot is still a warm store hit.
+HIT_A="$(cc --tenant tenant_a snapshot "$SUB_A" | field "['hit']")"
+[ "$HIT_A" = "True" ] || { echo "smoke: tenant_a must keep its store entry across tenant_b's rejection"; exit 1; }
+
+echo "smoke: per-tenant accounting (kept as $BUILD_DIR/smoke_service_tenant.json)"
+"$MFVC" --socket "$SOCK_A" stats > "$WORK/stats_a.json"
+"$MFVC" --socket "$SOCK_B" stats > "$WORK/stats_b.json"
+python3 - "$WORK/stats_a.json" "$WORK/stats_b.json" > "$BUILD_DIR/smoke_service_tenant.json" << 'EOF'
+import json, sys
+instances = [json.load(open(path)) for path in sys.argv[1:3]]
+tenants = {}
+for doc in instances:
+    for name, slice_ in doc.get("tenants", {}).items():
+        agg = tenants.setdefault(name, {})
+        for key, value in slice_.items():
+            agg[key] = agg.get(key, 0) + value
+assert tenants["tenant_a"]["store_entries"] == 1, tenants
+assert tenants["tenant_a"].get("store_quota_rejections", 0) == 0, tenants
+assert tenants["tenant_b"]["store_entries"] == 0, tenants
+assert tenants["tenant_b"]["store_quota_rejections"] == 1, tenants
+print(json.dumps({"instances": instances, "tenants_aggregate": tenants}, indent=2))
+EOF
+
+echo "smoke: fleet graceful shutdown"
+for pid in "$PID_A" "$PID_B"; do
+  kill -TERM "$pid"
+  wait "$pid" || { echo "smoke: fleet mfvd exited non-zero"; exit 1; }
+done
+PID_A=""
+PID_B=""
 
 echo "smoke: OK"

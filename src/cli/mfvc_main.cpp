@@ -10,7 +10,10 @@
 //   mfvc metrics [--json] [--spans N]               registry snapshot
 //
 // Connection flags (before the verb): --socket PATH (default
-// /tmp/mfvd.sock) or --tcp PORT [--host 127.0.0.1]. Request flags:
+// /tmp/mfvd.sock), --tcp PORT [--host 127.0.0.1], or --cluster
+// EP1,EP2,... (unix paths and/or host:port pairs — requests route to the
+// instance owning the snapshot key on the consistent-hash ring, with
+// failover to the ring successor). Request flags: --tenant NAME,
 // --priority interactive|batch|background, --deadline-ms N, --pretty.
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +24,7 @@
 #include <vector>
 
 #include "service/client.hpp"
+#include "service/cluster_client.hpp"
 #include "service/protocol.hpp"
 #include "util/logging.hpp"
 #include "workload/generator.hpp"
@@ -53,6 +57,9 @@ struct Options {
   uint16_t tcp_port = 0;
   bool tcp = false;
   bool pretty = false;
+  std::string tenant;
+  /// Comma-separated --cluster endpoints; non-empty = ring routing.
+  std::vector<mfv::service::ClusterEndpoint> cluster;
   mfv::service::Priority priority = mfv::service::Priority::kBatch;
   int64_t deadline_ms = 0;
   /// When set, print this string field of the result raw instead of the
@@ -64,14 +71,22 @@ int run_call(const Options& options, mfv::service::Request request) {
   request.id = 1;
   request.priority = options.priority;
   request.deadline_ms = options.deadline_ms;
+  request.tenant = options.tenant;
 
-  mfv::service::Client client;
-  mfv::util::Status status =
-      options.tcp ? client.connect_tcp(options.host, options.tcp_port)
-                  : client.connect_unix(options.socket_path);
-  if (!status.ok()) return fail(status.to_string());
-
-  mfv::util::Result<mfv::service::Response> response = client.call(request);
+  mfv::util::Result<mfv::service::Response> response = [&] {
+    if (!options.cluster.empty()) {
+      mfv::service::ClusterClientOptions cluster_options;
+      cluster_options.endpoints = options.cluster;
+      mfv::service::ClusterClient cluster(std::move(cluster_options));
+      return cluster.call(std::move(request));
+    }
+    mfv::service::Client client;
+    mfv::util::Status status =
+        options.tcp ? client.connect_tcp(options.host, options.tcp_port)
+                    : client.connect_unix(options.socket_path);
+    if (!status.ok()) return mfv::util::Result<mfv::service::Response>(status);
+    return client.call(request);
+  }();
   if (!response.ok()) return fail(response.status().to_string());
   if (!response->ok()) return fail(response->status().to_string());
   if (!options.print_field.empty()) {
@@ -113,6 +128,22 @@ int main(int argc, char** argv) {
     if (arg == "--socket") options.socket_path = next();
     else if (arg == "--tcp") { options.tcp_port = static_cast<uint16_t>(std::atoi(next().c_str())); options.tcp = true; }
     else if (arg == "--host") options.host = next();
+    else if (arg == "--tenant") {
+      options.tenant = next();
+      if (!mfv::service::valid_tenant_name(options.tenant))
+        return fail("tenant names are [A-Za-z0-9_-]{1,64}");
+    } else if (arg == "--cluster") {
+      std::string list = next();
+      for (size_t start = 0; start <= list.size();) {
+        size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        auto endpoint = mfv::service::ClusterEndpoint::parse(
+            std::string_view(list).substr(start, comma - start));
+        if (!endpoint.ok()) return fail(endpoint.status().to_string());
+        options.cluster.push_back(std::move(*endpoint));
+        start = comma + 1;
+      }
+    }
     else if (arg == "--pretty") options.pretty = true;
     else if (arg == "--priority") {
       auto priority = mfv::service::priority_from_name(next());

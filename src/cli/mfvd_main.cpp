@@ -31,6 +31,8 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--socket PATH | --tcp PORT] [--threads N] [--queue N]\n"
                "          [--budget-mb N] [--query-threads N] [--max-rows N] [--shards N]\n"
+               "          [--tenant-queue-cap N] [--tenant-weight NAME=W]\n"
+               "          [--tenant-budget-mb N]\n"
                "\n"
                "  --socket PATH      unix-domain socket to listen on (default\n"
                "                     /tmp/mfvd.sock)\n"
@@ -42,6 +44,15 @@ void usage(const char* argv0) {
                "  --max-rows N       row cap for non-full query answers\n"
                "  --shards N         event-loop shards per emulation (default 1 =\n"
                "                     serial kernel; results are bit-identical)\n"
+               "\n"
+               "Multi-tenant knobs:\n"
+               "  --tenant-queue-cap N   per-tenant pending-request cap (0 = the\n"
+               "                         global --queue value; a saturating tenant\n"
+               "                         is rejected alone)\n"
+               "  --tenant-weight NAME=W fair-share weight for tenant NAME (default 1;\n"
+               "                         repeatable)\n"
+               "  --tenant-budget-mb N   per-tenant snapshot-store quota in MiB\n"
+               "                         (0 = no per-tenant quota)\n"
                "\n"
                "Log verbosity comes from MFV_LOG_LEVEL (debug|info|warn|error|off).\n",
                argv0);
@@ -84,6 +95,22 @@ int main(int argc, char** argv) {
       service_options.max_rows = static_cast<size_t>(std::atol(next()));
     } else if (arg == "--shards") {
       service_options.emulation.shards = static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--tenant-queue-cap") {
+      service_options.broker.tenant_queue_cap = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--tenant-weight") {
+      const std::string spec = next();
+      const size_t eq = spec.find('=');
+      const std::string name = spec.substr(0, eq == std::string::npos ? spec.size() : eq);
+      const long weight = eq == std::string::npos ? 0 : std::atol(spec.c_str() + eq + 1);
+      if (!mfv::service::valid_tenant_name(name) || weight <= 0) {
+        std::fprintf(stderr, "mfvd: bad --tenant-weight '%s' (want NAME=W, W >= 1)\n",
+                     spec.c_str());
+        return 2;
+      }
+      service_options.broker.tenant_weights[name] = static_cast<uint32_t>(weight);
+    } else if (arg == "--tenant-budget-mb") {
+      service_options.store.tenant_byte_budget =
+          static_cast<size_t>(std::atol(next())) << 20;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "config/dialect.hpp"
+#include "service/protocol.hpp"
 #include "service/snapshot_store.hpp"
 #include "verify/forwarding_graph.hpp"
 #include "verify/incremental/incremental.hpp"
@@ -177,9 +178,9 @@ Verdict check_store(const FuzzCase& c) {
   service::SnapshotKey key = service::key_for_topology(c.topology);
   auto builder = [&c]() { return build_base_entry(c.topology); };
 
-  util::Result<service::SnapshotStore::Lease> first = store.get_or_build(key, builder);
+  util::Result<service::SnapshotStore::Lease> first = store.get_or_build(service::kDefaultTenant, key, builder);
   if (!first.ok()) return pass(kOracleStore, "skipped: " + first.status().message());
-  util::Result<service::SnapshotStore::Lease> second = store.get_or_build(key, builder);
+  util::Result<service::SnapshotStore::Lease> second = store.get_or_build(service::kDefaultTenant, key, builder);
   if (!second.ok()) return fail(kOracleStore, "hit path failed after successful build");
   if (!second->hit) return fail(kOracleStore, "second lookup of one key was a miss");
 
@@ -209,10 +210,10 @@ Verdict check_store(const FuzzCase& c) {
     return entry;
   };
   util::Result<service::SnapshotStore::Lease> forked =
-      store.get_or_build(fork_key, fork_builder);
+      store.get_or_build(service::kDefaultTenant, fork_key, fork_builder);
   if (!forked.ok()) return pass(kOracleStore, "skipped: " + forked.status().message());
   util::Result<service::SnapshotStore::Lease> forked_hit =
-      store.get_or_build(fork_key, fork_builder);
+      store.get_or_build(service::kDefaultTenant, fork_key, fork_builder);
   if (!forked_hit.ok() || !forked_hit->hit)
     return fail(kOracleStore, "second lookup of fork key was not a hit");
 

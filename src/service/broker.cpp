@@ -5,7 +5,8 @@
 namespace mfv::service {
 
 Broker::Broker(BrokerOptions options, Handler handler)
-    : options_(options), handler_(std::move(handler)), pool_(options.threads) {
+    : options_(std::move(options)), handler_(std::move(handler)),
+      pool_(options_.threads) {
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry& metrics = *options_.metrics;
     accepted_counter_ = &metrics.counter("broker_accepted");
@@ -22,21 +23,60 @@ Broker::Broker(BrokerOptions options, Handler handler)
 
 Broker::~Broker() { drain(); }
 
+uint64_t Broker::quantum(const std::string& tenant) const {
+  auto it = options_.tenant_weights.find(tenant);
+  if (it == options_.tenant_weights.end() || it->second == 0) return 1;
+  return it->second;
+}
+
+Broker::TenantAccounting& Broker::tenant_accounting_locked(const std::string& tenant) {
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  if (inserted && options_.metrics != nullptr) {
+    obs::MetricsRegistry& metrics = *options_.metrics;
+    it->second.accepted = &metrics.counter("broker_tenant_accepted_" + tenant);
+    it->second.completed = &metrics.counter("broker_tenant_completed_" + tenant);
+    it->second.rejected = &metrics.counter("broker_tenant_rejected_" + tenant);
+    it->second.expired = &metrics.counter("broker_tenant_expired_" + tenant);
+  }
+  return it->second;
+}
+
 void Broker::submit(Request request, Callback callback) {
   const uint64_t id = request.id;
+  std::string tenant = request.tenant_or_default();
   util::Status rejection;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    TenantAccounting& accounting = tenant_accounting_locked(tenant);
+    const size_t tenant_cap =
+        options_.tenant_queue_cap > 0 ? options_.tenant_queue_cap
+                                      : options_.queue_capacity;
     if (draining_) {
       ++rejected_;
+      ++accounting.stats.rejected;
       if (rejected_counter_ != nullptr) rejected_counter_->add(1);
+      if (accounting.rejected != nullptr) accounting.rejected->add(1);
       rejection = util::unavailable("service is draining; not accepting requests");
     } else if (queued_ >= options_.queue_capacity) {
       ++rejected_;
+      ++accounting.stats.rejected;
       if (rejected_counter_ != nullptr) rejected_counter_->add(1);
+      if (accounting.rejected != nullptr) accounting.rejected->add(1);
       rejection = util::resource_exhausted(
           "request queue full (" + std::to_string(options_.queue_capacity) +
           " pending); retry later or lower the offered load");
+    } else if (accounting.stats.queued >= tenant_cap) {
+      // The scoped failure: this tenant saturated its share, so only this
+      // tenant is turned away — the remaining global headroom stays
+      // available to everyone else.
+      ++rejected_;
+      ++accounting.stats.rejected;
+      if (rejected_counter_ != nullptr) rejected_counter_->add(1);
+      if (accounting.rejected != nullptr) accounting.rejected->add(1);
+      rejection = util::resource_exhausted(
+          "tenant '" + tenant + "' is at its queue cap (" +
+          std::to_string(tenant_cap) + " pending); retry later or lower this "
+          "tenant's offered load");
     } else {
       Job job;
       job.enqueued_at = now();
@@ -44,12 +84,20 @@ void Broker::submit(Request request, Callback callback) {
           request.deadline_ms > 0
               ? job.enqueued_at + std::chrono::milliseconds(request.deadline_ms)
               : std::chrono::steady_clock::time_point::max();
-      size_t queue = static_cast<size_t>(request.priority);
+      PriorityClass& cls = classes_[static_cast<size_t>(request.priority)];
       job.request = std::move(request);
       job.callback = std::move(callback);
-      queues_[queue].push_back(std::move(job));
+      job.tenant = tenant;
+      auto [queue_it, first_job] = cls.tenants.try_emplace(tenant);
+      if (first_job) queue_it->second.deficit = 0;
+      if (queue_it->second.jobs.empty()) cls.ring.push_back(tenant);
+      queue_it->second.jobs.push_back(std::move(job));
+      ++cls.total;
       ++queued_;
       ++accepted_;
+      ++accounting.stats.accepted;
+      ++accounting.stats.queued;
+      if (accounting.accepted != nullptr) accounting.accepted->add(1);
       if (accepted_counter_ != nullptr) {
         accepted_counter_->add(1);
         queued_gauge_->set(static_cast<int64_t>(queued_));
@@ -60,9 +108,9 @@ void Broker::submit(Request request, Callback callback) {
     callback(Response::failure(id, rejection));
     return;
   }
-  // One pool task per admitted job; the task picks the highest-priority
-  // pending job at execution time, which is what makes priority classes
-  // meaningful on a saturated pool.
+  // One pool task per admitted job; the task picks the next job by
+  // (priority, DRR) order at execution time, which is what makes the
+  // scheduling classes meaningful on a saturated pool.
   pool_.submit([this] { run_one(); });
 }
 
@@ -74,21 +122,46 @@ std::future<Response> Broker::submit(Request request) {
   return future;
 }
 
+bool Broker::pop_locked(Job& job) {
+  for (PriorityClass& cls : classes_) {
+    if (cls.total == 0) continue;
+    // Deficit round robin over the tenants with queued work in this
+    // class. Invariant: a tenant is in the ring iff its backlog is
+    // non-empty, so the ring front always has a job to give. A tenant
+    // whose turn comes with deficit 0 is replenished by its weight; it
+    // keeps the head of the ring until the deficit is spent (weight jobs
+    // served) or its backlog empties, then rotates to the back. One
+    // tenant's thousand queued requests therefore cost every other
+    // tenant at most `weight` positions per round, not a thousand.
+    const std::string tenant = cls.ring.front();
+    auto queue_it = cls.tenants.find(tenant);
+    TenantQueue& queue = queue_it->second;
+    if (queue.deficit == 0) queue.deficit = quantum(tenant);
+    job = std::move(queue.jobs.front());
+    queue.jobs.pop_front();
+    --queue.deficit;
+    --cls.total;
+    if (queue.jobs.empty()) {
+      // Backlog drained: leave the ring and forfeit the leftover deficit
+      // (standard DRR — an idle tenant must not bank credit).
+      cls.ring.pop_front();
+      cls.tenants.erase(queue_it);
+    } else if (queue.deficit == 0) {
+      cls.ring.splice(cls.ring.end(), cls.ring, cls.ring.begin());
+    }
+    return true;
+  }
+  return false;
+}
+
 void Broker::run_one() {
   Job job;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    std::deque<Job>* queue = nullptr;
-    for (auto& candidate : queues_)
-      if (!candidate.empty()) {
-        queue = &candidate;
-        break;
-      }
-    if (queue == nullptr) return;  // job count and task count always match
-    job = std::move(queue->front());
-    queue->pop_front();
+    if (!pop_locked(job)) return;  // job count and task count always match
     --queued_;
     ++executing_;
+    --tenants_[job.tenant].stats.queued;
     if (queued_gauge_ != nullptr) {
       queued_gauge_->set(static_cast<int64_t>(queued_));
       executing_gauge_->set(static_cast<int64_t>(executing_));
@@ -125,15 +198,20 @@ void Broker::run_one() {
   // "submit, then read the counters" sequence races the worker's tail.
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    TenantAccounting& accounting = tenants_[job.tenant];
     if (expired) {
       ++expired_;
+      ++accounting.stats.expired;
       expired_wait_us_ += queue_wait_us;
+      if (accounting.expired != nullptr) accounting.expired->add(1);
       if (expired_counter_ != nullptr) {
         expired_counter_->add(1);
         expired_wait_histogram_->observe(queue_wait_us);
       }
     } else {
       ++completed_;
+      ++accounting.stats.completed;
+      if (accounting.completed != nullptr) accounting.completed->add(1);
       if (completed_counter_ != nullptr) {
         completed_counter_->add(1);
         queue_wait_us_->observe(queue_wait_us);
@@ -167,6 +245,8 @@ BrokerStats Broker::stats() const {
   stats.expired_wait_us = expired_wait_us_;
   stats.queued = queued_;
   stats.executing = executing_;
+  for (const auto& [tenant, accounting] : tenants_)
+    stats.tenants.emplace(tenant, accounting.stats);
   return stats;
 }
 

@@ -1,17 +1,24 @@
 // Request broker: admission control, priority scheduling, deadlines, and
 // graceful drain in front of the worker pool.
 //
-// Every accepted request enters one of three bounded priority queues
-// (interactive > batch > background). Workers always pop the
-// highest-priority pending request, so a batch backlog cannot starve an
-// interactive caller of its turn. Admission is explicit: a full queue
-// rejects with RESOURCE_EXHAUSTED at submit() time — the service never
-// buffers unboundedly and never silently drops. A request whose relative
-// deadline passes while still queued is failed with DEADLINE_EXCEEDED
-// instead of executed (late answers to an impatient caller are pure
-// waste). drain() stops admission (UNAVAILABLE) and waits for everything
-// already accepted to finish — the graceful-shutdown half of the
-// contract.
+// Every accepted request enters a bounded queue inside one of three
+// priority classes (interactive > batch > background). Workers always
+// serve the highest-priority class with pending work, so a batch backlog
+// cannot starve an interactive caller of its turn. Inside each class,
+// tenants share the workers by weighted deficit-round-robin: each tenant
+// with queued work sits in a ring and is served `weight` requests per
+// round, so one tenant pipelining thousands of requests cannot push
+// another tenant's single request to the back of a common FIFO (the
+// strict-priority scan this replaced did exactly that).
+//
+// Admission is explicit and two-level: the global capacity bounds total
+// memory, and a per-tenant cap bounds how much of that capacity one
+// tenant can own. A tenant over its own cap gets RESOURCE_EXHAUSTED while
+// other tenants keep admitting — the queue-full failure is scoped to
+// whoever caused it. A request whose relative deadline passes while still
+// queued is failed with DEADLINE_EXCEEDED instead of executed. drain()
+// stops admission (UNAVAILABLE) and waits for everything already accepted
+// to finish — the graceful-shutdown half of the contract.
 #pragma once
 
 #include <chrono>
@@ -20,7 +27,10 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <list>
+#include <map>
 #include <mutex>
+#include <string>
 
 #include "obs/metrics.hpp"
 #include "service/protocol.hpp"
@@ -31,8 +41,17 @@ namespace mfv::service {
 struct BrokerOptions {
   /// Worker threads; 0 = hardware concurrency.
   unsigned threads = 0;
-  /// Max queued (not yet executing) requests across all priorities.
+  /// Max queued (not yet executing) requests across all priorities and
+  /// tenants.
   size_t queue_capacity = 64;
+  /// Max queued requests a single tenant may hold across all priorities;
+  /// 0 = no per-tenant cap (only the global capacity applies). A tenant
+  /// at its cap is rejected with RESOURCE_EXHAUSTED even while the global
+  /// queue has room — that headroom belongs to the other tenants.
+  size_t tenant_queue_cap = 0;
+  /// Deficit-round-robin weight per tenant (requests served per DRR round
+  /// within a priority class). Absent or zero = 1.
+  std::map<std::string, uint32_t> tenant_weights;
   /// Clock used for deadlines and queue-wait accounting; null = the real
   /// steady clock. Injectable so tests can place the deadline exactly
   /// between dequeue and execution start.
@@ -40,7 +59,8 @@ struct BrokerOptions {
   /// Optional metrics sink: mirrors the broker_* family
   /// (accepted/completed/rejected/expired counters, queued/executing
   /// gauges, queue-wait and expired-wait histograms — the waits use the
-  /// injectable clock above, so histogram contents are exact in tests).
+  /// injectable clock above, so histogram contents are exact in tests)
+  /// plus lazily registered broker_tenant_<outcome>_<tenant> counters.
   obs::MetricsRegistry* metrics = nullptr;
 };
 
@@ -48,6 +68,15 @@ struct BrokerOptions {
 struct ExecContext {
   /// Time the request spent queued before a worker picked it up.
   int64_t queue_wait_us = 0;
+};
+
+/// Per-tenant slice of the broker counters (see BrokerStats::tenants).
+struct TenantBrokerStats {
+  uint64_t accepted = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  uint64_t expired = 0;
+  size_t queued = 0;
 };
 
 struct BrokerStats {
@@ -61,6 +90,8 @@ struct BrokerStats {
   int64_t expired_wait_us = 0;
   size_t queued = 0;             // current depth across priorities
   size_t executing = 0;
+  /// Same counters sliced by tenant (every tenant ever seen).
+  std::map<std::string, TenantBrokerStats> tenants;
 };
 
 class Broker {
@@ -78,8 +109,8 @@ class Broker {
 
   /// Admits the request or fails fast. The callback runs exactly once, on
   /// a worker thread for executed/expired requests or inline on the
-  /// caller for admission rejections (queue full → RESOURCE_EXHAUSTED,
-  /// draining → UNAVAILABLE).
+  /// caller for admission rejections (queue or tenant cap full →
+  /// RESOURCE_EXHAUSTED, draining → UNAVAILABLE).
   void submit(Request request, Callback callback);
 
   /// Future-returning convenience for synchronous callers.
@@ -95,17 +126,55 @@ class Broker {
   struct Job {
     Request request;
     Callback callback;
+    std::string tenant;  // resolved namespace (never empty)
     std::chrono::steady_clock::time_point enqueued_at;
     /// Absolute expiry derived from request.deadline_ms; max() = none.
     std::chrono::steady_clock::time_point expires_at;
   };
 
-  /// Worker-side: pops the highest-priority job and runs or expires it.
-  /// The deadline is checked at execution start — after the dequeue, from
-  /// the same clock sample that stamps queue_wait — so a job whose
-  /// deadline passed between dequeue and execution never runs, and a job
-  /// that does run never reports a wait exceeding its deadline.
+  /// One tenant's backlog within a priority class. Present in the class
+  /// map only while it has queued jobs, so an idle tenant costs nothing.
+  struct TenantQueue {
+    std::deque<Job> jobs;
+    /// DRR deficit: requests this tenant may still pop this round.
+    /// Replenished by its weight when its turn comes with deficit 0;
+    /// reset when the backlog empties (standard DRR).
+    uint64_t deficit = 0;
+  };
+
+  /// One priority class: tenant backlogs plus the DRR ring of tenants
+  /// with queued work (ring front = tenant currently being served).
+  struct PriorityClass {
+    std::map<std::string, TenantQueue> tenants;
+    std::list<std::string> ring;
+    size_t total = 0;
+  };
+
+  /// Aggregated per-tenant accounting plus lazily created registry
+  /// mirrors (null when no registry was injected).
+  struct TenantAccounting {
+    TenantBrokerStats stats;
+    obs::Counter* accepted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* expired = nullptr;
+  };
+
+  /// Worker-side: pops the next job by (priority, DRR) order and runs or
+  /// expires it. The deadline is checked at execution start — after the
+  /// dequeue, from the same clock sample that stamps queue_wait — so a
+  /// job whose deadline passed between dequeue and execution never runs,
+  /// and a job that does run never reports a wait exceeding its deadline.
   void run_one();
+
+  /// Pops the next job under the DRR discipline; caller holds the lock.
+  /// False when every class is empty.
+  bool pop_locked(Job& job);
+
+  /// DRR quantum for a tenant (its configured weight, min 1).
+  uint64_t quantum(const std::string& tenant) const;
+
+  TenantAccounting& tenant_accounting_locked(const std::string& tenant);
 
   std::chrono::steady_clock::time_point now() const {
     return options_.clock ? options_.clock() : std::chrono::steady_clock::now();
@@ -116,7 +185,8 @@ class Broker {
 
   mutable std::mutex mutex_;
   std::condition_variable drained_;
-  std::deque<Job> queues_[kPriorityCount];
+  PriorityClass classes_[kPriorityCount];
+  std::map<std::string, TenantAccounting> tenants_;
   size_t queued_ = 0;
   size_t executing_ = 0;
   bool draining_ = false;

@@ -1,0 +1,120 @@
+#include "service/cluster_client.hpp"
+
+#include <algorithm>
+
+#include "emu/topology.hpp"
+#include "service/snapshot_store.hpp"
+
+namespace mfv::service {
+
+std::string ClusterEndpoint::name() const {
+  if (!unix_path.empty()) return "unix:" + unix_path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+util::Result<ClusterEndpoint> ClusterEndpoint::parse(std::string_view text) {
+  if (text.empty()) return util::invalid_argument("empty cluster endpoint");
+  ClusterEndpoint endpoint;
+  if (text.find('/') != std::string_view::npos) {
+    endpoint.unix_path = std::string(text);
+    return endpoint;
+  }
+  const size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 || colon + 1 == text.size())
+    return util::invalid_argument("cluster endpoint '" + std::string(text) +
+                                  "' is neither a socket path nor host:port");
+  uint64_t port = 0;
+  for (char c : text.substr(colon + 1)) {
+    if (c < '0' || c > '9' || (port = port * 10 + (c - '0')) > 65535)
+      return util::invalid_argument("bad port in cluster endpoint '" +
+                                    std::string(text) + "'");
+  }
+  endpoint.host = std::string(text.substr(0, colon));
+  endpoint.port = static_cast<uint16_t>(port);
+  return endpoint;
+}
+
+ClusterClient::ClusterClient(ClusterClientOptions options)
+    : options_(std::move(options)) {
+  std::vector<std::string> names;
+  names.reserve(options_.endpoints.size());
+  for (const ClusterEndpoint& endpoint : options_.endpoints)
+    names.push_back(endpoint.name());
+  ring_ = HashRing(std::move(names), HashRingOptions{options_.vnodes});
+  connections_.resize(options_.endpoints.size());
+  calls_.assign(options_.endpoints.size(), 0);
+}
+
+util::Result<std::string> ClusterClient::routing_key(const Request& request) {
+  auto id_param = [&](const char* field) -> util::Result<std::string> {
+    const util::Json* value = request.params.find(field);
+    if (value == nullptr || value->type() != util::Json::Type::kString)
+      return util::invalid_argument("verb '" + request.verb +
+                                    "' needs string param '" + field + "'");
+    return placement_key(value->as_string());
+  };
+  if (request.verb == "upload_configs") {
+    // The service derives the submission id from the uploaded content;
+    // deriving the same hash here routes the upload to the instance that
+    // will own every later request against it.
+    const util::Json* topology_json = request.params.find("topology");
+    if (topology_json == nullptr)
+      return util::invalid_argument("upload_configs needs param 'topology'");
+    util::Result<emu::Topology> topology = emu::Topology::from_json(*topology_json);
+    if (!topology.ok()) return topology.status();
+    return placement_key(key_for_topology(*topology).to_string());
+  }
+  if (request.verb == "snapshot") return id_param("submission");
+  if (request.verb == "query") return id_param("snapshot");
+  if (request.verb == "fork_scenario") return id_param("base");
+  return std::string();  // unkeyed (stats/metrics): first instance
+}
+
+util::Result<Response> ClusterClient::call_endpoint(size_t index,
+                                                    const Request& request) {
+  Client& client = connections_[index];
+  if (!client.connected()) {
+    const ClusterEndpoint& endpoint = options_.endpoints[index];
+    util::Status connected = endpoint.unix_path.empty()
+                                 ? client.connect_tcp(endpoint.host, endpoint.port)
+                                 : client.connect_unix(endpoint.unix_path);
+    if (!connected.ok()) return connected;
+  }
+  util::Result<Response> response = client.call(request);
+  // Any transport failure poisons the cached connection; the next call to
+  // this endpoint re-dials instead of reusing a dead fd.
+  if (!response.ok()) client.close();
+  else ++calls_[index];
+  return response;
+}
+
+util::Result<Response> ClusterClient::call(Request request) {
+  if (options_.endpoints.empty())
+    return util::failed_precondition("cluster client has no endpoints");
+  if (request.tenant.empty()) request.tenant = options_.tenant;
+
+  util::Result<std::string> key = routing_key(request);
+  if (!key.ok()) return key.status();
+
+  size_t attempts = options_.max_attempts > 0
+                        ? std::min(options_.max_attempts, options_.endpoints.size())
+                        : options_.endpoints.size();
+  std::vector<size_t> order;
+  if (key->empty()) {
+    for (size_t i = 0; i < attempts; ++i) order.push_back(i);
+  } else {
+    order = ring_.preference(*key, attempts);
+  }
+
+  util::Status last = util::unavailable("no cluster instance reachable");
+  for (size_t index : order) {
+    util::Result<Response> response = call_endpoint(index, request);
+    if (response.ok()) return response;
+    last = response.status();
+  }
+  return util::Status(last.code(),
+                      "all " + std::to_string(order.size()) +
+                          " cluster instance(s) failed; last error: " + last.message());
+}
+
+}  // namespace mfv::service

@@ -1,0 +1,86 @@
+// Fleet-aware client: routes each request to the mfvd instance that owns
+// its snapshot key on the consistent-hash ring, with failover to the ring
+// successor when the owner is unreachable.
+//
+// Routing is computed client-side from the member list alone — the same
+// content hashes the service uses for dedup double as placement keys, so
+// an upload_configs and every later snapshot/query/fork against that
+// network deterministically hit the same instance (that instance holds
+// the live emulation; routing elsewhere would cold-boot it). Verbs with
+// no snapshot identity (stats, metrics) go to the first instance.
+//
+// Failover is transport-level only: a dead owner's keyspace falls to its
+// successor, which rebuilds state from re-uploaded content (uploads are
+// content-addressed, hence idempotent). Application errors — NOT_FOUND,
+// RESOURCE_EXHAUSTED, a failed verification — are answers, not outages,
+// and are returned without trying other instances.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/ring.hpp"
+#include "util/status.hpp"
+
+namespace mfv::service {
+
+struct ClusterEndpoint {
+  /// Unix-domain socket path; when empty, host/port is used instead.
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  /// Stable ring identity ("unix:<path>" / "tcp:<host>:<port>").
+  std::string name() const;
+
+  /// "path" (contains '/') or "host:port". Empty/invalid → error.
+  static util::Result<ClusterEndpoint> parse(std::string_view text);
+};
+
+struct ClusterClientOptions {
+  std::vector<ClusterEndpoint> endpoints;
+  /// Tenant stamped onto requests that do not already name one.
+  std::string tenant;
+  size_t vnodes = 64;
+  /// Distinct instances tried per call before giving up; 0 = all.
+  size_t max_attempts = 0;
+};
+
+class ClusterClient {
+ public:
+  explicit ClusterClient(ClusterClientOptions options);
+
+  /// Routes by the request's placement key and performs one round trip,
+  /// failing over along the ring preference list on transport errors.
+  /// Connections are opened lazily and dropped on failure, so a restarted
+  /// instance is usable on the next call without client restart.
+  util::Result<Response> call(Request request);
+
+  size_t instances() const { return options_.endpoints.size(); }
+
+  /// Endpoint index the ring assigns `placement` to (tests/bench use this
+  /// to assert routing without sniffing sockets).
+  size_t owner_of(std::string_view placement) const { return ring_.owner(placement); }
+
+  /// Placement key for a request: the snapshot identity its verb names
+  /// (computed client-side for upload_configs from the topology content).
+  /// Empty string = unkeyed verb (routes to the first instance).
+  static util::Result<std::string> routing_key(const Request& request);
+
+  /// Calls completed against each endpoint, by index (routing attribution).
+  const std::vector<uint64_t>& per_instance_calls() const { return calls_; }
+
+ private:
+  util::Result<Response> call_endpoint(size_t index, const Request& request);
+
+  ClusterClientOptions options_;
+  HashRing ring_;
+  std::vector<Client> connections_;  // parallel to endpoints; lazy
+  std::vector<uint64_t> calls_;
+};
+
+}  // namespace mfv::service

@@ -24,10 +24,21 @@ std::optional<Priority> priority_from_name(std::string_view name) {
   return std::nullopt;
 }
 
+bool valid_tenant_name(std::string_view name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
 util::Json Request::to_json() const {
   util::Json j = util::Json::object();
   j["id"] = id;
   j["verb"] = verb;
+  if (!tenant.empty()) j["tenant"] = tenant;
   j["priority"] = priority_name(priority);
   if (deadline_ms > 0) j["deadline_ms"] = deadline_ms;
   if (!params.is_null()) j["params"] = params;
@@ -46,6 +57,17 @@ util::Result<Request> Request::from_json(const util::Json& json) {
   if (verb == nullptr || verb->type() != util::Json::Type::kString)
     return util::invalid_argument("request needs a string 'verb'");
   request.verb = verb->as_string();
+  if (const util::Json* tenant = json.find("tenant")) {
+    if (tenant->type() != util::Json::Type::kString)
+      return util::invalid_argument("request 'tenant' must be a string");
+    if (!tenant->as_string().empty()) {
+      if (!valid_tenant_name(tenant->as_string()))
+        return util::invalid_argument(
+            "bad tenant name '" + tenant->as_string() +
+            "' (need [A-Za-z0-9_-]{1,64})");
+      request.tenant = tenant->as_string();
+    }
+  }
   if (const util::Json* priority = json.find("priority")) {
     if (priority->type() != util::Json::Type::kString)
       return util::invalid_argument("request 'priority' must be a string");

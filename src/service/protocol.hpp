@@ -8,9 +8,16 @@
 //
 // A Request names a verb (upload_configs / snapshot / query /
 // fork_scenario / stats / metrics), carries a client-chosen id echoed back in the
-// Response, a priority class for the broker, and an optional relative
-// deadline. Responses carry a StatusCode by name, so RESOURCE_EXHAUSTED
-// rejections and DEADLINE_EXCEEDED expiries are first-class wire values.
+// Response, a tenant namespace, a priority class for the broker, and an
+// optional relative deadline. Responses carry a StatusCode by name, so
+// RESOURCE_EXHAUSTED rejections and DEADLINE_EXCEEDED expiries are
+// first-class wire values.
+//
+// Tenancy: every request executes inside one tenant namespace. An absent
+// or empty `tenant` field maps to kDefaultTenant, so single-tenant
+// clients need not change. Tenant names are restricted to
+// [A-Za-z0-9_-]{1,64} — they become snapshot-store namespace prefixes and
+// metric-name components, so arbitrary bytes are rejected at decode time.
 #pragma once
 
 #include <cstdint>
@@ -30,17 +37,32 @@ inline constexpr size_t kPriorityCount = 3;
 std::string priority_name(Priority priority);
 std::optional<Priority> priority_from_name(std::string_view name);
 
+/// Tenant a request belongs to when it names none.
+inline constexpr const char* kDefaultTenant = "default";
+
+/// True iff `name` is a legal tenant name: [A-Za-z0-9_-]{1,64}.
+bool valid_tenant_name(std::string_view name);
+
 struct Request {
   /// Client-chosen correlation id, echoed in the response (pipelined
   /// clients match responses by id; ordering is not guaranteed).
   uint64_t id = 0;
   std::string verb;
+  /// Tenant namespace; empty = kDefaultTenant. Scopes uploads, snapshot
+  /// keys, store quotas, and broker fair-share accounting.
+  std::string tenant;
   Priority priority = Priority::kBatch;
   /// Relative deadline budget in milliseconds; 0 = none. A request whose
   /// deadline passes while still queued is failed with DEADLINE_EXCEEDED
   /// instead of executed.
   int64_t deadline_ms = 0;
   util::Json params;
+
+  /// The effective tenant namespace (kDefaultTenant when unset).
+  const std::string& tenant_or_default() const {
+    static const std::string kDefault = kDefaultTenant;
+    return tenant.empty() ? kDefault : tenant;
+  }
 
   util::Json to_json() const;
   static util::Result<Request> from_json(const util::Json& json);

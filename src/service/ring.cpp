@@ -1,0 +1,77 @@
+#include "service/ring.hpp"
+
+#include <algorithm>
+
+#include "util/hash.hpp"
+
+namespace mfv::service {
+
+namespace {
+
+// FNV-1a alone is unusable for ring points: short strings that differ
+// only in a suffix ("alpha#0" … "alpha#63") hash to nearly consecutive
+// values, so each instance's vnodes collapse into one contiguous arc and
+// the "ring" degenerates into a handful of giant ranges. A strong
+// integer finalizer (murmur3's fmix64) diffuses every input bit across
+// the word, which is what scatters the points.
+uint64_t scatter(std::string_view text) {
+  uint64_t h = util::fnv1a(text);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+HashRing::HashRing(std::vector<std::string> instances, HashRingOptions options)
+    : instances_(std::move(instances)) {
+  points_.reserve(instances_.size() * options.vnodes);
+  for (uint32_t index = 0; index < instances_.size(); ++index) {
+    for (size_t vnode = 0; vnode < options.vnodes; ++vnode) {
+      const std::string point = instances_[index] + "#" + std::to_string(vnode);
+      points_.emplace_back(scatter(point), index);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+size_t HashRing::owner(std::string_view key) const {
+  const uint64_t hash = scatter(key);
+  auto it = std::lower_bound(points_.begin(), points_.end(),
+                             std::make_pair(hash, uint32_t{0}));
+  if (it == points_.end()) it = points_.begin();  // wrap past the top
+  return it->second;
+}
+
+std::vector<size_t> HashRing::preference(std::string_view key, size_t count) const {
+  std::vector<size_t> order;
+  if (points_.empty()) return order;
+  count = std::min(count, instances_.size());
+  const uint64_t hash = scatter(key);
+  auto it = std::lower_bound(points_.begin(), points_.end(),
+                             std::make_pair(hash, uint32_t{0}));
+  if (it == points_.end()) it = points_.begin();
+  // Walk clockwise collecting distinct instances; bounded by one full lap.
+  for (size_t step = 0; step < points_.size() && order.size() < count; ++step) {
+    const size_t candidate = it->second;
+    if (std::find(order.begin(), order.end(), candidate) == order.end())
+      order.push_back(candidate);
+    ++it;
+    if (it == points_.end()) it = points_.begin();
+  }
+  return order;
+}
+
+std::string placement_key(std::string_view snapshot_id) {
+  // "t<16>-c<16>-d<16>": the placement unit is the "t…-c…" prefix, so a
+  // base and its forks co-locate. Anything else routes by its full text.
+  if (snapshot_id.size() == 53 && snapshot_id[0] == 't' &&
+      snapshot_id.substr(17, 2) == "-c" && snapshot_id.substr(35, 2) == "-d")
+    return std::string(snapshot_id.substr(0, 35));
+  return std::string(snapshot_id);
+}
+
+}  // namespace mfv::service

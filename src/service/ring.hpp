@@ -1,0 +1,62 @@
+// Consistent-hash placement of snapshot keys across a fleet of mfvd
+// instances.
+//
+// Each instance contributes `vnodes` points on a 64-bit hash circle
+// (FNV-1a of "name#i" pushed through a murmur3-style finalizer); a key
+// belongs to the instance owning the first
+// point clockwise from the key's own hash. Adding or removing one
+// instance therefore moves only ~1/N of the keyspace — the property that
+// makes a fleet elastically resizable without re-homing every stored
+// snapshot — and every client computes the same owner from nothing but
+// the member list (no coordination service in the data path).
+//
+// The placement unit is deliberately coarser than the full snapshot id:
+// placement_key() strips the delta component, so a converged base and
+// every fork derived from it land on the same instance. Forks need the
+// base's live emulation to fork from; splitting them across the ring
+// would turn every what-if into a cold boot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mfv::service {
+
+struct HashRingOptions {
+  /// Points per instance on the circle. More vnodes = smoother balance;
+  /// 64 keeps the max/mean keyspace share within ~30% for small fleets.
+  size_t vnodes = 64;
+};
+
+class HashRing {
+ public:
+  HashRing() = default;
+  explicit HashRing(std::vector<std::string> instances, HashRingOptions options = {});
+
+  size_t size() const { return instances_.size(); }
+  bool empty() const { return instances_.empty(); }
+  const std::string& instance(size_t index) const { return instances_[index]; }
+
+  /// Index of the instance that owns `key`. Undefined on an empty ring.
+  size_t owner(std::string_view key) const;
+
+  /// Up to `count` distinct instances in ring order from the owner
+  /// onwards — the failover preference list (owner first, then the
+  /// successor that inherits its keyspace, and so on).
+  std::vector<size_t> preference(std::string_view key, size_t count) const;
+
+ private:
+  std::vector<std::string> instances_;
+  /// (point hash, instance index), sorted by hash; ties broken by index
+  /// so every member computes the identical ring.
+  std::vector<std::pair<uint64_t, uint32_t>> points_;
+};
+
+/// Placement component of a snapshot/submission id: "t…-c…-d…" maps to
+/// its "t…-c…" prefix (ids that do not parse route by their full text).
+std::string placement_key(std::string_view snapshot_id);
+
+}  // namespace mfv::service

@@ -7,11 +7,25 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "util/logging.hpp"
 
 namespace mfv::service {
+
+namespace {
+
+bool transient_accept_errno(int err) {
+  // Per-process/system fd exhaustion, a connection that died between
+  // SYN and accept, and kernel memory pressure all clear on their own;
+  // none of them means the listen socket is broken.
+  return err == EMFILE || err == ENFILE || err == ECONNABORTED ||
+         err == ENOBUFS || err == ENOMEM;
+}
+
+}  // namespace
 
 Server::Connection::~Connection() { ::close(fd); }
 
@@ -30,10 +44,29 @@ util::Status Server::start() {
       return util::invalid_argument("unix socket path too long: " + options_.unix_path);
     std::strncpy(addr.sun_path, options_.unix_path.c_str(), sizeof(addr.sun_path) - 1);
 
+    // Probe before touching the path: a live daemon is answering there iff
+    // connect succeeds, and it must not be evicted by a newcomer. Only a
+    // refused connection proves the file is a leftover from a crashed run,
+    // which is the one case where unlinking is reclamation, not theft.
+    int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      if (::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+        ::close(probe);
+        return util::already_exists("unix socket " + options_.unix_path +
+                                    " has a live listener (another daemon is "
+                                    "serving it); pick a different --socket");
+      }
+      const int probe_errno = errno;
+      ::close(probe);
+      if (probe_errno != ENOENT) {
+        MFV_LOG(kInfo, "server") << "reclaiming stale socket " << options_.unix_path;
+        ::unlink(options_.unix_path.c_str());
+      }
+    }
+
     listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (listen_fd_ < 0)
       return util::internal_error(std::string("socket: ") + std::strerror(errno));
-    ::unlink(options_.unix_path.c_str());  // stale socket from a crashed run
     if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
       util::Status status =
           util::internal_error("bind " + options_.unix_path + ": " + std::strerror(errno));
@@ -82,25 +115,77 @@ util::Status Server::start() {
 }
 
 void Server::accept_loop() {
+  obs::Counter& retries_counter = service_.metrics().counter("server_accept_retries");
+  int backoff_ms = 1;
   for (;;) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      reap_finished_locked();
+    }
+    int fd = options_.accept_fn ? options_.accept_fn(listen_fd_)
+                                : ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      return;  // listen socket closed (stop) or broken
+      if (!stopping_.load() && transient_accept_errno(errno)) {
+        accept_retries_.fetch_add(1, std::memory_order_relaxed);
+        retries_counter.add(1);
+        MFV_LOG(kWarn, "server")
+            << "accept failed transiently (" << std::strerror(errno)
+            << "); retrying in " << backoff_ms << "ms";
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms = std::min(backoff_ms * 2, 100);
+        continue;
+      }
+      return;  // listen socket closed (stop) or unrecoverable
     }
+    backoff_ms = 1;
     if (stopping_.load()) {
       ::close(fd);
       continue;
     }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     auto connection = std::make_shared<Connection>(fd);
+    auto done = std::make_shared<std::atomic<bool>>(false);
     std::lock_guard<std::mutex> lock(mutex_);
     connections_.push_back(connection);
-    connection_threads_.emplace_back(
-        [this, connection = std::move(connection)]() mutable {
+    Worker worker;
+    worker.done = done;
+    worker.thread =
+        std::thread([this, connection = std::move(connection), done]() mutable {
           serve_connection(std::move(connection));
+          // Last action: flag for the reaper. Anything after this store
+          // would race the join.
+          done->store(true, std::memory_order_release);
         });
+    workers_.push_back(std::move(worker));
   }
+}
+
+void Server::reap_finished_locked() {
+  for (size_t i = 0; i < workers_.size();) {
+    if (workers_[i].done->load(std::memory_order_acquire)) {
+      workers_[i].thread.join();
+      workers_[i] = std::move(workers_.back());
+      workers_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  std::erase_if(connections_,
+                [](const std::weak_ptr<Connection>& weak) { return weak.expired(); });
+}
+
+size_t Server::live_connection_threads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return workers_.size();
+}
+
+size_t Server::tracked_connections() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t live = 0;
+  for (const std::weak_ptr<Connection>& weak : connections_)
+    if (!weak.expired()) ++live;
+  return live;
 }
 
 void Server::serve_connection(std::shared_ptr<Connection> connection) {
@@ -152,16 +237,16 @@ void Server::stop() {
   service_.drain();
 
   // 3. Unblock the per-connection readers and join them.
-  std::vector<std::thread> threads;
+  std::vector<Worker> workers;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (const std::weak_ptr<Connection>& weak : connections_)
       if (std::shared_ptr<Connection> connection = weak.lock())
         ::shutdown(connection->fd, SHUT_RDWR);
-    threads.swap(connection_threads_);
+    workers.swap(workers_);
     connections_.clear();
   }
-  for (std::thread& thread : threads) thread.join();
+  for (Worker& worker : workers) worker.thread.join();
 
   if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
 }

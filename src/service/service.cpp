@@ -76,12 +76,14 @@ void VerificationService::drain() { broker_.drain(); }
 Response VerificationService::execute(const Request& request, const ExecContext& context) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   requests_counter_->add(1);
+  metrics_->counter("service_tenant_requests_" + request.tenant_or_default()).add(1);
   auto start = std::chrono::steady_clock::now();
   util::Json timing = util::Json::object();
   timing["queue_wait_us"] = context.queue_wait_us;
 
   obs::TraceSpan span(spans_, "request");
   span.attr("verb", request.verb);
+  span.attr("tenant", request.tenant_or_default());
 
   Response response;
   if (request.verb == "upload_configs") response = upload_configs(request);
@@ -117,6 +119,9 @@ Response VerificationService::upload_configs(const Request& request) {
 
   SnapshotKey key = key_for_topology(*topology);
   const std::string id = key.to_string();
+  // Uploads are tenant-scoped: the same content uploaded by two tenants
+  // dedupes within each namespace but never across them.
+  const std::string upload_key = request.tenant_or_default() + "/" + id;
 
   bool deduped;
   size_t nodes = topology->nodes.size();
@@ -124,13 +129,15 @@ Response VerificationService::upload_configs(const Request& request) {
   size_t peers = topology->external_peers.size();
   {
     std::lock_guard<std::mutex> lock(uploads_mutex_);
-    deduped = uploads_.count(id) > 0;
+    deduped = uploads_.count(upload_key) > 0;
     if (!deduped)
-      uploads_.emplace(id, std::make_shared<const emu::Topology>(std::move(*topology)));
+      uploads_.emplace(upload_key,
+                       std::make_shared<const emu::Topology>(std::move(*topology)));
   }
 
   util::Json result = util::Json::object();
   result["submission"] = id;
+  result["tenant"] = request.tenant_or_default();
   result["nodes"] = nodes;
   result["links"] = links;
   result["external_peers"] = peers;
@@ -147,20 +154,22 @@ Response VerificationService::snapshot(const Request& request, util::Json& timin
     return Response::failure(request.id,
                              util::invalid_argument("malformed submission id '" + *id + "'"));
 
+  const std::string& tenant = request.tenant_or_default();
   std::shared_ptr<const emu::Topology> topology;
   {
     std::lock_guard<std::mutex> lock(uploads_mutex_);
-    auto it = uploads_.find(*id);
+    auto it = uploads_.find(tenant + "/" + *id);
     if (it != uploads_.end()) topology = it->second;
   }
   if (topology == nullptr)
     return Response::failure(
         request.id, util::not_found("no uploaded topology '" + *id +
+                                    "' in tenant '" + tenant +
                                     "'; call upload_configs first"));
 
   auto converge_start = std::chrono::steady_clock::now();
   util::Result<SnapshotStore::Lease> lease =
-      store_.get_or_build(*key, [this, &topology, &id, parent_span]()
+      store_.get_or_build(tenant, *key, [this, &topology, &id, parent_span]()
                               -> util::Result<std::unique_ptr<StoredSnapshot>> {
         obs::TraceSpan converge(spans_, "converge", parent_span);
         converge.attr("snapshot", *id);
@@ -210,9 +219,10 @@ util::Result<SnapshotStore::Lease> VerificationService::resolve_snapshot(
   if (!id.ok()) return id.status();
   std::optional<SnapshotKey> key = SnapshotKey::parse(*id);
   if (!key) return util::invalid_argument("malformed snapshot id '" + *id + "'");
-  SnapshotStore::EntryPtr entry = store_.find(*key);
+  SnapshotStore::EntryPtr entry = store_.find(request.tenant_or_default(), *key);
   if (entry == nullptr)
-    return util::not_found("no stored snapshot '" + *id +
+    return util::not_found("no stored snapshot '" + *id + "' in tenant '" +
+                           request.tenant_or_default() +
                            "' (evicted or never built); rebuild it with the "
                            "snapshot or fork_scenario verb");
   return SnapshotStore::Lease{std::move(entry), /*hit=*/true};
@@ -351,7 +361,8 @@ Response VerificationService::fork_scenario(const Request& request, util::Json& 
 
   auto converge_start = std::chrono::steady_clock::now();
   util::Result<SnapshotStore::Lease> lease = store_.get_or_build(
-      key, [this, &base_entry, &perturbations, &id, parent_span]()
+      request.tenant_or_default(), key,
+      [this, &base_entry, &perturbations, &id, parent_span]()
                -> util::Result<std::unique_ptr<StoredSnapshot>> {
         obs::TraceSpan converge(spans_, "converge", parent_span);
         converge.attr("snapshot", id);
@@ -416,9 +427,29 @@ Response VerificationService::stats(const Request& request) {
   broker["queued"] = broker_stats.queued;
   broker["executing"] = broker_stats.executing;
 
+  // Per-tenant slice: broker scheduling counters joined with the store
+  // footprint, one object per tenant ever seen by either side.
+  util::Json tenants = util::Json::object();
+  for (const auto& [name, slice] : broker_stats.tenants) {
+    util::Json t = util::Json::object();
+    t["accepted"] = slice.accepted;
+    t["completed"] = slice.completed;
+    t["rejected"] = slice.rejected;
+    t["expired"] = slice.expired;
+    t["queued"] = slice.queued;
+    tenants[name] = std::move(t);
+  }
+  for (const auto& [name, slice] : store_stats.tenants) {
+    if (tenants.find(name) == nullptr) tenants[name] = util::Json::object();
+    tenants[name]["store_entries"] = slice.entries;
+    tenants[name]["store_bytes"] = slice.bytes;
+    tenants[name]["store_quota_rejections"] = slice.quota_rejections;
+  }
+
   util::Json result = util::Json::object();
   result["store"] = std::move(store);
   result["broker"] = std::move(broker);
+  result["tenants"] = std::move(tenants);
   result["requests"] = requests_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(uploads_mutex_);

@@ -68,9 +68,14 @@ SnapshotStore::SnapshotStore(StoreOptions options) : options_(options) {
   }
 }
 
-util::Result<SnapshotStore::Lease> SnapshotStore::get_or_build(const SnapshotKey& key,
+std::string SnapshotStore::slot_id(const std::string& tenant, const SnapshotKey& key) {
+  return tenant + "/" + key.to_string();
+}
+
+util::Result<SnapshotStore::Lease> SnapshotStore::get_or_build(const std::string& tenant,
+                                                               const SnapshotKey& key,
                                                                const Builder& builder) {
-  const std::string id = key.to_string();
+  const std::string id = slot_id(tenant, key);
   {
     std::unique_lock<std::mutex> lock(mutex_);
     bool joined = false;
@@ -111,7 +116,20 @@ util::Result<SnapshotStore::Lease> SnapshotStore::get_or_build(const SnapshotKey
 
   std::shared_ptr<StoredSnapshot> entry(std::move(*built));
   entry->key = key;
+  entry->tenant = tenant;
   if (entry->bytes == 0) entry->bytes = entry->snapshot.to_json().dump().size();
+
+  TenantStoreStats& tenant_stats = tenants_[tenant];
+  if (options_.tenant_byte_budget > 0 && entry->bytes > options_.tenant_byte_budget) {
+    // No amount of evicting this tenant's older entries would fit this
+    // one under its quota, so the quota is enforced as a hard rejection.
+    ++tenant_stats.quota_rejections;
+    slots_.erase(id);
+    build_done_.notify_all();
+    return util::resource_exhausted(
+        "snapshot of " + std::to_string(entry->bytes) + " bytes exceeds tenant '" +
+        tenant + "' byte quota of " + std::to_string(options_.tenant_byte_budget));
+  }
 
   Slot& slot = slots_[id];
   slot.value = entry;
@@ -119,38 +137,75 @@ util::Result<SnapshotStore::Lease> SnapshotStore::get_or_build(const SnapshotKey
   lru_.push_front(id);
   slot.lru = lru_.begin();
   bytes_ += entry->bytes;
-  evict_locked();
+  tenant_stats.bytes += entry->bytes;
+  ++tenant_stats.entries;
+  evict_locked(tenant);
   if (entries_gauge_ != nullptr) {
     entries_gauge_->set(static_cast<int64_t>(lru_.size()));
     bytes_gauge_->set(static_cast<int64_t>(bytes_));
   }
+  publish_tenant_bytes_locked(tenant);
   build_done_.notify_all();
   return Lease{std::move(entry), /*hit=*/false};
 }
 
-SnapshotStore::EntryPtr SnapshotStore::find(const SnapshotKey& key) {
+SnapshotStore::EntryPtr SnapshotStore::find(const std::string& tenant,
+                                            const SnapshotKey& key) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = slots_.find(key.to_string());
+  auto it = slots_.find(slot_id(tenant, key));
   if (it == slots_.end() || it->second.value == nullptr) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second.lru);
   return it->second.value;
 }
 
-void SnapshotStore::evict_locked() {
-  while (bytes_ > options_.byte_budget && lru_.size() > 1) {
-    const std::string& victim = lru_.back();
-    auto it = slots_.find(victim);
-    const EntryPtr& entry = it->second.value;
-    bytes_ -= entry->bytes;
-    if (entry->cache != nullptr) {
-      retired_trace_hits_ += entry->cache->hits();
-      retired_trace_misses_ += entry->cache->misses();
-    }
-    ++evictions_;
-    if (evictions_counter_ != nullptr) evictions_counter_->add(1);
-    slots_.erase(it);  // leaseholders keep the entry alive
-    lru_.pop_back();
+void SnapshotStore::drop_locked(std::map<std::string, Slot>::iterator it) {
+  const EntryPtr& entry = it->second.value;
+  bytes_ -= entry->bytes;
+  TenantStoreStats& tenant_stats = tenants_[entry->tenant];
+  tenant_stats.bytes -= entry->bytes;
+  --tenant_stats.entries;
+  if (entry->cache != nullptr) {
+    retired_trace_hits_ += entry->cache->hits();
+    retired_trace_misses_ += entry->cache->misses();
   }
+  ++evictions_;
+  if (evictions_counter_ != nullptr) evictions_counter_->add(1);
+  lru_.erase(it->second.lru);
+  slots_.erase(it);  // leaseholders keep the entry alive
+}
+
+void SnapshotStore::evict_locked(const std::string& tenant) {
+  // Per-tenant quota first: the over-quota tenant pays with its own LRU
+  // entries, never with another tenant's. Scanned back-to-front over the
+  // shared recency list; the just-inserted front entry is exempt.
+  if (options_.tenant_byte_budget > 0) {
+    auto tenant_bytes = [&] { return tenants_[tenant].bytes; };
+    while (tenant_bytes() > options_.tenant_byte_budget && lru_.size() > 1) {
+      auto victim = slots_.end();
+      for (auto lru_it = std::prev(lru_.end()); lru_it != lru_.begin(); --lru_it) {
+        auto slot_it = slots_.find(*lru_it);
+        if (slot_it->second.value->tenant == tenant) {
+          victim = slot_it;
+          break;
+        }
+      }
+      if (victim == slots_.end()) break;  // only the fresh entry remains
+      drop_locked(victim);
+    }
+    publish_tenant_bytes_locked(tenant);
+  }
+  while (bytes_ > options_.byte_budget && lru_.size() > 1) {
+    auto it = slots_.find(lru_.back());
+    const std::string victim_tenant = it->second.value->tenant;
+    drop_locked(it);
+    publish_tenant_bytes_locked(victim_tenant);
+  }
+}
+
+void SnapshotStore::publish_tenant_bytes_locked(const std::string& tenant) {
+  if (options_.metrics == nullptr) return;
+  options_.metrics->gauge("snapshot_store_tenant_bytes_" + tenant)
+      .set(static_cast<int64_t>(tenants_[tenant].bytes));
 }
 
 StoreStats SnapshotStore::stats() const {
@@ -164,6 +219,7 @@ StoreStats SnapshotStore::stats() const {
   stats.single_flight_joins = single_flight_joins_;
   stats.trace_hits = retired_trace_hits_;
   stats.trace_misses = retired_trace_misses_;
+  stats.tenants = tenants_;
   for (const auto& [id, slot] : slots_) {
     if (slot.value == nullptr || slot.value->cache == nullptr) continue;
     stats.trace_hits += slot.value->cache->hits();

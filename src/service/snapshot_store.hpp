@@ -22,6 +22,16 @@
 // entry stays alive until its last lease is released. Builds are
 // single-flight — concurrent misses on one key block on the first
 // builder instead of duplicating the convergence run.
+//
+// Tenancy: every entry lives inside a tenant namespace — the slot map is
+// keyed (tenant, content key), so two tenants uploading byte-identical
+// networks get independent entries, leases, and eviction fates (content
+// addressing never leaks one operator's network into another's
+// namespace). An optional per-tenant byte quota rides on top of the
+// global budget: a tenant over quota evicts its own LRU entries first,
+// and a single entry larger than the quota is rejected with
+// RESOURCE_EXHAUSTED instead of cached — the quota is a hard ceiling,
+// not a suggestion.
 #pragma once
 
 #include <condition_variable>
@@ -74,6 +84,8 @@ SnapshotKey key_for_fork(const SnapshotKey& base,
 /// One converged network state plus the machinery to query and fork it.
 struct StoredSnapshot {
   SnapshotKey key;
+  /// Namespace the entry was built under (stamped by the store).
+  std::string tenant;
   gnmi::Snapshot snapshot;
   /// Quiescent post-convergence emulation; fork() source for what-ifs.
   std::unique_ptr<emu::Emulation> emulation;
@@ -101,11 +113,24 @@ struct StoreOptions {
   /// Byte budget for retained entries; the most recently used entry is
   /// always kept even if it alone exceeds the budget.
   size_t byte_budget = 512u << 20;
+  /// Per-tenant byte quota; 0 = no per-tenant quota (only the global
+  /// budget applies). A tenant over quota evicts its own LRU entries; an
+  /// entry that alone exceeds the quota is refused with
+  /// RESOURCE_EXHAUSTED rather than stored.
+  size_t tenant_byte_budget = 0;
   /// Optional metrics sink: mirrors the snapshot_store_* family
   /// (hits/misses/evictions/single-flight joins as counters,
-  /// entries/bytes as gauges). The plain StoreStats members stay
-  /// authoritative; stats() is a thin view either way.
+  /// entries/bytes as gauges, plus per-tenant
+  /// snapshot_store_tenant_bytes_<tenant> gauges). The plain StoreStats
+  /// members stay authoritative; stats() is a thin view either way.
   obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Per-tenant slice of the retained footprint.
+struct TenantStoreStats {
+  size_t entries = 0;
+  size_t bytes = 0;
+  uint64_t quota_rejections = 0;
 };
 
 struct StoreStats {
@@ -120,6 +145,8 @@ struct StoreStats {
   /// Aggregate TraceCache counters across live + evicted entries.
   uint64_t trace_hits = 0;
   uint64_t trace_misses = 0;
+  /// Live footprint and quota pressure per tenant namespace.
+  std::map<std::string, TenantStoreStats> tenants;
 };
 
 class SnapshotStore {
@@ -140,12 +167,15 @@ class SnapshotStore {
   explicit SnapshotStore(StoreOptions options = {});
 
   /// Returns the cached entry or builds it exactly once: concurrent
-  /// callers with the same key block until the first caller's builder
-  /// finishes and then share its entry. A failed build is not cached.
-  util::Result<Lease> get_or_build(const SnapshotKey& key, const Builder& builder);
+  /// callers with the same (tenant, key) block until the first caller's
+  /// builder finishes and then share its entry. A failed build is not
+  /// cached. `tenant` must be non-empty (callers resolve the default
+  /// namespace via Request::tenant_or_default).
+  util::Result<Lease> get_or_build(const std::string& tenant, const SnapshotKey& key,
+                                   const Builder& builder);
 
   /// Lookup without building; touches LRU on hit. nullptr on miss.
-  EntryPtr find(const SnapshotKey& key);
+  EntryPtr find(const std::string& tenant, const SnapshotKey& key);
 
   StoreStats stats() const;
 
@@ -156,9 +186,20 @@ class SnapshotStore {
     std::list<std::string>::iterator lru;  // valid iff value != null
   };
 
-  /// Drops least-recently-used entries until within budget (caller holds
-  /// the lock). Never drops the most recent entry.
-  void evict_locked();
+  /// "tenant/t…-c…-d…" — the namespaced slot identity.
+  static std::string slot_id(const std::string& tenant, const SnapshotKey& key);
+
+  /// Drops one entry by slot iterator: accounting, retired trace
+  /// counters, LRU and tenant bookkeeping (caller holds the lock).
+  void drop_locked(std::map<std::string, Slot>::iterator it);
+
+  /// Drops least-recently-used entries until the global budget and every
+  /// tenant quota hold (caller holds the lock). Never drops the most
+  /// recent entry; tenant-quota pressure only evicts that tenant's own
+  /// entries.
+  void evict_locked(const std::string& tenant);
+
+  void publish_tenant_bytes_locked(const std::string& tenant);
 
   StoreOptions options_;
   mutable std::mutex mutex_;
@@ -166,6 +207,7 @@ class SnapshotStore {
   std::map<std::string, Slot> slots_;
   std::list<std::string> lru_;  // front = most recently used
   size_t bytes_ = 0;
+  std::map<std::string, TenantStoreStats> tenants_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "service/protocol.hpp"
 #include "service/snapshot_store.hpp"
 #include "workload/generator.hpp"
 
@@ -102,11 +103,11 @@ TEST(SnapshotStore, DedupesIdenticalKeys) {
   SnapshotKey key{1, 2, 0};
   std::atomic<int> builds{0};
 
-  auto first = store.get_or_build(key, stub_builder(100, &builds));
+  auto first = store.get_or_build(kDefaultTenant, key, stub_builder(100, &builds));
   ASSERT_TRUE(first.ok());
   EXPECT_FALSE(first->hit);
 
-  auto second = store.get_or_build(key, stub_builder(100, &builds));
+  auto second = store.get_or_build(kDefaultTenant, key, stub_builder(100, &builds));
   ASSERT_TRUE(second.ok());
   EXPECT_TRUE(second->hit);
   EXPECT_EQ(second->entry.get(), first->entry.get());
@@ -122,14 +123,14 @@ TEST(SnapshotStore, FailedBuildIsNotCached) {
   SnapshotStore store;
   SnapshotKey key{1, 2, 0};
   auto failed = store.get_or_build(
-      key, []() -> util::Result<std::unique_ptr<StoredSnapshot>> {
+      kDefaultTenant, key, []() -> util::Result<std::unique_ptr<StoredSnapshot>> {
         return util::internal_error("did not converge");
       });
   EXPECT_FALSE(failed.ok());
   EXPECT_EQ(store.stats().entries, 0u);
 
   // The next attempt retries and can succeed.
-  auto retried = store.get_or_build(key, stub_builder(10));
+  auto retried = store.get_or_build(kDefaultTenant, key, stub_builder(10));
   ASSERT_TRUE(retried.ok());
   EXPECT_FALSE(retried->hit);
 }
@@ -140,30 +141,30 @@ TEST(SnapshotStore, EvictsLruAtByteBudget) {
   SnapshotStore store(options);
 
   SnapshotKey a{1, 0, 0}, b{2, 0, 0}, c{3, 0, 0};
-  ASSERT_TRUE(store.get_or_build(a, stub_builder(100)).ok());
-  ASSERT_TRUE(store.get_or_build(b, stub_builder(100)).ok());
+  ASSERT_TRUE(store.get_or_build(kDefaultTenant, a, stub_builder(100)).ok());
+  ASSERT_TRUE(store.get_or_build(kDefaultTenant, b, stub_builder(100)).ok());
   EXPECT_EQ(store.stats().entries, 2u);
 
   // Touch `a` so `b` is the LRU victim when `c` overflows the budget.
-  EXPECT_NE(store.find(a), nullptr);
-  ASSERT_TRUE(store.get_or_build(c, stub_builder(100)).ok());
+  EXPECT_NE(store.find(kDefaultTenant, a), nullptr);
+  ASSERT_TRUE(store.get_or_build(kDefaultTenant, c, stub_builder(100)).ok());
 
   StoreStats stats = store.stats();
   EXPECT_EQ(stats.entries, 2u);
   EXPECT_EQ(stats.evictions, 1u);
   EXPECT_EQ(stats.bytes, 200u);
-  EXPECT_NE(store.find(a), nullptr);
-  EXPECT_EQ(store.find(b), nullptr) << "LRU entry must have been evicted";
-  EXPECT_NE(store.find(c), nullptr);
+  EXPECT_NE(store.find(kDefaultTenant, a), nullptr);
+  EXPECT_EQ(store.find(kDefaultTenant, b), nullptr) << "LRU entry must have been evicted";
+  EXPECT_NE(store.find(kDefaultTenant, c), nullptr);
 }
 
 TEST(SnapshotStore, MostRecentEntrySurvivesEvenOverBudget) {
   StoreOptions options;
   options.byte_budget = 10;
   SnapshotStore store(options);
-  ASSERT_TRUE(store.get_or_build(SnapshotKey{1, 0, 0}, stub_builder(1000)).ok());
+  ASSERT_TRUE(store.get_or_build(kDefaultTenant, SnapshotKey{1, 0, 0}, stub_builder(1000)).ok());
   EXPECT_EQ(store.stats().entries, 1u);
-  ASSERT_TRUE(store.get_or_build(SnapshotKey{2, 0, 0}, stub_builder(2000)).ok());
+  ASSERT_TRUE(store.get_or_build(kDefaultTenant, SnapshotKey{2, 0, 0}, stub_builder(2000)).ok());
   StoreStats stats = store.stats();
   EXPECT_EQ(stats.entries, 1u);
   EXPECT_EQ(stats.evictions, 1u);
@@ -174,12 +175,12 @@ TEST(SnapshotStore, LeasePinsEntryAcrossEviction) {
   options.byte_budget = 150;
   SnapshotStore store(options);
 
-  auto lease = store.get_or_build(SnapshotKey{1, 0, 0}, stub_builder(100));
+  auto lease = store.get_or_build(kDefaultTenant, SnapshotKey{1, 0, 0}, stub_builder(100));
   ASSERT_TRUE(lease.ok());
-  ASSERT_TRUE(store.get_or_build(SnapshotKey{2, 0, 0}, stub_builder(100)).ok());
+  ASSERT_TRUE(store.get_or_build(kDefaultTenant, SnapshotKey{2, 0, 0}, stub_builder(100)).ok());
 
   // Entry 1 was evicted from the store...
-  EXPECT_EQ(store.find(SnapshotKey{1, 0, 0}), nullptr);
+  EXPECT_EQ(store.find(kDefaultTenant, SnapshotKey{1, 0, 0}), nullptr);
   // ...but the outstanding lease still owns a live object.
   EXPECT_EQ(lease->entry->bytes, 100u);
   EXPECT_EQ(lease->entry->key, (SnapshotKey{1, 0, 0}));
@@ -196,7 +197,8 @@ TEST(SnapshotStore, ConcurrentMissesBuildOnce) {
   for (int t = 0; t < kThreads; ++t)
     threads.emplace_back([&, t] {
       auto lease = store.get_or_build(
-          key, [&builds]() -> util::Result<std::unique_ptr<StoredSnapshot>> {
+          kDefaultTenant, key,
+          [&builds]() -> util::Result<std::unique_ptr<StoredSnapshot>> {
             builds.fetch_add(1);
             std::this_thread::sleep_for(std::chrono::milliseconds(20));
             auto entry = std::make_unique<StoredSnapshot>();
