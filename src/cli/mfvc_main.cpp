@@ -6,6 +6,10 @@
 //   mfvc query <snapshot> --kind pairwise
 //   mfvc query <snapshot> --kind differential --base <other>
 //   mfvc fork <base> perturbations.json             what-if snapshot
+//   mfvc explore <submission|snapshot> [perturbations.json]
+//        enumerate every converged state under delivery nondeterminism;
+//        --max-runs/--max-states cap the search, --scope narrows the
+//        property sweep, --no-properties skips it
 //   mfvc stats
 //   mfvc metrics [--json] [--spans N]               registry snapshot
 //
@@ -116,6 +120,9 @@ int main(int argc, char** argv) {
   bool json = false;
   int routers = 6;
   int64_t spans = -1;
+  int64_t max_runs = 0, max_states = 0;
+  bool no_properties = false;
+  bool from_snapshot = false;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     auto next = [&]() -> std::string {
@@ -158,11 +165,15 @@ int main(int argc, char** argv) {
     else if (arg == "--json") json = true;
     else if (arg == "--spans") spans = std::atol(next().c_str());
     else if (arg == "--routers") routers = std::atoi(next().c_str());
+    else if (arg == "--max-runs") max_runs = std::atol(next().c_str());
+    else if (arg == "--max-states") max_states = std::atol(next().c_str());
+    else if (arg == "--no-properties") no_properties = true;
+    else if (arg == "--snapshot") from_snapshot = true;
     else operands.push_back(arg);
   }
 
   if (operands.empty())
-    return fail("usage: mfvc [flags] demo-topology|upload|snapshot|query|fork|stats|metrics ...");
+    return fail("usage: mfvc [flags] demo-topology|upload|snapshot|query|fork|explore|stats|metrics ...");
   const std::string verb = operands[0];
 
   if (verb == "demo-topology") {
@@ -204,6 +215,28 @@ int main(int argc, char** argv) {
     request.verb = "fork_scenario";
     request.params["base"] = operands[1];
     request.params["perturbations"] = std::move(*perturbations);
+  } else if (verb == "explore") {
+    if (operands.size() < 2 || operands.size() > 3)
+      return fail("usage: mfvc explore <submission> | mfvc explore --snapshot "
+                  "<snapshot> [perturbations.json|-]");
+    request.verb = "explore";
+    if (from_snapshot || operands.size() == 3) {
+      request.params["snapshot"] = operands[1];
+      if (operands.size() == 3) {
+        std::string text;
+        if (!read_input(operands[2], text)) return fail("cannot read " + operands[2]);
+        mfv::util::Result<mfv::util::Json> perturbations =
+            mfv::util::Json::parse_checked(text);
+        if (!perturbations.ok()) return fail(perturbations.status().to_string());
+        request.params["perturbations"] = std::move(*perturbations);
+      }
+    } else {
+      request.params["submission"] = operands[1];
+    }
+    if (max_runs > 0) request.params["max_runs"] = max_runs;
+    if (max_states > 0) request.params["max_states"] = max_states;
+    if (!scope.empty()) request.params["scope"] = scope;
+    if (no_properties) request.params["properties"] = false;
   } else if (verb == "stats") {
     request.verb = "stats";
   } else if (verb == "metrics") {

@@ -138,12 +138,18 @@ ActorId Emulation::actor_of(const net::NodeName& name) const {
 }
 
 void Emulation::schedule_event(ActorId emitter, ActorId owner, util::Duration delay,
-                               util::SmallFn fn) {
+                               util::SmallFn fn, DeliveryTag tag) {
   if (ShardContext* ctx = current_shard_context(this)) {
     ctx->schedule(ctx->now + delay, emitter, owner, std::move(fn));
     return;
   }
-  kernel_.schedule(delay, emitter, owner, std::move(fn));
+  kernel_.schedule(delay, emitter, owner, std::move(fn), tag);
+}
+
+net::NodeName Emulation::actor_name(ActorId actor) const {
+  for (const auto& [name, id] : actor_ids_)
+    if (id == actor) return name;
+  return {};
 }
 
 util::Duration Emulation::jitter(ActorId emitter) {
@@ -523,11 +529,20 @@ void Emulation::send_addressed(const net::NodeName& node, net::Ipv4Address desti
     return;
   }
   vrouter::VirtualRouter* target = router_it->second.get();
+  // Tag BGP-update deliveries into routers so a controlled (exploration)
+  // run can recognize them as reorderable race candidates. The channel is
+  // the destination address: together with the emitter it names the
+  // session, whose deliveries stay FIFO (the channel_busy_until_
+  // serialization above models exactly that TCP ordering).
+  DeliveryTag tag;
+  if (std::get_if<proto::BgpUpdate>(&message) != nullptr)
+    tag = DeliveryTag{DeliveryKind::kBgpUpdate, emitter, destination.bits()};
   schedule_event(emitter, actor_of(owner_it->second), delay,
                  [this, target, message] {
                    note_delivered();
                    target->deliver_addressed(message);
-                 });
+                 },
+                 tag);
 }
 
 void Emulation::schedule(const net::NodeName& node, util::Duration delay,

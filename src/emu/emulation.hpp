@@ -169,6 +169,10 @@ class Emulation final : public vrouter::Fabric {
   vrouter::VirtualRouter* router(const net::NodeName& node);
   const vrouter::VirtualRouter* router(const net::NodeName& node) const;
   std::vector<net::NodeName> node_names() const;
+  /// Reverse actor lookup for diagnostics (exploration witness output);
+  /// empty string for kEnvActor / unknown ids. Linear over the actor
+  /// table — not a hot path.
+  net::NodeName actor_name(ActorId actor) const;
   const std::map<net::NodeName, config::DiagnosticList>& parse_diagnostics() const {
     return parse_diagnostics_;
   }
@@ -237,9 +241,11 @@ class Emulation final : public vrouter::Fabric {
   /// Looks an actor up without registering; kEnvActor when unknown.
   ActorId actor_of(const net::NodeName& name) const;
   /// Routes a new event to the executing shard's context during a sharded
-  /// run, to the serial kernel otherwise.
+  /// run, to the serial kernel otherwise. The tag survives only on the
+  /// serial kernel — controlled (exploration) runs are always serial, so
+  /// sharded runs dropping it is harmless.
   void schedule_event(ActorId emitter, ActorId owner, util::Duration delay,
-                      util::SmallFn fn);
+                      util::SmallFn fn, DeliveryTag tag = {});
   /// run_to_convergence's engine: dispatches to the sharded runtime when
   /// options/state allow, else the serial kernel.
   bool run_events(uint64_t max_events);

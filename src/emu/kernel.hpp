@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -47,9 +48,27 @@ struct EventKey {
   }
 };
 
+/// What an event *is*, for the exploration engine (src/explore). Ordinary
+/// runs never look at the tag; the controlled run (run_controlled) uses it
+/// to recognize which pending events are reorderable message deliveries.
+enum class DeliveryKind : uint8_t {
+  kNone = 0,       // timers, boot hooks, non-delivery work
+  kBgpUpdate = 1,  // an addressed BGP Update delivery (a race candidate)
+};
+
+struct DeliveryTag {
+  DeliveryKind kind = DeliveryKind::kNone;
+  /// Sending actor of the delivery (the session's far endpoint).
+  ActorId from = kEnvActor;
+  /// Session discriminator within (from, owner) — deliveries sharing
+  /// (from, channel) are FIFO (TCP ordering) and must not be reordered.
+  uint64_t channel = 0;
+};
+
 struct KernelEvent {
   EventKey key;
   ActorId owner = kEnvActor;
+  DeliveryTag tag;
   util::SmallFn fn;
 };
 
@@ -58,12 +77,14 @@ class EventKernel {
   util::TimePoint now() const { return now_; }
 
   void schedule_at(util::TimePoint when, ActorId emitter, ActorId owner,
-                   util::SmallFn fn) {
+                   util::SmallFn fn, DeliveryTag tag = {}) {
     if (when < now_) when = now_;
-    push(KernelEvent{EventKey{when, emitter, next_seq(emitter)}, owner, std::move(fn)});
+    push(KernelEvent{EventKey{when, emitter, next_seq(emitter)}, owner, tag,
+                     std::move(fn)});
   }
-  void schedule(util::Duration delay, ActorId emitter, ActorId owner, util::SmallFn fn) {
-    schedule_at(now_ + delay, emitter, owner, std::move(fn));
+  void schedule(util::Duration delay, ActorId emitter, ActorId owner, util::SmallFn fn,
+                DeliveryTag tag = {}) {
+    schedule_at(now_ + delay, emitter, owner, std::move(fn), tag);
   }
 
   /// Unattributed scheduling (tests, environment hooks). Such events pin
@@ -99,6 +120,97 @@ class EventKernel {
   }
 
   void run_for(util::Duration duration) { run_until(now_ + duration); }
+
+  // -- controlled runs (src/explore) ----------------------------------------
+
+  /// One schedulable alternative at a choice point: the earliest pending
+  /// BGP-update delivery of one (from, channel) session into the owner
+  /// router of the frontier event. Candidates are sorted by key, so index
+  /// 0 is always the frontier itself (the default serial order).
+  struct RaceCandidate {
+    EventKey key;
+    ActorId owner = kEnvActor;
+    ActorId from = kEnvActor;
+    uint64_t channel = 0;
+  };
+
+  /// Called at every choice point with >= 2 candidates; returns the index
+  /// of the delivery to execute first. Out-of-range picks clamp to 0.
+  using RaceChooser = std::function<size_t(const std::vector<RaceCandidate>&)>;
+
+  /// POR accounting of one controlled run.
+  struct ControlledRunStats {
+    /// Frontier steps whose race set had >= 2 candidates.
+    uint64_t choice_points = 0;
+    /// Sum of race-set sizes over those steps (fanout mass).
+    uint64_t candidate_total = 0;
+    /// Co-pending BGP deliveries the partial-order reduction declined to
+    /// branch on, summed over frontier steps: deliveries into *other*
+    /// routers (they commute — each touches only receiver-local state)
+    /// plus same-session followers (TCP FIFO forbids reordering them). A
+    /// naive interleaver would have branched on every one.
+    uint64_t commuting_skipped = 0;
+  };
+
+  /// Runs events to quiescence like run_until_idle, but whenever the
+  /// frontier event is a BGP-update delivery, builds the race set — the
+  /// earliest pending update per distinct session into the same owner
+  /// router — and lets `choose` pick which arrives first. The chosen
+  /// delivery executes at the frontier's timestamp (it arrived *before*
+  /// the frontier), so virtual time stays monotonic. With `choose`
+  /// always returning 0 this is byte-identical to run_until_idle().
+  bool run_controlled(const RaceChooser& choose, ControlledRunStats* stats = nullptr,
+                      uint64_t max_events = UINT64_MAX) {
+    uint64_t fired = 0;
+    std::vector<RaceCandidate> candidates;
+    while (!events_.empty() && fired < max_events) {
+      const KernelEvent& front = events_.front();
+      if (front.tag.kind != DeliveryKind::kBgpUpdate) {
+        step();
+        ++fired;
+        continue;
+      }
+      candidates.clear();
+      uint64_t skipped = 0;
+      for (const KernelEvent& event : events_) {
+        if (event.tag.kind != DeliveryKind::kBgpUpdate) continue;
+        if (event.owner != front.owner) {
+          ++skipped;  // commutes: delivery into a different router
+          continue;
+        }
+        bool merged = false;
+        for (RaceCandidate& candidate : candidates) {
+          if (candidate.from == event.tag.from && candidate.channel == event.tag.channel) {
+            if (event.key < candidate.key) candidate.key = event.key;
+            merged = true;
+            ++skipped;  // same session: FIFO keeps only the earliest
+            break;
+          }
+        }
+        if (!merged)
+          candidates.push_back(
+              RaceCandidate{event.key, event.owner, event.tag.from, event.tag.channel});
+      }
+      // FIFO merging counted one event per merge but may have kept a later
+      // event as the representative before seeing the earlier one; the
+      // count stays exact because exactly one event per session survives.
+      std::sort(candidates.begin(), candidates.end(),
+                [](const RaceCandidate& a, const RaceCandidate& b) { return a.key < b.key; });
+      size_t pick = 0;
+      if (candidates.size() > 1) {
+        pick = choose(candidates);
+        if (pick >= candidates.size()) pick = 0;
+        if (stats != nullptr) {
+          ++stats->choice_points;
+          stats->candidate_total += candidates.size();
+        }
+      }
+      if (stats != nullptr) stats->commuting_skipped += skipped;
+      step_key(candidates[pick].key, front.key.when);
+      ++fired;
+    }
+    return events_.empty();
+  }
 
   /// Adopts another kernel's clock, per-actor sequence counters, and
   /// executed count. Used when forking a quiescent emulation: pending
@@ -165,6 +277,27 @@ class EventKernel {
     now_ = event.key.when;
     ++executed_;
     event.fn();
+  }
+
+  /// Executes the pending event with exactly `key`, firing it at
+  /// `fire_at` (the frontier timestamp — the chosen delivery is modeled
+  /// as having arrived before the frontier event). Linear removal plus a
+  /// heap rebuild: controlled runs trade hot-path speed for schedule
+  /// control, and exploration queues are small.
+  void step_key(const EventKey& key, util::TimePoint fire_at) {
+    for (size_t i = 0; i < events_.size(); ++i) {
+      if (events_[i].key.when == key.when && events_[i].key.emitter == key.emitter &&
+          events_[i].key.seq == key.seq) {
+        KernelEvent event = std::move(events_[i]);
+        events_[i] = std::move(events_.back());
+        events_.pop_back();
+        std::make_heap(events_.begin(), events_.end(), Later{});
+        if (now_ < fire_at) now_ = fire_at;
+        ++executed_;
+        event.fn();
+        return;
+      }
+    }
   }
 
   std::vector<KernelEvent> events_;

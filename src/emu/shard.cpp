@@ -190,7 +190,8 @@ class ShardedExecutor {
   /// the shared counter vector is race-free without atomics.
   void schedule_from(uint32_t from_shard, util::TimePoint when, ActorId emitter,
                      ActorId owner, util::SmallFn fn) {
-    KernelEvent event{EventKey{when, emitter, seqs_[emitter]++}, owner, std::move(fn)};
+    KernelEvent event{EventKey{when, emitter, seqs_[emitter]++}, owner, DeliveryTag{},
+                      std::move(fn)};
     uint32_t to_shard = shard_for(owner);
     if (to_shard == from_shard)
       push_heap_event(lanes_[from_shard].heap, std::move(event));

@@ -1,0 +1,101 @@
+// Canonical converged-state serialization for the exploration engine
+// (DESIGN.md §13).
+//
+// Two branch executions that converge to the same network state must
+// produce byte-identical serializations even though they got there along
+// different event orders — and internal bookkeeping is full of
+// order-dependent identifiers: AFT next-hop indices and group ids are
+// assigned in insertion order, BGP sessions are numbered by config
+// declaration order, and map iteration interleaves differently once CoW
+// tables diverge. The canonical form therefore:
+//
+//   - resolves AFT group/next-hop indirection into sorted, self-contained
+//     next-hop descriptor sets (index- and id-free),
+//   - serializes RIB best sets sorted by a field-stable route rendering,
+//   - keys BGP adj-ribs by peer address, not session vector position, and
+//     excludes arrival counters (pure tie-break bookkeeping: two converged
+//     states that differ only in arrival history forward identically and
+//     are, for property evaluation over terminal states, the same state).
+//
+// Dedup is hash-first but never hash-only: StateSet keeps the canonical
+// bytes and byte-compares on every hash hit, so a 64-bit collision
+// degrades to a counted extra state instead of silently merging two
+// distinct dataplanes (the same discipline the snapshot store applies via
+// its splitmix content check).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "aft/aft.hpp"
+#include "emu/emulation.hpp"
+#include "proto/bgp.hpp"
+#include "rib/rib.hpp"
+
+namespace mfv::explore {
+
+/// One converged network state in canonical form. `bytes` is the full
+/// field-stable serialization (kept for byte-compare on hash hits);
+/// `hash` is fnv1a(bytes).
+struct CanonicalState {
+  uint64_t hash = 0;
+  std::string bytes;
+
+  bool operator==(const CanonicalState& other) const {
+    return hash == other.hash && bytes == other.bytes;
+  }
+};
+
+// -- building blocks (unit-testable invariance surface) ----------------------
+
+/// Appends the AFT of one device with group/next-hop indirection resolved
+/// away: identical forwarding behaviour => identical bytes, regardless of
+/// index assignment order.
+void append_canonical_aft(const aft::DeviceAft& device, std::string& out);
+
+/// Appends every prefix's best set, routes sorted by field-stable
+/// rendering (insertion order of equal-preference routes is invisible).
+void append_canonical_rib(const rib::Rib& rib, std::string& out);
+
+/// Appends BGP engine state keyed by peer address: session declaration
+/// order (the sessions_ vector numbering) is invisible, as are arrival
+/// counters.
+void append_canonical_bgp(const proto::BgpEngine& bgp, std::string& out);
+
+/// Canonicalizes a converged emulation: every router (sorted by node
+/// name) with its AFT, RIB, and BGP state.
+CanonicalState canonicalize(const emu::Emulation& emulation);
+
+// -- deduplication -----------------------------------------------------------
+
+/// Dedup set over canonical states. Hash-bucketed with mandatory
+/// byte-compare on hash hits: two distinct byte strings that share a hash
+/// become two distinct states and bump `collisions()`.
+class StateSet {
+ public:
+  struct Insert {
+    size_t id = 0;        // dense state id (stable across the set's life)
+    bool inserted = false;  // false = duplicate of an existing state
+    bool collision = false; // hash matched but bytes differed
+  };
+
+  Insert insert(CanonicalState state);
+  /// Test seam: inserts `bytes` under a forced hash, exercising the
+  /// collision fallback without needing a real 64-bit collision.
+  Insert insert_with_hash(std::string bytes, uint64_t hash);
+
+  bool contains(const CanonicalState& state) const;
+
+  size_t size() const { return states_.size(); }
+  uint64_t collisions() const { return collisions_; }
+  const CanonicalState& state(size_t id) const { return states_[id]; }
+
+ private:
+  std::map<uint64_t, std::vector<size_t>> by_hash_;
+  std::vector<CanonicalState> states_;
+  uint64_t collisions_ = 0;
+};
+
+}  // namespace mfv::explore

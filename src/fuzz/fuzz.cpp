@@ -213,6 +213,8 @@ std::string oracle_name(uint32_t oracle) {
       return "sharded";
     case kOracleIncremental:
       return "incremental";
+    case kOracleExplore:
+      return "explore";
     case kOracleAll:
       return "all";
     default:
@@ -227,6 +229,7 @@ std::optional<uint32_t> parse_oracle(std::string_view name) {
   if (name == "dialect") return kOracleDialect;
   if (name == "sharded") return kOracleSharded;
   if (name == "incremental") return kOracleIncremental;
+  if (name == "explore") return kOracleExplore;
   if (name == "all") return kOracleAll;
   return std::nullopt;
 }
@@ -236,7 +239,7 @@ uint32_t FuzzCase::oracles() const {
   if (!snapshot.devices.empty() || !topology.nodes.empty()) mask |= kOracleEngines;
   if (!topology.nodes.empty())
     mask |= kOracleFork | kOracleStore | kOracleDialect | kOracleSharded |
-            kOracleIncremental;
+            kOracleIncremental | kOracleExplore;
   if (!literals.empty()) mask |= kOracleDialect;
   return mask;
 }

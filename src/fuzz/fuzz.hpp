@@ -66,9 +66,17 @@ enum Oracle : uint32_t {
   /// the base's captured disposition matrix) must reproduce the cold
   /// reachability rows and pairwise cells byte for byte.
   kOracleIncremental = 1u << 5,
+  /// Exhaustive exploration soundness (src/explore): jitter-sampled
+  /// converged states of the case's topology must canonicalize into the
+  /// exhaustively explored, deduped state set. Sampled jitter stays below
+  /// the addressed-message latency, so sampling can only flip delivery
+  /// pairs the exploration branches on. Skips (passes) when the topology
+  /// is too large or the exploration hit a cap — membership is only a
+  /// theorem for complete enumerations.
+  kOracleExplore = 1u << 6,
 
   kOracleAll = kOracleEngines | kOracleFork | kOracleStore | kOracleDialect |
-               kOracleSharded | kOracleIncremental,
+               kOracleSharded | kOracleIncremental | kOracleExplore,
 };
 
 std::string oracle_name(uint32_t oracle);

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "config/dialect.hpp"
+#include "explore/explore.hpp"
+#include "util/hash.hpp"
 #include "service/protocol.hpp"
 #include "service/snapshot_store.hpp"
 #include "verify/forwarding_graph.hpp"
@@ -466,6 +468,59 @@ Verdict check_incremental(const FuzzCase& c) {
   return pass(kOracleIncremental);
 }
 
+// -- oracle 7: exploration soundness (sampled ⊆ exhaustive) -----------------
+
+Verdict check_explore(const FuzzCase& c) {
+  // Exploration is exponential in co-pending deliveries; gate it to small
+  // topologies and tight caps, and treat every truncation as a skip —
+  // membership is only a theorem for complete enumerations.
+  if (c.topology.nodes.size() > 6)
+    return pass(kOracleExplore, "skipped: topology too large to enumerate");
+
+  emu::Emulation base;
+  if (!base.add_topology(c.topology).ok())
+    return pass(kOracleExplore, "skipped: topology rejected");
+
+  explore::ExploreInput input;
+  input.base = &base;
+  input.start = true;
+  explore::ExploreOptions options;
+  options.max_runs = 128;
+  options.max_states = 64;
+  options.max_choice_points = 12;
+  options.verify_properties = false;
+  options.keep_state_bytes = true;  // byte-exact membership below
+  util::Result<explore::ExploreResult> result = explore::explore(input, options);
+  if (!result.ok())
+    return pass(kOracleExplore, "skipped: " + result.status().message());
+  if (!result->complete)
+    return pass(kOracleExplore, "skipped: exploration truncated by caps");
+
+  // Jitter below the addressed-message latency can only flip deliveries
+  // that are co-pending — exactly the pairs the exploration branches on —
+  // so every jitter-sampled converged state must be in the explored set.
+  for (uint64_t sample_seed = 1; sample_seed <= 4; ++sample_seed) {
+    emu::EmulationOptions sample_options;
+    sample_options.seed = sample_seed;
+    sample_options.message_jitter_micros = 500;
+    emu::Emulation sampled(sample_options);
+    if (!sampled.add_topology(c.topology).ok())
+      return pass(kOracleExplore, "skipped: topology rejected");
+    sampled.start_all();
+    if (!sampled.run_to_convergence())
+      return pass(kOracleExplore, "skipped: jittered boot did not converge");
+    explore::CanonicalState state = explore::canonicalize(sampled);
+    if (!result->contains(state))
+      return fail(kOracleExplore,
+                  "jitter seed " + std::to_string(sample_seed) +
+                      " converged to a state outside the exhaustive set (hash " +
+                      util::hex64(state.hash) + "; explored " +
+                      std::to_string(result->unique_states) + " states over " +
+                      std::to_string(result->runs) + " runs)");
+  }
+  return pass(kOracleExplore);
+}
+
 }  // namespace
 
 std::vector<Verdict> run_oracles(const FuzzCase& c, uint32_t mask) {
@@ -477,6 +532,7 @@ std::vector<Verdict> run_oracles(const FuzzCase& c, uint32_t mask) {
   if (applicable & kOracleDialect) verdicts.push_back(check_dialect(c));
   if (applicable & kOracleSharded) verdicts.push_back(check_sharded(c));
   if (applicable & kOracleIncremental) verdicts.push_back(check_incremental(c));
+  if (applicable & kOracleExplore) verdicts.push_back(check_explore(c));
   return verdicts;
 }
 

@@ -7,7 +7,7 @@
 // kWireParseLimits so adversarial nesting cannot blow the stack).
 //
 // A Request names a verb (upload_configs / snapshot / query /
-// fork_scenario / stats / metrics), carries a client-chosen id echoed back in the
+// fork_scenario / explore / stats / metrics), carries a client-chosen id echoed back in the
 // Response, a tenant namespace, a priority class for the broker, and an
 // optional relative deadline. Responses carry a StatusCode by name, so
 // RESOURCE_EXHAUSTED rejections and DEADLINE_EXCEEDED expiries are

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "explore/explore.hpp"
 #include "util/logging.hpp"
 
 namespace mfv::service {
@@ -91,6 +92,7 @@ Response VerificationService::execute(const Request& request, const ExecContext&
   else if (request.verb == "query") response = query(request, timing, span.id());
   else if (request.verb == "fork_scenario")
     response = fork_scenario(request, timing, span.id());
+  else if (request.verb == "explore") response = explore(request, timing, span.id());
   else if (request.verb == "stats") response = stats(request);
   else if (request.verb == "metrics") response = metrics_snapshot(request);
   else
@@ -168,6 +170,7 @@ Response VerificationService::snapshot(const Request& request, util::Json& timin
                                     "'; call upload_configs first"));
 
   auto converge_start = std::chrono::steady_clock::now();
+  const uint64_t content_check = content_check_for_topology(*topology);
   util::Result<SnapshotStore::Lease> lease =
       store_.get_or_build(tenant, *key, [this, &topology, &id, parent_span]()
                               -> util::Result<std::unique_ptr<StoredSnapshot>> {
@@ -200,7 +203,7 @@ Response VerificationService::snapshot(const Request& request, util::Json& timin
               verify::capture_incremental_base(*entry->graph, capture);
         }
         return entry;
-      });
+      }, content_check);
   if (!lease.ok()) return Response::failure(request.id, lease.status());
   timing["converge_us"] = lease->hit ? int64_t{0} : elapsed_us(converge_start);
 
@@ -360,6 +363,8 @@ Response VerificationService::fork_scenario(const Request& request, util::Json& 
   const std::string id = key.to_string();
 
   auto converge_start = std::chrono::steady_clock::now();
+  const uint64_t content_check =
+      content_check_for_fork(base_entry->content_check, *perturbations);
   util::Result<SnapshotStore::Lease> lease = store_.get_or_build(
       request.tenant_or_default(), key,
       [this, &base_entry, &perturbations, &id, parent_span]()
@@ -390,7 +395,7 @@ Response VerificationService::fork_scenario(const Request& request, util::Json& 
         entry->parent =
             base_entry->verify_base != nullptr ? base_entry : base_entry->parent;
         return entry;
-      });
+      }, content_check);
   if (!lease.ok()) return Response::failure(request.id, lease.status());
   timing["converge_us"] = lease->hit ? int64_t{0} : elapsed_us(converge_start);
 
@@ -404,6 +409,83 @@ Response VerificationService::fork_scenario(const Request& request, util::Json& 
   return Response::success(request.id, std::move(result));
 }
 
+Response VerificationService::explore(const Request& request, util::Json& timing,
+                                      uint64_t parent_span) {
+  namespace xpl = mfv::explore;
+  xpl::ExploreOptions options;
+  options.metrics = metrics_;
+  if (const util::Json* v = find_param(request, "max_runs"))
+    options.max_runs = static_cast<uint64_t>(std::max<int64_t>(1, v->as_int()));
+  if (const util::Json* v = find_param(request, "max_states"))
+    options.max_states = static_cast<uint64_t>(std::max<int64_t>(1, v->as_int()));
+  if (const util::Json* v = find_param(request, "max_choice_points"))
+    options.max_choice_points =
+        static_cast<uint32_t>(std::max<int64_t>(1, v->as_int()));
+  if (const util::Json* v = find_param(request, "threads"))
+    options.threads = static_cast<unsigned>(std::max<int64_t>(0, v->as_int()));
+  options.verify_properties = bool_param(request, "properties", true);
+  options.verify_threads = options_.query_threads;
+  if (const util::Json* v = find_param(request, "scope")) {
+    std::optional<net::Ipv4Prefix> scope = net::Ipv4Prefix::parse(v->as_string());
+    if (!scope)
+      return Response::failure(
+          request.id, util::invalid_argument("malformed scope prefix '" +
+                                             v->as_string() + "'"));
+    options.scope = scope;
+  }
+
+  xpl::ExploreInput input;
+  std::unique_ptr<emu::Emulation> boot_base;  // boot path owns its base
+  SnapshotStore::EntryPtr pinned;             // snapshot path pins the store entry
+
+  if (find_param(request, "submission") != nullptr) {
+    // Boot exploration: every branch boots the uploaded topology from
+    // scratch under a different delivery schedule.
+    util::Result<std::string> id = string_param(request, "submission");
+    if (!id.ok()) return Response::failure(request.id, id.status());
+    std::shared_ptr<const emu::Topology> topology;
+    {
+      std::lock_guard<std::mutex> lock(uploads_mutex_);
+      auto it = uploads_.find(request.tenant_or_default() + "/" + *id);
+      if (it != uploads_.end()) topology = it->second;
+    }
+    if (topology == nullptr)
+      return Response::failure(
+          request.id, util::not_found("no uploaded topology '" + *id + "' in tenant '" +
+                                      request.tenant_or_default() +
+                                      "'; call upload_configs first"));
+    boot_base = std::make_unique<emu::Emulation>(options_.emulation);
+    util::Status status = boot_base->add_topology(*topology);
+    if (!status.ok()) return Response::failure(request.id, status);
+    input.base = boot_base.get();
+    input.start = true;
+  } else {
+    // Perturbation exploration: branch the delivery schedules of a
+    // what-if applied to a stored converged snapshot.
+    util::Result<SnapshotStore::Lease> base = resolve_snapshot(request, "snapshot");
+    if (!base.ok()) return Response::failure(request.id, base.status());
+    if (base->entry->emulation == nullptr)
+      return Response::failure(request.id, util::failed_precondition(
+                                               "base snapshot has no live emulation"));
+    pinned = base->entry;
+    input.base = pinned->emulation.get();
+    if (const util::Json* perturbations_json = find_param(request, "perturbations")) {
+      util::Result<std::vector<scenario::Perturbation>> perturbations =
+          scenario::perturbations_from_json(*perturbations_json);
+      if (!perturbations.ok()) return Response::failure(request.id, perturbations.status());
+      input.perturbations = std::move(*perturbations);
+    }
+  }
+
+  obs::TraceSpan span(spans_, "explore", parent_span);
+  auto explore_start = std::chrono::steady_clock::now();
+  util::Result<xpl::ExploreResult> result = xpl::explore(input, options);
+  if (!result.ok()) return Response::failure(request.id, result.status());
+  timing["explore_us"] = elapsed_us(explore_start);
+  span.attr("unique_states", std::to_string(result->unique_states));
+  return Response::success(request.id, result->to_json());
+}
+
 Response VerificationService::stats(const Request& request) {
   StoreStats store_stats = store_.stats();
   BrokerStats broker_stats = broker_.stats();
@@ -415,6 +497,7 @@ Response VerificationService::stats(const Request& request) {
   store["misses"] = store_stats.misses;
   store["evictions"] = store_stats.evictions;
   store["single_flight_joins"] = store_stats.single_flight_joins;
+  store["hash_collisions"] = store_stats.hash_collisions;
   store["trace_hits"] = store_stats.trace_hits;
   store["trace_misses"] = store_stats.trace_misses;
 

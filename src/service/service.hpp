@@ -10,6 +10,12 @@
 //   fork_scenario   what-if: fork the stored converged emulation, apply
 //                   perturbations, re-converge incrementally; the result
 //                   is itself stored and addressable
+//   explore         enumerate every converged state reachable under
+//                   message-delivery nondeterminism (boot exploration of
+//                   an uploaded submission, or perturbation exploration
+//                   of a stored snapshot); properties come back
+//                   holds-on-all / fails-on-some with a replayable
+//                   witness schedule (src/explore)
 //   stats           store / broker / request counters for observability
 //   metrics         stats superset: the full MetricsRegistry snapshot
 //                   (emu/verify/store/broker/scenario families), recent
@@ -121,6 +127,7 @@ class VerificationService {
   Response query(const Request& request, util::Json& timing, uint64_t parent_span);
   Response fork_scenario(const Request& request, util::Json& timing,
                          uint64_t parent_span);
+  Response explore(const Request& request, util::Json& timing, uint64_t parent_span);
   Response stats(const Request& request);
   Response metrics_snapshot(const Request& request);
 

@@ -56,6 +56,23 @@ SnapshotKey key_for_fork(const SnapshotKey& base,
   return key;
 }
 
+uint64_t content_check_for_topology(const emu::Topology& topology) {
+  // Same serialization the key hashes, different hash family: an FNV
+  // collision on the key and a splitmix collision on the check are
+  // structurally unrelated events.
+  uint64_t check = util::splitmix_hash(topology.to_json().dump());
+  return check == 0 ? 1 : check;  // 0 means "unchecked"
+}
+
+uint64_t content_check_for_fork(uint64_t parent_check,
+                                const std::vector<scenario::Perturbation>& perturbations) {
+  uint64_t check = util::splitmix_mix(parent_check);
+  for (const scenario::Perturbation& perturbation : perturbations)
+    check = util::splitmix_hash(scenario::perturbation_to_json(perturbation).dump(),
+                                check);
+  return check == 0 ? 1 : check;
+}
+
 SnapshotStore::SnapshotStore(StoreOptions options) : options_(options) {
   if (options_.metrics != nullptr) {
     obs::MetricsRegistry& metrics = *options_.metrics;
@@ -63,6 +80,7 @@ SnapshotStore::SnapshotStore(StoreOptions options) : options_(options) {
     misses_counter_ = &metrics.counter("snapshot_store_misses");
     evictions_counter_ = &metrics.counter("snapshot_store_evictions");
     joins_counter_ = &metrics.counter("snapshot_store_single_flight_joins");
+    collisions_counter_ = &metrics.counter("store_hash_collisions");
     entries_gauge_ = &metrics.gauge("snapshot_store_entries");
     bytes_gauge_ = &metrics.gauge("snapshot_store_bytes");
   }
@@ -74,8 +92,9 @@ std::string SnapshotStore::slot_id(const std::string& tenant, const SnapshotKey&
 
 util::Result<SnapshotStore::Lease> SnapshotStore::get_or_build(const std::string& tenant,
                                                                const SnapshotKey& key,
-                                                               const Builder& builder) {
-  const std::string id = slot_id(tenant, key);
+                                                               const Builder& builder,
+                                                               uint64_t content_check) {
+  std::string id = slot_id(tenant, key);
   {
     std::unique_lock<std::mutex> lock(mutex_);
     bool joined = false;
@@ -83,6 +102,16 @@ util::Result<SnapshotStore::Lease> SnapshotStore::get_or_build(const std::string
       auto it = slots_.find(id);
       if (it == slots_.end()) break;
       if (it->second.value != nullptr) {
+        if (content_check != 0 && it->second.value->content_check != 0 &&
+            it->second.value->content_check != content_check) {
+          // The key collided with different content: never treat the two
+          // snapshots as identical. Route this caller to a slot
+          // disambiguated by its own fingerprint and look up again.
+          ++hash_collisions_;
+          if (collisions_counter_ != nullptr) collisions_counter_->add(1);
+          id += "~" + util::hex64(content_check);
+          continue;
+        }
         ++hits_;
         if (hits_counter_ != nullptr) hits_counter_->add(1);
         lru_.splice(lru_.begin(), lru_, it->second.lru);
@@ -117,6 +146,7 @@ util::Result<SnapshotStore::Lease> SnapshotStore::get_or_build(const std::string
   std::shared_ptr<StoredSnapshot> entry(std::move(*built));
   entry->key = key;
   entry->tenant = tenant;
+  entry->content_check = content_check;
   if (entry->bytes == 0) entry->bytes = entry->snapshot.to_json().dump().size();
 
   TenantStoreStats& tenant_stats = tenants_[tenant];
@@ -150,12 +180,23 @@ util::Result<SnapshotStore::Lease> SnapshotStore::get_or_build(const std::string
 }
 
 SnapshotStore::EntryPtr SnapshotStore::find(const std::string& tenant,
-                                            const SnapshotKey& key) {
+                                            const SnapshotKey& key,
+                                            uint64_t content_check) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = slots_.find(slot_id(tenant, key));
-  if (it == slots_.end() || it->second.value == nullptr) return nullptr;
-  lru_.splice(lru_.begin(), lru_, it->second.lru);
-  return it->second.value;
+  std::string id = slot_id(tenant, key);
+  for (;;) {
+    auto it = slots_.find(id);
+    if (it == slots_.end() || it->second.value == nullptr) return nullptr;
+    if (content_check != 0 && it->second.value->content_check != 0 &&
+        it->second.value->content_check != content_check) {
+      ++hash_collisions_;
+      if (collisions_counter_ != nullptr) collisions_counter_->add(1);
+      id += "~" + util::hex64(content_check);
+      continue;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return it->second.value;
+  }
 }
 
 void SnapshotStore::drop_locked(std::map<std::string, Slot>::iterator it) {
@@ -217,6 +258,7 @@ StoreStats SnapshotStore::stats() const {
   stats.misses = misses_;
   stats.evictions = evictions_;
   stats.single_flight_joins = single_flight_joins_;
+  stats.hash_collisions = hash_collisions_;
   stats.trace_hits = retired_trace_hits_;
   stats.trace_misses = retired_trace_misses_;
   stats.tenants = tenants_;

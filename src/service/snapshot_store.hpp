@@ -81,6 +81,19 @@ uint64_t delta_hash(uint64_t parent_delta,
 SnapshotKey key_for_fork(const SnapshotKey& base,
                          const std::vector<scenario::Perturbation>& perturbations);
 
+/// Second, FNV-independent content fingerprint of a topology (splitmix64
+/// over the same serialization the key hashes). The store compares it on
+/// cache hits before treating two snapshots as identical: a 64-bit
+/// SnapshotKey collision then degrades to a counted disambiguation
+/// (`store_hash_collisions`) instead of silently serving one network's
+/// snapshot for another. 0 is reserved for "no check available".
+uint64_t content_check_for_topology(const emu::Topology& topology);
+
+/// Chains `perturbations` onto a parent content check, mirroring
+/// key_for_fork over the independent hash.
+uint64_t content_check_for_fork(uint64_t parent_check,
+                                const std::vector<scenario::Perturbation>& perturbations);
+
 /// One converged network state plus the machinery to query and fork it.
 struct StoredSnapshot {
   SnapshotKey key;
@@ -102,6 +115,10 @@ struct StoredSnapshot {
   /// ancestor across store eviction, so an incremental query on a fork
   /// never races the LRU.
   std::shared_ptr<const StoredSnapshot> parent;
+  /// Independent content fingerprint (stamped by the store from the
+  /// get_or_build argument; 0 = unchecked). Distinguishes genuine content
+  /// identity from a SnapshotKey collision on later hits.
+  uint64_t content_check = 0;
   /// Retention charge (snapshot JSON size unless the builder set it).
   size_t bytes = 0;
   /// Virtual convergence time and control-plane messages of the build.
@@ -142,6 +159,10 @@ struct StoreStats {
   /// Callers that blocked on another caller's in-flight build of the
   /// same key instead of duplicating it (counted once per caller).
   uint64_t single_flight_joins = 0;
+  /// Lookups whose key matched a cached entry but whose independent
+  /// content check did not — a 64-bit key collision, routed to a
+  /// disambiguated slot instead of served the wrong snapshot.
+  uint64_t hash_collisions = 0;
   /// Aggregate TraceCache counters across live + evicted entries.
   uint64_t trace_hits = 0;
   uint64_t trace_misses = 0;
@@ -171,11 +192,21 @@ class SnapshotStore {
   /// builder finishes and then share its entry. A failed build is not
   /// cached. `tenant` must be non-empty (callers resolve the default
   /// namespace via Request::tenant_or_default).
+  ///
+  /// `content_check` (0 = skip) is an independent fingerprint of the
+  /// content the key was derived from (content_check_for_topology /
+  /// content_check_for_fork). When a cached entry's check disagrees, the
+  /// key collided: the lookup is re-routed to a per-check disambiguated
+  /// slot (never served the colliding entry) and `store_hash_collisions`
+  /// is bumped. Bare-id lookups that carry no content (find) cannot be
+  /// checked — the residual ambiguity of a 64-bit client-visible id.
   util::Result<Lease> get_or_build(const std::string& tenant, const SnapshotKey& key,
-                                   const Builder& builder);
+                                   const Builder& builder, uint64_t content_check = 0);
 
-  /// Lookup without building; touches LRU on hit. nullptr on miss.
-  EntryPtr find(const std::string& tenant, const SnapshotKey& key);
+  /// Lookup without building; touches LRU on hit. nullptr on miss, and on
+  /// a content-check mismatch (a collision miss, counted).
+  EntryPtr find(const std::string& tenant, const SnapshotKey& key,
+                uint64_t content_check = 0);
 
   StoreStats stats() const;
 
@@ -212,6 +243,7 @@ class SnapshotStore {
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
   uint64_t single_flight_joins_ = 0;
+  uint64_t hash_collisions_ = 0;
   /// TraceCache counters of evicted entries, so stats stay cumulative.
   uint64_t retired_trace_hits_ = 0;
   uint64_t retired_trace_misses_ = 0;
@@ -221,6 +253,7 @@ class SnapshotStore {
   obs::Counter* misses_counter_ = nullptr;
   obs::Counter* evictions_counter_ = nullptr;
   obs::Counter* joins_counter_ = nullptr;
+  obs::Counter* collisions_counter_ = nullptr;
   obs::Gauge* entries_gauge_ = nullptr;
   obs::Gauge* bytes_gauge_ = nullptr;
 };

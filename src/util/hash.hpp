@@ -36,6 +36,39 @@ constexpr uint64_t fnv1a_mix(uint64_t value, uint64_t seed = kFnvOffset) {
   return hash;
 }
 
+/// splitmix64 finalizer: a full-avalanche 64-bit mix with no structural
+/// relationship to FNV-1a's multiply-xor chain.
+constexpr uint64_t splitmix_mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Second, FNV-independent content hash (splitmix64 avalanche over 8-byte
+/// blocks, length-salted). Used where a single 64-bit hash must not be
+/// trusted alone — e.g. the snapshot store's dedup verifies content
+/// identity with this before treating two entries as the same, so a
+/// (vanishingly unlikely, but silently wrong) FNV collision degrades to a
+/// counted disambiguation instead of serving one tenant's network for
+/// another's.
+constexpr uint64_t splitmix_hash(std::string_view bytes,
+                                 uint64_t seed = 0x243f6a8885a308d3ull) {
+  uint64_t hash = seed;
+  uint64_t word = 0;
+  int shift = 0;
+  for (char c : bytes) {
+    word |= static_cast<uint64_t>(static_cast<uint8_t>(c)) << shift;
+    shift += 8;
+    if (shift == 64) {
+      hash = splitmix_mix(hash ^ word);
+      word = 0;
+      shift = 0;
+    }
+  }
+  return splitmix_mix(hash ^ word ^ (static_cast<uint64_t>(bytes.size()) << 1));
+}
+
 inline std::string hex64(uint64_t value) {
   static const char* digits = "0123456789abcdef";
   std::string out(16, '0');

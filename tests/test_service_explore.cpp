@@ -1,0 +1,227 @@
+// Service-level exploration: the `explore` verb over a real socket (boot
+// path and snapshot path), plus the snapshot store's key-collision
+// hardening (satellite: a second, independent content fingerprint guards
+// every cache hit; a 64-bit SnapshotKey collision becomes a counted
+// disambiguation, never the wrong network's snapshot).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+#include "service/snapshot_store.hpp"
+#include "workload/generator.hpp"
+
+namespace mfv::service {
+namespace {
+
+emu::Topology test_topology(int routers = 3, uint64_t seed = 7) {
+  workload::WanOptions options;
+  options.routers = routers;
+  options.seed = seed;
+  return workload::wan_topology(options);
+}
+
+std::string unique_socket_path(const char* tag) {
+  return "/tmp/mfv_test_" + std::string(tag) + "_" + std::to_string(getpid()) + ".sock";
+}
+
+struct Harness {
+  explicit Harness(const char* tag, ServiceOptions service_options = {})
+      : service(service_options) {
+    ServerOptions server_options;
+    server_options.unix_path = unique_socket_path(tag);
+    server = std::make_unique<Server>(service, server_options);
+    EXPECT_TRUE(server->start().ok());
+  }
+  ~Harness() { server->stop(); }
+
+  Client connect() {
+    Client client;
+    EXPECT_TRUE(client.connect_unix(server->unix_path()).ok());
+    return client;
+  }
+
+  VerificationService service;
+  std::unique_ptr<Server> server;
+};
+
+Request make_request(uint64_t id, const std::string& verb) {
+  Request request;
+  request.id = id;
+  request.verb = verb;
+  request.params = util::Json::object();
+  return request;
+}
+
+// -- explore verb -------------------------------------------------------------
+
+TEST(ServiceExplore, BootPathEnumeratesUploadedTopology) {
+  Harness harness("explore_boot");
+  Client client = harness.connect();
+
+  Request upload = make_request(1, "upload_configs");
+  upload.params["topology"] = test_topology().to_json();
+  auto uploaded = client.call(upload);
+  ASSERT_TRUE(uploaded.ok() && uploaded->ok()) << uploaded.status().to_string();
+  const std::string submission = uploaded->result.find("submission")->as_string();
+
+  Request explore = make_request(2, "explore");
+  explore.params["submission"] = submission;
+  explore.params["max_runs"] = int64_t{16};
+  explore.params["properties"] = false;
+  auto explored = client.call(explore);
+  ASSERT_TRUE(explored.ok() && explored->ok()) << explored.status().to_string();
+
+  const util::Json& result = explored->result;
+  ASSERT_NE(result.find("runs"), nullptr);
+  EXPECT_GE(result.find("runs")->as_int(), 1);
+  EXPECT_GE(result.find("unique_states")->as_int(), 1);
+  ASSERT_NE(result.find("states"), nullptr);
+  EXPECT_GE(result.find("states")->as_array().size(), 1u);
+  ASSERT_NE(result.find("complete"), nullptr);
+  EXPECT_NE(result.find("naive_interleavings"), nullptr);
+
+  // Unknown submissions fail cleanly.
+  Request missing = make_request(3, "explore");
+  missing.params["submission"] = "t0-c0-d0";
+  auto not_found = client.call(missing);
+  ASSERT_TRUE(not_found.ok());
+  EXPECT_FALSE(not_found->ok());
+}
+
+TEST(ServiceExplore, SnapshotPathExploresConvergedBase) {
+  Harness harness("explore_snap");
+  Client client = harness.connect();
+
+  Request upload = make_request(1, "upload_configs");
+  upload.params["topology"] = test_topology().to_json();
+  auto uploaded = client.call(upload);
+  ASSERT_TRUE(uploaded.ok() && uploaded->ok()) << uploaded.status().to_string();
+  const std::string submission = uploaded->result.find("submission")->as_string();
+
+  Request snapshot = make_request(2, "snapshot");
+  snapshot.params["submission"] = submission;
+  auto built = client.call(snapshot);
+  ASSERT_TRUE(built.ok() && built->ok()) << built.status().to_string();
+
+  // Exploring a converged base with no perturbations has nothing to
+  // race: exactly one run, one state, trivially complete.
+  Request explore = make_request(3, "explore");
+  explore.params["snapshot"] = submission;
+  explore.params["properties"] = false;
+  auto explored = client.call(explore);
+  ASSERT_TRUE(explored.ok() && explored->ok()) << explored.status().to_string();
+  EXPECT_EQ(explored->result.find("runs")->as_int(), 1);
+  EXPECT_EQ(explored->result.find("unique_states")->as_int(), 1);
+  EXPECT_TRUE(explored->result.find("complete")->as_bool());
+
+  // A malformed scope is rejected before any work happens.
+  Request bad_scope = make_request(4, "explore");
+  bad_scope.params["snapshot"] = submission;
+  bad_scope.params["scope"] = "not-a-prefix";
+  auto rejected = client.call(bad_scope);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_FALSE(rejected->ok());
+}
+
+// -- snapshot store collision hardening ---------------------------------------
+
+SnapshotStore::Builder stub_builder(size_t bytes, std::atomic<int>* builds = nullptr) {
+  return [bytes, builds]() -> util::Result<std::unique_ptr<StoredSnapshot>> {
+    if (builds != nullptr) builds->fetch_add(1);
+    auto entry = std::make_unique<StoredSnapshot>();
+    entry->bytes = bytes;
+    return entry;
+  };
+}
+
+TEST(StoreCollision, MismatchedContentCheckGetsOwnSlot) {
+  SnapshotStore store;
+  SnapshotKey key{1, 2, 3};  // the "colliding" 64-bit key
+  std::atomic<int> builds{0};
+
+  // Network A claims the key first.
+  auto first = store.get_or_build("acme", key, stub_builder(100, &builds), 111);
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  EXPECT_FALSE(first->hit);
+  EXPECT_EQ(first->entry->content_check, 111u);
+  EXPECT_EQ(first->entry->bytes, 100u);
+
+  // Network B hashes to the same key but is different content: it must
+  // get its own entry (a counted collision), never A's snapshot.
+  auto second = store.get_or_build("acme", key, stub_builder(200, &builds), 222);
+  ASSERT_TRUE(second.ok()) << second.status().to_string();
+  EXPECT_FALSE(second->hit);
+  EXPECT_EQ(second->entry->content_check, 222u);
+  EXPECT_EQ(second->entry->bytes, 200u);
+  EXPECT_NE(second->entry.get(), first->entry.get());
+  EXPECT_EQ(builds.load(), 2);
+  EXPECT_EQ(store.stats().hash_collisions, 1u);
+
+  // Each network keeps hitting its own entry on revisit.
+  auto first_again = store.get_or_build("acme", key, stub_builder(999, &builds), 111);
+  ASSERT_TRUE(first_again.ok());
+  EXPECT_TRUE(first_again->hit);
+  EXPECT_EQ(first_again->entry.get(), first->entry.get());
+  auto second_again = store.get_or_build("acme", key, stub_builder(999, &builds), 222);
+  ASSERT_TRUE(second_again.ok());
+  EXPECT_TRUE(second_again->hit);
+  EXPECT_EQ(second_again->entry.get(), second->entry.get());
+  EXPECT_EQ(builds.load(), 2);
+
+  // find() routes by the same check; a bare lookup (no content to check)
+  // resolves to the primary slot — the documented residual ambiguity.
+  EXPECT_EQ(store.find("acme", key, 111).get(), first->entry.get());
+  EXPECT_EQ(store.find("acme", key, 222).get(), second->entry.get());
+  EXPECT_EQ(store.find("acme", key, 0).get(), first->entry.get());
+}
+
+TEST(StoreCollision, MatchingCheckStaysOneEntry) {
+  SnapshotStore store;
+  SnapshotKey key{4, 5, 6};
+  std::atomic<int> builds{0};
+  auto first = store.get_or_build("acme", key, stub_builder(100, &builds), 777);
+  ASSERT_TRUE(first.ok());
+  auto second = store.get_or_build("acme", key, stub_builder(100, &builds), 777);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->hit);
+  EXPECT_EQ(builds.load(), 1);
+  EXPECT_EQ(store.stats().hash_collisions, 0u);
+
+  // Unchecked callers (check = 0) join the same entry rather than fork it.
+  auto unchecked = store.get_or_build("acme", key, stub_builder(100, &builds), 0);
+  ASSERT_TRUE(unchecked.ok());
+  EXPECT_TRUE(unchecked->hit);
+  EXPECT_EQ(builds.load(), 1);
+}
+
+TEST(StoreCollision, IndependentFingerprintsDifferFromKeys) {
+  // The guard is only as good as the second hash's independence: the
+  // fingerprint must move when content moves, and the fork chaining must
+  // distinguish perturbation sequences.
+  emu::Topology topology = test_topology();
+  uint64_t check = content_check_for_topology(topology);
+  EXPECT_NE(check, 0u);
+  EXPECT_EQ(content_check_for_topology(test_topology()), check);
+
+  emu::Topology tweaked = topology;
+  tweaked.nodes[0].config_text += "\n! tweak\n";
+  EXPECT_NE(content_check_for_topology(tweaked), check);
+
+  std::vector<scenario::Perturbation> cut = {
+      scenario::LinkCut{{"r0", "Ethernet1"}, {"r1", "Ethernet1"}}};
+  uint64_t forked = content_check_for_fork(check, cut);
+  EXPECT_NE(forked, 0u);
+  EXPECT_NE(forked, check);
+  EXPECT_EQ(content_check_for_fork(check, cut), forked);
+  std::vector<scenario::Perturbation> other = {
+      scenario::LinkCut{{"r1", "Ethernet2"}, {"r2", "Ethernet1"}}};
+  EXPECT_NE(content_check_for_fork(check, other), forked);
+}
+
+}  // namespace
+}  // namespace mfv::service
